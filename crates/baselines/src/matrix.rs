@@ -1,0 +1,178 @@
+//! Table I regeneration: probe every system model and format the
+//! comparison matrix.
+
+use crate::model::SystemModel;
+
+/// One probed row of the comparison table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComparisonRow {
+    /// System name.
+    pub system: String,
+    /// Search API column.
+    pub search_api: String,
+    /// Custom Sites column.
+    pub custom_sites: String,
+    /// Proprietary, Structured Data column.
+    pub proprietary_data: String,
+    /// Monetization column.
+    pub monetization: String,
+    /// Custom UI column.
+    pub custom_ui: String,
+    /// Deployment column.
+    pub deployment: String,
+}
+
+/// Probe each model and collect rows (in input order).
+pub fn build_matrix(models: &mut [Box<dyn SystemModel>]) -> Vec<ComparisonRow> {
+    models
+        .iter_mut()
+        .map(|m| ComparisonRow {
+            system: m.name().to_string(),
+            search_api: m.search_api(),
+            custom_sites: m.probe_custom_sites().cell(),
+            proprietary_data: m.probe_proprietary_data().cell(),
+            monetization: m.monetization(),
+            custom_ui: m.probe_custom_ui().cell(),
+            deployment: m.deployment(),
+        })
+        .collect()
+}
+
+/// Render rows as an aligned text table (systems as columns, like the
+/// paper's Table I).
+pub fn render_table(rows: &[ComparisonRow]) -> String {
+    type Getter = fn(&ComparisonRow) -> &str;
+    let axes: [(&str, Getter); 6] = [
+        ("Search API", |r| &r.search_api),
+        ("Custom Sites", |r| &r.custom_sites),
+        ("Proprietary, Structured Data", |r| &r.proprietary_data),
+        ("Monetization", |r| &r.monetization),
+        ("Custom UI", |r| &r.custom_ui),
+        ("Deployment", |r| &r.deployment),
+    ];
+    // Column widths.
+    let mut widths: Vec<usize> = Vec::with_capacity(rows.len() + 1);
+    widths.push(
+        axes.iter()
+            .map(|(label, _)| label.len())
+            .max()
+            .unwrap_or(0),
+    );
+    for r in rows {
+        let w = axes
+            .iter()
+            .map(|(_, get)| get(r).len())
+            .chain([r.system.len()])
+            .max()
+            .unwrap_or(0);
+        widths.push(w.min(44));
+    }
+    let mut out = String::new();
+    let sep = |out: &mut String| {
+        for w in &widths {
+            out.push('+');
+            out.push_str(&"-".repeat(w + 2));
+        }
+        out.push_str("+\n");
+    };
+    let row_line = |out: &mut String, cells: Vec<&str>| {
+        for (cell, w) in cells.iter().zip(&widths) {
+            out.push_str(&format!("| {:w$} ", cell, w = w));
+        }
+        out.push_str("|\n");
+    };
+    sep(&mut out);
+    let mut header = vec![""];
+    let names: Vec<&str> = rows.iter().map(|r| r.system.as_str()).collect();
+    header.extend(names);
+    row_line(&mut out, header);
+    sep(&mut out);
+    for (label, get) in axes {
+        let mut cells = vec![label];
+        let values: Vec<&str> = rows.iter().map(get).collect();
+        cells.extend(values);
+        row_line(&mut out, cells);
+    }
+    sep(&mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baselines::{
+        BossModel, EureksterModel, GoogleBaseModel, GoogleCustomModel, RollyoModel,
+    };
+    use crate::scenario::Scenario;
+    use crate::symphony_model::SymphonyModel;
+
+    #[test]
+    fn matrix_matches_paper_shape() {
+        let scenario = Scenario::small();
+        let mut models: Vec<Box<dyn SystemModel>> = vec![
+            Box::new(SymphonyModel::new(&scenario)),
+            Box::new(BossModel::new(scenario.engine.clone())),
+            Box::new(RollyoModel::new(scenario.engine.clone())),
+            Box::new(EureksterModel::new(scenario.engine.clone())),
+            Box::new(GoogleCustomModel::new(scenario.engine.clone())),
+            Box::new(GoogleBaseModel::new(scenario.engine.clone())),
+        ];
+        let rows = build_matrix(&mut models);
+        assert_eq!(rows.len(), 6);
+
+        let get = |name: &str| rows.iter().find(|r| r.system == name).unwrap();
+        // The paper's key contrasts, re-derived from live probes:
+        // only Symphony and Google Base ingest proprietary data.
+        assert!(get("Symphony").proprietary_data.contains("uploads"));
+        assert!(get("Google Base").proprietary_data.contains("uploads"));
+        for sys in ["Y! BOSS", "Rollyo", "Eurekster", "Google Custom"] {
+            assert!(
+                !get(sys).proprietary_data.contains("uploads"),
+                "{sys}: {}",
+                get(sys).proprietary_data
+            );
+        }
+        // Custom sites: everyone but Google Base.
+        assert_eq!(get("Google Base").custom_sites, "No");
+        assert_eq!(get("Symphony").custom_sites, "Supported");
+        // Symphony is the only no-code drag'n'drop UI.
+        assert!(get("Symphony").custom_ui.contains("Drag'n'drop"));
+        assert!(get("Y! BOSS").custom_ui.contains("code required"));
+        // Monetization policies.
+        assert!(get("Symphony").monetization.contains("voluntary"));
+        assert!(get("Eurekster").monetization.contains("mandatory"));
+    }
+
+    #[test]
+    fn render_produces_aligned_table() {
+        let rows = vec![
+            ComparisonRow {
+                system: "A".into(),
+                search_api: "X".into(),
+                custom_sites: "Yes".into(),
+                proprietary_data: "No".into(),
+                monetization: "None".into(),
+                custom_ui: "No".into(),
+                deployment: "None".into(),
+            },
+            ComparisonRow {
+                system: "B".into(),
+                search_api: "Y".into(),
+                custom_sites: "No".into(),
+                proprietary_data: "Yes".into(),
+                monetization: "Ads".into(),
+                custom_ui: "Yes".into(),
+                deployment: "Hosted".into(),
+            },
+        ];
+        let table = render_table(&rows);
+        assert!(table.contains("| Search API"));
+        assert!(table.contains("| A"));
+        assert!(table.contains("| B"));
+        assert!(table.contains("Deployment"));
+        // Every line same width.
+        let widths: std::collections::HashSet<usize> =
+            table.lines().map(|l| l.chars().count()).collect();
+        assert_eq!(widths.len(), 1, "{table}");
+    }
+}

@@ -1,0 +1,97 @@
+//! The shared evaluation scenario: Ann's GamerQueen video-game store
+//! (paper §II-B), instantiated once and handed to every system model
+//! so Table I probing and the E5 quality comparison run on identical
+//! substrates.
+
+use std::sync::Arc;
+use symphony_web::{Corpus, CorpusConfig, SearchEngine, Topic};
+
+/// Ann's inventory (title, genre, description, detail page, price).
+pub const INVENTORY_CSV: &str = "\
+title,genre,description,detail_url,price
+Galactic Raiders,shooter,a fast space shooter with lasers,http://gamerqueen.example.com/games/galactic-raiders,49.99
+Farm Story,sim,calm farming with crops and animals,http://gamerqueen.example.com/games/farm-story,19.99
+Space Trader,strategy,trade goods across space stations,http://gamerqueen.example.com/games/space-trader,29.99
+Laser Golf,sports,golf with lasers a silly shooter,http://gamerqueen.example.com/games/laser-golf,9.99
+Puzzle Palace,puzzle,mind bending puzzle rooms,http://gamerqueen.example.com/games/puzzle-palace,14.99
+";
+
+/// The game titles woven into the synthetic web as entities.
+pub const ENTITIES: [&str; 5] = [
+    "Galactic Raiders",
+    "Farm Story",
+    "Space Trader",
+    "Laser Golf",
+    "Puzzle Palace",
+];
+
+/// The review sites Ann knows to be high quality (paper §II-B).
+pub const REVIEW_SITES: [&str; 3] = ["gamespot.com", "ign.com", "teamxbox.com"];
+
+/// Queries customers issue in the comparison, with the inventory
+/// titles they target.
+pub const EVAL_QUERIES: [(&str, &str); 5] = [
+    ("space shooter", "Galactic Raiders"),
+    ("farming game", "Farm Story"),
+    ("space trading strategy", "Space Trader"),
+    ("silly golf", "Laser Golf"),
+    ("puzzle rooms", "Puzzle Palace"),
+];
+
+/// The instantiated scenario.
+pub struct Scenario {
+    /// The shared simulated web (one corpus for every system).
+    pub engine: Arc<SearchEngine>,
+}
+
+impl Scenario {
+    /// Build the scenario at a given corpus scale.
+    pub fn new(sites_per_topic: usize, pages_per_site: usize) -> Scenario {
+        let config = CorpusConfig {
+            sites_per_topic,
+            pages_per_site,
+            ..CorpusConfig::default()
+        }
+        .with_entities(Topic::Games, ENTITIES);
+        Scenario {
+            engine: Arc::new(SearchEngine::new(Corpus::generate(&config))),
+        }
+    }
+
+    /// Small scenario for tests.
+    pub fn small() -> Scenario {
+        Scenario::new(2, 4)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphony_web::{SearchConfig, Vertical};
+
+    #[test]
+    fn scenario_has_reviews_for_every_entity() {
+        let s = Scenario::small();
+        for entity in ENTITIES {
+            let rs = s.engine.search(
+                Vertical::Web,
+                &format!("{entity} review"),
+                &SearchConfig::default().restrict_to(REVIEW_SITES),
+                5,
+            );
+            assert!(!rs.is_empty(), "no review found for {entity}");
+        }
+    }
+
+    #[test]
+    fn inventory_csv_parses() {
+        let (table, report) = symphony_store::ingest::ingest(
+            "inventory",
+            INVENTORY_CSV,
+            symphony_store::DataFormat::Csv,
+        )
+        .unwrap();
+        assert_eq!(report.rows, 5);
+        assert_eq!(table.schema().len(), 5);
+    }
+}

@@ -1,0 +1,54 @@
+//! E6: GSP auction selection and click-billing throughput vs the
+//! number of competing campaigns.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symphony_ads::{Ad, AdServer, Keyword, MatchType};
+use symphony_web::Topic;
+
+fn server_with(n: usize) -> AdServer {
+    let mut ads = AdServer::new();
+    let adv = ads.add_advertiser("A");
+    let words = Topic::Games.words();
+    for i in 0..n {
+        ads.add_campaign(
+            adv,
+            &format!("c{i}"),
+            u32::MAX / 2,
+            vec![Keyword::new(words[i % words.len()], MatchType::Broad, 10 + (i as u32 % 90))],
+            Ad {
+                title: format!("ad {i}"),
+                display_url: "d".into(),
+                target_url: format!("http://a{i}.example.com"),
+                text: "x".into(),
+            },
+            0.3 + (i as f64 % 7.0) / 10.0,
+        );
+    }
+    ads
+}
+
+fn bench_auction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_auction");
+    for n in [10usize, 100, 1000] {
+        let ads = server_with(n);
+        group.bench_with_input(BenchmarkId::new("select", n), &ads, |b, ads| {
+            let words = Topic::Games.words();
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = format!("{} game", words[i % words.len()]);
+                i += 1;
+                ads.select(&q, 3)
+            });
+        });
+    }
+    // Billing path.
+    let mut ads = server_with(100);
+    let placement = ads.select("game review", 1).remove(0);
+    group.bench_function("record_click", |b| {
+        b.iter(|| ads.record_click(&placement, "pub").expect("budget is huge"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_auction);
+criterion_main!(benches);

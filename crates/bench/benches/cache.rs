@@ -1,0 +1,36 @@
+//! E2 (wall-clock side): platform query throughput with the result
+//! cache absorbing a Zipf-skewed workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symphony_bench::{gamer_queen_world, zipf_queries, Scale, WorldOptions};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_cache");
+    group.sample_size(10);
+    for skew in [0.6f64, 1.2] {
+        let queries = zipf_queries(64, skew, 17);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("zipf_{skew}")),
+            &queries,
+            |b, queries| {
+                // One warm platform per measurement batch; the cache
+                // carries across iterations, which is the deployment
+                // reality being measured.
+                let (mut platform, id) = gamer_queen_world(WorldOptions {
+                    scale: Scale::Small,
+                    ..WorldOptions::default()
+                });
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    i += 1;
+                    platform.query(id, q).expect("published")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! E8: end-to-end hosted query cost, cold (cache miss) and warm
+//! (cache hit) — the two latencies a Symphony deployment actually
+//! serves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symphony_bench::{gamer_queen_world, zipf_queries, Scale, WorldOptions};
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e8_e2e");
+    group.sample_size(20);
+
+    // Cold path: distinct queries defeat the cache.
+    group.bench_function("cold_query", |b| {
+        let (mut platform, id) = gamer_queen_world(WorldOptions {
+            scale: Scale::Small,
+            ..WorldOptions::default()
+        });
+        let mut i = 0u64;
+        b.iter(|| {
+            i += 1;
+            // Unique suffix keeps every request a miss while staying a
+            // realistic query.
+            platform.query(id, &format!("space shooter {i}")).expect("ok")
+        });
+    });
+
+    // Warm path: one hot query.
+    group.bench_function("warm_query", |b| {
+        let (mut platform, id) = gamer_queen_world(WorldOptions {
+            scale: Scale::Small,
+            ..WorldOptions::default()
+        });
+        platform.query(id, "space shooter").expect("warms cache");
+        b.iter(|| platform.query(id, "space shooter").expect("ok"));
+    });
+
+    // Mixed Zipf workload.
+    group.bench_function("zipf_mix", |b| {
+        let (mut platform, id) = gamer_queen_world(WorldOptions {
+            scale: Scale::Small,
+            ..WorldOptions::default()
+        });
+        let queries = zipf_queries(128, 1.0, 31);
+        let mut i = 0usize;
+        b.iter(|| {
+            let q = &queries[i % queries.len()];
+            i += 1;
+            platform.query(id, q).expect("ok")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

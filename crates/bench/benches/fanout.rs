@@ -1,0 +1,47 @@
+//! E1 (wall-clock side): parallel vs sequential supplemental fan-out.
+//!
+//! The virtual-clock shape lives in `--bin experiments`; this bench
+//! measures the real executor cost of the crossbeam scoped fan-out vs
+//! a sequential loop on the same request.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symphony_bench::{gamer_queen_world, Scale, WorldOptions};
+use symphony_core::runtime::{execute, ExecMode};
+use symphony_core::source::Substrates;
+
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_fanout");
+    group.sample_size(20);
+    for sources in [1usize, 2, 4] {
+        for mode in [ExecMode::Parallel, ExecMode::Sequential] {
+            let (platform, id) = gamer_queen_world(WorldOptions {
+                scale: Scale::Small,
+                mode,
+                supplemental_sources: sources,
+                primary_k: 10,
+            });
+            let app = platform.app(id).expect("registered").clone();
+            let label = format!(
+                "{}x_{}",
+                sources,
+                match mode {
+                    ExecMode::Parallel => "parallel",
+                    ExecMode::Sequential => "sequential",
+                }
+            );
+            group.bench_with_input(BenchmarkId::from_parameter(label), &mode, |b, &mode| {
+                let subs = Substrates {
+                    space: platform.store().space_by_id(app.owner),
+                    engine: Some(platform.engine()),
+                    transport: None,
+                    ads: None,
+                };
+                b.iter(|| execute(&app, "space shooter", subs, mode));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

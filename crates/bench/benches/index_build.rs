@@ -1,0 +1,61 @@
+//! E3: inverted-index build throughput and the compression pass.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use symphony_bench::{corpus, Scale};
+use symphony_text::{Doc, Index, IndexConfig};
+
+fn bench_index_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_index_build");
+    group.sample_size(10);
+    for scale in [Scale::Small, Scale::Medium] {
+        let corpus = corpus(scale);
+        let docs: Vec<(String, String)> = corpus
+            .pages
+            .iter()
+            .map(|p| (p.title.clone(), p.body.clone()))
+            .collect();
+        group.throughput(Throughput::Elements(docs.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("build", scale.label()),
+            &docs,
+            |b, docs| {
+                b.iter(|| {
+                    let mut index = Index::new(IndexConfig::default());
+                    let title = index.register_field("title", 2.0);
+                    let body = index.register_field("body", 1.0);
+                    for (t, bod) in docs {
+                        index.add(Doc::new().field(title, t.clone()).field(body, bod.clone()));
+                    }
+                    index.total_docs()
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("optimize", scale.label()),
+            &docs,
+            |b, docs| {
+                b.iter_batched(
+                    || {
+                        let mut index = Index::new(IndexConfig::default());
+                        let title = index.register_field("title", 2.0);
+                        let body = index.register_field("body", 1.0);
+                        for (t, bod) in docs {
+                            index
+                                .add(Doc::new().field(title, t.clone()).field(body, bod.clone()));
+                        }
+                        index
+                    },
+                    |mut index| {
+                        index.optimize();
+                        index.stats().postings_bytes
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_index_build);
+criterion_main!(benches);

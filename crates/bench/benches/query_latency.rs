@@ -1,0 +1,51 @@
+//! E4: BM25 top-k query latency against corpus size, raw vs
+//! compressed postings (the decode cost of the E3 space win).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use symphony_bench::{corpus, zipf_queries, Scale};
+use symphony_text::{Doc, Index, IndexConfig, Query, Searcher};
+
+fn build_index(scale: Scale, optimize: bool) -> Index {
+    let corpus = corpus(scale);
+    let mut index = Index::new(IndexConfig::default());
+    let title = index.register_field("title", 2.0);
+    let body = index.register_field("body", 1.0);
+    for p in &corpus.pages {
+        index.add(Doc::new().field(title, &*p.title).field(body, &*p.body));
+    }
+    if optimize {
+        index.optimize();
+    }
+    index
+}
+
+fn bench_query_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_query_latency");
+    group.sample_size(20);
+    let queries: Vec<Query> = zipf_queries(32, 1.0, 23)
+        .iter()
+        .map(|q| Query::parse(q))
+        .collect();
+    for scale in [Scale::Small, Scale::Medium, Scale::Large] {
+        for (variant, optimize) in [("raw", false), ("compressed", true)] {
+            let index = build_index(scale, optimize);
+            group.bench_with_input(
+                BenchmarkId::new(variant, scale.label()),
+                &index,
+                |b, index| {
+                    let searcher = Searcher::new(index);
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        searcher.search(q, 10)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency);
+criterion_main!(benches);

@@ -1,0 +1,568 @@
+//! Run the quantitative experiments E1–E10 from DESIGN.md and print
+//! their tables (EXPERIMENTS.md records a reference run).
+//!
+//! The paper itself reports no measurements; these experiments measure
+//! the design properties the paper asserts. Virtual-clock numbers are
+//! deterministic; wall-clock numbers vary with the host.
+//!
+//! ```text
+//! cargo run --release -p symphony-bench --bin experiments
+//! ```
+
+use std::time::Instant;
+
+use symphony_baselines::{
+    ndcg_at_k, BossModel, EureksterModel, GoogleBaseModel, GoogleCustomModel, RollyoModel,
+    Scenario, SymphonyModel, SystemModel, EVAL_QUERIES,
+};
+use symphony_bench::{corpus, gamer_queen_world, print_table, zipf_queries, Scale, WorldOptions};
+use symphony_core::hosting::QuotaConfig;
+use symphony_core::runtime::ExecMode;
+use symphony_text::{Doc, Index, IndexConfig};
+use symphony_web::{generate_logs, LogConfig, SearchEngine, SiteSuggest, Topic};
+
+fn main() {
+    println!("SYMPHONY REPRODUCTION — EXPERIMENTS E1..E10");
+    println!("(shapes are the claims; absolute numbers are simulator-specific)");
+    e1_fanout();
+    e2_cache();
+    e3_index_build();
+    e4_query_latency();
+    e5_quality();
+    e6_auction();
+    e7_site_suggest();
+    e8_tenancy();
+    e9_click_feedback();
+    e10_recommendation();
+}
+
+/// E1: parallel vs sequential supplemental fan-out.
+fn e1_fanout() {
+    let mut rows = Vec::new();
+    for sources in 1..=4usize {
+        let mut virt = [0u32; 2];
+        for (i, mode) in [ExecMode::Parallel, ExecMode::Sequential].into_iter().enumerate() {
+            let (mut platform, app) = gamer_queen_world(WorldOptions {
+                scale: Scale::Small,
+                mode,
+                supplemental_sources: sources,
+                primary_k: 10,
+            });
+            virt[i] = platform.query(app, "space shooter").expect("ok").virtual_ms;
+        }
+        rows.push(vec![
+            sources.to_string(),
+            virt[0].to_string(),
+            virt[1].to_string(),
+            format!("{:.1}x", virt[1] as f64 / virt[0].max(1) as f64),
+        ]);
+    }
+    print_table(
+        "E1 — supplemental fan-out: parallel vs sequential (virtual ms)",
+        &["suppl sources", "parallel", "sequential", "speedup"],
+        &rows,
+    );
+}
+
+/// E2: result-cache ablation under Zipf skew.
+fn e2_cache() {
+    let mut rows = Vec::new();
+    for skew in [0.6, 1.0, 1.4] {
+        let queries = zipf_queries(300, skew, 11);
+        // With cache (default TTL).
+        let (mut with_cache, app) = gamer_queen_world(WorldOptions {
+            scale: Scale::Small,
+            ..WorldOptions::default()
+        });
+        let mut total_ms = 0u64;
+        for q in &queries {
+            total_ms += with_cache.query(app, q).expect("ok").virtual_ms as u64;
+        }
+        let stats = with_cache.cache_stats(app).expect("exists");
+        // Without cache: a world built with zero TTL from the start
+        // (the quota config is captured at app registration).
+        let (mut no_cache, app2) = gamer_queen_world_no_cache();
+        let mut nc_total_ms = 0u64;
+        for q in &queries {
+            nc_total_ms += no_cache.query(app2, q).expect("ok").virtual_ms as u64;
+        }
+        rows.push(vec![
+            format!("{skew:.1}"),
+            format!("{:.0}%", stats.hit_rate() * 100.0),
+            format!("{:.1}", total_ms as f64 / queries.len() as f64),
+            format!("{:.1}", nc_total_ms as f64 / queries.len() as f64),
+        ]);
+    }
+    print_table(
+        "E2 — result cache under Zipf query skew (300 queries)",
+        &["zipf s", "hit rate", "mean ms (cache)", "mean ms (no cache)"],
+        &rows,
+    );
+}
+
+fn gamer_queen_world_no_cache() -> (symphony_core::Platform, symphony_core::AppId) {
+    // A world whose app cache expires instantly (TTL 0); the quota
+    // must be set before app registration, so this builds manually.
+    use symphony_core::hosting::Platform;
+    let mut p = Platform::new(SearchEngine::new(corpus(Scale::Small))).with_quotas(QuotaConfig {
+        cache_ttl_ms: 0,
+        requests_per_minute: 1_000_000,
+        ..QuotaConfig::default()
+    });
+    let (tenant, key) = p.create_tenant("GamerQueen");
+    let (table, _) = symphony_store::ingest::ingest(
+        "inventory",
+        symphony_bench::INVENTORY_CSV,
+        symphony_store::DataFormat::Csv,
+    )
+    .expect("parses");
+    let mut indexed = symphony_store::IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+        .expect("columns");
+    p.upload_table(tenant, &key, indexed).expect("quota");
+    p.transport_mut().register(
+        "pricing",
+        Box::new(symphony_services::PricingService),
+        symphony_services::LatencyModel::fast(),
+    );
+    use symphony_core::app::AppBuilder;
+    use symphony_core::source::DataSourceDef;
+    use symphony_designer::{Canvas, Element};
+    let mut canvas = Canvas::new();
+    let root = canvas.root_id();
+    let item = Element::column(vec![
+        Element::text("{title}"),
+        Element::result_list(
+            "reviews",
+            Element::link_field("url", "{title}"),
+            3,
+        ),
+        Element::result_list("pricing", Element::text("${price}"), 1),
+    ]);
+    canvas
+        .insert(root, Element::result_list("inventory", item, 10))
+        .expect("root");
+    let config = AppBuilder::new("GamerQueen", tenant)
+        .layout(canvas)
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .source(
+            "reviews",
+            DataSourceDef::WebVertical {
+                vertical: symphony_web::Vertical::Web,
+                config: symphony_web::SearchConfig::default()
+                    .restrict_to(symphony_bench::REVIEW_SITES),
+            },
+        )
+        .source(
+            "pricing",
+            DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: symphony_services::CallPolicy::default(),
+            },
+        )
+        .supplemental("reviews", "{title} review")
+        .supplemental("pricing", "{title}")
+        .build()
+        .expect("valid");
+    let id = p.register_app(config).expect("registers");
+    p.publish(id).expect("publishes");
+    (p, id)
+}
+
+/// E3: index build throughput + compressed vs raw posting space.
+fn e3_index_build() {
+    let mut rows = Vec::new();
+    for scale in [Scale::Small, Scale::Medium, Scale::Large] {
+        let corpus = corpus(scale);
+        let pages = corpus.pages.len();
+        let start = Instant::now();
+        let mut index = Index::new(IndexConfig::default());
+        let title = index.register_field("title", 2.0);
+        let body = index.register_field("body", 1.0);
+        for p in &corpus.pages {
+            index.add(Doc::new().field(title, &*p.title).field(body, &*p.body));
+        }
+        let build = start.elapsed();
+        let raw_bytes = index.stats().postings_bytes;
+        let start = Instant::now();
+        index.optimize();
+        let optimize = start.elapsed();
+        let compressed_bytes = index.stats().postings_bytes;
+        rows.push(vec![
+            format!("{} ({pages} pages)", scale.label()),
+            format!("{:.1}", build.as_secs_f64() * 1e3),
+            format!("{:.1}", optimize.as_secs_f64() * 1e3),
+            format!("{}", raw_bytes / 1024),
+            format!("{}", compressed_bytes / 1024),
+            format!("{:.1}x", raw_bytes as f64 / compressed_bytes.max(1) as f64),
+        ]);
+    }
+    print_table(
+        "E3 — index build and posting compression",
+        &["corpus", "build ms", "optimize ms", "raw KiB", "compressed KiB", "ratio"],
+        &rows,
+    );
+}
+
+/// E4: BM25 top-10 query latency vs corpus size.
+fn e4_query_latency() {
+    let mut rows = Vec::new();
+    for scale in [Scale::Small, Scale::Medium, Scale::Large] {
+        let engine = SearchEngine::new(corpus(scale));
+        let queries = zipf_queries(200, 1.0, 3);
+        let start = Instant::now();
+        let mut hits = 0usize;
+        for q in &queries {
+            hits += engine
+                .search(
+                    symphony_web::Vertical::Web,
+                    q,
+                    &symphony_web::SearchConfig::default(),
+                    10,
+                )
+                .len();
+        }
+        let elapsed = start.elapsed();
+        rows.push(vec![
+            scale.label().to_string(),
+            format!("{}", engine.doc_count(symphony_web::Vertical::Web)),
+            format!("{:.0}", elapsed.as_secs_f64() * 1e6 / queries.len() as f64),
+            format!("{:.1}", hits as f64 / queries.len() as f64),
+        ]);
+    }
+    print_table(
+        "E4 — web-vertical query latency (200 Zipf queries, top-10)",
+        &["corpus", "web docs", "mean µs/query", "mean hits"],
+        &rows,
+    );
+}
+
+/// E5: integration quality vs every baseline (NDCG@10).
+fn e5_quality() {
+    let scenario = Scenario::new(3, 6);
+    let mut models: Vec<Box<dyn SystemModel>> = vec![
+        Box::new(SymphonyModel::new(&scenario)),
+        Box::new(BossModel::new(scenario.engine.clone())),
+        Box::new(RollyoModel::new(scenario.engine.clone())),
+        Box::new(EureksterModel::new(scenario.engine.clone())),
+        Box::new(GoogleCustomModel::new(scenario.engine.clone())),
+        Box::new(GoogleBaseModel::new(scenario.engine.clone())),
+    ];
+    let mut rows = Vec::new();
+    for m in &mut models {
+        let mut per_query = Vec::new();
+        for (query, target) in EVAL_QUERIES {
+            let results = m.answer(query, 10);
+            per_query.push(ndcg_at_k(&results, target, 10));
+        }
+        let mean = per_query.iter().sum::<f64>() / per_query.len() as f64;
+        rows.push(vec![
+            m.name().to_string(),
+            format!("{mean:.3}"),
+            per_query
+                .iter()
+                .map(|s| format!("{s:.2}"))
+                .collect::<Vec<_>>()
+                .join(" "),
+        ]);
+    }
+    print_table(
+        "E5 — GamerQueen scenario quality, NDCG@10 vs constructed ideal",
+        &["system", "mean", "per-query"],
+        &rows,
+    );
+}
+
+/// E6: ad auction + billing throughput.
+fn e6_auction() {
+    use symphony_ads::{Ad, AdServer, Keyword, MatchType};
+    let mut rows = Vec::new();
+    for n in [10usize, 100, 1000] {
+        let mut ads = AdServer::new();
+        let adv = ads.add_advertiser("A");
+        for i in 0..n {
+            let word = Topic::Games.words()[i % Topic::Games.words().len()];
+            ads.add_campaign(
+                adv,
+                &format!("c{i}"),
+                1_000_000,
+                vec![Keyword::new(word, MatchType::Broad, 10 + (i as u32 % 90))],
+                Ad {
+                    title: format!("ad {i}"),
+                    display_url: "d".into(),
+                    target_url: format!("http://a{i}.example.com"),
+                    text: "x".into(),
+                },
+                0.3 + (i as f64 % 7.0) / 10.0,
+            );
+        }
+        let start = Instant::now();
+        let rounds = 2_000;
+        let mut placements = 0usize;
+        for i in 0..rounds {
+            let q = format!(
+                "{} game",
+                Topic::Games.words()[i % Topic::Games.words().len()]
+            );
+            placements += ads.select(&q, 3).len();
+        }
+        let select_elapsed = start.elapsed();
+        // Billing throughput.
+        let ps = ads.select("game review", 3);
+        let start = Instant::now();
+        let mut billed = 0usize;
+        if let Some(p) = ps.first() {
+            for _ in 0..10_000 {
+                if ads.record_click(p, "pub").is_ok() {
+                    billed += 1;
+                }
+            }
+        }
+        let bill_elapsed = start.elapsed();
+        rows.push(vec![
+            n.to_string(),
+            format!("{:.0}", rounds as f64 / select_elapsed.as_secs_f64()),
+            format!("{:.1}", placements as f64 / rounds as f64),
+            format!("{:.0}", billed as f64 / bill_elapsed.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(
+        "E6 — ad auction and billing throughput",
+        &["campaigns", "auctions/s", "mean placements", "billed clicks/s"],
+        &rows,
+    );
+}
+
+/// E7: Site Suggest precision vs click-log size.
+fn e7_site_suggest() {
+    let engine = SearchEngine::new(corpus(Scale::Medium));
+    let mut rows = Vec::new();
+    for sessions in [50usize, 200, 800] {
+        let logs = generate_logs(
+            &engine,
+            &LogConfig {
+                sessions,
+                topics: vec![Topic::Games, Topic::Wine, Topic::Movies],
+                ..LogConfig::default()
+            },
+        );
+        let suggest = SiteSuggest::from_logs(&logs);
+        let suggestions = suggest.suggest(&["gamespot.com"], 3);
+        // Relevant = the other authoritative game-review sites.
+        let relevant = ["ign.com", "teamxbox.com"];
+        let hits = suggestions
+            .iter()
+            .filter(|s| relevant.contains(&s.domain.as_str()))
+            .count();
+        rows.push(vec![
+            sessions.to_string(),
+            logs.len().to_string(),
+            suggest.known_sites().to_string(),
+            suggestions
+                .iter()
+                .map(|s| s.domain.clone())
+                .collect::<Vec<_>>()
+                .join(", "),
+            format!("{:.2}", hits as f64 / relevant.len() as f64),
+        ]);
+    }
+    print_table(
+        "E7 — Site Suggest: recall of related review sites vs log size (seed: gamespot.com)",
+        &["sessions", "clicks", "sites seen", "top-3 suggestions", "recall@3"],
+        &rows,
+    );
+}
+
+/// E9: click-feedback relevance signals (paper §IV conclusion):
+/// community click logs feed boosts back into the general engine;
+/// measure how far the most-clicked review pages rise.
+fn e9_click_feedback() {
+    let mut engine = SearchEngine::new(corpus(Scale::Medium));
+    let logs = generate_logs(
+        &engine,
+        &LogConfig {
+            sessions: 400,
+            topics: vec![Topic::Games],
+            ..LogConfig::default()
+        },
+    );
+    // The most-clicked URLs per query, ground truth from the logs.
+    let mut rows = Vec::new();
+    let mut improved = 0usize;
+    let mut total = 0usize;
+    let queries: Vec<String> = {
+        let mut qs: Vec<String> = logs.iter().map(|l| l.query.clone()).collect();
+        qs.sort();
+        qs.dedup();
+        qs.truncate(8);
+        qs
+    };
+    let top_clicked = |q: &str| -> Option<String> {
+        let mut counts = std::collections::HashMap::new();
+        for l in logs.iter().filter(|l| l.query == q) {
+            *counts.entry(l.url.clone()).or_insert(0usize) += 1;
+        }
+        counts.into_iter().max_by_key(|(_, c)| *c).map(|(u, _)| u)
+    };
+    let rank_of = |engine: &SearchEngine, q: &str, url: &str| -> Option<usize> {
+        engine
+            .search(symphony_web::Vertical::Web, q, &symphony_web::SearchConfig::default(), 10)
+            .iter()
+            .position(|r| r.url == url)
+    };
+    let before: Vec<(String, Option<usize>, String)> = queries
+        .iter()
+        .filter_map(|q| {
+            let url = top_clicked(q)?;
+            Some((q.clone(), rank_of(&engine, q, &url), url))
+        })
+        .collect();
+    engine.apply_click_feedback(&logs, 1.0);
+    for (q, before_rank, url) in before {
+        let after_rank = rank_of(&engine, &q, &url);
+        if let (Some(b), Some(a)) = (before_rank, after_rank) {
+            total += 1;
+            if a <= b {
+                improved += 1;
+            }
+            rows.push(vec![
+                q.clone(),
+                format!("#{}", b + 1),
+                format!("#{}", a + 1),
+            ]);
+        }
+    }
+    rows.push(vec![
+        "— not demoted —".into(),
+        String::new(),
+        format!("{improved}/{total}"),
+    ]);
+    print_table(
+        "E9 — click-feedback loop: rank of each query's most-clicked URL",
+        &["query", "before", "after"],
+        &rows,
+    );
+}
+
+/// E10: supplemental-site recommendation quality (paper §IV:
+/// "recommending suitable supplemental content ... for a designer's
+/// primary content").
+fn e10_recommendation() {
+    use symphony_core::recommend_sites;
+    use symphony_store::IndexedTable;
+    let engine = SearchEngine::new(corpus(Scale::Medium));
+    let (table, _) = symphony_store::ingest::ingest(
+        "inventory",
+        symphony_bench::INVENTORY_CSV,
+        symphony_store::DataFormat::Csv,
+    )
+    .expect("parses");
+    let inventory = IndexedTable::new(table);
+    let recs = recommend_sites(&engine, &inventory, "title", 8, 2);
+    let mut rows: Vec<Vec<String>> = recs
+        .iter()
+        .take(6)
+        .map(|r| {
+            vec![
+                r.domain.clone(),
+                format!("{:.2}", r.score),
+                r.supporting_entities.to_string(),
+                if symphony_bench::REVIEW_SITES.contains(&r.domain.as_str()) {
+                    "yes (paper §II-B)".into()
+                } else {
+                    "".into()
+                },
+            ]
+        })
+        .collect();
+    let hand_picked_in_top3 = recs
+        .iter()
+        .take(3)
+        .filter(|r| symphony_bench::REVIEW_SITES.contains(&r.domain.as_str()))
+        .count();
+    rows.push(vec![
+        "— precision@3 vs Ann's picks —".into(),
+        String::new(),
+        String::new(),
+        format!("{:.2}", hand_picked_in_top3 as f64 / 3.0),
+    ]);
+    print_table(
+        "E10 — supplemental-site recommendation for the GamerQueen inventory",
+        &["recommended domain", "score", "entity support", "hand-picked?"],
+        &rows,
+    );
+}
+
+/// E8: hosted QPS vs number of tenants.
+fn e8_tenancy() {
+    let mut rows = Vec::new();
+    for tenants in [1usize, 8, 32] {
+        // One platform hosting `tenants` copies of the quickstart app
+        // over one shared engine.
+        use std::sync::Arc;
+        use symphony_core::app::AppBuilder;
+        use symphony_core::hosting::Platform;
+        use symphony_core::source::DataSourceDef;
+        use symphony_designer::{Canvas, Element};
+        let engine = Arc::new(SearchEngine::new(corpus(Scale::Small)));
+        let mut platform = Platform::new(engine).with_quotas(QuotaConfig {
+            requests_per_minute: 1_000_000,
+            cache_ttl_ms: 0, // measure execution, not cache
+            ..QuotaConfig::default()
+        });
+        let mut apps = Vec::new();
+        for t in 0..tenants {
+            let name = format!("T{t}");
+            let (tenant, key) = platform.create_tenant(&name);
+            let (table, _) = symphony_store::ingest::ingest(
+                "inv",
+                symphony_bench::INVENTORY_CSV,
+                symphony_store::DataFormat::Csv,
+            )
+            .expect("parses");
+            let mut indexed = symphony_store::IndexedTable::new(table);
+            indexed
+                .enable_fulltext(&[("title", 2.0), ("description", 1.0)])
+                .expect("columns");
+            platform.upload_table(tenant, &key, indexed).expect("quota");
+            let mut canvas = Canvas::new();
+            let root = canvas.root_id();
+            canvas
+                .insert(root, Element::result_list("inv", Element::text("{title}"), 10))
+                .expect("root");
+            let config = AppBuilder::new(&name, tenant)
+                .layout(canvas)
+                .source("inv", DataSourceDef::Proprietary { table: "inv".into() })
+                .build()
+                .expect("valid");
+            let id = platform.register_app(config).expect("registers");
+            platform.publish(id).expect("publishes");
+            apps.push(id);
+        }
+        let queries = zipf_queries(400, 1.0, 5);
+        let start = Instant::now();
+        for (i, q) in queries.iter().enumerate() {
+            let app = apps[i % apps.len()];
+            platform.query(app, q).expect("ok");
+        }
+        let elapsed = start.elapsed();
+        rows.push(vec![
+            tenants.to_string(),
+            format!("{:.0}", queries.len() as f64 / elapsed.as_secs_f64()),
+            format!("{:.0}", elapsed.as_secs_f64() * 1e6 / queries.len() as f64),
+        ]);
+    }
+    print_table(
+        "E8 — hosted execution: QPS vs tenant count (no cache, 400 queries)",
+        &["tenants", "QPS (wall)", "mean µs/query"],
+        &rows,
+    );
+}

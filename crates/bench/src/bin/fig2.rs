@@ -1,0 +1,70 @@
+//! Regenerate the paper's **Fig. 2**: "Query Execution in Symphony".
+//!
+//! The figure's flow: the customer's query enters through the
+//! embedded JavaScript on GamerQueen's page, the Symphony runtime
+//! queries the primary content (Ann's inventory), fans out the
+//! supplemental sources (focused web search for reviews, the pricing
+//! service) using fields from each primary result, merges and formats
+//! HTML, and returns it to the page. This binary executes that flow
+//! with tracing on and prints each arrow of the figure with its
+//! virtual timing. Run with:
+//!
+//! ```text
+//! cargo run -p symphony-bench --bin fig2
+//! ```
+
+use symphony_bench::{gamer_queen_world, Scale, WorldOptions};
+use symphony_core::runtime::ExecMode;
+
+fn main() {
+    println!("FIG. 2 — QUERY EXECUTION IN SYMPHONY (live trace)\n");
+
+    let (mut platform, app) = gamer_queen_world(WorldOptions {
+        scale: Scale::Medium,
+        mode: ExecMode::Parallel,
+        supplemental_sources: 2,
+        primary_k: 10,
+    });
+
+    println!("[1] The GamerQueen page embeds the auto-generated snippet:");
+    let embed = platform.embed_code(app).expect("app exists");
+    for line in embed.lines().take(6) {
+        println!("      {line}");
+    }
+    println!("      …\n");
+
+    println!("[2] Customer submits the query \"space shooter\"; the snippet");
+    println!("    forwards it to Symphony for processing.\n");
+
+    let resp = platform.query(app, "space shooter").expect("published");
+
+    println!("[3] Runtime trace (primary -> supplemental fan-out -> merge):\n");
+    println!("{}", resp.trace.render());
+
+    println!("[4] The resulting HTML is sent back to the embedded JavaScript,");
+    println!("    which injects it into the GamerQueen page:");
+    println!("      {} bytes of HTML, {} result impressions", resp.html.len(), resp.impressions.len());
+    let preview: String = resp.html.chars().take(400).collect();
+    println!("      preview: {preview}…\n");
+
+    println!("[5] Same query again — served from the result cache:");
+    let cached = platform.query(app, "space shooter").expect("published");
+    println!("{}", cached.trace.render());
+
+    println!("[6] Ablation — the same request with sequential fan-out");
+    println!("    (what a client-side mashup without Symphony's hosted");
+    println!("    parallelism would pay):\n");
+    let (mut seq_platform, seq_app) = gamer_queen_world(WorldOptions {
+        scale: Scale::Medium,
+        mode: ExecMode::Sequential,
+        supplemental_sources: 2,
+        primary_k: 10,
+    });
+    let seq = seq_platform.query(seq_app, "space shooter").expect("published");
+    println!(
+    "    parallel total: {:>5} virtual ms\n    sequential total: {:>3} virtual ms\n    speedup: {:.1}x",
+        resp.virtual_ms,
+        seq.virtual_ms,
+        seq.virtual_ms as f64 / resp.virtual_ms.max(1) as f64
+    );
+}

@@ -1,0 +1,309 @@
+//! Shared world builders for the Symphony benchmark harness.
+//!
+//! Every bench target and report binary builds its fixtures through
+//! these helpers so that Table I, the figures, and experiments E1–E8
+//! all run on the same substrate configurations (documented in
+//! DESIGN.md's per-experiment index).
+
+#![warn(missing_docs)]
+
+use symphony_core::app::AppBuilder;
+use symphony_core::hosting::Platform;
+use symphony_core::runtime::ExecMode;
+use symphony_core::source::DataSourceDef;
+use symphony_core::AppId;
+use symphony_designer::{Canvas, Element};
+use symphony_services::{CallPolicy, InventoryService, LatencyModel, PricingService};
+use symphony_store::ingest::{ingest, DataFormat};
+use symphony_store::IndexedTable;
+use symphony_web::{Corpus, CorpusConfig, SearchConfig, SearchEngine, Topic, Vertical};
+
+pub use symphony_baselines::{INVENTORY_CSV, REVIEW_SITES};
+
+/// Corpus scale presets used across experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// ~300 pages (unit-test sized).
+    Small,
+    /// ~900 pages (default experiments).
+    Medium,
+    /// ~3500 pages (index/query scaling points).
+    Large,
+}
+
+impl Scale {
+    /// `(sites_per_topic, pages_per_site)` for the preset.
+    pub fn dims(self) -> (usize, usize) {
+        match self {
+            Scale::Small => (2, 4),
+            Scale::Medium => (5, 10),
+            Scale::Large => (12, 20),
+        }
+    }
+
+    /// Label for report tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            Scale::Small => "small",
+            Scale::Medium => "medium",
+            Scale::Large => "large",
+        }
+    }
+}
+
+/// Build the shared corpus with the GamerQueen entities woven in.
+pub fn corpus(scale: Scale) -> Corpus {
+    let (sites, pages) = scale.dims();
+    Corpus::generate(
+        &CorpusConfig {
+            sites_per_topic: sites,
+            pages_per_site: pages,
+            ..CorpusConfig::default()
+        }
+        .with_entities(Topic::Games, symphony_baselines::ENTITIES),
+    )
+}
+
+/// Options for [`gamer_queen_world`].
+#[derive(Debug, Clone, Copy)]
+pub struct WorldOptions {
+    /// Corpus scale.
+    pub scale: Scale,
+    /// Fan-out mode.
+    pub mode: ExecMode,
+    /// Number of supplemental sources attached per result
+    /// (1 = reviews; 2 = +pricing; 3 = +stock; 4 = +images).
+    pub supplemental_sources: usize,
+    /// Primary result-list size.
+    pub primary_k: usize,
+}
+
+impl Default for WorldOptions {
+    fn default() -> Self {
+        WorldOptions {
+            scale: Scale::Medium,
+            mode: ExecMode::Parallel,
+            supplemental_sources: 2,
+            primary_k: 10,
+        }
+    }
+}
+
+/// Build the full GamerQueen platform: inventory uploaded, services
+/// registered, app designed/published. Returns the platform and app.
+pub fn gamer_queen_world(options: WorldOptions) -> (Platform, AppId) {
+    // Benchmarks push millions of requests through one app; the
+    // request quota under test lives in the hosting unit tests, not
+    // here.
+    let mut platform = Platform::new(SearchEngine::new(corpus(options.scale)))
+        .with_mode(options.mode)
+        .with_quotas(symphony_core::QuotaConfig {
+            requests_per_minute: u32::MAX,
+            ..symphony_core::QuotaConfig::default()
+        });
+    let (tenant, key) = platform.create_tenant("GamerQueen");
+    let (table, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("csv parses");
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+        .expect("columns exist");
+    platform.upload_table(tenant, &key, indexed).expect("quota");
+    platform
+        .transport_mut()
+        .register("pricing", Box::new(PricingService), LatencyModel::fast());
+    platform.transport_mut().register(
+        "stock",
+        Box::new(InventoryService),
+        LatencyModel::default(),
+    );
+
+    let mut item_children = vec![
+        Element::link_field("detail_url", "{title}"),
+        Element::text("{description}"),
+    ];
+    let mut sources: Vec<(&str, DataSourceDef, &str)> = Vec::new();
+    if options.supplemental_sources >= 1 {
+        item_children.push(Element::result_list(
+            "reviews",
+            Element::column(vec![
+                Element::link_field("url", "{title}"),
+                Element::rich_text("{snippet}"),
+            ]),
+            3,
+        ));
+        sources.push((
+            "reviews",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Web,
+                config: SearchConfig::default().restrict_to(REVIEW_SITES),
+            },
+            "{title} review",
+        ));
+    }
+    if options.supplemental_sources >= 2 {
+        item_children.push(Element::result_list(
+            "pricing",
+            Element::text("${price}"),
+            1,
+        ));
+        sources.push((
+            "pricing",
+            DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+            "{title}",
+        ));
+    }
+    if options.supplemental_sources >= 3 {
+        item_children.push(Element::result_list(
+            "stock",
+            Element::text("{quantity} in stock"),
+            1,
+        ));
+        sources.push((
+            "stock",
+            DataSourceDef::Service {
+                endpoint: "stock".into(),
+                operation: "CheckStock".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+            "{title}",
+        ));
+    }
+    if options.supplemental_sources >= 4 {
+        item_children.push(Element::result_list(
+            "shots",
+            Element::image_field("image_src", "{title}"),
+            1,
+        ));
+        sources.push((
+            "shots",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Image,
+                config: SearchConfig::default(),
+            },
+            "{title}",
+        ));
+    }
+
+    let mut canvas = Canvas::new();
+    let root = canvas.root_id();
+    canvas
+        .insert(root, Element::search_box("Search games…"))
+        .expect("root");
+    canvas
+        .insert(
+            root,
+            Element::result_list("inventory", Element::column(item_children), options.primary_k),
+        )
+        .expect("root");
+
+    let mut builder = AppBuilder::new("GamerQueen", tenant)
+        .layout(canvas)
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        );
+    for (name, def, template) in sources {
+        builder = builder.source(name, def).supplemental(name, template);
+    }
+    let config = builder.build().expect("valid app");
+    let id = platform.register_app(config).expect("registers");
+    platform.publish(id).expect("publishes");
+    (platform, id)
+}
+
+/// Zipf-distributed query stream over the scenario's evaluation
+/// queries plus topical filler (for the E2 cache experiment).
+pub fn zipf_queries(n: usize, skew: f64, seed: u64) -> Vec<String> {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let pool: Vec<String> = symphony_baselines::EVAL_QUERIES
+        .iter()
+        .map(|(q, _)| q.to_string())
+        .chain(
+            Topic::Games
+                .words()
+                .iter()
+                .take(30)
+                .map(|w| format!("{w} game")),
+        )
+        .collect();
+    let zipf = symphony_web::zipf::Zipf::new(pool.len(), skew);
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| pool[zipf.sample(&mut rng)].clone()).collect()
+}
+
+/// Simple aligned table printer for experiment output.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<&str>| {
+        let mut s = String::new();
+        for (c, w) in cells.iter().zip(&widths) {
+            s.push_str(&format!("| {:w$} ", c, w = w));
+        }
+        s.push('|');
+        println!("{s}");
+    };
+    line(headers.to_vec());
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    line(sep.iter().map(String::as_str).collect());
+    for row in rows {
+        line(row.iter().map(String::as_str).collect());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_builder_produces_working_platform() {
+        let (mut platform, id) = gamer_queen_world(WorldOptions {
+            scale: Scale::Small,
+            ..WorldOptions::default()
+        });
+        let resp = platform.query(id, "space shooter").unwrap();
+        assert!(resp.html.contains("Galactic Raiders"));
+    }
+
+    #[test]
+    fn supplemental_source_count_controls_layout() {
+        for n in 0..=4 {
+            let (platform, id) = gamer_queen_world(WorldOptions {
+                scale: Scale::Small,
+                supplemental_sources: n,
+                ..WorldOptions::default()
+            });
+            let app = platform.app(id).unwrap();
+            assert_eq!(app.supplemental_sources().len(), n);
+        }
+    }
+
+    #[test]
+    fn zipf_queries_are_skewed_and_deterministic() {
+        let a = zipf_queries(200, 1.2, 9);
+        let b = zipf_queries(200, 1.2, 9);
+        assert_eq!(a, b);
+        let mut counts = std::collections::HashMap::new();
+        for q in &a {
+            *counts.entry(q.clone()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap_or(0);
+        assert!(max > 20, "head query should dominate, max={max}");
+    }
+}

@@ -1,0 +1,208 @@
+//! LRU + TTL result cache.
+//!
+//! Hosted execution means Symphony pays for every query; community
+//! verticals have head-heavy query distributions, so a small
+//! per-application cache absorbs most of the load (experiment E2).
+//! Time is the platform's *virtual* clock — nothing here reads wall
+//! time.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Cache statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed (absent or expired).
+    pub misses: u64,
+    /// Entries evicted for capacity.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]` (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry<V> {
+    value: V,
+    inserted_at: u64,
+    last_used: u64,
+}
+
+/// An LRU cache with TTL on a caller-supplied clock.
+#[derive(Debug)]
+pub struct LruTtlCache<K: Eq + Hash + Clone, V> {
+    map: HashMap<K, Entry<V>>,
+    capacity: usize,
+    ttl: u64,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V> LruTtlCache<K, V> {
+    /// Cache holding up to `capacity` entries, each valid for `ttl`
+    /// clock units after insertion.
+    ///
+    /// # Panics
+    /// Panics when `capacity == 0`.
+    pub fn new(capacity: usize, ttl: u64) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        LruTtlCache {
+            map: HashMap::with_capacity(capacity),
+            capacity,
+            ttl,
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Look up `key` at time `now`. Expired entries count as misses
+    /// and are removed.
+    pub fn get(&mut self, key: &K, now: u64) -> Option<&V> {
+        self.tick += 1;
+        let expired = match self.map.get(key) {
+            Some(e) => now.saturating_sub(e.inserted_at) > self.ttl,
+            None => {
+                self.stats.misses += 1;
+                return None;
+            }
+        };
+        if expired {
+            self.map.remove(key);
+            self.stats.misses += 1;
+            return None;
+        }
+        self.stats.hits += 1;
+        let tick = self.tick;
+        let e = self.map.get_mut(key).expect("checked above");
+        e.last_used = tick;
+        Some(&e.value)
+    }
+
+    /// Insert at time `now`, evicting the least-recently-used entry on
+    /// overflow.
+    pub fn put(&mut self, key: K, value: V, now: u64) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(lru) = self
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&lru);
+                self.stats.evictions += 1;
+            }
+        }
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                inserted_at: now,
+                last_used: self.tick,
+            },
+        );
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Statistics so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Drop everything (used when an app is republished).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_hit_miss() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(4, 100);
+        assert_eq!(c.get(&"a", 0), None);
+        c.put("a", 1, 0);
+        assert_eq!(c.get(&"a", 10), Some(&1));
+        assert_eq!(c.stats().hits, 1);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn ttl_expires_entries() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(4, 50);
+        c.put("a", 1, 0);
+        assert_eq!(c.get(&"a", 50), Some(&1), "at ttl boundary still valid");
+        assert_eq!(c.get(&"a", 51), None, "past ttl expired");
+        assert_eq!(c.len(), 0, "expired entry removed");
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(2, 1000);
+        c.put("a", 1, 0);
+        c.put("b", 2, 0);
+        c.get(&"a", 1); // a is now more recently used than b
+        c.put("c", 3, 2);
+        assert_eq!(c.get(&"b", 3), None, "b was LRU and evicted");
+        assert_eq!(c.get(&"a", 3), Some(&1));
+        assert_eq!(c.get(&"c", 3), Some(&3));
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn reinserting_same_key_does_not_evict() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(2, 1000);
+        c.put("a", 1, 0);
+        c.put("b", 2, 0);
+        c.put("a", 9, 1);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 0);
+        assert_eq!(c.get(&"a", 2), Some(&9));
+    }
+
+    #[test]
+    fn hit_rate() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(2, 1000);
+        c.put("a", 1, 0);
+        c.get(&"a", 1);
+        c.get(&"b", 1);
+        assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(2, 1000);
+        c.put("a", 1, 0);
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: LruTtlCache<u32, u32> = LruTtlCache::new(0, 10);
+    }
+}

@@ -1,0 +1,102 @@
+//! Platform-level error type.
+
+use symphony_designer::DesignError;
+use symphony_services::ServiceError;
+use symphony_store::StoreError;
+
+/// Errors surfaced by the Symphony platform.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlatformError {
+    /// Application id not registered.
+    AppNotFound(u32),
+    /// Application exists but is not published.
+    NotPublished(String),
+    /// Per-application request quota exceeded.
+    QuotaExceeded {
+        /// Application name.
+        app: String,
+        /// The configured limit (requests per virtual minute).
+        limit: u32,
+    },
+    /// Tenant storage quota exceeded.
+    StorageQuotaExceeded {
+        /// Records over the limit.
+        limit: usize,
+    },
+    /// A layout references a data source the app does not define.
+    UnknownSource(String),
+    /// A nested (supplemental) source has no query binding.
+    MissingBinding(String),
+    /// Application validation failed for another reason.
+    InvalidConfig(String),
+    /// Store error.
+    Store(StoreError),
+    /// Service error.
+    Service(ServiceError),
+    /// Designer error.
+    Design(DesignError),
+}
+
+impl std::fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlatformError::AppNotFound(id) => write!(f, "application {id} not found"),
+            PlatformError::NotPublished(name) => write!(f, "application {name:?} is not published"),
+            PlatformError::QuotaExceeded { app, limit } => {
+                write!(f, "application {app:?} exceeded {limit} requests/min")
+            }
+            PlatformError::StorageQuotaExceeded { limit } => {
+                write!(f, "tenant storage quota of {limit} records exceeded")
+            }
+            PlatformError::UnknownSource(s) => write!(f, "layout references unknown source {s:?}"),
+            PlatformError::MissingBinding(s) => {
+                write!(f, "supplemental source {s:?} has no query binding")
+            }
+            PlatformError::InvalidConfig(m) => write!(f, "invalid application config: {m}"),
+            PlatformError::Store(e) => write!(f, "store: {e}"),
+            PlatformError::Service(e) => write!(f, "service: {e}"),
+            PlatformError::Design(e) => write!(f, "designer: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+impl From<StoreError> for PlatformError {
+    fn from(e: StoreError) -> Self {
+        PlatformError::Store(e)
+    }
+}
+
+impl From<ServiceError> for PlatformError {
+    fn from(e: ServiceError) -> Self {
+        PlatformError::Service(e)
+    }
+}
+
+impl From<DesignError> for PlatformError {
+    fn from(e: DesignError) -> Self {
+        PlatformError::Design(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        let e: PlatformError = StoreError::AccessDenied.into();
+        assert_eq!(e.to_string(), "store: access denied");
+        let e: PlatformError = ServiceError::UnknownEndpoint("x".into()).into();
+        assert!(e.to_string().contains("unknown endpoint"));
+        let e: PlatformError = DesignError::NothingToUndo.into();
+        assert!(e.to_string().contains("undo"));
+        assert!(PlatformError::QuotaExceeded {
+            app: "a".into(),
+            limit: 60
+        }
+        .to_string()
+        .contains("60"));
+    }
+}

@@ -1,0 +1,740 @@
+//! The hosted platform.
+//!
+//! Paper §II-A, "Hosting": *"Regardless of how an application is
+//! distributed, its execution and the resources involved are always
+//! shouldered by Symphony."* [`Platform`] owns every substrate, hosts
+//! registered applications behind a publish lifecycle, enforces
+//! request and storage quotas, caches results, and feeds the
+//! monetization log.
+
+use crate::app::{AppId, ApplicationConfig};
+use crate::cache::{CacheStats, LruTtlCache};
+use crate::embed::{embed_snippet, SocialManifest};
+use crate::error::PlatformError;
+use crate::monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
+use crate::runtime::{execute_with_overrides, ExecMode, QueryResponse};
+use crate::source::Substrates;
+
+use std::collections::VecDeque;
+use symphony_ads::{AdServer, CampaignId, Placement};
+use symphony_store::{AccessKey, IndexedTable, Store, TenantId};
+use std::sync::Arc;
+use symphony_web::SearchEngine;
+
+/// Virtual cost of serving a response from the cache.
+pub const CACHE_HIT_MS: u32 = 2;
+
+/// Platform-wide quota configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct QuotaConfig {
+    /// Requests allowed per application per virtual minute.
+    pub requests_per_minute: u32,
+    /// Maximum live records per tenant space.
+    pub max_records_per_tenant: usize,
+    /// Result-cache entries per application.
+    pub cache_capacity: usize,
+    /// Result-cache TTL in virtual ms.
+    pub cache_ttl_ms: u64,
+}
+
+impl Default for QuotaConfig {
+    fn default() -> Self {
+        QuotaConfig {
+            requests_per_minute: 600,
+            max_records_per_tenant: 100_000,
+            cache_capacity: 256,
+            cache_ttl_ms: 60_000,
+        }
+    }
+}
+
+struct HostedApp {
+    config: ApplicationConfig,
+    published: bool,
+    cache: LruTtlCache<String, QueryResponse>,
+    request_times: VecDeque<u64>,
+}
+
+/// The Symphony platform: substrates + hosted applications.
+pub struct Platform {
+    store: Store,
+    engine: Arc<SearchEngine>,
+    transport: symphony_services::SimulatedTransport,
+    ads: AdServer,
+    apps: Vec<HostedApp>,
+    click_log: ClickLog,
+    clock_ms: u64,
+    quotas: QuotaConfig,
+    mode: ExecMode,
+    host_url: String,
+}
+
+impl std::fmt::Debug for Platform {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Platform")
+            .field("apps", &self.apps.len())
+            .field("clock_ms", &self.clock_ms)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Platform {
+    /// Create a platform over a prepared web engine. Accepts either an
+    /// owned engine or a shared `Arc` (baseline models share one corpus).
+    pub fn new(engine: impl Into<Arc<SearchEngine>>) -> Platform {
+        Platform {
+            store: Store::new(),
+            engine: engine.into(),
+            transport: symphony_services::SimulatedTransport::new(0xD1CE),
+            ads: AdServer::new(),
+            apps: Vec::new(),
+            click_log: ClickLog::new(),
+            clock_ms: 0,
+            quotas: QuotaConfig::default(),
+            mode: ExecMode::Parallel,
+            host_url: "https://symphony.example.com".into(),
+        }
+    }
+
+    /// Override quotas.
+    pub fn with_quotas(mut self, quotas: QuotaConfig) -> Platform {
+        self.quotas = quotas;
+        self
+    }
+
+    /// Override the fan-out mode (E1 ablation).
+    pub fn with_mode(mut self, mode: ExecMode) -> Platform {
+        self.mode = mode;
+        self
+    }
+
+    // ---- Substrate access ----------------------------------------
+
+    /// Mutable transport (register services before building apps).
+    pub fn transport_mut(&mut self) -> &mut symphony_services::SimulatedTransport {
+        &mut self.transport
+    }
+
+    /// Mutable ad server (create campaigns).
+    pub fn ads_mut(&mut self) -> &mut AdServer {
+        &mut self.ads
+    }
+
+    /// The ad server (ledger access).
+    pub fn ads(&self) -> &AdServer {
+        &self.ads
+    }
+
+    /// The web engine.
+    pub fn engine(&self) -> &SearchEngine {
+        &self.engine
+    }
+
+    /// The store (tenant management through the normal keyed API).
+    pub fn store(&self) -> &Store {
+        &self.store
+    }
+
+    /// Mutable store.
+    pub fn store_mut(&mut self) -> &mut Store {
+        &mut self.store
+    }
+
+    // ---- Tenants and data -----------------------------------------
+
+    /// Create a tenant space.
+    pub fn create_tenant(&mut self, name: &str) -> (TenantId, AccessKey) {
+        self.store.create_tenant(name)
+    }
+
+    /// Upload a table into a tenant space, enforcing the storage
+    /// quota.
+    pub fn upload_table(
+        &mut self,
+        tenant: TenantId,
+        key: &AccessKey,
+        table: IndexedTable,
+    ) -> Result<(), PlatformError> {
+        let limit = self.quotas.max_records_per_tenant;
+        let space = self.store.space_mut(tenant, key)?;
+        if space.total_records() + table.table().len() > limit {
+            return Err(PlatformError::StorageQuotaExceeded { limit });
+        }
+        space.put_table(table);
+        Ok(())
+    }
+
+    // ---- Application lifecycle ------------------------------------
+
+    /// Register a validated application (starts unpublished).
+    pub fn register_app(&mut self, config: ApplicationConfig) -> Result<AppId, PlatformError> {
+        config.validate()?;
+        let id = AppId(self.apps.len() as u32);
+        self.apps.push(HostedApp {
+            config,
+            published: false,
+            cache: LruTtlCache::new(self.quotas.cache_capacity, self.quotas.cache_ttl_ms),
+            request_times: VecDeque::new(),
+        });
+        Ok(id)
+    }
+
+    /// Publish an application (it becomes queryable).
+    pub fn publish(&mut self, id: AppId) -> Result<(), PlatformError> {
+        let app = self
+            .apps
+            .get_mut(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        app.published = true;
+        Ok(())
+    }
+
+    /// Unpublish an application (cache cleared).
+    pub fn unpublish(&mut self, id: AppId) -> Result<(), PlatformError> {
+        let app = self
+            .apps
+            .get_mut(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        app.published = false;
+        app.cache.clear();
+        Ok(())
+    }
+
+    /// The configuration of a hosted app.
+    pub fn app(&self, id: AppId) -> Option<&ApplicationConfig> {
+        self.apps.get(id.0 as usize).map(|a| &a.config)
+    }
+
+    /// Copy-paste embed code for an app.
+    pub fn embed_code(&self, id: AppId) -> Result<String, PlatformError> {
+        let app = self
+            .apps
+            .get(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        Ok(embed_snippet(&app.config, id, &self.host_url))
+    }
+
+    /// Social deployment descriptor for an app.
+    pub fn social_manifest(&self, id: AppId) -> Result<SocialManifest, PlatformError> {
+        let app = self
+            .apps
+            .get(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        Ok(SocialManifest::for_app(&app.config, id, &self.host_url))
+    }
+
+    // ---- Query path (Fig. 2) --------------------------------------
+
+    /// Execute a customer query against a published application.
+    pub fn query(&mut self, id: AppId, query: &str) -> Result<QueryResponse, PlatformError> {
+        self.query_at_depth(id, query, 0)
+    }
+
+    /// Maximum app-composition depth (paper §IV: "creating new
+    /// applications by composing other applications"). Depth 0 is the
+    /// queried app; its composed sources run at depth 1. Beyond the
+    /// limit a composed source degrades to a soft error, which also
+    /// breaks composition cycles.
+    ///
+    /// Composed sources are resolved on every parent request, *before*
+    /// the parent's cache lookup — the child usually answers from its
+    /// own result cache, so repeated composition is cheap, and child
+    /// traffic statistics stay accurate.
+    pub const MAX_COMPOSE_DEPTH: u32 = 2;
+
+    fn query_at_depth(
+        &mut self,
+        id: AppId,
+        query: &str,
+        depth: u32,
+    ) -> Result<QueryResponse, PlatformError> {
+        // Resolve composed primary sources by recursively querying the
+        // referenced apps *before* the main borrow-split below.
+        let composed: Vec<(String, AppId)> = {
+            let config = self
+                .apps
+                .get(id.0 as usize)
+                .map(|a| &a.config)
+                .ok_or(PlatformError::AppNotFound(id.0))?;
+            config
+                .sources
+                .iter()
+                .filter_map(|s| match s.def {
+                    crate::source::DataSourceDef::ComposedApp { app } => {
+                        Some((s.name.clone(), app))
+                    }
+                    _ => None,
+                })
+                .collect()
+        };
+        let mut overrides: std::collections::HashMap<String, crate::source::SourceOutcome> =
+            std::collections::HashMap::new();
+        for (name, child) in composed {
+            let outcome = if depth + 1 >= Self::MAX_COMPOSE_DEPTH {
+                crate::source::SourceOutcome {
+                    items: Vec::new(),
+                    virtual_ms: 0,
+                    error: Some(format!(
+                        "composition depth limit ({}) reached",
+                        Self::MAX_COMPOSE_DEPTH
+                    )),
+                }
+            } else {
+                let child_name = self
+                    .app(child)
+                    .map(|c| c.name.clone())
+                    .unwrap_or_else(|| format!("app-{}", child.0));
+                match self.query_at_depth(child, query, depth + 1) {
+                    Ok(resp) => crate::source::SourceOutcome {
+                        items: resp
+                            .impressions
+                            .iter()
+                            .filter(|imp| !imp.is_ad) // never re-syndicate ads
+                            .map(|imp| crate::source::ResultItem {
+                                fields: vec![
+                                    ("title".to_string(), imp.title.clone()),
+                                    (
+                                        "url".to_string(),
+                                        imp.url.clone().unwrap_or_default(),
+                                    ),
+                                    ("source".to_string(), imp.source.clone()),
+                                    ("app".to_string(), child_name.clone()),
+                                ],
+                                score: 0.0,
+                            })
+                            .collect(),
+                        virtual_ms: resp.virtual_ms,
+                        error: None,
+                    },
+                    Err(e) => crate::source::SourceOutcome {
+                        items: Vec::new(),
+                        virtual_ms: 0,
+                        error: Some(e.to_string()),
+                    },
+                }
+            };
+            overrides.insert(name, outcome);
+        }
+        self.query_with_overrides(id, query, overrides)
+    }
+
+    fn query_with_overrides(
+        &mut self,
+        id: AppId,
+        query: &str,
+        overrides: std::collections::HashMap<String, crate::source::SourceOutcome>,
+    ) -> Result<QueryResponse, PlatformError> {
+        // Disjoint field borrows: apps (mut), everything else shared.
+        let apps = &mut self.apps;
+        let store = &self.store;
+        let engine = &self.engine;
+        let transport = &self.transport;
+        let ads = &self.ads;
+        let click_log = &mut self.click_log;
+        let clock = &mut self.clock_ms;
+        let quotas = &self.quotas;
+        let mode = self.mode;
+
+        let hosted = apps
+            .get_mut(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        if !hosted.published {
+            return Err(PlatformError::NotPublished(hosted.config.name.clone()));
+        }
+        // Request quota over the last virtual minute.
+        let window_start = clock.saturating_sub(60_000);
+        while hosted
+            .request_times
+            .front()
+            .is_some_and(|&t| t < window_start)
+        {
+            hosted.request_times.pop_front();
+        }
+        if hosted.request_times.len() >= quotas.requests_per_minute as usize {
+            return Err(PlatformError::QuotaExceeded {
+                app: hosted.config.name.clone(),
+                limit: quotas.requests_per_minute,
+            });
+        }
+        hosted.request_times.push_back(*clock);
+
+        let cache_key = normalize_query(query);
+        let log_interactions = hosted.config.monetization.log_interactions;
+        let app_name = hosted.config.name.clone();
+
+        if let Some(cached) = hosted.cache.get(&cache_key, *clock) {
+            let mut resp = cached.clone();
+            resp.trace.cache_hit = true;
+            resp.virtual_ms = CACHE_HIT_MS;
+            resp.trace.total_ms = CACHE_HIT_MS;
+            *clock += CACHE_HIT_MS as u64;
+            if log_interactions {
+                log_impressions(click_log, &app_name, query, &resp.impressions, *clock);
+            }
+            return Ok(resp);
+        }
+
+        let subs = Substrates {
+            space: store.space_by_id(hosted.config.owner),
+            engine: Some(engine),
+            transport: Some(transport),
+            ads: Some(ads),
+        };
+        let resp = execute_with_overrides(&hosted.config, query, subs, mode, &overrides);
+        *clock += resp.virtual_ms as u64;
+        if log_interactions {
+            log_impressions(click_log, &app_name, query, &resp.impressions, *clock);
+        }
+        hosted.cache.put(cache_key, resp.clone(), *clock);
+        Ok(resp)
+    }
+
+    /// Record a customer click on a rendered impression. Ad clicks are
+    /// billed and the publisher credited automatically.
+    pub fn click(
+        &mut self,
+        id: AppId,
+        query: &str,
+        impression: &Impression,
+    ) -> Result<Option<u32>, PlatformError> {
+        let hosted = self
+            .apps
+            .get(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        let app_name = hosted.config.name.clone();
+        let publisher = hosted.config.monetization.publisher.clone();
+        let log_interactions = hosted.config.monetization.log_interactions;
+        if log_interactions {
+            self.click_log.record(InteractionEvent {
+                app: app_name,
+                at_ms: self.clock_ms,
+                query: query.to_string(),
+                kind: InteractionKind::Click,
+                source: impression.source.clone(),
+                url: impression.url.clone(),
+                is_ad: impression.is_ad,
+            });
+        }
+        if impression.is_ad {
+            if let (Some(campaign), Some(price)) =
+                (impression.ad_campaign, impression.ad_price_cents)
+            {
+                let placement = Placement {
+                    campaign: CampaignId(campaign),
+                    position: impression.position,
+                    price_cents: price,
+                    keyword: String::new(),
+                    title: impression.title.clone(),
+                    display_url: String::new(),
+                    target_url: impression.url.clone().unwrap_or_default(),
+                    text: String::new(),
+                };
+                let entry = self
+                    .ads
+                    .record_click(&placement, &publisher)
+                    .map_err(|e| PlatformError::InvalidConfig(e.to_string()))?;
+                return Ok(Some(entry.publisher_share_cents));
+            }
+        }
+        Ok(None)
+    }
+
+    // ---- Analytics --------------------------------------------------
+
+    /// Traffic summary for an app.
+    pub fn traffic_summary(&self, id: AppId) -> Result<TrafficSummary, PlatformError> {
+        let app = self
+            .apps
+            .get(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        Ok(self.click_log.summarize(&app.config.name))
+    }
+
+    /// Per-virtual-day `(day, impressions, clicks)` series for an app.
+    pub fn daily_series(&self, id: AppId) -> Result<Vec<(u64, u64, u64)>, PlatformError> {
+        let app = self
+            .apps
+            .get(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        Ok(self.click_log.daily_series(&app.config.name))
+    }
+
+    /// Referral-audit CSV for an app.
+    pub fn referral_audit_csv(&self, id: AppId) -> Result<String, PlatformError> {
+        let app = self
+            .apps
+            .get(id.0 as usize)
+            .ok_or(PlatformError::AppNotFound(id.0))?;
+        Ok(self.click_log.referral_audit_csv(&app.config.name))
+    }
+
+    /// Cache statistics for an app.
+    pub fn cache_stats(&self, id: AppId) -> Option<CacheStats> {
+        self.apps.get(id.0 as usize).map(|a| a.cache.stats())
+    }
+
+    /// The platform's virtual clock.
+    pub fn clock_ms(&self) -> u64 {
+        self.clock_ms
+    }
+
+    /// Advance the virtual clock (think time between requests, TTL
+    /// expiry in tests/benches).
+    pub fn advance_clock(&mut self, ms: u64) {
+        self.clock_ms += ms;
+    }
+
+    /// Earnings credited to an app's publisher so far, in cents.
+    pub fn publisher_earnings_cents(&self, id: AppId) -> Option<u64> {
+        let app = self.apps.get(id.0 as usize)?;
+        Some(
+            self.ads
+                .ledger()
+                .publisher_earnings_cents(&app.config.monetization.publisher),
+        )
+    }
+}
+
+fn normalize_query(q: &str) -> String {
+    q.split_whitespace()
+        .map(|w| w.to_lowercase())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+fn log_impressions(
+    log: &mut ClickLog,
+    app: &str,
+    query: &str,
+    impressions: &[Impression],
+    at_ms: u64,
+) {
+    for imp in impressions {
+        log.record(InteractionEvent {
+            app: app.to_string(),
+            at_ms,
+            query: query.to_string(),
+            kind: InteractionKind::Impression,
+            source: imp.source.clone(),
+            url: imp.url.clone(),
+            is_ad: imp.is_ad,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppBuilder;
+    use crate::source::DataSourceDef;
+    use symphony_designer::{Canvas, Element};
+    use symphony_store::ingest::{ingest, DataFormat};
+    use symphony_web::{Corpus, CorpusConfig, SearchConfig, Topic, Vertical};
+
+    fn platform() -> (Platform, TenantId, AccessKey) {
+        let corpus = Corpus::generate(
+            &CorpusConfig {
+                sites_per_topic: 2,
+                pages_per_site: 4,
+                ..CorpusConfig::default()
+            }
+            .with_entities(Topic::Games, ["Galactic Raiders", "Farm Story"]),
+        );
+        let mut platform = Platform::new(SearchEngine::new(corpus));
+        let (tenant, key) = platform.create_tenant("GamerQueen");
+        let (table, _) = ingest(
+            "inventory",
+            "title,genre,description\nGalactic Raiders,shooter,a fast space shooter\nFarm Story,sim,calm farming\n",
+            DataFormat::Csv,
+        )
+        .unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+            .unwrap();
+        platform.upload_table(tenant, &key, indexed).unwrap();
+        (platform, tenant, key)
+    }
+
+    fn register_gamer_queen(platform: &mut Platform, tenant: TenantId) -> AppId {
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        canvas.insert(root, Element::search_box("Search…")).unwrap();
+        let item = Element::column(vec![
+            Element::text("{title}"),
+            Element::result_list("reviews", Element::text("{title}"), 2),
+        ]);
+        canvas
+            .insert(root, Element::result_list("inventory", item, 10))
+            .unwrap();
+        let config = AppBuilder::new("GamerQueen", tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .source(
+                "reviews",
+                DataSourceDef::WebVertical {
+                    vertical: Vertical::Web,
+                    config: SearchConfig::default().restrict_to(["gamespot.com", "ign.com"]),
+                },
+            )
+            .supplemental("reviews", "{title} review")
+            .build()
+            .unwrap();
+        platform.register_app(config).unwrap()
+    }
+
+    #[test]
+    fn publish_lifecycle() {
+        let (mut p, tenant, _key) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        assert!(matches!(
+            p.query(id, "shooter").unwrap_err(),
+            PlatformError::NotPublished(_)
+        ));
+        p.publish(id).unwrap();
+        let resp = p.query(id, "shooter").unwrap();
+        assert!(resp.html.contains("Galactic Raiders"));
+        p.unpublish(id).unwrap();
+        assert!(p.query(id, "shooter").is_err());
+    }
+
+    #[test]
+    fn unknown_app_errors() {
+        let (mut p, _, _) = platform();
+        assert_eq!(
+            p.query(AppId(9), "x").unwrap_err(),
+            PlatformError::AppNotFound(9)
+        );
+        assert!(p.publish(AppId(9)).is_err());
+        assert!(p.embed_code(AppId(9)).is_err());
+    }
+
+    #[test]
+    fn cache_hits_are_fast_and_marked() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        let first = p.query(id, "shooter").unwrap();
+        assert!(!first.trace.cache_hit);
+        let second = p.query(id, "Shooter").unwrap(); // normalized key
+        assert!(second.trace.cache_hit);
+        assert_eq!(second.virtual_ms, CACHE_HIT_MS);
+        assert_eq!(second.html, first.html);
+        let stats = p.cache_stats(id).unwrap();
+        assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cache_expires_after_ttl() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        p.query(id, "shooter").unwrap();
+        p.advance_clock(120_000); // past the 60s TTL
+        let again = p.query(id, "shooter").unwrap();
+        assert!(!again.trace.cache_hit);
+    }
+
+    #[test]
+    fn request_quota_enforced_and_recovers() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            sites_per_topic: 1,
+            pages_per_site: 2,
+            ..CorpusConfig::default()
+        });
+        let mut p = Platform::new(SearchEngine::new(corpus)).with_quotas(QuotaConfig {
+            requests_per_minute: 3,
+            ..QuotaConfig::default()
+        });
+        let (tenant, key) = p.create_tenant("T");
+        let (table, _) = ingest("inv", "title\nA\n", DataFormat::Csv).unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed.enable_fulltext(&[("title", 1.0)]).unwrap();
+        p.upload_table(tenant, &key, indexed).unwrap();
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        canvas
+            .insert(root, Element::result_list("inv", Element::text("{title}"), 5))
+            .unwrap();
+        let id = p
+            .register_app(
+                AppBuilder::new("T", tenant)
+                    .source("inv", DataSourceDef::Proprietary { table: "inv".into() })
+                    .layout(canvas)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+        p.publish(id).unwrap();
+        for _ in 0..3 {
+            p.query(id, "a").unwrap();
+        }
+        assert!(matches!(
+            p.query(id, "a").unwrap_err(),
+            PlatformError::QuotaExceeded { limit: 3, .. }
+        ));
+        // After a virtual minute, capacity returns.
+        p.advance_clock(61_000);
+        assert!(p.query(id, "a").is_ok());
+    }
+
+    #[test]
+    fn storage_quota_enforced() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            sites_per_topic: 1,
+            pages_per_site: 2,
+            ..CorpusConfig::default()
+        });
+        let mut p = Platform::new(SearchEngine::new(corpus)).with_quotas(QuotaConfig {
+            max_records_per_tenant: 1,
+            ..QuotaConfig::default()
+        });
+        let (tenant, key) = p.create_tenant("T");
+        let (table, _) = ingest("inv", "t\nA\nB\n", DataFormat::Csv).unwrap();
+        let err = p
+            .upload_table(tenant, &key, IndexedTable::new(table))
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::StorageQuotaExceeded { limit: 1 }));
+    }
+
+    #[test]
+    fn impressions_logged_and_summarized() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        let resp = p.query(id, "shooter").unwrap();
+        assert!(!resp.impressions.is_empty());
+        let imp = resp.impressions[0].clone();
+        p.click(id, "shooter", &imp).unwrap();
+        let summary = p.traffic_summary(id).unwrap();
+        assert!(summary.impressions >= 1);
+        assert_eq!(summary.clicks, 1);
+        let csv = p.referral_audit_csv(id).unwrap();
+        assert!(csv.lines().count() >= 2);
+    }
+
+    #[test]
+    fn embed_and_manifest_accessible() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        let code = p.embed_code(id).unwrap();
+        assert!(code.contains("symphony-app-0"));
+        let manifest = p.social_manifest(id).unwrap();
+        assert_eq!(manifest.get("app_name"), Some("GamerQueen"));
+    }
+
+    #[test]
+    fn clock_advances_with_work() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        let before = p.clock_ms();
+        let resp = p.query(id, "shooter").unwrap();
+        assert_eq!(p.clock_ms(), before + resp.virtual_ms as u64);
+    }
+}

@@ -1,0 +1,267 @@
+//! Monetization: interaction logging, summaries, referral audits.
+//!
+//! Paper §II-A, "Monetization": the platform records customer
+//! interactions, credits ad-click revenue automatically, and lets the
+//! designer download click-traffic summaries "to serve as the basis
+//! for charging or auditing referral compensation".
+
+use std::collections::BTreeMap;
+
+/// An impression: one result shown to a customer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Impression {
+    /// Data source that produced the result.
+    pub source: String,
+    /// Result link target, when the layout rendered one.
+    pub url: Option<String>,
+    /// Result title (first text-ish binding).
+    pub title: String,
+    /// Position within its result list.
+    pub position: usize,
+    /// Whether this was an ad placement.
+    pub is_ad: bool,
+    /// Ad campaign id (ads only).
+    pub ad_campaign: Option<u32>,
+    /// GSP price in cents (ads only).
+    pub ad_price_cents: Option<u32>,
+}
+
+/// One logged interaction event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InteractionEvent {
+    /// Application name.
+    pub app: String,
+    /// Virtual timestamp (platform clock, ms).
+    pub at_ms: u64,
+    /// The customer query that produced the result.
+    pub query: String,
+    /// Impression or click.
+    pub kind: InteractionKind,
+    /// Source name.
+    pub source: String,
+    /// Link target, when known.
+    pub url: Option<String>,
+    /// Whether the result was an ad.
+    pub is_ad: bool,
+}
+
+/// Event kinds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InteractionKind {
+    /// Result rendered.
+    Impression,
+    /// Link clicked.
+    Click,
+}
+
+/// Append-only interaction log with aggregation views.
+#[derive(Debug, Default)]
+pub struct ClickLog {
+    events: Vec<InteractionEvent>,
+}
+
+/// A per-application traffic summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficSummary {
+    /// Application name.
+    pub app: String,
+    /// Total impressions.
+    pub impressions: u64,
+    /// Total clicks.
+    pub clicks: u64,
+    /// Clicks per source.
+    pub clicks_by_source: BTreeMap<String, u64>,
+    /// Most-clicked queries with counts, descending.
+    pub top_queries: Vec<(String, u64)>,
+    /// Ad clicks (subset of clicks).
+    pub ad_clicks: u64,
+}
+
+impl TrafficSummary {
+    /// Overall click-through rate.
+    pub fn ctr(&self) -> f64 {
+        if self.impressions == 0 {
+            0.0
+        } else {
+            self.clicks as f64 / self.impressions as f64
+        }
+    }
+}
+
+impl ClickLog {
+    /// Empty log.
+    pub fn new() -> ClickLog {
+        ClickLog::default()
+    }
+
+    /// Append an event.
+    pub fn record(&mut self, event: InteractionEvent) {
+        self.events.push(event);
+    }
+
+    /// All events.
+    pub fn events(&self) -> &[InteractionEvent] {
+        &self.events
+    }
+
+    /// Summarize one application's traffic.
+    pub fn summarize(&self, app: &str) -> TrafficSummary {
+        let mut impressions = 0u64;
+        let mut clicks = 0u64;
+        let mut ad_clicks = 0u64;
+        let mut clicks_by_source: BTreeMap<String, u64> = BTreeMap::new();
+        let mut query_clicks: BTreeMap<String, u64> = BTreeMap::new();
+        for e in self.events.iter().filter(|e| e.app == app) {
+            match e.kind {
+                InteractionKind::Impression => impressions += 1,
+                InteractionKind::Click => {
+                    clicks += 1;
+                    if e.is_ad {
+                        ad_clicks += 1;
+                    }
+                    *clicks_by_source.entry(e.source.clone()).or_insert(0) += 1;
+                    *query_clicks.entry(e.query.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut top_queries: Vec<(String, u64)> = query_clicks.into_iter().collect();
+        top_queries.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        top_queries.truncate(10);
+        TrafficSummary {
+            app: app.to_string(),
+            impressions,
+            clicks,
+            clicks_by_source,
+            top_queries,
+            ad_clicks,
+        }
+    }
+
+    /// Per-virtual-day traffic series for an application:
+    /// `(day index, impressions, clicks)` in day order. The platform
+    /// clock starts at 0, so day indexes are relative to platform
+    /// start.
+    pub fn daily_series(&self, app: &str) -> Vec<(u64, u64, u64)> {
+        let mut days: BTreeMap<u64, (u64, u64)> = BTreeMap::new();
+        for e in self.events.iter().filter(|e| e.app == app) {
+            let day = e.at_ms / 86_400_000;
+            let entry = days.entry(day).or_insert((0, 0));
+            match e.kind {
+                InteractionKind::Impression => entry.0 += 1,
+                InteractionKind::Click => entry.1 += 1,
+            }
+        }
+        days.into_iter().map(|(d, (i, c))| (d, i, c)).collect()
+    }
+
+    /// Export an application's click events as CSV for referral
+    /// auditing (the paper's "summary ... can be downloaded").
+    pub fn referral_audit_csv(&self, app: &str) -> String {
+        let names: Vec<String> = ["at_ms", "query", "source", "url", "is_ad"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let rows: Vec<Vec<String>> = self
+            .events
+            .iter()
+            .filter(|e| e.app == app && e.kind == InteractionKind::Click)
+            .map(|e| {
+                vec![
+                    e.at_ms.to_string(),
+                    e.query.clone(),
+                    e.source.clone(),
+                    e.url.clone().unwrap_or_default(),
+                    e.is_ad.to_string(),
+                ]
+            })
+            .collect();
+        symphony_store::formats::csv::to_csv(&names, &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(app: &str, kind: InteractionKind, source: &str, query: &str, is_ad: bool) -> InteractionEvent {
+        InteractionEvent {
+            app: app.into(),
+            at_ms: 1000,
+            query: query.into(),
+            kind,
+            source: source.into(),
+            url: Some(format!("http://x/{query}")),
+            is_ad,
+        }
+    }
+
+    fn log() -> ClickLog {
+        let mut l = ClickLog::new();
+        for _ in 0..10 {
+            l.record(event("GamerQueen", InteractionKind::Impression, "inventory", "space", false));
+        }
+        l.record(event("GamerQueen", InteractionKind::Click, "inventory", "space", false));
+        l.record(event("GamerQueen", InteractionKind::Click, "reviews", "space", false));
+        l.record(event("GamerQueen", InteractionKind::Click, "ads", "space", true));
+        l.record(event("GamerQueen", InteractionKind::Click, "inventory", "farm", false));
+        l.record(event("Other", InteractionKind::Click, "inventory", "space", false));
+        l
+    }
+
+    #[test]
+    fn summary_counts_per_app() {
+        let s = log().summarize("GamerQueen");
+        assert_eq!(s.impressions, 10);
+        assert_eq!(s.clicks, 4);
+        assert_eq!(s.ad_clicks, 1);
+        assert_eq!(s.clicks_by_source["inventory"], 2);
+        assert_eq!(s.clicks_by_source["ads"], 1);
+        assert!((s.ctr() - 0.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn top_queries_ordered() {
+        let s = log().summarize("GamerQueen");
+        assert_eq!(s.top_queries[0].0, "space");
+        assert_eq!(s.top_queries[0].1, 3);
+    }
+
+    #[test]
+    fn other_apps_isolated() {
+        let s = log().summarize("Other");
+        assert_eq!(s.clicks, 1);
+        assert_eq!(s.impressions, 0);
+    }
+
+    #[test]
+    fn empty_summary() {
+        let s = ClickLog::new().summarize("X");
+        assert_eq!(s.ctr(), 0.0);
+        assert!(s.top_queries.is_empty());
+    }
+
+    #[test]
+    fn daily_series_buckets_by_virtual_day() {
+        let mut l = ClickLog::new();
+        let mut e = event("A", InteractionKind::Impression, "s", "q", false);
+        e.at_ms = 10; // day 0
+        l.record(e.clone());
+        e.kind = InteractionKind::Click;
+        l.record(e.clone());
+        e.at_ms = 86_400_000 + 5; // day 1
+        l.record(e);
+        let series = l.daily_series("A");
+        assert_eq!(series, vec![(0, 1, 1), (1, 0, 1)]);
+        assert!(l.daily_series("B").is_empty());
+    }
+
+    #[test]
+    fn audit_csv_contains_clicks_only() {
+        let csv = log().referral_audit_csv("GamerQueen");
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "at_ms,query,source,url,is_ad");
+        assert_eq!(lines.len(), 1 + 4);
+        assert!(lines[1].contains("space"));
+        assert!(csv.contains("true"), "ad click flagged");
+    }
+}

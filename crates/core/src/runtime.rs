@@ -1,0 +1,543 @@
+//! Query execution (paper §II-C and Fig. 2).
+//!
+//! The flow the paper describes, end to end:
+//!
+//! 1. the embedded JavaScript forwards the customer's query;
+//! 2. primary content sources are queried with it;
+//! 3. supplemental sources are queried with templates over fields of
+//!    each primary result — those fetches **fan out in parallel**
+//!    (crossbeam scoped threads), one of the platform's core "heavy
+//!    lifting" claims (ablated in experiment E1);
+//! 4. everything merges into the designed layout and renders to HTML;
+//! 5. the HTML goes back to the page.
+//!
+//! Latency is *virtual*: each source reports virtual milliseconds, and
+//! the runtime combines them as `max` under parallel execution or
+//! `sum` under the sequential ablation.
+
+use crate::app::ApplicationConfig;
+use crate::monetize::Impression;
+use crate::source::{run_source, SourceOutcome, Substrates};
+use crate::trace::{ExecutionTrace, TraceNode};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+use symphony_designer::{render_element, Element, ElementKind};
+
+/// Fan-out execution mode (E1 ablation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Supplemental fetches run concurrently; virtual time is the max.
+    Parallel,
+    /// Fetches run one after another; virtual time is the sum.
+    Sequential,
+}
+
+/// Fixed virtual cost of receiving/dispatching the snippet request.
+pub const RECEIVE_MS: u32 = 1;
+/// Fixed virtual cost of merging and formatting the response.
+pub const MERGE_MS: u32 = 2;
+
+/// The rendered response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryResponse {
+    /// Final HTML injected into the host page.
+    pub html: String,
+    /// Stage-by-stage trace (drives Fig. 2).
+    pub trace: ExecutionTrace,
+    /// Total virtual latency.
+    pub virtual_ms: u32,
+    /// Impressions rendered (consumed by the monetization log).
+    pub impressions: Vec<Impression>,
+}
+
+/// A supplemental fetch task.
+struct FanoutTask {
+    primary_source: String,
+    item_idx: usize,
+    source: String,
+    query: String,
+    k: usize,
+}
+
+/// Execute `query` against an application over the given substrates.
+pub fn execute(
+    app: &ApplicationConfig,
+    query: &str,
+    subs: Substrates<'_>,
+    mode: ExecMode,
+) -> QueryResponse {
+    execute_with_overrides(app, query, subs, mode, &HashMap::new())
+}
+
+/// Like [`execute`], with pre-resolved outcomes for some primary
+/// sources. The hosting layer uses this for
+/// [`DataSourceDef::ComposedApp`](crate::source::DataSourceDef::ComposedApp)
+/// sources, whose results come from recursively querying another
+/// hosted application.
+pub fn execute_with_overrides(
+    app: &ApplicationConfig,
+    query: &str,
+    subs: Substrates<'_>,
+    mode: ExecMode,
+    overrides: &HashMap<String, SourceOutcome>,
+) -> QueryResponse {
+    // ---- Stage 1: primary content -------------------------------
+    let primary_specs = app.primary_lists();
+    let mut primary: HashMap<String, SourceOutcome> = HashMap::new();
+    for (source, max, _) in &primary_specs {
+        if primary.contains_key(source) {
+            continue;
+        }
+        let outcome = if let Some(pre) = overrides.get(source) {
+            pre.clone()
+        } else {
+            match app.source(source) {
+                Some(cfg) => run_source(&cfg.def, query, *max, subs, app.constraint(source)),
+                None => SourceOutcome {
+                    items: Vec::new(),
+                    virtual_ms: 0,
+                    error: Some(format!("source {source:?} not configured")),
+                },
+            }
+        };
+        primary.insert(source.clone(), outcome);
+    }
+
+    // ---- Stage 2: supplemental fan-out ---------------------------
+    let mut tasks: Vec<FanoutTask> = Vec::new();
+    for (psource, max, item_el) in &primary_specs {
+        let outcome = &primary[psource];
+        let nested = nested_lists(item_el);
+        if nested.is_empty() {
+            continue;
+        }
+        for (idx, item) in outcome.items.iter().take(*max).enumerate() {
+            let lookup = |name: &str| item.field(name).map(str::to_string);
+            for (ssource, smax) in &nested {
+                let Some(binding) = app.binding(ssource) else {
+                    continue; // validated configs always have one
+                };
+                let q = binding.query_template.render(&lookup);
+                if q.trim().is_empty() {
+                    continue;
+                }
+                tasks.push(FanoutTask {
+                    primary_source: psource.clone(),
+                    item_idx: idx,
+                    source: ssource.clone(),
+                    query: q,
+                    k: *smax,
+                });
+            }
+        }
+    }
+
+    let outcomes: Vec<SourceOutcome> = match mode {
+        ExecMode::Sequential => tasks
+            .iter()
+            .map(|t| dispatch(app, t, subs))
+            .collect(),
+        ExecMode::Parallel => crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = tasks
+                .iter()
+                .map(|t| scope.spawn(move |_| dispatch(app, t, subs)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("fan-out worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope"),
+    };
+    let mut suppl: HashMap<(String, usize, String), SourceOutcome> = HashMap::new();
+    let mut fanout_trace: Vec<TraceNode> = Vec::new();
+    for (t, o) in tasks.iter().zip(outcomes) {
+        fanout_trace.push(TraceNode::leaf(
+            format!("supplemental: {} for item #{}", t.source, t.item_idx),
+            o.virtual_ms,
+            match &o.error {
+                Some(e) => format!("query {:?} — error: {e}", t.query),
+                None => format!("query {:?} — {} results", t.query, o.items.len()),
+            },
+        ));
+        suppl.insert((t.primary_source.clone(), t.item_idx, t.source.clone()), o);
+    }
+
+    // ---- Virtual-time accounting ---------------------------------
+    let primary_ms_iter = primary.values().map(|o| o.virtual_ms);
+    let suppl_ms_iter = suppl.values().map(|o| o.virtual_ms);
+    let (primary_ms, suppl_ms) = match mode {
+        ExecMode::Parallel => (
+            primary_ms_iter.max().unwrap_or(0),
+            suppl_ms_iter.max().unwrap_or(0),
+        ),
+        ExecMode::Sequential => (primary_ms_iter.sum(), suppl_ms_iter.sum()),
+    };
+    let total_ms = RECEIVE_MS + primary_ms + suppl_ms + MERGE_MS;
+
+    // ---- Stage 3: merge + format (render to HTML) ----------------
+    let impressions: RefCell<Vec<Impression>> = RefCell::new(Vec::new());
+    let no_fields = |_: &str| None;
+    let mut top_nested = |source: &str, max: usize, item_el: &Element| -> String {
+        let Some(outcome) = primary.get(source) else {
+            return String::new();
+        };
+        let mut html = String::new();
+        for (idx, item) in outcome.items.iter().take(max).enumerate() {
+            record_impression(&impressions, source, idx, item);
+            let lookup = |name: &str| item.field(name).map(str::to_string);
+            let psource = source;
+            let mut inner_nested = |ssource: &str, smax: usize, sitem_el: &Element| -> String {
+                let Some(soutcome) =
+                    suppl.get(&(psource.to_string(), idx, ssource.to_string()))
+                else {
+                    return String::new();
+                };
+                let mut shtml = String::new();
+                for (sidx, sitem) in soutcome.items.iter().take(smax).enumerate() {
+                    record_impression(&impressions, ssource, sidx, sitem);
+                    let slookup = |name: &str| sitem.field(name).map(str::to_string);
+                    // Depth > 2 nesting renders empty (the paper
+                    // describes exactly one supplemental level).
+                    shtml.push_str(&render_element(
+                        sitem_el,
+                        &app.stylesheet,
+                        &slookup,
+                        &mut |_, _, _| String::new(),
+                    ));
+                }
+                shtml
+            };
+            html.push_str(&render_element(
+                item_el,
+                &app.stylesheet,
+                &lookup,
+                &mut inner_nested,
+            ));
+        }
+        html
+    };
+    let html = render_element(
+        app.layout.root(),
+        &app.stylesheet,
+        &no_fields,
+        &mut top_nested,
+    );
+
+    // ---- Trace ----------------------------------------------------
+    let mut stages = vec![TraceNode::leaf(
+        "receive query from embedded snippet",
+        RECEIVE_MS,
+        format!("app {:?}", app.name),
+    )];
+    for (source, max, _) in &primary_specs {
+        let o = &primary[source];
+        stages.push(TraceNode::leaf(
+            format!("primary: {source}"),
+            o.virtual_ms,
+            match &o.error {
+                Some(e) => format!("error: {e}"),
+                None => format!("{} results (max {max})", o.items.len()),
+            },
+        ));
+    }
+    if !fanout_trace.is_empty() {
+        stages.push(TraceNode::group(
+            "supplemental fan-out",
+            suppl_ms,
+            match mode {
+                ExecMode::Parallel => format!("parallel: max of {} fetches", fanout_trace.len()),
+                ExecMode::Sequential => format!("sequential: sum of {} fetches", fanout_trace.len()),
+            },
+            fanout_trace,
+        ));
+    }
+    stages.push(TraceNode::leaf(
+        "merge + format HTML",
+        MERGE_MS,
+        format!("{} bytes", html.len()),
+    ));
+
+    QueryResponse {
+        html,
+        trace: ExecutionTrace {
+            app: app.name.clone(),
+            query: query.to_string(),
+            total_ms,
+            cache_hit: false,
+            stages,
+        },
+        virtual_ms: total_ms,
+        impressions: impressions.into_inner(),
+    }
+}
+
+fn dispatch(app: &ApplicationConfig, task: &FanoutTask, subs: Substrates<'_>) -> SourceOutcome {
+    match app.source(&task.source) {
+        Some(cfg) => run_source(&cfg.def, &task.query, task.k, subs, app.constraint(&task.source)),
+        None => SourceOutcome {
+            items: Vec::new(),
+            virtual_ms: 0,
+            error: Some(format!("source {:?} not configured", task.source)),
+        },
+    }
+}
+
+fn record_impression(
+    impressions: &RefCell<Vec<Impression>>,
+    source: &str,
+    position: usize,
+    item: &crate::source::ResultItem,
+) {
+    let is_ad = item.field("campaign").is_some() && item.field("price_cents").is_some();
+    let url = ["url", "target_url", "detail_url", "link"]
+        .iter()
+        .find_map(|f| item.field(f))
+        .map(str::to_string);
+    let title = item.field("title").unwrap_or_default().to_string();
+    impressions.borrow_mut().push(Impression {
+        source: source.to_string(),
+        url,
+        title,
+        position,
+        is_ad,
+        ad_campaign: item
+            .field("campaign")
+            .and_then(|c| c.parse().ok()),
+        ad_price_cents: item
+            .field("price_cents")
+            .and_then(|c| c.parse().ok()),
+    });
+}
+
+/// Nested result lists in an item layout: `(source, max_results)`.
+fn nested_lists(item_el: &Element) -> Vec<(String, usize)> {
+    let mut out = Vec::new();
+    item_el.visit(&mut |e| {
+        if let ElementKind::ResultList {
+            source,
+            max_results,
+            ..
+        } = &e.kind
+        {
+            out.push((source.clone(), *max_results));
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::app::AppBuilder;
+    use crate::source::DataSourceDef;
+    use symphony_designer::{Canvas, Element};
+    use symphony_services::{CallPolicy, LatencyModel, PricingService, SimulatedTransport};
+    use symphony_store::ingest::{ingest, DataFormat};
+    use symphony_store::{IndexedTable, Store, TenantId};
+    use symphony_web::{Corpus, CorpusConfig, SearchConfig, SearchEngine, Topic, Vertical};
+
+    struct World {
+        store: Store,
+        tenant: TenantId,
+        key: symphony_store::AccessKey,
+        engine: SearchEngine,
+        transport: SimulatedTransport,
+    }
+
+    fn world() -> World {
+        let mut store = Store::new();
+        let (tenant, key) = store.create_tenant("GamerQueen");
+        let (table, _) = ingest(
+            "inventory",
+            "title,genre,description,detail_url,price\n\
+             Galactic Raiders,shooter,a fast space shooter,http://shop.example.com/gr,49.99\n\
+             Farm Story,sim,calm farming,http://shop.example.com/fs,19.99\n",
+            DataFormat::Csv,
+        )
+        .unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+            .unwrap();
+        store.space_mut(tenant, &key).unwrap().put_table(indexed);
+
+        let corpus = Corpus::generate(
+            &CorpusConfig {
+                sites_per_topic: 2,
+                pages_per_site: 4,
+                ..CorpusConfig::default()
+            }
+            .with_entities(Topic::Games, ["Galactic Raiders", "Farm Story"]),
+        );
+        let engine = SearchEngine::new(corpus);
+        let mut transport = SimulatedTransport::new(5);
+        transport.register("pricing", Box::new(PricingService), LatencyModel::fast());
+        World {
+            store,
+            tenant,
+            key,
+            engine,
+            transport,
+        }
+    }
+
+    fn gamer_queen(world: &World) -> ApplicationConfig {
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        canvas.insert(root, Element::search_box("Search games…")).unwrap();
+        let item = Element::column(vec![
+            Element::link_field("detail_url", "{title}"),
+            Element::text("{description}"),
+            Element::result_list(
+                "reviews",
+                Element::column(vec![Element::link_field("url", "{title}"), Element::rich_text("{snippet}")]),
+                3,
+            ),
+            Element::result_list(
+                "pricing",
+                Element::text("${price} ({currency})"),
+                1,
+            ),
+        ]);
+        canvas
+            .insert(root, Element::result_list("inventory", item, 10))
+            .unwrap();
+
+        AppBuilder::new("GamerQueen", world.tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .source(
+                "reviews",
+                DataSourceDef::WebVertical {
+                    vertical: Vertical::Web,
+                    config: SearchConfig::default().restrict_to([
+                        "gamespot.com",
+                        "ign.com",
+                        "teamxbox.com",
+                    ]),
+                },
+            )
+            .source(
+                "pricing",
+                DataSourceDef::Service {
+                    endpoint: "pricing".into(),
+                    operation: "/price".into(),
+                    item_param: "item".into(),
+                    policy: CallPolicy::default(),
+                },
+            )
+            .supplemental("reviews", "{title} review")
+            .supplemental("pricing", "{title}")
+            .build()
+            .unwrap()
+    }
+
+    fn subs(world: &World) -> Substrates<'_> {
+        Substrates {
+            space: Some(world.store.space(world.tenant, &world.key).unwrap()),
+            engine: Some(&world.engine),
+            transport: Some(&world.transport),
+            ads: None,
+        }
+    }
+
+    #[test]
+    fn end_to_end_gamer_queen_query() {
+        let w = world();
+        let app = gamer_queen(&w);
+        let resp = execute(&app, "space shooter", subs(&w), ExecMode::Parallel);
+        // Primary hit rendered with its fields.
+        assert!(resp.html.contains("Galactic Raiders"), "{}", resp.html);
+        assert!(resp.html.contains("href=\"http://shop.example.com/gr\""));
+        // Supplemental review from a restricted site.
+        assert!(resp.html.contains("review"), "{}", resp.html);
+        // Pricing service result.
+        assert!(resp.html.contains("(USD)"), "{}", resp.html);
+        // Trace stages present.
+        assert!(resp.trace.find("receive query").is_some());
+        assert!(resp.trace.find("primary: inventory").is_some());
+        assert!(resp.trace.find("supplemental fan-out").is_some());
+        assert!(resp.trace.find("merge + format").is_some());
+    }
+
+    #[test]
+    fn parallel_latency_is_max_sequential_is_sum() {
+        let w = world();
+        let app = gamer_queen(&w);
+        let par = execute(&app, "space shooter", subs(&w), ExecMode::Parallel);
+        let seq = execute(&app, "space shooter", subs(&w), ExecMode::Sequential);
+        assert!(
+            seq.virtual_ms > par.virtual_ms,
+            "sequential {} must exceed parallel {}",
+            seq.virtual_ms,
+            par.virtual_ms
+        );
+        // Parallel bound: receive + max(primary) + max(suppl) + merge.
+        assert!(par.virtual_ms <= RECEIVE_MS + 35 + 600 + MERGE_MS);
+    }
+
+    #[test]
+    fn impressions_are_recorded_per_rendered_result() {
+        let w = world();
+        let app = gamer_queen(&w);
+        let resp = execute(&app, "space shooter", subs(&w), ExecMode::Parallel);
+        assert!(!resp.impressions.is_empty());
+        let inventory_imps = resp
+            .impressions
+            .iter()
+            .filter(|i| i.source == "inventory")
+            .count();
+        assert_eq!(inventory_imps, 1); // one matching game
+        assert!(resp.impressions.iter().any(|i| i.source == "reviews"));
+        assert!(resp.impressions.iter().all(|i| !i.is_ad));
+    }
+
+    #[test]
+    fn no_results_renders_shell() {
+        let w = world();
+        let app = gamer_queen(&w);
+        let resp = execute(&app, "zzzqqq", subs(&w), ExecMode::Parallel);
+        assert!(resp.html.contains("sym-search"));
+        assert!(resp.impressions.is_empty());
+        assert!(resp.trace.find("supplemental fan-out").is_none());
+    }
+
+    #[test]
+    fn missing_substrate_degrades_gracefully() {
+        let w = world();
+        let app = gamer_queen(&w);
+        let partial = Substrates {
+            space: Some(w.store.space(w.tenant, &w.key).unwrap()),
+            engine: None,
+            transport: Some(&w.transport),
+            ads: None,
+        };
+        let resp = execute(&app, "space shooter", partial, ExecMode::Parallel);
+        // The primary result still renders; reviews report an error.
+        assert!(resp.html.contains("Galactic Raiders"));
+        let fanout = resp.trace.find("supplemental: reviews").unwrap();
+        assert!(fanout.detail.contains("error"));
+    }
+
+    #[test]
+    fn supplemental_queries_are_per_item() {
+        let w = world();
+        let app = gamer_queen(&w);
+        // "game" in description? Query matching both items:
+        let resp = execute(&app, "shooter farming", subs(&w), ExecMode::Parallel);
+        let fanouts: Vec<&str> = resp
+            .trace
+            .find("supplemental fan-out")
+            .map(|n| n.children.iter().map(|c| c.detail.as_str()).collect())
+            .unwrap_or_default();
+        assert!(fanouts.iter().any(|d| d.contains("Galactic Raiders review")));
+        assert!(fanouts.iter().any(|d| d.contains("Farm Story review")));
+    }
+}

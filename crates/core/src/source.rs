@@ -1,0 +1,600 @@
+//! Unified content sources.
+//!
+//! The paper's central abstraction: proprietary tables, web-search
+//! verticals, third-party services, and ads are all "data sources"
+//! that can be dropped onto an application and "configured just like
+//! any other content source". [`DataSourceDef`] is the configuration;
+//! [`run_source`] executes one query against one source over the
+//! platform substrates, returning uniform field/value records plus the
+//! virtual time the source took.
+
+use symphony_ads::AdServer;
+use symphony_services::{CallPolicy, ServiceClient, ServiceRequest, SimulatedTransport};
+use symphony_store::TenantSpace;
+use symphony_web::{SearchConfig, SearchEngine, Vertical};
+
+/// Virtual cost of a proprietary-table query (local index hit).
+pub const PROPRIETARY_MS: u32 = 5;
+/// Virtual cost of a web-vertical query (remote search API).
+pub const WEB_MS: u32 = 35;
+/// Virtual cost of an ad auction.
+pub const ADS_MS: u32 = 12;
+
+/// Configuration of one data source inside an application.
+#[derive(Debug, Clone)]
+pub enum DataSourceDef {
+    /// The designer's own indexed table.
+    Proprietary {
+        /// Table name in the tenant space.
+        table: String,
+    },
+    /// A vertical of the general web search engine.
+    WebVertical {
+        /// Which vertical.
+        vertical: Vertical,
+        /// Customization (site restriction, augmentation, preference).
+        config: SearchConfig,
+    },
+    /// A SOAP/REST service.
+    Service {
+        /// Endpoint in the transport registry.
+        endpoint: String,
+        /// Operation (REST path or SOAP operation).
+        operation: String,
+        /// Parameter name carrying the query/item text.
+        item_param: String,
+        /// Timeout/retry policy.
+        policy: CallPolicy,
+    },
+    /// The integrated ad service.
+    Ads {
+        /// Slots to auction.
+        slots: usize,
+    },
+    /// Another hosted application used as a content source (paper §IV
+    /// future work: "creating new applications by composing other
+    /// applications"). Resolved by the hosting layer, which runs the
+    /// referenced app's full pipeline and feeds its results in as a
+    /// pre-computed outcome; only valid as a *primary* source.
+    ComposedApp {
+        /// The hosted application to query.
+        app: crate::app::AppId,
+    },
+}
+
+impl DataSourceDef {
+    /// Palette category shown on the designer card.
+    pub fn category(&self) -> &'static str {
+        match self {
+            DataSourceDef::Proprietary { .. } => "proprietary",
+            DataSourceDef::WebVertical { vertical, .. } => vertical.name(),
+            DataSourceDef::Service { .. } => "service",
+            DataSourceDef::Ads { .. } => "ads",
+            DataSourceDef::ComposedApp { .. } => "app",
+        }
+    }
+
+    /// Fields the source exposes for layout binding.
+    pub fn fields(&self, space: Option<&TenantSpace>, transport: Option<&SimulatedTransport>) -> Vec<String> {
+        match self {
+            DataSourceDef::Proprietary { table } => space
+                .and_then(|s| s.table(table).ok())
+                .map(|t| {
+                    t.table()
+                        .schema()
+                        .fields()
+                        .iter()
+                        .map(|f| f.name.clone())
+                        .collect()
+                })
+                .unwrap_or_default(),
+            DataSourceDef::WebVertical { vertical, .. } => {
+                let mut fs = vec![
+                    "url".to_string(),
+                    "title".to_string(),
+                    "snippet".to_string(),
+                    "domain".to_string(),
+                ];
+                match vertical {
+                    Vertical::Image => fs.push("image_src".into()),
+                    Vertical::Video => fs.push("duration_s".into()),
+                    Vertical::News => fs.push("date".into()),
+                    Vertical::Web => {}
+                }
+                fs
+            }
+            DataSourceDef::Service {
+                endpoint,
+                operation,
+                ..
+            } => transport
+                .and_then(|t| t.describe(endpoint))
+                .and_then(|d| {
+                    d.operations
+                        .iter()
+                        .find(|o| &o.name == operation)
+                        .map(|o| o.returns.clone())
+                })
+                .unwrap_or_default(),
+            DataSourceDef::Ads { .. } => vec![
+                "title".into(),
+                "display_url".into(),
+                "target_url".into(),
+                "text".into(),
+                "keyword".into(),
+                "campaign".into(),
+                "price_cents".into(),
+                "position".into(),
+            ],
+            DataSourceDef::ComposedApp { .. } => vec![
+                "title".into(),
+                "url".into(),
+                "source".into(),
+                "app".into(),
+            ],
+        }
+    }
+}
+
+/// One result from any source: uniform `(field, value)` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultItem {
+    /// Ordered field/value pairs.
+    pub fields: Vec<(String, String)>,
+    /// Relevance score (0 for sources without scoring).
+    pub score: f32,
+}
+
+impl ResultItem {
+    /// Field lookup.
+    pub fn field(&self, name: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Outcome of running a source.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SourceOutcome {
+    /// Items returned (possibly empty).
+    pub items: Vec<ResultItem>,
+    /// Virtual time the source took.
+    pub virtual_ms: u32,
+    /// Soft error: the runtime degrades gracefully (paper: results
+    /// merge whatever content arrived), recording what went wrong.
+    pub error: Option<String>,
+}
+
+/// Shared references to every substrate a source may need.
+#[derive(Clone, Copy)]
+pub struct Substrates<'a> {
+    /// The tenant's private space (proprietary tables).
+    pub space: Option<&'a TenantSpace>,
+    /// The general web search engine.
+    pub engine: Option<&'a SearchEngine>,
+    /// The service transport.
+    pub transport: Option<&'a SimulatedTransport>,
+    /// The ad service.
+    pub ads: Option<&'a AdServer>,
+}
+
+impl std::fmt::Debug for Substrates<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Substrates")
+            .field("space", &self.space.is_some())
+            .field("engine", &self.engine.is_some())
+            .field("transport", &self.transport.is_some())
+            .field("ads", &self.ads.is_some())
+            .finish()
+    }
+}
+
+/// Execute `query` against one source, returning up to `k` items.
+///
+/// `constraint` is the "richer querying of structured data" extension
+/// (paper §IV future work): a structured [`Filter`](symphony_store::Filter)
+/// the designer attached to a proprietary source — e.g. *only in-stock
+/// items*, *price below 50* — evaluated on the typed records before
+/// they leave the store. Non-proprietary sources ignore it.
+pub fn run_source(
+    def: &DataSourceDef,
+    query: &str,
+    k: usize,
+    subs: Substrates<'_>,
+    constraint: Option<&symphony_store::Filter>,
+) -> SourceOutcome {
+    match def {
+        DataSourceDef::Proprietary { table } => {
+            let Some(space) = subs.space else {
+                return soft_err("no tenant space attached", 0);
+            };
+            let indexed = match space.table(table) {
+                Ok(t) => t,
+                Err(e) => return soft_err(&e.to_string(), 0),
+            };
+            let parsed = symphony_text::Query::parse(query);
+            // Over-fetch when a structured constraint will drop rows.
+            let fetch = if constraint.is_some() { k * 4 + 8 } else { k };
+            let hits = match indexed.search(&parsed, fetch) {
+                Ok(h) => h,
+                Err(e) => return soft_err(&e.to_string(), PROPRIETARY_MS),
+            };
+            let schema = indexed.table().schema().clone();
+            let items = hits
+                .into_iter()
+                .filter_map(|h| {
+                    let rec = indexed.table().get(h.record)?;
+                    if let Some(f) = constraint {
+                        if !f.eval(rec) {
+                            return None;
+                        }
+                    }
+                    Some(ResultItem {
+                        fields: schema
+                            .fields()
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| (f.name.clone(), rec.get(i).display_string()))
+                            .collect(),
+                        score: h.score,
+                    })
+                })
+                .take(k)
+                .collect();
+            SourceOutcome {
+                items,
+                virtual_ms: PROPRIETARY_MS,
+                error: None,
+            }
+        }
+        DataSourceDef::WebVertical { vertical, config } => {
+            let Some(engine) = subs.engine else {
+                return soft_err("no web engine attached", 0);
+            };
+            let items = engine
+                .search(*vertical, query, config, k)
+                .into_iter()
+                .map(|r| {
+                    let mut fields = vec![
+                        ("url".to_string(), r.url),
+                        ("title".to_string(), r.title),
+                        ("snippet".to_string(), r.snippet),
+                        ("domain".to_string(), r.domain),
+                    ];
+                    if let Some(src) = r.image_src {
+                        fields.push(("image_src".into(), src));
+                    }
+                    if let Some(d) = r.duration_s {
+                        fields.push(("duration_s".into(), d.to_string()));
+                    }
+                    if let Some(d) = r.date {
+                        fields.push(("date".into(), d.to_string()));
+                    }
+                    ResultItem {
+                        fields,
+                        score: r.score,
+                    }
+                })
+                .collect();
+            SourceOutcome {
+                items,
+                virtual_ms: WEB_MS,
+                error: None,
+            }
+        }
+        DataSourceDef::Service {
+            endpoint,
+            operation,
+            item_param,
+            policy,
+        } => {
+            let Some(transport) = subs.transport else {
+                return soft_err("no transport attached", 0);
+            };
+            let client = ServiceClient::with_policy(transport, *policy);
+            let request = ServiceRequest::get(operation, &[(item_param, query)]);
+            match client.call(endpoint, &request) {
+                Ok(out) => SourceOutcome {
+                    items: out
+                        .response
+                        .records
+                        .into_iter()
+                        .take(k)
+                        .map(|fields| ResultItem { fields, score: 0.0 })
+                        .collect(),
+                    virtual_ms: out.total_latency_ms,
+                    error: None,
+                },
+                Err((e, burned)) => soft_err(&e.to_string(), burned),
+            }
+        }
+        DataSourceDef::ComposedApp { app } => soft_err(
+            &format!(
+                "composed app {} must be resolved by the hosting layer",
+                app.0
+            ),
+            0,
+        ),
+        DataSourceDef::Ads { slots } => {
+            let Some(ads) = subs.ads else {
+                return soft_err("no ad service attached", 0);
+            };
+            let items = ads
+                .select(query, (*slots).min(k.max(1)))
+                .into_iter()
+                .map(|p| ResultItem {
+                    fields: vec![
+                        ("title".to_string(), p.title),
+                        ("display_url".to_string(), p.display_url),
+                        ("target_url".to_string(), p.target_url),
+                        ("text".to_string(), p.text),
+                        ("keyword".to_string(), p.keyword),
+                        ("campaign".to_string(), p.campaign.0.to_string()),
+                        ("price_cents".to_string(), p.price_cents.to_string()),
+                        ("position".to_string(), p.position.to_string()),
+                    ],
+                    score: 0.0,
+                })
+                .collect();
+            SourceOutcome {
+                items,
+                virtual_ms: ADS_MS,
+                error: None,
+            }
+        }
+    }
+}
+
+fn soft_err(msg: &str, virtual_ms: u32) -> SourceOutcome {
+    SourceOutcome {
+        items: Vec::new(),
+        virtual_ms,
+        error: Some(msg.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use symphony_services::{LatencyModel, PricingService};
+    use symphony_store::ingest::{ingest, DataFormat};
+    use symphony_store::{IndexedTable, Store};
+    use symphony_web::{Corpus, CorpusConfig, Topic};
+
+    fn store_with_inventory() -> (Store, symphony_store::TenantId, symphony_store::AccessKey) {
+        let mut store = Store::new();
+        let (tenant, key) = store.create_tenant("GamerQueen");
+        let (table, _) = ingest(
+            "inventory",
+            "title,genre,price\nGalactic Raiders,shooter,49.99\nFarm Story,sim,19.99\n",
+            DataFormat::Csv,
+        )
+        .unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed.enable_fulltext(&[("title", 2.0), ("genre", 1.0)]).unwrap();
+        store.space_mut(tenant, &key).unwrap().put_table(indexed);
+        (store, tenant, key)
+    }
+
+    fn none_subs() -> Substrates<'static> {
+        Substrates {
+            space: None,
+            engine: None,
+            transport: None,
+            ads: None,
+        }
+    }
+
+    #[test]
+    fn proprietary_source_returns_schema_fields() {
+        let (store, tenant, key) = store_with_inventory();
+        let space = store.space(tenant, &key).unwrap();
+        let out = run_source(
+            &DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+            "shooter",
+            10,
+            Substrates {
+                space: Some(space),
+                ..none_subs()
+            },
+            None,
+        );
+        assert!(out.error.is_none());
+        assert_eq!(out.items.len(), 1);
+        assert_eq!(out.items[0].field("title"), Some("Galactic Raiders"));
+        assert_eq!(out.items[0].field("price"), Some("49.99"));
+        assert_eq!(out.virtual_ms, PROPRIETARY_MS);
+    }
+
+    #[test]
+    fn missing_table_is_soft_error() {
+        let (store, tenant, key) = store_with_inventory();
+        let space = store.space(tenant, &key).unwrap();
+        let out = run_source(
+            &DataSourceDef::Proprietary {
+                table: "nope".into(),
+            },
+            "x",
+            5,
+            Substrates {
+                space: Some(space),
+                ..none_subs()
+            },
+            None,
+        );
+        assert!(out.items.is_empty());
+        assert!(out.error.unwrap().contains("unknown table"));
+    }
+
+    #[test]
+    fn web_source_maps_meta_fields() {
+        let corpus = Corpus::generate(
+            &CorpusConfig {
+                sites_per_topic: 2,
+                pages_per_site: 4,
+                ..CorpusConfig::default()
+            }
+            .with_entities(Topic::Games, ["Galactic Raiders"]),
+        );
+        let engine = SearchEngine::new(corpus);
+        let out = run_source(
+            &DataSourceDef::WebVertical {
+                vertical: Vertical::Image,
+                config: SearchConfig::default(),
+            },
+            "Galactic Raiders",
+            5,
+            Substrates {
+                engine: Some(&engine),
+                ..none_subs()
+            },
+            None,
+        );
+        assert!(!out.items.is_empty());
+        assert!(out.items[0].field("image_src").is_some());
+        assert_eq!(out.virtual_ms, WEB_MS);
+    }
+
+    #[test]
+    fn service_source_carries_transport_latency() {
+        let mut transport = SimulatedTransport::new(1);
+        transport.register("pricing", Box::new(PricingService), LatencyModel::fast());
+        let out = run_source(
+            &DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+            "Galactic Raiders",
+            5,
+            Substrates {
+                transport: Some(&transport),
+                ..none_subs()
+            },
+            None,
+        );
+        assert!(out.error.is_none());
+        assert_eq!(out.items.len(), 1);
+        assert!(out.items[0].field("price").is_some());
+        assert!(out.virtual_ms <= 10);
+    }
+
+    #[test]
+    fn service_failure_is_soft_and_charged() {
+        let transport = SimulatedTransport::new(1);
+        let out = run_source(
+            &DataSourceDef::Service {
+                endpoint: "missing".into(),
+                operation: "/x".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+            "q",
+            5,
+            Substrates {
+                transport: Some(&transport),
+                ..none_subs()
+            },
+            None,
+        );
+        assert!(out.items.is_empty());
+        assert!(out.error.unwrap().contains("unknown endpoint"));
+    }
+
+    #[test]
+    fn ads_source_exposes_billing_fields() {
+        use symphony_ads::{Ad, Keyword, MatchType};
+        let mut ads = AdServer::new();
+        let adv = ads.add_advertiser("MegaGames");
+        ads.add_campaign(
+            adv,
+            "c",
+            1000,
+            vec![Keyword::new("game", MatchType::Broad, 50)],
+            Ad {
+                title: "Sale".into(),
+                display_url: "d".into(),
+                target_url: "http://mega.example.com".into(),
+                text: "x".into(),
+            },
+            0.8,
+        );
+        let out = run_source(
+            &DataSourceDef::Ads { slots: 2 },
+            "space game",
+            5,
+            Substrates {
+                ads: Some(&ads),
+                ..none_subs()
+            },
+            None,
+        );
+        assert_eq!(out.items.len(), 1);
+        assert_eq!(out.items[0].field("campaign"), Some("0"));
+        assert!(out.items[0].field("price_cents").is_some());
+    }
+
+    #[test]
+    fn missing_substrates_are_soft_errors() {
+        for def in [
+            DataSourceDef::Proprietary {
+                table: "t".into(),
+            },
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Web,
+                config: SearchConfig::default(),
+            },
+            DataSourceDef::Service {
+                endpoint: "e".into(),
+                operation: "/o".into(),
+                item_param: "q".into(),
+                policy: CallPolicy::default(),
+            },
+            DataSourceDef::Ads { slots: 1 },
+        ] {
+            let out = run_source(&def, "q", 3, none_subs(), None);
+            assert!(out.error.is_some(), "{def:?}");
+        }
+    }
+
+    #[test]
+    fn composed_app_source_without_hosting_is_soft_error() {
+        let def = DataSourceDef::ComposedApp {
+            app: crate::app::AppId(3),
+        };
+        assert_eq!(def.category(), "app");
+        assert!(def
+            .fields(None, None)
+            .contains(&"app".to_string()));
+        let out = run_source(&def, "q", 5, none_subs(), None);
+        assert!(out.items.is_empty());
+        assert!(out.error.unwrap().contains("hosting layer"));
+    }
+
+    #[test]
+    fn categories_and_fields() {
+        assert_eq!(
+            DataSourceDef::Ads { slots: 1 }.category(),
+            "ads"
+        );
+        assert_eq!(
+            DataSourceDef::WebVertical {
+                vertical: Vertical::News,
+                config: SearchConfig::default()
+            }
+            .category(),
+            "news"
+        );
+        let fs = DataSourceDef::WebVertical {
+            vertical: Vertical::News,
+            config: SearchConfig::default(),
+        }
+        .fields(None, None);
+        assert!(fs.contains(&"date".to_string()));
+    }
+}

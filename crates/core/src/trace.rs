@@ -1,0 +1,164 @@
+//! Execution traces — the runtime's account of Fig. 2.
+//!
+//! Every query through the platform produces a tree of stages with
+//! virtual timings: snippet receipt, primary content queries,
+//! per-result supplemental fan-out, merge/format, response. The Fig.-2
+//! report binary pretty-prints this tree.
+
+/// One stage in an execution trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceNode {
+    /// Stage label ("primary: inventory").
+    pub label: String,
+    /// Virtual milliseconds attributed to this stage (exclusive of
+    /// children unless stated in the label).
+    pub virtual_ms: u32,
+    /// Extra detail ("3 results", "error: timed out").
+    pub detail: String,
+    /// Sub-stages.
+    pub children: Vec<TraceNode>,
+}
+
+impl TraceNode {
+    /// Leaf node.
+    pub fn leaf(label: impl Into<String>, virtual_ms: u32, detail: impl Into<String>) -> TraceNode {
+        TraceNode {
+            label: label.into(),
+            virtual_ms,
+            detail: detail.into(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Node with children.
+    pub fn group(
+        label: impl Into<String>,
+        virtual_ms: u32,
+        detail: impl Into<String>,
+        children: Vec<TraceNode>,
+    ) -> TraceNode {
+        TraceNode {
+            label: label.into(),
+            virtual_ms,
+            detail: detail.into(),
+            children,
+        }
+    }
+
+    /// Total nodes in the subtree.
+    pub fn node_count(&self) -> usize {
+        1 + self.children.iter().map(|c| c.node_count()).sum::<usize>()
+    }
+}
+
+/// A full query trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExecutionTrace {
+    /// Application name.
+    pub app: String,
+    /// The user query.
+    pub query: String,
+    /// Total virtual time of the request.
+    pub total_ms: u32,
+    /// Whether the response came from the result cache.
+    pub cache_hit: bool,
+    /// Stage tree.
+    pub stages: Vec<TraceNode>,
+}
+
+impl ExecutionTrace {
+    /// Pretty-print as an indented tree (the Fig.-2 rendering).
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "query {:?} on application {:?} — {} virtual ms{}\n",
+            self.query,
+            self.app,
+            self.total_ms,
+            if self.cache_hit { " (cache hit)" } else { "" }
+        );
+        fn go(node: &TraceNode, depth: usize, out: &mut String) {
+            out.push_str(&"  ".repeat(depth + 1));
+            out.push_str(&format!("├─ {} [{} ms]", node.label, node.virtual_ms));
+            if !node.detail.is_empty() {
+                out.push_str(&format!(" — {}", node.detail));
+            }
+            out.push('\n');
+            for c in &node.children {
+                go(c, depth + 1, out);
+            }
+        }
+        for s in &self.stages {
+            go(s, 0, &mut out);
+        }
+        out
+    }
+
+    /// Find a stage by label prefix, depth-first.
+    pub fn find(&self, label_prefix: &str) -> Option<&TraceNode> {
+        fn go<'a>(nodes: &'a [TraceNode], prefix: &str) -> Option<&'a TraceNode> {
+            for n in nodes {
+                if n.label.starts_with(prefix) {
+                    return Some(n);
+                }
+                if let Some(hit) = go(&n.children, prefix) {
+                    return Some(hit);
+                }
+            }
+            None
+        }
+        go(&self.stages, label_prefix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> ExecutionTrace {
+        ExecutionTrace {
+            app: "GamerQueen".into(),
+            query: "space shooter".into(),
+            total_ms: 87,
+            cache_hit: false,
+            stages: vec![
+                TraceNode::leaf("receive snippet request", 1, ""),
+                TraceNode::group(
+                    "primary: inventory",
+                    5,
+                    "2 results",
+                    vec![TraceNode::leaf("supplemental: reviews", 35, "3 results")],
+                ),
+                TraceNode::leaf("merge + format", 2, ""),
+            ],
+        }
+    }
+
+    #[test]
+    fn render_includes_all_stages() {
+        let text = trace().render();
+        assert!(text.contains("GamerQueen"));
+        assert!(text.contains("primary: inventory [5 ms] — 2 results"));
+        assert!(text.contains("    ├─ supplemental: reviews"));
+        assert!(text.contains("87 virtual ms"));
+    }
+
+    #[test]
+    fn cache_hit_marker() {
+        let mut t = trace();
+        t.cache_hit = true;
+        assert!(t.render().contains("(cache hit)"));
+    }
+
+    #[test]
+    fn find_by_prefix() {
+        let t = trace();
+        assert_eq!(t.find("primary").unwrap().virtual_ms, 5);
+        assert_eq!(t.find("supplemental: rev").unwrap().detail, "3 results");
+        assert!(t.find("nothing").is_none());
+    }
+
+    #[test]
+    fn node_count() {
+        assert_eq!(trace().stages[1].node_count(), 2);
+    }
+}

@@ -1,0 +1,192 @@
+//! Minimal civil-date <-> Unix-epoch conversion.
+//!
+//! The store only needs to parse `YYYY-MM-DD` and
+//! `YYYY-MM-DD HH:MM[:SS]` (plus the RFC-822 dates used by RSS
+//! `pubDate`) into epoch seconds and format them back; pulling in a
+//! full chrono dependency for that would violate the dependency budget
+//! in DESIGN.md. The day<->civil algorithms are Howard Hinnant's
+//! well-known branchless ones.
+
+/// Days from civil date (proleptic Gregorian) to days since 1970-01-01.
+pub fn days_from_civil(y: i64, m: u32, d: u32) -> i64 {
+    let y = if m <= 2 { y - 1 } else { y };
+    let era = if y >= 0 { y } else { y - 399 } / 400;
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = ((m + 9) % 12) as u64; // [0, 11]
+    let doy = (153 * mp + 2) / 5 + (d as u64 - 1); // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i64 - 719468
+}
+
+/// Inverse of [`days_from_civil`].
+pub fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719468;
+    let era = if z >= 0 { z } else { z - 146096 } / 146097;
+    let doe = (z - era * 146097) as u64; // [0, 146096]
+    let yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365; // [0, 399]
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100); // [0, 365]
+    let mp = (5 * doy + 2) / 153; // [0, 11]
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32; // [1, 31]
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32; // [1, 12]
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Parse `YYYY-MM-DD`, `YYYY-MM-DD HH:MM`, `YYYY-MM-DDTHH:MM:SS`, or an
+/// RFC-822-style `03 Nov 2009 12:30:00` (weekday prefix and zone suffix
+/// tolerated) into epoch seconds. Returns `None` for anything else.
+pub fn parse_datetime(s: &str) -> Option<i64> {
+    let s = s.trim();
+    if let Some(epoch) = parse_iso(s) {
+        return Some(epoch);
+    }
+    parse_rfc822(s)
+}
+
+fn parse_iso(s: &str) -> Option<i64> {
+    let bytes = s.as_bytes();
+    if bytes.len() < 10 || bytes[4] != b'-' || bytes[7] != b'-' {
+        return None;
+    }
+    let y: i64 = s.get(0..4)?.parse().ok()?;
+    let m: u32 = s.get(5..7)?.parse().ok()?;
+    let d: u32 = s.get(8..10)?.parse().ok()?;
+    if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+        return None;
+    }
+    let mut secs = days_from_civil(y, m, d) * 86_400;
+    if bytes.len() > 10 {
+        if bytes[10] != b' ' && bytes[10] != b'T' {
+            return None;
+        }
+        let time = &s[11..];
+        let (h, min, sec) = parse_hms(time)?;
+        secs += (h as i64) * 3600 + (min as i64) * 60 + sec as i64;
+    }
+    Some(secs)
+}
+
+fn parse_hms(time: &str) -> Option<(u32, u32, u32)> {
+    let mut parts = time.splitn(3, ':');
+    let h: u32 = parts.next()?.trim().parse().ok()?;
+    let m: u32 = parts.next()?.trim().parse().ok()?;
+    let sec: u32 = match parts.next() {
+        Some(p) => p
+            .trim()
+            .trim_end_matches(|c: char| !c.is_ascii_digit())
+            .parse()
+            .unwrap_or(0),
+        None => 0,
+    };
+    if h > 23 || m > 59 || sec > 60 {
+        return None;
+    }
+    Some((h, m, sec))
+}
+
+const MONTHS: [&str; 12] = [
+    "jan", "feb", "mar", "apr", "may", "jun", "jul", "aug", "sep", "oct", "nov", "dec",
+];
+
+fn parse_rfc822(s: &str) -> Option<i64> {
+    // Strip optional leading weekday ("Tue, ").
+    let s = match s.find(',') {
+        Some(i) => s[i + 1..].trim(),
+        None => s,
+    };
+    let mut parts = s.split_whitespace();
+    let d: u32 = parts.next()?.parse().ok()?;
+    let mon = parts.next()?.to_lowercase();
+    let mon3 = mon.get(0..3)?;
+    let m = MONTHS.iter().position(|&x| x == mon3)? as u32 + 1;
+    let y: i64 = parts.next()?.parse().ok()?;
+    let y = if y < 100 { y + 2000 } else { y };
+    let mut secs = days_from_civil(y, m, d) * 86_400;
+    if let Some(time) = parts.next() {
+        if let Some((h, min, sec)) = parse_hms(time) {
+            secs += (h as i64) * 3600 + (min as i64) * 60 + sec as i64;
+        }
+    }
+    // Time zone suffix (e.g. GMT, +0000) is ignored: the synthetic
+    // platform operates in UTC throughout.
+    Some(secs)
+}
+
+/// Format epoch seconds as `YYYY-MM-DD HH:MM:SS` (UTC), or just the
+/// date when the time-of-day is midnight.
+pub fn format_epoch(epoch: i64) -> String {
+    let days = epoch.div_euclid(86_400);
+    let rem = epoch.rem_euclid(86_400);
+    let (y, m, d) = civil_from_days(days);
+    if rem == 0 {
+        format!("{y:04}-{m:02}-{d:02}")
+    } else {
+        let h = rem / 3600;
+        let min = (rem % 3600) / 60;
+        let s = rem % 60;
+        format!("{y:04}-{m:02}-{d:02} {h:02}:{min:02}:{s:02}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_zero_day() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(civil_from_days(0), (1970, 1, 1));
+    }
+
+    #[test]
+    fn civil_roundtrip_across_leap_years() {
+        for &(y, m, d) in &[
+            (2000, 2, 29),
+            (2009, 11, 3),
+            (2010, 3, 1),
+            (1999, 12, 31),
+            (2024, 2, 29),
+            (1969, 7, 20),
+        ] {
+            let days = days_from_civil(y, m, d);
+            assert_eq!(civil_from_days(days), (y, m, d), "for {y}-{m}-{d}");
+        }
+    }
+
+    #[test]
+    fn parse_iso_date() {
+        assert_eq!(parse_datetime("1970-01-02"), Some(86_400));
+        assert_eq!(parse_datetime("1970-01-01 00:01"), Some(60));
+        assert_eq!(parse_datetime("1970-01-01T00:00:05"), Some(5));
+    }
+
+    #[test]
+    fn parse_rfc822_date() {
+        // RSS pubDate style.
+        let got = parse_datetime("Tue, 03 Nov 2009 12:30:00 GMT").unwrap();
+        let want = days_from_civil(2009, 11, 3) * 86_400 + 12 * 3600 + 30 * 60;
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert_eq!(parse_datetime("not a date"), None);
+        assert_eq!(parse_datetime("2009-13-01"), None);
+        assert_eq!(parse_datetime("2009-00-01"), None);
+        assert_eq!(parse_datetime("20091103"), None);
+    }
+
+    #[test]
+    fn format_roundtrip() {
+        let e = parse_datetime("2009-11-03 12:30:00").unwrap();
+        assert_eq!(format_epoch(e), "2009-11-03 12:30:00");
+        let d = parse_datetime("2009-11-03").unwrap();
+        assert_eq!(format_epoch(d), "2009-11-03");
+    }
+
+    #[test]
+    fn negative_epochs_format() {
+        let e = days_from_civil(1969, 12, 31) * 86_400;
+        assert_eq!(format_epoch(e), "1969-12-31");
+    }
+}

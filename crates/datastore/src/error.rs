@@ -1,0 +1,57 @@
+//! Error type for the structured store.
+
+/// Errors surfaced by the store and ingest pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// A referenced column does not exist in the schema.
+    UnknownColumn(String),
+    /// A referenced table does not exist in the tenant space.
+    UnknownTable(String),
+    /// Full-text search requested on a table without a full-text view.
+    NoFullText,
+    /// Malformed input during parsing; the message names the format
+    /// and position.
+    Parse(String),
+    /// The upload declared a format the pipeline does not understand.
+    UnsupportedFormat(String),
+    /// Wrong access key for a private tenant space.
+    AccessDenied,
+    /// An index already exists on the column.
+    IndexExists(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::UnknownColumn(c) => write!(f, "unknown column: {c}"),
+            StoreError::UnknownTable(t) => write!(f, "unknown table: {t}"),
+            StoreError::NoFullText => write!(f, "table has no full-text view"),
+            StoreError::Parse(m) => write!(f, "parse error: {m}"),
+            StoreError::UnsupportedFormat(x) => write!(f, "unsupported format: {x}"),
+            StoreError::AccessDenied => write!(f, "access denied"),
+            StoreError::IndexExists(c) => write!(f, "index already exists on column: {c}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            StoreError::UnknownColumn("x".into()).to_string(),
+            "unknown column: x"
+        );
+        assert_eq!(StoreError::AccessDenied.to_string(), "access denied");
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(StoreError::NoFullText);
+        assert!(e.to_string().contains("full-text"));
+    }
+}

@@ -1,0 +1,201 @@
+//! Delimited-file parser (CSV/TSV), RFC-4180 quoting.
+//!
+//! The first row is the header. Quoted fields may contain delimiters,
+//! newlines, and doubled-quote escapes. Both `\n` and `\r\n` row
+//! terminators are accepted.
+
+use crate::error::StoreError;
+
+/// Parsed delimited content: header names plus string rows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Delimited {
+    /// Column names from the header row.
+    pub names: Vec<String>,
+    /// Data rows (ragged rows allowed; the table layer pads).
+    pub rows: Vec<Vec<String>>,
+}
+
+/// Parse delimited `input` with the given `delimiter` (`,` for CSV,
+/// `\t` for TSV).
+pub fn parse_delimited(input: &str, delimiter: char) -> Result<Delimited, StoreError> {
+    let mut records: Vec<Vec<String>> = Vec::new();
+    let mut row: Vec<String> = Vec::new();
+    let mut cell = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut any = false;
+
+    while let Some(c) = chars.next() {
+        any = true;
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        cell.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                _ => cell.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' if cell.is_empty() => in_quotes = true,
+            '\r' => {
+                if chars.peek() == Some(&'\n') {
+                    continue; // handled by the \n branch
+                }
+                end_row(&mut records, &mut row, &mut cell);
+            }
+            '\n' => end_row(&mut records, &mut row, &mut cell),
+            c if c == delimiter => {
+                row.push(std::mem::take(&mut cell));
+            }
+            _ => cell.push(c),
+        }
+    }
+    if in_quotes {
+        return Err(StoreError::Parse("unterminated quote in delimited file".into()));
+    }
+    if !cell.is_empty() || !row.is_empty() {
+        end_row(&mut records, &mut row, &mut cell);
+    }
+    let _ = any;
+    if records.is_empty() {
+        return Err(StoreError::Parse("delimited file has no header row".into()));
+    }
+    let names = records.remove(0);
+    if names.iter().all(|n| n.trim().is_empty()) {
+        return Err(StoreError::Parse("header row is empty".into()));
+    }
+    Ok(Delimited {
+        names: names.into_iter().map(|n| n.trim().to_string()).collect(),
+        rows: records,
+    })
+}
+
+fn end_row(records: &mut Vec<Vec<String>>, row: &mut Vec<String>, cell: &mut String) {
+    row.push(std::mem::take(cell));
+    // Skip fully blank lines (a single empty cell).
+    if row.len() == 1 && row[0].is_empty() {
+        row.clear();
+        return;
+    }
+    records.push(std::mem::take(row));
+}
+
+/// Serialize rows back to CSV (used by the referral-audit export).
+pub fn to_csv(names: &[String], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    write_row(&mut out, names);
+    for r in rows {
+        write_row(&mut out, r);
+    }
+    out
+}
+
+fn write_row<S: AsRef<str>>(out: &mut String, row: &[S]) {
+    for (i, cell) in row.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let c = cell.as_ref();
+        if c.contains([',', '"', '\n', '\r']) {
+            out.push('"');
+            out.push_str(&c.replace('"', "\"\""));
+            out.push('"');
+        } else {
+            out.push_str(c);
+        }
+    }
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_csv() {
+        let d = parse_delimited("a,b,c\n1,2,3\n4,5,6\n", ',').unwrap();
+        assert_eq!(d.names, vec!["a", "b", "c"]);
+        assert_eq!(d.rows, vec![vec!["1", "2", "3"], vec!["4", "5", "6"]]);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters_and_newlines() {
+        let d = parse_delimited("t,d\n\"Raiders, Galactic\",\"line1\nline2\"\n", ',').unwrap();
+        assert_eq!(d.rows[0][0], "Raiders, Galactic");
+        assert_eq!(d.rows[0][1], "line1\nline2");
+    }
+
+    #[test]
+    fn doubled_quote_escape() {
+        let d = parse_delimited("t\n\"say \"\"hi\"\"\"\n", ',').unwrap();
+        assert_eq!(d.rows[0][0], "say \"hi\"");
+    }
+
+    #[test]
+    fn crlf_rows() {
+        let d = parse_delimited("a,b\r\n1,2\r\n", ',').unwrap();
+        assert_eq!(d.rows, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn tsv() {
+        let d = parse_delimited("a\tb\n1\t2\n", '\t').unwrap();
+        assert_eq!(d.names, vec!["a", "b"]);
+        assert_eq!(d.rows[0], vec!["1", "2"]);
+    }
+
+    #[test]
+    fn blank_lines_skipped() {
+        let d = parse_delimited("a,b\n\n1,2\n\n", ',').unwrap();
+        assert_eq!(d.rows.len(), 1);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let d = parse_delimited("a,b\n1,2", ',').unwrap();
+        assert_eq!(d.rows, vec![vec!["1", "2"]]);
+    }
+
+    #[test]
+    fn trailing_empty_cell_preserved() {
+        let d = parse_delimited("a,b\n1,\n", ',').unwrap();
+        assert_eq!(d.rows[0], vec!["1", ""]);
+    }
+
+    #[test]
+    fn unterminated_quote_errors() {
+        assert!(matches!(
+            parse_delimited("a\n\"oops\n", ','),
+            Err(StoreError::Parse(_))
+        ));
+    }
+
+    #[test]
+    fn empty_input_errors() {
+        assert!(parse_delimited("", ',').is_err());
+        assert!(parse_delimited("\n\n", ',').is_err());
+    }
+
+    #[test]
+    fn ragged_rows_pass_through() {
+        let d = parse_delimited("a,b,c\n1,2\n1,2,3,4\n", ',').unwrap();
+        assert_eq!(d.rows[0].len(), 2);
+        assert_eq!(d.rows[1].len(), 4);
+    }
+
+    #[test]
+    fn csv_writer_roundtrip() {
+        let names: Vec<String> = vec!["t".into(), "d".into()];
+        let rows = vec![vec!["plain".to_string(), "with,comma \"q\"\nnl".to_string()]];
+        let csv = to_csv(&names, &rows);
+        let back = parse_delimited(&csv, ',').unwrap();
+        assert_eq!(back.names, names);
+        assert_eq!(back.rows, rows);
+    }
+}

@@ -1,0 +1,207 @@
+//! Full-text view over a table's text columns.
+//!
+//! The paper: "Symphony provides private and secure space to store
+//! *and index* proprietary data". This module is the "index" half —
+//! it mirrors chosen columns of a [`Table`](crate::table::Table) into a
+//! `symphony-text` inverted index and maps hits back to record ids.
+
+use crate::error::StoreError;
+use crate::schema::Schema;
+use crate::table::{Record, RecordId};
+use symphony_text::query::Query;
+use symphony_text::{Doc, DocId, FieldId, Index, IndexConfig, Searcher};
+
+/// A searchable projection of selected table columns.
+pub struct FullTextView {
+    index: Index,
+    /// `(table column, text field)` pairs, in registration order.
+    cols: Vec<(usize, FieldId)>,
+    /// Doc id -> record id (dense, grows with adds).
+    doc_to_record: Vec<RecordId>,
+    /// Record id -> live doc id.
+    record_to_doc: std::collections::HashMap<RecordId, DocId>,
+}
+
+impl std::fmt::Debug for FullTextView {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FullTextView")
+            .field("cols", &self.cols)
+            .field("docs", &self.doc_to_record.len())
+            .finish()
+    }
+}
+
+/// One full-text hit mapped back to the table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TextHit {
+    /// Matching record.
+    pub record: RecordId,
+    /// BM25 score.
+    pub score: f32,
+}
+
+impl FullTextView {
+    /// Create a view over `searchable` columns, given as
+    /// `(column name, boost)`. Field names in the text index equal the
+    /// column names, so `Query::parse("title:x")` works.
+    pub fn new(schema: &Schema, searchable: &[(&str, f32)]) -> Result<FullTextView, StoreError> {
+        let mut index = Index::new(IndexConfig::default());
+        let mut cols = Vec::with_capacity(searchable.len());
+        for (name, boost) in searchable {
+            let col = schema
+                .col(name)
+                .ok_or_else(|| StoreError::UnknownColumn(name.to_string()))?;
+            let field = index.register_field(name, *boost);
+            cols.push((col, field));
+        }
+        Ok(FullTextView {
+            index,
+            cols,
+            doc_to_record: Vec::new(),
+            record_to_doc: std::collections::HashMap::new(),
+        })
+    }
+
+    /// Index a record (or re-index it after an update).
+    pub fn add(&mut self, id: RecordId, record: &Record) {
+        if self.record_to_doc.contains_key(&id) {
+            self.remove(id);
+        }
+        let mut doc = Doc::new();
+        for &(col, field) in &self.cols {
+            let text = record.get(col).index_text();
+            if !text.is_empty() {
+                doc = doc.field(field, text);
+            }
+        }
+        let doc_id = self.index.add(doc);
+        debug_assert_eq!(doc_id.as_usize(), self.doc_to_record.len());
+        self.doc_to_record.push(id);
+        self.record_to_doc.insert(id, doc_id);
+    }
+
+    /// Drop a record from the view (no-op when absent).
+    pub fn remove(&mut self, id: RecordId) {
+        if let Some(doc) = self.record_to_doc.remove(&id) {
+            self.index.delete(doc);
+        }
+    }
+
+    /// Execute a full-text query, returning the top `k` records.
+    pub fn search(&self, query: &Query, k: usize) -> Vec<TextHit> {
+        Searcher::new(&self.index)
+            .search(query, k)
+            .into_iter()
+            .map(|h| TextHit {
+                record: self.doc_to_record[h.doc.as_usize()],
+                score: h.score,
+            })
+            .collect()
+    }
+
+    /// The searchable `(column, field)` mapping.
+    pub fn columns(&self) -> &[(usize, FieldId)] {
+        &self.cols
+    }
+
+    /// Borrow the underlying text index (stats, analyzer access).
+    pub fn index(&self) -> &Index {
+        &self.index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::FieldType;
+    use crate::table::Table;
+    use crate::value::Value;
+
+    fn setup() -> (Table, FullTextView) {
+        let schema = Schema::of(&[
+            ("title", FieldType::Text),
+            ("description", FieldType::Text),
+            ("price", FieldType::Float),
+        ]);
+        let view = FullTextView::new(&schema, &[("title", 2.0), ("description", 1.0)]).unwrap();
+        (Table::new("inv", schema), view)
+    }
+
+    fn add(t: &mut Table, v: &mut FullTextView, title: &str, desc: &str) -> RecordId {
+        let id = t.insert(Record::new(vec![
+            Value::Text(title.into()),
+            Value::Text(desc.into()),
+            Value::Float(10.0),
+        ]));
+        v.add(id, t.get(id).unwrap());
+        id
+    }
+
+    #[test]
+    fn search_maps_back_to_records() {
+        let (mut t, mut v) = setup();
+        let a = add(&mut t, &mut v, "Galactic Raiders", "space shooter");
+        let _b = add(&mut t, &mut v, "Farm Story", "calm farming");
+        let hits = v.search(&Query::parse("shooter"), 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].record, a);
+        assert!(hits[0].score > 0.0);
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        let schema = Schema::of(&[("a", FieldType::Text)]);
+        let err = FullTextView::new(&schema, &[("nope", 1.0)]).unwrap_err();
+        assert_eq!(err, StoreError::UnknownColumn("nope".into()));
+    }
+
+    #[test]
+    fn remove_hides_record() {
+        let (mut t, mut v) = setup();
+        let a = add(&mut t, &mut v, "Galactic Raiders", "space shooter");
+        v.remove(a);
+        assert!(v.search(&Query::parse("shooter"), 10).is_empty());
+        v.remove(a); // idempotent
+    }
+
+    #[test]
+    fn re_add_replaces_old_text() {
+        let (mut t, mut v) = setup();
+        let a = add(&mut t, &mut v, "Old Title", "old text");
+        t.update(
+            a,
+            Record::new(vec![
+                Value::Text("New Title".into()),
+                Value::Text("new text".into()),
+                Value::Float(1.0),
+            ]),
+        );
+        v.add(a, t.get(a).unwrap());
+        assert!(v.search(&Query::parse("old"), 10).is_empty());
+        let hits = v.search(&Query::parse("new"), 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].record, a);
+    }
+
+    #[test]
+    fn field_restricted_query_uses_column_names() {
+        let (mut t, mut v) = setup();
+        add(&mut t, &mut v, "space opera", "a story");
+        add(&mut t, &mut v, "farm tale", "set in space");
+        let hits = v.search(&Query::parse("title:space"), 10);
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn non_text_columns_index_their_display_form() {
+        let schema = Schema::of(&[("name", FieldType::Text), ("year", FieldType::Int)]);
+        let mut table = Table::new("t", schema.clone());
+        let mut view = FullTextView::new(&schema, &[("name", 1.0), ("year", 1.0)]).unwrap();
+        let id = table.insert(Record::new(vec![
+            Value::Text("Classic".into()),
+            Value::Int(2009),
+        ]));
+        view.add(id, table.get(id).unwrap());
+        assert_eq!(view.search(&Query::parse("2009"), 10).len(), 1);
+    }
+}

@@ -1,0 +1,520 @@
+//! [`IndexedTable`]: a table plus its secondary indexes and optional
+//! full-text view, kept in sync through one mutation interface, with a
+//! small planner for structured queries.
+
+use crate::error::StoreError;
+use crate::filter::{CmpOp, Filter};
+use crate::fulltext::{FullTextView, TextHit};
+use crate::indexes::{IndexKind, SecondaryIndex};
+use crate::table::{Record, RecordId, Table};
+use crate::value::Value;
+
+/// Sort direction for [`TableQuery::sort`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortDir {
+    /// Ascending.
+    Asc,
+    /// Descending.
+    Desc,
+}
+
+/// A structured query: filter, then sort, then offset/limit.
+#[derive(Debug, Clone)]
+pub struct TableQuery {
+    /// Row predicate.
+    pub filter: Filter,
+    /// Sort keys applied in order.
+    pub sort: Vec<(usize, SortDir)>,
+    /// Rows skipped after sorting.
+    pub offset: usize,
+    /// Maximum rows returned (`None` = all).
+    pub limit: Option<usize>,
+}
+
+impl Default for TableQuery {
+    fn default() -> Self {
+        TableQuery {
+            filter: Filter::True,
+            sort: Vec::new(),
+            offset: 0,
+            limit: None,
+        }
+    }
+}
+
+impl TableQuery {
+    /// Query with just a filter.
+    pub fn filtered(filter: Filter) -> TableQuery {
+        TableQuery {
+            filter,
+            ..TableQuery::default()
+        }
+    }
+}
+
+/// How the planner decided to fetch candidates (exposed for tests and
+/// the EXPLAIN-style output in the experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AccessPath {
+    /// Point lookup on an index.
+    IndexEq {
+        /// Column of the chosen index.
+        col: usize,
+    },
+    /// Range scan on an ordered index.
+    IndexRange {
+        /// Column of the chosen index.
+        col: usize,
+    },
+    /// Full table scan.
+    FullScan,
+}
+
+/// A table with maintained secondary indexes and an optional full-text
+/// view.
+#[derive(Debug)]
+pub struct IndexedTable {
+    table: Table,
+    secondary: Vec<SecondaryIndex>,
+    fulltext: Option<FullTextView>,
+}
+
+impl IndexedTable {
+    /// Wrap an existing table (no indexes yet; existing rows are
+    /// indexed when indexes are created).
+    pub fn new(table: Table) -> IndexedTable {
+        IndexedTable {
+            table,
+            secondary: Vec::new(),
+            fulltext: None,
+        }
+    }
+
+    /// Borrow the underlying table.
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Create a secondary index over `col_name`, backfilling existing
+    /// rows.
+    pub fn create_index(&mut self, col_name: &str, kind: IndexKind) -> Result<(), StoreError> {
+        let col = self
+            .table
+            .schema()
+            .col(col_name)
+            .ok_or_else(|| StoreError::UnknownColumn(col_name.to_string()))?;
+        if self.secondary.iter().any(|ix| ix.col() == col) {
+            return Err(StoreError::IndexExists(col_name.to_string()));
+        }
+        let mut ix = SecondaryIndex::new(kind, col);
+        for (id, rec) in self.table.iter() {
+            ix.insert(rec.get(col), id);
+        }
+        self.secondary.push(ix);
+        Ok(())
+    }
+
+    /// Enable full-text search over `(column, boost)` pairs,
+    /// backfilling existing rows. Replaces any previous view.
+    pub fn enable_fulltext(&mut self, searchable: &[(&str, f32)]) -> Result<(), StoreError> {
+        let mut view = FullTextView::new(self.table.schema(), searchable)?;
+        for (id, rec) in self.table.iter() {
+            view.add(id, rec);
+        }
+        self.fulltext = Some(view);
+        Ok(())
+    }
+
+    /// Insert a record, maintaining all indexes.
+    pub fn insert(&mut self, record: Record) -> RecordId {
+        let id = self.table.insert(record);
+        let rec = self.table.get(id).expect("just inserted");
+        for ix in &mut self.secondary {
+            ix.insert(rec.get(ix.col()), id);
+        }
+        if let Some(ft) = &mut self.fulltext {
+            ft.add(id, rec);
+        }
+        id
+    }
+
+    /// Insert from raw strings (see
+    /// [`Table::insert_raw`](crate::table::Table::insert_raw)).
+    pub fn insert_raw(&mut self, raw: &[String]) -> RecordId {
+        let id = self.table.insert_raw(raw);
+        let rec = self.table.get(id).expect("just inserted");
+        for ix in &mut self.secondary {
+            ix.insert(rec.get(ix.col()), id);
+        }
+        if let Some(ft) = &mut self.fulltext {
+            ft.add(id, rec);
+        }
+        id
+    }
+
+    /// Delete a record, maintaining all indexes.
+    pub fn delete(&mut self, id: RecordId) -> Option<Record> {
+        let old = self.table.delete(id)?;
+        for ix in &mut self.secondary {
+            ix.remove(old.get(ix.col()), id);
+        }
+        if let Some(ft) = &mut self.fulltext {
+            ft.remove(id);
+        }
+        Some(old)
+    }
+
+    /// Update a record, maintaining all indexes.
+    pub fn update(&mut self, id: RecordId, record: Record) -> Option<Record> {
+        let old = self.table.update(id, record)?;
+        let new = self.table.get(id).expect("just updated");
+        for ix in &mut self.secondary {
+            ix.remove(old.get(ix.col()), id);
+            ix.insert(new.get(ix.col()), id);
+        }
+        if let Some(ft) = &mut self.fulltext {
+            ft.add(id, new);
+        }
+        Some(old)
+    }
+
+    /// Plan the access path for a filter (exposed for tests).
+    pub fn explain(&self, filter: &Filter) -> AccessPath {
+        // Flatten top-level conjunctions and look for a usable
+        // conjunct. Preference: index equality, then ordered range.
+        let mut conjuncts = Vec::new();
+        flatten_and(filter, &mut conjuncts);
+        let mut range: Option<usize> = None;
+        for c in &conjuncts {
+            if let Filter::Cmp { col, op, .. } = c {
+                let ix = self.secondary.iter().find(|ix| ix.col() == *col);
+                match (op, ix) {
+                    (CmpOp::Eq, Some(_)) => return AccessPath::IndexEq { col: *col },
+                    (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, Some(ix))
+                        if ix.kind() == IndexKind::Ordered && range.is_none() =>
+                    {
+                        range = Some(*col);
+                    }
+                    _ => {}
+                }
+            }
+        }
+        match range {
+            Some(col) => AccessPath::IndexRange { col },
+            None => AccessPath::FullScan,
+        }
+    }
+
+    /// Run a structured query.
+    pub fn query(&self, q: &TableQuery) -> Vec<(RecordId, &Record)> {
+        let path = self.explain(&q.filter);
+        let mut rows: Vec<(RecordId, &Record)> = match path {
+            AccessPath::IndexEq { col } => {
+                let value = find_eq_literal(&q.filter, col).expect("planner found an eq conjunct");
+                let ix = self
+                    .secondary
+                    .iter()
+                    .find(|ix| ix.col() == col)
+                    .expect("planner found the index");
+                ix.lookup_eq(&value)
+                    .into_iter()
+                    .filter_map(|id| self.table.get(id).map(|r| (id, r)))
+                    .filter(|(_, r)| q.filter.eval(r))
+                    .collect()
+            }
+            AccessPath::IndexRange { col } => {
+                let (low, high) = find_range_bounds(&q.filter, col);
+                let ix = self
+                    .secondary
+                    .iter()
+                    .find(|ix| ix.col() == col)
+                    .expect("planner found the index");
+                ix.lookup_range(low.as_ref(), high.as_ref())
+                    .expect("planner picked an ordered index")
+                    .into_iter()
+                    .filter_map(|id| self.table.get(id).map(|r| (id, r)))
+                    .filter(|(_, r)| q.filter.eval(r))
+                    .collect()
+            }
+            AccessPath::FullScan => self
+                .table
+                .iter()
+                .filter(|(_, r)| q.filter.eval(r))
+                .collect(),
+        };
+        if !q.sort.is_empty() {
+            rows.sort_by(|(ia, a), (ib, b)| {
+                for &(col, dir) in &q.sort {
+                    let ord = a.get(col).cmp_total(b.get(col));
+                    let ord = match dir {
+                        SortDir::Asc => ord,
+                        SortDir::Desc => ord.reverse(),
+                    };
+                    if ord != std::cmp::Ordering::Equal {
+                        return ord;
+                    }
+                }
+                ia.cmp(ib)
+            });
+        } else {
+            rows.sort_by_key(|(id, _)| *id);
+        }
+        let end = q
+            .limit
+            .map(|l| (q.offset + l).min(rows.len()))
+            .unwrap_or(rows.len());
+        let start = q.offset.min(end);
+        rows[start..end].to_vec()
+    }
+
+    /// Full-text search (errors when no view is enabled).
+    pub fn search(
+        &self,
+        query: &symphony_text::Query,
+        k: usize,
+    ) -> Result<Vec<TextHit>, StoreError> {
+        self.fulltext
+            .as_ref()
+            .map(|ft| ft.search(query, k))
+            .ok_or(StoreError::NoFullText)
+    }
+
+    /// Borrow the full-text view when enabled.
+    pub fn fulltext(&self) -> Option<&FullTextView> {
+        self.fulltext.as_ref()
+    }
+}
+
+fn flatten_and<'a>(f: &'a Filter, out: &mut Vec<&'a Filter>) {
+    match f {
+        Filter::And(a, b) => {
+            flatten_and(a, out);
+            flatten_and(b, out);
+        }
+        other => out.push(other),
+    }
+}
+
+fn find_eq_literal(filter: &Filter, col: usize) -> Option<Value> {
+    let mut conjuncts = Vec::new();
+    flatten_and(filter, &mut conjuncts);
+    conjuncts.iter().find_map(|c| match c {
+        Filter::Cmp {
+            col: c,
+            op: CmpOp::Eq,
+            value,
+        } if *c == col => Some(value.clone()),
+        _ => None,
+    })
+}
+
+fn find_range_bounds(filter: &Filter, col: usize) -> (Option<Value>, Option<Value>) {
+    let mut conjuncts = Vec::new();
+    flatten_and(filter, &mut conjuncts);
+    let mut low = None;
+    let mut high = None;
+    for c in conjuncts {
+        if let Filter::Cmp {
+            col: c,
+            op,
+            value,
+        } = c
+        {
+            if *c != col {
+                continue;
+            }
+            match op {
+                // Inclusive bounds: the residual filter re-checks the
+                // strict variants, so widening is safe.
+                CmpOp::Gt | CmpOp::Ge => low = Some(value.clone()),
+                CmpOp::Lt | CmpOp::Le => high = Some(value.clone()),
+                _ => {}
+            }
+        }
+    }
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{FieldType, Schema};
+
+    fn inventory() -> IndexedTable {
+        let schema = Schema::of(&[
+            ("title", FieldType::Text),
+            ("genre", FieldType::Text),
+            ("price", FieldType::Float),
+        ]);
+        let mut it = IndexedTable::new(Table::new("inv", schema));
+        for (t, g, p) in [
+            ("Galactic Raiders", "shooter", 49.99),
+            ("Farm Story", "sim", 19.99),
+            ("Space Trader", "sim", 29.99),
+            ("Laser Golf", "sports", 9.99),
+            ("Puzzle Palace", "puzzle", 14.99),
+        ] {
+            it.insert(Record::new(vec![
+                Value::Text(t.into()),
+                Value::Text(g.into()),
+                Value::Float(p),
+            ]));
+        }
+        it
+    }
+
+    #[test]
+    fn create_index_backfills() {
+        let mut it = inventory();
+        it.create_index("genre", IndexKind::Hash).unwrap();
+        let q = TableQuery::filtered(Filter::eq(1, Value::Text("sim".into())));
+        assert_eq!(it.explain(&q.filter), AccessPath::IndexEq { col: 1 });
+        assert_eq!(it.query(&q).len(), 2);
+    }
+
+    #[test]
+    fn duplicate_index_rejected() {
+        let mut it = inventory();
+        it.create_index("genre", IndexKind::Hash).unwrap();
+        assert_eq!(
+            it.create_index("genre", IndexKind::Ordered),
+            Err(StoreError::IndexExists("genre".into()))
+        );
+    }
+
+    #[test]
+    fn unknown_column_index_rejected() {
+        let mut it = inventory();
+        assert_eq!(
+            it.create_index("nope", IndexKind::Hash),
+            Err(StoreError::UnknownColumn("nope".into()))
+        );
+    }
+
+    #[test]
+    fn range_plan_on_ordered_index() {
+        let mut it = inventory();
+        it.create_index("price", IndexKind::Ordered).unwrap();
+        let f = Filter::cmp(2, CmpOp::Ge, Value::Float(15.0))
+            .and(Filter::cmp(2, CmpOp::Lt, Value::Float(40.0)));
+        assert_eq!(it.explain(&f), AccessPath::IndexRange { col: 2 });
+        let rows = it.query(&TableQuery::filtered(f));
+        let titles: Vec<String> = rows
+            .iter()
+            .map(|(_, r)| r.get(0).display_string())
+            .collect();
+        assert_eq!(titles, vec!["Farm Story", "Space Trader"]);
+    }
+
+    #[test]
+    fn strict_bounds_enforced_by_residual_filter() {
+        let mut it = inventory();
+        it.create_index("price", IndexKind::Ordered).unwrap();
+        let f = Filter::cmp(2, CmpOp::Gt, Value::Float(19.99));
+        let rows = it.query(&TableQuery::filtered(f));
+        assert!(rows
+            .iter()
+            .all(|(_, r)| matches!(r.get(2), Value::Float(p) if *p > 19.99)));
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn full_scan_without_index() {
+        let it = inventory();
+        let f = Filter::eq(1, Value::Text("sim".into()));
+        assert_eq!(it.explain(&f), AccessPath::FullScan);
+        assert_eq!(it.query(&TableQuery::filtered(f)).len(), 2);
+    }
+
+    #[test]
+    fn index_and_scan_agree() {
+        let mut with_ix = inventory();
+        with_ix.create_index("genre", IndexKind::Hash).unwrap();
+        let without_ix = inventory();
+        let f = Filter::eq(1, Value::Text("sim".into()));
+        let a: Vec<RecordId> = with_ix
+            .query(&TableQuery::filtered(f.clone()))
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        let b: Vec<RecordId> = without_ix
+            .query(&TableQuery::filtered(f))
+            .iter()
+            .map(|(id, _)| *id)
+            .collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn sort_offset_limit() {
+        let it = inventory();
+        let q = TableQuery {
+            filter: Filter::True,
+            sort: vec![(2, SortDir::Desc)],
+            offset: 1,
+            limit: Some(2),
+        };
+        let titles: Vec<String> = it
+            .query(&q)
+            .iter()
+            .map(|(_, r)| r.get(0).display_string())
+            .collect();
+        assert_eq!(titles, vec!["Space Trader", "Farm Story"]);
+    }
+
+    #[test]
+    fn offset_past_end_is_empty() {
+        let it = inventory();
+        let q = TableQuery {
+            offset: 99,
+            ..TableQuery::default()
+        };
+        assert!(it.query(&q).is_empty());
+    }
+
+    #[test]
+    fn mutations_keep_indexes_consistent() {
+        let mut it = inventory();
+        it.create_index("genre", IndexKind::Hash).unwrap();
+        it.enable_fulltext(&[("title", 1.0)]).unwrap();
+        let id = it.insert(Record::new(vec![
+            Value::Text("Star Farm".into()),
+            Value::Text("sim".into()),
+            Value::Float(5.0),
+        ]));
+        let sim = Filter::eq(1, Value::Text("sim".into()));
+        assert_eq!(it.query(&TableQuery::filtered(sim.clone())).len(), 3);
+        assert_eq!(
+            it.search(&symphony_text::Query::parse("star"), 10)
+                .unwrap()
+                .len(),
+            1
+        );
+
+        it.update(
+            id,
+            Record::new(vec![
+                Value::Text("Star Farm".into()),
+                Value::Text("strategy".into()),
+                Value::Float(5.0),
+            ]),
+        );
+        assert_eq!(it.query(&TableQuery::filtered(sim.clone())).len(), 2);
+
+        it.delete(id);
+        assert_eq!(it.query(&TableQuery::filtered(sim)).len(), 2);
+        assert!(it
+            .search(&symphony_text::Query::parse("star"), 10)
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn search_without_fulltext_errors() {
+        let it = inventory();
+        assert_eq!(
+            it.search(&symphony_text::Query::parse("x"), 5).unwrap_err(),
+            StoreError::NoFullText
+        );
+    }
+}

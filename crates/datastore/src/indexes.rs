@@ -1,0 +1,241 @@
+//! Secondary indexes: hash (point lookups) and ordered (ranges).
+
+use std::collections::hash_map::Entry;
+use std::collections::{BTreeMap, HashMap};
+
+use crate::table::RecordId;
+use crate::value::{Value, ValueKey};
+
+/// [`Value`] wrapper whose `Ord` is [`Value::cmp_total`], so it can key
+/// a `BTreeMap`.
+#[derive(Debug, Clone)]
+pub struct OrdValue(pub Value);
+
+impl PartialEq for OrdValue {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.cmp_total(&other.0) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for OrdValue {}
+impl PartialOrd for OrdValue {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for OrdValue {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.cmp_total(&other.0)
+    }
+}
+
+/// Which index structure backs a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IndexKind {
+    /// Hash index: O(1) equality.
+    Hash,
+    /// Ordered index: equality + ranges.
+    Ordered,
+}
+
+/// A secondary index over one column.
+#[derive(Debug)]
+pub enum SecondaryIndex {
+    /// Hash-backed.
+    Hash {
+        /// Indexed column.
+        col: usize,
+        /// Value -> record ids (insertion-ordered).
+        map: HashMap<ValueKey, Vec<RecordId>>,
+    },
+    /// Ordered (B-tree-backed).
+    Ordered {
+        /// Indexed column.
+        col: usize,
+        /// Value -> record ids (insertion-ordered).
+        map: BTreeMap<OrdValue, Vec<RecordId>>,
+    },
+}
+
+impl SecondaryIndex {
+    /// Create an empty index of `kind` over `col`.
+    pub fn new(kind: IndexKind, col: usize) -> SecondaryIndex {
+        match kind {
+            IndexKind::Hash => SecondaryIndex::Hash {
+                col,
+                map: HashMap::new(),
+            },
+            IndexKind::Ordered => SecondaryIndex::Ordered {
+                col,
+                map: BTreeMap::new(),
+            },
+        }
+    }
+
+    /// Indexed column.
+    pub fn col(&self) -> usize {
+        match self {
+            SecondaryIndex::Hash { col, .. } | SecondaryIndex::Ordered { col, .. } => *col,
+        }
+    }
+
+    /// The structure kind.
+    pub fn kind(&self) -> IndexKind {
+        match self {
+            SecondaryIndex::Hash { .. } => IndexKind::Hash,
+            SecondaryIndex::Ordered { .. } => IndexKind::Ordered,
+        }
+    }
+
+    /// Register a record's value.
+    pub fn insert(&mut self, value: &Value, id: RecordId) {
+        match self {
+            SecondaryIndex::Hash { map, .. } => {
+                map.entry(value.hash_key()).or_default().push(id);
+            }
+            SecondaryIndex::Ordered { map, .. } => {
+                map.entry(OrdValue(value.clone())).or_default().push(id);
+            }
+        }
+    }
+
+    /// Remove a record's value (no-op if absent).
+    pub fn remove(&mut self, value: &Value, id: RecordId) {
+        match self {
+            SecondaryIndex::Hash { map, .. } => {
+                if let Entry::Occupied(mut e) = map.entry(value.hash_key()) {
+                    e.get_mut().retain(|&r| r != id);
+                    if e.get().is_empty() {
+                        e.remove();
+                    }
+                }
+            }
+            SecondaryIndex::Ordered { map, .. } => {
+                let key = OrdValue(value.clone());
+                if let Some(ids) = map.get_mut(&key) {
+                    ids.retain(|&r| r != id);
+                    if ids.is_empty() {
+                        map.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Record ids equal to `value`.
+    pub fn lookup_eq(&self, value: &Value) -> Vec<RecordId> {
+        match self {
+            SecondaryIndex::Hash { map, .. } => {
+                map.get(&value.hash_key()).cloned().unwrap_or_default()
+            }
+            SecondaryIndex::Ordered { map, .. } => map
+                .get(&OrdValue(value.clone()))
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Record ids in `[low, high]` (inclusive bounds; `None` =
+    /// unbounded). Only ordered indexes support ranges.
+    pub fn lookup_range(&self, low: Option<&Value>, high: Option<&Value>) -> Option<Vec<RecordId>> {
+        match self {
+            SecondaryIndex::Hash { .. } => None,
+            SecondaryIndex::Ordered { map, .. } => {
+                use std::ops::Bound;
+                let lo = match low {
+                    Some(v) => Bound::Included(OrdValue(v.clone())),
+                    None => Bound::Unbounded,
+                };
+                let hi = match high {
+                    Some(v) => Bound::Included(OrdValue(v.clone())),
+                    None => Bound::Unbounded,
+                };
+                let mut out = Vec::new();
+                for (_, ids) in map.range((lo, hi)) {
+                    out.extend_from_slice(ids);
+                }
+                Some(out)
+            }
+        }
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            SecondaryIndex::Hash { map, .. } => map.len(),
+            SecondaryIndex::Ordered { map, .. } => map.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ids(v: Vec<u32>) -> Vec<RecordId> {
+        v.into_iter().map(RecordId).collect()
+    }
+
+    #[test]
+    fn hash_index_eq_lookup() {
+        let mut ix = SecondaryIndex::new(IndexKind::Hash, 0);
+        ix.insert(&Value::Text("a".into()), RecordId(1));
+        ix.insert(&Value::Text("a".into()), RecordId(2));
+        ix.insert(&Value::Text("b".into()), RecordId(3));
+        assert_eq!(ix.lookup_eq(&Value::Text("a".into())), ids(vec![1, 2]));
+        assert_eq!(ix.lookup_eq(&Value::Text("zz".into())), ids(vec![]));
+        assert!(ix.lookup_range(None, None).is_none());
+    }
+
+    #[test]
+    fn ordered_index_range_lookup() {
+        let mut ix = SecondaryIndex::new(IndexKind::Ordered, 1);
+        for (i, v) in [10, 20, 30, 40].iter().enumerate() {
+            ix.insert(&Value::Int(*v), RecordId(i as u32));
+        }
+        let got = ix
+            .lookup_range(Some(&Value::Int(15)), Some(&Value::Int(35)))
+            .unwrap();
+        assert_eq!(got, ids(vec![1, 2]));
+        let all = ix.lookup_range(None, None).unwrap();
+        assert_eq!(all.len(), 4);
+        let open_high = ix.lookup_range(Some(&Value::Int(30)), None).unwrap();
+        assert_eq!(open_high, ids(vec![2, 3]));
+    }
+
+    #[test]
+    fn ordered_index_mixed_numeric_keys_merge() {
+        let mut ix = SecondaryIndex::new(IndexKind::Ordered, 0);
+        ix.insert(&Value::Int(2), RecordId(0));
+        ix.insert(&Value::Float(2.0), RecordId(1));
+        // Int(2) and Float(2.0) compare equal under cmp_total, so they
+        // share one key.
+        assert_eq!(ix.distinct_keys(), 1);
+        assert_eq!(ix.lookup_eq(&Value::Int(2)), ids(vec![0, 1]));
+    }
+
+    #[test]
+    fn remove_cleans_up_empty_keys() {
+        let mut ix = SecondaryIndex::new(IndexKind::Hash, 0);
+        ix.insert(&Value::Int(1), RecordId(0));
+        ix.remove(&Value::Int(1), RecordId(0));
+        assert_eq!(ix.distinct_keys(), 0);
+        // Removing again is a no-op.
+        ix.remove(&Value::Int(1), RecordId(0));
+    }
+
+    #[test]
+    fn remove_only_target_id() {
+        let mut ix = SecondaryIndex::new(IndexKind::Ordered, 0);
+        ix.insert(&Value::Int(1), RecordId(0));
+        ix.insert(&Value::Int(1), RecordId(1));
+        ix.remove(&Value::Int(1), RecordId(0));
+        assert_eq!(ix.lookup_eq(&Value::Int(1)), ids(vec![1]));
+    }
+
+    #[test]
+    fn null_values_are_indexable() {
+        let mut ix = SecondaryIndex::new(IndexKind::Hash, 0);
+        ix.insert(&Value::Null, RecordId(5));
+        assert_eq!(ix.lookup_eq(&Value::Null), ids(vec![5]));
+    }
+}

@@ -1,0 +1,386 @@
+//! HTML rendering of element trees.
+//!
+//! Two modes share one renderer:
+//!
+//! * **Runtime** — [`render_element`] renders an item layout against a
+//!   concrete record's fields; nested result lists are delegated to a
+//!   caller-supplied closure (the platform runtime executes the
+//!   supplemental query and renders its items recursively).
+//! * **Design surface** — [`render_design_surface`] renders the canvas
+//!   with `⟦field⟧` chips instead of data and one sample item per
+//!   result list, which is what the Fig.-1 report binary prints.
+
+use crate::canvas::Canvas;
+use crate::element::{Direction, Element, ElementKind};
+use crate::style::Stylesheet;
+
+/// Escape text for HTML character data.
+pub fn escape_html(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape a URL for an attribute; anything not http(s) or relative is
+/// neutralized (a `javascript:` URL in uploaded data must not become a
+/// live link in a hosted application).
+pub fn safe_url(url: &str) -> String {
+    let trimmed = url.trim();
+    let lower = trimmed.to_lowercase();
+    if lower.starts_with("http://") || lower.starts_with("https://") || trimmed.starts_with('/') {
+        escape_html(trimmed)
+    } else {
+        String::from("#")
+    }
+}
+
+fn style_attr(sheet: &Stylesheet, e: &Element) -> String {
+    let resolved = sheet.resolve(e.kind.name(), e.class.as_deref(), e.id.0, &e.style);
+    if resolved.is_empty() {
+        String::new()
+    } else {
+        format!(" style=\"{}\"", escape_html(&resolved.to_inline_css()))
+    }
+}
+
+fn class_attr(e: &Element) -> String {
+    match &e.class {
+        Some(c) => format!(" class=\"{}\"", escape_html(c)),
+        None => String::new(),
+    }
+}
+
+/// Render one element against a field lookup. Nested
+/// [`ElementKind::ResultList`]s are rendered by `nested(source, max,
+/// item_layout)`.
+pub fn render_element(
+    e: &Element,
+    sheet: &Stylesheet,
+    fields: &dyn Fn(&str) -> Option<String>,
+    nested: &mut dyn FnMut(&str, usize, &Element) -> String,
+) -> String {
+    let style = style_attr(sheet, e);
+    let class = class_attr(e);
+    match &e.kind {
+        ElementKind::Container {
+            direction,
+            children,
+        } => {
+            let dir_class = match direction {
+                Direction::Row => "sym-row",
+                Direction::Column => "sym-col",
+            };
+            let inner: String = children
+                .iter()
+                .map(|c| render_element(c, sheet, fields, nested))
+                .collect();
+            let class = match &e.class {
+                Some(c) => format!(" class=\"{dir_class} {}\"", escape_html(c)),
+                None => format!(" class=\"{dir_class}\""),
+            };
+            format!("<div{class}{style}>{inner}</div>")
+        }
+        ElementKind::Text { template } => {
+            format!(
+                "<span{class}{style}>{}</span>",
+                escape_html(&template.render(fields))
+            )
+        }
+        ElementKind::RichText { template } => {
+            // Safety contract documented on the variant: the bound
+            // fields are platform-generated safe HTML.
+            format!("<span{class}{style}>{}</span>", template.render(fields))
+        }
+        ElementKind::Image { src, alt } => {
+            let url = safe_url(&src.resolve(fields));
+            format!(
+                "<img{class}{style} src=\"{url}\" alt=\"{}\">",
+                escape_html(&alt.render(fields))
+            )
+        }
+        ElementKind::Link { href, label } => {
+            let url = safe_url(&href.resolve(fields));
+            format!(
+                "<a{class}{style} href=\"{url}\">{}</a>",
+                escape_html(&label.render(fields))
+            )
+        }
+        ElementKind::SearchBox { placeholder } => {
+            format!(
+                "<form{class}{style} class=\"sym-search\" onsubmit=\"return symphonySearch(this)\">\
+                 <input type=\"text\" name=\"q\" placeholder=\"{}\">\
+                 <button type=\"submit\">Search</button></form>",
+                escape_html(placeholder)
+            )
+        }
+        ElementKind::ResultList {
+            source,
+            item,
+            max_results,
+        } => {
+            let inner = nested(source, *max_results, item);
+            format!(
+                "<div{class}{style} data-source=\"{}\">{inner}</div>",
+                escape_html(source)
+            )
+        }
+    }
+}
+
+/// Render the design-time surface of a canvas: the palette (Fig. 1
+/// left bar) and the tree with `⟦field⟧` placeholder chips and one
+/// sample item per result list.
+pub fn render_design_surface(canvas: &Canvas, sheet: &Stylesheet) -> String {
+    let mut html = String::from("<div class=\"sym-designer\">\n<aside class=\"sym-palette\">\n");
+    html.push_str("<h3>Data sources</h3>\n<ul>\n");
+    for card in canvas.palette() {
+        html.push_str(&format!(
+            "<li draggable=\"true\" data-source=\"{}\"><b>{}</b> <i>({})</i><br><small>{}</small></li>\n",
+            escape_html(&card.name),
+            escape_html(&card.name),
+            escape_html(&card.category),
+            escape_html(&card.fields.join(", ")),
+        ));
+    }
+    html.push_str("</ul>\n</aside>\n<main class=\"sym-canvas\">\n");
+    let chips = |name: &str| Some(format!("⟦{name}⟧"));
+    let mut sample = |source: &str, max: usize, item: &Element| {
+        let inner = render_element(item, sheet, &chips, &mut |s, m, i| {
+            // Nested supplemental lists also show one sample item.
+            let inner = render_element(i, sheet, &chips, &mut |_, _, _| String::new());
+            format!(
+                "<div class=\"sym-sample\" data-source=\"{}\" data-max=\"{m}\">{inner}</div>",
+                escape_html(s)
+            )
+        });
+        format!(
+            "<div class=\"sym-sample\" data-source=\"{}\" data-max=\"{max}\">{inner}</div>",
+            escape_html(source)
+        )
+    };
+    html.push_str(&render_element(canvas.root(), sheet, &chips, &mut sample));
+    html.push_str("\n</main>\n</div>\n");
+    html
+}
+
+/// Indented text rendering of the tree structure (the Fig.-1 binary
+/// prints this next to the HTML so the layout is inspectable).
+pub fn render_outline(e: &Element) -> String {
+    fn go(e: &Element, depth: usize, out: &mut String) {
+        out.push_str(&"  ".repeat(depth));
+        out.push_str(e.kind.name());
+        match &e.kind {
+            ElementKind::Text { template } => {
+                out.push_str(&format!(" {:?}", template.source()));
+            }
+            ElementKind::Link { label, .. } => {
+                out.push_str(&format!(" label={:?}", label.source()));
+            }
+            ElementKind::ResultList {
+                source,
+                max_results,
+                ..
+            } => {
+                out.push_str(&format!(" source={source:?} max={max_results}"));
+            }
+            _ => {}
+        }
+        if let Some(c) = &e.class {
+            out.push_str(&format!(" .{c}"));
+        }
+        out.push('\n');
+        match &e.kind {
+            ElementKind::Container { children, .. } => {
+                for c in children {
+                    go(c, depth + 1, out);
+                }
+            }
+            ElementKind::ResultList { item, .. } => go(item, depth + 1, out),
+            _ => {}
+        }
+    }
+    let mut out = String::new();
+    go(e, 0, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canvas::DataSourceCard;
+
+    fn fields(name: &str) -> Option<String> {
+        match name {
+            "title" => Some("Galactic <Raiders>".into()),
+            "url" => Some("http://shop.example.com/gr".into()),
+            "img" => Some("http://shop.example.com/gr.jpg".into()),
+            "description" => Some("space & lasers".into()),
+            _ => None,
+        }
+    }
+
+    fn no_nested(_: &str, _: usize, _: &Element) -> String {
+        String::new()
+    }
+
+    #[test]
+    fn text_escapes_html() {
+        let html = render_element(
+            &Element::text("{title}"),
+            &Stylesheet::new(),
+            &fields,
+            &mut no_nested,
+        );
+        assert_eq!(html, "<span>Galactic &lt;Raiders&gt;</span>");
+    }
+
+    #[test]
+    fn rich_text_renders_without_escaping() {
+        let snippet = |name: &str| {
+            (name == "snippet").then(|| "a <b>hit</b> here".to_string())
+        };
+        let html = render_element(
+            &Element::rich_text("{snippet}"),
+            &Stylesheet::new(),
+            &snippet,
+            &mut no_nested,
+        );
+        assert_eq!(html, "<span>a <b>hit</b> here</span>");
+        // Plain text with the same binding escapes.
+        let escaped = render_element(
+            &Element::text("{snippet}"),
+            &Stylesheet::new(),
+            &snippet,
+            &mut no_nested,
+        );
+        assert!(escaped.contains("&lt;b&gt;"));
+    }
+
+    #[test]
+    fn link_binds_href_and_label() {
+        let html = render_element(
+            &Element::link_field("url", "{title}"),
+            &Stylesheet::new(),
+            &fields,
+            &mut no_nested,
+        );
+        assert!(html.contains("href=\"http://shop.example.com/gr\""));
+        assert!(html.contains(">Galactic &lt;Raiders&gt;</a>"));
+    }
+
+    #[test]
+    fn javascript_urls_neutralized() {
+        let evil = |name: &str| (name == "u").then(|| "javascript:alert(1)".to_string());
+        let html = render_element(
+            &Element::link_field("u", "x"),
+            &Stylesheet::new(),
+            &evil,
+            &mut no_nested,
+        );
+        assert!(html.contains("href=\"#\""), "{html}");
+    }
+
+    #[test]
+    fn image_renders_src_and_alt() {
+        let html = render_element(
+            &Element::image_field("img", "{title}"),
+            &Stylesheet::new(),
+            &fields,
+            &mut no_nested,
+        );
+        assert!(html.starts_with("<img"));
+        assert!(html.contains("src=\"http://shop.example.com/gr.jpg\""));
+        assert!(html.contains("alt=\"Galactic &lt;Raiders&gt;\""));
+    }
+
+    #[test]
+    fn container_direction_classes() {
+        let row = render_element(
+            &Element::row(vec![Element::text("a")]),
+            &Stylesheet::new(),
+            &fields,
+            &mut no_nested,
+        );
+        assert!(row.contains("sym-row"));
+        let col = render_element(
+            &Element::column(vec![]),
+            &Stylesheet::new(),
+            &fields,
+            &mut no_nested,
+        );
+        assert!(col.contains("sym-col"));
+    }
+
+    #[test]
+    fn styles_resolve_into_attribute() {
+        let sheet = Stylesheet::new();
+        let e = Element::text("{title}").with_style("color", "navy");
+        let html = render_element(&e, &sheet, &fields, &mut no_nested);
+        assert!(html.contains("style=\"color:navy\""));
+    }
+
+    #[test]
+    fn result_list_delegates_to_nested() {
+        let e = Element::result_list("reviews", Element::text("{title}"), 3);
+        let mut calls = Vec::new();
+        let html = render_element(&e, &Stylesheet::new(), &fields, &mut |s, m, _| {
+            calls.push((s.to_string(), m));
+            "<p>NESTED</p>".into()
+        });
+        assert_eq!(calls, vec![("reviews".to_string(), 3)]);
+        assert!(html.contains("<p>NESTED</p>"));
+        assert!(html.contains("data-source=\"reviews\""));
+    }
+
+    #[test]
+    fn search_box_renders_form() {
+        let html = render_element(
+            &Element::search_box("Search games…"),
+            &Stylesheet::new(),
+            &fields,
+            &mut no_nested,
+        );
+        assert!(html.contains("<form"));
+        assert!(html.contains("placeholder=\"Search games…\""));
+    }
+
+    #[test]
+    fn design_surface_shows_palette_and_chips() {
+        let mut canvas = Canvas::new();
+        canvas.register_source(DataSourceCard {
+            name: "inventory".into(),
+            category: "proprietary".into(),
+            fields: vec!["title".into(), "price".into()],
+        });
+        let root = canvas.root_id();
+        canvas
+            .insert(root, Element::result_list("inventory", Element::text("{title}"), 5))
+            .unwrap();
+        let html = render_design_surface(&canvas, &Stylesheet::new());
+        assert!(html.contains("sym-palette"));
+        assert!(html.contains("inventory"));
+        assert!(html.contains("⟦title⟧"));
+        assert!(html.contains("data-max=\"5\""));
+    }
+
+    #[test]
+    fn outline_is_indented() {
+        let e = Element::column(vec![Element::result_list(
+            "inv",
+            Element::text("{t}"),
+            2,
+        )]);
+        let outline = render_outline(&e);
+        assert!(outline.starts_with("container\n"));
+        assert!(outline.contains("  resultlist source=\"inv\" max=2\n"));
+        assert!(outline.contains("    text \"{t}\"\n"));
+    }
+}

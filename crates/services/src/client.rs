@@ -1,0 +1,234 @@
+//! Service client with timeout and retry policy.
+//!
+//! The platform runtime never calls the transport directly; it goes
+//! through a client so per-source timeout/retry behaviour is uniform
+//! and the virtual time spent (including failed attempts) is
+//! accounted.
+
+use crate::message::{ServiceRequest, ServiceResponse};
+use crate::transport::{ServiceError, SimulatedTransport};
+
+/// Retry/timeout policy.
+#[derive(Debug, Clone, Copy)]
+pub struct CallPolicy {
+    /// Per-attempt timeout in virtual ms.
+    pub timeout_ms: u32,
+    /// Retries after the first attempt (0 = single attempt).
+    pub retries: u32,
+}
+
+impl Default for CallPolicy {
+    fn default() -> Self {
+        CallPolicy {
+            timeout_ms: 500,
+            retries: 1,
+        }
+    }
+}
+
+/// Result of a (possibly retried) call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientOutcome {
+    /// Final response.
+    pub response: ServiceResponse,
+    /// Attempts made (1 = first try succeeded).
+    pub attempts: u32,
+    /// Total virtual time across attempts, failed ones included.
+    pub total_latency_ms: u32,
+}
+
+/// A thin, policy-carrying client over a transport.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceClient<'a> {
+    transport: &'a SimulatedTransport,
+    policy: CallPolicy,
+}
+
+impl<'a> ServiceClient<'a> {
+    /// Client with the default policy.
+    pub fn new(transport: &'a SimulatedTransport) -> Self {
+        ServiceClient {
+            transport,
+            policy: CallPolicy::default(),
+        }
+    }
+
+    /// Client with an explicit policy.
+    pub fn with_policy(transport: &'a SimulatedTransport, policy: CallPolicy) -> Self {
+        ServiceClient { transport, policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> CallPolicy {
+        self.policy
+    }
+
+    /// Call `endpoint`, applying timeout and retries. On error the
+    /// virtual time burned is reported through the error variants.
+    pub fn call(
+        &self,
+        endpoint: &str,
+        request: &ServiceRequest,
+    ) -> Result<ClientOutcome, (ServiceError, u32)> {
+        let mut total = 0u32;
+        let attempts_allowed = self.policy.retries + 1;
+        let mut last_err = None;
+        for attempt in 1..=attempts_allowed {
+            match self.transport.call(endpoint, request) {
+                Ok(outcome) => {
+                    if outcome.latency_ms > self.policy.timeout_ms {
+                        // The caller hung up at the timeout; the
+                        // attempt costs exactly the timeout.
+                        total += self.policy.timeout_ms;
+                        last_err = Some(ServiceError::Timeout {
+                            timeout_ms: self.policy.timeout_ms,
+                        });
+                        continue;
+                    }
+                    total += outcome.latency_ms;
+                    return Ok(ClientOutcome {
+                        response: outcome.response,
+                        attempts: attempt,
+                        total_latency_ms: total,
+                    });
+                }
+                Err(ServiceError::TransportFailure { elapsed_ms }) => {
+                    total += elapsed_ms.min(self.policy.timeout_ms);
+                    last_err = Some(ServiceError::TransportFailure { elapsed_ms });
+                }
+                Err(e @ ServiceError::UnknownEndpoint(_)) | Err(e @ ServiceError::Fault(_)) => {
+                    // Not retryable.
+                    return Err((e, total));
+                }
+                Err(e @ ServiceError::Timeout { .. }) => {
+                    total += self.policy.timeout_ms;
+                    last_err = Some(e);
+                }
+            }
+        }
+        Err((
+            last_err.expect("loop ran at least once"),
+            total,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::ServiceResponse;
+    use crate::service::{OperationDesc, Protocol, Service, ServiceDescription, ServiceFault};
+    use crate::transport::LatencyModel;
+
+    struct Fixed;
+    impl Service for Fixed {
+        fn describe(&self) -> ServiceDescription {
+            ServiceDescription {
+                name: "Fixed".into(),
+                protocol: Protocol::Rest,
+                operations: vec![OperationDesc {
+                    name: "/v".into(),
+                    params: vec![],
+                    returns: vec!["v".into()],
+                }],
+            }
+        }
+        fn handle(&self, req: &ServiceRequest) -> Result<ServiceResponse, ServiceFault> {
+            if req.param("fail").is_some() {
+                return Err(ServiceFault {
+                    code: 500,
+                    message: "boom".into(),
+                });
+            }
+            Ok(ServiceResponse::single(&[("v", "1")]))
+        }
+    }
+
+    fn transport(latency: LatencyModel) -> SimulatedTransport {
+        let mut t = SimulatedTransport::new(3);
+        t.register("svc", Box::new(Fixed), latency);
+        t
+    }
+
+    #[test]
+    fn successful_call_single_attempt() {
+        let t = transport(LatencyModel::fast());
+        let c = ServiceClient::new(&t);
+        let out = c.call("svc", &ServiceRequest::get("/v", &[])).unwrap();
+        assert_eq!(out.attempts, 1);
+        assert_eq!(out.response.first_field("v"), Some("1"));
+        assert!(out.total_latency_ms <= 10);
+    }
+
+    #[test]
+    fn retries_recover_from_transport_failures() {
+        let t = transport(LatencyModel {
+            base_ms: 10,
+            jitter_ms: 0,
+            failure_rate: 0.5,
+        });
+        let c = ServiceClient::with_policy(
+            &t,
+            CallPolicy {
+                timeout_ms: 100,
+                retries: 5,
+            },
+        );
+        let mut recovered_with_retry = false;
+        for _ in 0..50 {
+            if let Ok(out) = c.call("svc", &ServiceRequest::get("/v", &[])) {
+                if out.attempts > 1 {
+                    // Failed attempts must be charged.
+                    assert!(out.total_latency_ms >= out.attempts * 10);
+                    recovered_with_retry = true;
+                }
+            }
+        }
+        assert!(recovered_with_retry);
+    }
+
+    #[test]
+    fn timeout_when_latency_exceeds_budget() {
+        let t = transport(LatencyModel {
+            base_ms: 300,
+            jitter_ms: 0,
+            failure_rate: 0.0,
+        });
+        let c = ServiceClient::with_policy(
+            &t,
+            CallPolicy {
+                timeout_ms: 100,
+                retries: 1,
+            },
+        );
+        let (err, burned) = c.call("svc", &ServiceRequest::get("/v", &[])).unwrap_err();
+        assert_eq!(err, ServiceError::Timeout { timeout_ms: 100 });
+        // Two attempts, each hung up at 100ms.
+        assert_eq!(burned, 200);
+    }
+
+    #[test]
+    fn faults_are_not_retried() {
+        let t = transport(LatencyModel::fast());
+        let c = ServiceClient::with_policy(
+            &t,
+            CallPolicy {
+                timeout_ms: 100,
+                retries: 5,
+            },
+        );
+        let (err, _) = c
+            .call("svc", &ServiceRequest::get("/v", &[("fail", "1")]))
+            .unwrap_err();
+        assert!(matches!(err, ServiceError::Fault(f) if f.code == 500));
+    }
+
+    #[test]
+    fn unknown_endpoint_not_retried() {
+        let t = transport(LatencyModel::fast());
+        let c = ServiceClient::new(&t);
+        let (err, burned) = c.call("nope", &ServiceRequest::get("/v", &[])).unwrap_err();
+        assert!(matches!(err, ServiceError::UnknownEndpoint(_)));
+        assert_eq!(burned, 0);
+    }
+}

@@ -1,0 +1,101 @@
+//! The [`Service`] trait and self-description (the WSDL analogue).
+
+use crate::message::{ServiceRequest, ServiceResponse};
+
+/// Wire protocol a service speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// REST endpoints.
+    Rest,
+    /// SOAP operations.
+    Soap,
+}
+
+/// One operation in a service description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OperationDesc {
+    /// REST path or SOAP operation name.
+    pub name: String,
+    /// Expected parameter names.
+    pub params: Vec<String>,
+    /// Field names produced per record.
+    pub returns: Vec<String>,
+}
+
+/// A service's self-description (shown in the designer's data-source
+/// palette, Fig. 1 left bar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceDescription {
+    /// Human name ("Real-time pricing").
+    pub name: String,
+    /// Protocol.
+    pub protocol: Protocol,
+    /// Operations offered.
+    pub operations: Vec<OperationDesc>,
+}
+
+/// Application-level error a service may return.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServiceFault {
+    /// Numeric code (HTTP-style).
+    pub code: u16,
+    /// Message.
+    pub message: String,
+}
+
+impl std::fmt::Display for ServiceFault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "service fault {}: {}", self.code, self.message)
+    }
+}
+
+/// A web service implementation.
+pub trait Service: Send + Sync {
+    /// Self-description.
+    fn describe(&self) -> ServiceDescription;
+
+    /// Handle one request.
+    fn handle(&self, request: &ServiceRequest) -> Result<ServiceResponse, ServiceFault>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo;
+    impl Service for Echo {
+        fn describe(&self) -> ServiceDescription {
+            ServiceDescription {
+                name: "Echo".into(),
+                protocol: Protocol::Rest,
+                operations: vec![OperationDesc {
+                    name: "/echo".into(),
+                    params: vec!["q".into()],
+                    returns: vec!["echo".into()],
+                }],
+            }
+        }
+        fn handle(&self, request: &ServiceRequest) -> Result<ServiceResponse, ServiceFault> {
+            match request.param("q") {
+                Some(q) => Ok(ServiceResponse::single(&[("echo", q)])),
+                None => Err(ServiceFault {
+                    code: 400,
+                    message: "missing q".into(),
+                }),
+            }
+        }
+    }
+
+    #[test]
+    fn trait_object_usable() {
+        let s: Box<dyn Service> = Box::new(Echo);
+        assert_eq!(s.describe().name, "Echo");
+        let ok = s
+            .handle(&ServiceRequest::get("/echo", &[("q", "hi")]))
+            .unwrap();
+        assert_eq!(ok.first_field("echo"), Some("hi"));
+        let err = s.handle(&ServiceRequest::get("/echo", &[])).unwrap_err();
+        assert_eq!(err.code, 400);
+        assert!(err.to_string().contains("missing q"));
+    }
+}

@@ -1,0 +1,289 @@
+//! Simulated transport: the registry of endpoints plus a seeded
+//! latency/failure model on a *virtual clock*.
+//!
+//! Nothing sleeps. A call returns the response together with the
+//! virtual milliseconds it "took"; the platform runtime accounts those
+//! into its execution traces (Fig. 2 timings) and its parallel fan-out
+//! math (`total = max(...)` instead of `sum(...)`). Determinism comes
+//! from a per-transport seeded RNG.
+
+use crate::message::{ServiceRequest, ServiceResponse};
+use crate::service::{Service, ServiceDescription, ServiceFault};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// Latency/failure behaviour of one endpoint.
+#[derive(Debug, Clone)]
+pub struct LatencyModel {
+    /// Minimum latency in virtual ms.
+    pub base_ms: u32,
+    /// Uniform jitter added on top.
+    pub jitter_ms: u32,
+    /// Probability of a transport-level failure.
+    pub failure_rate: f64,
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel {
+            base_ms: 40,
+            jitter_ms: 60,
+            failure_rate: 0.0,
+        }
+    }
+}
+
+impl LatencyModel {
+    /// A fast, reliable local service.
+    pub fn fast() -> Self {
+        LatencyModel {
+            base_ms: 5,
+            jitter_ms: 5,
+            failure_rate: 0.0,
+        }
+    }
+
+    /// A slow, flaky remote service.
+    pub fn flaky(failure_rate: f64) -> Self {
+        LatencyModel {
+            base_ms: 80,
+            jitter_ms: 160,
+            failure_rate,
+        }
+    }
+}
+
+/// Errors crossing the transport.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No service registered at the endpoint.
+    UnknownEndpoint(String),
+    /// The simulated network dropped the call after `elapsed_ms`.
+    TransportFailure {
+        /// Virtual time burned by the failed attempt.
+        elapsed_ms: u32,
+    },
+    /// The call exceeded the caller's timeout.
+    Timeout {
+        /// The timeout that was hit.
+        timeout_ms: u32,
+    },
+    /// The service itself returned a fault.
+    Fault(ServiceFault),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::UnknownEndpoint(e) => write!(f, "unknown endpoint: {e}"),
+            ServiceError::TransportFailure { elapsed_ms } => {
+                write!(f, "transport failure after {elapsed_ms}ms")
+            }
+            ServiceError::Timeout { timeout_ms } => write!(f, "timed out at {timeout_ms}ms"),
+            ServiceError::Fault(fault) => write!(f, "{fault}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Successful call outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallOutcome {
+    /// The response.
+    pub response: ServiceResponse,
+    /// Virtual latency of this call.
+    pub latency_ms: u32,
+}
+
+struct Endpoint {
+    service: Box<dyn Service>,
+    latency: LatencyModel,
+}
+
+/// The endpoint registry + simulated network.
+pub struct SimulatedTransport {
+    endpoints: BTreeMap<String, Endpoint>,
+    rng: Mutex<StdRng>,
+}
+
+impl std::fmt::Debug for SimulatedTransport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SimulatedTransport")
+            .field("endpoints", &self.endpoints.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+impl SimulatedTransport {
+    /// Empty transport with a deterministic RNG seed.
+    pub fn new(seed: u64) -> SimulatedTransport {
+        SimulatedTransport {
+            endpoints: BTreeMap::new(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// Register a service at `endpoint` with a latency model.
+    pub fn register(
+        &mut self,
+        endpoint: &str,
+        service: Box<dyn Service>,
+        latency: LatencyModel,
+    ) {
+        self.endpoints.insert(
+            endpoint.to_string(),
+            Endpoint { service, latency },
+        );
+    }
+
+    /// Registered endpoints in sorted order.
+    pub fn endpoints(&self) -> Vec<&str> {
+        self.endpoints.keys().map(String::as_str).collect()
+    }
+
+    /// Describe the service behind `endpoint`.
+    pub fn describe(&self, endpoint: &str) -> Option<ServiceDescription> {
+        self.endpoints.get(endpoint).map(|e| e.service.describe())
+    }
+
+    /// Make one call. Returns the outcome with virtual latency, or an
+    /// error (which still reports the virtual time burned, so callers
+    /// can account for it).
+    pub fn call(
+        &self,
+        endpoint: &str,
+        request: &ServiceRequest,
+    ) -> Result<CallOutcome, ServiceError> {
+        let ep = self
+            .endpoints
+            .get(endpoint)
+            .ok_or_else(|| ServiceError::UnknownEndpoint(endpoint.to_string()))?;
+        let (latency_ms, failed) = {
+            let mut rng = self.rng.lock();
+            let jitter = if ep.latency.jitter_ms > 0 {
+                rng.gen_range(0..=ep.latency.jitter_ms)
+            } else {
+                0
+            };
+            let failed =
+                ep.latency.failure_rate > 0.0 && rng.gen_bool(ep.latency.failure_rate.min(1.0));
+            (ep.latency.base_ms + jitter, failed)
+        };
+        if failed {
+            return Err(ServiceError::TransportFailure {
+                elapsed_ms: latency_ms,
+            });
+        }
+        let response = ep.service.handle(request).map_err(ServiceError::Fault)?;
+        Ok(CallOutcome {
+            response,
+            latency_ms,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{OperationDesc, Protocol};
+
+    struct Fixed;
+    impl Service for Fixed {
+        fn describe(&self) -> ServiceDescription {
+            ServiceDescription {
+                name: "Fixed".into(),
+                protocol: Protocol::Rest,
+                operations: vec![OperationDesc {
+                    name: "/v".into(),
+                    params: vec![],
+                    returns: vec!["v".into()],
+                }],
+            }
+        }
+        fn handle(&self, _request: &ServiceRequest) -> Result<ServiceResponse, ServiceFault> {
+            Ok(ServiceResponse::single(&[("v", "1")]))
+        }
+    }
+
+    fn transport(failure_rate: f64) -> SimulatedTransport {
+        let mut t = SimulatedTransport::new(9);
+        t.register(
+            "svc",
+            Box::new(Fixed),
+            LatencyModel {
+                base_ms: 10,
+                jitter_ms: 20,
+                failure_rate,
+            },
+        );
+        t
+    }
+
+    #[test]
+    fn call_returns_latency_in_model_range() {
+        let t = transport(0.0);
+        for _ in 0..50 {
+            let out = t.call("svc", &ServiceRequest::get("/v", &[])).unwrap();
+            assert!((10..=30).contains(&out.latency_ms), "{}", out.latency_ms);
+        }
+    }
+
+    #[test]
+    fn unknown_endpoint() {
+        let t = transport(0.0);
+        assert_eq!(
+            t.call("nope", &ServiceRequest::get("/v", &[])).unwrap_err(),
+            ServiceError::UnknownEndpoint("nope".into())
+        );
+    }
+
+    #[test]
+    fn failures_happen_at_configured_rate() {
+        let t = transport(0.5);
+        let mut failures = 0;
+        for _ in 0..200 {
+            if t.call("svc", &ServiceRequest::get("/v", &[])).is_err() {
+                failures += 1;
+            }
+        }
+        assert!((60..=140).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let seq = |seed| {
+            let mut t = SimulatedTransport::new(seed);
+            t.register("svc", Box::new(Fixed), LatencyModel::default());
+            (0..10)
+                .map(|_| {
+                    t.call("svc", &ServiceRequest::get("/v", &[]))
+                        .map(|o| o.latency_ms)
+                        .unwrap_or(0)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(5), seq(5));
+        assert_ne!(seq(5), seq(6));
+    }
+
+    #[test]
+    fn describe_endpoint() {
+        let t = transport(0.0);
+        assert_eq!(t.describe("svc").unwrap().name, "Fixed");
+        assert!(t.describe("nope").is_none());
+        assert_eq!(t.endpoints(), vec!["svc"]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(ServiceError::Timeout { timeout_ms: 100 }
+            .to_string()
+            .contains("100"));
+        assert!(ServiceError::TransportFailure { elapsed_ms: 7 }
+            .to_string()
+            .contains("7"));
+    }
+}

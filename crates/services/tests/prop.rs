@@ -1,0 +1,113 @@
+//! Property tests for the service substrate: virtual-time accounting
+//! invariants under arbitrary latency/failure/policy combinations.
+
+use proptest::prelude::*;
+use symphony_services::{
+    CallPolicy, LatencyModel, OperationDesc, PricingService, Protocol, Service, ServiceClient,
+    ServiceError, ServiceFault, ServiceRequest, ServiceResponse, SimulatedTransport,
+};
+
+struct Echo;
+impl Service for Echo {
+    fn describe(&self) -> symphony_services::ServiceDescription {
+        symphony_services::ServiceDescription {
+            name: "Echo".into(),
+            protocol: Protocol::Rest,
+            operations: vec![OperationDesc {
+                name: "/echo".into(),
+                params: vec!["q".into()],
+                returns: vec!["echo".into()],
+            }],
+        }
+    }
+    fn handle(&self, request: &ServiceRequest) -> Result<ServiceResponse, ServiceFault> {
+        Ok(ServiceResponse::single(&[(
+            "echo",
+            request.param("q").unwrap_or(""),
+        )]))
+    }
+}
+
+proptest! {
+    /// Success latency is bounded by `attempts * timeout` and at least
+    /// the base latency; the response is always intact.
+    #[test]
+    fn latency_accounting_bounds(
+        base in 1u32..200,
+        jitter in 0u32..100,
+        failure in 0.0f64..0.9,
+        timeout in 50u32..400,
+        retries in 0u32..4,
+        seed in 0u64..1000,
+    ) {
+        let mut t = SimulatedTransport::new(seed);
+        t.register(
+            "svc",
+            Box::new(Echo),
+            LatencyModel { base_ms: base, jitter_ms: jitter, failure_rate: failure },
+        );
+        let client = ServiceClient::with_policy(&t, CallPolicy { timeout_ms: timeout, retries });
+        let attempts_allowed = retries + 1;
+        match client.call("svc", &ServiceRequest::get("/echo", &[("q", "hello")])) {
+            Ok(out) => {
+                prop_assert_eq!(out.response.first_field("echo"), Some("hello"));
+                prop_assert!(out.attempts >= 1 && out.attempts <= attempts_allowed);
+                prop_assert!(out.total_latency_ms >= base.min(timeout));
+                prop_assert!(
+                    out.total_latency_ms <= attempts_allowed * timeout.max(base + jitter),
+                    "latency {} over bound",
+                    out.total_latency_ms
+                );
+            }
+            Err((err, burned)) => {
+                // Failures only ever burn up to attempts * timeout.
+                prop_assert!(burned <= attempts_allowed * timeout);
+                let retryable = matches!(
+                    err,
+                    ServiceError::TransportFailure { .. } | ServiceError::Timeout { .. }
+                );
+                prop_assert!(retryable, "unexpected error kind");
+            }
+        }
+    }
+
+    /// With zero failure rate and a generous timeout, the first
+    /// attempt always succeeds and latency is within the model range.
+    #[test]
+    fn reliable_service_one_attempt(base in 1u32..100, jitter in 0u32..50, seed in 0u64..100) {
+        let mut t = SimulatedTransport::new(seed);
+        t.register(
+            "svc",
+            Box::new(Echo),
+            LatencyModel { base_ms: base, jitter_ms: jitter, failure_rate: 0.0 },
+        );
+        let client = ServiceClient::with_policy(
+            &t,
+            CallPolicy { timeout_ms: base + jitter + 1, retries: 3 },
+        );
+        let out = client
+            .call("svc", &ServiceRequest::get("/echo", &[("q", "x")]))
+            .expect("reliable service");
+        prop_assert_eq!(out.attempts, 1);
+        prop_assert!((base..=base + jitter).contains(&out.total_latency_ms));
+    }
+
+    /// Transport determinism: the same seed yields the same latency
+    /// sequence regardless of when the transport was built.
+    #[test]
+    fn transport_deterministic(seed in 0u64..5000) {
+        let run = || {
+            let mut t = SimulatedTransport::new(seed);
+            t.register("p", Box::new(PricingService), LatencyModel::default());
+            let c = ServiceClient::new(&t);
+            (0..6)
+                .map(|i| {
+                    c.call("p", &ServiceRequest::get("/price", &[("item", &format!("g{i}"))]))
+                        .map(|o| o.total_latency_ms)
+                        .map_err(|(e, _)| e.to_string())
+                })
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(), run());
+    }
+}

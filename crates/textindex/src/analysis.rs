@@ -1,0 +1,276 @@
+//! Text analysis: tokenization, stopword removal, and light stemming.
+//!
+//! The same analyzer must be applied at index time and at query time or
+//! terms will not line up; [`Index`](crate::Index) owns one analyzer and
+//! the query layer borrows it.
+
+/// A single token produced by an [`Analyzer`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Normalized term text (lowercased, stemmed).
+    pub term: String,
+    /// Token position within the field (counting kept tokens only is
+    /// NOT what we do: positions count every emitted word so that
+    /// phrase queries spanning a removed stopword still behave
+    /// predictably).
+    pub position: u32,
+    /// Byte offset of the token start in the original text.
+    pub start: usize,
+    /// Byte offset one past the token end in the original text.
+    pub end: usize,
+}
+
+/// Anything that turns raw text into a token stream.
+pub trait Analyzer: Send + Sync {
+    /// Tokenize `text`, appending tokens to `out`.
+    ///
+    /// Taking an out-parameter lets indexing reuse one allocation per
+    /// field (see the heap-allocation guidance in the performance
+    /// notes).
+    fn analyze_into(&self, text: &str, out: &mut Vec<Token>);
+
+    /// Convenience wrapper that allocates a fresh vector.
+    fn analyze(&self, text: &str) -> Vec<Token> {
+        let mut out = Vec::new();
+        self.analyze_into(text, &mut out);
+        out
+    }
+}
+
+/// English stopwords removed by the default analyzer.
+///
+/// Deliberately short: a search-driven application mixes product names
+/// and natural language, and aggressive stopping hurts product queries
+/// like "the last of us".
+pub const STOPWORDS: &[&str] = &[
+    "a", "an", "and", "are", "as", "at", "be", "by", "for", "from", "in", "is", "it", "of", "on",
+    "or", "that", "the", "to", "was", "with",
+];
+
+/// The default analyzer: Unicode-alphanumeric word splitting,
+/// lowercasing, stopword removal, and optional light suffix stemming.
+#[derive(Debug, Clone)]
+pub struct StandardAnalyzer {
+    stem: bool,
+    keep_stopwords: bool,
+}
+
+impl Default for StandardAnalyzer {
+    fn default() -> Self {
+        StandardAnalyzer {
+            stem: true,
+            keep_stopwords: false,
+        }
+    }
+}
+
+impl StandardAnalyzer {
+    /// Analyzer with stemming and stopword removal enabled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Disable stemming (used by exact-match verticals such as URL
+    /// tokens).
+    pub fn without_stemming(mut self) -> Self {
+        self.stem = false;
+        self
+    }
+
+    /// Keep stopwords (used when indexing very short fields like
+    /// titles, where every word carries signal).
+    pub fn with_stopwords(mut self) -> Self {
+        self.keep_stopwords = true;
+        self
+    }
+
+    fn is_stopword(&self, term: &str) -> bool {
+        !self.keep_stopwords && STOPWORDS.contains(&term)
+    }
+}
+
+impl Analyzer for StandardAnalyzer {
+    fn analyze_into(&self, text: &str, out: &mut Vec<Token>) {
+        let mut position = 0u32;
+        let mut start = None;
+        // Iterate char boundaries manually so byte offsets are exact.
+        for (idx, ch) in text.char_indices() {
+            if ch.is_alphanumeric() {
+                if start.is_none() {
+                    start = Some(idx);
+                }
+            } else if let Some(s) = start.take() {
+                emit(self, text, s, idx, &mut position, out);
+            }
+        }
+        if let Some(s) = start {
+            emit(self, text, s, text.len(), &mut position, out);
+        }
+
+        fn emit(
+            an: &StandardAnalyzer,
+            text: &str,
+            start: usize,
+            end: usize,
+            position: &mut u32,
+            out: &mut Vec<Token>,
+        ) {
+            let raw = &text[start..end];
+            let mut term = raw.to_lowercase();
+            let pos = *position;
+            *position += 1;
+            if an.is_stopword(&term) {
+                return;
+            }
+            if an.stem {
+                term = stem(&term);
+            }
+            out.push(Token {
+                term,
+                position: pos,
+                start,
+                end,
+            });
+        }
+    }
+}
+
+/// A light English suffix stripper (a deliberately small subset of
+/// Porter). It only removes plural/participle suffixes when the stem
+/// that remains is long enough to stay recognizable, which keeps it
+/// safe for product catalogs ("rings" -> "ring" but "les" stays "les").
+pub fn stem(term: &str) -> String {
+    let t = term;
+    let n = t.len();
+    // Never stem very short tokens or tokens with digits.
+    if n <= 3 || t.bytes().any(|b| b.is_ascii_digit()) {
+        return t.to_string();
+    }
+    if let Some(base) = t.strip_suffix("ies") {
+        if base.len() >= 2 {
+            return format!("{base}y");
+        }
+    }
+    if let Some(base) = t.strip_suffix("sses") {
+        return format!("{base}ss");
+    }
+    if let Some(base) = t.strip_suffix("ing") {
+        if base.len() >= 3 {
+            return undouble(base);
+        }
+    }
+    if let Some(base) = t.strip_suffix("ed") {
+        if base.len() >= 3 {
+            return undouble(base);
+        }
+    }
+    if let Some(base) = t.strip_suffix("es") {
+        if base.len() >= 3 && (base.ends_with('x') || base.ends_with("sh") || base.ends_with("ch"))
+        {
+            return base.to_string();
+        }
+    }
+    if t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") && n >= 4 {
+        return t[..n - 1].to_string();
+    }
+    t.to_string()
+}
+
+/// Collapse a doubled final consonant left behind by suffix stripping
+/// ("stopp" -> "stop"), except for letters where doubling is natural.
+fn undouble(base: &str) -> String {
+    let bytes = base.as_bytes();
+    let n = bytes.len();
+    if n >= 2 && bytes[n - 1] == bytes[n - 2] {
+        let c = bytes[n - 1] as char;
+        if c.is_ascii_alphabetic() && !matches!(c, 'l' | 's' | 'z' | 'e' | 'o') {
+            return base[..n - 1].to_string();
+        }
+    }
+    base.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn terms(text: &str) -> Vec<String> {
+        StandardAnalyzer::new()
+            .analyze(text)
+            .into_iter()
+            .map(|t| t.term)
+            .collect()
+    }
+
+    #[test]
+    fn splits_on_punctuation_and_lowercases() {
+        assert_eq!(terms("Hello, World!"), vec!["hello", "world"]);
+    }
+
+    #[test]
+    fn removes_stopwords_but_keeps_positions() {
+        let toks = StandardAnalyzer::new().analyze("the space shooter");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].term, "space");
+        // "the" occupied position 0.
+        assert_eq!(toks[0].position, 1);
+        assert_eq!(toks[1].position, 2);
+    }
+
+    #[test]
+    fn stopwords_kept_when_configured() {
+        let toks = StandardAnalyzer::new().with_stopwords().analyze("the game");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].term, "the");
+    }
+
+    #[test]
+    fn byte_offsets_are_exact() {
+        let text = "wine: Margaux";
+        let toks = StandardAnalyzer::new().analyze(text);
+        assert_eq!(&text[toks[0].start..toks[0].end], "wine");
+        assert_eq!(&text[toks[1].start..toks[1].end], "Margaux");
+    }
+
+    #[test]
+    fn unicode_words_survive() {
+        let toks = StandardAnalyzer::new().without_stemming().analyze("Café Münch 2024");
+        let ts: Vec<_> = toks.iter().map(|t| t.term.as_str()).collect();
+        assert_eq!(ts, vec!["café", "münch", "2024"]);
+    }
+
+    #[test]
+    fn stemming_examples() {
+        assert_eq!(stem("games"), "game");
+        assert_eq!(stem("stories"), "story");
+        assert_eq!(stem("running"), "run");
+        assert_eq!(stem("played"), "play");
+        assert_eq!(stem("boxes"), "box");
+        assert_eq!(stem("glass"), "glass");
+        assert_eq!(stem("les"), "les");
+        assert_eq!(stem("us"), "us");
+        assert_eq!(stem("2024s"), "2024s");
+    }
+
+    #[test]
+    fn numbers_are_tokens() {
+        assert_eq!(terms("top 10 games of 2009"), vec!["top", "10", "game", "2009"]);
+    }
+
+    #[test]
+    fn empty_and_whitespace_only() {
+        assert!(terms("").is_empty());
+        assert!(terms("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn analyze_into_reuses_buffer() {
+        let an = StandardAnalyzer::new();
+        let mut buf = Vec::with_capacity(8);
+        an.analyze_into("first pass", &mut buf);
+        let first = buf.len();
+        buf.clear();
+        an.analyze_into("second pass here", &mut buf);
+        assert!(!buf.is_empty() && first > 0);
+    }
+}

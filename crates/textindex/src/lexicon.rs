@@ -1,0 +1,115 @@
+//! Term interning.
+//!
+//! Every distinct term string is stored once and referred to by a dense
+//! [`TermId`]. Posting lists, document-frequency tables, and query
+//! execution all operate on ids, which keeps the hot paths free of
+//! string hashing.
+
+use crate::fx::FxHashMap;
+
+/// Dense identifier of an interned term.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TermId(pub u32);
+
+/// An append-only interner mapping term strings to dense ids.
+#[derive(Debug, Default, Clone)]
+pub struct Lexicon {
+    by_term: FxHashMap<String, TermId>,
+    terms: Vec<String>,
+}
+
+impl Lexicon {
+    /// Create an empty lexicon.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Intern `term`, returning its id (existing or freshly assigned).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        if let Some(&id) = self.by_term.get(term) {
+            return id;
+        }
+        let id = TermId(self.terms.len() as u32);
+        self.terms.push(term.to_string());
+        self.by_term.insert(term.to_string(), id);
+        id
+    }
+
+    /// Look up a term without interning it. Query execution uses this:
+    /// a query term absent from the lexicon matches nothing.
+    pub fn get(&self, term: &str) -> Option<TermId> {
+        self.by_term.get(term).copied()
+    }
+
+    /// The string for an id. Panics on a foreign id; ids are only ever
+    /// produced by this lexicon.
+    pub fn term(&self, id: TermId) -> &str {
+        &self.terms[id.0 as usize]
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when no term has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Iterate over `(TermId, &str)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
+        self.terms
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut lex = Lexicon::new();
+        let a = lex.intern("wine");
+        let b = lex.intern("wine");
+        assert_eq!(a, b);
+        assert_eq!(lex.len(), 1);
+    }
+
+    #[test]
+    fn ids_are_dense_and_ordered_by_first_sight() {
+        let mut lex = Lexicon::new();
+        assert_eq!(lex.intern("a"), TermId(0));
+        assert_eq!(lex.intern("b"), TermId(1));
+        assert_eq!(lex.intern("a"), TermId(0));
+        assert_eq!(lex.intern("c"), TermId(2));
+    }
+
+    #[test]
+    fn get_does_not_intern() {
+        let mut lex = Lexicon::new();
+        assert_eq!(lex.get("missing"), None);
+        lex.intern("present");
+        assert_eq!(lex.get("present"), Some(TermId(0)));
+        assert_eq!(lex.len(), 1);
+    }
+
+    #[test]
+    fn term_roundtrip() {
+        let mut lex = Lexicon::new();
+        let id = lex.intern("margaux");
+        assert_eq!(lex.term(id), "margaux");
+    }
+
+    #[test]
+    fn iter_yields_in_id_order() {
+        let mut lex = Lexicon::new();
+        lex.intern("x");
+        lex.intern("y");
+        let pairs: Vec<_> = lex.iter().map(|(i, t)| (i.0, t.to_string())).collect();
+        assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+}

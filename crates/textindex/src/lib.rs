@@ -1,0 +1,75 @@
+//! # symphony-text
+//!
+//! Full-text indexing and retrieval substrate for the Symphony
+//! reproduction.
+//!
+//! Symphony (Shafer, Agrawal, Lauw; ICDE 2010) runs on top of a general
+//! web search engine and also provides "storage and indexing" for the
+//! application designer's proprietary data. Both sides need the same
+//! machinery: an analyzer, an inverted index, a ranking function, and
+//! snippet generation. This crate provides that machinery; the
+//! `symphony-web` crate builds the simulated web search engine on top of
+//! it, and `symphony-store` uses it to make proprietary tables
+//! searchable.
+//!
+//! ## Overview
+//!
+//! * [`analysis`] — tokenization, stopwords, light stemming.
+//! * [`lexicon`] — term interning.
+//! * [`postings`] — positional posting lists, raw and varint-compressed.
+//! * [`index`] — the inverted index with incremental add and tombstone
+//!   delete.
+//! * [`query`] — the user-facing query language (`term`, `"a phrase"`,
+//!   `+must`, `-not`, `field:term`).
+//! * [`search`] — BM25 top-k execution.
+//! * [`snippet`] — best-window snippet extraction with highlighting.
+//! * [`spell`] — "did you mean" suggestions from the lexicon.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use symphony_text::{Index, IndexConfig, Doc, search::Searcher, query::Query};
+//!
+//! let mut index = Index::new(IndexConfig::default());
+//! let title = index.register_field("title", 2.0);
+//! let body = index.register_field("body", 1.0);
+//! index.add(Doc::new().field(title, "Galactic Raiders").field(body, "a space shooter game"));
+//! index.add(Doc::new().field(title, "Farm Story").field(body, "a calm farming game"));
+//!
+//! let hits = Searcher::new(&index).search(&Query::parse("space shooter"), 10);
+//! assert_eq!(hits.len(), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod fx;
+pub mod index;
+pub mod lexicon;
+pub mod postings;
+pub mod query;
+pub mod search;
+pub mod snippet;
+pub mod spell;
+
+pub use analysis::{Analyzer, StandardAnalyzer, Token};
+pub use index::{Doc, FieldId, Index, IndexConfig, IndexStats};
+pub use lexicon::{Lexicon, TermId};
+pub use query::Query;
+pub use search::{SearchHit, Searcher};
+pub use spell::SpellSuggester;
+
+/// Identifier of a document inside one [`Index`].
+///
+/// Doc ids are dense, assigned in insertion order, and never reused;
+/// deletion is a tombstone (see [`Index::delete`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DocId(pub u32);
+
+impl DocId {
+    /// The doc id as a usize, for indexing into per-document arrays.
+    #[inline]
+    pub fn as_usize(self) -> usize {
+        self.0 as usize
+    }
+}

@@ -1,0 +1,319 @@
+//! Positional posting lists.
+//!
+//! Two representations are provided:
+//!
+//! * [`PostingList`] — the mutable, indexing-time representation: a
+//!   doc-ordered `Vec` of postings, each carrying its positions.
+//! * [`CompressedPostings`] — an immutable varint/delta-encoded byte
+//!   stream produced by [`Index::optimize`](crate::Index::optimize).
+//!
+//! Both are consumed through the callback-style [`Postings::for_each`],
+//! which sidesteps lending-iterator gymnastics and keeps decoding
+//! allocation-free on the hot path (the decoder reuses one scratch
+//! buffer across postings).
+//!
+//! The compressed form exists for the E3 ablation in DESIGN.md: it
+//! trades decode CPU for memory footprint, which matters once the
+//! simulated web corpus reaches hundreds of thousands of pages.
+
+use crate::DocId;
+
+/// One document's entry in a posting list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// The document.
+    pub doc: DocId,
+    /// Term positions within the field, strictly increasing. The term
+    /// frequency is `positions.len()`.
+    pub positions: Vec<u32>,
+}
+
+/// Mutable doc-ordered posting list.
+#[derive(Debug, Default, Clone)]
+pub struct PostingList {
+    postings: Vec<Posting>,
+}
+
+impl PostingList {
+    /// Empty list.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an occurrence of the term in `doc` at `position`.
+    ///
+    /// Documents must be added in increasing doc-id order (the index
+    /// guarantees this: doc ids are assigned at insertion).
+    pub fn push_occurrence(&mut self, doc: DocId, position: u32) {
+        match self.postings.last_mut() {
+            Some(last) if last.doc == doc => last.positions.push(position),
+            Some(last) => {
+                debug_assert!(last.doc < doc, "postings must be appended in doc order");
+                self.postings.push(Posting {
+                    doc,
+                    positions: vec![position],
+                });
+            }
+            None => self.postings.push(Posting {
+                doc,
+                positions: vec![position],
+            }),
+        }
+    }
+
+    /// Number of documents containing the term.
+    pub fn doc_count(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Borrow the raw postings.
+    pub fn postings(&self) -> &[Posting] {
+        &self.postings
+    }
+
+    /// Approximate heap size in bytes (for the E3 space ablation).
+    pub fn heap_bytes(&self) -> usize {
+        self.postings.capacity() * std::mem::size_of::<Posting>()
+            + self
+                .postings
+                .iter()
+                .map(|p| p.positions.capacity() * 4)
+                .sum::<usize>()
+    }
+}
+
+/// Immutable varint/delta-compressed posting list.
+///
+/// Layout per posting: `delta(doc)` `tf` `delta(pos)*tf`, all LEB128
+/// varints. Doc deltas are relative to the previous posting's doc id
+/// (first is absolute + 1 to keep zero unused); position deltas are
+/// relative within the posting.
+#[derive(Debug, Clone, Default)]
+pub struct CompressedPostings {
+    data: Vec<u8>,
+    doc_count: u32,
+}
+
+impl CompressedPostings {
+    /// Compress a raw list.
+    pub fn encode(list: &PostingList) -> Self {
+        let mut data = Vec::with_capacity(list.postings.len() * 3);
+        let mut prev_doc = 0u32;
+        let mut first = true;
+        for p in &list.postings {
+            let delta = if first {
+                first = false;
+                p.doc.0.wrapping_add(1)
+            } else {
+                p.doc.0 - prev_doc
+            };
+            prev_doc = p.doc.0;
+            write_varint(&mut data, delta);
+            write_varint(&mut data, p.positions.len() as u32);
+            let mut prev_pos = 0u32;
+            for (i, &pos) in p.positions.iter().enumerate() {
+                let d = if i == 0 { pos } else { pos - prev_pos };
+                prev_pos = pos;
+                write_varint(&mut data, d);
+            }
+        }
+        CompressedPostings {
+            data,
+            doc_count: list.postings.len() as u32,
+        }
+    }
+
+    /// Decode back into a raw list (used by tests and by re-indexing).
+    pub fn decode(&self) -> PostingList {
+        let mut list = PostingList::new();
+        self.for_each(|doc, positions| {
+            for &p in positions {
+                list.push_occurrence(doc, p);
+            }
+        });
+        list
+    }
+
+    /// Number of documents containing the term.
+    pub fn doc_count(&self) -> usize {
+        self.doc_count as usize
+    }
+
+    /// Compressed size in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Visit every posting, reusing one scratch buffer for positions.
+    pub fn for_each(&self, mut f: impl FnMut(DocId, &[u32])) {
+        let mut cursor = 0usize;
+        let mut doc = 0u32;
+        let mut first = true;
+        let mut positions: Vec<u32> = Vec::with_capacity(8);
+        while cursor < self.data.len() {
+            let delta = read_varint(&self.data, &mut cursor);
+            doc = if first {
+                first = false;
+                delta.wrapping_sub(1)
+            } else {
+                doc + delta
+            };
+            let tf = read_varint(&self.data, &mut cursor);
+            positions.clear();
+            let mut pos = 0u32;
+            for i in 0..tf {
+                let d = read_varint(&self.data, &mut cursor);
+                pos = if i == 0 { d } else { pos + d };
+                positions.push(pos);
+            }
+            f(DocId(doc), &positions);
+        }
+    }
+}
+
+/// A posting list in either representation.
+#[derive(Debug, Clone)]
+pub enum Postings {
+    /// Indexing-time representation.
+    Raw(PostingList),
+    /// Optimized representation.
+    Compressed(CompressedPostings),
+}
+
+impl Postings {
+    /// Number of documents containing the term.
+    pub fn doc_count(&self) -> usize {
+        match self {
+            Postings::Raw(l) => l.doc_count(),
+            Postings::Compressed(c) => c.doc_count(),
+        }
+    }
+
+    /// Visit every `(doc, positions)` pair in doc order.
+    pub fn for_each(&self, mut f: impl FnMut(DocId, &[u32])) {
+        match self {
+            Postings::Raw(l) => {
+                for p in l.postings() {
+                    f(p.doc, &p.positions);
+                }
+            }
+            Postings::Compressed(c) => c.for_each(f),
+        }
+    }
+
+    /// Approximate heap bytes of this representation (E3 ablation).
+    pub fn heap_bytes(&self) -> usize {
+        match self {
+            Postings::Raw(l) => l.heap_bytes(),
+            Postings::Compressed(c) => c.byte_len(),
+        }
+    }
+}
+
+fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(data: &[u8], cursor: &mut usize) -> u32 {
+    let mut v = 0u32;
+    let mut shift = 0;
+    loop {
+        let byte = data[*cursor];
+        *cursor += 1;
+        v |= ((byte & 0x7f) as u32) << shift;
+        if byte & 0x80 == 0 {
+            return v;
+        }
+        shift += 7;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PostingList {
+        let mut l = PostingList::new();
+        l.push_occurrence(DocId(0), 0);
+        l.push_occurrence(DocId(0), 5);
+        l.push_occurrence(DocId(3), 2);
+        l.push_occurrence(DocId(300), 1);
+        l.push_occurrence(DocId(300), 9);
+        l.push_occurrence(DocId(300), 100);
+        l
+    }
+
+    #[test]
+    fn push_merges_same_doc_occurrences() {
+        let l = sample();
+        assert_eq!(l.doc_count(), 3);
+        assert_eq!(l.postings()[0].positions, vec![0, 5]);
+    }
+
+    #[test]
+    fn compression_roundtrip() {
+        let l = sample();
+        let c = CompressedPostings::encode(&l);
+        assert_eq!(c.doc_count(), 3);
+        let back = c.decode();
+        assert_eq!(back.postings(), l.postings());
+    }
+
+    #[test]
+    fn roundtrip_with_doc_zero_only() {
+        let mut l = PostingList::new();
+        l.push_occurrence(DocId(0), 7);
+        let back = CompressedPostings::encode(&l).decode();
+        assert_eq!(back.postings(), l.postings());
+    }
+
+    #[test]
+    fn empty_list_roundtrip() {
+        let l = PostingList::new();
+        let c = CompressedPostings::encode(&l);
+        assert_eq!(c.doc_count(), 0);
+        assert_eq!(c.byte_len(), 0);
+        assert_eq!(c.decode().doc_count(), 0);
+    }
+
+    #[test]
+    fn compressed_is_smaller_for_clustered_docs() {
+        let mut l = PostingList::new();
+        for d in 0..1000u32 {
+            l.push_occurrence(DocId(d), 3);
+        }
+        let c = CompressedPostings::encode(&l);
+        assert!(c.byte_len() < l.heap_bytes());
+    }
+
+    #[test]
+    fn for_each_visits_in_doc_order() {
+        let l = sample();
+        let mut docs = Vec::new();
+        Postings::Raw(l.clone()).for_each(|d, _| docs.push(d.0));
+        assert_eq!(docs, vec![0, 3, 300]);
+        docs.clear();
+        Postings::Compressed(CompressedPostings::encode(&l)).for_each(|d, _| docs.push(d.0));
+        assert_eq!(docs, vec![0, 3, 300]);
+    }
+
+    #[test]
+    fn varint_boundaries() {
+        let mut buf = Vec::new();
+        for v in [0u32, 1, 127, 128, 16383, 16384, u32::MAX] {
+            buf.clear();
+            write_varint(&mut buf, v);
+            let mut c = 0;
+            assert_eq!(read_varint(&buf, &mut c), v);
+            assert_eq!(c, buf.len());
+        }
+    }
+}

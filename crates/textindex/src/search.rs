@@ -1,0 +1,535 @@
+//! BM25 top-k query execution.
+//!
+//! Execution is term-at-a-time: every positive clause walks its posting
+//! lists once, accumulating scores into a hash map, after which `must`
+//! intersections, `must-not` exclusions, tombstones, and the caller's
+//! filter are applied and the top-k extracted. For the index sizes this
+//! platform handles (hundreds of thousands of synthetic pages) this is
+//! simple and fast, and keeps phrase handling in one place.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::fx::{FxHashMap, FxHashSet};
+use crate::index::{FieldId, Index};
+use crate::lexicon::TermId;
+use crate::query::{ClauseKind, Occur, Query};
+use crate::DocId;
+
+/// BM25 free parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Bm25Params {
+    /// Term-frequency saturation (typical 1.2).
+    pub k1: f32,
+    /// Length normalization strength (typical 0.75).
+    pub b: f32,
+}
+
+impl Default for Bm25Params {
+    fn default() -> Self {
+        Bm25Params { k1: 1.2, b: 0.75 }
+    }
+}
+
+/// One search result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchHit {
+    /// Matching document.
+    pub doc: DocId,
+    /// BM25 score (field-boost weighted, summed over clauses).
+    pub score: f32,
+}
+
+/// Query executor over one [`Index`].
+pub struct Searcher<'a> {
+    index: &'a Index,
+    params: Bm25Params,
+}
+
+impl<'a> Searcher<'a> {
+    /// Searcher with default BM25 parameters.
+    pub fn new(index: &'a Index) -> Self {
+        Searcher {
+            index,
+            params: Bm25Params::default(),
+        }
+    }
+
+    /// Override BM25 parameters.
+    pub fn with_params(index: &'a Index, params: Bm25Params) -> Self {
+        Searcher { index, params }
+    }
+
+    /// Execute `query`, returning at most `k` hits sorted by descending
+    /// score (ties broken by ascending doc id, so results are
+    /// deterministic).
+    pub fn search(&self, query: &Query, k: usize) -> Vec<SearchHit> {
+        self.search_filtered(query, k, |_| true)
+    }
+
+    /// Like [`Searcher::search`] but only documents accepted by
+    /// `filter` are returned. This is the hook `symphony-web` uses for
+    /// site restriction and `symphony-store` for visibility scopes.
+    pub fn search_filtered(
+        &self,
+        query: &Query,
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+    ) -> Vec<SearchHit> {
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let mut scores: FxHashMap<u32, f32> = FxHashMap::default();
+        let mut must_sets: Vec<FxHashSet<u32>> = Vec::new();
+        let mut excluded: FxHashSet<u32> = FxHashSet::default();
+        let mut any_positive = false;
+
+        for clause in &query.clauses {
+            let fields: Vec<FieldId> = match &clause.field {
+                Some(name) => match self.index.field_id(name) {
+                    Some(f) => vec![f],
+                    None => {
+                        // Unknown field: a Must clause can never match.
+                        if clause.occur == Occur::Must {
+                            return Vec::new();
+                        }
+                        continue;
+                    }
+                },
+                None => self.index.field_ids().collect(),
+            };
+            match (&clause.kind, clause.occur) {
+                (ClauseKind::Term(raw), occur) => {
+                    let tokens = self.analyze_query_text(raw);
+                    if tokens.is_empty() {
+                        if occur == Occur::Must {
+                            // A must clause that analyzes to nothing
+                            // (e.g. a stopword) is vacuously true.
+                        }
+                        continue;
+                    }
+                    match occur {
+                        Occur::MustNot => {
+                            for t in &tokens {
+                                self.collect_docs(*t, &fields, &mut excluded);
+                            }
+                        }
+                        Occur::Should | Occur::Must => {
+                            any_positive = true;
+                            let mut clause_docs = FxHashSet::default();
+                            for (i, t) in tokens.iter().enumerate() {
+                                self.score_term(*t, &fields, &mut scores);
+                                if occur == Occur::Must {
+                                    let mut term_docs = FxHashSet::default();
+                                    self.collect_docs(*t, &fields, &mut term_docs);
+                                    if i == 0 {
+                                        clause_docs = term_docs;
+                                    } else {
+                                        clause_docs.retain(|d| term_docs.contains(d));
+                                    }
+                                }
+                            }
+                            if occur == Occur::Must {
+                                must_sets.push(clause_docs);
+                            }
+                        }
+                    }
+                }
+                (ClauseKind::Phrase(words), occur) => {
+                    let tokens: Vec<TermId> = {
+                        let mut ts = Vec::new();
+                        for w in words {
+                            ts.extend(self.analyze_query_text(w));
+                        }
+                        ts
+                    };
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    let matches = self.phrase_matches(&tokens, &fields);
+                    match occur {
+                        Occur::MustNot => {
+                            excluded.extend(matches.keys().copied());
+                        }
+                        Occur::Should | Occur::Must => {
+                            any_positive = true;
+                            for (&doc, &(tf, field)) in &matches {
+                                let s = self.phrase_score(&tokens, field, DocId(doc), tf);
+                                *scores.entry(doc).or_insert(0.0) += s;
+                            }
+                            if occur == Occur::Must {
+                                must_sets.push(matches.keys().copied().collect());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if !any_positive {
+            return Vec::new();
+        }
+
+        // Apply must / must-not / tombstones / caller filter, extract
+        // top-k with a min-heap of size k.
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        'docs: for (&doc, &score) in &scores {
+            if excluded.contains(&doc) {
+                continue;
+            }
+            for m in &must_sets {
+                if !m.contains(&doc) {
+                    continue 'docs;
+                }
+            }
+            let id = DocId(doc);
+            if self.index.is_deleted(id) || !filter(id) {
+                continue;
+            }
+            heap.push(HeapEntry { score, doc });
+            if heap.len() > k {
+                heap.pop();
+            }
+        }
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit {
+                doc: DocId(e.doc),
+                score: e.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits
+    }
+
+    /// Analyze raw query text with the index's analyzer, mapping each
+    /// token to an existing term id (tokens the index has never seen
+    /// match nothing and are dropped).
+    fn analyze_query_text(&self, raw: &str) -> Vec<TermId> {
+        self.index
+            .analyzer()
+            .analyze(raw)
+            .into_iter()
+            .filter_map(|t| self.index.lexicon().get(&t.term))
+            .collect()
+    }
+
+    fn idf(&self, term: TermId, field: FieldId) -> f32 {
+        let df = self.index.doc_freq(term, field);
+        if df == 0 {
+            return 0.0;
+        }
+        let n = self.index.total_docs() as f32;
+        (1.0 + (n - df as f32 + 0.5) / (df as f32 + 0.5)).ln()
+    }
+
+    fn bm25(&self, tf: f32, len: f32, avg_len: f32, idf: f32) -> f32 {
+        let Bm25Params { k1, b } = self.params;
+        let norm = if avg_len > 0.0 {
+            1.0 - b + b * len / avg_len
+        } else {
+            1.0
+        };
+        idf * tf * (k1 + 1.0) / (tf + k1 * norm)
+    }
+
+    fn score_term(&self, term: TermId, fields: &[FieldId], scores: &mut FxHashMap<u32, f32>) {
+        for &field in fields {
+            let Some(postings) = self.index.postings(term, field) else {
+                continue;
+            };
+            let idf = self.idf(term, field);
+            let avg = self.index.avg_field_len(field);
+            let boost = self.index.field_boost(field);
+            postings.for_each(|doc, positions| {
+                let len = self.index.field_len(doc, field) as f32;
+                let s = boost * self.bm25(positions.len() as f32, len, avg, idf);
+                *scores.entry(doc.0).or_insert(0.0) += s;
+            });
+        }
+    }
+
+    fn collect_docs(&self, term: TermId, fields: &[FieldId], out: &mut FxHashSet<u32>) {
+        for &field in fields {
+            if let Some(postings) = self.index.postings(term, field) {
+                postings.for_each(|doc, _| {
+                    out.insert(doc.0);
+                });
+            }
+        }
+    }
+
+    /// Find documents containing the token sequence contiguously in any
+    /// of `fields`. Returns doc -> (occurrence count, matching field).
+    fn phrase_matches(
+        &self,
+        tokens: &[TermId],
+        fields: &[FieldId],
+    ) -> FxHashMap<u32, (u32, FieldId)> {
+        let mut result: FxHashMap<u32, (u32, FieldId)> = FxHashMap::default();
+        for &field in fields {
+            // Load positions for each token in this field.
+            let mut per_token: Vec<FxHashMap<u32, Vec<u32>>> = Vec::with_capacity(tokens.len());
+            let mut missing = false;
+            for &t in tokens {
+                let Some(postings) = self.index.postings(t, field) else {
+                    missing = true;
+                    break;
+                };
+                let mut map: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
+                postings.for_each(|doc, positions| {
+                    map.insert(doc.0, positions.to_vec());
+                });
+                per_token.push(map);
+            }
+            if missing {
+                continue;
+            }
+            // Candidate docs = docs of the rarest token.
+            let (seed_idx, seed) = per_token
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, m)| m.len())
+                .expect("phrase has at least one token");
+            'cand: for (&doc, seed_positions) in seed {
+                for (i, map) in per_token.iter().enumerate() {
+                    if i != seed_idx && !map.contains_key(&doc) {
+                        continue 'cand;
+                    }
+                }
+                // Count contiguous runs starting from token 0 positions.
+                let first = &per_token[0][&doc];
+                let mut count = 0u32;
+                'start: for &p in first {
+                    for (offset, map) in per_token.iter().enumerate().skip(1) {
+                        let want = p + offset as u32;
+                        if map[&doc].binary_search(&want).is_err() {
+                            continue 'start;
+                        }
+                    }
+                    count += 1;
+                }
+                let _ = seed_positions;
+                if count > 0 {
+                    let entry = result.entry(doc).or_insert((0, field));
+                    entry.0 += count;
+                }
+            }
+        }
+        result
+    }
+
+    fn phrase_score(&self, tokens: &[TermId], field: FieldId, doc: DocId, tf: u32) -> f32 {
+        let idf: f32 = tokens.iter().map(|&t| self.idf(t, field)).sum();
+        let len = self.index.field_len(doc, field) as f32;
+        let avg = self.index.avg_field_len(field);
+        self.index.field_boost(field) * self.bm25(tf as f32, len, avg, idf)
+    }
+}
+
+/// Min-heap entry: the heap keeps the k highest scores by evicting the
+/// smallest, so `Ord` is inverted on score.
+struct HeapEntry {
+    score: f32,
+    doc: u32,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse score order (BinaryHeap is a max-heap; we want to pop
+        // the worst). Ties: larger doc id pops first so smaller ids are
+        // kept, matching the final deterministic sort.
+        other
+            .score
+            .partial_cmp(&self.score)
+            .unwrap_or(Ordering::Equal)
+            .then(self.doc.cmp(&other.doc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::{Doc, IndexConfig};
+
+    fn index() -> Index {
+        let mut idx = Index::new(IndexConfig::default());
+        let title = idx.register_field("title", 2.0);
+        let body = idx.register_field("body", 1.0);
+        let docs = [
+            ("Galactic Raiders", "a fast space shooter with lasers and space battles"),
+            ("Farm Story", "calm farming with crops and animals"),
+            ("Space Trader", "trade goods across space stations"),
+            ("Puzzle Palace", "mind bending puzzle rooms"),
+            ("Laser Golf", "golf with lasers a silly shooter"),
+        ];
+        for (t, b) in docs {
+            idx.add(Doc::new().field(title, t).field(body, b));
+        }
+        idx
+    }
+
+    fn docs_of(hits: &[SearchHit]) -> Vec<u32> {
+        hits.iter().map(|h| h.doc.0).collect()
+    }
+
+    #[test]
+    fn single_term() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("farming"), 10);
+        assert_eq!(docs_of(&hits), vec![1]);
+    }
+
+    #[test]
+    fn multi_term_ranks_doc_with_both_terms_above_single_match() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("space shooter"), 10);
+        let pos = |d: u32| hits.iter().position(|h| h.doc == DocId(d)).unwrap();
+        // Doc 0 matches both terms; doc 4 only "shooter". Doc 2's
+        // boosted title may legitimately compete with doc 0, but a
+        // single-term match must not outrank the double match.
+        assert!(pos(0) < pos(4));
+        assert!(hits.len() >= 3);
+    }
+
+    #[test]
+    fn title_boost_matters() {
+        let idx = index();
+        // "space" appears twice in doc 0's body but once in doc 2's
+        // boosted title; the title match must not be buried.
+        let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn must_requires_presence() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("+golf shooter"), 10);
+        assert_eq!(docs_of(&hits), vec![4]);
+    }
+
+    #[test]
+    fn mustnot_excludes() {
+        // Both shooter docs (0 and 4) mention lasers, so excluding
+        // "laser" (stemmed) leaves nothing.
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("shooter -laser"), 10);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn mustnot_excludes_all_docs_containing_term() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("shooter -space"), 10);
+        assert_eq!(docs_of(&hits), vec![4]);
+    }
+
+    #[test]
+    fn phrase_matches_contiguous_only() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("\"space shooter\""), 10);
+        assert_eq!(docs_of(&hits), vec![0]);
+        // Both words occur in doc 2? "space" yes, "shooter" no.
+        let none = Searcher::new(&idx).search(&Query::parse("\"shooter space\""), 10);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn field_restricted_term() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("title:space"), 10);
+        assert_eq!(docs_of(&hits), vec![2]);
+    }
+
+    #[test]
+    fn unknown_field_must_matches_nothing() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("+nosuch:space"), 10);
+        assert!(hits.is_empty());
+    }
+
+    #[test]
+    fn unknown_term_matches_nothing() {
+        let idx = index();
+        assert!(Searcher::new(&idx)
+            .search(&Query::parse("zzzzqqq"), 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn only_mustnot_returns_nothing() {
+        let idx = index();
+        assert!(Searcher::new(&idx)
+            .search(&Query::parse("-space"), 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn k_limits_results_and_keeps_best() {
+        let idx = index();
+        let all = Searcher::new(&idx).search(&Query::parse("space shooter laser"), 10);
+        let top1 = Searcher::new(&idx).search(&Query::parse("space shooter laser"), 1);
+        assert_eq!(top1.len(), 1);
+        assert_eq!(top1[0].doc, all[0].doc);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let idx = index();
+        assert!(Searcher::new(&idx)
+            .search(&Query::parse("space"), 0)
+            .is_empty());
+    }
+
+    #[test]
+    fn filter_is_applied() {
+        let idx = index();
+        let hits =
+            Searcher::new(&idx).search_filtered(&Query::parse("space"), 10, |d| d.0 != 0);
+        assert_eq!(docs_of(&hits), vec![2]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let mut idx = Index::new(IndexConfig::default());
+        let f = idx.register_field("t", 1.0);
+        for _ in 0..5 {
+            idx.add(Doc::new().field(f, "identical text here"));
+        }
+        let hits = Searcher::new(&idx).search(&Query::parse("identical"), 3);
+        assert_eq!(docs_of(&hits), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn stemming_unifies_query_and_doc_forms() {
+        let idx = index();
+        let hits = Searcher::new(&idx).search(&Query::parse("battle"), 10);
+        assert_eq!(docs_of(&hits), vec![0]); // doc says "battles"
+    }
+
+    #[test]
+    fn custom_params_change_scores() {
+        let idx = index();
+        let q = Query::parse("space");
+        let default = Searcher::new(&idx).search(&q, 10);
+        let flat = Searcher::with_params(&idx, Bm25Params { k1: 0.0, b: 0.0 }).search(&q, 10);
+        assert_eq!(default.len(), flat.len());
+        assert_ne!(default[0].score, flat[0].score);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests for the full-text substrate invariants.
+
+use proptest::prelude::*;
+use symphony_text::postings::{CompressedPostings, PostingList};
+use symphony_text::{Analyzer, Doc, DocId, Index, IndexConfig, Query, Searcher, StandardAnalyzer};
+
+/// Strategy: a doc-ordered set of (doc, positions) postings.
+fn posting_data() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
+    proptest::collection::btree_map(0u32..10_000, proptest::collection::btree_set(0u32..5_000, 1..20), 0..50)
+        .prop_map(|m| {
+            m.into_iter()
+                .map(|(doc, pos)| (doc, pos.into_iter().collect::<Vec<u32>>()))
+                .collect()
+        })
+}
+
+proptest! {
+    /// Varint/delta compression is lossless.
+    #[test]
+    fn compression_roundtrip(data in posting_data()) {
+        let mut list = PostingList::new();
+        for (doc, positions) in &data {
+            for &p in positions {
+                list.push_occurrence(DocId(*doc), p);
+            }
+        }
+        let decoded = CompressedPostings::encode(&list).decode();
+        prop_assert_eq!(decoded.postings(), list.postings());
+    }
+
+    /// Analysis is deterministic and produces terms that re-analyze to
+    /// themselves (idempotence of normalization).
+    #[test]
+    fn analyzer_idempotent(text in "\\PC{0,200}") {
+        let an = StandardAnalyzer::new();
+        let once = an.analyze(&text);
+        for tok in &once {
+            let again = an.analyze(&tok.term);
+            // A normalized term must analyze to at most one token and,
+            // when it survives, to itself.
+            prop_assert!(again.len() <= 1);
+            if let Some(t) = again.first() {
+                prop_assert_eq!(&t.term, &tok.term);
+            }
+        }
+        let twice = an.analyze(&text);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Token byte offsets always slice the original text cleanly.
+    #[test]
+    fn token_offsets_are_valid_slices(text in "\\PC{0,200}") {
+        let an = StandardAnalyzer::new();
+        for tok in an.analyze(&text) {
+            prop_assert!(tok.start < tok.end);
+            prop_assert!(tok.end <= text.len());
+            prop_assert!(text.is_char_boundary(tok.start));
+            prop_assert!(text.is_char_boundary(tok.end));
+        }
+    }
+
+    /// Every document that a single-term query returns really contains
+    /// the term, and scores are positive and sorted.
+    #[test]
+    fn search_results_sound(
+        docs in proptest::collection::vec("[a-z]{1,6}( [a-z]{1,6}){0,10}", 1..20),
+        needle in "[a-z]{1,6}",
+    ) {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        for d in &docs {
+            idx.add(Doc::new().field(body, d.clone()));
+        }
+        let analyzer = StandardAnalyzer::new();
+        let hits = Searcher::new(&idx).search(&Query::parse(&needle), docs.len());
+        let needle_terms: Vec<String> =
+            analyzer.analyze(&needle).into_iter().map(|t| t.term).collect();
+        for w in hits.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for h in &hits {
+            prop_assert!(h.score > 0.0);
+            let text = idx.stored_text(h.doc, body).unwrap();
+            let doc_terms: Vec<String> =
+                analyzer.analyze(text).into_iter().map(|t| t.term).collect();
+            prop_assert!(
+                needle_terms.iter().any(|n| doc_terms.contains(n)),
+                "doc {:?} ({text:?}) does not contain {needle_terms:?}",
+                h.doc
+            );
+        }
+    }
+
+    /// Optimizing (compressing) an index never changes search results.
+    #[test]
+    fn optimize_preserves_results(
+        docs in proptest::collection::vec("[a-z]{1,4}( [a-z]{1,4}){0,6}", 1..15),
+        query in "[a-z]{1,4}( [a-z]{1,4}){0,2}",
+    ) {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        for d in &docs {
+            idx.add(Doc::new().field(body, d.clone()));
+        }
+        let q = Query::parse(&query);
+        let before = Searcher::new(&idx).search(&q, 100);
+        idx.optimize();
+        let after = Searcher::new(&idx).search(&q, 100);
+        prop_assert_eq!(before.len(), after.len());
+        for (a, b) in before.iter().zip(after.iter()) {
+            prop_assert_eq!(a.doc, b.doc);
+            prop_assert!((a.score - b.score).abs() < 1e-5);
+        }
+    }
+
+    /// Query parser never panics and Display output reparses to the
+    /// same clause structure.
+    #[test]
+    fn query_parse_total(input in "\\PC{0,100}") {
+        let q = Query::parse(&input);
+        let reparsed = Query::parse(&q.to_string());
+        // Reparse of canonical form is a fixpoint.
+        prop_assert_eq!(Query::parse(&reparsed.to_string()), reparsed);
+    }
+}

@@ -1,0 +1,572 @@
+//! The simulated general web search engine ("Bing" in the paper).
+//!
+//! Four verticals (web / image / video / news) over the synthetic
+//! corpus, each a `symphony-text` index blended with static rank.
+//! The customization hooks Symphony exposes to designers — site
+//! restriction, query augmentation, preferred-site boosts, result
+//! count — are all per-request [`SearchConfig`] options, mirroring the
+//! Google-Custom-Search-style knobs described in the paper's
+//! introduction.
+
+use crate::corpus::{Corpus, PageKind};
+use crate::logs::LogEntry;
+use crate::pagerank::static_rank;
+use std::collections::HashMap;
+use symphony_text::query::{Clause, ClauseKind, Occur};
+use symphony_text::snippet::SnippetGenerator;
+use symphony_text::spell::SpellSuggester;
+use symphony_text::{Doc, Index, IndexConfig, Query, Searcher};
+
+/// Search verticals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vertical {
+    /// Web pages (articles + reviews).
+    Web,
+    /// Image objects.
+    Image,
+    /// Video objects.
+    Video,
+    /// Dated news articles.
+    News,
+}
+
+impl Vertical {
+    /// All verticals.
+    pub const ALL: [Vertical; 4] = [
+        Vertical::Web,
+        Vertical::Image,
+        Vertical::Video,
+        Vertical::News,
+    ];
+
+    /// Lowercase name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vertical::Web => "web",
+            Vertical::Image => "image",
+            Vertical::Video => "video",
+            Vertical::News => "news",
+        }
+    }
+}
+
+/// Per-request customization (paper: "Most services support additional
+/// configuration, such as site restriction").
+#[derive(Debug, Clone, Default)]
+pub struct SearchConfig {
+    /// Only results from these domains (empty = unrestricted). A
+    /// domain matches itself and its subdomains.
+    pub site_restrict: Vec<String>,
+    /// Terms appended to every query (custom-search-style query
+    /// augmentation).
+    pub augment_terms: Vec<String>,
+    /// Domains whose results get a preference boost (custom-search
+    /// style reordering).
+    pub prefer_sites: Vec<String>,
+}
+
+impl SearchConfig {
+    /// Restrict to the given domains.
+    pub fn restrict_to<I, S>(mut self, domains: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.site_restrict = domains.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append augmentation terms.
+    pub fn augment<I, S>(mut self, terms: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.augment_terms = terms.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Prefer the given domains.
+    pub fn prefer<I, S>(mut self, domains: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.prefer_sites = domains.into_iter().map(Into::into).collect();
+        self
+    }
+}
+
+/// One search result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WebResult {
+    /// Result URL.
+    pub url: String,
+    /// Title.
+    pub title: String,
+    /// Highlighted snippet.
+    pub snippet: String,
+    /// Site domain.
+    pub domain: String,
+    /// Final blended score.
+    pub score: f32,
+    /// Image source URL (image vertical only).
+    pub image_src: Option<String>,
+    /// Video duration (video vertical only).
+    pub duration_s: Option<u32>,
+    /// Publication date, epoch seconds (news vertical only).
+    pub date: Option<i64>,
+}
+
+struct VerticalIndex {
+    index: Index,
+    /// Doc id -> page index.
+    pages: Vec<usize>,
+}
+
+/// The search engine over one corpus.
+pub struct SearchEngine {
+    corpus: Corpus,
+    rank: Vec<f64>,
+    web: VerticalIndex,
+    image: VerticalIndex,
+    video: VerticalIndex,
+    news: VerticalIndex,
+    /// Query-conditioned score multipliers learned from community
+    /// click logs (paper §IV: application usage data "may eventually
+    /// provide topic- or community-specific relevance signals to the
+    /// general search engine"). Keyed by `(normalized query, url)` so
+    /// a URL popular for one query never distorts another.
+    click_boosts: HashMap<(String, String), f32>,
+    speller: SpellSuggester,
+}
+
+impl std::fmt::Debug for SearchEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchEngine")
+            .field("pages", &self.corpus.pages.len())
+            .field("web_docs", &self.web.pages.len())
+            .finish_non_exhaustive()
+    }
+}
+
+fn build_vertical(corpus: &Corpus, keep: impl Fn(&PageKind) -> bool) -> VerticalIndex {
+    let mut index = Index::new(IndexConfig::default());
+    let title = index.register_field("title", 2.0);
+    let body = index.register_field("body", 1.0);
+    let mut pages = Vec::new();
+    for (i, page) in corpus.pages.iter().enumerate() {
+        if !keep(&page.kind) {
+            continue;
+        }
+        index.add(Doc::new().field(title, &*page.title).field(body, &*page.body));
+        pages.push(i);
+    }
+    index.optimize();
+    VerticalIndex { index, pages }
+}
+
+impl SearchEngine {
+    /// Index a corpus (builds all four verticals and the static rank).
+    pub fn new(corpus: Corpus) -> SearchEngine {
+        let rank = static_rank(&corpus, 30);
+        let web = build_vertical(&corpus, |k| {
+            matches!(k, PageKind::Article | PageKind::Review { .. })
+        });
+        let image = build_vertical(&corpus, |k| matches!(k, PageKind::Image { .. }));
+        let video = build_vertical(&corpus, |k| matches!(k, PageKind::Video { .. }));
+        let news = build_vertical(&corpus, |k| matches!(k, PageKind::News { .. }));
+        let speller = SpellSuggester::from_index(&web.index);
+        SearchEngine {
+            corpus,
+            rank,
+            web,
+            image,
+            video,
+            news,
+            click_boosts: HashMap::new(),
+            speller,
+        }
+    }
+
+    /// "Did you mean": a corrected query when tokens look misspelled
+    /// relative to the web vertical's lexicon, else `None`.
+    pub fn did_you_mean(&self, raw_query: &str) -> Option<String> {
+        self.speller
+            .did_you_mean(raw_query, self.web.index.analyzer())
+    }
+
+    /// Learn query-conditioned relevance boosts from community click
+    /// logs (the paper's §IV feedback loop). Within each normalized
+    /// query, a URL clicked `c` times gets a multiplier
+    /// `1 + strength * ln(1 + c) / ln(1 + max_c)`, so that query's
+    /// most-clicked URL gains exactly `1 + strength` and others scale
+    /// logarithmically below it. Calling this again replaces the
+    /// previous signal.
+    pub fn apply_click_feedback(&mut self, logs: &[LogEntry], strength: f32) {
+        self.click_boosts.clear();
+        if strength <= 0.0 {
+            return;
+        }
+        // (query, url) -> clicks, plus per-query maxima.
+        let mut counts: HashMap<(String, String), u32> = HashMap::new();
+        for l in logs {
+            *counts
+                .entry((normalize_query(&l.query), l.url.clone()))
+                .or_insert(0) += 1;
+        }
+        let mut max_per_query: HashMap<&str, u32> = HashMap::new();
+        for ((q, _), c) in &counts {
+            let m = max_per_query.entry(q.as_str()).or_insert(0);
+            *m = (*m).max(*c);
+        }
+        let boosts: Vec<((String, String), f32)> = counts
+            .iter()
+            .map(|((q, url), c)| {
+                let max = max_per_query[q.as_str()];
+                let denom = (1.0 + max as f32).ln();
+                let boost = 1.0 + strength * (1.0 + *c as f32).ln() / denom;
+                ((q.clone(), url.clone()), boost)
+            })
+            .collect();
+        self.click_boosts.extend(boosts);
+    }
+
+    /// Number of `(query, url)` pairs carrying a click-feedback boost.
+    pub fn click_boosted_urls(&self) -> usize {
+        self.click_boosts.len()
+    }
+
+    /// The corpus behind the engine.
+    pub fn corpus(&self) -> &Corpus {
+        &self.corpus
+    }
+
+    fn vertical(&self, v: Vertical) -> &VerticalIndex {
+        match v {
+            Vertical::Web => &self.web,
+            Vertical::Image => &self.image,
+            Vertical::Video => &self.video,
+            Vertical::News => &self.news,
+        }
+    }
+
+    /// Search a vertical. `raw_query` uses the
+    /// [`symphony_text::Query`] syntax; `config` applies the
+    /// customization hooks; at most `k` results return, best first.
+    pub fn search(
+        &self,
+        vertical: Vertical,
+        raw_query: &str,
+        config: &SearchConfig,
+        k: usize,
+    ) -> Vec<WebResult> {
+        let mut query = Query::parse(raw_query);
+        for t in &config.augment_terms {
+            query.clauses.push(Clause {
+                occur: Occur::Should,
+                kind: ClauseKind::Term(t.clone()),
+                field: None,
+            });
+        }
+        if query.is_empty() || k == 0 {
+            return Vec::new();
+        }
+        let vi = self.vertical(vertical);
+        // Over-fetch: static-rank blending can reorder beyond position
+        // k, so pull a deeper pool before rescoring.
+        let pool = (k * 4).max(32);
+        let restrict = &config.site_restrict;
+        let hits = Searcher::new(&vi.index).search_filtered(&query, pool, |doc| {
+            if restrict.is_empty() {
+                return true;
+            }
+            let domain = self.corpus.domain(vi.pages[doc.as_usize()]);
+            restrict.iter().any(|allow| domain_matches(domain, allow))
+        });
+
+        let newest = NEWS_SPAN_HINT;
+        // Normalize once; per-hit lookups only clone the URL key.
+        let feedback_key = if self.click_boosts.is_empty() {
+            None
+        } else {
+            Some(normalize_query(raw_query))
+        };
+        let mut results: Vec<WebResult> = hits
+            .into_iter()
+            .map(|h| {
+                let page_idx = vi.pages[h.doc.as_usize()];
+                let page = &self.corpus.pages[page_idx];
+                let domain = self.corpus.domain(page_idx).to_string();
+                let mut score = h.score * (0.4 + 1.6 * self.rank[page_idx] as f32);
+                if let Some(q) = &feedback_key {
+                    if let Some(boost) =
+                        self.click_boosts.get(&(q.clone(), page.url.clone()))
+                    {
+                        score *= boost;
+                    }
+                }
+                if config
+                    .prefer_sites
+                    .iter()
+                    .any(|p| domain_matches(&domain, p))
+                {
+                    score *= PREFER_BOOST;
+                }
+                let (image_src, duration_s, date) = match &page.kind {
+                    PageKind::Image { src, .. } => (Some(src.clone()), None, None),
+                    PageKind::Video { duration_s } => (None, Some(*duration_s), None),
+                    PageKind::News { date } => {
+                        // Recency boost for news.
+                        let rec = (*date as f32 / newest).clamp(0.0, 1.0);
+                        score *= 0.8 + 0.4 * rec;
+                        (None, None, Some(*date))
+                    }
+                    _ => (None, None, None),
+                };
+                let snippeter =
+                    SnippetGenerator::new(vi.index.analyzer(), &query.positive_words());
+                WebResult {
+                    url: page.url.clone(),
+                    title: page.title.clone(),
+                    snippet: snippeter.snippet(&page.body),
+                    domain,
+                    score,
+                    image_src,
+                    duration_s,
+                    date,
+                }
+            })
+            .collect();
+        results.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.url.cmp(&b.url))
+        });
+        results.truncate(k);
+        results
+    }
+
+    /// Number of indexed documents in a vertical (stats surface).
+    pub fn doc_count(&self, vertical: Vertical) -> usize {
+        self.vertical(vertical).pages.len()
+    }
+
+    /// Static rank of a URL, when known (exposed for experiments).
+    pub fn static_rank_of(&self, url: &str) -> Option<f64> {
+        let page = self.corpus.page_by_url(url)?;
+        let idx = self
+            .corpus
+            .pages
+            .iter()
+            .position(|p| std::ptr::eq(p, page))?;
+        Some(self.rank[idx])
+    }
+}
+
+/// Rough upper bound on synthetic news timestamps, for recency
+/// normalization (2010-01-01).
+const NEWS_SPAN_HINT: f32 = 1_262_304_000.0;
+
+/// Preferred-site score multiplier.
+const PREFER_BOOST: f32 = 1.5;
+
+/// Whitespace/case normalization for click-feedback keys.
+fn normalize_query(q: &str) -> String {
+    q.split_whitespace()
+        .map(|w| w.to_lowercase())
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+/// `domain` equals `allow` or is a subdomain of it.
+pub fn domain_matches(domain: &str, allow: &str) -> bool {
+    domain == allow || domain.ends_with(&format!(".{allow}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::CorpusConfig;
+    use crate::topic::Topic;
+
+    fn engine() -> SearchEngine {
+        let cfg = CorpusConfig {
+            sites_per_topic: 3,
+            pages_per_site: 6,
+            ..CorpusConfig::default()
+        }
+        .with_entities(Topic::Games, ["Galactic Raiders", "Farm Story"]);
+        SearchEngine::new(Corpus::generate(&cfg))
+    }
+
+    #[test]
+    fn web_search_finds_reviews() {
+        let e = engine();
+        let rs = e.search(Vertical::Web, "Galactic Raiders review", &SearchConfig::default(), 10);
+        assert!(!rs.is_empty());
+        assert!(rs[0].title.contains("Galactic Raiders"), "{:?}", rs[0].title);
+        assert!(rs[0].snippet.contains("<b>"));
+    }
+
+    #[test]
+    fn site_restriction_filters_domains() {
+        let e = engine();
+        let cfg = SearchConfig::default().restrict_to(["gamespot.com", "ign.com"]);
+        let rs = e.search(Vertical::Web, "Galactic Raiders", &cfg, 10);
+        assert!(!rs.is_empty());
+        assert!(rs
+            .iter()
+            .all(|r| r.domain == "gamespot.com" || r.domain == "ign.com"));
+    }
+
+    #[test]
+    fn restriction_to_unknown_domain_is_empty() {
+        let e = engine();
+        let cfg = SearchConfig::default().restrict_to(["nosuchsite.example"]);
+        assert!(e.search(Vertical::Web, "game", &cfg, 10).is_empty());
+    }
+
+    #[test]
+    fn image_vertical_returns_media_meta() {
+        let e = engine();
+        let rs = e.search(Vertical::Image, "Galactic Raiders", &SearchConfig::default(), 5);
+        assert!(!rs.is_empty());
+        assert!(rs[0].image_src.as_deref().unwrap().ends_with(".jpg"));
+        assert!(rs[0].duration_s.is_none());
+    }
+
+    #[test]
+    fn video_vertical_returns_duration() {
+        let e = engine();
+        let rs = e.search(Vertical::Video, "Galactic Raiders trailer", &SearchConfig::default(), 5);
+        assert!(!rs.is_empty());
+        assert!(rs[0].duration_s.is_some());
+    }
+
+    #[test]
+    fn news_vertical_returns_dates() {
+        let e = engine();
+        let rs = e.search(Vertical::News, "Galactic Raiders", &SearchConfig::default(), 5);
+        assert!(!rs.is_empty());
+        assert!(rs[0].date.is_some());
+    }
+
+    #[test]
+    fn prefer_sites_boosts_ranking() {
+        let e = engine();
+        let neutral = e.search(Vertical::Web, "game review", &SearchConfig::default(), 20);
+        let preferred_domain = "teamxbox.com";
+        let boosted = e.search(
+            Vertical::Web,
+            "game review",
+            &SearchConfig::default().prefer([preferred_domain]),
+            20,
+        );
+        let pos = |rs: &[WebResult]| rs.iter().position(|r| r.domain == preferred_domain);
+        if let (Some(a), Some(b)) = (pos(&neutral), pos(&boosted)) {
+            assert!(b <= a, "boost must not demote ({a} -> {b})");
+        }
+    }
+
+    #[test]
+    fn augmentation_changes_results() {
+        let e = engine();
+        let plain = e.search(Vertical::Web, "review", &SearchConfig::default(), 10);
+        let aug = e.search(
+            Vertical::Web,
+            "review",
+            &SearchConfig::default().augment(["gameplay"]),
+            10,
+        );
+        assert!(!plain.is_empty() && !aug.is_empty());
+        let urls = |rs: &[WebResult]| rs.iter().map(|r| r.url.clone()).collect::<Vec<_>>();
+        assert_ne!(urls(&plain), urls(&aug));
+    }
+
+    #[test]
+    fn empty_query_is_empty() {
+        let e = engine();
+        assert!(e
+            .search(Vertical::Web, "", &SearchConfig::default(), 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn k_truncates() {
+        let e = engine();
+        let rs = e.search(Vertical::Web, "game", &SearchConfig::default(), 3);
+        assert!(rs.len() <= 3);
+    }
+
+    #[test]
+    fn results_sorted_by_score() {
+        let e = engine();
+        let rs = e.search(Vertical::Web, "game review", &SearchConfig::default(), 10);
+        for w in rs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn did_you_mean_corrects_entity_typos() {
+        let e = engine();
+        let dym = e.did_you_mean("galactik raiders reviw");
+        assert_eq!(dym.as_deref(), Some("galactic raider review"));
+        assert_eq!(e.did_you_mean("galactic raiders"), None);
+    }
+
+    #[test]
+    fn click_feedback_promotes_clicked_urls() {
+        let mut e = engine();
+        let baseline = e.search(Vertical::Web, "game review", &SearchConfig::default(), 10);
+        assert!(baseline.len() >= 2);
+        // Fake a community that always clicks the currently-second
+        // result.
+        let target = baseline[1].url.clone();
+        let logs: Vec<crate::logs::LogEntry> = (0..50)
+            .map(|i| crate::logs::LogEntry {
+                session: i,
+                query: "game review".into(),
+                url: target.clone(),
+                domain: baseline[1].domain.clone(),
+                position: 1,
+                timestamp: 0,
+            })
+            .collect();
+        e.apply_click_feedback(&logs, 1.0);
+        assert_eq!(e.click_boosted_urls(), 1);
+        let boosted = e.search(Vertical::Web, "game review", &SearchConfig::default(), 10);
+        let pos = |rs: &[WebResult], url: &str| rs.iter().position(|r| r.url == url);
+        assert!(
+            pos(&boosted, &target).unwrap() < pos(&baseline, &target).unwrap()
+                || pos(&boosted, &target) == Some(0),
+            "clicked URL must rise"
+        );
+    }
+
+    #[test]
+    fn click_feedback_clears_on_empty_logs() {
+        let mut e = engine();
+        let logs = vec![crate::logs::LogEntry {
+            session: 0,
+            query: "q".into(),
+            url: "http://x/y".into(),
+            domain: "x".into(),
+            position: 0,
+            timestamp: 0,
+        }];
+        e.apply_click_feedback(&logs, 1.0);
+        assert_eq!(e.click_boosted_urls(), 1);
+        e.apply_click_feedback(&[], 1.0);
+        assert_eq!(e.click_boosted_urls(), 0);
+    }
+
+    #[test]
+    fn domain_matching_rules() {
+        assert!(domain_matches("gamespot.com", "gamespot.com"));
+        assert!(domain_matches("www.gamespot.com", "gamespot.com"));
+        assert!(!domain_matches("notgamespot.com", "gamespot.com"));
+    }
+}

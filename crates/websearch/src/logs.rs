@@ -1,0 +1,183 @@
+//! Synthetic query/click logs.
+//!
+//! Substitute for real usage data (DESIGN.md): seeded sessions issue
+//! topical queries against the engine and click with position bias.
+//! The logs feed Site Suggest (paper ref [2]) and the monetization
+//! analytics, and the paper's conclusion — community query/click logs
+//! as relevance signals — is exactly what these streams model.
+
+use crate::engine::{SearchConfig, SearchEngine, Vertical};
+use crate::topic::Topic;
+use crate::zipf::Zipf;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// One click event (queries without clicks produce no entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogEntry {
+    /// Session id.
+    pub session: u32,
+    /// The query issued.
+    pub query: String,
+    /// Clicked URL.
+    pub url: String,
+    /// Clicked domain.
+    pub domain: String,
+    /// Result position (0-based).
+    pub position: usize,
+    /// Event time (epoch seconds, synthetic timeline).
+    pub timestamp: i64,
+}
+
+/// Log generation parameters.
+#[derive(Debug, Clone)]
+pub struct LogConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Number of user sessions.
+    pub sessions: usize,
+    /// Queries per session (uniform 1..=this).
+    pub max_queries_per_session: usize,
+    /// Topics users draw queries from.
+    pub topics: Vec<Topic>,
+    /// Position-bias decay per rank (probability multiplier).
+    pub position_decay: f64,
+}
+
+impl Default for LogConfig {
+    fn default() -> Self {
+        LogConfig {
+            seed: 7,
+            sessions: 200,
+            max_queries_per_session: 4,
+            topics: vec![Topic::Games, Topic::Wine, Topic::Movies],
+            position_decay: 0.55,
+        }
+    }
+}
+
+/// Simulate sessions and return click events in time order.
+pub fn generate_logs(engine: &SearchEngine, config: &LogConfig) -> Vec<LogEntry> {
+    assert!(!config.topics.is_empty(), "logs need at least one topic");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut out = Vec::new();
+    let mut clock: i64 = 1_257_206_400; // 2009-11-03, the paper's era
+    let word_zipf: Vec<Zipf> = config
+        .topics
+        .iter()
+        .map(|t| Zipf::new(t.words().len(), 1.1))
+        .collect();
+    for session in 0..config.sessions as u32 {
+        let ti = rng.gen_range(0..config.topics.len());
+        let topic = config.topics[ti];
+        let n_queries = rng.gen_range(1..=config.max_queries_per_session);
+        for _ in 0..n_queries {
+            let words = topic.words();
+            let n_words = rng.gen_range(1..=3usize);
+            let mut q = String::new();
+            for i in 0..n_words {
+                if i > 0 {
+                    q.push(' ');
+                }
+                q.push_str(words[word_zipf[ti].sample(&mut rng)]);
+            }
+            clock += rng.gen_range(5..120);
+            let results = engine.search(Vertical::Web, &q, &SearchConfig::default(), 10);
+            for (pos, r) in results.iter().enumerate() {
+                // Position bias x site quality drives the click.
+                let quality = engine
+                    .corpus()
+                    .sites
+                    .iter()
+                    .find(|s| s.domain == r.domain)
+                    .map(|s| s.quality)
+                    .unwrap_or(0.5);
+                let p = config.position_decay.powi(pos as i32) * (0.3 + 0.7 * quality);
+                if rng.gen_bool(p.clamp(0.0, 1.0)) {
+                    out.push(LogEntry {
+                        session,
+                        query: q.clone(),
+                        url: r.url.clone(),
+                        domain: r.domain.clone(),
+                        position: pos,
+                        timestamp: clock,
+                    });
+                    // Mostly single-click sessions per query.
+                    if rng.gen_bool(0.8) {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corpus::{Corpus, CorpusConfig};
+
+    fn engine() -> SearchEngine {
+        SearchEngine::new(Corpus::generate(&CorpusConfig {
+            sites_per_topic: 3,
+            pages_per_site: 6,
+            ..CorpusConfig::default()
+        }))
+    }
+
+    #[test]
+    fn logs_are_nonempty_and_deterministic() {
+        let e = engine();
+        let a = generate_logs(&e, &LogConfig::default());
+        let b = generate_logs(&e, &LogConfig::default());
+        assert!(!a.is_empty());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn clicks_skew_to_top_positions() {
+        let e = engine();
+        let logs = generate_logs(
+            &e,
+            &LogConfig {
+                sessions: 400,
+                ..LogConfig::default()
+            },
+        );
+        let top = logs.iter().filter(|l| l.position == 0).count();
+        let deep = logs.iter().filter(|l| l.position >= 5).count();
+        assert!(top > deep * 3, "top={top} deep={deep}");
+    }
+
+    #[test]
+    fn timestamps_monotone_within_generation() {
+        let e = engine();
+        let logs = generate_logs(&e, &LogConfig::default());
+        for w in logs.windows(2) {
+            assert!(w[0].timestamp <= w[1].timestamp);
+        }
+    }
+
+    #[test]
+    fn clicked_urls_exist_in_corpus() {
+        let e = engine();
+        let logs = generate_logs(&e, &LogConfig::default());
+        for l in logs.iter().take(50) {
+            assert!(e.corpus().page_by_url(&l.url).is_some());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one topic")]
+    fn empty_topics_panics() {
+        let e = engine();
+        generate_logs(
+            &e,
+            &LogConfig {
+                topics: vec![],
+                ..LogConfig::default()
+            },
+        );
+    }
+}

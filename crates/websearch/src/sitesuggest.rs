@@ -1,0 +1,177 @@
+//! Site Suggest (paper §II-A, "Built-in Services", citing [2]).
+//!
+//! *"A Site Suggest feature is provided that can suggest additional
+//! related sites to include based on the set already specified."*
+//!
+//! Following the wisdom-of-the-crowds approach of Fuxman et al. [2],
+//! two sites are related when users reach them through the same
+//! queries. We build a site -> query-set map from click logs and rank
+//! candidate sites by summed Jaccard similarity to the seed set.
+
+use crate::logs::LogEntry;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// A suggestion with its relatedness score.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suggestion {
+    /// Suggested domain.
+    pub domain: String,
+    /// Summed Jaccard similarity to the seeds (higher = more related).
+    pub score: f64,
+}
+
+/// The Site Suggest model.
+#[derive(Debug, Default)]
+pub struct SiteSuggest {
+    site_queries: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl SiteSuggest {
+    /// Build the model from click logs.
+    pub fn from_logs(logs: &[LogEntry]) -> SiteSuggest {
+        let mut site_queries: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+        for l in logs {
+            site_queries
+                .entry(l.domain.clone())
+                .or_default()
+                .insert(l.query.clone());
+        }
+        SiteSuggest { site_queries }
+    }
+
+    /// Number of sites with click evidence.
+    pub fn known_sites(&self) -> usize {
+        self.site_queries.len()
+    }
+
+    /// Suggest up to `k` sites related to `seeds` (seeds themselves are
+    /// excluded). Sites with no shared query are omitted.
+    pub fn suggest(&self, seeds: &[&str], k: usize) -> Vec<Suggestion> {
+        let seed_sets: Vec<&BTreeSet<String>> = seeds
+            .iter()
+            .filter_map(|s| self.site_queries.get(*s))
+            .collect();
+        if seed_sets.is_empty() {
+            return Vec::new();
+        }
+        let mut scored: Vec<Suggestion> = self
+            .site_queries
+            .iter()
+            .filter(|(domain, _)| !seeds.contains(&domain.as_str()))
+            .filter_map(|(domain, queries)| {
+                let score: f64 = seed_sets.iter().map(|s| jaccard(s, queries)).sum();
+                (score > 0.0).then(|| Suggestion {
+                    domain: domain.clone(),
+                    score,
+                })
+            })
+            .collect();
+        scored.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then_with(|| a.domain.cmp(&b.domain))
+        });
+        scored.truncate(k);
+        scored
+    }
+}
+
+fn jaccard(a: &BTreeSet<String>, b: &BTreeSet<String>) -> f64 {
+    if a.is_empty() || b.is_empty() {
+        return 0.0;
+    }
+    let inter = a.intersection(b).count();
+    if inter == 0 {
+        return 0.0;
+    }
+    inter as f64 / (a.len() + b.len() - inter) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(domain: &str, query: &str) -> LogEntry {
+        LogEntry {
+            session: 0,
+            query: query.into(),
+            url: format!("http://{domain}/x"),
+            domain: domain.into(),
+            position: 0,
+            timestamp: 0,
+        }
+    }
+
+    fn model() -> SiteSuggest {
+        SiteSuggest::from_logs(&[
+            entry("gamespot.com", "galactic raiders review"),
+            entry("gamespot.com", "best shooter"),
+            entry("ign.com", "galactic raiders review"),
+            entry("ign.com", "best shooter"),
+            entry("teamxbox.com", "best shooter"),
+            entry("winespectator.com", "bordeaux vintage"),
+        ])
+    }
+
+    #[test]
+    fn related_site_suggested_for_seed() {
+        let m = model();
+        let s = m.suggest(&["gamespot.com"], 5);
+        assert_eq!(s[0].domain, "ign.com");
+        assert!(s.iter().any(|x| x.domain == "teamxbox.com"));
+    }
+
+    #[test]
+    fn unrelated_site_not_suggested() {
+        let m = model();
+        let s = m.suggest(&["gamespot.com"], 5);
+        assert!(s.iter().all(|x| x.domain != "winespectator.com"));
+    }
+
+    #[test]
+    fn seeds_excluded_from_output() {
+        let m = model();
+        let s = m.suggest(&["gamespot.com", "ign.com"], 5);
+        assert!(s
+            .iter()
+            .all(|x| x.domain != "gamespot.com" && x.domain != "ign.com"));
+    }
+
+    #[test]
+    fn multiple_seeds_accumulate_evidence() {
+        let m = model();
+        let one = m.suggest(&["gamespot.com"], 5);
+        let two = m.suggest(&["gamespot.com", "ign.com"], 5);
+        let score = |s: &[Suggestion]| {
+            s.iter()
+                .find(|x| x.domain == "teamxbox.com")
+                .map(|x| x.score)
+                .unwrap_or(0.0)
+        };
+        assert!(score(&two) > score(&one));
+    }
+
+    #[test]
+    fn unknown_seed_yields_nothing() {
+        let m = model();
+        assert!(m.suggest(&["nosuch.example"], 5).is_empty());
+    }
+
+    #[test]
+    fn k_truncates_ordered_output() {
+        let m = model();
+        let s = m.suggest(&["gamespot.com"], 1);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s[0].domain, "ign.com");
+    }
+
+    #[test]
+    fn jaccard_edges() {
+        let empty = BTreeSet::new();
+        let mut a = BTreeSet::new();
+        a.insert("q".to_string());
+        assert_eq!(jaccard(&empty, &a), 0.0);
+        assert_eq!(jaccard(&a, &a), 1.0);
+    }
+}

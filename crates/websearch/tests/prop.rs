@@ -1,0 +1,95 @@
+//! Property tests for the simulated web: restriction soundness,
+//! determinism, and log validity over arbitrary configurations.
+
+use proptest::prelude::*;
+use symphony_web::engine::domain_matches;
+use symphony_web::{
+    generate_logs, Corpus, CorpusConfig, LogConfig, SearchConfig, SearchEngine, Topic, Vertical,
+};
+
+fn small_engine(seed: u64) -> SearchEngine {
+    SearchEngine::new(Corpus::generate(&CorpusConfig {
+        seed,
+        sites_per_topic: 2,
+        pages_per_site: 3,
+        ..CorpusConfig::default()
+    }))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Site restriction is sound: every result's domain matches an
+    /// allowed domain, for any allowed subset of corpus domains.
+    #[test]
+    fn restriction_is_sound(
+        seed in 0u64..50,
+        pick in proptest::collection::vec(any::<prop::sample::Index>(), 1..4),
+        query in "[a-z]{3,7}",
+    ) {
+        let engine = small_engine(seed);
+        let domains: Vec<String> = engine
+            .corpus()
+            .sites
+            .iter()
+            .map(|s| s.domain.clone())
+            .collect();
+        let allowed: Vec<String> = pick
+            .iter()
+            .map(|i| domains[i.index(domains.len())].clone())
+            .collect();
+        let config = SearchConfig::default().restrict_to(allowed.clone());
+        for v in Vertical::ALL {
+            for r in engine.search(v, &query, &config, 10) {
+                prop_assert!(
+                    allowed.iter().any(|a| domain_matches(&r.domain, a)),
+                    "{} leaked past {:?}",
+                    r.domain,
+                    allowed
+                );
+            }
+        }
+    }
+
+    /// Search is deterministic: same engine, same query, same results.
+    #[test]
+    fn search_deterministic(seed in 0u64..30, query in "[a-z]{3,7}( [a-z]{3,7})?") {
+        let engine = small_engine(seed);
+        let a = engine.search(Vertical::Web, &query, &SearchConfig::default(), 10);
+        let b = engine.search(Vertical::Web, &query, &SearchConfig::default(), 10);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Scores are sorted and finite for arbitrary queries.
+    #[test]
+    fn scores_sorted_and_finite(seed in 0u64..30, query in "\\PC{0,30}") {
+        let engine = small_engine(seed);
+        let rs = engine.search(Vertical::Web, &query, &SearchConfig::default(), 10);
+        for w in rs.windows(2) {
+            prop_assert!(w[0].score >= w[1].score);
+        }
+        for r in &rs {
+            prop_assert!(r.score.is_finite() && r.score > 0.0);
+        }
+    }
+
+    /// Generated logs reference real pages and in-range positions.
+    #[test]
+    fn logs_are_valid(seed in 0u64..20) {
+        let engine = small_engine(3);
+        let logs = generate_logs(
+            &engine,
+            &LogConfig {
+                seed,
+                sessions: 40,
+                topics: vec![Topic::Games, Topic::Wine],
+                ..LogConfig::default()
+            },
+        );
+        for l in &logs {
+            prop_assert!(engine.corpus().page_by_url(&l.url).is_some());
+            prop_assert!(l.position < 10);
+            prop_assert!(!l.query.is_empty());
+        }
+    }
+}

@@ -1,0 +1,269 @@
+//! GamerQueen — the paper's §II-B worked example, end to end.
+//!
+//! Ann, a video game store owner, builds a custom search experience:
+//! her inventory as primary content, game reviews from gamespot.com /
+//! ign.com / teamxbox.com as supplemental web content, a real-time
+//! pricing and in-stock service, and voluntary ads with revenue
+//! sharing. The example walks registration, design (via drag-and-drop
+//! ops), publication, query execution (Fig. 2), a customer click on an
+//! ad, and the monetization summaries.
+//!
+//! Run with `cargo run -p symphony-examples --bin gamer_queen`.
+
+use symphony_ads::{Ad, Keyword, MatchType};
+use symphony_core::app::AppBuilder;
+use symphony_core::hosting::Platform;
+use symphony_core::source::DataSourceDef;
+use symphony_core::SocialCanvasHost;
+use symphony_designer::canvas::DataSourceCard;
+use symphony_designer::ops::{DesignOp, Designer};
+use symphony_designer::{render_outline, Element};
+use symphony_examples::{banner, heading, indent};
+use symphony_services::{CallPolicy, InventoryService, LatencyModel, PricingService};
+use symphony_store::ingest::{ingest, DataFormat};
+use symphony_store::IndexedTable;
+use symphony_web::{Corpus, CorpusConfig, SearchConfig, SearchEngine, Topic, Vertical};
+
+const INVENTORY_CSV: &str = "\
+title,genre,description,detail_url,price
+Galactic Raiders,shooter,a fast space shooter with lasers,http://gamerqueen.example.com/games/galactic-raiders,49.99
+Farm Story,sim,calm farming with crops and animals,http://gamerqueen.example.com/games/farm-story,19.99
+Space Trader,strategy,trade goods across space stations,http://gamerqueen.example.com/games/space-trader,29.99
+Laser Golf,sports,golf with lasers a silly shooter,http://gamerqueen.example.com/games/laser-golf,9.99
+Puzzle Palace,puzzle,mind bending puzzle rooms,http://gamerqueen.example.com/games/puzzle-palace,14.99
+";
+
+fn main() {
+    banner("GamerQueen: the paper's Section II-B scenario");
+
+    // The simulated web knows Ann's games (reviews, screenshots,
+    // trailers exist on the authoritative game sites).
+    let corpus = Corpus::generate(
+        &CorpusConfig::default().with_entities(
+            Topic::Games,
+            [
+                "Galactic Raiders",
+                "Farm Story",
+                "Space Trader",
+                "Laser Golf",
+                "Puzzle Palace",
+            ],
+        ),
+    );
+    let mut platform = Platform::new(SearchEngine::new(corpus));
+
+    heading("register proprietary inventory");
+    let (tenant, key) = platform.create_tenant("GamerQueen");
+    let (table, report) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("parses");
+    println!("uploaded inventory: {} rows ({:?})", report.rows, report.format);
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+        .expect("columns exist");
+    platform.upload_table(tenant, &key, indexed).expect("quota");
+
+    heading("attach services and ads");
+    platform
+        .transport_mut()
+        .register("pricing", Box::new(PricingService), LatencyModel::fast());
+    platform.transport_mut().register(
+        "stock",
+        Box::new(InventoryService),
+        LatencyModel::default(),
+    );
+    let adv = platform.ads_mut().add_advertiser("MegaGames");
+    platform.ads_mut().add_campaign(
+        adv,
+        "games push",
+        10_000,
+        vec![
+            Keyword::new("game", MatchType::Broad, 40),
+            Keyword::new("space shooter", MatchType::Phrase, 60),
+        ],
+        Ad {
+            title: "Mega Games Sale".into(),
+            display_url: "megagames.example.com".into(),
+            target_url: "http://megagames.example.com/sale".into(),
+            text: "50% off space shooters this week".into(),
+        },
+        0.85,
+    );
+    println!("pricing + in-stock services registered; 1 ad campaign live");
+
+    heading("design the application (drag-and-drop op log)");
+    let mut designer = Designer::new();
+    designer.register_source(DataSourceCard {
+        name: "inventory".into(),
+        category: "proprietary".into(),
+        fields: ["title", "genre", "description", "detail_url", "price"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    });
+    designer.register_source(DataSourceCard {
+        name: "reviews".into(),
+        category: "web".into(),
+        fields: ["url", "title", "snippet", "domain"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    });
+    let root = designer.canvas().root_id();
+    designer
+        .apply(DesignOp::AddElement {
+            parent: root,
+            element: Element::search_box("Search GamerQueen…"),
+        })
+        .expect("ok");
+    let list = designer
+        .apply(DesignOp::DropSource {
+            source: "inventory".into(),
+            target: root,
+            max_results: 10,
+        })
+        .expect("ok")
+        .expect("creates list");
+    // Drag web search onto the result layout (supplemental reviews).
+    designer
+        .apply(DesignOp::AddElement {
+            parent: list,
+            element: Element::result_list(
+                "reviews",
+                Element::column(vec![
+                    Element::link_field("url", "{title}").with_class("review-link"),
+                    Element::rich_text("{snippet}"),
+                ]),
+                3,
+            ),
+        })
+        .expect("ok");
+    // Pricing and stock as service-based supplemental content.
+    designer
+        .apply(DesignOp::AddElement {
+            parent: list,
+            element: Element::result_list("pricing", Element::text("Now ${price} {currency}"), 1),
+        })
+        .expect("ok");
+    designer
+        .apply(DesignOp::AddElement {
+            parent: list,
+            element: Element::result_list(
+                "stock",
+                Element::text("In stock: {quantity} ({warehouse})"),
+                1,
+            ),
+        })
+        .expect("ok");
+    // Ads column under the results.
+    designer
+        .apply(DesignOp::AddElement {
+            parent: root,
+            element: Element::result_list(
+                "sponsored",
+                symphony_designer::template::ad_layout(),
+                2,
+            ),
+        })
+        .expect("ok");
+    println!("layout outline:\n{}", indent(&render_outline(designer.canvas().root())));
+
+    let app_config = AppBuilder::new("GamerQueen", tenant)
+        .layout(designer.into_canvas())
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .source(
+            "reviews",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Web,
+                config: SearchConfig::default().restrict_to([
+                    "gamespot.com",
+                    "ign.com",
+                    "teamxbox.com",
+                ]),
+            },
+        )
+        .source(
+            "pricing",
+            DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+        )
+        .source(
+            "stock",
+            DataSourceDef::Service {
+                endpoint: "stock".into(),
+                operation: "CheckStock".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+        )
+        .source("sponsored", DataSourceDef::Ads { slots: 2 })
+        .supplemental("reviews", "{title} review")
+        .supplemental("pricing", "{title}")
+        .supplemental("stock", "{title}")
+        .build()
+        .expect("valid app");
+
+    heading("publish: embed snippet + social canvas");
+    let app = platform.register_app(app_config).expect("registers");
+    platform.publish(app).expect("publishes");
+    println!("{}", indent(&platform.embed_code(app).expect("exists")));
+    let mut facebook = SocialCanvasHost::new();
+    let canvas_url = facebook
+        .install(platform.social_manifest(app).expect("exists"))
+        .expect("valid manifest");
+    println!("\npublished to social canvas: {canvas_url}");
+
+    heading("customer query: \"space shooter\" (Fig. 2 execution)");
+    let resp = platform.query(app, "space shooter").expect("published");
+    println!("{}", resp.trace.render());
+    assert!(resp.html.contains("Galactic Raiders"));
+    assert!(resp.html.contains("review"));
+    println!(
+        "HTML response: {} bytes, {} impressions recorded",
+        resp.html.len(),
+        resp.impressions.len()
+    );
+
+    heading("customer clicks");
+    // Click the first inventory result and the sponsored ad.
+    let game_click = resp
+        .impressions
+        .iter()
+        .find(|i| i.source == "inventory")
+        .expect("inventory impression");
+    platform
+        .click(app, "space shooter", game_click)
+        .expect("click logged");
+    if let Some(ad_click) = resp.impressions.iter().find(|i| i.is_ad) {
+        let credited = platform
+            .click(app, "space shooter", ad_click)
+            .expect("click billed");
+        println!(
+            "ad click billed; Ann credited {} cents automatically",
+            credited.unwrap_or(0)
+        );
+    }
+
+    heading("monetization summaries");
+    let summary = platform.traffic_summary(app).expect("exists");
+    println!(
+        "impressions={} clicks={} ad_clicks={} ctr={:.2}",
+        summary.impressions,
+        summary.clicks,
+        summary.ad_clicks,
+        summary.ctr()
+    );
+    println!(
+        "publisher earnings so far: {} cents",
+        platform.publisher_earnings_cents(app).unwrap_or(0)
+    );
+    println!("\nreferral audit CSV:\n{}", indent(&platform.referral_audit_csv(app).expect("exists")));
+}

@@ -1,0 +1,33 @@
+//! Shared helpers for the Symphony examples.
+
+#![warn(missing_docs)]
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(72));
+    println!("{title}");
+    println!("{}", "=".repeat(72));
+}
+
+/// Print a sub-section heading.
+pub fn heading(title: &str) {
+    println!("\n--- {title} ---");
+}
+
+/// Indent a multi-line block for display.
+pub fn indent(text: &str) -> String {
+    text.lines()
+        .map(|l| format!("    {l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indent_prefixes_every_line() {
+        assert_eq!(indent("a\nb"), "    a\n    b");
+    }
+}

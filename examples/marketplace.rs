@@ -1,0 +1,205 @@
+//! Marketplace — the paper's §IV future-work features, together.
+//!
+//! Two shops (games, wine) run their own Symphony apps; a marketplace
+//! app *composes* them into one search box. Along the way:
+//!
+//! * **supplemental-site recommendation** proposes the review sites
+//!   for the games shop (instead of Ann picking them by hand);
+//! * a **structured constraint** hides out-of-stock items;
+//! * **click feedback** from community logs tunes the general engine;
+//! * **application composition** federates both shops.
+//!
+//! Run with `cargo run -p symphony-examples --bin marketplace`.
+
+use symphony_core::app::AppBuilder;
+use symphony_core::hosting::Platform;
+use symphony_core::source::DataSourceDef;
+use symphony_core::recommend_sites;
+use symphony_designer::{Canvas, Element};
+use symphony_examples::{banner, heading, indent};
+use symphony_store::ingest::{ingest, DataFormat};
+use symphony_store::{CmpOp, Filter, IndexedTable, Value};
+use symphony_web::{
+    generate_logs, Corpus, CorpusConfig, LogConfig, SearchConfig, SearchEngine, Topic, Vertical,
+};
+
+const GAMES_CSV: &str = "\
+title,genre,price,stock
+Galactic Raiders,shooter,49.99,3
+Farm Story,sim,19.99,0
+Space Trader,strategy,29.99,5
+";
+
+const WINES_CSV: &str = "\
+title,region,notes
+Chateau Margaux,Bordeaux,plum and cedar
+Penfolds Grange,Australia,dense shiraz with mocha oak
+";
+
+fn main() {
+    banner("Marketplace: composition + recommendation + constraints + feedback");
+
+    let corpus = Corpus::generate(
+        &CorpusConfig::default()
+            .with_entities(Topic::Games, ["Galactic Raiders", "Farm Story", "Space Trader"])
+            .with_entities(Topic::Wine, ["Chateau Margaux", "Penfolds Grange"]),
+    );
+    let mut engine = SearchEngine::new(corpus);
+
+    heading("community click feedback tunes the general engine (§IV)");
+    let logs = generate_logs(
+        &engine,
+        &LogConfig {
+            sessions: 300,
+            topics: vec![Topic::Games, Topic::Wine],
+            ..LogConfig::default()
+        },
+    );
+    engine.apply_click_feedback(&logs, 0.8);
+    println!(
+        "{} click events -> {} (query, url) relevance boosts",
+        logs.len(),
+        engine.click_boosted_urls()
+    );
+
+    let mut platform = Platform::new(engine);
+    let (tenant, key) = platform.create_tenant("Marketplace");
+
+    // --- The games shop, with recommended review sites and an
+    //     in-stock constraint.
+    heading("games shop: recommended supplemental sites (§IV)");
+    let (games, _) = ingest("games", GAMES_CSV, DataFormat::Csv).expect("parses");
+    let mut games_indexed = IndexedTable::new(games);
+    games_indexed
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0)])
+        .expect("columns");
+    let recs = recommend_sites(platform.engine(), &games_indexed, "title", 8, 2);
+    for r in recs.iter().take(3) {
+        println!(
+            "  recommended: {} (score {:.2}, supported by {} titles)",
+            r.domain, r.score, r.supporting_entities
+        );
+    }
+    let review_sites: Vec<String> = recs.iter().take(3).map(|r| r.domain.clone()).collect();
+    let stock_col = games_indexed.table().schema().col("stock").expect("exists");
+    platform.upload_table(tenant, &key, games_indexed).expect("quota");
+
+    let mut games_canvas = Canvas::new();
+    let root = games_canvas.root_id();
+    let item = Element::column(vec![
+        Element::text("{title} — ${price}"),
+        Element::result_list(
+            "reviews",
+            Element::link_field("url", "{title}"),
+            2,
+        ),
+    ]);
+    games_canvas
+        .insert(root, Element::result_list("games", item, 10))
+        .expect("root");
+    let games_app = platform
+        .register_app(
+            AppBuilder::new("GamerQueen", tenant)
+                .layout(games_canvas)
+                .source("games", DataSourceDef::Proprietary { table: "games".into() })
+                .source(
+                    "reviews",
+                    DataSourceDef::WebVertical {
+                        vertical: Vertical::Web,
+                        config: SearchConfig::default().restrict_to(review_sites.clone()),
+                    },
+                )
+                .supplemental("reviews", "{title} review")
+                // §IV structured constraint: only in-stock games.
+                .constraint("games", Filter::cmp(stock_col, CmpOp::Gt, Value::Int(0)))
+                .build()
+                .expect("valid"),
+        )
+        .expect("registers");
+    platform.publish(games_app).expect("publishes");
+    println!(
+        "games shop published with in-stock constraint and sites {:?}",
+        review_sites
+    );
+
+    // --- The wine shop.
+    let (wines, _) = ingest("wines", WINES_CSV, DataFormat::Csv).expect("parses");
+    let mut wines_indexed = IndexedTable::new(wines);
+    wines_indexed
+        .enable_fulltext(&[("title", 2.0), ("region", 1.0), ("notes", 1.0)])
+        .expect("columns");
+    platform.upload_table(tenant, &key, wines_indexed).expect("quota");
+    let mut wine_canvas = Canvas::new();
+    let root = wine_canvas.root_id();
+    wine_canvas
+        .insert(
+            root,
+            Element::result_list("wines", Element::text("{title} ({region}) — {notes}"), 10),
+        )
+        .expect("root");
+    let wine_app = platform
+        .register_app(
+            AppBuilder::new("VinFannie", tenant)
+                .layout(wine_canvas)
+                .source("wines", DataSourceDef::Proprietary { table: "wines".into() })
+                .build()
+                .expect("valid"),
+        )
+        .expect("registers");
+    platform.publish(wine_app).expect("publishes");
+
+    // --- The marketplace composes both apps (§IV).
+    heading("the marketplace app composes both shops (§IV)");
+    let mut mall_canvas = Canvas::new();
+    let root = mall_canvas.root_id();
+    mall_canvas
+        .insert(root, Element::search_box("Search the marketplace…"))
+        .expect("root");
+    for (name, label) in [("games_shop", "Games"), ("wine_shop", "Wine")] {
+        mall_canvas
+            .insert(
+                root,
+                Element::column(vec![
+                    Element::text(label).with_class("shop-header"),
+                    Element::result_list(
+                        name,
+                        Element::column(vec![
+                            Element::link_field("url", "{title}"),
+                            Element::text("via {app}"),
+                        ]),
+                        4,
+                    ),
+                ]),
+            )
+            .expect("root");
+    }
+    let mall = platform
+        .register_app(
+            AppBuilder::new("Marketplace", tenant)
+                .layout(mall_canvas)
+                .source("games_shop", DataSourceDef::ComposedApp { app: games_app })
+                .source("wine_shop", DataSourceDef::ComposedApp { app: wine_app })
+                .build()
+                .expect("valid"),
+        )
+        .expect("registers");
+    platform.publish(mall).expect("publishes");
+
+    for q in ["shooter", "shiraz", "story"] {
+        let resp = platform.query(mall, q).expect("published");
+        println!("\nmarketplace query {q:?}:");
+        println!("{}", indent(&resp.trace.render()));
+        if q == "story" {
+            // Farm Story exists but is out of stock: the games shop's
+            // constraint keeps it hidden even through composition.
+            assert!(!resp.html.contains("Farm Story"));
+            println!("    (Farm Story hidden by the in-stock constraint)");
+        }
+    }
+
+    heading("per-shop traffic accrues through composition");
+    for (label, id) in [("Marketplace", mall), ("GamerQueen", games_app), ("VinFannie", wine_app)] {
+        let s = platform.traffic_summary(id).expect("exists");
+        println!("  {label}: {} impressions", s.impressions);
+    }
+}

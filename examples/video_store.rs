@@ -1,0 +1,179 @@
+//! The video store from the paper's introduction: browse the owner's
+//! movie inventory, "augmented ... with focused search results for
+//! supplemental content such as the latest reviews and trailers
+//! obtained on the fly".
+//!
+//! Demonstrates: URL-crawl ingestion (the store's catalog pages are
+//! crawled off the synthetic web), video + news verticals as
+//! supplemental content, sequential-vs-parallel execution modes, and
+//! cache behaviour under repeated queries.
+//!
+//! Run with `cargo run -p symphony-examples --bin video_store`.
+
+use symphony_core::app::AppBuilder;
+use symphony_core::hosting::Platform;
+use symphony_core::runtime::ExecMode;
+use symphony_core::source::DataSourceDef;
+use symphony_designer::{Canvas, Element};
+use symphony_examples::{banner, heading};
+use symphony_store::ingest::{ingest, DataFormat};
+use symphony_store::IndexedTable;
+use symphony_web::{Corpus, CorpusConfig, CorpusFetcher, SearchConfig, SearchEngine, Topic, Vertical};
+
+const MOVIES: [&str; 4] = [
+    "Midnight Circuit",
+    "The Quiet Harbor",
+    "Starlight Heist",
+    "Paper Lanterns",
+];
+
+const INVENTORY_CSV: &str = "\
+title,genre,year,description
+Midnight Circuit,thriller,2008,a street racer uncovers a conspiracy
+The Quiet Harbor,drama,2009,two families share one lighthouse
+Starlight Heist,comedy,2009,amateur thieves hit a planetarium
+Paper Lanterns,romance,2007,letters cross a festival sky
+";
+
+fn main() {
+    banner("Video store: movie inventory + trailers and news on the fly");
+
+    let corpus = Corpus::generate(&CorpusConfig::default().with_entities(Topic::Movies, MOVIES));
+
+    heading("crawl demonstration: ingest review pages via URL crawling");
+    // Before the engine consumes the corpus, crawl a slice of it the
+    // way a designer would crawl their own site (upload method 3).
+    let seed = corpus
+        .pages
+        .iter()
+        .find(|p| corpus.sites[p.site].domain == "imdb.com")
+        .map(|p| p.url.clone())
+        .expect("imdb pages exist");
+    let fetcher = CorpusFetcher::new(&corpus);
+    let (crawled, crawl_report) = symphony_store::ingest::crawl("crawled_pages", &seed, 12, &fetcher);
+    println!(
+        "crawled {} pages from seed {seed} ({} warnings)",
+        crawled.len(),
+        crawl_report.warnings.len()
+    );
+
+    let mut platform = Platform::new(SearchEngine::new(corpus));
+    let (tenant, key) = platform.create_tenant("ReelTime");
+    let (table, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("parses");
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+        .expect("columns exist");
+    platform.upload_table(tenant, &key, indexed).expect("quota");
+    // The crawled pages become a searchable supplemental table too.
+    let mut crawled_indexed = IndexedTable::new(crawled);
+    crawled_indexed
+        .enable_fulltext(&[("title", 2.0), ("body", 1.0)])
+        .expect("columns exist");
+    platform
+        .upload_table(tenant, &key, crawled_indexed)
+        .expect("quota");
+
+    heading("design: trailers (video vertical) + headlines (news vertical)");
+    let mut canvas = Canvas::new();
+    let root = canvas.root_id();
+    canvas
+        .insert(root, Element::search_box("Find a movie…"))
+        .expect("ok");
+    canvas
+        .insert(
+            root,
+            Element::result_list(
+                "inventory",
+                Element::column(vec![
+                    Element::text("{title} ({year}) — {genre}").with_class("result-title"),
+                    Element::text("{description}"),
+                    Element::result_list(
+                        "trailers",
+                        Element::column(vec![
+                            Element::link_field("url", "▶ {title}"),
+                            Element::text("{duration_s}s"),
+                        ]),
+                        1,
+                    ),
+                    Element::result_list(
+                        "headlines",
+                        Element::link_field("url", "{title}"),
+                        2,
+                    ),
+                ]),
+                6,
+            ),
+        )
+        .expect("ok");
+
+    let app = AppBuilder::new("ReelTime", tenant)
+        .layout(canvas)
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .source(
+            "trailers",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Video,
+                config: SearchConfig::default(),
+            },
+        )
+        .source(
+            "headlines",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::News,
+                config: SearchConfig::default(),
+            },
+        )
+        .supplemental("trailers", "{title} trailer")
+        .supplemental("headlines", "{title}")
+        .build()
+        .expect("valid app");
+    let id = platform.register_app(app).expect("registers");
+    platform.publish(id).expect("publishes");
+
+    heading("query: \"heist comedy\" — trailers and news arrive with it");
+    let resp = platform.query(id, "heist comedy").expect("published");
+    println!("{}", resp.trace.render());
+    assert!(resp.html.contains("Starlight Heist"));
+
+    heading("parallel vs sequential fan-out on the same query (E1 shape)");
+    // Rebuild as sequential to compare virtual latencies.
+    let app_cfg = platform.app(id).expect("exists").clone();
+    let corpus2 = Corpus::generate(&CorpusConfig::default().with_entities(Topic::Movies, MOVIES));
+    let mut seq_platform = Platform::new(SearchEngine::new(corpus2)).with_mode(ExecMode::Sequential);
+    let (t2, k2) = seq_platform.create_tenant("ReelTime");
+    let (table2, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("parses");
+    let mut indexed2 = IndexedTable::new(table2);
+    indexed2
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+        .expect("columns exist");
+    seq_platform.upload_table(t2, &k2, indexed2).expect("quota");
+    let mut cfg2 = app_cfg;
+    cfg2.owner = t2;
+    let id2 = seq_platform.register_app(cfg2).expect("registers");
+    seq_platform.publish(id2).expect("publishes");
+    let seq = seq_platform.query(id2, "heist comedy").expect("published");
+    println!(
+        "parallel: {} virtual ms   sequential: {} virtual ms   speedup: {:.1}x",
+        resp.virtual_ms,
+        seq.virtual_ms,
+        seq.virtual_ms as f64 / resp.virtual_ms.max(1) as f64
+    );
+
+    heading("cache behaviour on a head query");
+    for _ in 0..3 {
+        platform.query(id, "heist comedy").expect("published");
+    }
+    let stats = platform.cache_stats(id).expect("exists");
+    println!(
+        "cache: {} hits / {} misses (hit rate {:.0}%)",
+        stats.hits,
+        stats.misses,
+        stats.hit_rate() * 100.0
+    );
+}

@@ -1,0 +1,203 @@
+//! The wine connoisseur from the paper's introduction: a specialized
+//! search vertical that combines her knowledge of wines with targeted
+//! web-search results, embedded in her site and monetized.
+//!
+//! Demonstrates: XML upload, Site Suggest (paper ref [2]) to grow the
+//! restriction list, query augmentation, image supplemental content,
+//! and the earnings ledger.
+//!
+//! Run with `cargo run -p symphony-examples --bin wine_connoisseur`.
+
+use symphony_ads::{Ad, Keyword, MatchType};
+use symphony_core::app::AppBuilder;
+use symphony_core::hosting::Platform;
+use symphony_core::source::DataSourceDef;
+use symphony_designer::{Canvas, Element, Selector, StyleProps, Stylesheet};
+use symphony_examples::{banner, heading, indent};
+use symphony_store::ingest::{ingest, DataFormat};
+use symphony_store::IndexedTable;
+use symphony_web::{
+    generate_logs, Corpus, CorpusConfig, LogConfig, SearchConfig, SearchEngine, SiteSuggest,
+    Topic, Vertical,
+};
+
+const CELLAR_XML: &str = "\
+<cellar>
+  <wine><title>Chateau Margaux 2005</title><region>Bordeaux</region><notes>plum and cedar, firm tannin, long cellar life</notes><rating>98</rating></wine>
+  <wine><title>Ridge Monte Bello 2001</title><region>Santa Cruz</region><notes>blackcurrant and graphite cabernet blend</notes><rating>97</rating></wine>
+  <wine><title>Egon Muller Scharzhofberger 2007</title><region>Mosel</region><notes>apricot and slate riesling kabinett</notes><rating>95</rating></wine>
+  <wine><title>Penfolds Grange 1998</title><region>Australia</region><notes>dense shiraz with mocha oak</notes><rating>99</rating></wine>
+</cellar>
+";
+
+fn main() {
+    banner("Wine connoisseur: a monetized specialist vertical");
+
+    let corpus = Corpus::generate(&CorpusConfig::default().with_entities(
+        Topic::Wine,
+        [
+            "Chateau Margaux",
+            "Ridge Monte Bello",
+            "Egon Muller Scharzhofberger",
+            "Penfolds Grange",
+        ],
+    ));
+    let mut platform = Platform::new(SearchEngine::new(corpus));
+    let (tenant, key) = platform.create_tenant("VinFannie");
+
+    heading("upload tasting notes (XML)");
+    let (table, report) = ingest("cellar", CELLAR_XML, DataFormat::Xml).expect("XML parses");
+    println!("{} wines ingested from {:?}", report.rows, report.format);
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("region", 1.5), ("notes", 1.0)])
+        .expect("columns exist");
+    platform.upload_table(tenant, &key, indexed).expect("quota");
+
+    heading("Site Suggest: grow the restriction list from one seed");
+    let logs = generate_logs(
+        platform.engine(),
+        &LogConfig {
+            sessions: 300,
+            topics: vec![Topic::Wine, Topic::Games],
+            ..LogConfig::default()
+        },
+    );
+    let suggest = SiteSuggest::from_logs(&logs);
+    let suggestions = suggest.suggest(&["winespectator.com"], 3);
+    println!("seed: winespectator.com");
+    for s in &suggestions {
+        println!("  suggested related site: {} (score {:.3})", s.domain, s.score);
+    }
+    let mut restrict = vec!["winespectator.com".to_string()];
+    restrict.extend(suggestions.iter().map(|s| s.domain.clone()));
+
+    heading("ads: a merchant bids on wine queries");
+    let adv = platform.ads_mut().add_advertiser("GrapeDeals");
+    platform.ads_mut().add_campaign(
+        adv,
+        "wine",
+        5_000,
+        vec![Keyword::new("wine", MatchType::Broad, 30)],
+        Ad {
+            title: "GrapeDeals cellar sale".into(),
+            display_url: "grapedeals.example.com".into(),
+            target_url: "http://grapedeals.example.com".into(),
+            text: "vintage bottles shipped".into(),
+        },
+        0.7,
+    );
+
+    heading("design with a stylesheet (web-savvy presentation)");
+    let sheet = Stylesheet::new()
+        .rule(
+            Selector::Class("result-title".into()),
+            StyleProps::new().with("color", "#722f37").with("font-size", "16px"),
+        )
+        .rule(
+            Selector::Kind("text".into()),
+            StyleProps::new().with("font-family", "Georgia, serif"),
+        );
+    let mut canvas = Canvas::new();
+    let root = canvas.root_id();
+    canvas
+        .insert(root, Element::search_box("Ask the connoisseur…"))
+        .expect("ok");
+    canvas
+        .insert(
+            root,
+            Element::result_list(
+                "cellar",
+                Element::column(vec![
+                    Element::text("{title} — {region} ({rating} pts)").with_class("result-title"),
+                    Element::text("{notes}"),
+                    Element::result_list(
+                        "wineweb",
+                        Element::column(vec![
+                            Element::link_field("url", "{title}"),
+                            Element::rich_text("{snippet}"),
+                        ]),
+                        2,
+                    ),
+                    Element::result_list(
+                        "labels",
+                        Element::image_field("image_src", "{title}"),
+                        1,
+                    ),
+                ]),
+                4,
+            ),
+        )
+        .expect("ok");
+    canvas
+        .insert(
+            root,
+            Element::result_list("sponsored", symphony_designer::template::ad_layout(), 1),
+        )
+        .expect("ok");
+
+    let app = AppBuilder::new("VinFannie", tenant)
+        .layout(canvas)
+        .stylesheet(sheet)
+        .source(
+            "cellar",
+            DataSourceDef::Proprietary {
+                table: "cellar".into(),
+            },
+        )
+        .source(
+            "wineweb",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Web,
+                config: SearchConfig::default()
+                    .restrict_to(restrict.clone())
+                    .augment(["wine"]),
+            },
+        )
+        .source(
+            "labels",
+            DataSourceDef::WebVertical {
+                vertical: Vertical::Image,
+                config: SearchConfig::default(),
+            },
+        )
+        .source("sponsored", DataSourceDef::Ads { slots: 1 })
+        .supplemental("wineweb", "{title} tasting")
+        .supplemental("labels", "{title}")
+        .build()
+        .expect("valid app");
+    let id = platform.register_app(app).expect("registers");
+    platform.publish(id).expect("publishes");
+
+    heading("customer queries");
+    for q in ["riesling", "bordeaux tannin", "shiraz"] {
+        let resp = platform.query(id, q).expect("published");
+        println!(
+            "query {q:?}: {} impressions, {} virtual ms",
+            resp.impressions.len(),
+            resp.virtual_ms
+        );
+        // Click whatever ranked first, crediting ads when sponsored.
+        if let Some(first) = resp.impressions.first().cloned() {
+            let credited = platform.click(id, q, &first).expect("click ok");
+            if let Some(cents) = credited {
+                println!("  sponsored click — credited {cents} cents");
+            }
+        }
+    }
+
+    heading("the stylesheet reaches the HTML");
+    let resp = platform.query(id, "riesling").expect("published");
+    assert!(resp.html.contains("color:#722f37"), "styled title missing");
+    println!("{}", indent(resp.html.lines().next().unwrap_or("")));
+
+    heading("earnings");
+    let summary = platform.traffic_summary(id).expect("exists");
+    println!(
+        "impressions={} clicks={} ad_clicks={} — earned {} cents",
+        summary.impressions,
+        summary.clicks,
+        summary.ad_clicks,
+        platform.publisher_earnings_cents(id).unwrap_or(0)
+    );
+}

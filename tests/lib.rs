@@ -1,0 +1,3 @@
+//! Integration-test package; all tests live in `tests/`.
+
+#![warn(missing_docs)]

@@ -1,0 +1,234 @@
+//! Designer <-> runtime integration: layouts built through drag-and-
+//! drop ops render correctly at runtime, the wizard's proposals are
+//! executable, and presentation cascades into the response HTML.
+
+use symphony_core::app::AppBuilder;
+use symphony_core::hosting::Platform;
+use symphony_core::source::DataSourceDef;
+use symphony_designer::canvas::DataSourceCard;
+use symphony_designer::ops::{DesignOp, Designer};
+use symphony_designer::{
+    render_design_surface, Element, Selector, StyleProps, Stylesheet,
+};
+use symphony_store::ingest::{ingest, DataFormat};
+use symphony_store::IndexedTable;
+use symphony_web::{Corpus, CorpusConfig, SearchEngine};
+
+const CSV: &str = "\
+title,detail_url,image_url,description,price
+Galactic Raiders,http://shop.example.com/gr,http://shop.example.com/gr.jpg,a fast space shooter,49.99
+Farm Story,http://shop.example.com/fs,http://shop.example.com/fs.jpg,calm farming,19.99
+";
+
+fn platform_with_inventory() -> (Platform, symphony_store::TenantId) {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites_per_topic: 1,
+        pages_per_site: 2,
+        ..CorpusConfig::default()
+    });
+    let mut platform = Platform::new(SearchEngine::new(corpus));
+    let (tenant, key) = platform.create_tenant("Shop");
+    let (table, _) = ingest("inventory", CSV, DataFormat::Csv).unwrap();
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("description", 1.0)])
+        .unwrap();
+    platform.upload_table(tenant, &key, indexed).unwrap();
+    (platform, tenant)
+}
+
+fn inventory_card() -> DataSourceCard {
+    DataSourceCard {
+        name: "inventory".into(),
+        category: "proprietary".into(),
+        fields: ["title", "detail_url", "image_url", "description", "price"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    }
+}
+
+#[test]
+fn wizard_layout_runs_end_to_end() {
+    let (mut platform, tenant) = platform_with_inventory();
+    let mut designer = Designer::new();
+    designer.register_source(inventory_card());
+    let root = designer.canvas().root_id();
+    designer
+        .apply(DesignOp::DropSource {
+            source: "inventory".into(),
+            target: root,
+            max_results: 5,
+        })
+        .unwrap();
+    let config = AppBuilder::new("Shop", tenant)
+        .layout(designer.into_canvas())
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .build()
+        .unwrap();
+    let id = platform.register_app(config).unwrap();
+    platform.publish(id).unwrap();
+    let resp = platform.query(id, "space shooter").unwrap();
+    // The wizard bound: link on title->detail_url, image, description,
+    // price — all must appear in the final HTML.
+    assert!(resp.html.contains("href=\"http://shop.example.com/gr\""));
+    assert!(resp.html.contains("src=\"http://shop.example.com/gr.jpg\""));
+    assert!(resp.html.contains("a fast space shooter"));
+    assert!(resp.html.contains("$49.99"));
+}
+
+#[test]
+fn undo_changes_what_the_runtime_renders() {
+    let (mut platform, tenant) = platform_with_inventory();
+    let mut designer = Designer::new();
+    designer.register_source(inventory_card());
+    let root = designer.canvas().root_id();
+    let list = designer
+        .apply(DesignOp::DropSource {
+            source: "inventory".into(),
+            target: root,
+            max_results: 5,
+        })
+        .unwrap()
+        .unwrap();
+    designer
+        .apply(DesignOp::AddElement {
+            parent: list,
+            element: Element::text("EXTRA-MARKER"),
+        })
+        .unwrap();
+    designer.undo().unwrap();
+    let config = AppBuilder::new("Shop", tenant)
+        .layout(designer.into_canvas())
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .build()
+        .unwrap();
+    let id = platform.register_app(config).unwrap();
+    platform.publish(id).unwrap();
+    let resp = platform.query(id, "shooter").unwrap();
+    assert!(!resp.html.contains("EXTRA-MARKER"), "undone element leaked");
+}
+
+#[test]
+fn stylesheet_cascade_reaches_runtime_html() {
+    let (mut platform, tenant) = platform_with_inventory();
+    let mut designer = Designer::new();
+    designer.register_source(inventory_card());
+    let root = designer.canvas().root_id();
+    designer
+        .apply(DesignOp::DropSource {
+            source: "inventory".into(),
+            target: root,
+            max_results: 5,
+        })
+        .unwrap();
+    let sheet = Stylesheet::new()
+        .rule(
+            Selector::Class("result-title".into()),
+            StyleProps::new().with("color", "#123456"),
+        )
+        .rule(
+            Selector::Kind("text".into()),
+            StyleProps::new().with("font-size", "13px"),
+        );
+    let config = AppBuilder::new("Shop", tenant)
+        .layout(designer.into_canvas())
+        .stylesheet(sheet)
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .build()
+        .unwrap();
+    let id = platform.register_app(config).unwrap();
+    platform.publish(id).unwrap();
+    let resp = platform.query(id, "shooter").unwrap();
+    assert!(resp.html.contains("color:#123456"), "{}", resp.html);
+    assert!(resp.html.contains("font-size:13px"));
+}
+
+#[test]
+fn design_surface_previews_the_layout() {
+    let mut designer = Designer::new();
+    designer.register_source(inventory_card());
+    let root = designer.canvas().root_id();
+    designer
+        .apply(DesignOp::DropSource {
+            source: "inventory".into(),
+            target: root,
+            max_results: 5,
+        })
+        .unwrap();
+    let html = render_design_surface(designer.canvas(), &Stylesheet::new());
+    // Palette lists the source and its fields; canvas shows chips.
+    assert!(html.contains("sym-palette"));
+    assert!(html.contains("title, detail_url, image_url, description, price"));
+    assert!(html.contains("⟦title⟧"));
+    assert!(html.contains("⟦description⟧"));
+}
+
+#[test]
+fn dropping_supplemental_onto_result_layout_nests() {
+    let mut designer = Designer::new();
+    designer.register_source(inventory_card());
+    designer.register_source(DataSourceCard {
+        name: "reviews".into(),
+        category: "web".into(),
+        fields: vec!["url".into(), "title".into(), "snippet".into()],
+    });
+    let root = designer.canvas().root_id();
+    let list = designer
+        .apply(DesignOp::DropSource {
+            source: "inventory".into(),
+            target: root,
+            max_results: 5,
+        })
+        .unwrap()
+        .unwrap();
+    designer
+        .apply(DesignOp::DropSource {
+            source: "reviews".into(),
+            target: list,
+            max_results: 3,
+        })
+        .unwrap();
+    let sources = designer.canvas().root().sources();
+    assert_eq!(sources, vec!["inventory", "reviews"]);
+    // In an app config these classify as primary vs supplemental.
+    let config_sources = {
+        let canvas = designer.canvas().clone();
+        let app = AppBuilder::new("X", symphony_store::TenantId(0))
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .source(
+                "reviews",
+                DataSourceDef::WebVertical {
+                    vertical: symphony_web::Vertical::Web,
+                    config: symphony_web::SearchConfig::default(),
+                },
+            )
+            .supplemental("reviews", "{title} review")
+            .build()
+            .unwrap();
+        (app.primary_sources(), app.supplemental_sources())
+    };
+    assert_eq!(config_sources.0, vec!["inventory"]);
+    assert_eq!(config_sources.1, vec!["reviews"]);
+}

@@ -1,0 +1,163 @@
+//! Ingestion integration: every upload format yields an equivalent
+//! searchable table; crawling the synthetic web feeds the store; the
+//! tenant boundary holds.
+
+use symphony_store::ingest::{crawl, ingest, ingest_upload, DataFormat, UploadMethod};
+use symphony_store::{FieldType, IndexedTable, Store, StoreError};
+use symphony_text::Query;
+use symphony_web::{Corpus, CorpusConfig, CorpusFetcher};
+
+/// The same two-game inventory in every supported format.
+const AS_CSV: &str = "title,price\nGalactic Raiders,49.99\nFarm Story,19.99\n";
+const AS_TSV: &str = "title\tprice\nGalactic Raiders\t49.99\nFarm Story\t19.99\n";
+const AS_JSON: &str =
+    r#"[{"title":"Galactic Raiders","price":49.99},{"title":"Farm Story","price":19.99}]"#;
+const AS_XML: &str = "<inv>\
+    <game><title>Galactic Raiders</title><price>49.99</price></game>\
+    <game><title>Farm Story</title><price>19.99</price></game></inv>";
+const AS_WORKSHEET: &str =
+    "## sheet: Inventory\ntitle\tprice\nGalactic Raiders\t49.99\nFarm Story\t19.99\n";
+
+#[test]
+fn all_formats_produce_equivalent_tables() {
+    let inputs = [
+        (AS_CSV, DataFormat::Csv),
+        (AS_TSV, DataFormat::Tsv),
+        (AS_JSON, DataFormat::Json),
+        (AS_XML, DataFormat::Xml),
+        (AS_WORKSHEET, DataFormat::Worksheet),
+    ];
+    for (content, format) in inputs {
+        let (table, report) = ingest("inv", content, format).unwrap();
+        assert_eq!(report.rows, 2, "{format:?}");
+        let title_col = table.schema().col("title").unwrap();
+        let price_col = table.schema().col("price").unwrap();
+        assert_eq!(table.schema().fields()[title_col].ty, FieldType::Text);
+        assert_eq!(
+            table.schema().fields()[price_col].ty,
+            FieldType::Float,
+            "{format:?}"
+        );
+        let titles: Vec<String> = table
+            .iter()
+            .map(|(_, r)| r.get(title_col).display_string())
+            .collect();
+        assert_eq!(titles, vec!["Galactic Raiders", "Farm Story"], "{format:?}");
+    }
+}
+
+#[test]
+fn every_format_is_searchable_after_ingest() {
+    for (content, format) in [
+        (AS_CSV, DataFormat::Csv),
+        (AS_JSON, DataFormat::Json),
+        (AS_XML, DataFormat::Xml),
+        (AS_WORKSHEET, DataFormat::Worksheet),
+    ] {
+        let (table, _) = ingest("inv", content, format).unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed.enable_fulltext(&[("title", 1.0)]).unwrap();
+        let hits = indexed.search(&Query::parse("raiders"), 5).unwrap();
+        assert_eq!(hits.len(), 1, "{format:?}");
+    }
+}
+
+#[test]
+fn upload_methods_dispatch_by_filename() {
+    for (filename, payload) in [
+        ("inv.csv", AS_CSV),
+        ("inv.tsv", AS_TSV),
+        ("inv.json", AS_JSON),
+        ("inv.xml", AS_XML),
+        ("inv.xls", AS_WORKSHEET),
+    ] {
+        let method = UploadMethod::Http {
+            filename: filename.into(),
+        };
+        let (table, _) = ingest_upload("inv", &method, Some(payload), None, None).unwrap();
+        assert_eq!(table.len(), 2, "{filename}");
+    }
+}
+
+#[test]
+fn crawl_of_synthetic_web_is_searchable() {
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites_per_topic: 2,
+        pages_per_site: 5,
+        ..CorpusConfig::default()
+    });
+    let fetcher = CorpusFetcher::new(&corpus);
+    let seed = corpus.pages[0].url.clone();
+    let (table, report) = crawl("pages", &seed, 30, &fetcher);
+    assert!(table.len() >= 10, "crawl should expand: {report:?}");
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("body", 1.0)])
+        .unwrap();
+    // The crawled pages carry topical vocabulary; some topical word
+    // must match.
+    let any_hits = ["game", "wine", "movie", "health", "travel", "report"]
+        .iter()
+        .any(|w| !indexed.search(&Query::parse(w), 5).unwrap().is_empty());
+    assert!(any_hits);
+}
+
+#[test]
+fn tenant_keys_guard_spaces() {
+    let mut store = Store::new();
+    let (t1, k1) = store.create_tenant("A");
+    let (t2, k2) = store.create_tenant("B");
+    let (table, _) = ingest("inv", AS_CSV, DataFormat::Csv).unwrap();
+    store
+        .space_mut(t1, &k1)
+        .unwrap()
+        .put_table(IndexedTable::new(table));
+    // B's key cannot open A's space.
+    assert_eq!(store.space(t1, &k2).unwrap_err(), StoreError::AccessDenied);
+    // A's data is invisible from B's space.
+    assert!(store.space(t2, &k2).unwrap().table("inv").is_err());
+    // A sees its own table.
+    assert!(store.space(t1, &k1).unwrap().table("inv").is_ok());
+}
+
+#[test]
+fn dirty_rows_never_abort_ingestion() {
+    let dirty = "title,price,stock\nOk Game,49.99,3\nBad Price,not-a-number,\n,,\nTrailing,1.5,2\n";
+    let (table, report) = ingest("inv", dirty, DataFormat::Csv).unwrap();
+    assert_eq!(report.rows, 4);
+    // The unparseable price survives as text, not as a dropped row.
+    let price_col = table.schema().col("price").unwrap();
+    let prices: Vec<String> = table
+        .iter()
+        .map(|(_, r)| r.get(price_col).display_string())
+        .collect();
+    assert!(prices.contains(&"not-a-number".to_string()));
+}
+
+#[test]
+fn rss_feed_upload_through_fetcher_trait() {
+    struct Host;
+    impl symphony_store::PageFetcher for Host {
+        fn fetch(&self, url: &str) -> Option<symphony_store::FetchedPage> {
+            (url == "http://feeds.example.com/games").then(|| symphony_store::FetchedPage {
+                url: url.into(),
+                title: String::new(),
+                body: "<rss><channel><title>Games</title>\
+                       <item><title>Galactic Raiders ships</title>\
+                       <link>http://news.example.com/gr</link>\
+                       <pubDate>Tue, 03 Nov 2009 12:30:00 GMT</pubDate></item>\
+                       </channel></rss>"
+                    .into(),
+                links: vec![],
+            })
+        }
+    }
+    let method = UploadMethod::RssFeed {
+        url: "http://feeds.example.com/games".into(),
+    };
+    let (table, _) = ingest_upload("feed", &method, None, None, Some(&Host)).unwrap();
+    assert_eq!(table.len(), 1);
+    // pubDate was sniffed into a DateTime column.
+    let col = table.schema().col("pubDate").unwrap();
+    assert_eq!(table.schema().fields()[col].ty, FieldType::DateTime);
+}
