@@ -9,6 +9,7 @@
 
 use crate::auction::Placement;
 use crate::model::CampaignId;
+use parking_lot::RwLock;
 
 /// One billed click.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -46,9 +47,13 @@ impl std::fmt::Display for BillingError {
 impl std::error::Error for BillingError {}
 
 /// Append-only click ledger with aggregation helpers.
+///
+/// Entries live behind a [`RwLock`] so billing can run from the
+/// platform's concurrent (`&self`) click path: [`Ledger::record`]
+/// takes a short write lock, the aggregation helpers take read locks.
 #[derive(Debug, Default)]
 pub struct Ledger {
-    entries: Vec<LedgerEntry>,
+    entries: RwLock<Vec<LedgerEntry>>,
 }
 
 impl Ledger {
@@ -58,31 +63,39 @@ impl Ledger {
     }
 
     /// Record a billed click.
-    pub fn record(
-        &mut self,
-        placement: &Placement,
-        publisher: &str,
-        rev_share: f64,
-    ) -> &LedgerEntry {
+    pub fn record(&self, placement: &Placement, publisher: &str, rev_share: f64) -> LedgerEntry {
         let share = (placement.price_cents as f64 * rev_share).floor() as u32;
-        self.entries.push(LedgerEntry {
-            seq: self.entries.len() as u64,
+        let mut entries = self.entries.write();
+        let entry = LedgerEntry {
+            seq: entries.len() as u64,
             campaign: placement.campaign,
             publisher: publisher.to_string(),
             price_cents: placement.price_cents,
             publisher_share_cents: share,
-        });
-        self.entries.last().expect("just pushed")
+        };
+        entries.push(entry.clone());
+        entry
     }
 
-    /// All entries in order.
-    pub fn entries(&self) -> &[LedgerEntry] {
-        &self.entries
+    /// Snapshot of all entries in order.
+    pub fn entries(&self) -> Vec<LedgerEntry> {
+        self.entries.read().clone()
+    }
+
+    /// Number of entries so far.
+    pub fn len(&self) -> usize {
+        self.entries.read().len()
+    }
+
+    /// Whether no clicks have been billed yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.read().is_empty()
     }
 
     /// Total credited to a publisher, in cents.
     pub fn publisher_earnings_cents(&self, publisher: &str) -> u64 {
         self.entries
+            .read()
             .iter()
             .filter(|e| e.publisher == publisher)
             .map(|e| e.publisher_share_cents as u64)
@@ -92,6 +105,7 @@ impl Ledger {
     /// Total charged to a campaign, in cents.
     pub fn campaign_spend_cents(&self, campaign: CampaignId) -> u64 {
         self.entries
+            .read()
             .iter()
             .filter(|e| e.campaign == campaign)
             .map(|e| e.price_cents as u64)
@@ -101,6 +115,7 @@ impl Ledger {
     /// Platform's retained cut, in cents.
     pub fn platform_cut_cents(&self) -> u64 {
         self.entries
+            .read()
             .iter()
             .map(|e| (e.price_cents - e.publisher_share_cents) as u64)
             .sum()
@@ -126,8 +141,8 @@ mod tests {
 
     #[test]
     fn record_splits_revenue() {
-        let mut l = Ledger::new();
-        let e = l.record(&placement(100), "GamerQueen", 0.7).clone();
+        let l = Ledger::new();
+        let e = l.record(&placement(100), "GamerQueen", 0.7);
         assert_eq!(e.price_cents, 100);
         assert_eq!(e.publisher_share_cents, 70);
         assert_eq!(l.publisher_earnings_cents("GamerQueen"), 70);
@@ -136,14 +151,14 @@ mod tests {
 
     #[test]
     fn share_floors_fractional_cents() {
-        let mut l = Ledger::new();
+        let l = Ledger::new();
         l.record(&placement(99), "p", 0.5);
         assert_eq!(l.publisher_earnings_cents("p"), 49);
     }
 
     #[test]
     fn aggregations_filter_correctly() {
-        let mut l = Ledger::new();
+        let l = Ledger::new();
         l.record(&placement(100), "a", 0.7);
         l.record(&placement(50), "b", 0.7);
         l.record(&placement(30), "a", 0.7);
@@ -152,14 +167,34 @@ mod tests {
         assert_eq!(l.publisher_earnings_cents("c"), 0);
         assert_eq!(l.campaign_spend_cents(CampaignId(1)), 180);
         assert_eq!(l.entries().len(), 3);
+        assert_eq!(l.len(), 3);
+        assert!(!l.is_empty());
     }
 
     #[test]
     fn sequence_numbers_monotone() {
-        let mut l = Ledger::new();
+        let l = Ledger::new();
         l.record(&placement(10), "p", 0.7);
         l.record(&placement(10), "p", 0.7);
         assert_eq!(l.entries()[0].seq, 0);
         assert_eq!(l.entries()[1].seq, 1);
+    }
+
+    #[test]
+    fn concurrent_records_assign_unique_sequence_numbers() {
+        let l = Ledger::new();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        l.record(&placement(10), "p", 0.7);
+                    }
+                });
+            }
+        });
+        let mut seqs: Vec<u64> = l.entries().iter().map(|e| e.seq).collect();
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..200).collect::<Vec<u64>>());
+        assert_eq!(l.publisher_earnings_cents("p"), 200 * 7);
     }
 }

@@ -49,9 +49,7 @@ impl Keyword {
         }
         match self.match_type {
             MatchType::Exact => q == k,
-            MatchType::Phrase => q
-                .windows(k.len())
-                .any(|w| w == k.as_slice()),
+            MatchType::Phrase => q.windows(k.len()).any(|w| w == k.as_slice()),
             MatchType::Broad => k.iter().all(|kw| q.contains(kw)),
         }
     }

@@ -3,16 +3,25 @@
 use crate::auction::{run_auction, Placement, RESERVE_CENTS};
 use crate::ledger::{BillingError, Ledger, LedgerEntry};
 use crate::model::{Ad, AdvertiserId, Campaign, CampaignId, Keyword};
+use parking_lot::RwLock;
 
 /// Publisher revenue share of each ad click (the paper: monetization
 /// is voluntary and revenue-shared with the designer).
 pub const DEFAULT_REV_SHARE: f64 = 0.7;
 
 /// The ad service ("adCenter" substitute).
+///
+/// Account setup ([`AdServer::add_advertiser`],
+/// [`AdServer::add_campaign`], [`AdServer::reset_day`]) is an admin
+/// operation and takes `&mut self`. The serving path —
+/// [`AdServer::select`] and [`AdServer::record_click`] — takes `&self`
+/// and is safe to call from many threads: campaign state sits behind a
+/// [`RwLock`] (auctions read, billing writes) and the [`Ledger`] is
+/// internally synchronized.
 #[derive(Debug, Default)]
 pub struct AdServer {
     advertisers: Vec<String>,
-    campaigns: Vec<Campaign>,
+    campaigns: RwLock<Vec<Campaign>>,
     ledger: Ledger,
     rev_share: f64,
 }
@@ -22,7 +31,7 @@ impl AdServer {
     pub fn new() -> AdServer {
         AdServer {
             advertisers: Vec::new(),
-            campaigns: Vec::new(),
+            campaigns: RwLock::new(Vec::new()),
             ledger: Ledger::new(),
             rev_share: DEFAULT_REV_SHARE,
         }
@@ -50,7 +59,8 @@ impl AdServer {
         ad: Ad,
         quality: f64,
     ) -> CampaignId {
-        self.campaigns.push(Campaign {
+        let campaigns = self.campaigns.get_mut();
+        campaigns.push(Campaign {
             advertiser,
             name: name.to_string(),
             daily_budget_cents,
@@ -59,13 +69,13 @@ impl AdServer {
             ad,
             quality: quality.clamp(0.05, 1.0),
         });
-        CampaignId(self.campaigns.len() as u32 - 1)
+        CampaignId(campaigns.len() as u32 - 1)
     }
 
     /// Select up to `slots` ads for a query (GSP auction).
     pub fn select(&self, query: &str, slots: usize) -> Vec<Placement> {
-        let refs: Vec<(CampaignId, &Campaign)> = self
-            .campaigns
+        let campaigns = self.campaigns.read();
+        let refs: Vec<(CampaignId, &Campaign)> = campaigns
             .iter()
             .enumerate()
             .map(|(i, c)| (CampaignId(i as u32), c))
@@ -74,28 +84,29 @@ impl AdServer {
     }
 
     /// Bill a click on a placement, crediting `publisher`.
+    ///
+    /// The budget check and the spend update happen under one write
+    /// lock, so concurrent clicks can never overdraw a campaign.
     pub fn record_click(
-        &mut self,
+        &self,
         placement: &Placement,
         publisher: &str,
     ) -> Result<LedgerEntry, BillingError> {
-        let campaign = self
-            .campaigns
+        let mut campaigns = self.campaigns.write();
+        let campaign = campaigns
             .get_mut(placement.campaign.0 as usize)
             .ok_or(BillingError::UnknownCampaign(placement.campaign))?;
         if campaign.remaining_cents() < placement.price_cents {
             return Err(BillingError::BudgetExhausted(placement.campaign));
         }
         campaign.spent_cents += placement.price_cents;
-        Ok(self
-            .ledger
-            .record(placement, publisher, self.rev_share)
-            .clone())
+        drop(campaigns);
+        Ok(self.ledger.record(placement, publisher, self.rev_share))
     }
 
     /// Reset daily budgets (a new simulated day).
     pub fn reset_day(&mut self) {
-        for c in &mut self.campaigns {
+        for c in self.campaigns.get_mut() {
             c.spent_cents = 0;
         }
     }
@@ -107,12 +118,15 @@ impl AdServer {
 
     /// A campaign's remaining budget.
     pub fn remaining_budget_cents(&self, id: CampaignId) -> Option<u32> {
-        self.campaigns.get(id.0 as usize).map(|c| c.remaining_cents())
+        self.campaigns
+            .read()
+            .get(id.0 as usize)
+            .map(|c| c.remaining_cents())
     }
 
     /// Number of campaigns.
     pub fn campaign_count(&self) -> usize {
-        self.campaigns.len()
+        self.campaigns.read().len()
     }
 
     /// Reserve price (exposed for experiments).
@@ -161,7 +175,7 @@ mod tests {
 
     #[test]
     fn select_and_click_flow() {
-        let mut s = server();
+        let s = server();
         let ps = s.select("space game", 2);
         assert_eq!(ps.len(), 2);
         let entry = s.record_click(&ps[0], "GamerQueen").unwrap();
@@ -176,7 +190,7 @@ mod tests {
 
     #[test]
     fn clicks_stop_when_budget_gone() {
-        let mut s = server();
+        let s = server();
         let mut clicks = 0;
         loop {
             let ps = s.select("game", 1);
@@ -207,7 +221,7 @@ mod tests {
 
     #[test]
     fn unknown_campaign_click_fails() {
-        let mut s = server();
+        let s = server();
         let mut p = s.select("game", 1).remove(0);
         p.campaign = CampaignId(99);
         assert_eq!(
@@ -218,7 +232,7 @@ mod tests {
 
     #[test]
     fn rev_share_is_configurable() {
-        let mut s = server().with_rev_share(0.5);
+        let s = server().with_rev_share(0.5);
         let ps = s.select("game", 1);
         let e = s.record_click(&ps[0], "p").unwrap();
         assert_eq!(e.publisher_share_cents, e.price_cents / 2);

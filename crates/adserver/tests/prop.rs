@@ -80,7 +80,7 @@ proptest! {
         share in 0.0f64..1.0,
         clicks in 1usize..20,
     ) {
-        let mut ads = server_from(&params, "game").with_rev_share(share);
+        let ads = server_from(&params, "game").with_rev_share(share);
         let mut publisher_total = 0u64;
         for _ in 0..clicks {
             let ps = ads.select("game", 1);

@@ -59,7 +59,11 @@ impl SystemModel for BossModel {
             &SearchConfig::default().restrict_to(REVIEW_SITES),
             5,
         );
-        if rs.iter().all(|r| REVIEW_SITES.iter().any(|s| r.url.contains(s))) && !rs.is_empty() {
+        if rs
+            .iter()
+            .all(|r| REVIEW_SITES.iter().any(|s| r.url.contains(s)))
+            && !rs.is_empty()
+        {
             Probe::yes("Supported")
         } else {
             Probe::no("")
@@ -105,7 +109,10 @@ impl RollyoModel {
     /// Styling is limited to colors and fonts; anything else is
     /// rejected (probed by `probe_custom_ui`).
     pub fn set_style(&mut self, property: &str, value: &str) -> Result<(), String> {
-        if matches!(property, "color" | "background-color" | "font-family" | "font-size") {
+        if matches!(
+            property,
+            "color" | "background-color" | "font-family" | "font-size"
+        ) {
             self.styles.push((property.into(), value.into()));
             Ok(())
         } else {
@@ -297,7 +304,11 @@ impl SystemModel for GoogleBaseModel {
                 "<rss><channel><title>c</title><item><title>A</title></item></channel></rss>",
             ),
             ("txt", DataFormat::Tsv, "title\tprice\nA\t1\n"),
-            ("xml", DataFormat::Xml, "<i><r><t>A</t></r><r><t>B</t></r></i>"),
+            (
+                "xml",
+                DataFormat::Xml,
+                "<i><r><t>A</t></r><r><t>B</t></r></i>",
+            ),
         ] {
             if ingest("probe", payload, format).is_ok() {
                 ok.push(label);

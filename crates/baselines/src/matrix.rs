@@ -52,12 +52,7 @@ pub fn render_table(rows: &[ComparisonRow]) -> String {
     ];
     // Column widths.
     let mut widths: Vec<usize> = Vec::with_capacity(rows.len() + 1);
-    widths.push(
-        axes.iter()
-            .map(|(label, _)| label.len())
-            .max()
-            .unwrap_or(0),
-    );
+    widths.push(axes.iter().map(|(label, _)| label.len()).max().unwrap_or(0));
     for r in rows {
         let w = axes
             .iter()

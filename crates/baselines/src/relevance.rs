@@ -97,7 +97,10 @@ mod tests {
         // A review on a non-designated site gains nothing.
         assert_eq!(
             gain(
-                &r("Galactic Raiders review", "http://randomblog.example.com/gr"),
+                &r(
+                    "Galactic Raiders review",
+                    "http://randomblog.example.com/gr"
+                ),
                 "Galactic Raiders",
                 host
             ),

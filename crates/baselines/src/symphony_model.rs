@@ -32,8 +32,8 @@ impl SymphonyModel {
         let (tenant, key) = platform.create_tenant("GamerQueen");
 
         // Upload Ann's inventory.
-        let (table, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv)
-            .expect("scenario inventory parses");
+        let (table, _) =
+            ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("scenario inventory parses");
         let mut indexed = IndexedTable::new(table);
         indexed
             .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
@@ -79,7 +79,12 @@ impl SymphonyModel {
         designer.register_source(DataSourceCard {
             name: "reviews".into(),
             category: "web".into(),
-            fields: vec!["url".into(), "title".into(), "snippet".into(), "domain".into()],
+            fields: vec![
+                "url".into(),
+                "title".into(),
+                "snippet".into(),
+                "domain".into(),
+            ],
         });
         let root = designer.canvas().root_id();
         designer
@@ -151,14 +156,11 @@ impl SystemModel for SymphonyModel {
     fn probe_custom_sites(&mut self) -> Probe {
         // Run a restricted query and verify the restriction held.
         let results = self.answer("Galactic Raiders review", 10);
-        let web: Vec<&ScenarioResult> =
-            results.iter().filter(|r| r.origin == "web").collect();
+        let web: Vec<&ScenarioResult> = results.iter().filter(|r| r.origin == "web").collect();
         if !web.is_empty()
-            && web.iter().all(|r| {
-                REVIEW_SITES
-                    .iter()
-                    .any(|s| r.url.contains(s))
-            })
+            && web
+                .iter()
+                .all(|r| REVIEW_SITES.iter().any(|s| r.url.contains(s)))
         {
             Probe::yes("Supported")
         } else {
@@ -170,7 +172,11 @@ impl SystemModel for SymphonyModel {
         // Actually attempt each upload format.
         let attempts: [(&str, DataFormat, &str); 5] = [
             ("txt", DataFormat::Csv, "title\nA\n"),
-            ("xml", DataFormat::Xml, "<inv><g><title>A</title></g><g><title>B</title></g></inv>"),
+            (
+                "xml",
+                DataFormat::Xml,
+                "<inv><g><title>A</title></g><g><title>B</title></g></inv>",
+            ),
             ("xls", DataFormat::Worksheet, "title\tprice\nA\t1\n"),
             (
                 "rss",

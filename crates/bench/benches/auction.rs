@@ -14,7 +14,11 @@ fn server_with(n: usize) -> AdServer {
             adv,
             &format!("c{i}"),
             u32::MAX / 2,
-            vec![Keyword::new(words[i % words.len()], MatchType::Broad, 10 + (i as u32 % 90))],
+            vec![Keyword::new(
+                words[i % words.len()],
+                MatchType::Broad,
+                10 + (i as u32 % 90),
+            )],
             Ad {
                 title: format!("ad {i}"),
                 display_url: "d".into(),
@@ -42,7 +46,7 @@ fn bench_auction(c: &mut Criterion) {
         });
     }
     // Billing path.
-    let mut ads = server_with(100);
+    let ads = server_with(100);
     let placement = ads.select("game review", 1).remove(0);
     group.bench_function("record_click", |b| {
         b.iter(|| ads.record_click(&placement, "pub").expect("budget is huge"));

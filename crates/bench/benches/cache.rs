@@ -16,7 +16,7 @@ fn bench_cache(c: &mut Criterion) {
                 // One warm platform per measurement batch; the cache
                 // carries across iterations, which is the deployment
                 // reality being measured.
-                let (mut platform, id) = gamer_queen_world(WorldOptions {
+                let (platform, id) = gamer_queen_world(WorldOptions {
                     scale: Scale::Small,
                     ..WorldOptions::default()
                 });

@@ -11,7 +11,7 @@ fn bench_e2e(c: &mut Criterion) {
 
     // Cold path: distinct queries defeat the cache.
     group.bench_function("cold_query", |b| {
-        let (mut platform, id) = gamer_queen_world(WorldOptions {
+        let (platform, id) = gamer_queen_world(WorldOptions {
             scale: Scale::Small,
             ..WorldOptions::default()
         });
@@ -20,13 +20,15 @@ fn bench_e2e(c: &mut Criterion) {
             i += 1;
             // Unique suffix keeps every request a miss while staying a
             // realistic query.
-            platform.query(id, &format!("space shooter {i}")).expect("ok")
+            platform
+                .query(id, &format!("space shooter {i}"))
+                .expect("ok")
         });
     });
 
     // Warm path: one hot query.
     group.bench_function("warm_query", |b| {
-        let (mut platform, id) = gamer_queen_world(WorldOptions {
+        let (platform, id) = gamer_queen_world(WorldOptions {
             scale: Scale::Small,
             ..WorldOptions::default()
         });
@@ -36,7 +38,7 @@ fn bench_e2e(c: &mut Criterion) {
 
     // Mixed Zipf workload.
     group.bench_function("zipf_mix", |b| {
-        let (mut platform, id) = gamer_queen_world(WorldOptions {
+        let (platform, id) = gamer_queen_world(WorldOptions {
             scale: Scale::Small,
             ..WorldOptions::default()
         });

@@ -1,7 +1,7 @@
 //! E1 (wall-clock side): parallel vs sequential supplemental fan-out.
 //!
 //! The virtual-clock shape lives in `--bin experiments`; this bench
-//! measures the real executor cost of the crossbeam scoped fan-out vs
+//! measures the real executor cost of the std scoped-thread fan-out vs
 //! a sequential loop on the same request.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

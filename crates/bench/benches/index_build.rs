@@ -40,8 +40,7 @@ fn bench_index_build(c: &mut Criterion) {
                         let title = index.register_field("title", 2.0);
                         let body = index.register_field("body", 1.0);
                         for (t, bod) in docs {
-                            index
-                                .add(Doc::new().field(title, t.clone()).field(body, bod.clone()));
+                            index.add(Doc::new().field(title, t.clone()).field(body, bod.clone()));
                         }
                         index
                     },

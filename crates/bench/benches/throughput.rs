@@ -1,0 +1,95 @@
+//! Concurrent query throughput against one shared [`Platform`].
+//!
+//! Measures real wall-clock queries/second of the `&self` serving path
+//! at 1, 2, 4, and 8 threads, for both a cache-friendly (head-heavy
+//! Zipf) and a cache-hostile (all-distinct) query stream. On a
+//! single-core host the thread counts mostly exercise lock contention
+//! rather than parallel speedup; the interesting signal is that
+//! throughput does not collapse as threads are added.
+//!
+//! Plain `main` (harness = false): wall-clock timing over threads fits
+//! a scaling table better than criterion's per-iteration model.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use symphony_bench::{gamer_queen_world, print_table, zipf_queries, Scale, WorldOptions};
+use symphony_core::hosting::Platform;
+use symphony_core::AppId;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const QUERIES_PER_THREAD: usize = 400;
+
+/// Run `threads` workers over one shared platform; each worker issues
+/// its own slice of `streams`. Returns (elapsed_secs, total_queries).
+fn run(platform: &Platform, id: AppId, streams: &[Vec<String>]) -> (f64, u64) {
+    let served = AtomicU64::new(0);
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for queries in streams {
+            let served = &served;
+            scope.spawn(move || {
+                for q in queries {
+                    platform.query(id, q).expect("query serves");
+                    served.fetch_add(1, Ordering::Relaxed);
+                }
+            });
+        }
+    });
+    (
+        start.elapsed().as_secs_f64(),
+        served.load(Ordering::Relaxed),
+    )
+}
+
+fn streams_for(threads: usize, zipf: bool) -> Vec<Vec<String>> {
+    (0..threads)
+        .map(|t| {
+            if zipf {
+                // Head-heavy: mostly repeated queries, high hit rate.
+                zipf_queries(QUERIES_PER_THREAD, 1.1, 42 + t as u64)
+            } else {
+                // All distinct: every query misses and executes.
+                (0..QUERIES_PER_THREAD)
+                    .map(|i| format!("shooter game v{t} n{i}"))
+                    .collect()
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    for &zipf in &[true, false] {
+        let label = if zipf { "zipf" } else { "distinct" };
+        for &threads in &THREAD_COUNTS {
+            // A fresh world per cell so cache state never leaks
+            // between measurements.
+            let (platform, id) = gamer_queen_world(WorldOptions {
+                scale: Scale::Small,
+                ..WorldOptions::default()
+            });
+            let streams = streams_for(threads, zipf);
+            // Warm the engine (index structures, allocator) with one
+            // untimed query.
+            platform.query(id, "warmup shooter").expect("warmup");
+
+            let (secs, served) = run(&platform, id, &streams);
+            let qps = served as f64 / secs.max(1e-9);
+            let stats = platform.cache_stats(id).expect("app exists");
+            rows.push(vec![
+                label.to_string(),
+                threads.to_string(),
+                served.to_string(),
+                format!("{:.3}", secs * 1e3),
+                format!("{qps:.0}"),
+                format!("{:.2}", stats.hit_rate()),
+            ]);
+        }
+    }
+    print_table(
+        "Concurrent query throughput (shared Platform, &self serving path)",
+        &["stream", "threads", "queries", "wall ms", "qps", "hit rate"],
+        &rows,
+    );
+}

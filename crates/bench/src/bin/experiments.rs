@@ -41,8 +41,11 @@ fn e1_fanout() {
     let mut rows = Vec::new();
     for sources in 1..=4usize {
         let mut virt = [0u32; 2];
-        for (i, mode) in [ExecMode::Parallel, ExecMode::Sequential].into_iter().enumerate() {
-            let (mut platform, app) = gamer_queen_world(WorldOptions {
+        for (i, mode) in [ExecMode::Parallel, ExecMode::Sequential]
+            .into_iter()
+            .enumerate()
+        {
+            let (platform, app) = gamer_queen_world(WorldOptions {
                 scale: Scale::Small,
                 mode,
                 supplemental_sources: sources,
@@ -70,7 +73,7 @@ fn e2_cache() {
     for skew in [0.6, 1.0, 1.4] {
         let queries = zipf_queries(300, skew, 11);
         // With cache (default TTL).
-        let (mut with_cache, app) = gamer_queen_world(WorldOptions {
+        let (with_cache, app) = gamer_queen_world(WorldOptions {
             scale: Scale::Small,
             ..WorldOptions::default()
         });
@@ -81,7 +84,7 @@ fn e2_cache() {
         let stats = with_cache.cache_stats(app).expect("exists");
         // Without cache: a world built with zero TTL from the start
         // (the quota config is captured at app registration).
-        let (mut no_cache, app2) = gamer_queen_world_no_cache();
+        let (no_cache, app2) = gamer_queen_world_no_cache();
         let mut nc_total_ms = 0u64;
         for q in &queries {
             nc_total_ms += no_cache.query(app2, q).expect("ok").virtual_ms as u64;
@@ -95,7 +98,12 @@ fn e2_cache() {
     }
     print_table(
         "E2 — result cache under Zipf query skew (300 queries)",
-        &["zipf s", "hit rate", "mean ms (cache)", "mean ms (no cache)"],
+        &[
+            "zipf s",
+            "hit rate",
+            "mean ms (cache)",
+            "mean ms (no cache)",
+        ],
         &rows,
     );
 }
@@ -133,11 +141,7 @@ fn gamer_queen_world_no_cache() -> (symphony_core::Platform, symphony_core::AppI
     let root = canvas.root_id();
     let item = Element::column(vec![
         Element::text("{title}"),
-        Element::result_list(
-            "reviews",
-            Element::link_field("url", "{title}"),
-            3,
-        ),
+        Element::result_list("reviews", Element::link_field("url", "{title}"), 3),
         Element::result_list("pricing", Element::text("${price}"), 1),
     ]);
     canvas
@@ -207,7 +211,14 @@ fn e3_index_build() {
     }
     print_table(
         "E3 — index build and posting compression",
-        &["corpus", "build ms", "optimize ms", "raw KiB", "compressed KiB", "ratio"],
+        &[
+            "corpus",
+            "build ms",
+            "optimize ms",
+            "raw KiB",
+            "compressed KiB",
+            "ratio",
+        ],
         &rows,
     );
 }
@@ -331,12 +342,20 @@ fn e6_auction() {
             n.to_string(),
             format!("{:.0}", rounds as f64 / select_elapsed.as_secs_f64()),
             format!("{:.1}", placements as f64 / rounds as f64),
-            format!("{:.0}", billed as f64 / bill_elapsed.as_secs_f64().max(1e-9)),
+            format!(
+                "{:.0}",
+                billed as f64 / bill_elapsed.as_secs_f64().max(1e-9)
+            ),
         ]);
     }
     print_table(
         "E6 — ad auction and billing throughput",
-        &["campaigns", "auctions/s", "mean placements", "billed clicks/s"],
+        &[
+            "campaigns",
+            "auctions/s",
+            "mean placements",
+            "billed clicks/s",
+        ],
         &rows,
     );
 }
@@ -376,7 +395,13 @@ fn e7_site_suggest() {
     }
     print_table(
         "E7 — Site Suggest: recall of related review sites vs log size (seed: gamespot.com)",
-        &["sessions", "clicks", "sites seen", "top-3 suggestions", "recall@3"],
+        &[
+            "sessions",
+            "clicks",
+            "sites seen",
+            "top-3 suggestions",
+            "recall@3",
+        ],
         &rows,
     );
 }
@@ -414,7 +439,12 @@ fn e9_click_feedback() {
     };
     let rank_of = |engine: &SearchEngine, q: &str, url: &str| -> Option<usize> {
         engine
-            .search(symphony_web::Vertical::Web, q, &symphony_web::SearchConfig::default(), 10)
+            .search(
+                symphony_web::Vertical::Web,
+                q,
+                &symphony_web::SearchConfig::default(),
+                10,
+            )
             .iter()
             .position(|r| r.url == url)
     };
@@ -496,7 +526,12 @@ fn e10_recommendation() {
     ]);
     print_table(
         "E10 — supplemental-site recommendation for the GamerQueen inventory",
-        &["recommended domain", "score", "entity support", "hand-picked?"],
+        &[
+            "recommended domain",
+            "score",
+            "entity support",
+            "hand-picked?",
+        ],
         &rows,
     );
 }
@@ -536,11 +571,19 @@ fn e8_tenancy() {
             let mut canvas = Canvas::new();
             let root = canvas.root_id();
             canvas
-                .insert(root, Element::result_list("inv", Element::text("{title}"), 10))
+                .insert(
+                    root,
+                    Element::result_list("inv", Element::text("{title}"), 10),
+                )
                 .expect("root");
             let config = AppBuilder::new(&name, tenant)
                 .layout(canvas)
-                .source("inv", DataSourceDef::Proprietary { table: "inv".into() })
+                .source(
+                    "inv",
+                    DataSourceDef::Proprietary {
+                        table: "inv".into(),
+                    },
+                )
                 .build()
                 .expect("valid");
             let id = platform.register_app(config).expect("registers");

@@ -24,10 +24,17 @@ fn main() {
     designer.register_source(DataSourceCard {
         name: "inventory".into(),
         category: "proprietary".into(),
-        fields: ["title", "genre", "description", "detail_url", "image_url", "price"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect(),
+        fields: [
+            "title",
+            "genre",
+            "description",
+            "detail_url",
+            "image_url",
+            "price",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect(),
     });
     designer.register_source(DataSourceCard {
         name: "web search".into(),

@@ -19,7 +19,7 @@ use symphony_core::runtime::ExecMode;
 fn main() {
     println!("FIG. 2 — QUERY EXECUTION IN SYMPHONY (live trace)\n");
 
-    let (mut platform, app) = gamer_queen_world(WorldOptions {
+    let (platform, app) = gamer_queen_world(WorldOptions {
         scale: Scale::Medium,
         mode: ExecMode::Parallel,
         supplemental_sources: 2,
@@ -43,7 +43,11 @@ fn main() {
 
     println!("[4] The resulting HTML is sent back to the embedded JavaScript,");
     println!("    which injects it into the GamerQueen page:");
-    println!("      {} bytes of HTML, {} result impressions", resp.html.len(), resp.impressions.len());
+    println!(
+        "      {} bytes of HTML, {} result impressions",
+        resp.html.len(),
+        resp.impressions.len()
+    );
     let preview: String = resp.html.chars().take(400).collect();
     println!("      preview: {preview}…\n");
 
@@ -54,13 +58,15 @@ fn main() {
     println!("[6] Ablation — the same request with sequential fan-out");
     println!("    (what a client-side mashup without Symphony's hosted");
     println!("    parallelism would pay):\n");
-    let (mut seq_platform, seq_app) = gamer_queen_world(WorldOptions {
+    let (seq_platform, seq_app) = gamer_queen_world(WorldOptions {
         scale: Scale::Medium,
         mode: ExecMode::Sequential,
         supplemental_sources: 2,
         primary_k: 10,
     });
-    let seq = seq_platform.query(seq_app, "space shooter").expect("published");
+    let seq = seq_platform
+        .query(seq_app, "space shooter")
+        .expect("published");
     println!(
     "    parallel total: {:>5} virtual ms\n    sequential total: {:>3} virtual ms\n    speedup: {:.1}x",
         resp.virtual_ms,

@@ -111,11 +111,9 @@ pub fn gamer_queen_world(options: WorldOptions) -> (Platform, AppId) {
     platform
         .transport_mut()
         .register("pricing", Box::new(PricingService), LatencyModel::fast());
-    platform.transport_mut().register(
-        "stock",
-        Box::new(InventoryService),
-        LatencyModel::default(),
-    );
+    platform
+        .transport_mut()
+        .register("stock", Box::new(InventoryService), LatencyModel::default());
 
     let mut item_children = vec![
         Element::link_field("detail_url", "{title}"),
@@ -198,18 +196,20 @@ pub fn gamer_queen_world(options: WorldOptions) -> (Platform, AppId) {
     canvas
         .insert(
             root,
-            Element::result_list("inventory", Element::column(item_children), options.primary_k),
+            Element::result_list(
+                "inventory",
+                Element::column(item_children),
+                options.primary_k,
+            ),
         )
         .expect("root");
 
-    let mut builder = AppBuilder::new("GamerQueen", tenant)
-        .layout(canvas)
-        .source(
-            "inventory",
-            DataSourceDef::Proprietary {
-                table: "inventory".into(),
-            },
-        );
+    let mut builder = AppBuilder::new("GamerQueen", tenant).layout(canvas).source(
+        "inventory",
+        DataSourceDef::Proprietary {
+            table: "inventory".into(),
+        },
+    );
     for (name, def, template) in sources {
         builder = builder.source(name, def).supplemental(name, template);
     }
@@ -237,7 +237,9 @@ pub fn zipf_queries(n: usize, skew: f64, seed: u64) -> Vec<String> {
         .collect();
     let zipf = symphony_web::zipf::Zipf::new(pool.len(), skew);
     let mut rng = StdRng::seed_from_u64(seed);
-    (0..n).map(|_| pool[zipf.sample(&mut rng)].clone()).collect()
+    (0..n)
+        .map(|_| pool[zipf.sample(&mut rng)].clone())
+        .collect()
 }
 
 /// Simple aligned table printer for experiment output.
@@ -273,7 +275,7 @@ mod tests {
 
     #[test]
     fn world_builder_produces_working_platform() {
-        let (mut platform, id) = gamer_queen_world(WorldOptions {
+        let (platform, id) = gamer_queen_world(WorldOptions {
             scale: Scale::Small,
             ..WorldOptions::default()
         });

@@ -245,9 +245,7 @@ impl AppBuilder {
 
     /// Attach a structured constraint to a proprietary source.
     pub fn constraint(mut self, source: &str, filter: Filter) -> AppBuilder {
-        self.config
-            .constraints
-            .push((source.to_string(), filter));
+        self.config.constraints.push((source.to_string(), filter));
         self
     }
 

@@ -18,6 +18,9 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries evicted for capacity.
     pub evictions: u64,
+    /// Entries removed because their TTL lapsed (lazily on lookup or
+    /// eagerly via [`LruTtlCache::purge_expired`]).
+    pub expired: u64,
 }
 
 impl CacheStats {
@@ -80,6 +83,7 @@ impl<K: Eq + Hash + Clone, V> LruTtlCache<K, V> {
         if expired {
             self.map.remove(key);
             self.stats.misses += 1;
+            self.stats.expired += 1;
             return None;
         }
         self.stats.hits += 1;
@@ -122,6 +126,20 @@ impl<K: Eq + Hash + Clone, V> LruTtlCache<K, V> {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.map.is_empty()
+    }
+
+    /// Remove every entry whose TTL has lapsed at time `now`,
+    /// returning how many were dropped. Complements the lazy expiry in
+    /// [`LruTtlCache::get`]: entries that are never looked up again
+    /// would otherwise occupy capacity until evicted.
+    pub fn purge_expired(&mut self, now: u64) -> usize {
+        let ttl = self.ttl;
+        let before = self.map.len();
+        self.map
+            .retain(|_, e| now.saturating_sub(e.inserted_at) <= ttl);
+        let dropped = before - self.map.len();
+        self.stats.expired += dropped as u64;
+        dropped
     }
 
     /// Statistics so far.
@@ -190,6 +208,29 @@ mod tests {
         c.get(&"b", 1);
         assert!((c.stats().hit_rate() - 0.5).abs() < 1e-9);
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn purge_expired_sweeps_only_stale_entries() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(8, 50);
+        c.put("old1", 1, 0);
+        c.put("old2", 2, 10);
+        c.put("fresh", 3, 100);
+        assert_eq!(c.purge_expired(120), 2);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().expired, 2);
+        assert_eq!(c.get(&"fresh", 121), Some(&3));
+        // A second sweep at the same time finds nothing.
+        assert_eq!(c.purge_expired(120), 0);
+    }
+
+    #[test]
+    fn lazy_expiry_counts_in_stats() {
+        let mut c: LruTtlCache<&str, u32> = LruTtlCache::new(4, 50);
+        c.put("a", 1, 0);
+        assert_eq!(c.get(&"a", 51), None);
+        assert_eq!(c.stats().expired, 1);
+        assert_eq!(c.stats().misses, 1);
     }
 
     #[test]

@@ -56,8 +56,14 @@ impl SocialManifest {
         SocialManifest {
             entries: vec![
                 ("app_name".into(), app.name.clone()),
-                ("canvas_url".into(), format!("{platform_host}/apps/{}/canvas", id.0)),
-                ("callback_url".into(), format!("{platform_host}/apps/{}/search", id.0)),
+                (
+                    "canvas_url".into(),
+                    format!("{platform_host}/apps/{}/canvas", id.0),
+                ),
+                (
+                    "callback_url".into(),
+                    format!("{platform_host}/apps/{}/search", id.0),
+                ),
                 ("platform".into(), "symphony".into()),
                 ("version".into(), "1.0".into()),
             ],
@@ -130,10 +136,18 @@ mod tests {
         let mut canvas = Canvas::new();
         let root = canvas.root_id();
         canvas
-            .insert(root, Element::result_list("inv", Element::text("{title}"), 5))
+            .insert(
+                root,
+                Element::result_list("inv", Element::text("{title}"), 5),
+            )
             .unwrap();
         AppBuilder::new("GamerQueen", TenantId(0))
-            .source("inv", DataSourceDef::Proprietary { table: "inv".into() })
+            .source(
+                "inv",
+                DataSourceDef::Proprietary {
+                    table: "inv".into(),
+                },
+            )
             .layout(canvas)
             .build()
             .unwrap()

@@ -6,6 +6,24 @@
 //! registered applications behind a publish lifecycle, enforces
 //! request and storage quotas, caches results, and feeds the
 //! monetization log.
+//!
+//! # Concurrency model
+//!
+//! The platform splits its API along the serving/administration line:
+//!
+//! - **Serving** ([`Platform::query`], [`Platform::click`], and the
+//!   analytics/readout methods) takes `&self` and may run from many
+//!   threads against one shared `Platform` (it is `Send + Sync`).
+//! - **Administration** (tenant/table management, app registration,
+//!   publish/unpublish, substrate mutators) takes `&mut self`, so
+//!   exclusive access is enforced statically — no lock is ever needed
+//!   to read app configs or tenant tables on the serving path.
+//!
+//! Mutable serving state is sharded behind fine-grained locks so
+//! unrelated requests do not contend: each hosted app has its own
+//! result-cache and request-metering [`Mutex`]es, the interaction log
+//! is one coarse [`Mutex`] (append-only), ad billing synchronizes
+//! inside [`AdServer`], and the virtual clock is an [`AtomicU64`].
 
 use crate::app::{AppId, ApplicationConfig};
 use crate::cache::{CacheStats, LruTtlCache};
@@ -15,10 +33,12 @@ use crate::monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, T
 use crate::runtime::{execute_with_overrides, ExecMode, QueryResponse};
 use crate::source::Substrates;
 
+use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use symphony_ads::{AdServer, CampaignId, Placement};
 use symphony_store::{AccessKey, IndexedTable, Store, TenantId};
-use std::sync::Arc;
 use symphony_web::SearchEngine;
 
 /// Virtual cost of serving a response from the cache.
@@ -49,31 +69,46 @@ impl Default for QuotaConfig {
 }
 
 struct HostedApp {
+    /// Immutable after [`Platform::register_app`] (admin ops hold
+    /// `&mut Platform`, so the serving path reads it lock-free).
     config: ApplicationConfig,
     published: bool,
-    cache: LruTtlCache<String, QueryResponse>,
-    request_times: VecDeque<u64>,
+    /// Per-app result cache: requests for different apps never
+    /// contend on it.
+    cache: Mutex<LruTtlCache<String, QueryResponse>>,
+    /// Request timestamps inside the current quota window.
+    metering: Mutex<VecDeque<u64>>,
 }
 
 /// The Symphony platform: substrates + hosted applications.
+///
+/// `Send + Sync`; see the [module docs](self) for which methods may
+/// run concurrently.
 pub struct Platform {
     store: Store,
     engine: Arc<SearchEngine>,
     transport: symphony_services::SimulatedTransport,
     ads: AdServer,
     apps: Vec<HostedApp>,
-    click_log: ClickLog,
-    clock_ms: u64,
+    click_log: Mutex<ClickLog>,
+    clock_ms: AtomicU64,
     quotas: QuotaConfig,
     mode: ExecMode,
     host_url: String,
 }
 
+// Compile-time guarantee that the serving path can be shared across
+// threads; a non-Sync field would fail here, not at a distant callsite.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Platform>();
+};
+
 impl std::fmt::Debug for Platform {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Platform")
             .field("apps", &self.apps.len())
-            .field("clock_ms", &self.clock_ms)
+            .field("clock_ms", &self.clock_ms.load(Ordering::SeqCst))
             .finish_non_exhaustive()
     }
 }
@@ -88,8 +123,8 @@ impl Platform {
             transport: symphony_services::SimulatedTransport::new(0xD1CE),
             ads: AdServer::new(),
             apps: Vec::new(),
-            click_log: ClickLog::new(),
-            clock_ms: 0,
+            click_log: Mutex::new(ClickLog::new()),
+            clock_ms: AtomicU64::new(0),
             quotas: QuotaConfig::default(),
             mode: ExecMode::Parallel,
             host_url: "https://symphony.example.com".into(),
@@ -173,8 +208,11 @@ impl Platform {
         self.apps.push(HostedApp {
             config,
             published: false,
-            cache: LruTtlCache::new(self.quotas.cache_capacity, self.quotas.cache_ttl_ms),
-            request_times: VecDeque::new(),
+            cache: Mutex::new(LruTtlCache::new(
+                self.quotas.cache_capacity,
+                self.quotas.cache_ttl_ms,
+            )),
+            metering: Mutex::new(VecDeque::new()),
         });
         Ok(id)
     }
@@ -196,7 +234,7 @@ impl Platform {
             .get_mut(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
         app.published = false;
-        app.cache.clear();
+        app.cache.get_mut().clear();
         Ok(())
     }
 
@@ -226,7 +264,10 @@ impl Platform {
     // ---- Query path (Fig. 2) --------------------------------------
 
     /// Execute a customer query against a published application.
-    pub fn query(&mut self, id: AppId, query: &str) -> Result<QueryResponse, PlatformError> {
+    ///
+    /// Takes `&self`: any number of queries (for the same or different
+    /// apps) may run concurrently against one shared platform.
+    pub fn query(&self, id: AppId, query: &str) -> Result<QueryResponse, PlatformError> {
         self.query_at_depth(id, query, 0)
     }
 
@@ -243,7 +284,7 @@ impl Platform {
     pub const MAX_COMPOSE_DEPTH: u32 = 2;
 
     fn query_at_depth(
-        &mut self,
+        &self,
         id: AppId,
         query: &str,
         depth: u32,
@@ -293,10 +334,7 @@ impl Platform {
                             .map(|imp| crate::source::ResultItem {
                                 fields: vec![
                                     ("title".to_string(), imp.title.clone()),
-                                    (
-                                        "url".to_string(),
-                                        imp.url.clone().unwrap_or_default(),
-                                    ),
+                                    ("url".to_string(), imp.url.clone().unwrap_or_default()),
                                     ("source".to_string(), imp.source.clone()),
                                     ("app".to_string(), child_name.clone()),
                                 ],
@@ -319,80 +357,85 @@ impl Platform {
     }
 
     fn query_with_overrides(
-        &mut self,
+        &self,
         id: AppId,
         query: &str,
         overrides: std::collections::HashMap<String, crate::source::SourceOutcome>,
     ) -> Result<QueryResponse, PlatformError> {
-        // Disjoint field borrows: apps (mut), everything else shared.
-        let apps = &mut self.apps;
-        let store = &self.store;
-        let engine = &self.engine;
-        let transport = &self.transport;
-        let ads = &self.ads;
-        let click_log = &mut self.click_log;
-        let clock = &mut self.clock_ms;
-        let quotas = &self.quotas;
-        let mode = self.mode;
-
-        let hosted = apps
-            .get_mut(id.0 as usize)
+        let hosted = self
+            .apps
+            .get(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
         if !hosted.published {
             return Err(PlatformError::NotPublished(hosted.config.name.clone()));
         }
-        // Request quota over the last virtual minute.
-        let window_start = clock.saturating_sub(60_000);
-        while hosted
-            .request_times
-            .front()
-            .is_some_and(|&t| t < window_start)
+        let now = self.clock_ms.load(Ordering::SeqCst);
+
+        // Request quota over the last virtual minute, under this
+        // app's metering lock (requests for other apps don't touch it).
         {
-            hosted.request_times.pop_front();
+            let mut metering = hosted.metering.lock();
+            let window_start = now.saturating_sub(60_000);
+            while metering.front().is_some_and(|&t| t < window_start) {
+                metering.pop_front();
+            }
+            if metering.len() >= self.quotas.requests_per_minute as usize {
+                return Err(PlatformError::QuotaExceeded {
+                    app: hosted.config.name.clone(),
+                    limit: self.quotas.requests_per_minute,
+                });
+            }
+            metering.push_back(now);
         }
-        if hosted.request_times.len() >= quotas.requests_per_minute as usize {
-            return Err(PlatformError::QuotaExceeded {
-                app: hosted.config.name.clone(),
-                limit: quotas.requests_per_minute,
-            });
-        }
-        hosted.request_times.push_back(*clock);
 
         let cache_key = normalize_query(query);
         let log_interactions = hosted.config.monetization.log_interactions;
-        let app_name = hosted.config.name.clone();
+        let app_name = hosted.config.name.as_str();
 
-        if let Some(cached) = hosted.cache.get(&cache_key, *clock) {
-            let mut resp = cached.clone();
+        let cached = hosted.cache.lock().get(&cache_key, now).cloned();
+        if let Some(mut resp) = cached {
             resp.trace.cache_hit = true;
             resp.virtual_ms = CACHE_HIT_MS;
             resp.trace.total_ms = CACHE_HIT_MS;
-            *clock += CACHE_HIT_MS as u64;
+            let at = self.advance_clock_by(CACHE_HIT_MS as u64);
             if log_interactions {
-                log_impressions(click_log, &app_name, query, &resp.impressions, *clock);
+                log_impressions(&self.click_log, app_name, query, &resp.impressions, at);
             }
             return Ok(resp);
         }
 
+        // Cache miss: execute without holding the cache lock, so a
+        // slow source never blocks this app's cache hits. Concurrent
+        // misses on the same key may both execute (thundering herd);
+        // last writer wins in the cache, which is safe because
+        // execution is deterministic for a given query.
         let subs = Substrates {
-            space: store.space_by_id(hosted.config.owner),
-            engine: Some(engine),
-            transport: Some(transport),
-            ads: Some(ads),
+            space: self.store.space_by_id(hosted.config.owner),
+            engine: Some(&self.engine),
+            transport: Some(&self.transport),
+            ads: Some(&self.ads),
         };
-        let resp = execute_with_overrides(&hosted.config, query, subs, mode, &overrides);
-        *clock += resp.virtual_ms as u64;
+        let resp = execute_with_overrides(&hosted.config, query, subs, self.mode, &overrides);
+        let at = self.advance_clock_by(resp.virtual_ms as u64);
         if log_interactions {
-            log_impressions(click_log, &app_name, query, &resp.impressions, *clock);
+            log_impressions(&self.click_log, app_name, query, &resp.impressions, at);
         }
-        hosted.cache.put(cache_key, resp.clone(), *clock);
+        hosted.cache.lock().put(cache_key, resp.clone(), at);
         Ok(resp)
+    }
+
+    /// Advance the virtual clock by `ms`, returning the new time.
+    fn advance_clock_by(&self, ms: u64) -> u64 {
+        self.clock_ms.fetch_add(ms, Ordering::SeqCst) + ms
     }
 
     /// Record a customer click on a rendered impression. Ad clicks are
     /// billed and the publisher credited automatically.
+    ///
+    /// Takes `&self`; safe to call concurrently with queries and other
+    /// clicks.
     pub fn click(
-        &mut self,
+        &self,
         id: AppId,
         query: &str,
         impression: &Impression,
@@ -402,12 +445,12 @@ impl Platform {
             .get(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
         let app_name = hosted.config.name.clone();
-        let publisher = hosted.config.monetization.publisher.clone();
+        let publisher = &hosted.config.monetization.publisher;
         let log_interactions = hosted.config.monetization.log_interactions;
         if log_interactions {
-            self.click_log.record(InteractionEvent {
+            self.click_log.lock().record(InteractionEvent {
                 app: app_name,
-                at_ms: self.clock_ms,
+                at_ms: self.clock_ms.load(Ordering::SeqCst),
                 query: query.to_string(),
                 kind: InteractionKind::Click,
                 source: impression.source.clone(),
@@ -431,7 +474,7 @@ impl Platform {
                 };
                 let entry = self
                     .ads
-                    .record_click(&placement, &publisher)
+                    .record_click(&placement, publisher)
                     .map_err(|e| PlatformError::InvalidConfig(e.to_string()))?;
                 return Ok(Some(entry.publisher_share_cents));
             }
@@ -447,7 +490,7 @@ impl Platform {
             .apps
             .get(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
-        Ok(self.click_log.summarize(&app.config.name))
+        Ok(self.click_log.lock().summarize(&app.config.name))
     }
 
     /// Per-virtual-day `(day, impressions, clicks)` series for an app.
@@ -456,7 +499,7 @@ impl Platform {
             .apps
             .get(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
-        Ok(self.click_log.daily_series(&app.config.name))
+        Ok(self.click_log.lock().daily_series(&app.config.name))
     }
 
     /// Referral-audit CSV for an app.
@@ -465,23 +508,33 @@ impl Platform {
             .apps
             .get(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
-        Ok(self.click_log.referral_audit_csv(&app.config.name))
+        Ok(self.click_log.lock().referral_audit_csv(&app.config.name))
     }
 
     /// Cache statistics for an app.
     pub fn cache_stats(&self, id: AppId) -> Option<CacheStats> {
-        self.apps.get(id.0 as usize).map(|a| a.cache.stats())
+        self.apps.get(id.0 as usize).map(|a| a.cache.lock().stats())
+    }
+
+    /// Sweep expired entries from an app's result cache, returning how
+    /// many were removed (they are also counted in
+    /// [`CacheStats::expired`]).
+    pub fn purge_expired_cache(&self, id: AppId) -> Option<usize> {
+        let now = self.clock_ms.load(Ordering::SeqCst);
+        self.apps
+            .get(id.0 as usize)
+            .map(|a| a.cache.lock().purge_expired(now))
     }
 
     /// The platform's virtual clock.
     pub fn clock_ms(&self) -> u64 {
-        self.clock_ms
+        self.clock_ms.load(Ordering::SeqCst)
     }
 
     /// Advance the virtual clock (think time between requests, TTL
     /// expiry in tests/benches).
-    pub fn advance_clock(&mut self, ms: u64) {
-        self.clock_ms += ms;
+    pub fn advance_clock(&self, ms: u64) {
+        self.clock_ms.fetch_add(ms, Ordering::SeqCst);
     }
 
     /// Earnings credited to an app's publisher so far, in cents.
@@ -503,12 +556,14 @@ fn normalize_query(q: &str) -> String {
 }
 
 fn log_impressions(
-    log: &mut ClickLog,
+    log: &Mutex<ClickLog>,
     app: &str,
     query: &str,
     impressions: &[Impression],
     at_ms: u64,
 ) {
+    // One lock acquisition per response, not per impression.
+    let mut log = log.lock();
     for imp in impressions {
         log.record(InteractionEvent {
             app: app.to_string(),
@@ -659,12 +714,20 @@ mod tests {
         let mut canvas = Canvas::new();
         let root = canvas.root_id();
         canvas
-            .insert(root, Element::result_list("inv", Element::text("{title}"), 5))
+            .insert(
+                root,
+                Element::result_list("inv", Element::text("{title}"), 5),
+            )
             .unwrap();
         let id = p
             .register_app(
                 AppBuilder::new("T", tenant)
-                    .source("inv", DataSourceDef::Proprietary { table: "inv".into() })
+                    .source(
+                        "inv",
+                        DataSourceDef::Proprietary {
+                            table: "inv".into(),
+                        },
+                    )
                     .layout(canvas)
                     .build()
                     .unwrap(),
@@ -699,7 +762,10 @@ mod tests {
         let err = p
             .upload_table(tenant, &key, IndexedTable::new(table))
             .unwrap_err();
-        assert!(matches!(err, PlatformError::StorageQuotaExceeded { limit: 1 }));
+        assert!(matches!(
+            err,
+            PlatformError::StorageQuotaExceeded { limit: 1 }
+        ));
     }
 
     #[test]

@@ -183,7 +183,13 @@ impl ClickLog {
 mod tests {
     use super::*;
 
-    fn event(app: &str, kind: InteractionKind, source: &str, query: &str, is_ad: bool) -> InteractionEvent {
+    fn event(
+        app: &str,
+        kind: InteractionKind,
+        source: &str,
+        query: &str,
+        is_ad: bool,
+    ) -> InteractionEvent {
         InteractionEvent {
             app: app.into(),
             at_ms: 1000,
@@ -198,13 +204,49 @@ mod tests {
     fn log() -> ClickLog {
         let mut l = ClickLog::new();
         for _ in 0..10 {
-            l.record(event("GamerQueen", InteractionKind::Impression, "inventory", "space", false));
+            l.record(event(
+                "GamerQueen",
+                InteractionKind::Impression,
+                "inventory",
+                "space",
+                false,
+            ));
         }
-        l.record(event("GamerQueen", InteractionKind::Click, "inventory", "space", false));
-        l.record(event("GamerQueen", InteractionKind::Click, "reviews", "space", false));
-        l.record(event("GamerQueen", InteractionKind::Click, "ads", "space", true));
-        l.record(event("GamerQueen", InteractionKind::Click, "inventory", "farm", false));
-        l.record(event("Other", InteractionKind::Click, "inventory", "space", false));
+        l.record(event(
+            "GamerQueen",
+            InteractionKind::Click,
+            "inventory",
+            "space",
+            false,
+        ));
+        l.record(event(
+            "GamerQueen",
+            InteractionKind::Click,
+            "reviews",
+            "space",
+            false,
+        ));
+        l.record(event(
+            "GamerQueen",
+            InteractionKind::Click,
+            "ads",
+            "space",
+            true,
+        ));
+        l.record(event(
+            "GamerQueen",
+            InteractionKind::Click,
+            "inventory",
+            "farm",
+            false,
+        ));
+        l.record(event(
+            "Other",
+            InteractionKind::Click,
+            "inventory",
+            "space",
+            false,
+        ));
         l
     }
 

@@ -73,11 +73,13 @@ pub fn recommend_sites(
     let mut out: Vec<SiteRecommendation> = votes
         .into_iter()
         .filter(|(_, (_, support))| *support >= min_support)
-        .map(|(domain, (score, supporting_entities))| SiteRecommendation {
-            domain,
-            score,
-            supporting_entities,
-        })
+        .map(
+            |(domain, (score, supporting_entities))| SiteRecommendation {
+                domain,
+                score,
+                supporting_entities,
+            },
+        )
         .collect();
     out.sort_by(|a, b| {
         b.score

@@ -6,7 +6,7 @@
 //! 2. primary content sources are queried with it;
 //! 3. supplemental sources are queried with templates over fields of
 //!    each primary result — those fetches **fan out in parallel**
-//!    (crossbeam scoped threads), one of the platform's core "heavy
+//!    (std scoped threads), one of the platform's core "heavy
 //!    lifting" claims (ablated in experiment E1);
 //! 4. everything merges into the designed layout and renders to HTML;
 //! 5. the HTML goes back to the page.
@@ -134,21 +134,17 @@ pub fn execute_with_overrides(
     }
 
     let outcomes: Vec<SourceOutcome> = match mode {
-        ExecMode::Sequential => tasks
-            .iter()
-            .map(|t| dispatch(app, t, subs))
-            .collect(),
-        ExecMode::Parallel => crossbeam::thread::scope(|scope| {
+        ExecMode::Sequential => tasks.iter().map(|t| dispatch(app, t, subs)).collect(),
+        ExecMode::Parallel => std::thread::scope(|scope| {
             let handles: Vec<_> = tasks
                 .iter()
-                .map(|t| scope.spawn(move |_| dispatch(app, t, subs)))
+                .map(|t| scope.spawn(move || dispatch(app, t, subs)))
                 .collect();
             handles
                 .into_iter()
                 .map(|h| h.join().expect("fan-out worker panicked"))
                 .collect()
-        })
-        .expect("crossbeam scope"),
+        }),
     };
     let mut suppl: HashMap<(String, usize, String), SourceOutcome> = HashMap::new();
     let mut fanout_trace: Vec<TraceNode> = Vec::new();
@@ -189,8 +185,7 @@ pub fn execute_with_overrides(
             let lookup = |name: &str| item.field(name).map(str::to_string);
             let psource = source;
             let mut inner_nested = |ssource: &str, smax: usize, sitem_el: &Element| -> String {
-                let Some(soutcome) =
-                    suppl.get(&(psource.to_string(), idx, ssource.to_string()))
+                let Some(soutcome) = suppl.get(&(psource.to_string(), idx, ssource.to_string()))
                 else {
                     return String::new();
                 };
@@ -248,7 +243,9 @@ pub fn execute_with_overrides(
             suppl_ms,
             match mode {
                 ExecMode::Parallel => format!("parallel: max of {} fetches", fanout_trace.len()),
-                ExecMode::Sequential => format!("sequential: sum of {} fetches", fanout_trace.len()),
+                ExecMode::Sequential => {
+                    format!("sequential: sum of {} fetches", fanout_trace.len())
+                }
             },
             fanout_trace,
         ));
@@ -275,7 +272,13 @@ pub fn execute_with_overrides(
 
 fn dispatch(app: &ApplicationConfig, task: &FanoutTask, subs: Substrates<'_>) -> SourceOutcome {
     match app.source(&task.source) {
-        Some(cfg) => run_source(&cfg.def, &task.query, task.k, subs, app.constraint(&task.source)),
+        Some(cfg) => run_source(
+            &cfg.def,
+            &task.query,
+            task.k,
+            subs,
+            app.constraint(&task.source),
+        ),
         None => SourceOutcome {
             items: Vec::new(),
             virtual_ms: 0,
@@ -302,12 +305,8 @@ fn record_impression(
         title,
         position,
         is_ad,
-        ad_campaign: item
-            .field("campaign")
-            .and_then(|c| c.parse().ok()),
-        ad_price_cents: item
-            .field("price_cents")
-            .and_then(|c| c.parse().ok()),
+        ad_campaign: item.field("campaign").and_then(|c| c.parse().ok()),
+        ad_price_cents: item.field("price_cents").and_then(|c| c.parse().ok()),
     });
 }
 
@@ -386,20 +385,21 @@ mod tests {
     fn gamer_queen(world: &World) -> ApplicationConfig {
         let mut canvas = Canvas::new();
         let root = canvas.root_id();
-        canvas.insert(root, Element::search_box("Search games…")).unwrap();
+        canvas
+            .insert(root, Element::search_box("Search games…"))
+            .unwrap();
         let item = Element::column(vec![
             Element::link_field("detail_url", "{title}"),
             Element::text("{description}"),
             Element::result_list(
                 "reviews",
-                Element::column(vec![Element::link_field("url", "{title}"), Element::rich_text("{snippet}")]),
+                Element::column(vec![
+                    Element::link_field("url", "{title}"),
+                    Element::rich_text("{snippet}"),
+                ]),
                 3,
             ),
-            Element::result_list(
-                "pricing",
-                Element::text("${price} ({currency})"),
-                1,
-            ),
+            Element::result_list("pricing", Element::text("${price} ({currency})"), 1),
         ]);
         canvas
             .insert(root, Element::result_list("inventory", item, 10))
@@ -537,7 +537,9 @@ mod tests {
             .find("supplemental fan-out")
             .map(|n| n.children.iter().map(|c| c.detail.as_str()).collect())
             .unwrap_or_default();
-        assert!(fanouts.iter().any(|d| d.contains("Galactic Raiders review")));
+        assert!(fanouts
+            .iter()
+            .any(|d| d.contains("Galactic Raiders review")));
         assert!(fanouts.iter().any(|d| d.contains("Farm Story review")));
     }
 }

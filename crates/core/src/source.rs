@@ -75,7 +75,11 @@ impl DataSourceDef {
     }
 
     /// Fields the source exposes for layout binding.
-    pub fn fields(&self, space: Option<&TenantSpace>, transport: Option<&SimulatedTransport>) -> Vec<String> {
+    pub fn fields(
+        &self,
+        space: Option<&TenantSpace>,
+        transport: Option<&SimulatedTransport>,
+    ) -> Vec<String> {
         match self {
             DataSourceDef::Proprietary { table } => space
                 .and_then(|s| s.table(table).ok())
@@ -126,12 +130,9 @@ impl DataSourceDef {
                 "price_cents".into(),
                 "position".into(),
             ],
-            DataSourceDef::ComposedApp { .. } => vec![
-                "title".into(),
-                "url".into(),
-                "source".into(),
-                "app".into(),
-            ],
+            DataSourceDef::ComposedApp { .. } => {
+                vec!["title".into(), "url".into(), "source".into(), "app".into()]
+            }
         }
     }
 }
@@ -179,6 +180,15 @@ pub struct Substrates<'a> {
     /// The ad service.
     pub ads: Option<&'a AdServer>,
 }
+
+// The parallel fan-out and the platform's concurrent serving path
+// both hand `Substrates` to worker threads: every substrate must stay
+// `Sync` (reads) and the handle itself `Send`. Asserting it here
+// pins the requirement to the type that crosses thread boundaries.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Substrates<'_>>();
+};
 
 impl std::fmt::Debug for Substrates<'_> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -373,7 +383,9 @@ mod tests {
         )
         .unwrap();
         let mut indexed = IndexedTable::new(table);
-        indexed.enable_fulltext(&[("title", 2.0), ("genre", 1.0)]).unwrap();
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("genre", 1.0)])
+            .unwrap();
         store.space_mut(tenant, &key).unwrap().put_table(indexed);
         (store, tenant, key)
     }
@@ -542,9 +554,7 @@ mod tests {
     #[test]
     fn missing_substrates_are_soft_errors() {
         for def in [
-            DataSourceDef::Proprietary {
-                table: "t".into(),
-            },
+            DataSourceDef::Proprietary { table: "t".into() },
             DataSourceDef::WebVertical {
                 vertical: Vertical::Web,
                 config: SearchConfig::default(),
@@ -568,9 +578,7 @@ mod tests {
             app: crate::app::AppId(3),
         };
         assert_eq!(def.category(), "app");
-        assert!(def
-            .fields(None, None)
-            .contains(&"app".to_string()));
+        assert!(def.fields(None, None).contains(&"app".to_string()));
         let out = run_source(&def, "q", 5, none_subs(), None);
         assert!(out.items.is_empty());
         assert!(out.error.unwrap().contains("hosting layer"));
@@ -578,10 +586,7 @@ mod tests {
 
     #[test]
     fn categories_and_fields() {
-        assert_eq!(
-            DataSourceDef::Ads { slots: 1 }.category(),
-            "ads"
-        );
+        assert_eq!(DataSourceDef::Ads { slots: 1 }.category(), "ads");
         assert_eq!(
             DataSourceDef::WebVertical {
                 vertical: Vertical::News,

@@ -251,7 +251,10 @@ mod tests {
             .map(|r| r.key.as_ref().unwrap().display_string())
             .collect();
         assert_eq!(keys, vec!["puzzle", "shooter", "sim", "sports"]);
-        let sim = rows.iter().find(|r| r.key == Some(Value::Text("sim".into()))).unwrap();
+        let sim = rows
+            .iter()
+            .find(|r| r.key == Some(Value::Text("sim".into())))
+            .unwrap();
         assert_eq!(sim.values[0], Value::Int(2));
         assert!(matches!(sim.values[1], Value::Float(s) if (s - 49.98).abs() < 1e-9));
     }
@@ -262,7 +265,9 @@ mod tests {
         let in_stock = Filter::cmp(3, CmpOp::Gt, Value::Int(0));
         let rows = aggregate(&t, &in_stock, Some("genre"), &[Aggregate::Count]).unwrap();
         // sports (stock 0) disappears entirely.
-        assert!(rows.iter().all(|r| r.key != Some(Value::Text("sports".into()))));
+        assert!(rows
+            .iter()
+            .all(|r| r.key != Some(Value::Text("sports".into()))));
     }
 
     #[test]
@@ -273,7 +278,11 @@ mod tests {
             &t,
             &none,
             None,
-            &[Aggregate::Count, Aggregate::Sum("price".into()), Aggregate::Min("price".into())],
+            &[
+                Aggregate::Count,
+                Aggregate::Sum("price".into()),
+                Aggregate::Min("price".into()),
+            ],
         )
         .unwrap();
         assert_eq!(rows.len(), 1);

@@ -57,7 +57,9 @@ pub fn parse_delimited(input: &str, delimiter: char) -> Result<Delimited, StoreE
         }
     }
     if in_quotes {
-        return Err(StoreError::Parse("unterminated quote in delimited file".into()));
+        return Err(StoreError::Parse(
+            "unterminated quote in delimited file".into(),
+        ));
     }
     if !cell.is_empty() || !row.is_empty() {
         end_row(&mut records, &mut row, &mut cell);
@@ -192,7 +194,10 @@ mod tests {
     #[test]
     fn csv_writer_roundtrip() {
         let names: Vec<String> = vec!["t".into(), "d".into()];
-        let rows = vec![vec!["plain".to_string(), "with,comma \"q\"\nnl".to_string()]];
+        let rows = vec![vec![
+            "plain".to_string(),
+            "with,comma \"q\"\nnl".to_string(),
+        ]];
         let csv = to_csv(&names, &rows);
         let back = parse_delimited(&csv, ',').unwrap();
         assert_eq!(back.names, names);

@@ -258,7 +258,9 @@ impl<'a> Parser<'a> {
     fn hex4(&mut self) -> Result<u32, StoreError> {
         let mut v = 0u32;
         for _ in 0..4 {
-            let c = self.bump().ok_or_else(|| self.err("short unicode escape"))?;
+            let c = self
+                .bump()
+                .ok_or_else(|| self.err("short unicode escape"))?;
             let d = (c as char)
                 .to_digit(16)
                 .ok_or_else(|| self.err("bad hex digit"))?;
@@ -392,15 +394,15 @@ mod tests {
 
     #[test]
     fn surrogate_pair() {
-        assert_eq!(
-            parse(r#""😀""#).unwrap(),
-            JsonValue::Str("😀".into())
-        );
+        assert_eq!(parse(r#""😀""#).unwrap(), JsonValue::Str("😀".into()));
     }
 
     #[test]
     fn utf8_passthrough() {
-        assert_eq!(parse("\"Café 😀\"").unwrap(), JsonValue::Str("Café 😀".into()));
+        assert_eq!(
+            parse("\"Café 😀\"").unwrap(),
+            JsonValue::Str("Café 😀".into())
+        );
     }
 
     #[test]

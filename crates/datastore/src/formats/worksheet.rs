@@ -43,10 +43,7 @@ pub fn parse_worksheet(input: &str) -> Result<Worksheet, StoreError> {
         }
     }
     if current_name.is_some() || !current.trim().is_empty() {
-        sheets.push((
-            current_name.unwrap_or_else(|| "Sheet1".into()),
-            current,
-        ));
+        sheets.push((current_name.unwrap_or_else(|| "Sheet1".into()), current));
     }
     if sheets.is_empty() {
         return Err(StoreError::Parse("worksheet: empty file".into()));

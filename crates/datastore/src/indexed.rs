@@ -314,12 +314,7 @@ fn find_range_bounds(filter: &Filter, col: usize) -> (Option<Value>, Option<Valu
     let mut low = None;
     let mut high = None;
     for c in conjuncts {
-        if let Filter::Cmp {
-            col: c,
-            op,
-            value,
-        } = c
-        {
+        if let Filter::Cmp { col: c, op, value } = c {
             if *c != col {
                 continue;
             }
@@ -395,8 +390,11 @@ mod tests {
     fn range_plan_on_ordered_index() {
         let mut it = inventory();
         it.create_index("price", IndexKind::Ordered).unwrap();
-        let f = Filter::cmp(2, CmpOp::Ge, Value::Float(15.0))
-            .and(Filter::cmp(2, CmpOp::Lt, Value::Float(40.0)));
+        let f = Filter::cmp(2, CmpOp::Ge, Value::Float(15.0)).and(Filter::cmp(
+            2,
+            CmpOp::Lt,
+            Value::Float(40.0),
+        ));
         assert_eq!(it.explain(&f), AccessPath::IndexRange { col: 2 });
         let rows = it.query(&TableQuery::filtered(f));
         let titles: Vec<String> = rows

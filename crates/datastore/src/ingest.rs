@@ -167,9 +167,8 @@ pub fn ingest_upload(
             let format = DataFormat::from_filename(filename)
                 .or(fallback)
                 .ok_or_else(|| StoreError::UnsupportedFormat(filename.clone()))?;
-            let content = payload.ok_or_else(|| {
-                StoreError::Parse("file upload requires a payload".into())
-            })?;
+            let content = payload
+                .ok_or_else(|| StoreError::Parse("file upload requires a payload".into()))?;
             ingest(table_name, content, format)
         }
         UploadMethod::RssFeed { url } => {
@@ -285,9 +284,12 @@ mod tests {
 
     #[test]
     fn ingest_csv_infers_schema() {
-        let (table, report) =
-            ingest("inv", "title,price\nGalactic Raiders,49.99\nFarm Story,19.99\n", DataFormat::Csv)
-                .unwrap();
+        let (table, report) = ingest(
+            "inv",
+            "title,price\nGalactic Raiders,49.99\nFarm Story,19.99\n",
+            DataFormat::Csv,
+        )
+        .unwrap();
         assert_eq!(report.rows, 2);
         assert_eq!(table.schema().fields()[1].ty, FieldType::Float);
     }
@@ -320,8 +322,7 @@ mod tests {
         let method = UploadMethod::Http {
             filename: "games.csv".into(),
         };
-        let (table, _) =
-            ingest_upload("inv", &method, Some("t,p\nA,1\n"), None, None).unwrap();
+        let (table, _) = ingest_upload("inv", &method, Some("t,p\nA,1\n"), None, None).unwrap();
         assert_eq!(table.len(), 1);
     }
 
@@ -392,8 +393,7 @@ mod tests {
         let method = UploadMethod::RssFeed {
             url: "http://feed".into(),
         };
-        let (table, report) =
-            ingest_upload("feed", &method, None, None, Some(&FeedHost)).unwrap();
+        let (table, report) = ingest_upload("feed", &method, None, None, Some(&FeedHost)).unwrap();
         assert_eq!(report.rows, 1);
         assert_eq!(
             table.cell(crate::table::RecordId(0), "title").unwrap(),

@@ -186,11 +186,7 @@ mod tests {
     }
 
     fn row(t: &str, p: f64, s: i64) -> Record {
-        Record::new(vec![
-            Value::Text(t.into()),
-            Value::Float(p),
-            Value::Int(s),
-        ])
+        Record::new(vec![Value::Text(t.into()), Value::Float(p), Value::Int(s)])
     }
 
     #[test]
@@ -256,12 +252,7 @@ mod tests {
         let r = t.get(id).unwrap();
         assert_eq!(r.get(1), &Value::Float(9.5));
         assert_eq!(r.get(2), &Value::Null);
-        let id2 = t.insert_raw(&[
-            "Y".into(),
-            "1".into(),
-            "2".into(),
-            "extra".into(),
-        ]);
+        let id2 = t.insert_raw(&["Y".into(), "1".into(), "2".into(), "extra".into()]);
         assert_eq!(t.get(id2).unwrap().values().len(), 3);
     }
 

@@ -38,8 +38,7 @@ impl TenantSpace {
 
     /// Register (or replace) a table under its own name.
     pub fn put_table(&mut self, table: IndexedTable) {
-        self.tables
-            .insert(table.table().name().to_string(), table);
+        self.tables.insert(table.table().name().to_string(), table);
     }
 
     /// Fetch a table by name.
@@ -189,9 +188,7 @@ mod tests {
     #[test]
     fn unknown_tenant_denied() {
         let store = Store::new();
-        assert!(store
-            .space(TenantId(9), &AccessKey("sk-x".into()))
-            .is_err());
+        assert!(store.space(TenantId(9), &AccessKey("sk-x".into())).is_err());
     }
 
     #[test]

@@ -306,7 +306,10 @@ mod tests {
             )
             .unwrap();
         let nested = c
-            .insert(list, Element::result_list("reviews", Element::text("{title}"), 3))
+            .insert(
+                list,
+                Element::result_list("reviews", Element::text("{title}"), 3),
+            )
             .unwrap();
         let list_el = c.find(list).unwrap();
         assert_eq!(list_el.sources(), vec!["inv", "reviews"]);
@@ -317,7 +320,10 @@ mod tests {
     fn insert_onto_result_list_with_leaf_item_wraps() {
         let mut c = Canvas::new();
         let list = c
-            .insert(c.root_id(), Element::result_list("inv", Element::text("{t}"), 5))
+            .insert(
+                c.root_id(),
+                Element::result_list("inv", Element::text("{t}"), 5),
+            )
             .unwrap();
         c.insert(list, Element::text("extra")).unwrap();
         if let ElementKind::ResultList { item, .. } = &c.find(list).unwrap().kind {
@@ -339,7 +345,10 @@ mod tests {
     #[test]
     fn cannot_remove_root() {
         let mut c = Canvas::new();
-        assert_eq!(c.remove(c.root_id()).unwrap_err(), DesignError::CannotRemoveRoot);
+        assert_eq!(
+            c.remove(c.root_id()).unwrap_err(),
+            DesignError::CannotRemoveRoot
+        );
     }
 
     #[test]

@@ -197,9 +197,7 @@ impl Element {
             return Some(self);
         }
         match &self.kind {
-            ElementKind::Container { children, .. } => {
-                children.iter().find_map(|c| c.find(id))
-            }
+            ElementKind::Container { children, .. } => children.iter().find_map(|c| c.find(id)),
             ElementKind::ResultList { item, .. } => item.find(id),
             _ => None,
         }
@@ -317,7 +315,9 @@ mod tests {
 
     #[test]
     fn class_and_style_builders() {
-        let e = Element::text("x").with_class("hl").with_style("color", "red");
+        let e = Element::text("x")
+            .with_class("hl")
+            .with_style("color", "red");
         assert_eq!(e.class.as_deref(), Some("hl"));
         assert_eq!(e.style.get("color"), Some("red"));
     }

@@ -244,9 +244,7 @@ mod tests {
 
     #[test]
     fn rich_text_renders_without_escaping() {
-        let snippet = |name: &str| {
-            (name == "snippet").then(|| "a <b>hit</b> here".to_string())
-        };
+        let snippet = |name: &str| (name == "snippet").then(|| "a <b>hit</b> here".to_string());
         let html = render_element(
             &Element::rich_text("{snippet}"),
             &Stylesheet::new(),
@@ -362,7 +360,10 @@ mod tests {
         });
         let root = canvas.root_id();
         canvas
-            .insert(root, Element::result_list("inventory", Element::text("{title}"), 5))
+            .insert(
+                root,
+                Element::result_list("inventory", Element::text("{title}"), 5),
+            )
             .unwrap();
         let html = render_design_surface(&canvas, &Stylesheet::new());
         assert!(html.contains("sym-palette"));
@@ -373,11 +374,7 @@ mod tests {
 
     #[test]
     fn outline_is_indented() {
-        let e = Element::column(vec![Element::result_list(
-            "inv",
-            Element::text("{t}"),
-            2,
-        )]);
+        let e = Element::column(vec![Element::result_list("inv", Element::text("{t}"), 2)]);
         let outline = render_outline(&e);
         assert!(outline.starts_with("container\n"));
         assert!(outline.contains("  resultlist source=\"inv\" max=2\n"));

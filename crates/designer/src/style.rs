@@ -155,7 +155,9 @@ mod tests {
 
     #[test]
     fn inline_css_rendering() {
-        let p = StyleProps::new().with("color", "red").with("font-size", "12px");
+        let p = StyleProps::new()
+            .with("color", "red")
+            .with("font-size", "12px");
         assert_eq!(p.to_inline_css(), "color:red;font-size:12px");
         assert_eq!(StyleProps::new().to_inline_css(), "");
     }
@@ -174,7 +176,9 @@ mod tests {
         let sheet = Stylesheet::new()
             .rule(
                 Selector::Kind("text".into()),
-                StyleProps::new().with("color", "black").with("font-size", "10px"),
+                StyleProps::new()
+                    .with("color", "black")
+                    .with("font-size", "10px"),
             )
             .rule(
                 Selector::Class("headline".into()),
@@ -192,7 +196,12 @@ mod tests {
         let c = sheet.resolve("text", Some("headline"), 7, &StyleProps::new());
         assert_eq!(c.get("color"), Some("gold"));
         // Inline overrides everything.
-        let d = sheet.resolve("text", Some("headline"), 7, &StyleProps::new().with("color", "red"));
+        let d = sheet.resolve(
+            "text",
+            Some("headline"),
+            7,
+            &StyleProps::new().with("color", "red"),
+        );
         assert_eq!(d.get("color"), Some("red"));
     }
 

@@ -98,7 +98,7 @@ pub fn media_card_layout() -> Element {
     Element::row(vec![
         Element::image_field("image_src", "{title}").with_class("result-image"),
         Element::column(vec![
-            Element::link_field("url", "{title}").with_class("result-title"),
+            Element::link_field("url", "{title}").with_class("result-title")
         ]),
     ])
     .with_class("result-item media-card")
@@ -127,7 +127,13 @@ mod tests {
 
     #[test]
     fn wizard_classic_inventory() {
-        let layout = wizard_item_layout(&f(&["title", "detail_url", "image_url", "description", "price"]));
+        let layout = wizard_item_layout(&f(&[
+            "title",
+            "detail_url",
+            "image_url",
+            "description",
+            "price",
+        ]));
         let kinds: Vec<&str> = match &layout.kind {
             ElementKind::Container { children, .. } => {
                 children.iter().map(|c| c.kind.name()).collect()

@@ -38,7 +38,12 @@ impl Service for PricingService {
             operations: vec![OperationDesc {
                 name: "/price".into(),
                 params: vec!["item".into()],
-                returns: vec!["item".into(), "price".into(), "currency".into(), "on_sale".into()],
+                returns: vec![
+                    "item".into(),
+                    "price".into(),
+                    "currency".into(),
+                    "on_sale".into(),
+                ],
             }],
         }
     }
@@ -71,7 +76,12 @@ impl Service for InventoryService {
             operations: vec![OperationDesc {
                 name: "CheckStock".into(),
                 params: vec!["item".into()],
-                returns: vec!["item".into(), "in_stock".into(), "quantity".into(), "warehouse".into()],
+                returns: vec![
+                    "item".into(),
+                    "in_stock".into(),
+                    "quantity".into(),
+                    "warehouse".into(),
+                ],
             }],
         }
     }
@@ -170,7 +180,12 @@ mod tests {
     #[test]
     fn inventory_quantity_consistent_with_flag() {
         let s = InventoryService;
-        for item in ["Galactic Raiders", "Farm Story", "Laser Golf", "Puzzle Palace"] {
+        for item in [
+            "Galactic Raiders",
+            "Farm Story",
+            "Laser Golf",
+            "Puzzle Palace",
+        ] {
             let r = s
                 .handle(&ServiceRequest::soap("CheckStock", &[("item", item)]))
                 .unwrap();

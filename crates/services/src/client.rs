@@ -106,10 +106,7 @@ impl<'a> ServiceClient<'a> {
                 }
             }
         }
-        Err((
-            last_err.expect("loop ran at least once"),
-            total,
-        ))
+        Err((last_err.expect("loop ran at least once"), total))
     }
 }
 

@@ -127,16 +127,9 @@ impl SimulatedTransport {
     }
 
     /// Register a service at `endpoint` with a latency model.
-    pub fn register(
-        &mut self,
-        endpoint: &str,
-        service: Box<dyn Service>,
-        latency: LatencyModel,
-    ) {
-        self.endpoints.insert(
-            endpoint.to_string(),
-            Endpoint { service, latency },
-        );
+    pub fn register(&mut self, endpoint: &str, service: Box<dyn Service>, latency: LatencyModel) {
+        self.endpoints
+            .insert(endpoint.to_string(), Endpoint { service, latency });
     }
 
     /// Registered endpoints in sorted order.

@@ -234,7 +234,9 @@ mod tests {
 
     #[test]
     fn unicode_words_survive() {
-        let toks = StandardAnalyzer::new().without_stemming().analyze("Café Münch 2024");
+        let toks = StandardAnalyzer::new()
+            .without_stemming()
+            .analyze("Café Münch 2024");
         let ts: Vec<_> = toks.iter().map(|t| t.term.as_str()).collect();
         assert_eq!(ts, vec!["café", "münch", "2024"]);
     }
@@ -254,7 +256,10 @@ mod tests {
 
     #[test]
     fn numbers_are_tokens() {
-        assert_eq!(terms("top 10 games of 2009"), vec!["top", "10", "game", "2009"]);
+        assert_eq!(
+            terms("top 10 games of 2009"),
+            vec!["top", "10", "game", "2009"]
+        );
     }
 
     #[test]

@@ -340,15 +340,21 @@ mod tests {
         let mut idx = Index::new(IndexConfig::default());
         let title = idx.register_field("title", 2.0);
         let body = idx.register_field("body", 1.0);
-        idx.add(Doc::new()
-            .field(title, "Galactic Raiders")
-            .field(body, "a fast space shooter with lasers"));
-        idx.add(Doc::new()
-            .field(title, "Farm Story")
-            .field(body, "calm farming and crops"));
-        idx.add(Doc::new()
-            .field(title, "Space Trader")
-            .field(body, "trade goods across space stations"));
+        idx.add(
+            Doc::new()
+                .field(title, "Galactic Raiders")
+                .field(body, "a fast space shooter with lasers"),
+        );
+        idx.add(
+            Doc::new()
+                .field(title, "Farm Story")
+                .field(body, "calm farming and crops"),
+        );
+        idx.add(
+            Doc::new()
+                .field(title, "Space Trader")
+                .field(body, "trade goods across space stations"),
+        );
         (idx, title, body)
     }
 
@@ -418,9 +424,11 @@ mod tests {
     fn add_after_optimize_reexpands() {
         let (mut idx, title, body) = small_index();
         idx.optimize();
-        idx.add(Doc::new()
-            .field(title, "Space Farm")
-            .field(body, "space farming hybrid"));
+        idx.add(
+            Doc::new()
+                .field(title, "Space Farm")
+                .field(body, "space farming hybrid"),
+        );
         let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
         assert_eq!(hits.len(), 3);
     }

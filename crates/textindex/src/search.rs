@@ -373,7 +373,10 @@ mod tests {
         let title = idx.register_field("title", 2.0);
         let body = idx.register_field("body", 1.0);
         let docs = [
-            ("Galactic Raiders", "a fast space shooter with lasers and space battles"),
+            (
+                "Galactic Raiders",
+                "a fast space shooter with lasers and space battles",
+            ),
             ("Farm Story", "calm farming with crops and animals"),
             ("Space Trader", "trade goods across space stations"),
             ("Puzzle Palace", "mind bending puzzle rooms"),
@@ -500,8 +503,7 @@ mod tests {
     #[test]
     fn filter_is_applied() {
         let idx = index();
-        let hits =
-            Searcher::new(&idx).search_filtered(&Query::parse("space"), 10, |d| d.0 != 0);
+        let hits = Searcher::new(&idx).search_filtered(&Query::parse("space"), 10, |d| d.0 != 0);
         assert_eq!(docs_of(&hits), vec![2]);
     }
 

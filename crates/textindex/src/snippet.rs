@@ -72,7 +72,10 @@ impl<'a> SnippetGenerator<'a> {
         if tokens.is_empty() {
             return truncate_escape(text, self.config.max_chars);
         }
-        let matched: Vec<bool> = tokens.iter().map(|t| self.terms.contains(&t.term)).collect();
+        let matched: Vec<bool> = tokens
+            .iter()
+            .map(|t| self.terms.contains(&t.term))
+            .collect();
 
         // Slide the window; count distinct matched terms per window.
         let w = self.config.window.max(1).min(tokens.len());
@@ -215,7 +218,10 @@ mod tests {
         let text = "filler filler filler filler filler filler filler filler \
                     great wine from bordeaux chateau filler filler";
         let s = g.snippet(text);
-        assert!(s.contains("<b>wine</b>") && s.contains("<b>bordeaux</b>"), "got: {s}");
+        assert!(
+            s.contains("<b>wine</b>") && s.contains("<b>bordeaux</b>"),
+            "got: {s}"
+        );
         assert!(s.starts_with("… "), "leading ellipsis expected: {s}");
     }
 

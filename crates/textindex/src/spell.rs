@@ -30,10 +30,7 @@ impl SpellSuggester {
             .lexicon()
             .iter()
             .map(|(id, term)| {
-                let df: usize = index
-                    .field_ids()
-                    .map(|f| index.doc_freq(id, f))
-                    .sum();
+                let df: usize = index.field_ids().map(|f| index.doc_freq(id, f)).sum();
                 (term.to_string(), df)
             })
             .filter(|(_, df)| *df > 0)
@@ -52,11 +49,7 @@ impl SpellSuggester {
         if term.len() < 3 {
             return None; // too short to correct meaningfully
         }
-        if self
-            .terms
-            .iter()
-            .any(|(t, _)| t == term)
-        {
+        if self.terms.iter().any(|(t, _)| t == term) {
             return None;
         }
         let mut best: Option<(&str, usize, usize)> = None; // term, dist, df

@@ -6,12 +6,16 @@ use symphony_text::{Analyzer, Doc, DocId, Index, IndexConfig, Query, Searcher, S
 
 /// Strategy: a doc-ordered set of (doc, positions) postings.
 fn posting_data() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
-    proptest::collection::btree_map(0u32..10_000, proptest::collection::btree_set(0u32..5_000, 1..20), 0..50)
-        .prop_map(|m| {
-            m.into_iter()
-                .map(|(doc, pos)| (doc, pos.into_iter().collect::<Vec<u32>>()))
-                .collect()
-        })
+    proptest::collection::btree_map(
+        0u32..10_000,
+        proptest::collection::btree_set(0u32..5_000, 1..20),
+        0..50,
+    )
+    .prop_map(|m| {
+        m.into_iter()
+            .map(|(doc, pos)| (doc, pos.into_iter().collect::<Vec<u32>>()))
+            .collect()
+    })
 }
 
 proptest! {

@@ -260,11 +260,7 @@ impl Corpus {
             {
                 pages.push(Page {
                     site: news_host,
-                    url: format!(
-                        "http://{}/story/{}",
-                        sites[news_host].domain,
-                        slug(entity)
-                    ),
+                    url: format!("http://{}/story/{}", sites[news_host].domain, slug(entity)),
                     title: format!("{entity} makes headlines"),
                     body: format!(
                         "industry report: {entity} draws attention this week. analysts comment."
@@ -446,16 +442,19 @@ mod tests {
         let reviews: Vec<&Page> = c
             .pages
             .iter()
-            .filter(|p| matches!(&p.kind, PageKind::Review { entity } if entity == "Galactic Raiders"))
+            .filter(
+                |p| matches!(&p.kind, PageKind::Review { entity } if entity == "Galactic Raiders"),
+            )
             .collect();
         // One review per authoritative games site.
         assert_eq!(reviews.len(), 3);
         assert!(reviews
             .iter()
             .any(|p| c.sites[p.site].domain == "gamespot.com"));
-        assert!(c.pages.iter().any(
-            |p| matches!(&p.kind, PageKind::Image { alt, .. } if alt.contains("Galactic"))
-        ));
+        assert!(c
+            .pages
+            .iter()
+            .any(|p| matches!(&p.kind, PageKind::Image { alt, .. } if alt.contains("Galactic"))));
         assert!(c
             .pages
             .iter()

@@ -159,7 +159,11 @@ fn build_vertical(corpus: &Corpus, keep: impl Fn(&PageKind) -> bool) -> Vertical
         if !keep(&page.kind) {
             continue;
         }
-        index.add(Doc::new().field(title, &*page.title).field(body, &*page.body));
+        index.add(
+            Doc::new()
+                .field(title, &*page.title)
+                .field(body, &*page.body),
+        );
         pages.push(i);
     }
     index.optimize();
@@ -300,9 +304,7 @@ impl SearchEngine {
                 let domain = self.corpus.domain(page_idx).to_string();
                 let mut score = h.score * (0.4 + 1.6 * self.rank[page_idx] as f32);
                 if let Some(q) = &feedback_key {
-                    if let Some(boost) =
-                        self.click_boosts.get(&(q.clone(), page.url.clone()))
-                    {
+                    if let Some(boost) = self.click_boosts.get(&(q.clone(), page.url.clone())) {
                         score *= boost;
                     }
                 }
@@ -324,8 +326,7 @@ impl SearchEngine {
                     }
                     _ => (None, None, None),
                 };
-                let snippeter =
-                    SnippetGenerator::new(vi.index.analyzer(), &query.positive_words());
+                let snippeter = SnippetGenerator::new(vi.index.analyzer(), &query.positive_words());
                 WebResult {
                     url: page.url.clone(),
                     title: page.title.clone(),
@@ -404,9 +405,18 @@ mod tests {
     #[test]
     fn web_search_finds_reviews() {
         let e = engine();
-        let rs = e.search(Vertical::Web, "Galactic Raiders review", &SearchConfig::default(), 10);
+        let rs = e.search(
+            Vertical::Web,
+            "Galactic Raiders review",
+            &SearchConfig::default(),
+            10,
+        );
         assert!(!rs.is_empty());
-        assert!(rs[0].title.contains("Galactic Raiders"), "{:?}", rs[0].title);
+        assert!(
+            rs[0].title.contains("Galactic Raiders"),
+            "{:?}",
+            rs[0].title
+        );
         assert!(rs[0].snippet.contains("<b>"));
     }
 
@@ -431,7 +441,12 @@ mod tests {
     #[test]
     fn image_vertical_returns_media_meta() {
         let e = engine();
-        let rs = e.search(Vertical::Image, "Galactic Raiders", &SearchConfig::default(), 5);
+        let rs = e.search(
+            Vertical::Image,
+            "Galactic Raiders",
+            &SearchConfig::default(),
+            5,
+        );
         assert!(!rs.is_empty());
         assert!(rs[0].image_src.as_deref().unwrap().ends_with(".jpg"));
         assert!(rs[0].duration_s.is_none());
@@ -440,7 +455,12 @@ mod tests {
     #[test]
     fn video_vertical_returns_duration() {
         let e = engine();
-        let rs = e.search(Vertical::Video, "Galactic Raiders trailer", &SearchConfig::default(), 5);
+        let rs = e.search(
+            Vertical::Video,
+            "Galactic Raiders trailer",
+            &SearchConfig::default(),
+            5,
+        );
         assert!(!rs.is_empty());
         assert!(rs[0].duration_s.is_some());
     }
@@ -448,7 +468,12 @@ mod tests {
     #[test]
     fn news_vertical_returns_dates() {
         let e = engine();
-        let rs = e.search(Vertical::News, "Galactic Raiders", &SearchConfig::default(), 5);
+        let rs = e.search(
+            Vertical::News,
+            "Galactic Raiders",
+            &SearchConfig::default(),
+            5,
+        );
         assert!(!rs.is_empty());
         assert!(rs[0].date.is_some());
     }

@@ -50,43 +50,196 @@ impl Topic {
     pub fn words(self) -> &'static [&'static str] {
         match self {
             Topic::Games => &[
-                "game", "review", "player", "level", "shooter", "arcade", "console", "score",
-                "boss", "quest", "multiplayer", "graphics", "gameplay", "strategy", "puzzle",
-                "racing", "adventure", "trailer", "release", "studio", "controller", "pixel",
-                "campaign", "coop", "speedrun", "mod", "patch", "leaderboard", "achievement",
+                "game",
+                "review",
+                "player",
+                "level",
+                "shooter",
+                "arcade",
+                "console",
+                "score",
+                "boss",
+                "quest",
+                "multiplayer",
+                "graphics",
+                "gameplay",
+                "strategy",
+                "puzzle",
+                "racing",
+                "adventure",
+                "trailer",
+                "release",
+                "studio",
+                "controller",
+                "pixel",
+                "campaign",
+                "coop",
+                "speedrun",
+                "mod",
+                "patch",
+                "leaderboard",
+                "achievement",
                 "sequel",
             ],
             Topic::Wine => &[
-                "wine", "vintage", "grape", "tasting", "cellar", "bordeaux", "cabernet", "merlot",
-                "chardonnay", "vineyard", "oak", "tannin", "aroma", "bottle", "cork", "pairing",
-                "chateau", "harvest", "barrel", "sommelier", "acidity", "terroir", "blend",
-                "decant", "riesling", "pinot", "noir", "rose", "sparkling", "reserve",
+                "wine",
+                "vintage",
+                "grape",
+                "tasting",
+                "cellar",
+                "bordeaux",
+                "cabernet",
+                "merlot",
+                "chardonnay",
+                "vineyard",
+                "oak",
+                "tannin",
+                "aroma",
+                "bottle",
+                "cork",
+                "pairing",
+                "chateau",
+                "harvest",
+                "barrel",
+                "sommelier",
+                "acidity",
+                "terroir",
+                "blend",
+                "decant",
+                "riesling",
+                "pinot",
+                "noir",
+                "rose",
+                "sparkling",
+                "reserve",
             ],
             Topic::Movies => &[
-                "movie", "film", "director", "actor", "scene", "trailer", "review", "cinema",
-                "drama", "comedy", "thriller", "plot", "sequel", "screenplay", "studio", "cast",
-                "premiere", "award", "documentary", "animation", "score", "editing", "remake",
-                "festival", "boxoffice", "critic", "rating", "genre", "classic", "blockbuster",
+                "movie",
+                "film",
+                "director",
+                "actor",
+                "scene",
+                "trailer",
+                "review",
+                "cinema",
+                "drama",
+                "comedy",
+                "thriller",
+                "plot",
+                "sequel",
+                "screenplay",
+                "studio",
+                "cast",
+                "premiere",
+                "award",
+                "documentary",
+                "animation",
+                "score",
+                "editing",
+                "remake",
+                "festival",
+                "boxoffice",
+                "critic",
+                "rating",
+                "genre",
+                "classic",
+                "blockbuster",
             ],
             Topic::Health => &[
-                "health", "symptom", "doctor", "treatment", "diet", "exercise", "vitamin",
-                "allergy", "sleep", "stress", "nutrition", "therapy", "clinic", "vaccine",
-                "wellness", "fitness", "recovery", "diagnosis", "prescription", "immune",
-                "protein", "hydration", "posture", "cardio", "checkup", "remedy", "dosage",
-                "injury", "prevention", "screening",
+                "health",
+                "symptom",
+                "doctor",
+                "treatment",
+                "diet",
+                "exercise",
+                "vitamin",
+                "allergy",
+                "sleep",
+                "stress",
+                "nutrition",
+                "therapy",
+                "clinic",
+                "vaccine",
+                "wellness",
+                "fitness",
+                "recovery",
+                "diagnosis",
+                "prescription",
+                "immune",
+                "protein",
+                "hydration",
+                "posture",
+                "cardio",
+                "checkup",
+                "remedy",
+                "dosage",
+                "injury",
+                "prevention",
+                "screening",
             ],
             Topic::Travel => &[
-                "travel", "flight", "hotel", "beach", "tour", "island", "museum", "passport",
-                "luggage", "itinerary", "resort", "cruise", "hiking", "landmark", "airfare",
-                "booking", "adventure", "culture", "cuisine", "festival", "backpack", "visa",
-                "souvenir", "airport", "train", "roadtrip", "guide", "map", "season", "budget",
+                "travel",
+                "flight",
+                "hotel",
+                "beach",
+                "tour",
+                "island",
+                "museum",
+                "passport",
+                "luggage",
+                "itinerary",
+                "resort",
+                "cruise",
+                "hiking",
+                "landmark",
+                "airfare",
+                "booking",
+                "adventure",
+                "culture",
+                "cuisine",
+                "festival",
+                "backpack",
+                "visa",
+                "souvenir",
+                "airport",
+                "train",
+                "roadtrip",
+                "guide",
+                "map",
+                "season",
+                "budget",
             ],
             Topic::News => &[
-                "report", "election", "market", "policy", "economy", "breaking", "interview",
-                "statement", "official", "investigation", "budget", "council", "minister",
-                "summit", "protest", "verdict", "announcement", "forecast", "analysis", "poll",
-                "debate", "reform", "agency", "spokesperson", "headline", "coverage", "update",
-                "crisis", "agreement", "conference",
+                "report",
+                "election",
+                "market",
+                "policy",
+                "economy",
+                "breaking",
+                "interview",
+                "statement",
+                "official",
+                "investigation",
+                "budget",
+                "council",
+                "minister",
+                "summit",
+                "protest",
+                "verdict",
+                "announcement",
+                "forecast",
+                "analysis",
+                "poll",
+                "debate",
+                "reform",
+                "agency",
+                "spokesperson",
+                "headline",
+                "coverage",
+                "update",
+                "crisis",
+                "agreement",
+                "conference",
             ],
         }
     }
@@ -94,11 +247,10 @@ impl Topic {
 
 /// General filler vocabulary shared by every page.
 pub const GENERAL_WORDS: &[&str] = &[
-    "today", "people", "world", "time", "year", "good", "great", "best", "guide", "full",
-    "online", "free", "official", "home", "page", "read", "find", "learn", "top", "story",
-    "latest", "popular", "detail", "complete", "simple", "quick", "expert", "local", "daily",
-    "weekly", "special", "classic", "modern", "light", "deep", "open", "final", "early", "late",
-    "every",
+    "today", "people", "world", "time", "year", "good", "great", "best", "guide", "full", "online",
+    "free", "official", "home", "page", "read", "find", "learn", "top", "story", "latest",
+    "popular", "detail", "complete", "simple", "quick", "expert", "local", "daily", "weekly",
+    "special", "classic", "modern", "light", "deep", "open", "final", "early", "late", "every",
 ];
 
 #[cfg(test)]

@@ -38,24 +38,25 @@ fn main() {
 
     // The simulated web knows Ann's games (reviews, screenshots,
     // trailers exist on the authoritative game sites).
-    let corpus = Corpus::generate(
-        &CorpusConfig::default().with_entities(
-            Topic::Games,
-            [
-                "Galactic Raiders",
-                "Farm Story",
-                "Space Trader",
-                "Laser Golf",
-                "Puzzle Palace",
-            ],
-        ),
-    );
+    let corpus = Corpus::generate(&CorpusConfig::default().with_entities(
+        Topic::Games,
+        [
+            "Galactic Raiders",
+            "Farm Story",
+            "Space Trader",
+            "Laser Golf",
+            "Puzzle Palace",
+        ],
+    ));
     let mut platform = Platform::new(SearchEngine::new(corpus));
 
     heading("register proprietary inventory");
     let (tenant, key) = platform.create_tenant("GamerQueen");
     let (table, report) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("parses");
-    println!("uploaded inventory: {} rows ({:?})", report.rows, report.format);
+    println!(
+        "uploaded inventory: {} rows ({:?})",
+        report.rows, report.format
+    );
     let mut indexed = IndexedTable::new(table);
     indexed
         .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
@@ -66,11 +67,9 @@ fn main() {
     platform
         .transport_mut()
         .register("pricing", Box::new(PricingService), LatencyModel::fast());
-    platform.transport_mut().register(
-        "stock",
-        Box::new(InventoryService),
-        LatencyModel::default(),
-    );
+    platform
+        .transport_mut()
+        .register("stock", Box::new(InventoryService), LatencyModel::default());
     let adv = platform.ads_mut().add_advertiser("MegaGames");
     platform.ads_mut().add_campaign(
         adv,
@@ -158,14 +157,13 @@ fn main() {
     designer
         .apply(DesignOp::AddElement {
             parent: root,
-            element: Element::result_list(
-                "sponsored",
-                symphony_designer::template::ad_layout(),
-                2,
-            ),
+            element: Element::result_list("sponsored", symphony_designer::template::ad_layout(), 2),
         })
         .expect("ok");
-    println!("layout outline:\n{}", indent(&render_outline(designer.canvas().root())));
+    println!(
+        "layout outline:\n{}",
+        indent(&render_outline(designer.canvas().root()))
+    );
 
     let app_config = AppBuilder::new("GamerQueen", tenant)
         .layout(designer.into_canvas())
@@ -265,5 +263,8 @@ fn main() {
         "publisher earnings so far: {} cents",
         platform.publisher_earnings_cents(app).unwrap_or(0)
     );
-    println!("\nreferral audit CSV:\n{}", indent(&platform.referral_audit_csv(app).expect("exists")));
+    println!(
+        "\nreferral audit CSV:\n{}",
+        indent(&platform.referral_audit_csv(app).expect("exists"))
+    );
 }

@@ -13,8 +13,8 @@
 
 use symphony_core::app::AppBuilder;
 use symphony_core::hosting::Platform;
-use symphony_core::source::DataSourceDef;
 use symphony_core::recommend_sites;
+use symphony_core::source::DataSourceDef;
 use symphony_designer::{Canvas, Element};
 use symphony_examples::{banner, heading, indent};
 use symphony_store::ingest::{ingest, DataFormat};
@@ -41,7 +41,10 @@ fn main() {
 
     let corpus = Corpus::generate(
         &CorpusConfig::default()
-            .with_entities(Topic::Games, ["Galactic Raiders", "Farm Story", "Space Trader"])
+            .with_entities(
+                Topic::Games,
+                ["Galactic Raiders", "Farm Story", "Space Trader"],
+            )
             .with_entities(Topic::Wine, ["Chateau Margaux", "Penfolds Grange"]),
     );
     let mut engine = SearchEngine::new(corpus);
@@ -82,17 +85,15 @@ fn main() {
     }
     let review_sites: Vec<String> = recs.iter().take(3).map(|r| r.domain.clone()).collect();
     let stock_col = games_indexed.table().schema().col("stock").expect("exists");
-    platform.upload_table(tenant, &key, games_indexed).expect("quota");
+    platform
+        .upload_table(tenant, &key, games_indexed)
+        .expect("quota");
 
     let mut games_canvas = Canvas::new();
     let root = games_canvas.root_id();
     let item = Element::column(vec![
         Element::text("{title} — ${price}"),
-        Element::result_list(
-            "reviews",
-            Element::link_field("url", "{title}"),
-            2,
-        ),
+        Element::result_list("reviews", Element::link_field("url", "{title}"), 2),
     ]);
     games_canvas
         .insert(root, Element::result_list("games", item, 10))
@@ -101,7 +102,12 @@ fn main() {
         .register_app(
             AppBuilder::new("GamerQueen", tenant)
                 .layout(games_canvas)
-                .source("games", DataSourceDef::Proprietary { table: "games".into() })
+                .source(
+                    "games",
+                    DataSourceDef::Proprietary {
+                        table: "games".into(),
+                    },
+                )
                 .source(
                     "reviews",
                     DataSourceDef::WebVertical {
@@ -128,7 +134,9 @@ fn main() {
     wines_indexed
         .enable_fulltext(&[("title", 2.0), ("region", 1.0), ("notes", 1.0)])
         .expect("columns");
-    platform.upload_table(tenant, &key, wines_indexed).expect("quota");
+    platform
+        .upload_table(tenant, &key, wines_indexed)
+        .expect("quota");
     let mut wine_canvas = Canvas::new();
     let root = wine_canvas.root_id();
     wine_canvas
@@ -141,7 +149,12 @@ fn main() {
         .register_app(
             AppBuilder::new("VinFannie", tenant)
                 .layout(wine_canvas)
-                .source("wines", DataSourceDef::Proprietary { table: "wines".into() })
+                .source(
+                    "wines",
+                    DataSourceDef::Proprietary {
+                        table: "wines".into(),
+                    },
+                )
                 .build()
                 .expect("valid"),
         )
@@ -198,7 +211,11 @@ fn main() {
     }
 
     heading("per-shop traffic accrues through composition");
-    for (label, id) in [("Marketplace", mall), ("GamerQueen", games_app), ("VinFannie", wine_app)] {
+    for (label, id) in [
+        ("Marketplace", mall),
+        ("GamerQueen", games_app),
+        ("VinFannie", wine_app),
+    ] {
         let s = platform.traffic_summary(id).expect("exists");
         println!("  {label}: {} impressions", s.impressions);
     }

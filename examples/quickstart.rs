@@ -94,10 +94,7 @@ fn main() {
     let id = platform.register_app(app).expect("registers");
     platform.publish(id).expect("publishes");
     println!("embed code for the designer's web site:\n");
-    println!(
-        "{}",
-        indent(&platform.embed_code(id).expect("app exists"))
-    );
+    println!("{}", indent(&platform.embed_code(id).expect("app exists")));
 
     // 5. A customer searches.
     heading("5. customer query: \"riesling\"");
@@ -105,5 +102,8 @@ fn main() {
     println!("{}", resp.trace.render());
     println!("returned HTML:\n{}", indent(&resp.html));
     assert!(resp.html.contains("Egon Muller"));
-    println!("\nquickstart complete: {} virtual ms end to end", resp.virtual_ms);
+    println!(
+        "\nquickstart complete: {} virtual ms end to end",
+        resp.virtual_ms
+    );
 }

@@ -18,7 +18,9 @@ use symphony_designer::{Canvas, Element};
 use symphony_examples::{banner, heading};
 use symphony_store::ingest::{ingest, DataFormat};
 use symphony_store::IndexedTable;
-use symphony_web::{Corpus, CorpusConfig, CorpusFetcher, SearchConfig, SearchEngine, Topic, Vertical};
+use symphony_web::{
+    Corpus, CorpusConfig, CorpusFetcher, SearchConfig, SearchEngine, Topic, Vertical,
+};
 
 const MOVIES: [&str; 4] = [
     "Midnight Circuit",
@@ -50,7 +52,8 @@ fn main() {
         .map(|p| p.url.clone())
         .expect("imdb pages exist");
     let fetcher = CorpusFetcher::new(&corpus);
-    let (crawled, crawl_report) = symphony_store::ingest::crawl("crawled_pages", &seed, 12, &fetcher);
+    let (crawled, crawl_report) =
+        symphony_store::ingest::crawl("crawled_pages", &seed, 12, &fetcher);
     println!(
         "crawled {} pages from seed {seed} ({} warnings)",
         crawled.len(),
@@ -96,11 +99,7 @@ fn main() {
                         ]),
                         1,
                     ),
-                    Element::result_list(
-                        "headlines",
-                        Element::link_field("url", "{title}"),
-                        2,
-                    ),
+                    Element::result_list("headlines", Element::link_field("url", "{title}"), 2),
                 ]),
                 6,
             ),
@@ -145,7 +144,8 @@ fn main() {
     // Rebuild as sequential to compare virtual latencies.
     let app_cfg = platform.app(id).expect("exists").clone();
     let corpus2 = Corpus::generate(&CorpusConfig::default().with_entities(Topic::Movies, MOVIES));
-    let mut seq_platform = Platform::new(SearchEngine::new(corpus2)).with_mode(ExecMode::Sequential);
+    let mut seq_platform =
+        Platform::new(SearchEngine::new(corpus2)).with_mode(ExecMode::Sequential);
     let (t2, k2) = seq_platform.create_tenant("ReelTime");
     let (table2, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("parses");
     let mut indexed2 = IndexedTable::new(table2);

@@ -17,8 +17,8 @@ use symphony_examples::{banner, heading, indent};
 use symphony_store::ingest::{ingest, DataFormat};
 use symphony_store::IndexedTable;
 use symphony_web::{
-    generate_logs, Corpus, CorpusConfig, LogConfig, SearchConfig, SearchEngine, SiteSuggest,
-    Topic, Vertical,
+    generate_logs, Corpus, CorpusConfig, LogConfig, SearchConfig, SearchEngine, SiteSuggest, Topic,
+    Vertical,
 };
 
 const CELLAR_XML: &str = "\
@@ -67,7 +67,10 @@ fn main() {
     let suggestions = suggest.suggest(&["winespectator.com"], 3);
     println!("seed: winespectator.com");
     for s in &suggestions {
-        println!("  suggested related site: {} (score {:.3})", s.domain, s.score);
+        println!(
+            "  suggested related site: {} (score {:.3})",
+            s.domain, s.score
+        );
     }
     let mut restrict = vec!["winespectator.com".to_string()];
     restrict.extend(suggestions.iter().map(|s| s.domain.clone()));
@@ -92,7 +95,9 @@ fn main() {
     let sheet = Stylesheet::new()
         .rule(
             Selector::Class("result-title".into()),
-            StyleProps::new().with("color", "#722f37").with("font-size", "16px"),
+            StyleProps::new()
+                .with("color", "#722f37")
+                .with("font-size", "16px"),
         )
         .rule(
             Selector::Kind("text".into()),
@@ -119,11 +124,7 @@ fn main() {
                         ]),
                         2,
                     ),
-                    Element::result_list(
-                        "labels",
-                        Element::image_field("image_src", "{title}"),
-                        1,
-                    ),
+                    Element::result_list("labels", Element::image_field("image_src", "{title}"), 1),
                 ]),
                 4,
             ),

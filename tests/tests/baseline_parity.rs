@@ -26,15 +26,27 @@ fn table1_capability_claims_hold() {
 
     // Column "Proprietary, Structured Data": Symphony and Google Base
     // only — and both earned it by actually ingesting files.
-    assert!(get("Symphony").proprietary_data.to_lowercase().contains("upload"));
-    assert!(get("Google Base").proprietary_data.to_lowercase().contains("upload"));
+    assert!(get("Symphony")
+        .proprietary_data
+        .to_lowercase()
+        .contains("upload"));
+    assert!(get("Google Base")
+        .proprietary_data
+        .to_lowercase()
+        .contains("upload"));
     assert_eq!(get("Rollyo").proprietary_data, "No");
     assert_eq!(get("Eurekster").proprietary_data, "No");
     assert_eq!(get("Google Custom").proprietary_data, "No");
     assert!(get("Y! BOSS").proprietary_data.contains("partners"));
 
     // Column "Custom Sites": everyone but Google Base.
-    for sys in ["Symphony", "Y! BOSS", "Rollyo", "Eurekster", "Google Custom"] {
+    for sys in [
+        "Symphony",
+        "Y! BOSS",
+        "Rollyo",
+        "Eurekster",
+        "Google Custom",
+    ] {
         assert_eq!(get(sys).custom_sites, "Supported", "{sys}");
     }
     assert_eq!(get("Google Base").custom_sites, "No");
@@ -77,11 +89,7 @@ fn symphony_wins_scenario_quality_comparison() {
         }
         mean_scores.push((m.name().to_string(), total / EVAL_QUERIES.len() as f64));
     }
-    let symphony = mean_scores
-        .iter()
-        .find(|(n, _)| n == "Symphony")
-        .unwrap()
-        .1;
+    let symphony = mean_scores.iter().find(|(n, _)| n == "Symphony").unwrap().1;
     for (name, score) in &mean_scores {
         if name != "Symphony" {
             assert!(

@@ -35,11 +35,19 @@ fn build_app(titles: &[String]) -> (Platform, symphony_core::AppId) {
     let mut canvas = Canvas::new();
     let root = canvas.root_id();
     canvas
-        .insert(root, Element::result_list("inv", Element::text("{title}"), 50))
+        .insert(
+            root,
+            Element::result_list("inv", Element::text("{title}"), 50),
+        )
         .unwrap();
     let config = AppBuilder::new("T", tenant)
         .layout(canvas)
-        .source("inv", DataSourceDef::Proprietary { table: "inv".into() })
+        .source(
+            "inv",
+            DataSourceDef::Proprietary {
+                table: "inv".into(),
+            },
+        )
         .build()
         .unwrap();
     let id = platform.register_app(config).unwrap();
@@ -57,7 +65,7 @@ proptest! {
     fn ingested_titles_are_queryable_end_to_end(
         titles in proptest::collection::vec(title(), 1..6),
     ) {
-        let (mut platform, id) = build_app(&titles);
+        let (platform, id) = build_app(&titles);
         let probe = titles[0].split(' ').next().unwrap().to_string();
         let resp = platform.query(id, &probe).unwrap();
         prop_assert!(
@@ -82,7 +90,7 @@ proptest! {
         t in title(),
         spaces in 1usize..4,
     ) {
-        let (mut platform, id) = build_app(std::slice::from_ref(&t));
+        let (platform, id) = build_app(std::slice::from_ref(&t));
         let word = t.split(' ').next().unwrap();
         let a = platform.query(id, word).unwrap();
         let variant = format!("{}{}", " ".repeat(spaces), word.to_uppercase());
@@ -94,7 +102,7 @@ proptest! {
     /// The virtual clock is monotone across arbitrary query sequences.
     #[test]
     fn clock_monotone(queries in proptest::collection::vec(title(), 1..8)) {
-        let (mut platform, id) = build_app(&["alpha beta".to_string()]);
+        let (platform, id) = build_app(&["alpha beta".to_string()]);
         let mut last = platform.clock_ms();
         for q in queries {
             let _ = platform.query(id, &q);

@@ -7,9 +7,7 @@ use symphony_core::hosting::Platform;
 use symphony_core::source::DataSourceDef;
 use symphony_designer::canvas::DataSourceCard;
 use symphony_designer::ops::{DesignOp, Designer};
-use symphony_designer::{
-    render_design_surface, Element, Selector, StyleProps, Stylesheet,
-};
+use symphony_designer::{render_design_surface, Element, Selector, StyleProps, Stylesheet};
 use symphony_store::ingest::{ingest, DataFormat};
 use symphony_store::IndexedTable;
 use symphony_web::{Corpus, CorpusConfig, SearchEngine};

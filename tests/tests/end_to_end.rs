@@ -120,13 +120,15 @@ fn build_world() -> (Platform, symphony_core::AppId) {
 
 #[test]
 fn query_merges_all_four_source_kinds() {
-    let (mut platform, id) = build_world();
+    let (platform, id) = build_world();
     let resp = platform.query(id, "space shooter").unwrap();
     // Proprietary result.
     assert!(resp.html.contains("Galactic Raiders"));
     // Supplemental review link from a designated site.
     assert!(
-        resp.html.contains("gamespot.com") || resp.html.contains("ign.com") || resp.html.contains("teamxbox.com"),
+        resp.html.contains("gamespot.com")
+            || resp.html.contains("ign.com")
+            || resp.html.contains("teamxbox.com"),
         "no review-site link in: {}",
         resp.html
     );
@@ -135,11 +137,8 @@ fn query_merges_all_four_source_kinds() {
     // Sponsored slot.
     assert!(resp.html.contains("Sponsored"));
     // Sources per impression origin.
-    let sources: std::collections::HashSet<&str> = resp
-        .impressions
-        .iter()
-        .map(|i| i.source.as_str())
-        .collect();
+    let sources: std::collections::HashSet<&str> =
+        resp.impressions.iter().map(|i| i.source.as_str()).collect();
     for s in ["inventory", "reviews", "pricing", "sponsored"] {
         assert!(sources.contains(s), "missing impressions from {s}");
     }
@@ -147,7 +146,7 @@ fn query_merges_all_four_source_kinds() {
 
 #[test]
 fn supplemental_queries_are_driven_by_primary_fields() {
-    let (mut platform, id) = build_world();
+    let (platform, id) = build_world();
     let resp = platform.query(id, "farming").unwrap();
     let fanout = resp.trace.find("supplemental fan-out").unwrap();
     assert!(fanout
@@ -163,7 +162,7 @@ fn supplemental_queries_are_driven_by_primary_fields() {
 
 #[test]
 fn ad_click_credits_publisher_and_ledger_matches_summary() {
-    let (mut platform, id) = build_world();
+    let (platform, id) = build_world();
     let resp = platform.query(id, "space shooter").unwrap();
     let ad = resp
         .impressions
@@ -190,14 +189,17 @@ fn ad_click_credits_publisher_and_ledger_matches_summary() {
 
 #[test]
 fn audit_csv_reparses_through_store_parser() {
-    let (mut platform, id) = build_world();
+    let (platform, id) = build_world();
     let resp = platform.query(id, "space shooter").unwrap();
     for imp in resp.impressions.iter().take(3) {
         platform.click(id, "space shooter", imp).unwrap();
     }
     let csv = platform.referral_audit_csv(id).unwrap();
     let parsed = symphony_store::formats::csv::parse_delimited(&csv, ',').unwrap();
-    assert_eq!(parsed.names, vec!["at_ms", "query", "source", "url", "is_ad"]);
+    assert_eq!(
+        parsed.names,
+        vec!["at_ms", "query", "source", "url", "is_ad"]
+    );
     assert_eq!(parsed.rows.len(), 3);
 }
 
@@ -212,7 +214,7 @@ fn social_publish_roundtrip() {
 
 #[test]
 fn cache_serves_identical_html_within_ttl() {
-    let (mut platform, id) = build_world();
+    let (platform, id) = build_world();
     let a = platform.query(id, "space shooter").unwrap();
     let b = platform.query(id, "SPACE   shooter").unwrap();
     assert!(b.trace.cache_hit, "normalized query should hit");
@@ -239,7 +241,10 @@ fn tenant_data_is_isolated_between_apps() {
     let mut canvas = Canvas::new();
     let root = canvas.root_id();
     canvas
-        .insert(root, Element::result_list("inventory", Element::text("{title}"), 5))
+        .insert(
+            root,
+            Element::result_list("inventory", Element::text("{title}"), 5),
+        )
         .unwrap();
     let config = AppBuilder::new("Imposter", tenant2)
         .layout(canvas)

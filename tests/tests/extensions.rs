@@ -79,7 +79,10 @@ fn structured_constraint_hides_out_of_stock_items() {
                 table: "inventory".into(),
             },
         )
-        .constraint("inventory", Filter::cmp(stock_col, CmpOp::Gt, Value::Int(0)))
+        .constraint(
+            "inventory",
+            Filter::cmp(stock_col, CmpOp::Gt, Value::Int(0)),
+        )
         .build()
         .unwrap();
     let a = platform.register_app(unconstrained).unwrap();
@@ -136,7 +139,9 @@ fn click_feedback_flows_from_logs_into_engine_ranking() {
 fn composed_app_serves_child_results_through_parent() {
     let mut platform = Platform::new(SearchEngine::new(corpus()));
     let (tenant, key) = platform.create_tenant("Mall");
-    platform.upload_table(tenant, &key, inventory_table()).unwrap();
+    platform
+        .upload_table(tenant, &key, inventory_table())
+        .unwrap();
 
     // Child: the plain inventory app.
     let child_cfg = AppBuilder::new("GamerQueen", tenant)
@@ -191,14 +196,21 @@ fn composed_app_serves_child_results_through_parent() {
 fn composition_cycles_terminate_gracefully() {
     let mut platform = Platform::new(SearchEngine::new(corpus()));
     let (tenant, key) = platform.create_tenant("T");
-    platform.upload_table(tenant, &key, inventory_table()).unwrap();
+    platform
+        .upload_table(tenant, &key, inventory_table())
+        .unwrap();
 
     // App 0 will compose app 1; app 1 composes app 0 (a cycle).
     // Register app 0 first with a placeholder source pointing at the
     // future app 1 (id 1), then app 1 pointing back at app 0.
     let cfg_a = AppBuilder::new("A", tenant)
         .layout(simple_layout("b"))
-        .source("b", DataSourceDef::ComposedApp { app: symphony_core::AppId(1) })
+        .source(
+            "b",
+            DataSourceDef::ComposedApp {
+                app: symphony_core::AppId(1),
+            },
+        )
         .build()
         .unwrap();
     let a = platform.register_app(cfg_a).unwrap();
@@ -221,7 +233,9 @@ fn composition_cycles_terminate_gracefully() {
 fn composed_source_cannot_be_supplemental() {
     let mut platform = Platform::new(SearchEngine::new(corpus()));
     let (tenant, key) = platform.create_tenant("T");
-    platform.upload_table(tenant, &key, inventory_table()).unwrap();
+    platform
+        .upload_table(tenant, &key, inventory_table())
+        .unwrap();
     let mut canvas = Canvas::new();
     let root = canvas.root_id();
     let item = Element::column(vec![
@@ -239,7 +253,12 @@ fn composed_source_cannot_be_supplemental() {
                 table: "inventory".into(),
             },
         )
-        .source("child", DataSourceDef::ComposedApp { app: symphony_core::AppId(0) })
+        .source(
+            "child",
+            DataSourceDef::ComposedApp {
+                app: symphony_core::AppId(0),
+            },
+        )
         .supplemental("child", "{title}")
         .build()
         .unwrap_err();
@@ -250,7 +269,9 @@ fn composed_source_cannot_be_supplemental() {
 fn unpublished_child_degrades_softly() {
     let mut platform = Platform::new(SearchEngine::new(corpus()));
     let (tenant, key) = platform.create_tenant("T");
-    platform.upload_table(tenant, &key, inventory_table()).unwrap();
+    platform
+        .upload_table(tenant, &key, inventory_table())
+        .unwrap();
     let child_cfg = AppBuilder::new("Child", tenant)
         .layout(simple_layout("inventory"))
         .source(

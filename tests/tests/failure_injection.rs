@@ -8,8 +8,8 @@ use symphony_core::hosting::Platform;
 use symphony_core::source::DataSourceDef;
 use symphony_designer::{Canvas, Element};
 use symphony_services::{
-    CallPolicy, LatencyModel, OperationDesc, PricingService, Protocol, Service,
-    ServiceDescription, ServiceFault, ServiceRequest, ServiceResponse,
+    CallPolicy, LatencyModel, OperationDesc, PricingService, Protocol, Service, ServiceDescription,
+    ServiceFault, ServiceRequest, ServiceResponse,
 };
 use symphony_store::ingest::{ingest, DataFormat};
 use symphony_store::IndexedTable;
@@ -179,7 +179,10 @@ fn missing_table_app_serves_empty_not_500() {
     let mut canvas = Canvas::new();
     let root = canvas.root_id();
     canvas
-        .insert(root, Element::result_list("inventory", Element::text("{title}"), 5))
+        .insert(
+            root,
+            Element::result_list("inventory", Element::text("{title}"), 5),
+        )
         .unwrap();
     let config = AppBuilder::new("T", tenant)
         .layout(canvas)
@@ -210,12 +213,11 @@ fn quota_storm_rejects_then_recovers_cleanly() {
             pages_per_site: 2,
             ..CorpusConfig::default()
         });
-        let mut p = Platform::new(SearchEngine::new(corpus)).with_quotas(
-            symphony_core::QuotaConfig {
+        let mut p =
+            Platform::new(SearchEngine::new(corpus)).with_quotas(symphony_core::QuotaConfig {
                 requests_per_minute: 5,
                 ..symphony_core::QuotaConfig::default()
-            },
-        );
+            });
         let (t, k) = p.create_tenant("T");
         let (table, _) = ingest("inventory", CSV, DataFormat::Csv).unwrap();
         let mut indexed = IndexedTable::new(table);
@@ -231,7 +233,10 @@ fn quota_storm_rejects_then_recovers_cleanly() {
         let mut canvas = Canvas::new();
         let root = canvas.root_id();
         canvas
-            .insert(root, Element::result_list("inventory", Element::text("{title}"), 5))
+            .insert(
+                root,
+                Element::result_list("inventory", Element::text("{title}"), 5),
+            )
             .unwrap();
         let config = AppBuilder::new("T", t)
             .layout(canvas)

@@ -1,0 +1,117 @@
+//! Collection strategies: `vec`, `btree_map`, `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+use std::ops::Range;
+
+/// Strategy for `Vec<T>` with a length drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// See [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// Strategy for `BTreeMap<K, V>` with approximately `size` entries
+/// (duplicate generated keys collapse, as in proptest).
+pub fn btree_map<K: Strategy, V: Strategy>(
+    key: K,
+    value: V,
+    size: Range<usize>,
+) -> BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    BTreeMapStrategy { key, value, size }
+}
+
+/// See [`btree_map`].
+#[derive(Debug, Clone)]
+pub struct BTreeMapStrategy<K, V> {
+    key: K,
+    value: V,
+    size: Range<usize>,
+}
+
+impl<K: Strategy, V: Strategy> Strategy for BTreeMapStrategy<K, V>
+where
+    K::Value: Ord,
+{
+    type Value = BTreeMap<K::Value, V::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeMap<K::Value, V::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len)
+            .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+            .collect()
+    }
+}
+
+/// Strategy for `BTreeSet<T>` with approximately `size` elements
+/// (duplicates collapse, as in proptest).
+pub fn btree_set<S: Strategy>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy { element, size }
+}
+
+/// See [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let len = rng.gen_range(self.size.clone());
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::seeded_rng;
+
+    #[test]
+    fn sizes_respect_range() {
+        let mut rng = seeded_rng("sizes_respect_range");
+        let s = vec(0u32..10, 2..5);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+            assert!(v.iter().all(|x| *x < 10));
+        }
+    }
+
+    #[test]
+    fn maps_and_sets_generate() {
+        let mut rng = seeded_rng("maps_and_sets_generate");
+        let m = btree_map(0u32..100, 0u8..3, 0..10).generate(&mut rng);
+        assert!(m.len() < 10);
+        let s = btree_set(0u32..100, 1..10).generate(&mut rng);
+        assert!(!s.is_empty() && s.len() < 10);
+    }
+}

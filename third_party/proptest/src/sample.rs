@@ -1,0 +1,40 @@
+//! Sampling helpers (`prop::sample::Index`).
+
+/// An index into a collection of unknown (at generation time) length.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(usize);
+
+impl Index {
+    /// Build from a raw generated value.
+    pub fn new(raw: usize) -> Index {
+        Index(raw)
+    }
+
+    /// Resolve against a collection of `len` elements.
+    ///
+    /// # Panics
+    /// Panics when `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        self.0 % len
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_stays_in_bounds() {
+        let i = Index::new(usize::MAX - 3);
+        for len in 1..50 {
+            assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_collection_panics() {
+        Index::new(7).index(0);
+    }
+}

@@ -1,0 +1,264 @@
+//! Regex-shaped string generation.
+//!
+//! Proptest treats string literals as regexes and generates matching
+//! strings. This module implements the subset of that grammar the
+//! workspace's tests use: literals, character classes (`[a-z]`,
+//! `[ -~]`), groups with alternation (`(ab|cd)`), the `\PC`
+//! printable-character class, and the quantifiers `?`, `*`, `+`,
+//! `{n}`, `{m,n}`.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// A literal character.
+    Lit(char),
+    /// A character class as inclusive ranges.
+    Class(Vec<(char, char)>),
+    /// A group of alternative sequences (`(a|b)`); one is chosen.
+    Group(Vec<Vec<(Node, Quant)>>),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Quant {
+    min: u32,
+    max: u32,
+}
+
+const ONCE: Quant = Quant { min: 1, max: 1 };
+
+/// Printable characters for `\PC`: the full ASCII printable range
+/// plus a handful of Latin-1 letters so non-ASCII text is exercised.
+const PRINTABLE: &[(char, char)] = &[(' ', '~'), (' ', '~'), (' ', '~'), ('À', 'ö')];
+
+/// Generate a string matching `pattern`.
+///
+/// # Panics
+/// Panics on syntax this subset does not understand, so an
+/// unsupported test pattern fails loudly rather than silently
+/// generating garbage.
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut chars: Vec<char> = pattern.chars().collect();
+    chars.reverse(); // pop() from the front
+    let seq = parse_sequence(&mut chars, false);
+    assert!(
+        chars.is_empty(),
+        "unbalanced pattern {pattern:?} (stopped before {:?})",
+        chars.iter().rev().collect::<String>()
+    );
+    let mut out = String::new();
+    emit_sequence(&seq, rng, &mut out);
+    out
+}
+
+/// Parse until end of input or an unconsumed `)` (when `in_group`).
+fn parse_sequence(chars: &mut Vec<char>, in_group: bool) -> Vec<Vec<(Node, Quant)>> {
+    let mut alternatives: Vec<Vec<(Node, Quant)>> = vec![Vec::new()];
+    while let Some(&c) = chars.last() {
+        match c {
+            ')' if in_group => break,
+            ')' => panic!("unmatched ')' in pattern"),
+            '|' => {
+                chars.pop();
+                alternatives.push(Vec::new());
+                continue;
+            }
+            _ => {}
+        }
+        let node = parse_atom(chars);
+        let quant = parse_quant(chars);
+        alternatives
+            .last_mut()
+            .expect("non-empty")
+            .push((node, quant));
+    }
+    alternatives
+}
+
+fn parse_atom(chars: &mut Vec<char>) -> Node {
+    let c = chars.pop().expect("atom expected");
+    match c {
+        '[' => Node::Class(parse_class(chars)),
+        '(' => {
+            let alts = parse_sequence(chars, true);
+            assert_eq!(chars.pop(), Some(')'), "unterminated group");
+            Node::Group(alts)
+        }
+        '\\' => match chars.pop().expect("escape expected") {
+            'P' => {
+                // Only the \PC ("not a control character") form is
+                // supported.
+                assert_eq!(chars.pop(), Some('C'), "only \\PC is supported");
+                Node::Class(PRINTABLE.to_vec())
+            }
+            'd' => Node::Class(vec![('0', '9')]),
+            'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+            's' => Node::Lit(' '),
+            other => Node::Lit(other),
+        },
+        '.' => Node::Class(PRINTABLE.to_vec()),
+        other => Node::Lit(other),
+    }
+}
+
+fn parse_class(chars: &mut Vec<char>) -> Vec<(char, char)> {
+    let mut ranges = Vec::new();
+    loop {
+        let c = chars.pop().expect("unterminated character class");
+        match c {
+            ']' => break,
+            '\\' => {
+                let e = chars.pop().expect("escape in class");
+                ranges.push((e, e));
+            }
+            _ => {
+                // `c-d` range, unless `-` is the final literal.
+                if chars.last() == Some(&'-')
+                    && chars.get(chars.len().wrapping_sub(2)) != Some(&']')
+                {
+                    chars.pop(); // '-'
+                    let end = chars.pop().expect("range end");
+                    assert!(c <= end, "inverted class range {c}-{end}");
+                    ranges.push((c, end));
+                } else {
+                    ranges.push((c, c));
+                }
+            }
+        }
+    }
+    assert!(!ranges.is_empty(), "empty character class");
+    ranges
+}
+
+fn parse_quant(chars: &mut Vec<char>) -> Quant {
+    match chars.last() {
+        Some('?') => {
+            chars.pop();
+            Quant { min: 0, max: 1 }
+        }
+        Some('*') => {
+            chars.pop();
+            Quant { min: 0, max: 8 }
+        }
+        Some('+') => {
+            chars.pop();
+            Quant { min: 1, max: 8 }
+        }
+        Some('{') => {
+            chars.pop();
+            let mut digits = String::new();
+            let mut min: Option<u32> = None;
+            loop {
+                let c = chars.pop().expect("unterminated quantifier");
+                match c {
+                    '}' => {
+                        let n: u32 = digits.parse().expect("quantifier bound");
+                        return match min {
+                            Some(m) => Quant { min: m, max: n },
+                            None => Quant { min: n, max: n },
+                        };
+                    }
+                    ',' => {
+                        min = Some(digits.parse().expect("quantifier bound"));
+                        digits.clear();
+                    }
+                    d => digits.push(d),
+                }
+            }
+        }
+        _ => ONCE,
+    }
+}
+
+fn emit_sequence(alternatives: &[Vec<(Node, Quant)>], rng: &mut TestRng, out: &mut String) {
+    let alt = &alternatives[rng.gen_range(0..alternatives.len())];
+    for (node, quant) in alt {
+        let n = rng.gen_range(quant.min..=quant.max);
+        for _ in 0..n {
+            emit_node(node, rng, out);
+        }
+    }
+}
+
+fn emit_node(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.gen_range(0..ranges.len())];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.gen_range(0..span)).unwrap_or(lo);
+            out.push(c);
+        }
+        Node::Group(alts) => emit_sequence(alts, rng, out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::seeded_rng;
+
+    fn gen_many(pattern: &str) -> Vec<String> {
+        let mut rng = seeded_rng(pattern);
+        (0..100)
+            .map(|_| generate_matching(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn class_with_counted_repeat() {
+        for s in gen_many("[a-z]{2,8}") {
+            assert!((2..=8).contains(&s.chars().count()), "{s:?}");
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn grouped_words_pattern() {
+        for s in gen_many("[a-z]{1,4}( [a-z]{1,4}){0,2}") {
+            let words: Vec<&str> = s.split(' ').collect();
+            assert!((1..=3).contains(&words.len()), "{s:?}");
+            for w in words {
+                assert!((1..=4).contains(&w.len()), "{s:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn printable_ascii_class() {
+        for s in gen_many("[ -~]{0,12}") {
+            assert!(s.chars().count() <= 12);
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn pc_escape_avoids_controls() {
+        for s in gen_many("\\PC{0,30}") {
+            assert!(s.chars().count() <= 30);
+            assert!(!s.chars().any(char::is_control), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn optional_group() {
+        let all = gen_many("[a-z]{3,7}( [a-z]{3,7})?");
+        assert!(all.iter().any(|s| s.contains(' ')));
+        assert!(all.iter().any(|s| !s.contains(' ')));
+    }
+
+    #[test]
+    fn alternation_in_group() {
+        for s in gen_many("(ab|cd)x") {
+            assert!(s == "abx" || s == "cdx", "{s:?}");
+        }
+    }
+
+    #[test]
+    fn exact_count() {
+        for s in gen_many("[0-9]{4}") {
+            assert_eq!(s.len(), 4);
+        }
+    }
+}

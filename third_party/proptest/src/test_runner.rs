@@ -1,0 +1,39 @@
+//! Test configuration and deterministic per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The generator driving input generation.
+pub type TestRng = StdRng;
+
+/// Configuration for a `proptest!` block.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test function.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic RNG derived from the test function's name, so every
+/// run (and every failure) reproduces the same case sequence.
+pub fn seeded_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the name.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    StdRng::seed_from_u64(h)
+}
