@@ -1,9 +1,12 @@
 //! E4: BM25 top-k query latency against corpus size, raw vs
 //! compressed postings (the decode cost of the E3 space win).
+//!
+//! E-topk: MaxScore pruned execution vs exhaustive scoring at
+//! k ∈ {10, 100} on the optimized default corpus.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use symphony_bench::{corpus, zipf_queries, Scale};
-use symphony_text::{Doc, Index, IndexConfig, Query, Searcher};
+use symphony_text::{Doc, Index, IndexConfig, Query, ScoreMode, Searcher};
 
 fn build_index(scale: Scale, optimize: bool) -> Index {
     let corpus = corpus(scale);
@@ -47,5 +50,38 @@ fn bench_query_latency(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_query_latency);
+fn bench_topk_pruning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("etopk_pruned_vs_exhaustive");
+    // Query latency is microseconds; a few hundred iterations keep the
+    // mean stable. CI's CRITERION_SAMPLE_SIZE=1 caps this for smoke.
+    group.sample_size(400);
+    let queries: Vec<Query> = zipf_queries(32, 1.0, 23)
+        .iter()
+        .map(|q| Query::parse(q))
+        .collect();
+    let index = build_index(Scale::Large, true);
+    for k in [10usize, 100] {
+        for (variant, mode) in [
+            ("pruned", ScoreMode::TopKPruned),
+            ("exhaustive", ScoreMode::Exhaustive),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(variant, format!("k{k}")),
+                &index,
+                |b, index| {
+                    let searcher = Searcher::new(index).with_mode(mode);
+                    let mut i = 0usize;
+                    b.iter(|| {
+                        let q = &queries[i % queries.len()];
+                        i += 1;
+                        searcher.search(q, k)
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_latency, bench_topk_pruning);
 criterion_main!(benches);

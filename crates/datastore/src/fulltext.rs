@@ -87,6 +87,13 @@ impl FullTextView {
         }
     }
 
+    /// Compress posting lists and precompute the per-term score bounds
+    /// that let [`search`](Self::search) prune non-competitive records.
+    /// Call after bulk loading; results are identical either way.
+    pub fn optimize(&mut self) {
+        self.index.optimize();
+    }
+
     /// Execute a full-text query, returning the top `k` records.
     pub fn search(&self, query: &Query, k: usize) -> Vec<TextHit> {
         Searcher::new(&self.index)
@@ -181,6 +188,26 @@ mod tests {
         let hits = v.search(&Query::parse("new"), 10);
         assert_eq!(hits.len(), 1);
         assert_eq!(hits[0].record, a);
+    }
+
+    #[test]
+    fn optimize_preserves_results_and_keeps_view_updatable() {
+        let (mut t, mut v) = setup();
+        let a = add(&mut t, &mut v, "Galactic Raiders", "space shooter game");
+        let b = add(&mut t, &mut v, "Space Farm", "calm farming in space");
+        add(&mut t, &mut v, "Puzzle Pack", "logic puzzles");
+        let before = v.search(&Query::parse("space shooter"), 10);
+        v.optimize();
+        let after = v.search(&Query::parse("space shooter"), 10);
+        assert_eq!(before, after);
+        assert_eq!(after.len(), 2);
+        // The view keeps accepting mutations after optimization.
+        v.remove(b);
+        let c = add(&mut t, &mut v, "Space Golf", "golf in space");
+        let hits = v.search(&Query::parse("space"), 10);
+        let records: Vec<RecordId> = hits.iter().map(|h| h.record).collect();
+        assert!(records.contains(&a) && records.contains(&c));
+        assert!(!records.contains(&b));
     }
 
     #[test]

@@ -93,6 +93,27 @@ pub struct IndexStats {
     pub fully_compressed: bool,
 }
 
+/// Per-`(term, field)` scoring ingredients precomputed by
+/// [`Index::optimize`], stored next to the postings.
+///
+/// These are the two document-dependent quantities a BM25 score upper
+/// bound needs: the score is monotonically increasing in term
+/// frequency and decreasing in field length, so
+/// `bm25(max_tf, min_len)` bounds every document's contribution. The
+/// bound ingredients rather than a finished score are stored because
+/// the final bound also depends on searcher-supplied parameters
+/// (`k1`/`b`) and on index-wide statistics (`N`, average length) that
+/// keep moving as documents are added; both are folded in at query
+/// time so stored stats can never go stale in the unsafe direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TermScoreStats {
+    /// Largest term frequency over documents in the posting list
+    /// (tombstoned documents included — an overestimate is rank-safe).
+    pub max_tf: u32,
+    /// Smallest field length among documents in the posting list.
+    pub min_len: u32,
+}
+
 /// An in-memory positional inverted index with field boosts.
 pub struct Index {
     config: IndexConfig,
@@ -100,6 +121,11 @@ pub struct Index {
     field_by_name: FxHashMap<String, FieldId>,
     lexicon: Lexicon,
     postings: FxHashMap<(TermId, FieldId), Postings>,
+    /// Score-bound ingredients per posting list; populated by
+    /// [`Index::optimize`], and entries are evicted whenever
+    /// [`Index::add`] touches their list (a fresh document may raise
+    /// `max_tf` or lower `min_len`, so stale stats would under-bound).
+    score_stats: FxHashMap<(TermId, FieldId), TermScoreStats>,
     /// Per field, per doc: analyzed token count (0 when the doc lacks
     /// the field).
     field_len: Vec<Vec<u32>>,
@@ -126,6 +152,7 @@ impl Index {
             field_by_name: FxHashMap::default(),
             lexicon: Lexicon::new(),
             postings: FxHashMap::default(),
+            score_stats: FxHashMap::default(),
             field_len: Vec::new(),
             stored: Vec::new(),
             deleted: Vec::new(),
@@ -194,6 +221,9 @@ impl Index {
             let base = self.field_len[field.0 as usize][id.as_usize()];
             for tok in &scratch {
                 let term = self.lexicon.intern(&tok.term);
+                if !self.score_stats.is_empty() {
+                    self.score_stats.remove(&(term, field));
+                }
                 let list = self
                     .postings
                     .entry((term, field))
@@ -257,13 +287,41 @@ impl Index {
     }
 
     /// Compress every posting list (E3 ablation; also the steady state
-    /// for the static synthetic web corpus).
+    /// for the static synthetic web corpus) and precompute the
+    /// per-`(term, field)` score-bound ingredients ([`TermScoreStats`])
+    /// the pruned top-k executor uses.
     pub fn optimize(&mut self) {
         for list in self.postings.values_mut() {
             if let Postings::Raw(raw) = list {
                 *list = Postings::Compressed(CompressedPostings::encode(raw));
             }
         }
+        let mut stats = FxHashMap::default();
+        stats.reserve(self.postings.len());
+        for (&(term, field), list) in &self.postings {
+            let lens = &self.field_len[field.0 as usize];
+            let mut max_tf = 0u32;
+            let mut min_len = u32::MAX;
+            let mut cur = list.cursor();
+            while cur.doc() != crate::postings::NO_DOC {
+                max_tf = max_tf.max(cur.tf());
+                min_len = min_len.min(lens[cur.doc() as usize]);
+                cur.next();
+            }
+            if max_tf > 0 {
+                stats.insert((term, field), TermScoreStats { max_tf, min_len });
+            }
+        }
+        self.score_stats = stats;
+    }
+
+    /// Score-bound ingredients for `(term, field)`, when
+    /// [`Index::optimize`] has computed them and no later
+    /// [`Index::add`] has invalidated the entry. `None` simply means
+    /// the pruned executor must treat the term as unbounded
+    /// (always-evaluated); it never affects correctness.
+    pub fn term_score_stats(&self, term: TermId, field: FieldId) -> Option<TermScoreStats> {
+        self.score_stats.get(&(term, field)).copied()
     }
 
     /// Posting list for `(term, field)` if any document contains it.
@@ -453,6 +511,57 @@ mod tests {
         assert_eq!(hits.len(), 1);
         let hits = Searcher::new(&idx).search(&Query::parse("gamma"), 10);
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn optimize_computes_term_score_stats() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space space space shooter"));
+        idx.add(Doc::new().field(body, "space"));
+        let space = idx.lexicon().get("space").unwrap();
+        assert_eq!(idx.term_score_stats(space, body), None);
+        idx.optimize();
+        let s = idx.term_score_stats(space, body).unwrap();
+        assert_eq!(s.max_tf, 3);
+        assert_eq!(s.min_len, 1); // doc 1's body is one token long
+        let shooter = idx.lexicon().get("shooter").unwrap();
+        let s = idx.term_score_stats(shooter, body).unwrap();
+        assert_eq!(s.max_tf, 1);
+        assert_eq!(s.min_len, 4);
+    }
+
+    #[test]
+    fn add_after_optimize_invalidates_touched_stats_only() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space shooter"));
+        idx.optimize();
+        let space = idx.lexicon().get("space").unwrap();
+        let shooter = idx.lexicon().get("shooter").unwrap();
+        assert!(idx.term_score_stats(space, body).is_some());
+        idx.add(Doc::new().field(body, "space trader"));
+        assert_eq!(idx.term_score_stats(space, body), None);
+        assert!(idx.term_score_stats(shooter, body).is_some());
+        // Re-optimizing restores stats over the merged list.
+        idx.optimize();
+        assert!(idx.term_score_stats(space, body).is_some());
+    }
+
+    #[test]
+    fn delete_keeps_stats_as_safe_overestimate() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        let d0 = idx.add(Doc::new().field(body, "space space"));
+        idx.add(Doc::new().field(body, "space and more words here"));
+        idx.optimize();
+        idx.delete(d0);
+        let space = idx.lexicon().get("space").unwrap();
+        let s = idx.term_score_stats(space, body).unwrap();
+        // The tombstoned doc still backs max_tf/min_len: an upper bound
+        // computed from it can only overestimate, never under-bound.
+        assert_eq!(s.max_tf, 2);
+        assert_eq!(s.min_len, 2);
     }
 
     #[test]

@@ -53,10 +53,10 @@ pub mod snippet;
 pub mod spell;
 
 pub use analysis::{Analyzer, StandardAnalyzer, Token};
-pub use index::{Doc, FieldId, Index, IndexConfig, IndexStats};
+pub use index::{Doc, FieldId, Index, IndexConfig, IndexStats, TermScoreStats};
 pub use lexicon::{Lexicon, TermId};
 pub use query::Query;
-pub use search::{SearchHit, Searcher};
+pub use search::{ScoreMode, SearchHit, Searcher};
 pub use spell::SpellSuggester;
 
 /// Identifier of a document inside one [`Index`].

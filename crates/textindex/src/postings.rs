@@ -5,18 +5,32 @@
 //! * [`PostingList`] — the mutable, indexing-time representation: a
 //!   doc-ordered `Vec` of postings, each carrying its positions.
 //! * [`CompressedPostings`] — an immutable varint/delta-encoded byte
-//!   stream produced by [`Index::optimize`](crate::Index::optimize).
+//!   stream produced by [`Index::optimize`](crate::Index::optimize),
+//!   carved into blocks of [`BLOCK_SIZE`] documents. Each block records
+//!   its last doc id, its decoder entry state, its byte offset, and its
+//!   largest term frequency, which lets a [`PostingsCursor`] skip whole
+//!   blocks during [`PostingsCursor::seek`].
 //!
-//! Both are consumed through the callback-style [`Postings::for_each`],
+//! Exhaustive consumers use the callback-style [`Postings::for_each`],
 //! which sidesteps lending-iterator gymnastics and keeps decoding
 //! allocation-free on the hot path (the decoder reuses one scratch
-//! buffer across postings).
+//! buffer across postings). The document-at-a-time query executor
+//! instead opens a [`PostingsCursor`] per list (`doc` / `next` /
+//! `seek`) and never materializes positions.
 //!
 //! The compressed form exists for the E3 ablation in DESIGN.md: it
 //! trades decode CPU for memory footprint, which matters once the
 //! simulated web corpus reaches hundreds of thousands of pages.
 
 use crate::DocId;
+
+/// Documents per skip block in [`CompressedPostings`].
+pub const BLOCK_SIZE: usize = 128;
+
+/// Sentinel doc value a [`PostingsCursor`] reports once exhausted.
+/// Real doc ids are dense from zero, so `u32::MAX` is never a valid
+/// document in any index this substrate can build.
+pub const NO_DOC: u32 = u32::MAX;
 
 /// One document's entry in a posting list.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -82,25 +96,56 @@ impl PostingList {
     }
 }
 
-/// Immutable varint/delta-compressed posting list.
+/// Skip metadata for one block of [`BLOCK_SIZE`] postings.
+#[derive(Debug, Clone)]
+struct BlockMeta {
+    /// Doc id of the block's last posting: a `seek(target)` may skip
+    /// the whole block when `max_doc < target`.
+    max_doc: u32,
+    /// Decoder doc-state on block entry (the previous block's last doc
+    /// id, or `u32::MAX` for the first block so that the uniform
+    /// `state.wrapping_add(delta)` recovers the absolute first doc).
+    prev_doc: u32,
+    /// Byte offset of the block's first posting in `data`.
+    offset: u32,
+    /// Largest term frequency among the block's postings.
+    max_tf: u32,
+}
+
+/// Immutable varint/delta-compressed posting list with skip blocks.
 ///
 /// Layout per posting: `delta(doc)` `tf` `delta(pos)*tf`, all LEB128
 /// varints. Doc deltas are relative to the previous posting's doc id
 /// (first is absolute + 1 to keep zero unused); position deltas are
-/// relative within the posting.
+/// relative within the posting. Every [`BLOCK_SIZE`] postings a
+/// [`BlockMeta`] records the decoder state at the block boundary, so a
+/// cursor can re-enter the stream mid-list without decoding the prefix.
 #[derive(Debug, Clone, Default)]
 pub struct CompressedPostings {
     data: Vec<u8>,
     doc_count: u32,
+    blocks: Vec<BlockMeta>,
+    max_tf: u32,
 }
 
 impl CompressedPostings {
     /// Compress a raw list.
     pub fn encode(list: &PostingList) -> Self {
         let mut data = Vec::with_capacity(list.postings.len() * 3);
+        let mut blocks: Vec<BlockMeta> =
+            Vec::with_capacity(list.postings.len().div_ceil(BLOCK_SIZE));
+        let mut max_tf = 0u32;
         let mut prev_doc = 0u32;
         let mut first = true;
-        for p in &list.postings {
+        for (i, p) in list.postings.iter().enumerate() {
+            if i % BLOCK_SIZE == 0 {
+                blocks.push(BlockMeta {
+                    max_doc: p.doc.0,
+                    prev_doc: if first { u32::MAX } else { prev_doc },
+                    offset: data.len() as u32,
+                    max_tf: 0,
+                });
+            }
             let delta = if first {
                 first = false;
                 p.doc.0.wrapping_add(1)
@@ -108,8 +153,13 @@ impl CompressedPostings {
                 p.doc.0 - prev_doc
             };
             prev_doc = p.doc.0;
+            let tf = p.positions.len() as u32;
+            let block = blocks.last_mut().expect("block pushed above");
+            block.max_doc = p.doc.0;
+            block.max_tf = block.max_tf.max(tf);
+            max_tf = max_tf.max(tf);
             write_varint(&mut data, delta);
-            write_varint(&mut data, p.positions.len() as u32);
+            write_varint(&mut data, tf);
             let mut prev_pos = 0u32;
             for (i, &pos) in p.positions.iter().enumerate() {
                 let d = if i == 0 { pos } else { pos - prev_pos };
@@ -120,6 +170,8 @@ impl CompressedPostings {
         CompressedPostings {
             data,
             doc_count: list.postings.len() as u32,
+            blocks,
+            max_tf,
         }
     }
 
@@ -142,6 +194,25 @@ impl CompressedPostings {
     /// Compressed size in bytes.
     pub fn byte_len(&self) -> usize {
         self.data.len()
+    }
+
+    /// Largest term frequency across the whole list.
+    pub fn max_tf(&self) -> u32 {
+        self.max_tf
+    }
+
+    /// Open a document-at-a-time cursor positioned on the first
+    /// posting.
+    pub fn cursor(&self) -> CompressedCursor<'_> {
+        let mut c = CompressedCursor {
+            post: self,
+            pos: 0,
+            decoded: 0,
+            doc: u32::MAX,
+            tf: 0,
+        };
+        c.next();
+        c
     }
 
     /// Visit every posting, reusing one scratch buffer for positions.
@@ -167,6 +238,187 @@ impl CompressedPostings {
                 positions.push(pos);
             }
             f(DocId(doc), &positions);
+        }
+    }
+}
+
+/// Document-at-a-time cursor over a [`CompressedPostings`] stream.
+///
+/// Decodes one posting at a time (doc id + term frequency, skipping
+/// position payloads) and uses the block directory to leap over runs of
+/// documents during [`CompressedCursor::seek`].
+#[derive(Debug, Clone)]
+pub struct CompressedCursor<'a> {
+    post: &'a CompressedPostings,
+    /// Byte offset of the next undecoded posting.
+    pos: usize,
+    /// Postings decoded so far; the current posting is `decoded - 1`.
+    decoded: u32,
+    /// Current doc id, or [`NO_DOC`] once exhausted. Doubles as the
+    /// delta-decoder state (`u32::MAX` before the first decode, which
+    /// makes `state.wrapping_add(delta)` uniform across postings).
+    doc: u32,
+    /// Current term frequency.
+    tf: u32,
+}
+
+impl CompressedCursor<'_> {
+    /// Current doc id, or [`NO_DOC`] when exhausted.
+    pub fn doc(&self) -> u32 {
+        self.doc
+    }
+
+    /// Term frequency of the current posting.
+    pub fn tf(&self) -> u32 {
+        self.tf
+    }
+
+    /// Largest term frequency in the block holding the current posting
+    /// (the whole-list maximum once exhausted). Block-local bounds let
+    /// future block-max refinements tighten the global score bound.
+    pub fn block_max_tf(&self) -> u32 {
+        if self.doc == NO_DOC || self.decoded == 0 {
+            return self.post.max_tf;
+        }
+        let block = (self.decoded as usize - 1) / BLOCK_SIZE;
+        self.post.blocks[block].max_tf
+    }
+
+    /// Advance to the next posting.
+    pub fn next(&mut self) {
+        if self.decoded >= self.post.doc_count {
+            self.doc = NO_DOC;
+            return;
+        }
+        let data = &self.post.data;
+        let delta = read_varint(data, &mut self.pos);
+        self.doc = self.doc.wrapping_add(delta);
+        self.tf = read_varint(data, &mut self.pos);
+        for _ in 0..self.tf {
+            read_varint(data, &mut self.pos);
+        }
+        self.decoded += 1;
+    }
+
+    /// Advance to the first posting with `doc >= target` (no-op when
+    /// already there). Skips whole blocks via the block directory
+    /// before scanning within the destination block.
+    pub fn seek(&mut self, target: u32) {
+        if self.doc >= target {
+            // Covers exhaustion too: NO_DOC >= any target.
+            return;
+        }
+        // Current block index; the cursor has decoded >= 1 postings
+        // here (doc() < target < NO_DOC implies a current posting).
+        let cur_block = (self.decoded as usize - 1) / BLOCK_SIZE;
+        if self.post.blocks[cur_block].max_doc < target {
+            // Binary-search the block directory for the first block
+            // that can contain `target`.
+            let blocks = &self.post.blocks;
+            let dest =
+                cur_block + 1 + blocks[cur_block + 1..].partition_point(|b| b.max_doc < target);
+            if dest >= blocks.len() {
+                self.doc = NO_DOC;
+                self.decoded = self.post.doc_count;
+                self.pos = self.post.data.len();
+                return;
+            }
+            self.pos = blocks[dest].offset as usize;
+            self.doc = blocks[dest].prev_doc;
+            self.decoded = (dest * BLOCK_SIZE) as u32;
+            self.next();
+        }
+        while self.doc < target {
+            self.next();
+        }
+    }
+}
+
+/// Document-at-a-time cursor over a raw [`PostingList`].
+#[derive(Debug, Clone)]
+pub struct RawCursor<'a> {
+    postings: &'a [Posting],
+    idx: usize,
+}
+
+impl RawCursor<'_> {
+    /// Current doc id, or [`NO_DOC`] when exhausted.
+    pub fn doc(&self) -> u32 {
+        match self.postings.get(self.idx) {
+            Some(p) => p.doc.0,
+            None => NO_DOC,
+        }
+    }
+
+    /// Term frequency of the current posting.
+    pub fn tf(&self) -> u32 {
+        self.postings[self.idx].positions.len() as u32
+    }
+
+    /// Advance to the next posting.
+    pub fn next(&mut self) {
+        self.idx += 1;
+    }
+
+    /// Advance to the first posting with `doc >= target`.
+    pub fn seek(&mut self, target: u32) {
+        if self.doc() >= target {
+            return;
+        }
+        self.idx += 1 + self.postings[self.idx + 1..].partition_point(|p| p.doc.0 < target);
+    }
+}
+
+/// A document-at-a-time cursor over either posting representation.
+///
+/// The cursor walks doc ids and term frequencies in increasing doc
+/// order; positions are never materialized, which is what makes the
+/// DAAT scoring loop allocation-free. After the last posting,
+/// [`PostingsCursor::doc`] reports [`NO_DOC`] (which compares greater
+/// than every real doc id, so `seek`/min-merge loops need no special
+/// casing).
+#[derive(Debug, Clone)]
+pub enum PostingsCursor<'a> {
+    /// Cursor over the indexing-time representation.
+    Raw(RawCursor<'a>),
+    /// Cursor over the optimized block-compressed representation.
+    Compressed(CompressedCursor<'a>),
+}
+
+impl PostingsCursor<'_> {
+    /// Current doc id, or [`NO_DOC`] when exhausted.
+    #[inline]
+    pub fn doc(&self) -> u32 {
+        match self {
+            PostingsCursor::Raw(c) => c.doc(),
+            PostingsCursor::Compressed(c) => c.doc(),
+        }
+    }
+
+    /// Term frequency of the current posting.
+    #[inline]
+    pub fn tf(&self) -> u32 {
+        match self {
+            PostingsCursor::Raw(c) => c.tf(),
+            PostingsCursor::Compressed(c) => c.tf(),
+        }
+    }
+
+    /// Advance to the next posting.
+    #[inline]
+    pub fn next(&mut self) {
+        match self {
+            PostingsCursor::Raw(c) => c.next(),
+            PostingsCursor::Compressed(c) => c.next(),
+        }
+    }
+
+    /// Advance to the first posting with `doc >= target`.
+    #[inline]
+    pub fn seek(&mut self, target: u32) {
+        match self {
+            PostingsCursor::Raw(c) => c.seek(target),
+            PostingsCursor::Compressed(c) => c.seek(target),
         }
     }
 }
@@ -198,6 +450,18 @@ impl Postings {
                 }
             }
             Postings::Compressed(c) => c.for_each(f),
+        }
+    }
+
+    /// Open a document-at-a-time cursor positioned on the first
+    /// posting.
+    pub fn cursor(&self) -> PostingsCursor<'_> {
+        match self {
+            Postings::Raw(l) => PostingsCursor::Raw(RawCursor {
+                postings: l.postings(),
+                idx: 0,
+            }),
+            Postings::Compressed(c) => PostingsCursor::Compressed(c.cursor()),
         }
     }
 
@@ -303,6 +567,103 @@ mod tests {
         docs.clear();
         Postings::Compressed(CompressedPostings::encode(&l)).for_each(|d, _| docs.push(d.0));
         assert_eq!(docs, vec![0, 3, 300]);
+    }
+
+    fn long_list(n: u32, stride: u32) -> PostingList {
+        let mut l = PostingList::new();
+        for d in 0..n {
+            // tf varies so block max_tf differs between blocks.
+            for p in 0..=(d % 4) {
+                l.push_occurrence(DocId(d * stride), p);
+            }
+        }
+        l
+    }
+
+    #[test]
+    fn cursor_walks_both_representations_identically() {
+        let l = long_list(300, 3);
+        for postings in [
+            Postings::Raw(l.clone()),
+            Postings::Compressed(CompressedPostings::encode(&l)),
+        ] {
+            let mut cur = postings.cursor();
+            for p in l.postings() {
+                assert_eq!(cur.doc(), p.doc.0);
+                assert_eq!(cur.tf(), p.positions.len() as u32);
+                cur.next();
+            }
+            assert_eq!(cur.doc(), NO_DOC);
+            cur.next();
+            assert_eq!(cur.doc(), NO_DOC);
+        }
+    }
+
+    #[test]
+    fn cursor_seek_matches_linear_scan() {
+        let l = long_list(1000, 7);
+        let docs: Vec<u32> = l.postings().iter().map(|p| p.doc.0).collect();
+        for postings in [
+            Postings::Raw(l.clone()),
+            Postings::Compressed(CompressedPostings::encode(&l)),
+        ] {
+            // Seek to every third position plus off-list targets.
+            let mut cur = postings.cursor();
+            for target in (0..7200).step_by(31) {
+                if target < cur.doc() && cur.doc() != NO_DOC {
+                    continue; // seek never goes backwards
+                }
+                cur.seek(target);
+                let expect = docs.iter().copied().find(|&d| d >= target);
+                assert_eq!(cur.doc(), expect.unwrap_or(NO_DOC), "target {target}");
+                if let Some(d) = expect {
+                    let p = &l.postings()[docs.iter().position(|&x| x == d).unwrap()];
+                    assert_eq!(cur.tf(), p.positions.len() as u32);
+                }
+            }
+            // Seeking past the end exhausts.
+            let mut cur = postings.cursor();
+            cur.seek(u32::MAX);
+            assert_eq!(cur.doc(), NO_DOC);
+        }
+    }
+
+    #[test]
+    fn seek_to_current_doc_is_a_noop() {
+        let l = long_list(400, 2);
+        let postings = Postings::Compressed(CompressedPostings::encode(&l));
+        let mut cur = postings.cursor();
+        cur.seek(500);
+        let at = cur.doc();
+        let tf = cur.tf();
+        cur.seek(500);
+        cur.seek(at);
+        assert_eq!(cur.doc(), at);
+        assert_eq!(cur.tf(), tf);
+    }
+
+    #[test]
+    fn block_metadata_tracks_max_tf() {
+        let l = long_list(1000, 1);
+        let c = CompressedPostings::encode(&l);
+        assert_eq!(c.max_tf(), 4);
+        assert_eq!(c.blocks.len(), 1000usize.div_ceil(BLOCK_SIZE));
+        let mut cur = c.cursor();
+        assert_eq!(cur.block_max_tf(), c.blocks[0].max_tf);
+        cur.seek(999);
+        assert_eq!(cur.block_max_tf(), c.blocks.last().unwrap().max_tf);
+        for b in &c.blocks {
+            assert!(b.max_tf >= 1 && b.max_tf <= 4);
+        }
+    }
+
+    #[test]
+    fn empty_list_cursor_is_exhausted() {
+        let c = CompressedPostings::encode(&PostingList::new());
+        let mut cur = c.cursor();
+        assert_eq!(cur.doc(), NO_DOC);
+        cur.seek(7);
+        assert_eq!(cur.doc(), NO_DOC);
     }
 
     #[test]

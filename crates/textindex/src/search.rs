@@ -1,11 +1,33 @@
 //! BM25 top-k query execution.
 //!
-//! Execution is term-at-a-time: every positive clause walks its posting
-//! lists once, accumulating scores into a hash map, after which `must`
-//! intersections, `must-not` exclusions, tombstones, and the caller's
-//! filter are applied and the top-k extracted. For the index sizes this
-//! platform handles (hundreds of thousands of synthetic pages) this is
-//! simple and fast, and keeps phrase handling in one place.
+//! Two rank-equivalent executors share this module:
+//!
+//! * [`ScoreMode::TopKPruned`] (the default) runs document-at-a-time
+//!   over [`PostingsCursor`]s with MaxScore pruning: term cursors are
+//!   ordered by their BM25 score upper bound, the cheap ("non
+//!   essential") prefix whose bounds cannot reach the current top-k
+//!   threshold is only probed via `seek`, `+must` clauses drive a
+//!   non-scoring galloping intersection, and `-must-not` clauses are
+//!   seek-along exclusion cursors. Documents that provably cannot
+//!   enter the top k are never fully scored.
+//! * [`ScoreMode::Exhaustive`] is the original term-at-a-time path:
+//!   every positive clause walks its posting lists once, accumulating
+//!   scores into a hash map, after which `must` intersections,
+//!   `must-not` exclusions, tombstones, and the caller's filter are
+//!   applied and the top-k extracted.
+//!
+//! The pruned executor is *rank-safe*: it returns bit-identical
+//! `(doc, score)` lists to the exhaustive one (a property-based
+//! differential test in `tests/prop.rs` asserts this). Two details
+//! make that exact rather than approximate. First, per-document scores
+//! are accumulated in the same canonical (clause, token, field) order
+//! as the exhaustive hash-map accumulator, so f32 addition rounds
+//! identically. Second, score upper bounds are inflated by a small
+//! slack before any pruning comparison, so bound arithmetic performed
+//! in a different float-summation order can never under-bound a real
+//! score. Phrase clauses (which need positions) fall back to the
+//! exhaustive path transparently, as does any query when the caller
+//! pins [`ScoreMode::Exhaustive`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -13,6 +35,7 @@ use std::collections::BinaryHeap;
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::index::{FieldId, Index};
 use crate::lexicon::TermId;
+use crate::postings::{PostingsCursor, NO_DOC};
 use crate::query::{ClauseKind, Occur, Query};
 use crate::DocId;
 
@@ -40,10 +63,38 @@ pub struct SearchHit {
     pub score: f32,
 }
 
+/// Which top-k executor [`Searcher`] runs.
+///
+/// Both modes return bit-identical hit lists; `TopKPruned` just skips
+/// work that provably cannot change them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ScoreMode {
+    /// Document-at-a-time MaxScore execution with block-skip cursors
+    /// (the default serving path).
+    #[default]
+    TopKPruned,
+    /// Term-at-a-time scoring of every matching document (the
+    /// reference path; also what phrase queries run on).
+    Exhaustive,
+}
+
+/// Relative slack applied to every score upper bound before it is used
+/// in a pruning comparison. BM25 is monotone in term frequency and
+/// field length in exact arithmetic, and bound sums are accumulated in
+/// a different order than canonical scores; the slack (many orders of
+/// magnitude above f32 rounding noise) guarantees an inflated bound is
+/// strictly above any achievable score, so a pruned document can never
+/// have entered the top k — not even as an exact score tie.
+const BOUND_SLACK_REL: f32 = 1e-3;
+/// Absolute counterpart of [`BOUND_SLACK_REL`], keeping bounds
+/// strictly positive even for zero-boost fields.
+const BOUND_SLACK_ABS: f32 = 1e-5;
+
 /// Query executor over one [`Index`].
 pub struct Searcher<'a> {
     index: &'a Index,
     params: Bm25Params,
+    mode: ScoreMode,
 }
 
 impl<'a> Searcher<'a> {
@@ -52,12 +103,23 @@ impl<'a> Searcher<'a> {
         Searcher {
             index,
             params: Bm25Params::default(),
+            mode: ScoreMode::default(),
         }
     }
 
     /// Override BM25 parameters.
     pub fn with_params(index: &'a Index, params: Bm25Params) -> Self {
-        Searcher { index, params }
+        Searcher {
+            index,
+            params,
+            mode: ScoreMode::default(),
+        }
+    }
+
+    /// Select the execution mode (builder-style).
+    pub fn with_mode(mut self, mode: ScoreMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// Execute `query`, returning at most `k` hits sorted by descending
@@ -70,6 +132,8 @@ impl<'a> Searcher<'a> {
     /// Like [`Searcher::search`] but only documents accepted by
     /// `filter` are returned. This is the hook `symphony-web` uses for
     /// site restriction and `symphony-store` for visibility scopes.
+    /// The filter must be pure: the pruned executor calls it for fewer
+    /// documents (and in a different order) than the exhaustive one.
     pub fn search_filtered(
         &self,
         query: &Query,
@@ -79,6 +143,24 @@ impl<'a> Searcher<'a> {
         if query.is_empty() || k == 0 {
             return Vec::new();
         }
+        let has_phrase = query
+            .clauses
+            .iter()
+            .any(|c| matches!(c.kind, ClauseKind::Phrase(_)));
+        if self.mode == ScoreMode::Exhaustive || has_phrase {
+            self.search_exhaustive(query, k, filter)
+        } else {
+            self.search_pruned(query, k, filter)
+        }
+    }
+
+    /// Term-at-a-time reference executor (see module docs).
+    fn search_exhaustive(
+        &self,
+        query: &Query,
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+    ) -> Vec<SearchHit> {
         let mut scores: FxHashMap<u32, f32> = FxHashMap::default();
         let mut must_sets: Vec<FxHashSet<u32>> = Vec::new();
         let mut excluded: FxHashSet<u32> = FxHashSet::default();
@@ -207,6 +289,285 @@ impl<'a> Searcher<'a> {
         hits
     }
 
+    /// Document-at-a-time MaxScore executor (see module docs).
+    ///
+    /// Only called for phrase-free queries. Rank safety relies on
+    /// three invariants: candidate docs skipped by the essential
+    /// partition or the partial-sum abandon check have true scores
+    /// strictly below the threshold (inflated bounds), surviving
+    /// candidates are scored by summing per-scorer contributions in
+    /// canonical clause order (bit-identical f32 rounding), and every
+    /// cursor only ever moves forward.
+    fn search_pruned(
+        &self,
+        query: &Query,
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+    ) -> Vec<SearchHit> {
+        // ---- Plan: cursors, bounds, constraints --------------------
+        // `scorers` is in canonical (clause, token, field) order — the
+        // exact order the exhaustive accumulator adds contributions.
+        let mut scorers: Vec<Scorer<'a>> = Vec::new();
+        // One non-scoring union-of-fields cursor per `+must` token;
+        // result docs must appear in every group.
+        let mut must_groups: Vec<UnionCursor<'a>> = Vec::new();
+        // One union cursor per `-must-not` token; result docs must
+        // appear in none.
+        let mut exclusions: Vec<UnionCursor<'a>> = Vec::new();
+        let mut any_positive = false;
+
+        for clause in &query.clauses {
+            let fields: Vec<FieldId> = match &clause.field {
+                Some(name) => match self.index.field_id(name) {
+                    Some(f) => vec![f],
+                    None => {
+                        // Unknown field: a Must clause can never match.
+                        if clause.occur == Occur::Must {
+                            return Vec::new();
+                        }
+                        continue;
+                    }
+                },
+                None => self.index.field_ids().collect(),
+            };
+            let ClauseKind::Term(raw) = &clause.kind else {
+                unreachable!("phrase queries run on the exhaustive path");
+            };
+            let tokens = self.analyze_query_text(raw);
+            if tokens.is_empty() {
+                // Must clauses that analyze to nothing are vacuously
+                // true, matching the exhaustive path.
+                continue;
+            }
+            match clause.occur {
+                Occur::MustNot => {
+                    for &t in &tokens {
+                        let u = self.union_cursor(t, &fields);
+                        if !u.is_empty() {
+                            exclusions.push(u);
+                        }
+                    }
+                }
+                occur => {
+                    any_positive = true;
+                    for &t in &tokens {
+                        for &field in &fields {
+                            if let Some(s) = self.scorer(t, field) {
+                                scorers.push(s);
+                            }
+                        }
+                        if occur == Occur::Must {
+                            let u = self.union_cursor(t, &fields);
+                            if u.is_empty() {
+                                // Required token with no postings:
+                                // the conjunction is empty.
+                                return Vec::new();
+                            }
+                            must_groups.push(u);
+                        }
+                    }
+                }
+            }
+        }
+        if !any_positive || scorers.is_empty() {
+            return Vec::new();
+        }
+
+        // Evaluation order: scorer indices sorted by ascending bound.
+        // The prefix `order[..ness]` is the non-essential set; probes
+        // run over it from the highest bound downwards so the abandon
+        // check sheds the most remaining mass first.
+        let mut order: Vec<usize> = (0..scorers.len()).collect();
+        order.sort_by(|&a, &b| {
+            scorers[a]
+                .bound
+                .partial_cmp(&scorers[b].bound)
+                .unwrap_or(Ordering::Equal)
+                .then(a.cmp(&b))
+        });
+        // prefix[i] = sum of bounds of order[0..=i].
+        let prefix: Vec<f32> = order
+            .iter()
+            .scan(0.0f32, |acc, &i| {
+                *acc += scorers[i].bound;
+                Some(*acc)
+            })
+            .collect();
+
+        let mut heap: BinaryHeap<HeapEntry> = BinaryHeap::with_capacity(k + 1);
+        // Current k-th best score; only meaningful once the heap is
+        // full. Grows monotonically, and `ness` with it.
+        let mut threshold = f32::NEG_INFINITY;
+        let mut ness = 0usize;
+        let mut contribs = vec![0.0f32; scorers.len()];
+        let must_driven = !must_groups.is_empty();
+        let mut next_target = 0u32;
+
+        loop {
+            // ---- Candidate selection -------------------------------
+            let d = if must_driven {
+                // Must tokens gate membership: galloping intersection
+                // of the union cursors yields the only docs that can
+                // appear in the result at all.
+                match conjunction_next(&mut must_groups, next_target) {
+                    Some(d) => d,
+                    None => break,
+                }
+            } else {
+                // Union of essential cursors. Docs appearing only in
+                // non-essential lists are bounded by prefix[ness - 1]
+                // <= threshold, hence strictly below it after slack.
+                let mut d = NO_DOC;
+                for &i in &order[ness..] {
+                    d = d.min(scorers[i].cursor.doc());
+                }
+                if d == NO_DOC {
+                    break;
+                }
+                d
+            };
+            next_target = d + 1;
+
+            // ---- Cheap rejections ----------------------------------
+            let rejected = exclusions.iter_mut().any(|u| u.seek(d) == d)
+                || self.index.is_deleted(DocId(d))
+                || !filter(DocId(d));
+
+            if !rejected {
+                // ---- Score with partial-sum abandon ----------------
+                let mut abandoned = false;
+                let mut running = 0.0f32;
+                contribs.iter_mut().for_each(|c| *c = 0.0);
+                if !must_driven {
+                    for &i in &order[ness..] {
+                        let sc = &mut scorers[i];
+                        if sc.cursor.doc() == d {
+                            let tf = sc.cursor.tf();
+                            let v = self.clause_score(sc, d, tf);
+                            contribs[i] = v;
+                            running += v;
+                        }
+                    }
+                }
+                let probe_from = if must_driven { order.len() } else { ness };
+                for j in (0..probe_from).rev() {
+                    if heap.len() == k && running + prefix[j] <= threshold {
+                        // Even granting every unprobed scorer its full
+                        // bound, `d` stays (strictly) under the
+                        // threshold.
+                        abandoned = true;
+                        break;
+                    }
+                    let i = order[j];
+                    let sc = &mut scorers[i];
+                    sc.cursor.seek(d);
+                    if sc.cursor.doc() == d {
+                        let tf = sc.cursor.tf();
+                        let v = self.clause_score(sc, d, tf);
+                        contribs[i] = v;
+                        running += v;
+                    }
+                }
+                if !abandoned {
+                    // Canonical-order sum: bit-identical to the
+                    // exhaustive accumulator (adding 0.0 for scorers
+                    // that missed `d` is exact for non-negative f32).
+                    let score = contribs.iter().fold(0.0f32, |a, &b| a + b);
+                    heap.push(HeapEntry { score, doc: d });
+                    if heap.len() > k {
+                        heap.pop();
+                    }
+                    if heap.len() == k {
+                        let worst = heap.peek().expect("heap is full").score;
+                        if worst > threshold {
+                            threshold = worst;
+                            while ness < order.len() && prefix[ness] <= threshold {
+                                ness += 1;
+                            }
+                        }
+                    }
+                }
+            }
+
+            // ---- Advance the driving cursors -----------------------
+            if !must_driven {
+                for &i in &order[ness..] {
+                    let c = &mut scorers[i].cursor;
+                    if c.doc() == d {
+                        c.next();
+                    }
+                }
+            }
+        }
+
+        let mut hits: Vec<SearchHit> = heap
+            .into_iter()
+            .map(|e| SearchHit {
+                doc: DocId(e.doc),
+                score: e.score,
+            })
+            .collect();
+        hits.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(Ordering::Equal)
+                .then(a.doc.cmp(&b.doc))
+        });
+        hits
+    }
+
+    /// One scorer's BM25 contribution for document `d` — the same
+    /// expression, in the same operation order, as the exhaustive
+    /// path's `score_term`, so both produce identical f32 values.
+    #[inline]
+    fn clause_score(&self, sc: &Scorer<'_>, d: u32, tf: u32) -> f32 {
+        let len = self.index.field_len(DocId(d), sc.field) as f32;
+        sc.boost * self.bm25(tf as f32, len, sc.avg_len, sc.idf)
+    }
+
+    /// Build one scoring cursor for `(term, field)`, or `None` when no
+    /// document contains it. The pruning bound comes from the stats
+    /// [`Index::optimize`] stored next to the postings; lists without
+    /// stats (raw segments, post-optimize appends) get an infinite
+    /// bound, which keeps them permanently essential — always
+    /// evaluated, never pruned against, hence still exact.
+    fn scorer(&self, term: TermId, field: FieldId) -> Option<Scorer<'a>> {
+        let postings = self.index.postings(term, field)?;
+        let idf = self.idf(term, field);
+        let avg_len = self.index.avg_field_len(field);
+        let boost = self.index.field_boost(field);
+        let bound = match self.index.term_score_stats(term, field) {
+            Some(st) => {
+                let raw = boost * self.bm25(st.max_tf as f32, st.min_len as f32, avg_len, idf);
+                if raw.is_finite() && raw >= 0.0 {
+                    raw * (1.0 + BOUND_SLACK_REL) + BOUND_SLACK_ABS
+                } else {
+                    f32::INFINITY
+                }
+            }
+            None => f32::INFINITY,
+        };
+        Some(Scorer {
+            cursor: postings.cursor(),
+            field,
+            idf,
+            avg_len,
+            boost,
+            bound,
+        })
+    }
+
+    /// A membership (non-scoring) cursor for `term` across `fields`.
+    fn union_cursor(&self, term: TermId, fields: &[FieldId]) -> UnionCursor<'a> {
+        UnionCursor {
+            members: fields
+                .iter()
+                .filter_map(|&f| self.index.postings(term, f))
+                .map(|p| p.cursor())
+                .collect(),
+        }
+    }
+
     /// Analyze raw query text with the index's analyzer, mapping each
     /// token to an existing term id (tokens the index has never seen
     /// match nothing and are dropped).
@@ -329,6 +690,72 @@ impl<'a> Searcher<'a> {
         let len = self.index.field_len(doc, field) as f32;
         let avg = self.index.avg_field_len(field);
         self.index.field_boost(field) * self.bm25(tf as f32, len, avg, idf)
+    }
+}
+
+/// One scoring cursor of the pruned executor: a posting cursor plus
+/// everything needed to turn a `(doc, tf)` pair into a BM25
+/// contribution, and the (inflated) upper bound on that contribution.
+struct Scorer<'a> {
+    cursor: PostingsCursor<'a>,
+    field: FieldId,
+    idf: f32,
+    avg_len: f32,
+    boost: f32,
+    /// Inflated upper bound on any single contribution; `INFINITY`
+    /// when no [`crate::index::TermScoreStats`] are available.
+    bound: f32,
+}
+
+/// Union-of-fields membership cursor: reports whether *any* field's
+/// posting list contains a document. Used non-scoring, for `+must`
+/// conjunctions and `-must-not` exclusions.
+struct UnionCursor<'a> {
+    members: Vec<PostingsCursor<'a>>,
+}
+
+impl UnionCursor<'_> {
+    fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Smallest member doc `>= target` (advancing lagging members),
+    /// or [`NO_DOC`] when every member is exhausted. Targets must be
+    /// non-decreasing across calls.
+    fn seek(&mut self, target: u32) -> u32 {
+        let mut min = NO_DOC;
+        for c in &mut self.members {
+            if c.doc() < target {
+                c.seek(target);
+            }
+            min = min.min(c.doc());
+        }
+        min
+    }
+}
+
+/// Galloping intersection step: the smallest doc `>= target` present
+/// in every group, or `None` when the conjunction is exhausted.
+fn conjunction_next(groups: &mut [UnionCursor<'_>], mut target: u32) -> Option<u32> {
+    debug_assert!(!groups.is_empty());
+    'retry: loop {
+        let (pivot, rest) = groups.split_first_mut().expect("non-empty conjunction");
+        let d = pivot.seek(target);
+        if d == NO_DOC {
+            return None;
+        }
+        for g in rest {
+            let got = g.seek(d);
+            if got == NO_DOC {
+                return None;
+            }
+            if got > d {
+                // Mismatch: restart the pivot from the larger doc.
+                target = got;
+                continue 'retry;
+            }
+        }
+        return Some(d);
     }
 }
 
@@ -523,6 +950,135 @@ mod tests {
         let idx = index();
         let hits = Searcher::new(&idx).search(&Query::parse("battle"), 10);
         assert_eq!(docs_of(&hits), vec![0]); // doc says "battles"
+    }
+
+    /// Every interesting query shape on the shared fixture, for the
+    /// pruned-vs-exhaustive differential checks below.
+    const QUERIES: &[&str] = &[
+        "space",
+        "space shooter",
+        "space shooter laser golf farming",
+        "+golf shooter",
+        "+space +shooter",
+        "shooter -laser",
+        "shooter -space",
+        "title:space",
+        "title:space body:laser",
+        "+title:space laser",
+        "space space shooter",     // repeated term accumulates twice
+        "\"space shooter\" laser", // phrase: exhaustive fallback
+        "+nosuch:space",
+        "zzzzqqq",
+        "-space",
+    ];
+
+    fn assert_modes_agree(idx: &Index, k: usize) {
+        for q in QUERIES {
+            let query = Query::parse(q);
+            let pruned = Searcher::new(idx).search(&query, k);
+            let exhaustive = Searcher::new(idx)
+                .with_mode(ScoreMode::Exhaustive)
+                .search(&query, k);
+            assert_eq!(pruned, exhaustive, "query {q:?} k={k}");
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_on_raw_index() {
+        let idx = index();
+        for k in [1, 2, 3, 10] {
+            assert_modes_agree(&idx, k);
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_on_optimized_index() {
+        let mut idx = index();
+        idx.optimize();
+        for k in [1, 2, 3, 10] {
+            assert_modes_agree(&idx, k);
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_with_deletes_and_mixed_segments() {
+        let mut idx = index();
+        idx.optimize();
+        // Post-optimize adds re-expand some lists (mixed raw/compressed
+        // segments with partially invalidated stats).
+        idx.add(Doc::new().field(FieldId(0), "Space Golf").field(
+            FieldId(1),
+            "golf across space with lasers and farming puzzles",
+        ));
+        idx.delete(DocId(2));
+        for k in [1, 3, 10] {
+            assert_modes_agree(&idx, k);
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_under_filter() {
+        let mut idx = index();
+        idx.optimize();
+        for q in QUERIES {
+            let query = Query::parse(q);
+            let filter = |d: DocId| d.0.is_multiple_of(2);
+            let pruned = Searcher::new(&idx).search_filtered(&query, 3, filter);
+            let exhaustive = Searcher::new(&idx)
+                .with_mode(ScoreMode::Exhaustive)
+                .search_filtered(&query, 3, filter);
+            assert_eq!(pruned, exhaustive, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn pruned_matches_exhaustive_with_custom_params() {
+        let mut idx = index();
+        idx.optimize();
+        // Bounds are computed from the searcher's own parameters, so
+        // pruning stays rank-safe for non-default k1/b too.
+        for params in [
+            Bm25Params { k1: 0.0, b: 0.0 },
+            Bm25Params { k1: 2.0, b: 1.0 },
+        ] {
+            for q in QUERIES {
+                let query = Query::parse(q);
+                let pruned = Searcher::with_params(&idx, params).search(&query, 3);
+                let exhaustive = Searcher::with_params(&idx, params)
+                    .with_mode(ScoreMode::Exhaustive)
+                    .search(&query, 3);
+                assert_eq!(pruned, exhaustive, "query {q:?} params {params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_prunes_on_larger_corpus_without_changing_results() {
+        // A corpus big enough that the MaxScore partition actually
+        // activates (many docs share the common term, few the rare
+        // one), checked at small k where pruning is strongest.
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        for i in 0..600u32 {
+            let rare = if i % 97 == 0 { " meteor" } else { "" };
+            let text = format!(
+                "common{} padding tokens number {} filler text{rare}",
+                if i % 3 == 0 { " common common" } else { "" },
+                i % 7
+            );
+            idx.add(Doc::new().field(body, text));
+        }
+        idx.optimize();
+        for q in ["common meteor", "common filler meteor", "+meteor common"] {
+            let query = Query::parse(q);
+            for k in [1, 5, 20] {
+                let pruned = Searcher::new(&idx).search(&query, k);
+                let exhaustive = Searcher::new(&idx)
+                    .with_mode(ScoreMode::Exhaustive)
+                    .search(&query, k);
+                assert_eq!(pruned, exhaustive, "query {q:?} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -2,7 +2,21 @@
 
 use proptest::prelude::*;
 use symphony_text::postings::{CompressedPostings, PostingList};
-use symphony_text::{Analyzer, Doc, DocId, Index, IndexConfig, Query, Searcher, StandardAnalyzer};
+use symphony_text::{
+    Analyzer, Doc, DocId, Index, IndexConfig, Query, ScoreMode, Searcher, StandardAnalyzer,
+};
+
+/// Strategy: one textual query clause — optional occur prefix, optional
+/// field restriction (including an unregistered field), tiny-alphabet
+/// token so queries actually collide with document vocabulary.
+fn clause() -> impl Strategy<Value = String> {
+    (
+        prop_oneof![Just(""), Just("+"), Just("-")],
+        prop_oneof![Just(""), Just("title:"), Just("body:"), Just("nosuch:")],
+        "[ab]{2,3}",
+    )
+        .prop_map(|(occur, field, tok)| format!("{occur}{field}{tok}"))
+}
 
 /// Strategy: a doc-ordered set of (doc, positions) postings.
 fn posting_data() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
@@ -115,6 +129,55 @@ proptest! {
             prop_assert_eq!(a.doc, b.doc);
             prop_assert!((a.score - b.score).abs() < 1e-5);
         }
+    }
+
+    /// Rank safety of MaxScore pruning: the pruned executor returns the
+    /// exact `(doc, score)` list of the exhaustive one — same docs,
+    /// bit-identical scores, same tie-break order — across random
+    /// corpora, query shapes (should/must/must-not, field-restricted,
+    /// unknown fields), k values, index states (raw, optimized, mixed
+    /// raw+compressed with stale bounds, tombstoned docs), and filters.
+    #[test]
+    fn pruned_equals_exhaustive(
+        docs in proptest::collection::vec(
+            ("[ab]{2,3}( [ab]{2,3}){0,2}", "[ab]{2,3}( [ab]{2,3}){0,8}"),
+            1..25,
+        ),
+        clauses in proptest::collection::vec(clause(), 1..5),
+        k in 1usize..8,
+        optimize in 0u8..2,
+        delete_first in 0u8..2,
+        add_after in 0u8..2,
+    ) {
+        let mut idx = Index::new(IndexConfig::default());
+        let title = idx.register_field("title", 2.0);
+        let body = idx.register_field("body", 1.0);
+        for (t, b) in &docs {
+            idx.add(Doc::new().field(title, t.clone()).field(body, b.clone()));
+        }
+        if delete_first == 1 {
+            idx.delete(DocId(0));
+        }
+        if optimize == 1 {
+            idx.optimize();
+            if add_after == 1 {
+                // Mixed segments: re-expanded lists + stale score stats.
+                idx.add(Doc::new().field(title, "ab ba").field(body, "aa bb ab aba"));
+            }
+        }
+        let q = Query::parse(&clauses.join(" "));
+        let pruned = Searcher::new(&idx).search(&q, k);
+        let exhaustive = Searcher::new(&idx)
+            .with_mode(ScoreMode::Exhaustive)
+            .search(&q, k);
+        prop_assert_eq!(pruned, exhaustive);
+
+        let filter = |d: DocId| d.0.is_multiple_of(2);
+        let pruned = Searcher::new(&idx).search_filtered(&q, k, filter);
+        let exhaustive = Searcher::new(&idx)
+            .with_mode(ScoreMode::Exhaustive)
+            .search_filtered(&q, k, filter);
+        prop_assert_eq!(pruned, exhaustive);
     }
 
     /// Query parser never panics and Display output reparses to the

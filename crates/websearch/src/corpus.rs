@@ -326,6 +326,11 @@ impl Corpus {
         self.by_url.get(url).map(|&i| &self.pages[i])
     }
 
+    /// Position of a page in [`Corpus::pages`], looked up by URL.
+    pub fn page_index_by_url(&self, url: &str) -> Option<usize> {
+        self.by_url.get(url).copied()
+    }
+
     /// Domain of the page at `idx`.
     pub fn domain(&self, idx: usize) -> &str {
         &self.sites[self.pages[idx].site].domain

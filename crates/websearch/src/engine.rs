@@ -135,9 +135,11 @@ pub struct SearchEngine {
     /// Query-conditioned score multipliers learned from community
     /// click logs (paper §IV: application usage data "may eventually
     /// provide topic- or community-specific relevance signals to the
-    /// general search engine"). Keyed by `(normalized query, url)` so
-    /// a URL popular for one query never distorts another.
-    click_boosts: HashMap<(String, String), f32>,
+    /// general search engine"). Keyed by normalized query, then URL, so
+    /// a URL popular for one query never distorts another — and so one
+    /// query's boosts can be looked up per hit by borrowed URL without
+    /// building an owned `(query, url)` key.
+    click_boosts: HashMap<String, HashMap<String, f32>>,
     speller: SpellSuggester,
 }
 
@@ -219,26 +221,22 @@ impl SearchEngine {
                 .entry((normalize_query(&l.query), l.url.clone()))
                 .or_insert(0) += 1;
         }
-        let mut max_per_query: HashMap<&str, u32> = HashMap::new();
+        let mut max_per_query: HashMap<String, u32> = HashMap::new();
         for ((q, _), c) in &counts {
-            let m = max_per_query.entry(q.as_str()).or_insert(0);
+            let m = max_per_query.entry(q.clone()).or_insert(0);
             *m = (*m).max(*c);
         }
-        let boosts: Vec<((String, String), f32)> = counts
-            .iter()
-            .map(|((q, url), c)| {
-                let max = max_per_query[q.as_str()];
-                let denom = (1.0 + max as f32).ln();
-                let boost = 1.0 + strength * (1.0 + *c as f32).ln() / denom;
-                ((q.clone(), url.clone()), boost)
-            })
-            .collect();
-        self.click_boosts.extend(boosts);
+        for ((q, url), c) in counts {
+            let max = max_per_query[&q];
+            let denom = (1.0 + max as f32).ln();
+            let boost = 1.0 + strength * (1.0 + c as f32).ln() / denom;
+            self.click_boosts.entry(q).or_default().insert(url, boost);
+        }
     }
 
     /// Number of `(query, url)` pairs carrying a click-feedback boost.
     pub fn click_boosted_urls(&self) -> usize {
-        self.click_boosts.len()
+        self.click_boosts.values().map(|urls| urls.len()).sum()
     }
 
     /// The corpus behind the engine.
@@ -290,12 +288,16 @@ impl SearchEngine {
         });
 
         let newest = NEWS_SPAN_HINT;
-        // Normalize once; per-hit lookups only clone the URL key.
-        let feedback_key = if self.click_boosts.is_empty() {
+        // Resolve this query's boost table once; per-hit lookups then
+        // borrow the URL instead of building an owned key.
+        let per_query_boosts = if self.click_boosts.is_empty() {
             None
         } else {
-            Some(normalize_query(raw_query))
+            self.click_boosts.get(&normalize_query(raw_query))
         };
+        // One snippet generator for the whole result page: construction
+        // analyzes the query terms, which is identical for every hit.
+        let snippeter = SnippetGenerator::new(vi.index.analyzer(), &query.positive_words());
         let mut results: Vec<WebResult> = hits
             .into_iter()
             .map(|h| {
@@ -303,8 +305,8 @@ impl SearchEngine {
                 let page = &self.corpus.pages[page_idx];
                 let domain = self.corpus.domain(page_idx).to_string();
                 let mut score = h.score * (0.4 + 1.6 * self.rank[page_idx] as f32);
-                if let Some(q) = &feedback_key {
-                    if let Some(boost) = self.click_boosts.get(&(q.clone(), page.url.clone())) {
+                if let Some(boosts) = per_query_boosts {
+                    if let Some(boost) = boosts.get(page.url.as_str()) {
                         score *= boost;
                     }
                 }
@@ -326,7 +328,6 @@ impl SearchEngine {
                     }
                     _ => (None, None, None),
                 };
-                let snippeter = SnippetGenerator::new(vi.index.analyzer(), &query.positive_words());
                 WebResult {
                     url: page.url.clone(),
                     title: page.title.clone(),
@@ -356,12 +357,7 @@ impl SearchEngine {
 
     /// Static rank of a URL, when known (exposed for experiments).
     pub fn static_rank_of(&self, url: &str) -> Option<f64> {
-        let page = self.corpus.page_by_url(url)?;
-        let idx = self
-            .corpus
-            .pages
-            .iter()
-            .position(|p| std::ptr::eq(p, page))?;
+        let idx = self.corpus.page_index_by_url(url)?;
         Some(self.rank[idx])
     }
 }

@@ -7,9 +7,24 @@
 //! simple wall-clock loop: each benchmark is warmed up briefly, then
 //! run for a fixed number of iterations and reported as mean
 //! time-per-iteration (plus throughput when configured).
+//!
+//! The `CRITERION_SAMPLE_SIZE` environment variable, when set to a
+//! positive integer, caps every benchmark's iteration count regardless
+//! of what the bench code configures. CI uses `CRITERION_SAMPLE_SIZE=1`
+//! to smoke-run all benches in one iteration each, so bench code cannot
+//! bit-rot without failing the build.
 
 use std::fmt;
 use std::time::{Duration, Instant};
+
+/// Iteration count after applying the `CRITERION_SAMPLE_SIZE` cap.
+fn capped_iters(configured: usize) -> u64 {
+    let cap = std::env::var("CRITERION_SAMPLE_SIZE")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0);
+    cap.map_or(configured, |c| configured.min(c)) as u64
+}
 
 /// Prevent the optimizer from deleting a computed value.
 pub fn black_box<T>(x: T) -> T {
@@ -160,7 +175,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
-            target_iters: self.sample_size as u64,
+            target_iters: capped_iters(self.sample_size),
         };
         f(&mut b);
         report(
@@ -217,7 +232,7 @@ impl Criterion {
         let mut b = Bencher {
             elapsed: Duration::ZERO,
             iters: 0,
-            target_iters: self.default_sample_size as u64,
+            target_iters: capped_iters(self.default_sample_size),
         };
         f(&mut b);
         report(&id.to_string(), b.elapsed, b.iters, None);
@@ -297,6 +312,24 @@ mod tests {
         );
         assert_eq!(b.iters, 4);
         assert_eq!(setups, 5); // warm-up + 4 timed
+    }
+
+    #[test]
+    fn sample_size_env_caps_iterations() {
+        // No var (or garbage) leaves the configured count alone.
+        std::env::remove_var("CRITERION_SAMPLE_SIZE");
+        assert_eq!(capped_iters(20), 20);
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "not a number");
+        assert_eq!(capped_iters(20), 20);
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "0");
+        assert_eq!(capped_iters(20), 20);
+        // A positive cap clamps down, never up.
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "1");
+        assert_eq!(capped_iters(20), 1);
+        assert_eq!(capped_iters(0), 0);
+        std::env::set_var("CRITERION_SAMPLE_SIZE", "50");
+        assert_eq!(capped_iters(20), 20);
+        std::env::remove_var("CRITERION_SAMPLE_SIZE");
     }
 
     #[test]
