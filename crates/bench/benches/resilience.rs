@@ -1,0 +1,66 @@
+//! Resilience (wall-clock side): what the resilient serving path
+//! costs the real executor. The virtual-latency shape lives in
+//! `--bin experiments` (E-resilience); this bench measures the
+//! overhead of breaker checks, deterministic latency draws, and the
+//! fast-fail path against a tripped circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use symphony_bench::{resilience_world, ResilienceOptions};
+use symphony_services::{BreakerConfig, CallPolicy, FaultPlan, LatencyModel};
+
+fn bench_resilience(c: &mut Criterion) {
+    let mut group = c.benchmark_group("resilience");
+    group.sample_size(20);
+
+    // Healthy endpoint through the full resilient stack (breaker
+    // admit + pure-hash draw + hedging bookkeeping).
+    let (healthy, id) = resilience_world(ResilienceOptions {
+        policy: CallPolicy {
+            timeout_ms: 250,
+            retries: 2,
+            backoff_base_ms: 25,
+            backoff_cap_ms: 500,
+            hedge_after_ms: Some(60),
+        },
+        ..ResilienceOptions::default()
+    });
+    group.bench_function("healthy_resilient_query", |b| {
+        b.iter(|| healthy.query(id, "space shooter").expect("ok"))
+    });
+
+    // Endpoint in permanent outage with breakers disabled: every
+    // query re-burns timeout × attempts (the naive worst case).
+    let (naive_outage, id) = resilience_world(ResilienceOptions {
+        breakers: BreakerConfig::disabled(),
+        faults: FaultPlan::new().outage("pricing", 0, u64::MAX),
+        ..ResilienceOptions::default()
+    });
+    group.bench_function("outage_naive_retries", |b| {
+        b.iter(|| naive_outage.query(id, "space shooter").expect("ok"))
+    });
+
+    // Same outage with the breaker tripped: queries fast-fail.
+    let (tripped, id) = resilience_world(ResilienceOptions {
+        latency: LatencyModel {
+            base_ms: 20,
+            jitter_ms: 30,
+            failure_rate: 0.0,
+        },
+        breakers: BreakerConfig {
+            failure_threshold: 1,
+            open_ms: u64::MAX,
+            half_open_successes: 1,
+        },
+        faults: FaultPlan::new().outage("pricing", 0, u64::MAX),
+        ..ResilienceOptions::default()
+    });
+    tripped.query(id, "space shooter").expect("trips breaker");
+    group.bench_function("outage_breaker_fast_fail", |b| {
+        b.iter(|| tripped.query(id, "space shooter").expect("ok"))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_resilience);
+criterion_main!(benches);

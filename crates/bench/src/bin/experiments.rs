@@ -15,7 +15,10 @@ use symphony_baselines::{
     ndcg_at_k, BossModel, EureksterModel, GoogleBaseModel, GoogleCustomModel, RollyoModel,
     Scenario, SymphonyModel, SystemModel, EVAL_QUERIES,
 };
-use symphony_bench::{corpus, gamer_queen_world, print_table, zipf_queries, Scale, WorldOptions};
+use symphony_bench::{
+    corpus, gamer_queen_world, percentile, print_table, resilience_world, zipf_queries,
+    ResilienceOptions, Scale, WorldOptions,
+};
 use symphony_core::hosting::QuotaConfig;
 use symphony_core::runtime::ExecMode;
 use symphony_text::{Doc, Index, IndexConfig};
@@ -34,6 +37,7 @@ fn main() {
     e8_tenancy();
     e9_click_feedback();
     e10_recommendation();
+    e_resilience();
 }
 
 /// E1: parallel vs sequential supplemental fan-out.
@@ -537,6 +541,87 @@ fn e10_recommendation() {
 }
 
 /// E8: hosted QPS vs number of tenants.
+/// E-resilience: virtual query-latency distribution under a planned
+/// fault schedule, for three client configurations over the *same*
+/// workload. The claim is a shape: circuit breakers turn an outage's
+/// `timeout × attempts` tail into fast-fails, and hedging+backoff
+/// shaves the burst/jitter tail further — so p99 drops sharply vs the
+/// naive retry client while the degraded-query rate stays comparable.
+fn e_resilience() {
+    use symphony_services::{BreakerConfig, CallPolicy, FaultPlan};
+
+    let faults = || {
+        FaultPlan::new()
+            .outage("pricing", 10_000, 25_000)
+            .latency_spike("pricing", 40_000, 55_000, 150)
+            .fault_burst("pricing", 70_000, 85_000, 0.5)
+    };
+    let base_policy = CallPolicy {
+        timeout_ms: 250,
+        retries: 2,
+        ..CallPolicy::default()
+    };
+    let tuned_breaker = BreakerConfig {
+        failure_threshold: 5,
+        open_ms: 5_000,
+        half_open_successes: 2,
+    };
+    let configs: Vec<(&str, CallPolicy, BreakerConfig)> = vec![
+        ("naive retry", base_policy, BreakerConfig::disabled()),
+        ("breaker", base_policy, tuned_breaker),
+        (
+            "breaker+backoff+hedge",
+            CallPolicy {
+                timeout_ms: 250,
+                retries: 2,
+                backoff_base_ms: 25,
+                backoff_cap_ms: 500,
+                hedge_after_ms: Some(60),
+            },
+            tuned_breaker,
+        ),
+    ];
+
+    let queries = zipf_queries(400, 1.1, 17);
+    let mut rows = Vec::new();
+    for (label, policy, breakers) in configs {
+        let (platform, id) = resilience_world(ResilienceOptions {
+            policy,
+            breakers,
+            resilience: symphony_core::ResiliencePolicy {
+                query_deadline_ms: 1_000,
+                per_source_budget_ms: 800,
+                max_total_retries: u32::MAX,
+            },
+            faults: faults(),
+            ..ResilienceOptions::default()
+        });
+        let mut latencies = Vec::with_capacity(queries.len());
+        let mut degraded = 0u64;
+        for q in &queries {
+            let resp = platform.query(id, q).expect("ok");
+            latencies.push(resp.virtual_ms);
+            if resp.trace.degraded {
+                degraded += 1;
+            }
+            platform.advance_clock(180); // think time between requests
+        }
+        rows.push(vec![
+            label.to_string(),
+            percentile(&latencies, 0.50).to_string(),
+            percentile(&latencies, 0.95).to_string(),
+            percentile(&latencies, 0.99).to_string(),
+            latencies.iter().max().copied().unwrap_or(0).to_string(),
+            format!("{:.1}%", 100.0 * degraded as f64 / queries.len() as f64),
+        ]);
+    }
+    print_table(
+        "E-resilience — virtual latency under outage+spike+burst (400 queries, virtual ms)",
+        &["client", "p50", "p95", "p99", "max", "degraded"],
+        &rows,
+    );
+}
+
 fn e8_tenancy() {
     let mut rows = Vec::new();
     for tenants in [1usize, 8, 32] {

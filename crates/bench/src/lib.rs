@@ -13,7 +13,9 @@ use symphony_core::runtime::ExecMode;
 use symphony_core::source::DataSourceDef;
 use symphony_core::AppId;
 use symphony_designer::{Canvas, Element};
-use symphony_services::{CallPolicy, InventoryService, LatencyModel, PricingService};
+use symphony_services::{
+    BreakerConfig, CallPolicy, FaultPlan, InventoryService, LatencyModel, PricingService,
+};
 use symphony_store::ingest::{ingest, DataFormat};
 use symphony_store::IndexedTable;
 use symphony_web::{Corpus, CorpusConfig, SearchConfig, SearchEngine, Topic, Vertical};
@@ -217,6 +219,117 @@ pub fn gamer_queen_world(options: WorldOptions) -> (Platform, AppId) {
     let id = platform.register_app(config).expect("registers");
     platform.publish(id).expect("publishes");
     (platform, id)
+}
+
+/// Options for [`resilience_world`] (experiment E-resilience and the
+/// `resilience` bench group).
+#[derive(Debug, Clone)]
+pub struct ResilienceOptions {
+    /// Transport seed (the chaos grid varies it).
+    pub seed: u64,
+    /// Latency model of the pricing endpoint.
+    pub latency: LatencyModel,
+    /// Call policy on the pricing source.
+    pub policy: CallPolicy,
+    /// Breaker tuning ([`BreakerConfig::disabled`] = naive baseline).
+    pub breakers: BreakerConfig,
+    /// Per-query deadline / budget / retry limits.
+    pub resilience: symphony_core::ResiliencePolicy,
+    /// Scheduled faults on the virtual clock.
+    pub faults: FaultPlan,
+}
+
+impl Default for ResilienceOptions {
+    fn default() -> Self {
+        ResilienceOptions {
+            seed: 0xD1CE,
+            latency: LatencyModel {
+                base_ms: 20,
+                jitter_ms: 30,
+                failure_rate: 0.01,
+            },
+            policy: CallPolicy::default(),
+            breakers: BreakerConfig::default(),
+            resilience: symphony_core::ResiliencePolicy::default(),
+            faults: FaultPlan::new(),
+        }
+    }
+}
+
+/// A small platform tuned for resilience measurements: one proprietary
+/// primary, one pricing-service supplemental, result cache disabled
+/// (TTL 0) so every query exercises the fetch path.
+pub fn resilience_world(options: ResilienceOptions) -> (Platform, AppId) {
+    let (sites, pages) = Scale::Small.dims();
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites_per_topic: sites,
+        pages_per_site: pages,
+        ..CorpusConfig::default()
+    });
+    let mut platform = Platform::new(SearchEngine::new(corpus))
+        .with_transport_seed(options.seed)
+        .with_breaker_config(options.breakers)
+        .with_quotas(symphony_core::QuotaConfig {
+            requests_per_minute: u32::MAX,
+            cache_ttl_ms: 0,
+            ..symphony_core::QuotaConfig::default()
+        });
+    platform
+        .transport_mut()
+        .register("pricing", Box::new(PricingService), options.latency);
+    platform.transport_mut().set_fault_plan(options.faults);
+    let (tenant, key) = platform.create_tenant("GamerQueen");
+    let (table, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("csv parses");
+    let mut indexed = IndexedTable::new(table);
+    indexed
+        .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+        .expect("columns exist");
+    platform.upload_table(tenant, &key, indexed).expect("quota");
+
+    let mut canvas = Canvas::new();
+    let root = canvas.root_id();
+    let item = Element::column(vec![
+        Element::text("{title}"),
+        Element::result_list("pricing", Element::text("${price}"), 1),
+    ]);
+    canvas
+        .insert(root, Element::result_list("inventory", item, 10))
+        .expect("root");
+    let config = AppBuilder::new("GamerQueen", tenant)
+        .layout(canvas)
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .source(
+            "pricing",
+            DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: options.policy,
+            },
+        )
+        .supplemental("pricing", "{title}")
+        .resilience(options.resilience)
+        .build()
+        .expect("valid app");
+    let id = platform.register_app(config).expect("registers");
+    platform.publish(id).expect("publishes");
+    (platform, id)
+}
+
+/// `p`-th percentile (0.0–1.0) of an unsorted latency sample.
+pub fn percentile(samples: &[u32], p: f64) -> u32 {
+    if samples.is_empty() {
+        return 0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
 }
 
 /// Zipf-distributed query stream over the scenario's evaluation

@@ -35,6 +35,42 @@ pub struct SupplementalBinding {
     pub query_template: Template,
 }
 
+/// Per-query resilience limits. All virtual-clock based; the runtime
+/// enforces them so one slow or down dependency cannot stall a whole
+/// response — fetches that would blow the deadline are cut off and
+/// rendered as degraded slots instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResiliencePolicy {
+    /// Hard deadline for the whole query in virtual ms
+    /// (`u32::MAX` = unlimited). Must leave room for the runtime's
+    /// fixed receive/merge costs.
+    pub query_deadline_ms: u32,
+    /// Soft budget per source fetch in virtual ms (`u32::MAX` =
+    /// unlimited); caps attempts, backoff, and timeouts of one fetch.
+    pub per_source_budget_ms: u32,
+    /// Total retries the whole query may spend across all fetches
+    /// (`u32::MAX` = unlimited).
+    pub max_total_retries: u32,
+}
+
+impl Default for ResiliencePolicy {
+    /// Unlimited: the pre-resilience behaviour.
+    fn default() -> Self {
+        ResiliencePolicy {
+            query_deadline_ms: u32::MAX,
+            per_source_budget_ms: u32::MAX,
+            max_total_retries: u32::MAX,
+        }
+    }
+}
+
+impl ResiliencePolicy {
+    /// True when no limit is configured.
+    pub fn is_unlimited(&self) -> bool {
+        *self == ResiliencePolicy::default()
+    }
+}
+
 /// Monetization settings (paper: voluntary, revenue-shared).
 #[derive(Debug, Clone)]
 pub struct MonetizationConfig {
@@ -75,6 +111,8 @@ pub struct ApplicationConfig {
     pub stylesheet: Stylesheet,
     /// Monetization settings.
     pub monetization: MonetizationConfig,
+    /// Per-query deadline / budget / retry limits.
+    pub resilience: ResiliencePolicy,
 }
 
 impl ApplicationConfig {
@@ -189,6 +227,16 @@ impl ApplicationConfig {
                 "monetization requires a publisher name".into(),
             ));
         }
+        let fixed = crate::runtime::RECEIVE_MS + crate::runtime::MERGE_MS;
+        if self.resilience.query_deadline_ms != u32::MAX
+            && self.resilience.query_deadline_ms <= fixed
+        {
+            return Err(PlatformError::InvalidConfig(format!(
+                "query deadline of {}ms leaves no room for the fixed \
+                 receive+merge cost of {}ms",
+                self.resilience.query_deadline_ms, fixed
+            )));
+        }
         Ok(())
     }
 }
@@ -215,6 +263,7 @@ impl AppBuilder {
                     log_interactions: true,
                     publisher: name.to_string(),
                 },
+                resilience: ResiliencePolicy::default(),
             },
         }
     }
@@ -258,6 +307,12 @@ impl AppBuilder {
     /// Configure monetization.
     pub fn monetization(mut self, m: MonetizationConfig) -> AppBuilder {
         self.config.monetization = m;
+        self
+    }
+
+    /// Set the per-query resilience limits.
+    pub fn resilience(mut self, policy: ResiliencePolicy) -> AppBuilder {
+        self.config.resilience = policy;
         self
     }
 
@@ -412,6 +467,32 @@ mod tests {
         assert_eq!(app.supplemental_sources(), vec!["reviews"]);
         assert_eq!(app.primary_lists().len(), 1);
         assert_eq!(app.primary_lists()[0].1, 5);
+    }
+
+    #[test]
+    fn resilience_deadline_must_cover_fixed_costs() {
+        let tight = ResiliencePolicy {
+            query_deadline_ms: crate::runtime::RECEIVE_MS + crate::runtime::MERGE_MS,
+            ..ResiliencePolicy::default()
+        };
+        let err = builder(layout_with("inventory", None))
+            .resilience(tight)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::InvalidConfig(_)));
+        let ok = builder(layout_with("inventory", None))
+            .resilience(ResiliencePolicy {
+                query_deadline_ms: 500,
+                per_source_budget_ms: 200,
+                max_total_retries: 4,
+            })
+            .build()
+            .unwrap();
+        assert!(!ok.resilience.is_unlimited());
+        assert!(ApplicationConfig::validate(&ok).is_ok());
+        // The default is unlimited and always valid.
+        let def = builder(layout_with("inventory", None)).build().unwrap();
+        assert!(def.resilience.is_unlimited());
     }
 
     #[test]

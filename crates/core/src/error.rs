@@ -90,6 +90,10 @@ mod tests {
         assert_eq!(e.to_string(), "store: access denied");
         let e: PlatformError = ServiceError::UnknownEndpoint("x".into()).into();
         assert!(e.to_string().contains("unknown endpoint"));
+        let e: PlatformError = ServiceError::CircuitOpen { retry_after_ms: 25 }.into();
+        assert!(e.to_string().contains("circuit open"), "{e}");
+        let e: PlatformError = ServiceError::DeadlineCut { budget_ms: 7 }.into();
+        assert!(e.to_string().contains("deadline cut"), "{e}");
         let e: PlatformError = DesignError::NothingToUndo.into();
         assert!(e.to_string().contains("undo"));
         assert!(PlatformError::QuotaExceeded {

@@ -30,7 +30,7 @@ use crate::cache::{CacheStats, LruTtlCache};
 use crate::embed::{embed_snippet, SocialManifest};
 use crate::error::PlatformError;
 use crate::monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
-use crate::runtime::{execute_with_overrides, ExecMode, QueryResponse};
+use crate::runtime::{execute_resilient, ExecCtx, ExecMode, QueryResponse};
 use crate::source::Substrates;
 
 use parking_lot::Mutex;
@@ -78,6 +78,10 @@ struct HostedApp {
     cache: Mutex<LruTtlCache<String, QueryResponse>>,
     /// Request timestamps inside the current quota window.
     metering: Mutex<VecDeque<u64>>,
+    /// Queries served (cache hits included).
+    queries: AtomicU64,
+    /// Queries whose response was degraded (some source slot errored).
+    degraded_queries: AtomicU64,
 }
 
 /// The Symphony platform: substrates + hosted applications.
@@ -91,6 +95,9 @@ pub struct Platform {
     ads: AdServer,
     apps: Vec<HostedApp>,
     click_log: Mutex<ClickLog>,
+    /// Per-endpoint circuit breakers, shared by every hosted app
+    /// (lock-sharded internally).
+    breakers: symphony_services::BreakerRegistry,
     clock_ms: AtomicU64,
     quotas: QuotaConfig,
     mode: ExecMode,
@@ -124,6 +131,9 @@ impl Platform {
             ads: AdServer::new(),
             apps: Vec::new(),
             click_log: Mutex::new(ClickLog::new()),
+            breakers: symphony_services::BreakerRegistry::new(
+                symphony_services::BreakerConfig::default(),
+            ),
             clock_ms: AtomicU64::new(0),
             quotas: QuotaConfig::default(),
             mode: ExecMode::Parallel,
@@ -140,6 +150,22 @@ impl Platform {
     /// Override the fan-out mode (E1 ablation).
     pub fn with_mode(mut self, mode: ExecMode) -> Platform {
         self.mode = mode;
+        self
+    }
+
+    /// Override the circuit-breaker configuration
+    /// ([`BreakerConfig::disabled`](symphony_services::BreakerConfig::disabled)
+    /// restores the pre-breaker behaviour). Resets breaker state.
+    pub fn with_breaker_config(mut self, config: symphony_services::BreakerConfig) -> Platform {
+        self.breakers = symphony_services::BreakerRegistry::new(config);
+        self
+    }
+
+    /// Replace the transport with a freshly seeded one (chaos tests
+    /// run the same scenario over a seed grid). Call before
+    /// registering services: existing registrations are dropped.
+    pub fn with_transport_seed(mut self, seed: u64) -> Platform {
+        self.transport = symphony_services::SimulatedTransport::new(seed);
         self
     }
 
@@ -163,6 +189,17 @@ impl Platform {
     /// The web engine.
     pub fn engine(&self) -> &SearchEngine {
         &self.engine
+    }
+
+    /// The shared circuit breakers (inspection / manual reset).
+    pub fn breakers(&self) -> &symphony_services::BreakerRegistry {
+        &self.breakers
+    }
+
+    /// Breaker state for one endpoint at the current virtual time.
+    pub fn breaker_state(&self, endpoint: &str) -> symphony_services::BreakerState {
+        self.breakers
+            .state(endpoint, self.clock_ms.load(Ordering::SeqCst))
     }
 
     /// The store (tenant management through the normal keyed API).
@@ -213,6 +250,8 @@ impl Platform {
                 self.quotas.cache_ttl_ms,
             )),
             metering: Mutex::new(VecDeque::new()),
+            queries: AtomicU64::new(0),
+            degraded_queries: AtomicU64::new(0),
         });
         Ok(id)
     }
@@ -319,6 +358,7 @@ impl Platform {
                         "composition depth limit ({}) reached",
                         Self::MAX_COMPOSE_DEPTH
                     )),
+                    attempts: 0,
                 }
             } else {
                 let child_name = self
@@ -343,11 +383,13 @@ impl Platform {
                             .collect(),
                         virtual_ms: resp.virtual_ms,
                         error: None,
+                        attempts: 1,
                     },
                     Err(e) => crate::source::SourceOutcome {
                         items: Vec::new(),
                         virtual_ms: 0,
                         error: Some(e.to_string()),
+                        attempts: 0,
                     },
                 }
             };
@@ -397,6 +439,10 @@ impl Platform {
             resp.trace.cache_hit = true;
             resp.virtual_ms = CACHE_HIT_MS;
             resp.trace.total_ms = CACHE_HIT_MS;
+            hosted.queries.fetch_add(1, Ordering::Relaxed);
+            if resp.trace.degraded {
+                hosted.degraded_queries.fetch_add(1, Ordering::Relaxed);
+            }
             let at = self.advance_clock_by(CACHE_HIT_MS as u64);
             if log_interactions {
                 log_impressions(&self.click_log, app_name, query, &resp.impressions, at);
@@ -415,7 +461,21 @@ impl Platform {
             transport: Some(&self.transport),
             ads: Some(&self.ads),
         };
-        let resp = execute_with_overrides(&hosted.config, query, subs, self.mode, &overrides);
+        let resp = execute_resilient(
+            &hosted.config,
+            query,
+            subs,
+            self.mode,
+            &overrides,
+            &ExecCtx {
+                now_ms: now,
+                breakers: Some(&self.breakers),
+            },
+        );
+        hosted.queries.fetch_add(1, Ordering::Relaxed);
+        if resp.trace.degraded {
+            hosted.degraded_queries.fetch_add(1, Ordering::Relaxed);
+        }
         let at = self.advance_clock_by(resp.virtual_ms as u64);
         if log_interactions {
             log_impressions(&self.click_log, app_name, query, &resp.impressions, at);
@@ -484,13 +544,17 @@ impl Platform {
 
     // ---- Analytics --------------------------------------------------
 
-    /// Traffic summary for an app.
+    /// Traffic summary for an app, including the degraded-query error
+    /// rate.
     pub fn traffic_summary(&self, id: AppId) -> Result<TrafficSummary, PlatformError> {
         let app = self
             .apps
             .get(id.0 as usize)
             .ok_or(PlatformError::AppNotFound(id.0))?;
-        Ok(self.click_log.lock().summarize(&app.config.name))
+        let mut summary = self.click_log.lock().summarize(&app.config.name);
+        summary.queries = app.queries.load(Ordering::Relaxed);
+        summary.degraded_queries = app.degraded_queries.load(Ordering::Relaxed);
+        Ok(summary)
     }
 
     /// Per-virtual-day `(day, impressions, clicks)` series for an app.

@@ -73,13 +73,20 @@ pub mod runtime;
 pub mod source;
 pub mod trace;
 
-pub use app::{AppBuilder, AppId, ApplicationConfig, MonetizationConfig, SupplementalBinding};
+pub use app::{
+    AppBuilder, AppId, ApplicationConfig, MonetizationConfig, ResiliencePolicy, SupplementalBinding,
+};
 pub use cache::{CacheStats, LruTtlCache};
 pub use embed::{embed_snippet, SocialCanvasHost, SocialManifest};
 pub use error::PlatformError;
 pub use hosting::{Platform, QuotaConfig};
 pub use monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
 pub use recommend::{recommend_sites, recommend_sites_with_crowd, SiteRecommendation};
-pub use runtime::{execute, execute_with_overrides, ExecMode, QueryResponse};
-pub use source::{run_source, DataSourceDef, ResultItem, SourceOutcome, Substrates};
+pub use runtime::{
+    execute, execute_resilient, execute_with_overrides, ExecCtx, ExecMode, QueryResponse,
+    MAX_FANOUT_WORKERS,
+};
+pub use source::{
+    run_source, run_source_ctx, DataSourceDef, ResultItem, SourceCtx, SourceOutcome, Substrates,
+};
 pub use trace::{ExecutionTrace, TraceNode};

@@ -75,6 +75,11 @@ pub struct TrafficSummary {
     pub top_queries: Vec<(String, u64)>,
     /// Ad clicks (subset of clicks).
     pub ad_clicks: u64,
+    /// Queries served (filled by the hosting layer; the click log
+    /// alone cannot see queries that rendered zero impressions).
+    pub queries: u64,
+    /// Queries that served a degraded (partial) response.
+    pub degraded_queries: u64,
 }
 
 impl TrafficSummary {
@@ -84,6 +89,15 @@ impl TrafficSummary {
             0.0
         } else {
             self.clicks as f64 / self.impressions as f64
+        }
+    }
+
+    /// Fraction of queries that served a degraded response.
+    pub fn error_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.degraded_queries as f64 / self.queries as f64
         }
     }
 }
@@ -134,6 +148,8 @@ impl ClickLog {
             clicks_by_source,
             top_queries,
             ad_clicks,
+            queries: 0,
+            degraded_queries: 0,
         }
     }
 

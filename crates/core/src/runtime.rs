@@ -15,14 +15,17 @@
 //! the runtime combines them as `max` under parallel execution or
 //! `sum` under the sequential ablation.
 
-use crate::app::ApplicationConfig;
+use crate::app::{ApplicationConfig, ResiliencePolicy};
 use crate::monetize::Impression;
-use crate::source::{run_source, SourceOutcome, Substrates};
+use crate::source::{run_source_ctx, SourceCtx, SourceOutcome, Substrates};
 use crate::trace::{ExecutionTrace, TraceNode};
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicUsize, Ordering};
 
 use symphony_designer::{render_element, Element, ElementKind};
+use symphony_services::BreakerRegistry;
 
 /// Fan-out execution mode (E1 ablation).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -37,6 +40,21 @@ pub enum ExecMode {
 pub const RECEIVE_MS: u32 = 1;
 /// Fixed virtual cost of merging and formatting the response.
 pub const MERGE_MS: u32 = 2;
+/// Cap on OS threads a parallel fan-out may use. Virtual-time
+/// semantics (`max` combining) are unchanged; the cap only bounds
+/// real resource use per query.
+pub const MAX_FANOUT_WORKERS: usize = 16;
+
+/// Execution context the hosting layer threads into the runtime: the
+/// platform's virtual clock and its shared circuit breakers. The
+/// default (`now = 0`, no breakers) reproduces standalone execution.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExecCtx<'a> {
+    /// Virtual time at which the query arrives.
+    pub now_ms: u64,
+    /// Shared per-endpoint circuit breakers.
+    pub breakers: Option<&'a BreakerRegistry>,
+}
 
 /// The rendered response.
 #[derive(Debug, Clone, PartialEq)]
@@ -82,9 +100,66 @@ pub fn execute_with_overrides(
     mode: ExecMode,
     overrides: &HashMap<String, SourceOutcome>,
 ) -> QueryResponse {
+    execute_resilient(app, query, subs, mode, overrides, &ExecCtx::default())
+}
+
+/// The remaining fetch budget when `consumed` virtual ms of source
+/// work already happened: the per-source soft budget, further capped
+/// by what the query deadline leaves after the fixed receive/merge
+/// costs. `None` = unlimited.
+fn budget_for(policy: &ResiliencePolicy, consumed: u32) -> Option<u32> {
+    let from_deadline = (policy.query_deadline_ms != u32::MAX).then(|| {
+        policy
+            .query_deadline_ms
+            .saturating_sub(RECEIVE_MS + MERGE_MS + consumed)
+    });
+    let from_source =
+        (policy.per_source_budget_ms != u32::MAX).then_some(policy.per_source_budget_ms);
+    match (from_deadline, from_source) {
+        (None, b) => b,
+        (a, None) => a,
+        (Some(a), Some(b)) => Some(a.min(b)),
+    }
+}
+
+/// Soft outcome for a fan-out task whose source panicked: the slot
+/// degrades, the query survives.
+fn panic_outcome(source: &str, payload: &(dyn std::any::Any + Send)) -> SourceOutcome {
+    let msg = payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "unknown panic".to_string());
+    SourceOutcome {
+        items: Vec::new(),
+        virtual_ms: 0,
+        error: Some(format!("source {source:?} panicked: {msg}")),
+        attempts: 1,
+    }
+}
+
+/// Like [`execute_with_overrides`], under an execution context: the
+/// virtual clock position anchors deterministic latency draws and
+/// fault windows, the app's [`ResiliencePolicy`] bounds deadlines /
+/// budgets / retries, and the shared circuit breakers are consulted
+/// for every service fetch.
+pub fn execute_resilient(
+    app: &ApplicationConfig,
+    query: &str,
+    subs: Substrates<'_>,
+    mode: ExecMode,
+    overrides: &HashMap<String, SourceOutcome>,
+    ctx: &ExecCtx<'_>,
+) -> QueryResponse {
+    let policy = app.resilience;
+    // The query-wide retry pool; `None` = unlimited.
+    let mut retry_pool: Option<u32> =
+        (policy.max_total_retries != u32::MAX).then_some(policy.max_total_retries);
+
     // ---- Stage 1: primary content -------------------------------
     let primary_specs = app.primary_lists();
     let mut primary: HashMap<String, SourceOutcome> = HashMap::new();
+    let mut consumed_primary: u32 = 0; // sequential-mode accumulation
     for (source, max, _) in &primary_specs {
         if primary.contains_key(source) {
             continue;
@@ -93,16 +168,42 @@ pub fn execute_with_overrides(
             pre.clone()
         } else {
             match app.source(source) {
-                Some(cfg) => run_source(&cfg.def, query, *max, subs, app.constraint(source)),
+                Some(cfg) => {
+                    let consumed = match mode {
+                        ExecMode::Parallel => 0,
+                        ExecMode::Sequential => consumed_primary,
+                    };
+                    let sctx = SourceCtx {
+                        now_ms: ctx.now_ms + (RECEIVE_MS + consumed) as u64,
+                        budget_ms: budget_for(&policy, consumed),
+                        retries_allowed: retry_pool,
+                        breakers: ctx.breakers,
+                    };
+                    run_source_ctx(&cfg.def, query, *max, subs, app.constraint(source), &sctx)
+                }
                 None => SourceOutcome {
                     items: Vec::new(),
                     virtual_ms: 0,
                     error: Some(format!("source {source:?} not configured")),
+                    attempts: 0,
                 },
             }
         };
+        // Deduct retries in configuration order (primaries execute in
+        // a plain loop, so this is deterministic in both modes).
+        if let Some(pool) = retry_pool.as_mut() {
+            *pool = pool.saturating_sub(outcome.attempts.saturating_sub(1));
+        }
+        consumed_primary += outcome.virtual_ms;
         primary.insert(source.clone(), outcome);
     }
+    let primary_ms = {
+        let iter = primary.values().map(|o| o.virtual_ms);
+        match mode {
+            ExecMode::Parallel => iter.max().unwrap_or(0),
+            ExecMode::Sequential => iter.sum(),
+        }
+    };
 
     // ---- Stage 2: supplemental fan-out ---------------------------
     let mut tasks: Vec<FanoutTask> = Vec::new();
@@ -134,17 +235,95 @@ pub fn execute_with_overrides(
     }
 
     let outcomes: Vec<SourceOutcome> = match mode {
-        ExecMode::Sequential => tasks.iter().map(|t| dispatch(app, t, subs)).collect(),
-        ExecMode::Parallel => std::thread::scope(|scope| {
-            let handles: Vec<_> = tasks
-                .iter()
-                .map(|t| scope.spawn(move || dispatch(app, t, subs)))
-                .collect();
-            handles
+        ExecMode::Sequential => {
+            let mut out = Vec::with_capacity(tasks.len());
+            let mut consumed = primary_ms;
+            for t in &tasks {
+                let sctx = SourceCtx {
+                    now_ms: ctx.now_ms + (RECEIVE_MS + consumed) as u64,
+                    budget_ms: budget_for(&policy, consumed),
+                    retries_allowed: retry_pool,
+                    breakers: ctx.breakers,
+                };
+                let o =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(app, t, subs, &sctx)))
+                        .unwrap_or_else(|p| panic_outcome(&t.source, p.as_ref()));
+                if let Some(pool) = retry_pool.as_mut() {
+                    *pool = pool.saturating_sub(o.attempts.saturating_sub(1));
+                }
+                consumed += o.virtual_ms;
+                out.push(o);
+            }
+            out
+        }
+        ExecMode::Parallel => {
+            // All fan-out fetches start together, once the primaries
+            // are in: same virtual start time and deadline budget.
+            let n = tasks.len();
+            let start_ms = ctx.now_ms + (RECEIVE_MS + primary_ms) as u64;
+            let budget = budget_for(&policy, primary_ms);
+            // Pre-split the retry pool across tasks: sharing one
+            // mutable pool between racing workers would make grants
+            // depend on thread scheduling.
+            let grants: Vec<Option<u32>> = match retry_pool {
+                None => vec![None; n],
+                Some(pool) => (0..n as u32)
+                    .map(|i| Some(pool / n as u32 + u32::from(i < pool % n as u32)))
+                    .collect(),
+            };
+            // Bounded chunk pool: at most MAX_FANOUT_WORKERS OS
+            // threads pull tasks off a shared index. One panicking
+            // source degrades its own slot only.
+            let workers = n.min(MAX_FANOUT_WORKERS);
+            let next = AtomicUsize::new(0);
+            let mut slots: Vec<Option<SourceOutcome>> = (0..n).map(|_| None).collect();
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| {
+                        let next = &next;
+                        let tasks = &tasks;
+                        let grants = &grants;
+                        scope.spawn(move || {
+                            let mut local = Vec::new();
+                            loop {
+                                let i = next.fetch_add(1, Ordering::Relaxed);
+                                if i >= tasks.len() {
+                                    break;
+                                }
+                                let t = &tasks[i];
+                                let sctx = SourceCtx {
+                                    now_ms: start_ms,
+                                    budget_ms: budget,
+                                    retries_allowed: grants[i],
+                                    breakers: ctx.breakers,
+                                };
+                                let o = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    dispatch(app, t, subs, &sctx)
+                                }))
+                                .unwrap_or_else(|p| panic_outcome(&t.source, p.as_ref()));
+                                local.push((i, o));
+                            }
+                            local
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    for (i, o) in h.join().expect("fan-out pool worker died") {
+                        slots[i] = Some(o);
+                    }
+                }
+            });
+            let outcomes: Vec<SourceOutcome> = slots
                 .into_iter()
-                .map(|h| h.join().expect("fan-out worker panicked"))
-                .collect()
-        }),
+                .map(|o| o.expect("every fan-out task ran"))
+                .collect();
+            if let Some(pool) = retry_pool.as_mut() {
+                for o in &outcomes {
+                    *pool = pool.saturating_sub(o.attempts.saturating_sub(1));
+                }
+            }
+            outcomes
+        }
     };
     let mut suppl: HashMap<(String, usize, String), SourceOutcome> = HashMap::new();
     let mut fanout_trace: Vec<TraceNode> = Vec::new();
@@ -161,16 +340,17 @@ pub fn execute_with_overrides(
     }
 
     // ---- Virtual-time accounting ---------------------------------
-    let primary_ms_iter = primary.values().map(|o| o.virtual_ms);
     let suppl_ms_iter = suppl.values().map(|o| o.virtual_ms);
-    let (primary_ms, suppl_ms) = match mode {
-        ExecMode::Parallel => (
-            primary_ms_iter.max().unwrap_or(0),
-            suppl_ms_iter.max().unwrap_or(0),
-        ),
-        ExecMode::Sequential => (primary_ms_iter.sum(), suppl_ms_iter.sum()),
+    let suppl_ms = match mode {
+        ExecMode::Parallel => suppl_ms_iter.max().unwrap_or(0),
+        ExecMode::Sequential => suppl_ms_iter.sum(),
     };
     let total_ms = RECEIVE_MS + primary_ms + suppl_ms + MERGE_MS;
+    let error_count = primary
+        .values()
+        .chain(suppl.values())
+        .filter(|o| o.error.is_some())
+        .count() as u32;
 
     // ---- Stage 3: merge + format (render to HTML) ----------------
     let impressions: RefCell<Vec<Impression>> = RefCell::new(Vec::new());
@@ -242,7 +422,11 @@ pub fn execute_with_overrides(
             "supplemental fan-out",
             suppl_ms,
             match mode {
-                ExecMode::Parallel => format!("parallel: max of {} fetches", fanout_trace.len()),
+                ExecMode::Parallel => format!(
+                    "parallel: max of {} fetches ({} workers)",
+                    fanout_trace.len(),
+                    fanout_trace.len().min(MAX_FANOUT_WORKERS)
+                ),
                 ExecMode::Sequential => {
                     format!("sequential: sum of {} fetches", fanout_trace.len())
                 }
@@ -263,6 +447,8 @@ pub fn execute_with_overrides(
             query: query.to_string(),
             total_ms,
             cache_hit: false,
+            error_count,
+            degraded: error_count > 0,
             stages,
         },
         virtual_ms: total_ms,
@@ -270,19 +456,26 @@ pub fn execute_with_overrides(
     }
 }
 
-fn dispatch(app: &ApplicationConfig, task: &FanoutTask, subs: Substrates<'_>) -> SourceOutcome {
+fn dispatch(
+    app: &ApplicationConfig,
+    task: &FanoutTask,
+    subs: Substrates<'_>,
+    sctx: &SourceCtx<'_>,
+) -> SourceOutcome {
     match app.source(&task.source) {
-        Some(cfg) => run_source(
+        Some(cfg) => run_source_ctx(
             &cfg.def,
             &task.query,
             task.k,
             subs,
             app.constraint(&task.source),
+            sctx,
         ),
         None => SourceOutcome {
             items: Vec::new(),
             virtual_ms: 0,
             error: Some(format!("source {:?} not configured", task.source)),
+            attempts: 0,
         },
     }
 }
@@ -524,6 +717,212 @@ mod tests {
         assert!(resp.html.contains("Galactic Raiders"));
         let fanout = resp.trace.find("supplemental: reviews").unwrap();
         assert!(fanout.detail.contains("error"));
+    }
+
+    /// Service that tracks peak concurrent in-flight handlers.
+    struct ProbeService {
+        current: std::sync::Arc<AtomicUsize>,
+        peak: std::sync::Arc<AtomicUsize>,
+    }
+
+    impl symphony_services::Service for ProbeService {
+        fn describe(&self) -> symphony_services::ServiceDescription {
+            symphony_services::ServiceDescription {
+                name: "probe".into(),
+                protocol: symphony_services::Protocol::Rest,
+                operations: vec![symphony_services::OperationDesc {
+                    name: "/price".into(),
+                    params: vec!["item".into()],
+                    returns: vec!["item".into(), "price".into()],
+                }],
+            }
+        }
+
+        fn handle(
+            &self,
+            request: &symphony_services::ServiceRequest,
+        ) -> Result<symphony_services::ServiceResponse, symphony_services::ServiceFault> {
+            let now = self.current.fetch_add(1, Ordering::SeqCst) + 1;
+            self.peak.fetch_max(now, Ordering::SeqCst);
+            // Real (not virtual) dwell so workers genuinely overlap.
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            self.current.fetch_sub(1, Ordering::SeqCst);
+            Ok(symphony_services::ServiceResponse::single(&[
+                ("item", request.param("item").unwrap_or("?")),
+                ("price", "1.00"),
+            ]))
+        }
+    }
+
+    /// Service that always panics (misbehaving third-party code).
+    struct PanicService;
+
+    impl symphony_services::Service for PanicService {
+        fn describe(&self) -> symphony_services::ServiceDescription {
+            symphony_services::ServiceDescription {
+                name: "unstable".into(),
+                protocol: symphony_services::Protocol::Rest,
+                operations: vec![],
+            }
+        }
+
+        fn handle(
+            &self,
+            _request: &symphony_services::ServiceRequest,
+        ) -> Result<symphony_services::ServiceResponse, symphony_services::ServiceFault> {
+            panic!("unstable service blew up");
+        }
+    }
+
+    /// A wide app: `rows` catalog items, each with one service
+    /// supplemental — `rows` fan-out tasks.
+    fn wide_app(
+        rows: usize,
+        endpoint: &str,
+    ) -> (
+        Store,
+        TenantId,
+        symphony_store::AccessKey,
+        ApplicationConfig,
+    ) {
+        let mut store = Store::new();
+        let (tenant, key) = store.create_tenant("Wide");
+        let mut csv = String::from("title,description\n");
+        for i in 0..rows {
+            csv.push_str(&format!("Gadget {i},a shiny gadget\n"));
+        }
+        let (table, _) = ingest("catalog", &csv, DataFormat::Csv).unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("description", 1.0)])
+            .unwrap();
+        store.space_mut(tenant, &key).unwrap().put_table(indexed);
+
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        let item = Element::column(vec![
+            Element::text("{title}"),
+            Element::result_list(endpoint, Element::text("{price}"), 1),
+        ]);
+        canvas
+            .insert(root, Element::result_list("catalog", item, rows))
+            .unwrap();
+        let app = AppBuilder::new("Wide", tenant)
+            .layout(canvas)
+            .source(
+                "catalog",
+                DataSourceDef::Proprietary {
+                    table: "catalog".into(),
+                },
+            )
+            .source(
+                endpoint,
+                DataSourceDef::Service {
+                    endpoint: endpoint.into(),
+                    operation: "/price".into(),
+                    item_param: "item".into(),
+                    policy: CallPolicy::default(),
+                },
+            )
+            .supplemental(endpoint, "{title}")
+            .build()
+            .unwrap();
+        (store, tenant, key, app)
+    }
+
+    #[test]
+    fn fanout_pool_is_bounded_with_many_tasks() {
+        let current = std::sync::Arc::new(AtomicUsize::new(0));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut transport = SimulatedTransport::new(7);
+        transport.register(
+            "probe",
+            Box::new(ProbeService {
+                current: current.clone(),
+                peak: peak.clone(),
+            }),
+            LatencyModel::fast(),
+        );
+        let (store, tenant, key, app) = wide_app(120, "probe");
+        let subs = Substrates {
+            space: Some(store.space(tenant, &key).unwrap()),
+            engine: None,
+            transport: Some(&transport),
+            ads: None,
+        };
+        let resp = execute(&app, "gadget", subs, ExecMode::Parallel);
+        let fanout = resp.trace.find("supplemental fan-out").unwrap();
+        assert!(
+            fanout.children.len() >= 100,
+            "expected a wide fan-out, got {}",
+            fanout.children.len()
+        );
+        assert!(
+            peak.load(Ordering::SeqCst) <= MAX_FANOUT_WORKERS,
+            "peak concurrency {} exceeded the {MAX_FANOUT_WORKERS}-worker cap",
+            peak.load(Ordering::SeqCst)
+        );
+        // Virtual time still combines as max, not sum.
+        assert!(
+            resp.virtual_ms <= RECEIVE_MS + 5 + 10 + MERGE_MS,
+            "parallel virtual time must be max-combined, got {}",
+            resp.virtual_ms
+        );
+        assert!(fanout.detail.contains("workers"), "{}", fanout.detail);
+        assert!(!resp.trace.degraded);
+    }
+
+    #[test]
+    fn panicking_service_degrades_its_slot_only() {
+        let mut transport = SimulatedTransport::new(7);
+        transport.register("unstable", Box::new(PanicService), LatencyModel::fast());
+        let (store, tenant, key, app) = wide_app(3, "unstable");
+        let subs = Substrates {
+            space: Some(store.space(tenant, &key).unwrap()),
+            engine: None,
+            transport: Some(&transport),
+            ads: None,
+        };
+        let resp = execute(&app, "gadget", subs, ExecMode::Parallel);
+        // The primary list still renders every item.
+        assert!(resp.html.contains("Gadget 0"), "{}", resp.html);
+        assert!(resp.html.contains("Gadget 2"), "{}", resp.html);
+        // Each panicked slot degraded softly.
+        assert!(resp.trace.degraded);
+        assert_eq!(resp.trace.error_count, 3);
+        let slot = resp.trace.find("supplemental: unstable").unwrap();
+        assert!(slot.detail.contains("panicked"), "{}", slot.detail);
+        assert!(slot.detail.contains("unstable service blew up"));
+    }
+
+    #[test]
+    fn deadline_cuts_slow_supplementals_but_renders_primaries() {
+        let w = world();
+        let mut app = gamer_queen(&w);
+        app.resilience = crate::app::ResiliencePolicy {
+            query_deadline_ms: 20,
+            ..Default::default()
+        };
+        let resp = execute(&app, "space shooter", subs(&w), ExecMode::Parallel);
+        // Deadline held: receive(1) + inventory(5) + suppl(≤12) + merge(2).
+        assert!(
+            resp.virtual_ms <= 20,
+            "deadline blown: {} ms",
+            resp.virtual_ms
+        );
+        // Primary content renders; the 35-ms web fetch is cut for free.
+        assert!(resp.html.contains("Galactic Raiders"));
+        assert!(resp.trace.degraded);
+        let reviews = resp.trace.find("supplemental: reviews").unwrap();
+        assert!(
+            reviews.detail.contains("deadline cut"),
+            "{}",
+            reviews.detail
+        );
+        assert_eq!(reviews.virtual_ms, 0);
+        // The fast pricing service still fits in the remaining budget.
+        let pricing = resp.trace.find("supplemental: pricing").unwrap();
+        assert!(pricing.detail.contains("results"), "{}", pricing.detail);
     }
 
     #[test]

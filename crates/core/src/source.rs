@@ -9,7 +9,10 @@
 //! virtual time the source took.
 
 use symphony_ads::AdServer;
-use symphony_services::{CallPolicy, ServiceClient, ServiceRequest, SimulatedTransport};
+use symphony_services::{
+    BreakerRegistry, CallPolicy, ResilienceContext, ServiceClient, ServiceError, ServiceRequest,
+    SimulatedTransport,
+};
 use symphony_store::TenantSpace;
 use symphony_web::{SearchConfig, SearchEngine, Vertical};
 
@@ -166,6 +169,39 @@ pub struct SourceOutcome {
     /// Soft error: the runtime degrades gracefully (paper: results
     /// merge whatever content arrived), recording what went wrong.
     pub error: Option<String>,
+    /// Transport attempts made (1 for local sources; >1 when a
+    /// service call was retried; 0 when nothing was attempted — e.g.
+    /// a breaker fast-fail or a deadline cut before the wire). The
+    /// runtime deducts `attempts - 1` from the query's retry budget.
+    pub attempts: u32,
+}
+
+/// Per-fetch resilience context the runtime threads into
+/// [`run_source_ctx`]: where on the virtual clock the fetch starts,
+/// how much of the query deadline it may spend, how many retries the
+/// query's retry budget still grants, and the platform's shared
+/// circuit-breaker registry.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SourceCtx<'a> {
+    /// Virtual time at which the fetch starts.
+    pub now_ms: u64,
+    /// Budget in virtual ms for the whole fetch (`None` = unlimited).
+    pub budget_ms: Option<u32>,
+    /// Retries granted from the per-query retry budget (`None` =
+    /// the source's own policy decides alone).
+    pub retries_allowed: Option<u32>,
+    /// Shared circuit breakers (service sources only).
+    pub breakers: Option<&'a BreakerRegistry>,
+}
+
+impl<'a> SourceCtx<'a> {
+    /// Context at a virtual time with no limits.
+    pub fn at(now_ms: u64) -> Self {
+        SourceCtx {
+            now_ms,
+            ..Default::default()
+        }
+    }
 }
 
 /// Shared references to every substrate a source may need.
@@ -215,6 +251,35 @@ pub fn run_source(
     subs: Substrates<'_>,
     constraint: Option<&symphony_store::Filter>,
 ) -> SourceOutcome {
+    run_source_ctx(def, query, k, subs, constraint, &SourceCtx::default())
+}
+
+/// Like [`run_source`], under a resilience context: the fetch starts
+/// at `ctx.now_ms` on the virtual clock, may not spend more than
+/// `ctx.budget_ms`, and service calls respect the retry grant and the
+/// circuit breakers. A fetch whose budget cannot even cover the
+/// source's fixed cost is cut before it starts — a degraded slot, not
+/// a stall.
+pub fn run_source_ctx(
+    def: &DataSourceDef,
+    query: &str,
+    k: usize,
+    subs: Substrates<'_>,
+    constraint: Option<&symphony_store::Filter>,
+    ctx: &SourceCtx<'_>,
+) -> SourceOutcome {
+    // Fixed-cost local sources: cut when the budget can't cover them.
+    let fixed_cost = match def {
+        DataSourceDef::Proprietary { .. } => Some(PROPRIETARY_MS),
+        DataSourceDef::WebVertical { .. } => Some(WEB_MS),
+        DataSourceDef::Ads { .. } => Some(ADS_MS),
+        DataSourceDef::Service { .. } | DataSourceDef::ComposedApp { .. } => None,
+    };
+    if let (Some(cost), Some(budget)) = (fixed_cost, ctx.budget_ms) {
+        if budget < cost {
+            return deadline_cut(budget);
+        }
+    }
     match def {
         DataSourceDef::Proprietary { table } => {
             let Some(space) = subs.space else {
@@ -257,6 +322,7 @@ pub fn run_source(
                 items,
                 virtual_ms: PROPRIETARY_MS,
                 error: None,
+                attempts: 1,
             }
         }
         DataSourceDef::WebVertical { vertical, config } => {
@@ -292,6 +358,7 @@ pub fn run_source(
                 items,
                 virtual_ms: WEB_MS,
                 error: None,
+                attempts: 1,
             }
         }
         DataSourceDef::Service {
@@ -305,7 +372,13 @@ pub fn run_source(
             };
             let client = ServiceClient::with_policy(transport, *policy);
             let request = ServiceRequest::get(operation, &[(item_param, query)]);
-            match client.call(endpoint, &request) {
+            let rctx = ResilienceContext {
+                now_ms: ctx.now_ms,
+                budget_ms: ctx.budget_ms,
+                max_retries: ctx.retries_allowed,
+                breakers: ctx.breakers,
+            };
+            match client.call_resilient(endpoint, &request, &rctx) {
                 Ok(out) => SourceOutcome {
                     items: out
                         .response
@@ -316,8 +389,23 @@ pub fn run_source(
                         .collect(),
                     virtual_ms: out.total_latency_ms,
                     error: None,
+                    attempts: out.attempts,
                 },
-                Err((e, burned)) => soft_err(&e.to_string(), burned),
+                Err((e, burned)) => {
+                    // How many transport attempts the failure consumed
+                    // (the retry budget is charged for each).
+                    let attempts = match &e {
+                        ServiceError::CircuitOpen { .. } => 0,
+                        ServiceError::UnknownEndpoint(_) | ServiceError::Fault(_) => 1,
+                        _ => policy.retries.min(ctx.retries_allowed.unwrap_or(u32::MAX)) + 1,
+                    };
+                    SourceOutcome {
+                        items: Vec::new(),
+                        virtual_ms: burned,
+                        error: Some(e.to_string()),
+                        attempts,
+                    }
+                }
             }
         }
         DataSourceDef::ComposedApp { app } => soft_err(
@@ -352,6 +440,7 @@ pub fn run_source(
                 items,
                 virtual_ms: ADS_MS,
                 error: None,
+                attempts: 1,
             }
         }
     }
@@ -362,6 +451,18 @@ fn soft_err(msg: &str, virtual_ms: u32) -> SourceOutcome {
         items: Vec::new(),
         virtual_ms,
         error: Some(msg.to_string()),
+        attempts: 1,
+    }
+}
+
+/// A fetch cut before it started because the remaining deadline
+/// budget cannot cover it: free (0 virtual ms), no attempt made.
+fn deadline_cut(budget_ms: u32) -> SourceOutcome {
+    SourceOutcome {
+        items: Vec::new(),
+        virtual_ms: 0,
+        error: Some(ServiceError::DeadlineCut { budget_ms }.to_string()),
+        attempts: 0,
     }
 }
 
@@ -582,6 +683,126 @@ mod tests {
         let out = run_source(&def, "q", 5, none_subs(), None);
         assert!(out.items.is_empty());
         assert!(out.error.unwrap().contains("hosting layer"));
+    }
+
+    #[test]
+    fn budget_below_fixed_cost_cuts_local_sources_for_free() {
+        let (store, tenant, key) = store_with_inventory();
+        let space = store.space(tenant, &key).unwrap();
+        let ctx = SourceCtx {
+            budget_ms: Some(PROPRIETARY_MS - 1),
+            ..SourceCtx::at(0)
+        };
+        let out = run_source_ctx(
+            &DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+            "shooter",
+            5,
+            Substrates {
+                space: Some(space),
+                ..none_subs()
+            },
+            None,
+            &ctx,
+        );
+        assert!(out.error.unwrap().contains("deadline cut"));
+        assert_eq!(out.virtual_ms, 0);
+        assert_eq!(out.attempts, 0);
+        // A budget that covers the cost runs normally.
+        let ok = run_source_ctx(
+            &DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+            "shooter",
+            5,
+            Substrates {
+                space: Some(space),
+                ..none_subs()
+            },
+            None,
+            &SourceCtx {
+                budget_ms: Some(PROPRIETARY_MS),
+                ..SourceCtx::at(0)
+            },
+        );
+        assert!(ok.error.is_none());
+        assert_eq!(ok.virtual_ms, PROPRIETARY_MS);
+    }
+
+    #[test]
+    fn open_breaker_degrades_service_source_in_zero_ms() {
+        use symphony_services::{BreakerConfig, BreakerRegistry};
+        let mut transport = SimulatedTransport::new(1);
+        transport.register("pricing", Box::new(PricingService), LatencyModel::fast());
+        let breakers = BreakerRegistry::new(BreakerConfig {
+            failure_threshold: 1,
+            open_ms: 10_000,
+            half_open_successes: 1,
+        });
+        breakers.record("pricing", 0, false); // trip it
+        let out = run_source_ctx(
+            &DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: CallPolicy::default(),
+            },
+            "Galactic Raiders",
+            5,
+            Substrates {
+                transport: Some(&transport),
+                ..none_subs()
+            },
+            None,
+            &SourceCtx {
+                breakers: Some(&breakers),
+                ..SourceCtx::at(100)
+            },
+        );
+        assert!(out.error.unwrap().contains("circuit open"));
+        assert_eq!(out.virtual_ms, 0);
+        assert_eq!(out.attempts, 0);
+    }
+
+    #[test]
+    fn service_deadline_budget_caps_burned_time() {
+        let mut transport = SimulatedTransport::new(1);
+        transport.register(
+            "pricing",
+            Box::new(PricingService),
+            LatencyModel {
+                base_ms: 500,
+                jitter_ms: 0,
+                failure_rate: 0.0,
+            },
+        );
+        let out = run_source_ctx(
+            &DataSourceDef::Service {
+                endpoint: "pricing".into(),
+                operation: "/price".into(),
+                item_param: "item".into(),
+                policy: CallPolicy {
+                    timeout_ms: 400,
+                    retries: 3,
+                    ..CallPolicy::default()
+                },
+            },
+            "Galactic Raiders",
+            5,
+            Substrates {
+                transport: Some(&transport),
+                ..none_subs()
+            },
+            None,
+            &SourceCtx {
+                budget_ms: Some(60),
+                ..SourceCtx::at(0)
+            },
+        );
+        // One attempt times out at the 60ms budget, the rest are cut.
+        assert!(out.error.is_some());
+        assert_eq!(out.virtual_ms, 60);
     }
 
     #[test]

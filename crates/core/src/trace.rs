@@ -62,6 +62,12 @@ pub struct ExecutionTrace {
     pub total_ms: u32,
     /// Whether the response came from the result cache.
     pub cache_hit: bool,
+    /// Number of source fetches that ended in a soft error (their
+    /// slots rendered degraded).
+    pub error_count: u32,
+    /// True when any slot degraded — the response served partial
+    /// results.
+    pub degraded: bool,
     /// Stage tree.
     pub stages: Vec<TraceNode>,
 }
@@ -76,6 +82,13 @@ impl ExecutionTrace {
             self.total_ms,
             if self.cache_hit { " (cache hit)" } else { "" }
         );
+        if self.degraded {
+            out.push_str(&format!(
+                "  (degraded: {} source error{})\n",
+                self.error_count,
+                if self.error_count == 1 { "" } else { "s" }
+            ));
+        }
         fn go(node: &TraceNode, depth: usize, out: &mut String) {
             out.push_str(&"  ".repeat(depth + 1));
             out.push_str(&format!("├─ {} [{} ms]", node.label, node.virtual_ms));
@@ -120,6 +133,8 @@ mod tests {
             query: "space shooter".into(),
             total_ms: 87,
             cache_hit: false,
+            error_count: 0,
+            degraded: false,
             stages: vec![
                 TraceNode::leaf("receive snippet request", 1, ""),
                 TraceNode::group(
@@ -160,5 +175,14 @@ mod tests {
     #[test]
     fn node_count() {
         assert_eq!(trace().stages[1].node_count(), 2);
+    }
+
+    #[test]
+    fn degraded_marker_in_render() {
+        let mut t = trace();
+        assert!(!t.render().contains("degraded"));
+        t.error_count = 2;
+        t.degraded = true;
+        assert!(t.render().contains("degraded: 2 source errors"));
     }
 }

@@ -10,7 +10,9 @@
 //! * [`message`] — protocol-tagged requests, record-set responses.
 //! * [`service`] — the [`Service`] trait and self-descriptions.
 //! * [`transport`] — endpoint registry + latency/failure model.
-//! * [`client`] — timeout/retry policy wrapper.
+//! * [`client`] — timeout/retry/backoff/hedging policy wrapper.
+//! * [`breaker`] — per-endpoint circuit breakers on the virtual clock.
+//! * [`fault`] — deterministic fault injection scheduled in virtual time.
 //! * [`builtin`] — the pricing / in-stock / blurb services the paper's
 //!   GamerQueen scenario plugs in.
 //!
@@ -33,14 +35,18 @@
 
 #![warn(missing_docs)]
 
+pub mod breaker;
 pub mod builtin;
 pub mod client;
+pub mod fault;
 pub mod message;
 pub mod service;
 pub mod transport;
 
+pub use breaker::{Admission, BreakerConfig, BreakerRegistry, BreakerState};
 pub use builtin::{InventoryService, PricingService, ReviewBlurbService};
-pub use client::{CallPolicy, ClientOutcome, ServiceClient};
+pub use client::{CallPolicy, ClientOutcome, ResilienceContext, ServiceClient};
+pub use fault::{ActiveFaults, FaultEffect, FaultPlan, FaultWindow};
 pub use message::{ServiceRecord, ServiceRequest, ServiceResponse};
 pub use service::{OperationDesc, Protocol, Service, ServiceDescription, ServiceFault};
 pub use transport::{CallOutcome, LatencyModel, ServiceError, SimulatedTransport};

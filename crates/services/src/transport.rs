@@ -7,6 +7,7 @@
 //! math (`total = max(...)` instead of `sum(...)`). Determinism comes
 //! from a per-transport seeded RNG.
 
+use crate::fault::FaultPlan;
 use crate::message::{ServiceRequest, ServiceResponse};
 use crate::service::{Service, ServiceDescription, ServiceFault};
 use parking_lot::Mutex;
@@ -72,6 +73,18 @@ pub enum ServiceError {
     },
     /// The service itself returned a fault.
     Fault(ServiceFault),
+    /// The endpoint's circuit breaker is open: rejected without a
+    /// network attempt (~0 virtual ms burned).
+    CircuitOpen {
+        /// Virtual ms until half-open probes will be admitted.
+        retry_after_ms: u64,
+    },
+    /// The caller's deadline budget was exhausted before (or while)
+    /// attempting the call.
+    DeadlineCut {
+        /// The budget that was exhausted.
+        budget_ms: u32,
+    },
 }
 
 impl std::fmt::Display for ServiceError {
@@ -83,6 +96,12 @@ impl std::fmt::Display for ServiceError {
             }
             ServiceError::Timeout { timeout_ms } => write!(f, "timed out at {timeout_ms}ms"),
             ServiceError::Fault(fault) => write!(f, "{fault}"),
+            ServiceError::CircuitOpen { retry_after_ms } => {
+                write!(f, "circuit open: fast-fail, retry in {retry_after_ms}ms")
+            }
+            ServiceError::DeadlineCut { budget_ms } => {
+                write!(f, "deadline cut: budget of {budget_ms}ms exhausted")
+            }
         }
     }
 }
@@ -106,13 +125,17 @@ struct Endpoint {
 /// The endpoint registry + simulated network.
 pub struct SimulatedTransport {
     endpoints: BTreeMap<String, Endpoint>,
+    seed: u64,
     rng: Mutex<StdRng>,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for SimulatedTransport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("SimulatedTransport")
             .field("endpoints", &self.endpoints.keys().collect::<Vec<_>>())
+            .field("seed", &self.seed)
+            .field("faults", &self.faults.windows().len())
             .finish()
     }
 }
@@ -122,8 +145,22 @@ impl SimulatedTransport {
     pub fn new(seed: u64) -> SimulatedTransport {
         SimulatedTransport {
             endpoints: BTreeMap::new(),
+            seed,
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
+            faults: FaultPlan::new(),
         }
+    }
+
+    /// Install a fault-injection plan (replacing any previous one).
+    /// Faults apply to the virtual-clock call path
+    /// ([`SimulatedTransport::call_at`]).
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.faults = plan;
+    }
+
+    /// The installed fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
     }
 
     /// Register a service at `endpoint` with a latency model.
@@ -176,6 +213,111 @@ impl SimulatedTransport {
             latency_ms,
         })
     }
+
+    /// Make one call at virtual time `now_ms`, attempt number
+    /// `attempt` (0 = first try; retries and hedges use distinct
+    /// tags so they draw independent latencies).
+    ///
+    /// Unlike [`SimulatedTransport::call`], whose draws come from a
+    /// shared RNG stream (and therefore depend on the global order of
+    /// calls), this path derives latency and failure from a pure hash
+    /// of `(seed, endpoint, request, now_ms, attempt)`. Concurrent
+    /// fan-out workers get identical outcomes regardless of thread
+    /// scheduling — the property the chaos suite's exact assertions
+    /// rest on. The installed [`FaultPlan`] composes on top: outages
+    /// hang the call (the caller's timeout converts that into a
+    /// charged timeout), spikes and ramps add latency, bursts raise
+    /// the failure probability.
+    pub fn call_at(
+        &self,
+        endpoint: &str,
+        request: &ServiceRequest,
+        now_ms: u64,
+        attempt: u32,
+    ) -> Result<CallOutcome, ServiceError> {
+        let ep = self
+            .endpoints
+            .get(endpoint)
+            .ok_or_else(|| ServiceError::UnknownEndpoint(endpoint.to_string()))?;
+        let active = self.faults.active(endpoint, now_ms);
+        if active.outage {
+            // The connection hangs forever; the client charges its
+            // timeout. `u32::MAX` marks "never completed".
+            return Err(ServiceError::TransportFailure {
+                elapsed_ms: u32::MAX,
+            });
+        }
+        let mut h = splitmix64(self.seed ^ 0x53_59_4D_50_48_4F_4E_59); // "SYMPHONY"
+        for b in endpoint.bytes() {
+            h = splitmix64(h ^ b as u64);
+        }
+        h = splitmix64(h ^ request_fingerprint(request));
+        h = splitmix64(h ^ now_ms);
+        h = splitmix64(h ^ attempt as u64);
+        let jitter = if ep.latency.jitter_ms > 0 {
+            (h % (ep.latency.jitter_ms as u64 + 1)) as u32
+        } else {
+            0
+        };
+        let latency_ms = ep
+            .latency
+            .base_ms
+            .saturating_add(jitter)
+            .saturating_add(active.add_ms);
+        let failure_rate = ep.latency.failure_rate.max(active.failure_rate).min(1.0);
+        let failed = failure_rate > 0.0 && {
+            let draw = splitmix64(h) as f64 / u64::MAX as f64;
+            draw < failure_rate
+        };
+        if failed {
+            return Err(ServiceError::TransportFailure {
+                elapsed_ms: latency_ms,
+            });
+        }
+        let response = ep.service.handle(request).map_err(ServiceError::Fault)?;
+        Ok(CallOutcome {
+            response,
+            latency_ms,
+        })
+    }
+}
+
+/// SplitMix64 mixing step: the deterministic "network noise" of the
+/// virtual-clock call path.
+pub(crate) fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn request_fingerprint(request: &ServiceRequest) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |s: &str| {
+        for b in s.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h ^= 0xFF;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    match request {
+        ServiceRequest::Rest(r) => {
+            eat(&r.path);
+            for (k, v) in &r.params {
+                eat(k);
+                eat(v);
+            }
+        }
+        ServiceRequest::Soap(s) => {
+            eat(&s.operation);
+            for (k, v) in &s.args {
+                eat(k);
+                eat(v);
+            }
+        }
+    }
+    h
 }
 
 #[cfg(test)]
@@ -278,5 +420,79 @@ mod tests {
         assert!(ServiceError::TransportFailure { elapsed_ms: 7 }
             .to_string()
             .contains("7"));
+        assert!(ServiceError::CircuitOpen {
+            retry_after_ms: 250
+        }
+        .to_string()
+        .contains("circuit open"));
+        assert!(ServiceError::DeadlineCut { budget_ms: 40 }
+            .to_string()
+            .contains("deadline cut"));
+    }
+
+    #[test]
+    fn call_at_is_a_pure_function_of_its_inputs() {
+        let t = transport(0.0);
+        let req = ServiceRequest::get("/v", &[]);
+        let a = t.call_at("svc", &req, 100, 0).unwrap().latency_ms;
+        // Same inputs, same draw — order and repetition don't matter.
+        for _ in 0..5 {
+            assert_eq!(t.call_at("svc", &req, 100, 0).unwrap().latency_ms, a);
+        }
+        assert!((10..=30).contains(&a));
+        // Different time, attempt, or request can change the draw.
+        let over_time: Vec<u32> = (0..50)
+            .map(|i| t.call_at("svc", &req, i * 13, 0).unwrap().latency_ms)
+            .collect();
+        assert!(
+            over_time.iter().any(|&l| l != a),
+            "draws never varied over time"
+        );
+        assert!(over_time.iter().all(|l| (10..=30).contains(l)));
+    }
+
+    #[test]
+    fn call_at_failure_rate_is_respected_across_time() {
+        let t = transport(0.5);
+        let req = ServiceRequest::get("/v", &[]);
+        let failures = (0..200)
+            .filter(|&i| t.call_at("svc", &req, i * 7, 0).is_err())
+            .count();
+        assert!((60..=140).contains(&failures), "failures = {failures}");
+    }
+
+    #[test]
+    fn outage_window_hangs_calls_only_inside_it() {
+        let mut t = transport(0.0);
+        t.set_fault_plan(FaultPlan::new().outage("svc", 1_000, 2_000));
+        let req = ServiceRequest::get("/v", &[]);
+        assert!(t.call_at("svc", &req, 999, 0).is_ok());
+        assert_eq!(
+            t.call_at("svc", &req, 1_000, 0).unwrap_err(),
+            ServiceError::TransportFailure {
+                elapsed_ms: u32::MAX
+            }
+        );
+        assert!(t.call_at("svc", &req, 2_000, 0).is_ok());
+    }
+
+    #[test]
+    fn latency_spike_adds_on_top_of_the_model() {
+        let mut t = transport(0.0);
+        t.set_fault_plan(FaultPlan::new().latency_spike("svc", 500, 600, 300));
+        let req = ServiceRequest::get("/v", &[]);
+        let calm = t.call_at("svc", &req, 400, 0).unwrap().latency_ms;
+        let spiked = t.call_at("svc", &req, 550, 0).unwrap().latency_ms;
+        assert!((10..=30).contains(&calm));
+        assert!((310..=330).contains(&spiked), "spiked = {spiked}");
+    }
+
+    #[test]
+    fn fault_burst_raises_failure_rate_inside_window() {
+        let mut t = transport(0.0);
+        t.set_fault_plan(FaultPlan::new().fault_burst("svc", 0, 1_000, 1.0));
+        let req = ServiceRequest::get("/v", &[]);
+        assert!(t.call_at("svc", &req, 500, 0).is_err());
+        assert!(t.call_at("svc", &req, 1_500, 0).is_ok());
     }
 }

@@ -46,7 +46,10 @@ proptest! {
             Box::new(Echo),
             LatencyModel { base_ms: base, jitter_ms: jitter, failure_rate: failure },
         );
-        let client = ServiceClient::with_policy(&t, CallPolicy { timeout_ms: timeout, retries });
+        let client = ServiceClient::with_policy(
+            &t,
+            CallPolicy { timeout_ms: timeout, retries, ..CallPolicy::default() },
+        );
         let attempts_allowed = retries + 1;
         match client.call("svc", &ServiceRequest::get("/echo", &[("q", "hello")])) {
             Ok(out) => {
@@ -83,7 +86,7 @@ proptest! {
         );
         let client = ServiceClient::with_policy(
             &t,
-            CallPolicy { timeout_ms: base + jitter + 1, retries: 3 },
+            CallPolicy { timeout_ms: base + jitter + 1, retries: 3, ..CallPolicy::default() },
         );
         let out = client
             .call("svc", &ServiceRequest::get("/echo", &[("q", "x")]))

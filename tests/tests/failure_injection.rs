@@ -93,6 +93,7 @@ fn flaky_service_degrades_but_primary_survives() {
         CallPolicy {
             timeout_ms: 100,
             retries: 1,
+            ..CallPolicy::default()
         },
     );
     let resp = platform.query(id, "shooter").unwrap();
@@ -122,6 +123,7 @@ fn slow_service_times_out_within_policy_budget() {
         CallPolicy {
             timeout_ms: 150,
             retries: 1,
+            ..CallPolicy::default()
         },
     );
     let resp = platform.query(id, "shooter").unwrap();
@@ -171,6 +173,40 @@ fn service_fault_is_not_retried_and_surfaces_in_trace() {
     let resp = platform.query(id, "shooter").unwrap();
     let node = resp.trace.find("supplemental: svc").unwrap();
     assert!(node.detail.contains("backend exploded"));
+}
+
+#[test]
+fn panicking_service_is_isolated_to_its_slot() {
+    struct Exploder;
+    impl Service for Exploder {
+        fn describe(&self) -> ServiceDescription {
+            ServiceDescription {
+                name: "Exploder".into(),
+                protocol: Protocol::Rest,
+                operations: vec![],
+            }
+        }
+        fn handle(&self, _: &ServiceRequest) -> Result<ServiceResponse, ServiceFault> {
+            panic!("index out of bounds in third-party code");
+        }
+    }
+    let (mut platform, tenant) = base_platform();
+    platform
+        .transport_mut()
+        .register("pricing", Box::new(Exploder), LatencyModel::fast());
+    let id = app_with_service(&mut platform, tenant, "pricing", CallPolicy::default());
+    // The panic is caught per fan-out slot: the query still answers.
+    let resp = platform.query(id, "shooter").unwrap();
+    assert!(resp.html.contains("Galactic Raiders"), "primary lost");
+    assert!(resp.trace.degraded);
+    let node = resp.trace.find("supplemental: svc").unwrap();
+    assert!(node.detail.contains("panicked"), "{}", node.detail);
+    // The platform stays healthy for the next query.
+    assert!(platform.query(id, "fast shooter").is_ok());
+    let summary = platform.traffic_summary(id).unwrap();
+    assert_eq!(summary.queries, 2);
+    assert_eq!(summary.degraded_queries, 2);
+    assert!((summary.error_rate() - 1.0).abs() < f64::EPSILON);
 }
 
 #[test]
