@@ -1,8 +1,10 @@
-//! E2 (wall-clock side): platform query throughput with the result
-//! cache absorbing a Zipf-skewed workload.
+//! E2 / E-cache (wall-clock side): platform query throughput with the
+//! result cache absorbing a Zipf-skewed workload, the shared L2 source
+//! cache on a multi-app fleet, and the raw O(1) LRU eviction path.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use symphony_bench::{gamer_queen_world, zipf_queries, Scale, WorldOptions};
+use symphony_bench::{gamer_queen_world, shared_fleet_world, zipf_queries, Scale, WorldOptions};
+use symphony_core::cache::LruTtlCache;
 
 fn bench_cache(c: &mut Criterion) {
     let mut group = c.benchmark_group("e2_cache");
@@ -15,11 +17,14 @@ fn bench_cache(c: &mut Criterion) {
             |b, queries| {
                 // One warm platform per measurement batch; the cache
                 // carries across iterations, which is the deployment
-                // reality being measured.
+                // reality being measured. L2 off: this group isolates
+                // the L1 response cache (e_cache_l2 measures the L2).
                 let (platform, id) = gamer_queen_world(WorldOptions {
                     scale: Scale::Small,
                     ..WorldOptions::default()
                 });
+                let platform =
+                    platform.with_source_cache(symphony_core::SourceCacheConfig::disabled());
                 let mut i = 0usize;
                 b.iter(|| {
                     let q = &queries[i % queries.len()];
@@ -32,5 +37,54 @@ fn bench_cache(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cache);
+/// E-cache: an 8-app fleet sharing sources, L1-only vs L1+L2.
+fn bench_source_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_cache_l2");
+    group.sample_size(10);
+    let queries = zipf_queries(64, 1.0, 23);
+    for (label, l2) in [("l1_only", false), ("l1_plus_l2", true)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &queries,
+            |b, queries| {
+                let (platform, ids) = shared_fleet_world(8, l2);
+                let mut i = 0usize;
+                b.iter(|| {
+                    let q = &queries[i % queries.len()];
+                    let id = ids[i % ids.len()];
+                    i += 1;
+                    platform.query(id, q).expect("published")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Raw LRU churn: every put on a full cache evicts; the intrusive
+/// list keeps this O(1) regardless of capacity, so the per-op cost
+/// must stay flat from 64 to 65536 entries.
+fn bench_lru_eviction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lru_eviction");
+    for capacity in [64usize, 4096, 65536] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(capacity),
+            &capacity,
+            |b, &capacity| {
+                let mut cache: LruTtlCache<u64, u64> = LruTtlCache::new(capacity, u64::MAX / 2);
+                for k in 0..capacity as u64 {
+                    cache.put(k, k, 0);
+                }
+                let mut next = capacity as u64;
+                b.iter(|| {
+                    cache.put(next, next, 0);
+                    next += 1;
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_source_cache, bench_lru_eviction);
 criterion_main!(benches);

@@ -16,8 +16,8 @@ use symphony_baselines::{
     Scenario, SymphonyModel, SystemModel, EVAL_QUERIES,
 };
 use symphony_bench::{
-    corpus, gamer_queen_world, percentile, print_table, resilience_world, zipf_queries,
-    ResilienceOptions, Scale, WorldOptions,
+    corpus, gamer_queen_world, percentile, print_table, resilience_world, shared_fleet_world,
+    zipf_queries, ResilienceOptions, Scale, WorldOptions,
 };
 use symphony_core::hosting::QuotaConfig;
 use symphony_core::runtime::ExecMode;
@@ -29,6 +29,7 @@ fn main() {
     println!("(shapes are the claims; absolute numbers are simulator-specific)");
     e1_fanout();
     e2_cache();
+    e_cache_l2();
     e3_index_build();
     e4_query_latency();
     e5_quality();
@@ -76,11 +77,14 @@ fn e2_cache() {
     let mut rows = Vec::new();
     for skew in [0.6, 1.0, 1.4] {
         let queries = zipf_queries(300, skew, 11);
-        // With cache (default TTL).
+        // With cache (default TTL). The L2 source cache is disabled in
+        // both rows: E2 isolates the per-app L1 response cache; the
+        // shared L2 gets its own experiment (E-cache).
         let (with_cache, app) = gamer_queen_world(WorldOptions {
             scale: Scale::Small,
             ..WorldOptions::default()
         });
+        let with_cache = with_cache.with_source_cache(symphony_core::SourceCacheConfig::disabled());
         let mut total_ms = 0u64;
         for q in &queries {
             total_ms += with_cache.query(app, q).expect("ok").virtual_ms as u64;
@@ -112,15 +116,84 @@ fn e2_cache() {
     );
 }
 
+/// E-cache: the platform-wide L2 source cache vs the per-app L1
+/// alone. Eight structurally-identical apps on separate tenants share
+/// the review vertical and the pricing endpoint; a Zipf stream is
+/// round-robined across them, so the L1 only helps when the *same*
+/// app sees a repeat while the L2 reuses any app's fetches.
+fn e_cache_l2() {
+    let queries = zipf_queries(400, 1.0, 23);
+    let mut rows = Vec::new();
+    for (label, l2) in [("L1 only", false), ("L1+L2", true)] {
+        let (platform, ids) = shared_fleet_world(8, l2);
+        let mut lat = Vec::new();
+        for (i, q) in queries.iter().enumerate() {
+            lat.push(
+                platform
+                    .query(ids[i % ids.len()], q)
+                    .expect("ok")
+                    .virtual_ms,
+            );
+        }
+        let (mut l1_hits, mut l1_lookups) = (0u64, 0u64);
+        for &id in &ids {
+            let s = platform.cache_stats(id).expect("exists");
+            l1_hits += s.hits;
+            l1_lookups += s.hits + s.misses;
+        }
+        let s2 = platform.source_cache_stats();
+        let avoided = s2.hits + s2.negative_hits + s2.coalesced;
+        let mean = lat.iter().map(|&v| v as u64).sum::<u64>() as f64 / lat.len() as f64;
+        let dash = || "-".to_string();
+        rows.push(vec![
+            label.to_string(),
+            format!("{:.0}%", l1_hits as f64 / l1_lookups.max(1) as f64 * 100.0),
+            if l2 {
+                format!("{:.0}%", s2.hit_rate() * 100.0)
+            } else {
+                dash()
+            },
+            if l2 {
+                s2.executions.to_string()
+            } else {
+                dash()
+            },
+            if l2 { avoided.to_string() } else { dash() },
+            if l2 { s2.coalesced.to_string() } else { dash() },
+            format!("{mean:.1}"),
+            percentile(&lat, 0.5).to_string(),
+            percentile(&lat, 0.99).to_string(),
+        ]);
+    }
+    print_table(
+        "E-cache — shared L2 source cache, 8-app fleet (400 Zipf queries, s=1.0)",
+        &[
+            "config",
+            "L1 hit",
+            "L2 hit",
+            "src execs",
+            "fetches avoided",
+            "coalesced",
+            "mean ms",
+            "p50",
+            "p99",
+        ],
+        &rows,
+    );
+}
+
 fn gamer_queen_world_no_cache() -> (symphony_core::Platform, symphony_core::AppId) {
-    // A world whose app cache expires instantly (TTL 0); the quota
-    // must be set before app registration, so this builds manually.
+    // A world whose app cache expires instantly (TTL 0) and whose L2
+    // source cache is off; the quota must be set before app
+    // registration, so this builds manually.
     use symphony_core::hosting::Platform;
-    let mut p = Platform::new(SearchEngine::new(corpus(Scale::Small))).with_quotas(QuotaConfig {
-        cache_ttl_ms: 0,
-        requests_per_minute: 1_000_000,
-        ..QuotaConfig::default()
-    });
+    let mut p = Platform::new(SearchEngine::new(corpus(Scale::Small)))
+        .with_quotas(QuotaConfig {
+            cache_ttl_ms: 0,
+            requests_per_minute: 1_000_000,
+            ..QuotaConfig::default()
+        })
+        .with_source_cache(symphony_core::SourceCacheConfig::disabled());
     let (tenant, key) = p.create_tenant("GamerQueen");
     let (table, _) = symphony_store::ingest::ingest(
         "inventory",
@@ -633,11 +706,13 @@ fn e8_tenancy() {
         use symphony_core::source::DataSourceDef;
         use symphony_designer::{Canvas, Element};
         let engine = Arc::new(SearchEngine::new(corpus(Scale::Small)));
-        let mut platform = Platform::new(engine).with_quotas(QuotaConfig {
-            requests_per_minute: 1_000_000,
-            cache_ttl_ms: 0, // measure execution, not cache
-            ..QuotaConfig::default()
-        });
+        let mut platform = Platform::new(engine)
+            .with_quotas(QuotaConfig {
+                requests_per_minute: 1_000_000,
+                cache_ttl_ms: 0, // measure execution, not cache
+                ..QuotaConfig::default()
+            })
+            .with_source_cache(symphony_core::SourceCacheConfig::disabled());
         let mut apps = Vec::new();
         for t in 0..tenants {
             let name = format!("T{t}");

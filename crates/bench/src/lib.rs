@@ -257,8 +257,10 @@ impl Default for ResilienceOptions {
 }
 
 /// A small platform tuned for resilience measurements: one proprietary
-/// primary, one pricing-service supplemental, result cache disabled
-/// (TTL 0) so every query exercises the fetch path.
+/// primary, one pricing-service supplemental, both cache levels
+/// disabled (L1 TTL 0, L2 off) so every query exercises the live
+/// fetch path — the retry/breaker/hedge machinery under test, not the
+/// caches, must absorb the incident.
 pub fn resilience_world(options: ResilienceOptions) -> (Platform, AppId) {
     let (sites, pages) = Scale::Small.dims();
     let corpus = Corpus::generate(&CorpusConfig {
@@ -269,6 +271,7 @@ pub fn resilience_world(options: ResilienceOptions) -> (Platform, AppId) {
     let mut platform = Platform::new(SearchEngine::new(corpus))
         .with_transport_seed(options.seed)
         .with_breaker_config(options.breakers)
+        .with_source_cache(symphony_core::SourceCacheConfig::disabled())
         .with_quotas(symphony_core::QuotaConfig {
             requests_per_minute: u32::MAX,
             cache_ttl_ms: 0,
@@ -319,6 +322,81 @@ pub fn resilience_world(options: ResilienceOptions) -> (Platform, AppId) {
     let id = platform.register_app(config).expect("registers");
     platform.publish(id).expect("publishes");
     (platform, id)
+}
+
+/// A fleet of structurally-identical apps on one platform, each on its
+/// own tenant, all sharing the same review vertical and pricing
+/// endpoint (experiment E-cache). Tenancy isolates the L1 response
+/// caches and the proprietary tables; the web and service sources are
+/// tenant-agnostic, so the shared L2 source cache can serve one app's
+/// fetches from another's — exactly the cross-application reuse the
+/// platform-wide cache exists for. Pass `l2 = false` for the
+/// L1-only ablation baseline.
+pub fn shared_fleet_world(apps: usize, l2: bool) -> (Platform, Vec<AppId>) {
+    let mut platform = Platform::new(SearchEngine::new(corpus(Scale::Small))).with_quotas(
+        symphony_core::QuotaConfig {
+            requests_per_minute: u32::MAX,
+            ..symphony_core::QuotaConfig::default()
+        },
+    );
+    if !l2 {
+        platform = platform.with_source_cache(symphony_core::SourceCacheConfig::disabled());
+    }
+    platform
+        .transport_mut()
+        .register("pricing", Box::new(PricingService), LatencyModel::fast());
+    let mut ids = Vec::new();
+    for i in 0..apps {
+        let (tenant, key) = platform.create_tenant(&format!("Publisher{i}"));
+        let (table, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("csv parses");
+        let mut indexed = IndexedTable::new(table);
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+            .expect("columns exist");
+        platform.upload_table(tenant, &key, indexed).expect("quota");
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        let item = Element::column(vec![
+            Element::text("{title}"),
+            Element::result_list("reviews", Element::link_field("url", "{title}"), 3),
+            Element::result_list("pricing", Element::text("${price}"), 1),
+        ]);
+        canvas
+            .insert(root, Element::result_list("inventory", item, 10))
+            .expect("root");
+        let config = AppBuilder::new(&format!("App{i}"), tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .source(
+                "reviews",
+                DataSourceDef::WebVertical {
+                    vertical: Vertical::Web,
+                    config: SearchConfig::default().restrict_to(REVIEW_SITES),
+                },
+            )
+            .source(
+                "pricing",
+                DataSourceDef::Service {
+                    endpoint: "pricing".into(),
+                    operation: "/price".into(),
+                    item_param: "item".into(),
+                    policy: CallPolicy::default(),
+                },
+            )
+            .supplemental("reviews", "{title} review")
+            .supplemental("pricing", "{title}")
+            .build()
+            .expect("valid app");
+        let id = platform.register_app(config).expect("registers");
+        platform.publish(id).expect("publishes");
+        ids.push(id);
+    }
+    (platform, ids)
 }
 
 /// `p`-th percentile (0.0–1.0) of an unsorted latency sample.
@@ -407,6 +485,31 @@ mod tests {
             let app = platform.app(id).unwrap();
             assert_eq!(app.supplemental_sources().len(), n);
         }
+    }
+
+    #[test]
+    fn shared_l2_strictly_dominates_l1_only_on_the_fleet() {
+        let queries = zipf_queries(120, 1.0, 23);
+        let run = |l2: bool| -> (u64, symphony_core::SourceCacheStats) {
+            let (platform, ids) = shared_fleet_world(4, l2);
+            let mut total_ms = 0u64;
+            for (i, q) in queries.iter().enumerate() {
+                let resp = platform.query(ids[i % ids.len()], q).expect("ok");
+                total_ms += resp.virtual_ms as u64;
+            }
+            (total_ms, platform.source_cache_stats())
+        };
+        let (l1_ms, l1_stats) = run(false);
+        let (l2_ms, l2_stats) = run(true);
+        assert!(
+            l2_ms < l1_ms,
+            "L2 must strictly reduce total virtual time: {l2_ms} vs {l1_ms}"
+        );
+        // The disabled cache records nothing; the enabled one must
+        // have actually served cross-app fetches.
+        assert_eq!(l1_stats.executions, 0);
+        assert!(l2_stats.hits > 0, "cross-app hits expected: {l2_stats:?}");
+        assert!(l2_stats.executions > 0);
     }
 
     #[test]

@@ -32,6 +32,7 @@ use crate::error::PlatformError;
 use crate::monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
 use crate::runtime::{execute_resilient, ExecCtx, ExecMode, QueryResponse};
 use crate::source::Substrates;
+use crate::source_cache::{normalize_query, SourceCache, SourceCacheConfig, SourceCacheStats};
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -73,9 +74,11 @@ struct HostedApp {
     /// `&mut Platform`, so the serving path reads it lock-free).
     config: ApplicationConfig,
     published: bool,
-    /// Per-app result cache: requests for different apps never
-    /// contend on it.
-    cache: Mutex<LruTtlCache<String, QueryResponse>>,
+    /// Per-app result cache (L1): requests for different apps never
+    /// contend on it. Entries are `Arc`s of the pre-marked hit variant
+    /// of a response, so a hit is a pointer clone — no deep
+    /// `QueryResponse` copy on the hot path.
+    cache: Mutex<LruTtlCache<String, Arc<QueryResponse>>>,
     /// Request timestamps inside the current quota window.
     metering: Mutex<VecDeque<u64>>,
     /// Queries served (cache hits included).
@@ -98,6 +101,9 @@ pub struct Platform {
     /// Per-endpoint circuit breakers, shared by every hosted app
     /// (lock-sharded internally).
     breakers: symphony_services::BreakerRegistry,
+    /// Platform-wide L2 source-result cache, shared by every hosted
+    /// app (lock-sharded internally; singleflight + TinyLFU).
+    source_cache: SourceCache,
     clock_ms: AtomicU64,
     quotas: QuotaConfig,
     mode: ExecMode,
@@ -134,6 +140,7 @@ impl Platform {
             breakers: symphony_services::BreakerRegistry::new(
                 symphony_services::BreakerConfig::default(),
             ),
+            source_cache: SourceCache::new(SourceCacheConfig::default()),
             clock_ms: AtomicU64::new(0),
             quotas: QuotaConfig::default(),
             mode: ExecMode::Parallel,
@@ -155,24 +162,40 @@ impl Platform {
 
     /// Override the circuit-breaker configuration
     /// ([`BreakerConfig::disabled`](symphony_services::BreakerConfig::disabled)
-    /// restores the pre-breaker behaviour). Resets breaker state.
+    /// restores the pre-breaker behaviour). Resets breaker state, and
+    /// drops cached source results whose negative entries were keyed
+    /// to the old breaker behaviour.
     pub fn with_breaker_config(mut self, config: symphony_services::BreakerConfig) -> Platform {
         self.breakers = symphony_services::BreakerRegistry::new(config);
+        self.source_cache.clear();
+        self
+    }
+
+    /// Override the L2 source-cache configuration
+    /// ([`SourceCacheConfig::disabled`] restores the pre-L2 behaviour,
+    /// where every L1 miss re-fetches every source).
+    pub fn with_source_cache(mut self, config: SourceCacheConfig) -> Platform {
+        self.source_cache = SourceCache::new(config);
         self
     }
 
     /// Replace the transport with a freshly seeded one (chaos tests
     /// run the same scenario over a seed grid). Call before
-    /// registering services: existing registrations are dropped.
+    /// registering services: existing registrations are dropped, and
+    /// cached source results with them.
     pub fn with_transport_seed(mut self, seed: u64) -> Platform {
         self.transport = symphony_services::SimulatedTransport::new(seed);
+        self.source_cache.clear();
         self
     }
 
     // ---- Substrate access ----------------------------------------
 
     /// Mutable transport (register services before building apps).
+    /// Invalidates the L2 source cache: cached service outcomes may
+    /// not survive re-registration or fault-plan changes.
     pub fn transport_mut(&mut self) -> &mut symphony_services::SimulatedTransport {
+        self.source_cache.clear();
         &mut self.transport
     }
 
@@ -207,9 +230,16 @@ impl Platform {
         &self.store
     }
 
-    /// Mutable store.
+    /// Mutable store. Invalidates the L2 source cache: cached
+    /// proprietary-table outcomes may not survive data changes.
     pub fn store_mut(&mut self) -> &mut Store {
+        self.source_cache.clear();
         &mut self.store
+    }
+
+    /// Aggregate statistics of the platform-wide L2 source cache.
+    pub fn source_cache_stats(&self) -> SourceCacheStats {
+        self.source_cache.stats()
     }
 
     // ---- Tenants and data -----------------------------------------
@@ -233,6 +263,8 @@ impl Platform {
             return Err(PlatformError::StorageQuotaExceeded { limit });
         }
         space.put_table(table);
+        // Cached outcomes against the replaced table are stale.
+        self.source_cache.clear();
         Ok(())
     }
 
@@ -305,8 +337,10 @@ impl Platform {
     /// Execute a customer query against a published application.
     ///
     /// Takes `&self`: any number of queries (for the same or different
-    /// apps) may run concurrently against one shared platform.
-    pub fn query(&self, id: AppId, query: &str) -> Result<QueryResponse, PlatformError> {
+    /// apps) may run concurrently against one shared platform. The
+    /// response is shared ([`Arc`]): cache hits hand out the same
+    /// allocation to every caller instead of deep-cloning it.
+    pub fn query(&self, id: AppId, query: &str) -> Result<Arc<QueryResponse>, PlatformError> {
         self.query_at_depth(id, query, 0)
     }
 
@@ -327,7 +361,7 @@ impl Platform {
         id: AppId,
         query: &str,
         depth: u32,
-    ) -> Result<QueryResponse, PlatformError> {
+    ) -> Result<Arc<QueryResponse>, PlatformError> {
         // Resolve composed primary sources by recursively querying the
         // referenced apps *before* the main borrow-split below.
         let composed: Vec<(String, AppId)> = {
@@ -403,7 +437,7 @@ impl Platform {
         id: AppId,
         query: &str,
         overrides: std::collections::HashMap<String, crate::source::SourceOutcome>,
-    ) -> Result<QueryResponse, PlatformError> {
+    ) -> Result<Arc<QueryResponse>, PlatformError> {
         let hosted = self
             .apps
             .get(id.0 as usize)
@@ -430,15 +464,24 @@ impl Platform {
             metering.push_back(now);
         }
 
-        let cache_key = normalize_query(query);
+        // Responses computed under parent-composition `overrides` are
+        // a different result than the app's plain answer for the same
+        // text: key them separately so neither can poison the other.
+        let mut cache_key = normalize_query(query);
+        if !overrides.is_empty() {
+            cache_key.push_str(&format!(
+                "\u{1}ov:{:016x}",
+                overrides_fingerprint(&overrides)
+            ));
+        }
         let log_interactions = hosted.config.monetization.log_interactions;
         let app_name = hosted.config.name.as_str();
 
         let cached = hosted.cache.lock().get(&cache_key, now).cloned();
-        if let Some(mut resp) = cached {
-            resp.trace.cache_hit = true;
-            resp.virtual_ms = CACHE_HIT_MS;
-            resp.trace.total_ms = CACHE_HIT_MS;
+        if let Some(resp) = cached {
+            // The cached entry is already the marked hit variant
+            // (cache_hit, flat CACHE_HIT_MS timing): serving it is a
+            // pointer clone, not a deep response copy.
             hosted.queries.fetch_add(1, Ordering::Relaxed);
             if resp.trace.degraded {
                 hosted.degraded_queries.fetch_add(1, Ordering::Relaxed);
@@ -452,9 +495,9 @@ impl Platform {
 
         // Cache miss: execute without holding the cache lock, so a
         // slow source never blocks this app's cache hits. Concurrent
-        // misses on the same key may both execute (thundering herd);
-        // last writer wins in the cache, which is safe because
-        // execution is deterministic for a given query.
+        // misses on the same key may both assemble the response, but
+        // the expensive source fetches underneath coalesce in the L2
+        // source cache's singleflight; last writer wins here.
         let subs = Substrates {
             space: self.store.space_by_id(hosted.config.owner),
             engine: Some(&self.engine),
@@ -470,6 +513,7 @@ impl Platform {
             &ExecCtx {
                 now_ms: now,
                 breakers: Some(&self.breakers),
+                source_cache: Some(&self.source_cache),
             },
         );
         hosted.queries.fetch_add(1, Ordering::Relaxed);
@@ -480,8 +524,29 @@ impl Platform {
         if log_interactions {
             log_impressions(&self.click_log, app_name, query, &resp.impressions, at);
         }
-        hosted.cache.lock().put(cache_key, resp.clone(), at);
-        Ok(resp)
+        // Build the hit variant once, at insert time (the one clone a
+        // miss pays); every later hit shares it.
+        let mut hit = resp.clone();
+        hit.trace.cache_hit = true;
+        hit.virtual_ms = CACHE_HIT_MS;
+        hit.trace.total_ms = CACHE_HIT_MS;
+        // A degraded response (deadline cut, breaker open, source
+        // errors) must not shadow a healthy re-execution for the full
+        // response TTL: give it the same short TTL as a negative
+        // source entry.
+        let ttl = if resp.trace.degraded {
+            self.source_cache
+                .config()
+                .negative_ttl_ms
+                .min(self.quotas.cache_ttl_ms)
+        } else {
+            self.quotas.cache_ttl_ms
+        };
+        hosted
+            .cache
+            .lock()
+            .put_with_ttl(cache_key, Arc::new(hit), at, ttl);
+        Ok(Arc::new(resp))
     }
 
     /// Advance the virtual clock by `ms`, returning the new time.
@@ -612,11 +677,21 @@ impl Platform {
     }
 }
 
-fn normalize_query(q: &str) -> String {
-    q.split_whitespace()
-        .map(|w| w.to_lowercase())
-        .collect::<Vec<_>>()
-        .join(" ")
+/// Stable fingerprint of a pre-resolved override set (sorted by source
+/// name, hashing the full outcome). Appended to the L1 key so that
+/// responses computed under different parent-composition contexts
+/// never collide.
+fn overrides_fingerprint(
+    overrides: &std::collections::HashMap<String, crate::source::SourceOutcome>,
+) -> u64 {
+    let mut names: Vec<&String> = overrides.keys().collect();
+    names.sort();
+    let mut h = crate::source_cache::fnv1a_str(0xcbf2_9ce4_8422_2325, "");
+    for name in names {
+        h = crate::source_cache::fnv1a_str(h, name);
+        h = crate::source_cache::fnv1a_str(h, &format!("{:?}", overrides[name]));
+    }
+    h
 }
 
 fn log_impressions(
@@ -746,6 +821,43 @@ mod tests {
         assert_eq!(second.html, first.html);
         let stats = p.cache_stats(id).unwrap();
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn cache_hits_share_one_allocation() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        p.query(id, "shooter").unwrap();
+        // Every hit hands out the same Arc — no per-hit deep clone of
+        // the response.
+        let a = p.query(id, "shooter").unwrap();
+        let b = p.query(id, "shooter").unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn source_cache_stats_track_the_query_path() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        p.query(id, "shooter").unwrap();
+        let first = p.source_cache_stats();
+        assert!(first.misses > 0, "fresh platform must miss");
+        assert_eq!(first.hits, 0);
+        // A distinct query re-runs the primary (new key) but re-uses
+        // the per-item supplemental web fetches it shares with the
+        // first query's result set, if any; at minimum nothing breaks
+        // and counters only grow.
+        p.query(id, "galactic shooter").unwrap();
+        let second = p.source_cache_stats();
+        assert!(second.misses >= first.misses);
+        assert!(second.executions >= first.executions);
+        // An L1 hit never reaches the source layer.
+        let before = p.source_cache_stats();
+        p.query(id, "shooter").unwrap();
+        let after = p.source_cache_stats();
+        assert_eq!(before.executions, after.executions);
     }
 
     #[test]

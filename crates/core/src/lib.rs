@@ -71,6 +71,7 @@ pub mod monetize;
 pub mod recommend;
 pub mod runtime;
 pub mod source;
+pub mod source_cache;
 pub mod trace;
 
 pub use app::{
@@ -88,5 +89,8 @@ pub use runtime::{
 };
 pub use source::{
     run_source, run_source_ctx, DataSourceDef, ResultItem, SourceCtx, SourceOutcome, Substrates,
+};
+pub use source_cache::{
+    normalize_query, FetchStatus, Fetched, SourceCache, SourceCacheConfig, SourceCacheStats,
 };
 pub use trace::{ExecutionTrace, TraceNode};

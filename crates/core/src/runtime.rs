@@ -17,7 +17,8 @@
 
 use crate::app::{ApplicationConfig, ResiliencePolicy};
 use crate::monetize::Impression;
-use crate::source::{run_source_ctx, SourceCtx, SourceOutcome, Substrates};
+use crate::source::{run_source_ctx, DataSourceDef, SourceCtx, SourceOutcome, Substrates};
+use crate::source_cache::{FetchStatus, Fetched, SourceCache};
 use crate::trace::{ExecutionTrace, TraceNode};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -54,6 +55,9 @@ pub struct ExecCtx<'a> {
     pub now_ms: u64,
     /// Shared per-endpoint circuit breakers.
     pub breakers: Option<&'a BreakerRegistry>,
+    /// The platform's shared L2 source-result cache. `None` executes
+    /// every fetch directly (standalone execution, ablations).
+    pub source_cache: Option<&'a SourceCache>,
 }
 
 /// The rendered response.
@@ -122,6 +126,36 @@ fn budget_for(policy: &ResiliencePolicy, consumed: u32) -> Option<u32> {
     }
 }
 
+/// One source fetch, routed through the platform's L2 source cache
+/// when one is attached; executed directly otherwise.
+#[allow(clippy::too_many_arguments)]
+fn cached_fetch(
+    def: &DataSourceDef,
+    owner: symphony_store::TenantId,
+    query: &str,
+    k: usize,
+    subs: Substrates<'_>,
+    constraint: Option<&symphony_store::Filter>,
+    sctx: &SourceCtx<'_>,
+    cache: Option<&SourceCache>,
+) -> Fetched {
+    match cache {
+        Some(c) => c.fetch(def, Some(owner), query, k, constraint, sctx, || {
+            run_source_ctx(def, query, k, subs, constraint, sctx)
+        }),
+        None => Fetched::uncached(run_source_ctx(def, query, k, subs, constraint, sctx)),
+    }
+}
+
+/// Trace-detail marker for fetches the L2 cache satisfied.
+fn status_suffix(status: FetchStatus) -> &'static str {
+    match status {
+        FetchStatus::Hit => " (L2 hit)",
+        FetchStatus::Coalesced => " (L2 coalesced)",
+        FetchStatus::Uncached | FetchStatus::Miss => "",
+    }
+}
+
 /// Soft outcome for a fan-out task whose source panicked: the slot
 /// degrades, the query survives.
 fn panic_outcome(source: &str, payload: &(dyn std::any::Any + Send)) -> SourceOutcome {
@@ -158,14 +192,14 @@ pub fn execute_resilient(
 
     // ---- Stage 1: primary content -------------------------------
     let primary_specs = app.primary_lists();
-    let mut primary: HashMap<String, SourceOutcome> = HashMap::new();
+    let mut primary: HashMap<String, Fetched> = HashMap::new();
     let mut consumed_primary: u32 = 0; // sequential-mode accumulation
     for (source, max, _) in &primary_specs {
         if primary.contains_key(source) {
             continue;
         }
-        let outcome = if let Some(pre) = overrides.get(source) {
-            pre.clone()
+        let fetched = if let Some(pre) = overrides.get(source) {
+            Fetched::uncached(pre.clone())
         } else {
             match app.source(source) {
                 Some(cfg) => {
@@ -179,26 +213,36 @@ pub fn execute_resilient(
                         retries_allowed: retry_pool,
                         breakers: ctx.breakers,
                     };
-                    run_source_ctx(&cfg.def, query, *max, subs, app.constraint(source), &sctx)
+                    cached_fetch(
+                        &cfg.def,
+                        app.owner,
+                        query,
+                        *max,
+                        subs,
+                        app.constraint(source),
+                        &sctx,
+                        ctx.source_cache,
+                    )
                 }
-                None => SourceOutcome {
+                None => Fetched::uncached(SourceOutcome {
                     items: Vec::new(),
                     virtual_ms: 0,
                     error: Some(format!("source {source:?} not configured")),
                     attempts: 0,
-                },
+                }),
             }
         };
         // Deduct retries in configuration order (primaries execute in
-        // a plain loop, so this is deterministic in both modes).
+        // a plain loop, so this is deterministic in both modes). Cache
+        // hits charge nothing: the executing fetch already paid.
         if let Some(pool) = retry_pool.as_mut() {
-            *pool = pool.saturating_sub(outcome.attempts.saturating_sub(1));
+            *pool = pool.saturating_sub(fetched.attempts_charged.saturating_sub(1));
         }
-        consumed_primary += outcome.virtual_ms;
-        primary.insert(source.clone(), outcome);
+        consumed_primary += fetched.charged_ms;
+        primary.insert(source.clone(), fetched);
     }
     let primary_ms = {
-        let iter = primary.values().map(|o| o.virtual_ms);
+        let iter = primary.values().map(|f| f.charged_ms);
         match mode {
             ExecMode::Parallel => iter.max().unwrap_or(0),
             ExecMode::Sequential => iter.sum(),
@@ -208,7 +252,7 @@ pub fn execute_resilient(
     // ---- Stage 2: supplemental fan-out ---------------------------
     let mut tasks: Vec<FanoutTask> = Vec::new();
     for (psource, max, item_el) in &primary_specs {
-        let outcome = &primary[psource];
+        let outcome = &primary[psource].outcome;
         let nested = nested_lists(item_el);
         if nested.is_empty() {
             continue;
@@ -234,7 +278,7 @@ pub fn execute_resilient(
         }
     }
 
-    let outcomes: Vec<SourceOutcome> = match mode {
+    let outcomes: Vec<Fetched> = match mode {
         ExecMode::Sequential => {
             let mut out = Vec::with_capacity(tasks.len());
             let mut consumed = primary_ms;
@@ -245,13 +289,14 @@ pub fn execute_resilient(
                     retries_allowed: retry_pool,
                     breakers: ctx.breakers,
                 };
-                let o =
-                    std::panic::catch_unwind(AssertUnwindSafe(|| dispatch(app, t, subs, &sctx)))
-                        .unwrap_or_else(|p| panic_outcome(&t.source, p.as_ref()));
+                let o = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    dispatch(app, t, subs, &sctx, ctx.source_cache)
+                }))
+                .unwrap_or_else(|p| Fetched::uncached(panic_outcome(&t.source, p.as_ref())));
                 if let Some(pool) = retry_pool.as_mut() {
-                    *pool = pool.saturating_sub(o.attempts.saturating_sub(1));
+                    *pool = pool.saturating_sub(o.attempts_charged.saturating_sub(1));
                 }
-                consumed += o.virtual_ms;
+                consumed += o.charged_ms;
                 out.push(o);
             }
             out
@@ -276,7 +321,7 @@ pub fn execute_resilient(
             // source degrades its own slot only.
             let workers = n.min(MAX_FANOUT_WORKERS);
             let next = AtomicUsize::new(0);
-            let mut slots: Vec<Option<SourceOutcome>> = (0..n).map(|_| None).collect();
+            let mut slots: Vec<Option<Fetched>> = (0..n).map(|_| None).collect();
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
                     .map(|_| {
@@ -298,9 +343,11 @@ pub fn execute_resilient(
                                     breakers: ctx.breakers,
                                 };
                                 let o = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                    dispatch(app, t, subs, &sctx)
+                                    dispatch(app, t, subs, &sctx, ctx.source_cache)
                                 }))
-                                .unwrap_or_else(|p| panic_outcome(&t.source, p.as_ref()));
+                                .unwrap_or_else(|p| {
+                                    Fetched::uncached(panic_outcome(&t.source, p.as_ref()))
+                                });
                                 local.push((i, o));
                             }
                             local
@@ -313,34 +360,43 @@ pub fn execute_resilient(
                     }
                 }
             });
-            let outcomes: Vec<SourceOutcome> = slots
+            let outcomes: Vec<Fetched> = slots
                 .into_iter()
                 .map(|o| o.expect("every fan-out task ran"))
                 .collect();
             if let Some(pool) = retry_pool.as_mut() {
                 for o in &outcomes {
-                    *pool = pool.saturating_sub(o.attempts.saturating_sub(1));
+                    *pool = pool.saturating_sub(o.attempts_charged.saturating_sub(1));
                 }
             }
             outcomes
         }
     };
-    let mut suppl: HashMap<(String, usize, String), SourceOutcome> = HashMap::new();
+    let mut suppl: HashMap<(String, usize, String), Fetched> = HashMap::new();
     let mut fanout_trace: Vec<TraceNode> = Vec::new();
     for (t, o) in tasks.iter().zip(outcomes) {
         fanout_trace.push(TraceNode::leaf(
             format!("supplemental: {} for item #{}", t.source, t.item_idx),
-            o.virtual_ms,
-            match &o.error {
-                Some(e) => format!("query {:?} — error: {e}", t.query),
-                None => format!("query {:?} — {} results", t.query, o.items.len()),
+            o.charged_ms,
+            match &o.outcome.error {
+                Some(e) => format!(
+                    "query {:?} — error: {e}{}",
+                    t.query,
+                    status_suffix(o.status)
+                ),
+                None => format!(
+                    "query {:?} — {} results{}",
+                    t.query,
+                    o.outcome.items.len(),
+                    status_suffix(o.status)
+                ),
             },
         ));
         suppl.insert((t.primary_source.clone(), t.item_idx, t.source.clone()), o);
     }
 
     // ---- Virtual-time accounting ---------------------------------
-    let suppl_ms_iter = suppl.values().map(|o| o.virtual_ms);
+    let suppl_ms_iter = suppl.values().map(|f| f.charged_ms);
     let suppl_ms = match mode {
         ExecMode::Parallel => suppl_ms_iter.max().unwrap_or(0),
         ExecMode::Sequential => suppl_ms_iter.sum(),
@@ -349,14 +405,23 @@ pub fn execute_resilient(
     let error_count = primary
         .values()
         .chain(suppl.values())
-        .filter(|o| o.error.is_some())
+        .filter(|f| f.outcome.error.is_some())
         .count() as u32;
+    let (mut l2_hits, mut l2_misses, mut l2_coalesced) = (0u32, 0u32, 0u32);
+    for f in primary.values().chain(suppl.values()) {
+        match f.status {
+            FetchStatus::Hit => l2_hits += 1,
+            FetchStatus::Miss => l2_misses += 1,
+            FetchStatus::Coalesced => l2_coalesced += 1,
+            FetchStatus::Uncached => {}
+        }
+    }
 
     // ---- Stage 3: merge + format (render to HTML) ----------------
     let impressions: RefCell<Vec<Impression>> = RefCell::new(Vec::new());
     let no_fields = |_: &str| None;
     let mut top_nested = |source: &str, max: usize, item_el: &Element| -> String {
-        let Some(outcome) = primary.get(source) else {
+        let Some(outcome) = primary.get(source).map(|f| &f.outcome) else {
             return String::new();
         };
         let mut html = String::new();
@@ -365,7 +430,9 @@ pub fn execute_resilient(
             let lookup = |name: &str| item.field(name).map(str::to_string);
             let psource = source;
             let mut inner_nested = |ssource: &str, smax: usize, sitem_el: &Element| -> String {
-                let Some(soutcome) = suppl.get(&(psource.to_string(), idx, ssource.to_string()))
+                let Some(soutcome) = suppl
+                    .get(&(psource.to_string(), idx, ssource.to_string()))
+                    .map(|f| &f.outcome)
                 else {
                     return String::new();
                 };
@@ -407,13 +474,17 @@ pub fn execute_resilient(
         format!("app {:?}", app.name),
     )];
     for (source, max, _) in &primary_specs {
-        let o = &primary[source];
+        let f = &primary[source];
         stages.push(TraceNode::leaf(
             format!("primary: {source}"),
-            o.virtual_ms,
-            match &o.error {
-                Some(e) => format!("error: {e}"),
-                None => format!("{} results (max {max})", o.items.len()),
+            f.charged_ms,
+            match &f.outcome.error {
+                Some(e) => format!("error: {e}{}", status_suffix(f.status)),
+                None => format!(
+                    "{} results (max {max}){}",
+                    f.outcome.items.len(),
+                    status_suffix(f.status)
+                ),
             },
         ));
     }
@@ -449,6 +520,9 @@ pub fn execute_resilient(
             cache_hit: false,
             error_count,
             degraded: error_count > 0,
+            l2_hits,
+            l2_misses,
+            l2_coalesced,
             stages,
         },
         virtual_ms: total_ms,
@@ -461,22 +535,25 @@ fn dispatch(
     task: &FanoutTask,
     subs: Substrates<'_>,
     sctx: &SourceCtx<'_>,
-) -> SourceOutcome {
+    cache: Option<&SourceCache>,
+) -> Fetched {
     match app.source(&task.source) {
-        Some(cfg) => run_source_ctx(
+        Some(cfg) => cached_fetch(
             &cfg.def,
+            app.owner,
             &task.query,
             task.k,
             subs,
             app.constraint(&task.source),
             sctx,
+            cache,
         ),
-        None => SourceOutcome {
+        None => Fetched::uncached(SourceOutcome {
             items: Vec::new(),
             virtual_ms: 0,
             error: Some(format!("source {:?} not configured", task.source)),
             attempts: 0,
-        },
+        }),
     }
 }
 

@@ -68,6 +68,16 @@ pub struct ExecutionTrace {
     /// True when any slot degraded — the response served partial
     /// results.
     pub degraded: bool,
+    /// Source fetches served from the platform's shared L2 source
+    /// cache (completed before this query's virtual start).
+    pub l2_hits: u32,
+    /// Source fetches that missed the L2 cache and executed against
+    /// the live source (uncacheable source kinds are not counted).
+    pub l2_misses: u32,
+    /// Source fetches coalesced onto another request's execution
+    /// (singleflight, or an outcome completing within this query's
+    /// virtual window).
+    pub l2_coalesced: u32,
     /// Stage tree.
     pub stages: Vec<TraceNode>,
 }
@@ -87,6 +97,16 @@ impl ExecutionTrace {
                 "  (degraded: {} source error{})\n",
                 self.error_count,
                 if self.error_count == 1 { "" } else { "s" }
+            ));
+        }
+        if self.l2_hits + self.l2_coalesced > 0 {
+            out.push_str(&format!(
+                "  (source cache: {} hit{}, {} coalesced, {} miss{})\n",
+                self.l2_hits,
+                if self.l2_hits == 1 { "" } else { "s" },
+                self.l2_coalesced,
+                self.l2_misses,
+                if self.l2_misses == 1 { "" } else { "es" }
             ));
         }
         fn go(node: &TraceNode, depth: usize, out: &mut String) {
@@ -135,6 +155,9 @@ mod tests {
             cache_hit: false,
             error_count: 0,
             degraded: false,
+            l2_hits: 0,
+            l2_misses: 0,
+            l2_coalesced: 0,
             stages: vec![
                 TraceNode::leaf("receive snippet request", 1, ""),
                 TraceNode::group(
@@ -175,6 +198,17 @@ mod tests {
     #[test]
     fn node_count() {
         assert_eq!(trace().stages[1].node_count(), 2);
+    }
+
+    #[test]
+    fn source_cache_marker_in_render() {
+        let mut t = trace();
+        assert!(!t.render().contains("source cache"));
+        t.l2_hits = 2;
+        t.l2_misses = 1;
+        assert!(t
+            .render()
+            .contains("(source cache: 2 hits, 0 coalesced, 1 miss)"));
     }
 
     #[test]

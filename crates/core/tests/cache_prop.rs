@@ -1,20 +1,26 @@
 //! Property tests for the LRU+TTL result cache.
 //!
-//! A random interleaving of puts, gets, clock advances, and purge
-//! sweeps is replayed against an independent brute-force model; the
-//! cache must agree with the model on every lookup and every counter.
-//! This pins the subtle interaction the hosting layer depends on:
-//! recency order decides capacity evictions, while the TTL decides
-//! validity, and the two interleave freely on the platform's virtual
-//! clock.
+//! A random interleaving of puts (default and per-entry TTL), gets,
+//! clock advances, and purge sweeps is replayed against an independent
+//! brute-force model; the cache must agree with the model on every
+//! lookup, every counter, and on which entry sits at the LRU tail
+//! (`peek_lru` — the victim the TinyLFU admission policy compares
+//! candidates against). This pins the subtle interaction the hosting
+//! layer depends on: recency order decides capacity evictions, while
+//! the TTL decides validity, and the two interleave freely on the
+//! platform's virtual clock.
 
 use proptest::prelude::*;
 use symphony_core::cache::LruTtlCache;
 
 #[derive(Debug, Clone)]
 enum Op {
-    /// Insert `key` (value = running op index) at the current time.
+    /// Insert `key` (value = running op index) at the current time
+    /// with the cache's default TTL.
     Put(u8),
+    /// Insert `key` with an explicit per-entry TTL (degraded responses
+    /// ride this path with a short fuse).
+    PutTtl(u8, u64),
     /// Look up `key` at the current time.
     Get(u8),
     /// Advance the virtual clock.
@@ -26,6 +32,7 @@ enum Op {
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (0u8..8).prop_map(Op::Put),
+        (0u8..8, 1u64..120).prop_map(|(k, t)| Op::PutTtl(k, t)),
         (0u8..8).prop_map(Op::Get),
         (1u64..80).prop_map(Op::Advance),
         Just(Op::Purge),
@@ -34,7 +41,7 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Brute-force reference: a flat list, no clever bookkeeping.
 struct Model {
-    entries: Vec<(u8, u64, u64, u64)>, // key, value, inserted_at, last_used_tick
+    entries: Vec<(u8, u64, u64, u64)>, // key, value, expires_at, last_used_tick
     capacity: usize,
     ttl: u64,
     tick: u64,
@@ -64,7 +71,7 @@ impl Model {
             self.misses += 1;
             return None;
         };
-        if now.saturating_sub(self.entries[i].2) > self.ttl {
+        if now > self.entries[i].2 {
             self.entries.remove(i);
             self.misses += 1;
             self.expired += 1;
@@ -76,6 +83,11 @@ impl Model {
     }
 
     fn put(&mut self, key: u8, value: u64, now: u64) {
+        let ttl = self.ttl;
+        self.put_ttl(key, value, now, ttl);
+    }
+
+    fn put_ttl(&mut self, key: u8, value: u64, now: u64, ttl: u64) {
         self.tick += 1;
         let exists = self.entries.iter().any(|e| e.0 == key);
         if !exists && self.entries.len() >= self.capacity {
@@ -93,16 +105,23 @@ impl Model {
             }
         }
         self.entries.retain(|e| e.0 != key);
-        self.entries.push((key, value, now, self.tick));
+        self.entries
+            .push((key, value, now.saturating_add(ttl), self.tick));
     }
 
     fn purge(&mut self, now: u64) -> usize {
         let before = self.entries.len();
-        let ttl = self.ttl;
-        self.entries.retain(|e| now.saturating_sub(e.2) <= ttl);
+        self.entries.retain(|e| now <= e.2);
         let dropped = before - self.entries.len();
         self.expired += dropped as u64;
         dropped
+    }
+
+    /// The key the cache's LRU tail must point at: least recently
+    /// touched, regardless of expiry (expired entries stay resident
+    /// until a lookup or sweep finds them).
+    fn lru_victim(&self) -> Option<u8> {
+        self.entries.iter().min_by_key(|e| e.3).map(|e| e.0)
     }
 }
 
@@ -116,12 +135,17 @@ proptest! {
         let mut cache: LruTtlCache<u8, u64> = LruTtlCache::new(capacity, ttl);
         let mut model = Model::new(capacity, ttl);
         let mut now = 0u64;
+        prop_assert_eq!(cache.ttl(), ttl);
 
         for (i, op) in ops.iter().enumerate() {
             match *op {
                 Op::Put(key) => {
                     cache.put(key, i as u64, now);
                     model.put(key, i as u64, now);
+                }
+                Op::PutTtl(key, entry_ttl) => {
+                    cache.put_with_ttl(key, i as u64, now, entry_ttl);
+                    model.put_ttl(key, i as u64, now, entry_ttl);
                 }
                 Op::Get(key) => {
                     prop_assert_eq!(
@@ -138,6 +162,11 @@ proptest! {
             // Standing invariants after every operation.
             prop_assert!(cache.len() <= capacity, "len exceeds capacity");
             prop_assert_eq!(cache.len(), model.entries.len());
+            prop_assert_eq!(
+                cache.peek_lru().copied(),
+                model.lru_victim(),
+                "LRU tail diverged at op {}", i
+            );
             let rate = cache.stats().hit_rate();
             prop_assert!((0.0..=1.0).contains(&rate), "hit_rate {} out of range", rate);
         }
@@ -174,5 +203,18 @@ proptest! {
             prop_assert_eq!(cache.get(&1, advance), None);
         }
         prop_assert_eq!(cache.get(&3, advance), Some(&30));
+    }
+
+    /// A short-TTL entry ages out on its own fuse while a sibling
+    /// stored with the default TTL at the same instant stays valid —
+    /// the hosting layer's degraded-response path in miniature.
+    #[test]
+    fn per_entry_ttl_is_independent_of_the_default(fuse in 1u64..50) {
+        let mut cache: LruTtlCache<u8, u64> = LruTtlCache::new(4, 1_000);
+        cache.put(1, 10, 0);
+        cache.put_with_ttl(2, 20, 0, fuse);
+        prop_assert_eq!(cache.get(&2, fuse), Some(&20)); // inclusive edge
+        prop_assert_eq!(cache.get(&2, fuse + 1), None);
+        prop_assert_eq!(cache.get(&1, fuse + 1), Some(&10));
     }
 }

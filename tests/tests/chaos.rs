@@ -176,7 +176,7 @@ fn outage_holds_deadline_and_breaker_walks_full_cycle() {
 /// primary attempt's launch instant.
 #[test]
 fn hedging_sidesteps_a_latency_spike() {
-    let scenario = |hedge: Option<u32>| -> QueryResponse {
+    let scenario = |hedge: Option<u32>| -> std::sync::Arc<QueryResponse> {
         let (platform, id) = build_platform(
             0xD1CE,
             LatencyModel {
@@ -247,6 +247,55 @@ fn fault_burst_window_degrades_then_recovers() {
     }
 }
 
+/// A degraded response must not pin the outage into the response
+/// cache for the full TTL: it is cached on a short fuse, so once the
+/// fault window passes the next query re-executes and serves the
+/// healthy rendering.
+#[test]
+fn degraded_responses_age_out_fast_and_recover_after_outage() {
+    let (platform, id) = build_platform(
+        0xD1CE,
+        LatencyModel {
+            base_ms: 10,
+            jitter_ms: 0,
+            failure_rate: 0.0,
+        },
+        CallPolicy {
+            timeout_ms: 40,
+            retries: 0,
+            ..CallPolicy::default()
+        },
+        // Disabled breaker: recovery must come from cache TTLs alone.
+        BreakerConfig::disabled(),
+        ResiliencePolicy::default(),
+        FaultPlan::new().outage("pricing", 0, 1_000),
+    );
+
+    // Inside the outage: degraded, and cached only on the short fuse.
+    let r1 = platform.query(id, "galactic").unwrap();
+    assert!(r1.trace.degraded);
+    assert!(!r1.html.contains("price:"));
+
+    // Immediately after, the degraded response is still served from
+    // the cache — short TTL, not zero.
+    let r2 = platform.query(id, "galactic").unwrap();
+    assert!(r2.trace.cache_hit);
+    assert!(r2.trace.degraded);
+
+    // Past the outage and the short TTL, the same query re-executes —
+    // a full-TTL degraded entry would still be serving the outage here.
+    platform.advance_clock(1_000);
+    let r3 = platform.query(id, "galactic").unwrap();
+    assert!(!r3.trace.cache_hit, "degraded entry outlived its short TTL");
+    assert!(!r3.trace.degraded);
+    assert!(r3.html.contains("price:"), "{}", r3.html);
+
+    // And the healthy response is cached at the full TTL again.
+    let r4 = platform.query(id, "galactic").unwrap();
+    assert!(r4.trace.cache_hit);
+    assert!(!r4.trace.degraded);
+}
+
 /// The whole outage scenario replays bit-identically: same seed, same
 /// HTML, same rendered traces, same virtual timings — even with
 /// latency jitter and a parallel fan-out in play.
@@ -290,7 +339,7 @@ fn scenarios_replay_identically_per_seed() {
                 "seed {seed}: deadline blown on {q:?}"
             );
             log.push(resp.trace.render());
-            log.push(resp.html);
+            log.push(resp.html.clone());
             platform.advance_clock(150);
         }
         log

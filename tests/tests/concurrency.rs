@@ -10,12 +10,19 @@
 //! simulated web, the ad auction), so every counter is
 //! interleaving-independent.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier};
+
 use symphony_ads::{Ad, Keyword, MatchType};
 use symphony_core::app::AppBuilder;
 use symphony_core::hosting::{Platform, QuotaConfig};
 use symphony_core::source::DataSourceDef;
-use symphony_core::AppId;
+use symphony_core::{AppId, SourceCacheConfig};
 use symphony_designer::{template, Canvas, Element};
+use symphony_services::{
+    CallPolicy, OperationDesc, Protocol, Service, ServiceDescription, ServiceFault, ServiceRequest,
+    ServiceResponse,
+};
 use symphony_store::ingest::{ingest, DataFormat};
 use symphony_store::IndexedTable;
 use symphony_web::{Corpus, CorpusConfig, SearchConfig, SearchEngine, Topic, Vertical};
@@ -44,14 +51,21 @@ fn build_platform(apps: usize) -> (Platform, Vec<AppId>) {
             ["Galactic Raiders", "Farm Story", "Star Harvest"],
         ),
     );
-    let mut platform = Platform::new(SearchEngine::new(corpus)).with_quotas(QuotaConfig {
-        requests_per_minute: u32::MAX,
-        // The virtual clock advances with every request from every
-        // thread; an effectively-infinite TTL keeps per-app cache
-        // behavior a function of that app's own query stream alone.
-        cache_ttl_ms: u64::MAX / 2,
-        ..QuotaConfig::default()
-    });
+    let mut platform = Platform::new(SearchEngine::new(corpus))
+        .with_quotas(QuotaConfig {
+            requests_per_minute: u32::MAX,
+            // The virtual clock advances with every request from every
+            // thread; an effectively-infinite TTL keeps per-app cache
+            // behavior a function of that app's own query stream alone.
+            cache_ttl_ms: u64::MAX / 2,
+            ..QuotaConfig::default()
+        })
+        // The apps share web-vertical fingerprints, so the shared L2
+        // source cache would make per-query charges depend on which
+        // thread's fetch lands first (hit vs. coalesced) — exact
+        // counter equality needs it off. Singleflight determinism is
+        // covered separately below with the L2 enabled.
+        .with_source_cache(SourceCacheConfig::disabled());
 
     let adv = platform.ads_mut().add_advertiser("MegaGames");
     platform.ads_mut().add_campaign(
@@ -319,4 +333,135 @@ fn concurrent_ad_clicks_never_overdraw_a_budget() {
     });
     assert!(platform.ads().ledger().campaign_spend_cents(campaign) <= 200);
     assert!(platform.ads().ledger().campaign_spend_cents(campaign) > 0);
+}
+
+#[test]
+fn singleflight_executes_a_shared_source_exactly_once() {
+    // THREADS apps on one platform share a service-backed source (the
+    // L2 key is tenant-agnostic for services). All threads race the
+    // same supplemental fetch: the shared source cache must collapse
+    // them onto exactly one backend execution — by coalescing onto the
+    // in-flight leader or by serving the finished entry — and every
+    // thread must render the same response.
+    struct CountingService {
+        calls: Arc<AtomicUsize>,
+    }
+    impl Service for CountingService {
+        fn describe(&self) -> ServiceDescription {
+            ServiceDescription {
+                name: "Counting".into(),
+                protocol: Protocol::Rest,
+                operations: vec![OperationDesc {
+                    name: "/price".into(),
+                    params: vec!["item".into()],
+                    returns: vec!["price".into()],
+                }],
+            }
+        }
+        fn handle(&self, _: &ServiceRequest) -> Result<ServiceResponse, ServiceFault> {
+            self.calls.fetch_add(1, Ordering::SeqCst);
+            // Hold the leader in real time so racing threads pile onto
+            // the in-flight entry rather than a finished cache entry —
+            // exactly-once must hold under either interleaving.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            Ok(ServiceResponse::single(&[("price", "9.99")]))
+        }
+    }
+
+    const ONE_ROW: &str = "title,description\nGalactic Raiders,a fast space shooter\n";
+    let corpus = Corpus::generate(&CorpusConfig {
+        sites_per_topic: 1,
+        pages_per_site: 2,
+        ..CorpusConfig::default()
+    });
+    let calls = Arc::new(AtomicUsize::new(0));
+    let mut platform = Platform::new(SearchEngine::new(corpus));
+    platform.transport_mut().register(
+        "pricing",
+        Box::new(CountingService {
+            calls: Arc::clone(&calls),
+        }),
+        symphony_services::LatencyModel {
+            base_ms: 10,
+            jitter_ms: 0,
+            failure_rate: 0.0,
+        },
+    );
+
+    let mut ids = Vec::new();
+    for i in 0..THREADS {
+        let (tenant, key) = platform.create_tenant(&format!("Tenant{i}"));
+        let (table, _) = ingest("inventory", ONE_ROW, DataFormat::Csv).unwrap();
+        let mut indexed = IndexedTable::new(table);
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("description", 1.0)])
+            .unwrap();
+        platform.upload_table(tenant, &key, indexed).unwrap();
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        let item = Element::column(vec![
+            Element::text("{title}"),
+            Element::result_list("svc", Element::text("price: {price}"), 1),
+        ]);
+        canvas
+            .insert(root, Element::result_list("inventory", item, 5))
+            .unwrap();
+        let config = AppBuilder::new(&format!("App{i}"), tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .source(
+                "svc",
+                DataSourceDef::Service {
+                    endpoint: "pricing".into(),
+                    operation: "/price".into(),
+                    item_param: "item".into(),
+                    policy: CallPolicy::default(),
+                },
+            )
+            .supplemental("svc", "{title}")
+            .build()
+            .unwrap();
+        let id = platform.register_app(config).unwrap();
+        platform.publish(id).unwrap();
+        ids.push(id);
+    }
+
+    let barrier = Arc::new(Barrier::new(THREADS));
+    let htmls: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ids
+            .iter()
+            .map(|&id| {
+                let platform = &platform;
+                let barrier = Arc::clone(&barrier);
+                scope.spawn(move || {
+                    barrier.wait();
+                    let resp = platform.query(id, "galactic").unwrap();
+                    assert!(!resp.trace.degraded, "{}", resp.trace.render());
+                    resp.html.clone()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    assert_eq!(
+        calls.load(Ordering::SeqCst),
+        1,
+        "backend ran more than once"
+    );
+    for html in &htmls {
+        assert!(html.contains("price: 9.99"), "{html}");
+        assert_eq!(html, &htmls[0], "responses diverged");
+    }
+    // Per-tenant proprietary fetches each miss once; the shared
+    // service key misses once and is served THREADS-1 times.
+    let stats = platform.source_cache_stats();
+    assert_eq!(stats.executions, THREADS as u64 + 1);
+    assert_eq!(stats.misses, THREADS as u64 + 1);
+    assert_eq!(stats.hits + stats.coalesced, THREADS as u64 - 1);
 }

@@ -230,6 +230,70 @@ fn composition_cycles_terminate_gracefully() {
 }
 
 #[test]
+fn depth_limited_composition_does_not_poison_the_child_cache() {
+    let mut platform = Platform::new(SearchEngine::new(corpus()));
+    let (tenant, key) = platform.create_tenant("T");
+    platform
+        .upload_table(tenant, &key, inventory_table())
+        .unwrap();
+
+    let child_cfg = AppBuilder::new("Child", tenant)
+        .layout(simple_layout("inventory"))
+        .source(
+            "inventory",
+            DataSourceDef::Proprietary {
+                table: "inventory".into(),
+            },
+        )
+        .build()
+        .unwrap();
+    let child = platform.register_app(child_cfg).unwrap();
+    platform.publish(child).unwrap();
+    let mid_cfg = AppBuilder::new("Mid", tenant)
+        .layout(simple_layout("c"))
+        .source("c", DataSourceDef::ComposedApp { app: child })
+        .build()
+        .unwrap();
+    let mid = platform.register_app(mid_cfg).unwrap();
+    platform.publish(mid).unwrap();
+    let top_cfg = AppBuilder::new("Top", tenant)
+        .layout(simple_layout("m"))
+        .source("m", DataSourceDef::ComposedApp { app: mid })
+        .build()
+        .unwrap();
+    let top = platform.register_app(top_cfg).unwrap();
+    platform.publish(top).unwrap();
+
+    // Querying Top runs Mid at depth 1, where Mid's own composed
+    // source hits the depth limit: Mid computes — and caches — an
+    // empty depth-limited rendering for this query string.
+    let via_top = platform.query(top, "shooter").unwrap();
+    assert!(via_top.impressions.is_empty());
+
+    // Regression: responses computed under parent overrides are cached
+    // under an override-scoped key, so a direct query of Mid must not
+    // be served the depth-limited rendering.
+    let direct = platform.query(mid, "shooter").unwrap();
+    assert!(!direct.trace.cache_hit, "served the poisoned entry");
+    assert!(!direct.trace.degraded);
+    assert!(direct.html.contains("Galactic Raiders"), "{}", direct.html);
+
+    // Both renderings now coexist in the cache, each behind its own
+    // key: the composed path stays depth-limited while direct queries
+    // keep serving the real results. (The direct path re-executes once
+    // more because its override key covers the child outcome, which
+    // changes shape when the child starts answering from its own
+    // cache; from then on the key is stable and hits.)
+    let via_top2 = platform.query(top, "shooter").unwrap();
+    assert!(via_top2.impressions.is_empty());
+    let direct2 = platform.query(mid, "shooter").unwrap();
+    assert!(direct2.html.contains("Galactic Raiders"));
+    let direct3 = platform.query(mid, "shooter").unwrap();
+    assert!(direct3.trace.cache_hit);
+    assert!(direct3.html.contains("Galactic Raiders"));
+}
+
+#[test]
 fn composed_source_cannot_be_supplemental() {
     let mut platform = Platform::new(SearchEngine::new(corpus()));
     let (tenant, key) = platform.create_tenant("T");
