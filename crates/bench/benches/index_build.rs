@@ -1,8 +1,10 @@
 //! E3: inverted-index build throughput and the compression pass.
+//! E-build: segmented parallel build scaling (1/2/4/8 threads) and the
+//! allocation-lean analysis chain (owned tokens vs streaming scratch).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use symphony_bench::{corpus, Scale};
-use symphony_text::{Doc, Index, IndexConfig};
+use symphony_text::{Analyzer, Doc, Index, IndexConfig, StandardAnalyzer, TokenScratch};
 
 fn bench_index_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("e3_index_build");
@@ -56,5 +58,83 @@ fn bench_index_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_index_build);
+/// E-build: one corpus-scale batch through `Index::build_parallel` at
+/// increasing thread counts. `threads = 1` is the sequential baseline
+/// (identical code path to per-doc `add`); the differential tests
+/// guarantee every row builds the same index, so the rows are directly
+/// comparable.
+fn bench_parallel_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e_build_parallel");
+    group.sample_size(10);
+    let corpus = corpus(Scale::Medium);
+    let docs: Vec<(String, String)> = corpus
+        .pages
+        .iter()
+        .map(|p| (p.title.clone(), p.body.clone()))
+        .collect();
+    group.throughput(Throughput::Elements(docs.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("threads", threads), &docs, |b, docs| {
+            b.iter(|| {
+                let mut index = Index::new(IndexConfig::default());
+                let title = index.register_field("title", 2.0);
+                let body = index.register_field("body", 1.0);
+                let batch: Vec<Doc> = docs
+                    .iter()
+                    .map(|(t, bod)| Doc::new().field(title, t.clone()).field(body, bod.clone()))
+                    .collect();
+                index.build_parallel(batch, threads);
+                index.total_docs()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Analysis-chain throughput in tokens/sec: materializing owned
+/// `Token`s per call vs streaming borrowed terms through a reused
+/// scratch (the path the index build runs on).
+fn bench_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analysis_alloc");
+    group.sample_size(10);
+    let corpus = corpus(Scale::Medium);
+    let texts: Vec<&str> = corpus.pages.iter().map(|p| p.body.as_str()).collect();
+    let analyzer = StandardAnalyzer::new();
+    let mut scratch = TokenScratch::default();
+    let mut total_tokens = 0u64;
+    for t in &texts {
+        analyzer.analyze_with(t, &mut scratch, &mut |_, _, _, _| total_tokens += 1);
+    }
+    group.throughput(Throughput::Elements(total_tokens));
+    group.bench_function("analyze_into_owned", |b| {
+        b.iter(|| {
+            let mut out = Vec::new();
+            let mut n = 0usize;
+            for t in &texts {
+                out.clear();
+                analyzer.analyze_into(t, &mut out);
+                n += out.len();
+            }
+            n
+        })
+    });
+    group.bench_function("analyze_with_streaming", |b| {
+        b.iter(|| {
+            let mut scratch = TokenScratch::default();
+            let mut n = 0usize;
+            for t in &texts {
+                analyzer.analyze_with(t, &mut scratch, &mut |_, _, _, _| n += 1);
+            }
+            n
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_index_build,
+    bench_parallel_build,
+    bench_analysis
+);
 criterion_main!(benches);

@@ -9,6 +9,8 @@
 //! cargo run --release -p symphony-bench --bin experiments
 //! ```
 
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use symphony_baselines::{
@@ -21,8 +23,37 @@ use symphony_bench::{
 };
 use symphony_core::hosting::QuotaConfig;
 use symphony_core::runtime::ExecMode;
-use symphony_text::{Doc, Index, IndexConfig};
+use symphony_text::{Analyzer, Doc, Index, IndexConfig, StandardAnalyzer, TokenScratch};
 use symphony_web::{generate_logs, LogConfig, SearchEngine, SiteSuggest, Topic};
+
+/// Allocation-counting wrapper around the system allocator, so E-build
+/// can report allocations per document without external tooling.
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+// SAFETY: delegates every operation to `System` unchanged; the counter
+// is a relaxed atomic side effect.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
 
 fn main() {
     println!("SYMPHONY REPRODUCTION — EXPERIMENTS E1..E10");
@@ -31,6 +62,7 @@ fn main() {
     e2_cache();
     e_cache_l2();
     e3_index_build();
+    e_build();
     e4_query_latency();
     e5_quality();
     e6_auction();
@@ -296,6 +328,116 @@ fn e3_index_build() {
             "compressed KiB",
             "ratio",
         ],
+        &rows,
+    );
+}
+
+/// E-build: segmented parallel index build, allocation-lean analysis
+/// chain, and engine cold start. Wall-clock scaling depends on the
+/// host's core count (reported in the table titles); the differential
+/// tests guarantee every thread count builds a bit-identical index, so
+/// rows are directly comparable.
+fn e_build() {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    // Allocations per document in the analysis chain: owned tokens
+    // (the pre-streaming path) vs borrowed terms through a reused
+    // scratch (what the build runs on).
+    let c = corpus(Scale::Medium);
+    let analyzer = StandardAnalyzer::new();
+    let docs = c.pages.len() as u64;
+    let before = allocations();
+    let mut out = Vec::new();
+    for p in &c.pages {
+        out.clear();
+        analyzer.analyze_into(&p.body, &mut out);
+        std::hint::black_box(out.len());
+    }
+    let owned = allocations() - before;
+    let before = allocations();
+    let mut scratch = TokenScratch::default();
+    let mut tokens = 0u64;
+    for p in &c.pages {
+        analyzer.analyze_with(&p.body, &mut scratch, &mut |_, _, _, _| tokens += 1);
+    }
+    std::hint::black_box(tokens);
+    let streaming = allocations() - before;
+    print_table(
+        &format!("E-build — analysis allocations per document ({docs} docs)"),
+        &["path", "allocs/doc", "total allocs"],
+        &[
+            vec![
+                "owned tokens".into(),
+                format!("{:.1}", owned as f64 / docs as f64),
+                owned.to_string(),
+            ],
+            vec![
+                "streaming scratch".into(),
+                format!("{:.1}", streaming as f64 / docs as f64),
+                streaming.to_string(),
+            ],
+        ],
+    );
+
+    // Parallel build wall-clock at 1/2/4/8 threads (best of 5).
+    let c = corpus(Scale::Large);
+    let pages: Vec<(String, String)> = c
+        .pages
+        .iter()
+        .map(|p| (p.title.clone(), p.body.clone()))
+        .collect();
+    let mut rows = Vec::new();
+    let mut baseline = 0.0f64;
+    for threads in [1usize, 2, 4, 8] {
+        let mut best = f64::MAX;
+        for _ in 0..5 {
+            let start = Instant::now();
+            let mut index = Index::new(IndexConfig::default());
+            let title = index.register_field("title", 2.0);
+            let body = index.register_field("body", 1.0);
+            let batch: Vec<Doc> = pages
+                .iter()
+                .map(|(t, b)| Doc::new().field(title, t.clone()).field(body, b.clone()))
+                .collect();
+            index.build_parallel(batch, threads);
+            std::hint::black_box(index.total_docs());
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        if threads == 1 {
+            baseline = best;
+        }
+        rows.push(vec![
+            threads.to_string(),
+            format!("{:.2}", best * 1e3),
+            format!("{:.2}x", baseline / best),
+        ]);
+    }
+    print_table(
+        &format!(
+            "E-build — parallel segmented build, {} pages ({cores} core(s) available)",
+            pages.len()
+        ),
+        &["threads", "build ms", "speedup"],
+        &rows,
+    );
+
+    // Engine cold start: sequential boot vs concurrent verticals.
+    let mut rows = Vec::new();
+    for (label, threads) in [("sequential", 1usize), ("parallel (8)", 8)] {
+        let mut best = f64::MAX;
+        for _ in 0..3 {
+            let corpus = corpus(Scale::Large);
+            let start = Instant::now();
+            std::hint::black_box(SearchEngine::with_build_threads(corpus, threads));
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        rows.push(vec![label.to_string(), format!("{:.1}", best * 1e3)]);
+    }
+    print_table(
+        &format!("E-build — SearchEngine cold start, large corpus ({cores} core(s) available)"),
+        &["boot path", "ms"],
         &rows,
     );
 }

@@ -268,6 +268,40 @@ impl Platform {
         Ok(())
     }
 
+    /// Warm the platform for serving: compress every tenant table's
+    /// full-text posting lists and precompute their score-bound stats,
+    /// spreading tables across scoped worker threads (capped like the
+    /// fan-out pool). Multi-app boot calls this once after uploading
+    /// tenant data so first queries skip the raw-postings slow path.
+    /// Optimization never changes results, so nothing cached is
+    /// invalidated. Returns the number of tables visited.
+    pub fn warmup(&mut self) -> usize {
+        let tables: Vec<&mut IndexedTable> = self
+            .store
+            .spaces_mut()
+            .flat_map(|space| space.tables_mut())
+            .collect();
+        let n = tables.len();
+        if n == 0 {
+            return 0;
+        }
+        let workers = crate::runtime::MAX_FANOUT_WORKERS.min(n);
+        let chunk = n.div_ceil(workers);
+        std::thread::scope(|s| {
+            let mut rest = tables;
+            while !rest.is_empty() {
+                let take = chunk.min(rest.len());
+                let part: Vec<&mut IndexedTable> = rest.drain(..take).collect();
+                s.spawn(move || {
+                    for table in part {
+                        table.optimize_fulltext();
+                    }
+                });
+            }
+        });
+        n
+    }
+
     // ---- Application lifecycle ------------------------------------
 
     /// Register a validated application (starts unpublished).
@@ -968,6 +1002,37 @@ mod tests {
         assert!(code.contains("symphony-app-0"));
         let manifest = p.social_manifest(id).unwrap();
         assert_eq!(manifest.get("app_name"), Some("GamerQueen"));
+    }
+
+    #[test]
+    fn warmup_optimizes_tenant_tables_and_preserves_results() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        let before = p.query(id, "shooter").unwrap().html.clone();
+        assert_eq!(p.warmup(), 1);
+        let table = p
+            .store()
+            .space_by_id(tenant)
+            .unwrap()
+            .table("inventory")
+            .unwrap();
+        assert!(table.fulltext().unwrap().index().stats().fully_compressed);
+        p.advance_clock(120_000); // expire the L1 entry
+        let after = p.query(id, "shooter").unwrap();
+        assert!(!after.trace.cache_hit);
+        assert_eq!(after.html, before);
+    }
+
+    #[test]
+    fn warmup_on_empty_store_is_a_noop() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            sites_per_topic: 1,
+            pages_per_site: 2,
+            ..CorpusConfig::default()
+        });
+        let mut p = Platform::new(SearchEngine::new(corpus));
+        assert_eq!(p.warmup(), 0);
     }
 
     #[test]

@@ -80,6 +80,39 @@ impl FullTextView {
         self.record_to_doc.insert(id, doc_id);
     }
 
+    /// Bulk-index a batch of records using up to `threads` worker
+    /// threads (`Index::build_parallel` under the hood — the result is
+    /// bit-identical to calling [`add`](Self::add) per record in
+    /// order). Used by table backfills, where the whole table arrives
+    /// at once.
+    pub fn add_bulk<'a, I>(&mut self, rows: I, threads: usize)
+    where
+        I: IntoIterator<Item = (RecordId, &'a Record)>,
+    {
+        let mut ids = Vec::new();
+        let mut docs = Vec::new();
+        for (id, record) in rows {
+            if self.record_to_doc.contains_key(&id) {
+                self.remove(id);
+            }
+            let mut doc = Doc::new();
+            for &(col, field) in &self.cols {
+                let text = record.get(col).index_text();
+                if !text.is_empty() {
+                    doc = doc.field(field, text);
+                }
+            }
+            ids.push(id);
+            docs.push(doc);
+        }
+        let doc_ids = self.index.build_parallel(docs, threads);
+        for (id, doc_id) in ids.into_iter().zip(doc_ids) {
+            debug_assert_eq!(doc_id.as_usize(), self.doc_to_record.len());
+            self.doc_to_record.push(id);
+            self.record_to_doc.insert(id, doc_id);
+        }
+    }
+
     /// Drop a record from the view (no-op when absent).
     pub fn remove(&mut self, id: RecordId) {
         if let Some(doc) = self.record_to_doc.remove(&id) {

@@ -115,14 +115,23 @@ impl IndexedTable {
     }
 
     /// Enable full-text search over `(column, boost)` pairs,
-    /// backfilling existing rows. Replaces any previous view.
+    /// backfilling existing rows (in parallel when the table is large
+    /// enough to benefit). Replaces any previous view.
     pub fn enable_fulltext(&mut self, searchable: &[(&str, f32)]) -> Result<(), StoreError> {
         let mut view = FullTextView::new(self.table.schema(), searchable)?;
-        for (id, rec) in self.table.iter() {
-            view.add(id, rec);
-        }
+        view.add_bulk(self.table.iter(), symphony_text::default_build_threads());
         self.fulltext = Some(view);
         Ok(())
+    }
+
+    /// Compress the full-text view's posting lists and precompute its
+    /// score-bound stats (no-op without a view). The hosting layer
+    /// calls this during warmup so first queries skip the raw-postings
+    /// slow path.
+    pub fn optimize_fulltext(&mut self) {
+        if let Some(ft) = &mut self.fulltext {
+            ft.optimize();
+        }
     }
 
     /// Insert a record, maintaining all indexes.

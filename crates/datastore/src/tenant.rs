@@ -65,6 +65,12 @@ impl TenantSpace {
         self.tables.keys().map(String::as_str).collect()
     }
 
+    /// Mutably iterate every table (name order). Platform-internal:
+    /// used by warmup to optimize full-text views across tenants.
+    pub fn tables_mut(&mut self) -> impl Iterator<Item = &mut IndexedTable> {
+        self.tables.values_mut()
+    }
+
     /// Total live records across tables (quota accounting).
     pub fn total_records(&self) -> usize {
         self.tables.values().map(|t| t.table().len()).sum()
@@ -122,6 +128,14 @@ impl Store {
     /// at registration. External callers must use [`Store::space`].
     pub fn space_by_id(&self, tenant: TenantId) -> Option<&TenantSpace> {
         self.spaces.get(tenant.0 as usize).map(|(_, s)| s)
+    }
+
+    /// Trusted platform-internal accessor: mutably iterate every
+    /// tenant space without keys, in tenant-id order. The hosting
+    /// layer uses this for maintenance passes (warmup optimization);
+    /// external callers must authenticate via [`Store::space_mut`].
+    pub fn spaces_mut(&mut self) -> impl Iterator<Item = &mut TenantSpace> {
+        self.spaces.iter_mut().map(|(_, s)| s)
     }
 
     /// Authenticate and borrow a space mutably.

@@ -20,6 +20,24 @@ pub struct Token {
     pub end: usize,
 }
 
+/// Reusable per-builder scratch buffers for the allocation-lean
+/// [`Analyzer::analyze_with`] path.
+///
+/// Holds the lowercase and stem staging buffers so that, across a
+/// whole document stream, normalization performs zero steady-state
+/// heap allocations: terms that are already normalized are borrowed
+/// straight from the input text, and terms that change bytes are
+/// staged in these buffers (which only ever grow to the longest token
+/// seen).
+#[derive(Debug, Default, Clone)]
+pub struct TokenScratch {
+    /// Lowercasing staging buffer.
+    lower: String,
+    /// Stemming staging buffer (only the rare suffix rewrites that are
+    /// not prefix slices need it, e.g. `stories` -> `story`).
+    stemmed: String,
+}
+
 /// Anything that turns raw text into a token stream.
 pub trait Analyzer: Send + Sync {
     /// Tokenize `text`, appending tokens to `out`.
@@ -34,6 +52,30 @@ pub trait Analyzer: Send + Sync {
         let mut out = Vec::new();
         self.analyze_into(text, &mut out);
         out
+    }
+
+    /// Streaming, allocation-lean analysis: invoke
+    /// `sink(term, position, start, end)` for every kept token, with
+    /// `term` borrowed from `text` or from `scratch` — no owned
+    /// `String` is ever materialized. This is the indexing hot path;
+    /// [`Analyzer::analyze_into`] and this method must emit identical
+    /// token streams.
+    ///
+    /// The default implementation delegates to `analyze_into` (one
+    /// allocation per token), so third-party analyzers stay correct
+    /// without opting into the lean path.
+    fn analyze_with(
+        &self,
+        text: &str,
+        scratch: &mut TokenScratch,
+        sink: &mut dyn FnMut(&str, u32, usize, usize),
+    ) {
+        let _ = scratch;
+        let mut out = Vec::new();
+        self.analyze_into(text, &mut out);
+        for t in &out {
+            sink(&t.term, t.position, t.start, t.end);
+        }
     }
 }
 
@@ -91,6 +133,26 @@ impl StandardAnalyzer {
 
 impl Analyzer for StandardAnalyzer {
     fn analyze_into(&self, text: &str, out: &mut Vec<Token>) {
+        let mut scratch = TokenScratch::default();
+        self.analyze_with(text, &mut scratch, &mut |term, position, start, end| {
+            out.push(Token {
+                term: term.to_string(),
+                position,
+                start,
+                end,
+            });
+        });
+    }
+
+    fn analyze_with(
+        &self,
+        text: &str,
+        scratch: &mut TokenScratch,
+        sink: &mut dyn FnMut(&str, u32, usize, usize),
+    ) {
+        // Split-borrow the two staging buffers once so a term borrowed
+        // from `lower` can coexist with a stem written into `stemmed`.
+        let TokenScratch { lower, stemmed } = scratch;
         let mut position = 0u32;
         let mut start = None;
         // Iterate char boundaries manually so byte offsets are exact.
@@ -100,38 +162,70 @@ impl Analyzer for StandardAnalyzer {
                     start = Some(idx);
                 }
             } else if let Some(s) = start.take() {
-                emit(self, text, s, idx, &mut position, out);
+                self.emit(text, s, idx, &mut position, lower, stemmed, sink);
             }
         }
         if let Some(s) = start {
-            emit(self, text, s, text.len(), &mut position, out);
+            self.emit(text, s, text.len(), &mut position, lower, stemmed, sink);
         }
+    }
+}
 
-        fn emit(
-            an: &StandardAnalyzer,
-            text: &str,
-            start: usize,
-            end: usize,
-            position: &mut u32,
-            out: &mut Vec<Token>,
-        ) {
-            let raw = &text[start..end];
-            let mut term = raw.to_lowercase();
-            let pos = *position;
-            *position += 1;
-            if an.is_stopword(&term) {
-                return;
+impl StandardAnalyzer {
+    /// Normalize one raw word and hand it to `sink` unless it is
+    /// filtered. Lowercasing borrows the input when no byte changes
+    /// (the common case for generated corpora), byte-lowercases ASCII
+    /// into the scratch buffer otherwise, and only falls back to the
+    /// allocating Unicode `to_lowercase` for non-ASCII words that
+    /// really contain uppercase letters. The stopword set is consulted
+    /// on the borrowed lowercase form, so filtered words never
+    /// materialize an owned term.
+    #[allow(clippy::too_many_arguments)]
+    fn emit(
+        &self,
+        text: &str,
+        start: usize,
+        end: usize,
+        position: &mut u32,
+        lower: &mut String,
+        stemmed: &mut String,
+        sink: &mut dyn FnMut(&str, u32, usize, usize),
+    ) {
+        let raw = &text[start..end];
+        let pos = *position;
+        *position += 1;
+        let term: &str = if raw.is_ascii() {
+            if raw.bytes().any(|b| b.is_ascii_uppercase()) {
+                lower.clear();
+                lower.push_str(raw);
+                lower.as_mut_str().make_ascii_lowercase();
+                lower
+            } else {
+                raw
             }
-            if an.stem {
-                term = stem(&term);
-            }
-            out.push(Token {
-                term,
-                position: pos,
-                start,
-                end,
-            });
+        } else if raw.chars().all(|c| {
+            // Borrow when every char already maps to itself under
+            // lowercasing (str::to_lowercase's final-sigma special
+            // case only rewrites uppercase sigma, so char-by-char
+            // identity implies string identity).
+            let mut it = c.to_lowercase();
+            it.next() == Some(c) && it.next().is_none()
+        }) {
+            raw
+        } else {
+            lower.clear();
+            lower.push_str(&raw.to_lowercase());
+            lower
+        };
+        if self.is_stopword(term) {
+            return;
         }
+        let term = if self.stem {
+            stem_into(term, stemmed)
+        } else {
+            term
+        };
+        sink(term, pos, start, end);
     }
 }
 
@@ -140,19 +234,32 @@ impl Analyzer for StandardAnalyzer {
 /// that remains is long enough to stay recognizable, which keeps it
 /// safe for product catalogs ("rings" -> "ring" but "les" stays "les").
 pub fn stem(term: &str) -> String {
+    let mut buf = String::new();
+    stem_into(term, &mut buf).to_string()
+}
+
+/// Allocation-lean stemming: every rewrite except `ies` -> `y` leaves a
+/// prefix of the input, which is returned as a borrowed slice; the one
+/// suffix substitution stages its result in `buf`. The returned `&str`
+/// borrows from `term` or from `buf`.
+pub fn stem_into<'a>(term: &'a str, buf: &'a mut String) -> &'a str {
     let t = term;
     let n = t.len();
     // Never stem very short tokens or tokens with digits.
     if n <= 3 || t.bytes().any(|b| b.is_ascii_digit()) {
-        return t.to_string();
+        return t;
     }
     if let Some(base) = t.strip_suffix("ies") {
         if base.len() >= 2 {
-            return format!("{base}y");
+            buf.clear();
+            buf.push_str(base);
+            buf.push('y');
+            return buf;
         }
     }
-    if let Some(base) = t.strip_suffix("sses") {
-        return format!("{base}ss");
+    if t.ends_with("sses") {
+        // Strip "sses", re-append "ss": a prefix of the original.
+        return &t[..n - 2];
     }
     if let Some(base) = t.strip_suffix("ing") {
         if base.len() >= 3 {
@@ -167,27 +274,27 @@ pub fn stem(term: &str) -> String {
     if let Some(base) = t.strip_suffix("es") {
         if base.len() >= 3 && (base.ends_with('x') || base.ends_with("sh") || base.ends_with("ch"))
         {
-            return base.to_string();
+            return base;
         }
     }
     if t.ends_with('s') && !t.ends_with("ss") && !t.ends_with("us") && n >= 4 {
-        return t[..n - 1].to_string();
+        return &t[..n - 1];
     }
-    t.to_string()
+    t
 }
 
 /// Collapse a doubled final consonant left behind by suffix stripping
 /// ("stopp" -> "stop"), except for letters where doubling is natural.
-fn undouble(base: &str) -> String {
+fn undouble(base: &str) -> &str {
     let bytes = base.as_bytes();
     let n = bytes.len();
     if n >= 2 && bytes[n - 1] == bytes[n - 2] {
         let c = bytes[n - 1] as char;
         if c.is_ascii_alphabetic() && !matches!(c, 'l' | 's' | 'z' | 'e' | 'o') {
-            return base[..n - 1].to_string();
+            return &base[..n - 1];
         }
     }
-    base.to_string()
+    base
 }
 
 #[cfg(test)]
@@ -266,6 +373,60 @@ mod tests {
     fn empty_and_whitespace_only() {
         assert!(terms("").is_empty());
         assert!(terms("   \t\n ").is_empty());
+    }
+
+    #[test]
+    fn analyze_with_matches_analyze_into() {
+        let texts = [
+            "Hello, World!",
+            "the space shooter",
+            "Café MÜNCH Σοφία stories",
+            "running stopped boxes classes glasses",
+            "top 10 games of 2009",
+            "",
+        ];
+        for an in [
+            StandardAnalyzer::new(),
+            StandardAnalyzer::new().without_stemming(),
+            StandardAnalyzer::new().with_stopwords(),
+        ] {
+            let mut scratch = TokenScratch::default();
+            for text in texts {
+                let owned = an.analyze(text);
+                let mut streamed = Vec::new();
+                an.analyze_with(text, &mut scratch, &mut |term, position, start, end| {
+                    streamed.push(Token {
+                        term: term.to_string(),
+                        position,
+                        start,
+                        end,
+                    });
+                });
+                assert_eq!(owned, streamed, "{text:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn final_sigma_lowercasing_matches_std() {
+        // str::to_lowercase's word-final sigma rule must survive the
+        // allocation-lean path (uppercase Greek goes down the Unicode
+        // fallback, already-lowercase Greek is borrowed unchanged).
+        let an = StandardAnalyzer::new().without_stemming();
+        assert_eq!(an.analyze("ΟΔΟΣ")[0].term, "ΟΔΟΣ".to_lowercase());
+        assert_eq!(an.analyze("οδος")[0].term, "οδος");
+    }
+
+    #[test]
+    fn stem_into_stages_only_suffix_substitutions() {
+        let mut buf = String::new();
+        assert_eq!(stem_into("games", &mut buf), "game");
+        assert!(buf.is_empty(), "prefix rewrites never touch the buffer");
+        assert_eq!(stem_into("classes", &mut buf), "class");
+        assert_eq!(stem_into("running", &mut buf), "run");
+        assert!(buf.is_empty());
+        assert_eq!(stem_into("stories", &mut buf), "story");
+        assert_eq!(buf, "story", "ies -> y is the one staged rewrite");
     }
 
     #[test]

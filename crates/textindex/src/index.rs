@@ -5,11 +5,26 @@
 //! compressed representation (further adds transparently re-expand the
 //! affected lists).
 
-use crate::analysis::{Analyzer, StandardAnalyzer, Token};
+use crate::analysis::{Analyzer, StandardAnalyzer, TokenScratch};
 use crate::fx::FxHashMap;
 use crate::lexicon::{Lexicon, TermId};
 use crate::postings::{CompressedPostings, PostingList, Postings};
+use crate::segment::{Segment, SegmentBuilder};
 use crate::DocId;
+use std::collections::hash_map::Entry;
+
+/// Upper bound on worker threads for [`Index::build_parallel`],
+/// mirroring the serving path's `MAX_FANOUT_WORKERS` cap.
+pub const MAX_BUILD_WORKERS: usize = 16;
+
+/// Default build parallelism: available cores, capped at
+/// [`MAX_BUILD_WORKERS`].
+pub fn default_build_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(MAX_BUILD_WORKERS)
+}
 
 /// Identifier of a registered field within one index.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -64,6 +79,12 @@ impl Doc {
     /// Borrow the field/text pairs.
     pub fn fields(&self) -> &[(FieldId, String)] {
         &self.fields
+    }
+
+    /// Consume the document, yielding its field/text pairs (the stored
+    /// representation).
+    pub(crate) fn into_fields(self) -> Vec<(FieldId, String)> {
+        self.fields
     }
 }
 
@@ -132,7 +153,8 @@ pub struct Index {
     stored: Vec<Vec<(FieldId, String)>>,
     deleted: Vec<bool>,
     live_docs: usize,
-    scratch: Vec<Token>,
+    /// Reused analysis staging buffers for the incremental add path.
+    scratch: TokenScratch,
 }
 
 impl std::fmt::Debug for Index {
@@ -157,7 +179,7 @@ impl Index {
             stored: Vec::new(),
             deleted: Vec::new(),
             live_docs: 0,
-            scratch: Vec::new(),
+            scratch: TokenScratch::default(),
         }
     }
 
@@ -207,51 +229,186 @@ impl Index {
         for lens in &mut self.field_len {
             lens.push(0);
         }
+        // Split the borrow so the token sink can mutate the lexicon and
+        // postings while the analyzer (behind `config`) stays shared.
+        let Index {
+            config,
+            fields,
+            lexicon,
+            postings,
+            score_stats,
+            field_len,
+            scratch,
+            ..
+        } = self;
         // Group occurrences per field so repeated fields concatenate.
-        let mut scratch = std::mem::take(&mut self.scratch);
         for (field, text) in doc.fields() {
             let field = *field;
             assert!(
-                (field.0 as usize) < self.fields.len(),
+                (field.0 as usize) < fields.len(),
                 "field {} not registered with this index",
                 field.0
             );
-            scratch.clear();
-            self.config.analyzer.analyze_into(text, &mut scratch);
-            let base = self.field_len[field.0 as usize][id.as_usize()];
-            for tok in &scratch {
-                let term = self.lexicon.intern(&tok.term);
-                if !self.score_stats.is_empty() {
-                    self.score_stats.remove(&(term, field));
-                }
-                let list = self
-                    .postings
-                    .entry((term, field))
-                    .or_insert_with(|| Postings::Raw(PostingList::new()));
-                let raw = match list {
-                    Postings::Raw(l) => l,
-                    Postings::Compressed(c) => {
-                        // Re-expand a compressed list for the append.
-                        *list = Postings::Raw(c.decode());
-                        match list {
-                            Postings::Raw(l) => l,
-                            Postings::Compressed(_) => unreachable!(),
-                        }
+            let base = field_len[field.0 as usize][id.as_usize()];
+            let mut last_pos = None;
+            config
+                .analyzer
+                .analyze_with(text, scratch, &mut |term, pos, _start, _end| {
+                    last_pos = Some(pos);
+                    let term = lexicon.intern(term);
+                    if !score_stats.is_empty() {
+                        score_stats.remove(&(term, field));
                     }
-                };
-                raw.push_occurrence(id, base + tok.position);
-            }
-            let added = scratch.last().map(|t| t.position + 1).unwrap_or(0);
-            self.field_len[field.0 as usize][id.as_usize()] += added;
-            self.fields[field.0 as usize].total_len += added as u64;
+                    let list = postings
+                        .entry((term, field))
+                        .or_insert_with(|| Postings::Raw(PostingList::new()));
+                    let raw = match list {
+                        Postings::Raw(l) => l,
+                        Postings::Compressed(c) => {
+                            // Re-expand a compressed list for the append.
+                            *list = Postings::Raw(c.decode());
+                            match list {
+                                Postings::Raw(l) => l,
+                                Postings::Compressed(_) => unreachable!(),
+                            }
+                        }
+                    };
+                    raw.push_occurrence(id, base + pos);
+                });
+            let added = last_pos.map(|p| p + 1).unwrap_or(0);
+            field_len[field.0 as usize][id.as_usize()] += added;
+            fields[field.0 as usize].total_len += added as u64;
         }
         if self.config.store_text {
             self.stored.push(doc.fields);
         } else {
             self.stored.push(Vec::new());
         }
-        self.scratch = scratch;
         id
+    }
+
+    /// Add a batch of documents using up to `threads` worker threads,
+    /// returning their ids in batch order.
+    ///
+    /// The batch is partitioned into contiguous chunks, each built into
+    /// an independent [`Segment`] on its own scoped thread (private
+    /// lexicon and postings — the hot loop takes no locks), and the
+    /// segments are folded back in chunk order by a deterministic
+    /// merge. The result is **bit-identical** to calling [`Index::add`]
+    /// on each document in order: same doc ids, same term ids, same
+    /// postings bytes after [`Index::optimize`] — see the differential
+    /// property tests. `threads` is clamped to `1..=`
+    /// [`MAX_BUILD_WORKERS`]; with one thread (or one document) the
+    /// build degenerates to the sequential path.
+    pub fn build_parallel(&mut self, docs: Vec<Doc>, threads: usize) -> Vec<DocId> {
+        let n = docs.len();
+        let first = self.deleted.len() as u32;
+        let workers = threads.clamp(1, MAX_BUILD_WORKERS).min(n.max(1));
+        if workers <= 1 {
+            return docs.into_iter().map(|d| self.add(d)).collect();
+        }
+        let chunk_size = n.div_ceil(workers);
+        // Carve the batch into owned contiguous chunks, back to front so
+        // each split_off is cheap.
+        let mut docs = docs;
+        let mut parts: Vec<Vec<Doc>> = Vec::with_capacity(workers);
+        for i in (0..workers).rev() {
+            let start = (i * chunk_size).min(docs.len());
+            parts.push(docs.split_off(start));
+        }
+        parts.reverse();
+        let analyzer = self.config.analyzer.as_ref();
+        let store_text = self.config.store_text;
+        let num_fields = self.fields.len();
+        let segments: Vec<Segment> = std::thread::scope(|s| {
+            let handles: Vec<_> = parts
+                .into_iter()
+                .enumerate()
+                .map(|(i, part)| {
+                    let base = first + (i * chunk_size) as u32;
+                    s.spawn(move || {
+                        let mut builder =
+                            SegmentBuilder::new(analyzer, store_text, num_fields, base);
+                        for doc in part {
+                            builder.add(doc);
+                        }
+                        builder.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(seg) => seg,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        for seg in segments {
+            self.merge_segment(seg);
+        }
+        (0..n as u32).map(|i| DocId(first + i)).collect()
+    }
+
+    /// Fold one finished segment into the index. Called in chunk order;
+    /// determinism of the merged representation relies on iterating the
+    /// segment's terms in local-id (first-encounter) order and fields in
+    /// id order — never on hash-map iteration order.
+    fn merge_segment(&mut self, seg: Segment) {
+        let Segment {
+            lexicon,
+            mut postings,
+            field_len,
+            total_len,
+            stored,
+            docs,
+        } = seg;
+        // Append-if-absent interning of the segment lexicon in local-id
+        // order reproduces sequential first-encounter term ids.
+        let mut remap: Vec<TermId> = Vec::with_capacity(lexicon.len());
+        for (_, term) in lexicon.iter() {
+            remap.push(self.lexicon.intern(term));
+        }
+        for (local, &global) in remap.iter().enumerate() {
+            let local_id = TermId(local as u32);
+            for f in 0..self.fields.len() {
+                let field = FieldId(f as u16);
+                let Some(list) = postings.remove(&(local_id, field)) else {
+                    continue;
+                };
+                if !self.score_stats.is_empty() {
+                    // The list grows: stale bounds could under-estimate.
+                    self.score_stats.remove(&(global, field));
+                }
+                match self.postings.entry((global, field)) {
+                    Entry::Vacant(slot) => {
+                        slot.insert(Postings::Raw(list));
+                    }
+                    Entry::Occupied(mut slot) => {
+                        let merged = slot.get_mut();
+                        let raw = match merged {
+                            Postings::Raw(l) => l,
+                            Postings::Compressed(c) => {
+                                *merged = Postings::Raw(c.decode());
+                                match merged {
+                                    Postings::Raw(l) => l,
+                                    Postings::Compressed(_) => unreachable!(),
+                                }
+                            }
+                        };
+                        raw.append(list);
+                    }
+                }
+            }
+        }
+        for (f, lens) in field_len.into_iter().enumerate() {
+            self.field_len[f].extend(lens);
+            self.fields[f].total_len += total_len[f];
+        }
+        self.stored.extend(stored);
+        self.deleted
+            .resize(self.deleted.len() + docs as usize, false);
+        self.live_docs += docs as usize;
     }
 
     /// Tombstone a document. Returns `false` if it was already deleted
@@ -305,10 +462,21 @@ impl Index {
             let mut cur = list.cursor();
             while cur.doc() != crate::postings::NO_DOC {
                 max_tf = max_tf.max(cur.tf());
-                min_len = min_len.min(lens[cur.doc() as usize]);
+                // A zero length means the doc predates the field's
+                // registration (register_field backfills zeros); using
+                // it as a real length would zero the min-len bound
+                // ingredient. Docs that actually contain the term have
+                // length >= 1, so excluding zeros stays rank-safe.
+                let len = lens[cur.doc() as usize];
+                if len > 0 {
+                    min_len = min_len.min(len);
+                }
                 cur.next();
             }
             if max_tf > 0 {
+                // All lengths zero can only happen on inconsistent
+                // input; clamp to the smallest real length.
+                let min_len = if min_len == u32::MAX { 1 } else { min_len };
                 stats.insert((term, field), TermScoreStats { max_tf, min_len });
             }
         }
@@ -579,5 +747,108 @@ mod tests {
     fn unregistered_field_panics() {
         let mut idx = Index::new(IndexConfig::default());
         idx.add(Doc::new().field(FieldId(3), "boom"));
+    }
+
+    #[test]
+    fn optimize_min_len_excludes_zero_length_docs() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space shooter game"));
+        idx.add(Doc::new().field(body, "space"));
+        // Simulate the late-`register_field` backfill inconsistency:
+        // doc 1's length reads as the zero backfill even though the doc
+        // sits in the posting list.
+        idx.field_len[0][1] = 0;
+        idx.optimize();
+        let space = idx.lexicon().get("space").unwrap();
+        let s = idx.term_score_stats(space, body).unwrap();
+        // The zero is excluded; the bound uses doc 0's real length
+        // instead of collapsing to 0 (which would blow up the
+        // length-normalized score bound).
+        assert_eq!(s.min_len, 3);
+    }
+
+    #[test]
+    fn optimize_min_len_clamps_when_all_lengths_missing() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space"));
+        idx.field_len[0][0] = 0;
+        idx.optimize();
+        let space = idx.lexicon().get("space").unwrap();
+        let s = idx.term_score_stats(space, body).unwrap();
+        assert_eq!(s.min_len, 1);
+    }
+
+    #[test]
+    fn late_registered_field_keeps_bounds_finite() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space shooter"));
+        // Registering after documents exist backfills zeros for doc 0.
+        let title = idx.register_field("title", 2.0);
+        idx.add(Doc::new().field(title, "space trader").field(body, "space"));
+        idx.optimize();
+        let space = idx.lexicon().get("space").unwrap();
+        let s = idx.term_score_stats(space, title).unwrap();
+        assert_eq!(s.min_len, 2);
+        let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn build_parallel_small_batch_matches_sequential() {
+        let texts = [
+            "galactic raiders in space",
+            "calm farming and crops",
+            "trade goods across space stations",
+            "space shooter with lasers",
+            "farm story crops again",
+        ];
+        let mut seq = Index::new(IndexConfig::default());
+        let mut par = Index::new(IndexConfig::default());
+        let sb = seq.register_field("body", 1.0);
+        let pb = par.register_field("body", 1.0);
+        for t in &texts {
+            seq.add(Doc::new().field(sb, *t));
+        }
+        let ids = par.build_parallel(texts.iter().map(|t| Doc::new().field(pb, *t)).collect(), 3);
+        assert_eq!(ids, (0..5).map(DocId).collect::<Vec<_>>());
+        seq.optimize();
+        par.optimize();
+        assert_eq!(seq.stats(), par.stats());
+        for q in ["space", "crops", "\"space stations\""] {
+            let a = Searcher::new(&seq).search(&Query::parse(q), 10);
+            let b = Searcher::new(&par).search(&Query::parse(q), 10);
+            assert_eq!(
+                a.iter()
+                    .map(|h| (h.doc, h.score.to_bits()))
+                    .collect::<Vec<_>>(),
+                b.iter()
+                    .map(|h| (h.doc, h.score.to_bits()))
+                    .collect::<Vec<_>>()
+            );
+        }
+    }
+
+    #[test]
+    fn build_parallel_appends_to_existing_index() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space shooter"));
+        idx.optimize();
+        let ids = idx.build_parallel(
+            vec![
+                Doc::new().field(body, "space farm"),
+                Doc::new().field(body, "space trader"),
+            ],
+            2,
+        );
+        assert_eq!(ids, vec![DocId(1), DocId(2)]);
+        let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 3);
+        // Stats touched by the merge were evicted, not left stale.
+        let space = idx.lexicon().get("space").unwrap();
+        assert_eq!(idx.term_score_stats(space, body), None);
     }
 }

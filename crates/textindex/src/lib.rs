@@ -49,11 +49,15 @@ pub mod lexicon;
 pub mod postings;
 pub mod query;
 pub mod search;
+mod segment;
 pub mod snippet;
 pub mod spell;
 
-pub use analysis::{Analyzer, StandardAnalyzer, Token};
-pub use index::{Doc, FieldId, Index, IndexConfig, IndexStats, TermScoreStats};
+pub use analysis::{Analyzer, StandardAnalyzer, Token, TokenScratch};
+pub use index::{
+    default_build_threads, Doc, FieldId, Index, IndexConfig, IndexStats, TermScoreStats,
+    MAX_BUILD_WORKERS,
+};
 pub use lexicon::{Lexicon, TermId};
 pub use query::Query;
 pub use search::{ScoreMode, SearchHit, Searcher};

@@ -80,6 +80,20 @@ impl PostingList {
         self.postings.len()
     }
 
+    /// Concatenate `other` onto the end of this list. The caller must
+    /// guarantee every doc id in `other` is greater than every doc id
+    /// here — segment merges satisfy this by construction because
+    /// segments hold contiguous, increasing doc-id ranges.
+    pub fn append(&mut self, mut other: PostingList) {
+        if let (Some(last), Some(first)) = (self.postings.last(), other.postings.first()) {
+            debug_assert!(
+                last.doc < first.doc,
+                "segment posting lists must concatenate in doc order"
+            );
+        }
+        self.postings.append(&mut other.postings);
+    }
+
     /// Borrow the raw postings.
     pub fn postings(&self) -> &[Posting] {
         &self.postings
@@ -194,6 +208,12 @@ impl CompressedPostings {
     /// Compressed size in bytes.
     pub fn byte_len(&self) -> usize {
         self.data.len()
+    }
+
+    /// The raw varint/delta byte stream (the determinism tests assert
+    /// parallel and sequential builds produce bit-identical streams).
+    pub fn bytes(&self) -> &[u8] {
+        &self.data
     }
 
     /// Largest term frequency across the whole list.

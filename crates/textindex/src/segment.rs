@@ -1,0 +1,129 @@
+//! Per-thread segment builders for the parallel index build.
+//!
+//! [`Index::build_parallel`](crate::Index::build_parallel) partitions a
+//! document batch into contiguous chunks, hands each chunk to one
+//! [`SegmentBuilder`] on its own thread (independent lexicon and
+//! postings — no shared locks on the hot loop), and then folds the
+//! finished [`Segment`]s back into the single-`Index` representation
+//! with a deterministic merge. Determinism falls out of two choices:
+//!
+//! 1. **Contiguous partitioning.** Chunk `i` holds global doc ids
+//!    `[base_i, base_i + len_i)`, so concatenating each term's segment
+//!    posting lists in chunk order yields exactly the doc-ordered list
+//!    a sequential build would have produced.
+//! 2. **First-encounter lexicon merge.** Each segment's local lexicon
+//!    is in first-encounter order within its chunk; appending segments
+//!    in chunk order with append-if-absent interning reproduces the
+//!    global first-encounter order of a sequential pass, so merged
+//!    term ids are bit-identical to sequential ones.
+
+use crate::analysis::{Analyzer, TokenScratch};
+use crate::fx::FxHashMap;
+use crate::index::{Doc, FieldId};
+use crate::lexicon::{Lexicon, TermId};
+use crate::postings::PostingList;
+use crate::DocId;
+
+/// The output of one [`SegmentBuilder`]: a self-contained slice of the
+/// index covering a contiguous global doc-id range. Term ids are local
+/// to the segment's lexicon; doc ids are already global.
+pub(crate) struct Segment {
+    /// Local term interner, in first-encounter order within the chunk.
+    pub(crate) lexicon: Lexicon,
+    /// Postings keyed by (local term id, field); doc ids are global.
+    pub(crate) postings: FxHashMap<(TermId, FieldId), PostingList>,
+    /// Per field, per chunk-local doc: analyzed token count.
+    pub(crate) field_len: Vec<Vec<u32>>,
+    /// Per field: sum of analyzed lengths over the chunk.
+    pub(crate) total_len: Vec<u64>,
+    /// Stored field text per chunk-local doc (empty rows when the
+    /// index does not store text, mirroring `Index::add`).
+    pub(crate) stored: Vec<Vec<(FieldId, String)>>,
+    /// Documents in this segment.
+    pub(crate) docs: u32,
+}
+
+/// Builds one [`Segment`] over a contiguous chunk of documents. Owns
+/// every mutable structure it touches, so the per-document hot loop
+/// takes no locks and shares nothing with sibling builders.
+pub(crate) struct SegmentBuilder<'a> {
+    analyzer: &'a dyn Analyzer,
+    store_text: bool,
+    num_fields: usize,
+    /// Global doc id of the chunk's first document.
+    base: u32,
+    seg: Segment,
+    /// Reused analysis staging buffers (one per builder, shared across
+    /// every document in the chunk).
+    scratch: TokenScratch,
+}
+
+impl<'a> SegmentBuilder<'a> {
+    pub(crate) fn new(
+        analyzer: &'a dyn Analyzer,
+        store_text: bool,
+        num_fields: usize,
+        base: u32,
+    ) -> Self {
+        SegmentBuilder {
+            analyzer,
+            store_text,
+            num_fields,
+            base,
+            seg: Segment {
+                lexicon: Lexicon::new(),
+                postings: FxHashMap::default(),
+                field_len: vec![Vec::new(); num_fields],
+                total_len: vec![0; num_fields],
+                stored: Vec::new(),
+                docs: 0,
+            },
+            scratch: TokenScratch::default(),
+        }
+    }
+
+    /// Add the next document of the chunk. Mirrors `Index::add`
+    /// token-for-token so the merged result is bit-identical to a
+    /// sequential build.
+    pub(crate) fn add(&mut self, doc: Doc) {
+        let local = self.seg.docs as usize;
+        let id = DocId(self.base + self.seg.docs);
+        self.seg.docs += 1;
+        for lens in &mut self.seg.field_len {
+            lens.push(0);
+        }
+        for (field, text) in doc.fields() {
+            let field = *field;
+            assert!(
+                (field.0 as usize) < self.num_fields,
+                "field {} not registered with this index",
+                field.0
+            );
+            let base_pos = self.seg.field_len[field.0 as usize][local];
+            let lexicon = &mut self.seg.lexicon;
+            let postings = &mut self.seg.postings;
+            let mut last_pos = None;
+            self.analyzer
+                .analyze_with(text, &mut self.scratch, &mut |term, pos, _start, _end| {
+                    last_pos = Some(pos);
+                    let term = lexicon.intern(term);
+                    postings
+                        .entry((term, field))
+                        .or_default()
+                        .push_occurrence(id, base_pos + pos);
+                });
+            let added = last_pos.map(|p| p + 1).unwrap_or(0);
+            self.seg.field_len[field.0 as usize][local] += added;
+            self.seg.total_len[field.0 as usize] += added as u64;
+        }
+        if self.store_text {
+            self.seg.stored.push(doc.into_fields());
+        } else {
+            self.seg.stored.push(Vec::new());
+        }
+    }
+
+    pub(crate) fn finish(self) -> Segment {
+        self.seg
+    }
+}

@@ -1,0 +1,155 @@
+//! Determinism tests for the segmented parallel index build.
+//!
+//! The differential *property* test (`tests/prop.rs`) covers random
+//! corpora; these tests pin the two guarantees the build makes on a
+//! fixed mid-size corpus:
+//!
+//! 1. a parallel build is bit-identical to a sequential build at every
+//!    thread count 1..=8, and
+//! 2. two parallel builds at the same thread count are bit-identical to
+//!    each other (no dependence on thread scheduling).
+
+use symphony_text::postings::Postings;
+use symphony_text::{Doc, DocId, FieldId, Index, IndexConfig, Query, Searcher};
+
+/// Deterministic synthetic corpus: a small vocabulary recombined by a
+/// fixed LCG, so every build sees the same documents.
+fn corpus(n: usize) -> Vec<(String, String)> {
+    const VOCAB: [&str; 24] = [
+        "galactic", "raiders", "space", "shooter", "farm", "story", "calm", "crops", "trade",
+        "stations", "laser", "golf", "puzzle", "palace", "quest", "racer", "drift", "arena",
+        "battle", "craft", "pixel", "dungeon", "tower", "defense",
+    ];
+    let mut state = 0x2545_f491_4f6c_dd1du64;
+    let mut word = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        VOCAB[(state >> 33) as usize % VOCAB.len()]
+    };
+    (0..n)
+        .map(|_| {
+            let title = format!("{} {}", word(), word());
+            let body = (0..12).map(|_| word()).collect::<Vec<_>>().join(" ");
+            (title, body)
+        })
+        .collect()
+}
+
+fn build(docs: &[(String, String)], threads: Option<usize>) -> Index {
+    let mut idx = Index::new(IndexConfig::default());
+    let title = idx.register_field("title", 2.0);
+    let body = idx.register_field("body", 1.0);
+    let batch: Vec<Doc> = docs
+        .iter()
+        .map(|(t, b)| Doc::new().field(title, t.clone()).field(body, b.clone()))
+        .collect();
+    match threads {
+        Some(n) => {
+            idx.build_parallel(batch, n);
+        }
+        None => {
+            for d in batch {
+                idx.add(d);
+            }
+        }
+    }
+    idx.optimize();
+    idx
+}
+
+/// Bit-level equality: lexicon, per-list compressed bytes, score
+/// stats, field lengths, and search results.
+fn assert_identical(a: &Index, b: &Index) {
+    assert_eq!(a.stats(), b.stats());
+    assert_eq!(
+        a.lexicon().iter().collect::<Vec<_>>(),
+        b.lexicon().iter().collect::<Vec<_>>()
+    );
+    let fields = [FieldId(0), FieldId(1)];
+    for (term, _) in a.lexicon().iter() {
+        for field in fields {
+            match (a.postings(term, field), b.postings(term, field)) {
+                (None, None) => {}
+                (Some(Postings::Compressed(ca)), Some(Postings::Compressed(cb))) => {
+                    assert_eq!(ca.bytes(), cb.bytes(), "postings bytes differ");
+                }
+                (x, y) => panic!(
+                    "postings shape mismatch: {:?} vs {:?}",
+                    x.is_some(),
+                    y.is_some()
+                ),
+            }
+            assert_eq!(
+                a.term_score_stats(term, field),
+                b.term_score_stats(term, field)
+            );
+        }
+    }
+    for d in 0..a.total_docs() as u32 {
+        for field in fields {
+            assert_eq!(a.field_len(DocId(d), field), b.field_len(DocId(d), field));
+        }
+    }
+    for q in ["space shooter", "farm", "+puzzle tower", "title:laser"] {
+        let query = Query::parse(q);
+        let ha = Searcher::new(a).search(&query, 20);
+        let hb = Searcher::new(b).search(&query, 20);
+        assert_eq!(
+            ha.iter()
+                .map(|h| (h.doc, h.score.to_bits()))
+                .collect::<Vec<_>>(),
+            hb.iter()
+                .map(|h| (h.doc, h.score.to_bits()))
+                .collect::<Vec<_>>(),
+            "search results differ for {q:?}"
+        );
+    }
+}
+
+#[test]
+fn parallel_build_matches_sequential_at_every_thread_count() {
+    let docs = corpus(300);
+    let seq = build(&docs, None);
+    for threads in 1..=8 {
+        let par = build(&docs, Some(threads));
+        assert_identical(&seq, &par);
+    }
+}
+
+#[test]
+fn two_eight_thread_builds_are_bit_identical() {
+    let docs = corpus(500);
+    let a = build(&docs, Some(8));
+    let b = build(&docs, Some(8));
+    assert_identical(&a, &b);
+}
+
+#[test]
+fn parallel_build_handles_ragged_and_empty_chunks() {
+    // 5 docs over 4 workers gives chunk sizes 2/2/1/0; 1 doc over 8
+    // workers collapses to the sequential path.
+    for (n, threads) in [(5, 4), (1, 8), (0, 8), (7, 3)] {
+        let docs = corpus(n);
+        let seq = build(&docs, None);
+        let par = build(&docs, Some(threads));
+        assert_identical(&seq, &par);
+    }
+}
+
+#[test]
+fn incremental_add_keeps_working_after_parallel_build() {
+    let docs = corpus(40);
+    let mut idx = build(&docs, Some(8));
+    let title = idx.field_id("title").unwrap();
+    let body = idx.field_id("body").unwrap();
+    let id = idx.add(
+        Doc::new()
+            .field(title, "fresh entry")
+            .field(body, "galactic space entry added incrementally"),
+    );
+    assert_eq!(id, DocId(40));
+    let hits = Searcher::new(&idx).search(&Query::parse("incrementally"), 5);
+    assert_eq!(hits.len(), 1);
+    assert_eq!(hits[0].doc, id);
+}

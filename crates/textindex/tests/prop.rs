@@ -189,4 +189,85 @@ proptest! {
         // Reparse of canonical form is a fixpoint.
         prop_assert_eq!(Query::parse(&reparsed.to_string()), reparsed);
     }
+
+    /// The segmented parallel build is bit-identical to a sequential
+    /// build: same lexicon (ids and strings), same postings bytes after
+    /// `optimize()`, same score-bound stats, same `(doc, score)` search
+    /// results — over random docs, fields, and thread counts 1..=8.
+    #[test]
+    fn built_parallel_equals_sequential(
+        docs in proptest::collection::vec(
+            ("[ab]{2,4}( [abc]{1,4}){0,3}", "[a-d]{1,5}( [a-d]{1,5}){0,8}"),
+            0..40,
+        ),
+        threads in 1usize..9,
+    ) {
+        let make_docs = |title: symphony_text::FieldId, body: symphony_text::FieldId| {
+            docs.iter()
+                .map(|(t, b)| Doc::new().field(title, t.clone()).field(body, b.clone()))
+                .collect::<Vec<Doc>>()
+        };
+        let mut seq = Index::new(IndexConfig::default());
+        let title = seq.register_field("title", 2.0);
+        let body = seq.register_field("body", 1.0);
+        for d in make_docs(title, body) {
+            seq.add(d);
+        }
+        seq.optimize();
+
+        let mut par = Index::new(IndexConfig::default());
+        let ptitle = par.register_field("title", 2.0);
+        let pbody = par.register_field("body", 1.0);
+        let ids = par.build_parallel(make_docs(ptitle, pbody), threads);
+        par.optimize();
+
+        prop_assert_eq!(&ids, &(0..docs.len() as u32).map(DocId).collect::<Vec<_>>());
+        prop_assert_eq!(seq.stats(), par.stats());
+        // Lexicon: identical term ids in identical first-encounter order.
+        prop_assert_eq!(
+            seq.lexicon().iter().collect::<Vec<_>>(),
+            par.lexicon().iter().collect::<Vec<_>>()
+        );
+        // Postings: identical compressed bytes per (term, field); score
+        // stats identical too.
+        for (term, _) in seq.lexicon().iter() {
+            for field in [title, body] {
+                let a = seq.postings(term, field);
+                let b = par.postings(term, field);
+                match (a, b) {
+                    (None, None) => {}
+                    (Some(symphony_text::postings::Postings::Compressed(ca)),
+                     Some(symphony_text::postings::Postings::Compressed(cb))) => {
+                        prop_assert_eq!(ca.bytes(), cb.bytes());
+                    }
+                    (a, b) => prop_assert!(
+                        false,
+                        "postings shape mismatch: {} vs {}",
+                        a.is_some(),
+                        b.is_some()
+                    ),
+                }
+                prop_assert_eq!(
+                    seq.term_score_stats(term, field),
+                    par.term_score_stats(term, field)
+                );
+            }
+        }
+        // Per-doc field lengths.
+        for d in 0..docs.len() as u32 {
+            for field in [title, body] {
+                prop_assert_eq!(seq.field_len(DocId(d), field), par.field_len(DocId(d), field));
+            }
+        }
+        // Search: identical (doc, score) lists, bit-for-bit.
+        for q in ["ab", "aa bb", "+ab cd", "title:ab", "\"ab ab\""] {
+            let query = Query::parse(q);
+            let a = Searcher::new(&seq).search(&query, 10);
+            let b = Searcher::new(&par).search(&query, 10);
+            prop_assert_eq!(
+                a.iter().map(|h| (h.doc, h.score.to_bits())).collect::<Vec<_>>(),
+                b.iter().map(|h| (h.doc, h.score.to_bits())).collect::<Vec<_>>()
+            );
+        }
+    }
 }

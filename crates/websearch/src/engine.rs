@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use symphony_text::query::{Clause, ClauseKind, Occur};
 use symphony_text::snippet::SnippetGenerator;
 use symphony_text::spell::SpellSuggester;
-use symphony_text::{Doc, Index, IndexConfig, Query, Searcher};
+use symphony_text::{Doc, FieldId, Index, IndexConfig, Query, Searcher};
 
 /// Search verticals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -152,37 +152,102 @@ impl std::fmt::Debug for SearchEngine {
     }
 }
 
-fn build_vertical(corpus: &Corpus, keep: impl Fn(&PageKind) -> bool) -> VerticalIndex {
+/// Field ids shared by every vertical index; `build_vertical` registers
+/// title first and body second, so the ids are fixed and the routing
+/// pass can construct documents before any index exists.
+const TITLE_FIELD: FieldId = FieldId(0);
+const BODY_FIELD: FieldId = FieldId(1);
+
+/// One vertical's slice of the corpus: the documents to index plus the
+/// doc-id -> page-index mapping, produced by [`route_pages`].
+#[derive(Default)]
+struct VerticalDocs {
+    docs: Vec<Doc>,
+    pages: Vec<usize>,
+}
+
+/// Single pass over the corpus routing each page to its vertical
+/// (replacing four full-corpus filter passes).
+fn route_pages(corpus: &Corpus) -> [VerticalDocs; 4] {
+    let mut routed: [VerticalDocs; 4] = Default::default();
+    for (i, page) in corpus.pages.iter().enumerate() {
+        let v = match page.kind {
+            PageKind::Article | PageKind::Review { .. } => 0,
+            PageKind::Image { .. } => 1,
+            PageKind::Video { .. } => 2,
+            PageKind::News { .. } => 3,
+        };
+        routed[v].docs.push(
+            Doc::new()
+                .field(TITLE_FIELD, &*page.title)
+                .field(BODY_FIELD, &*page.body),
+        );
+        routed[v].pages.push(i);
+    }
+    routed
+}
+
+fn build_vertical(docs: VerticalDocs, threads: usize) -> VerticalIndex {
     let mut index = Index::new(IndexConfig::default());
     let title = index.register_field("title", 2.0);
     let body = index.register_field("body", 1.0);
-    let mut pages = Vec::new();
-    for (i, page) in corpus.pages.iter().enumerate() {
-        if !keep(&page.kind) {
-            continue;
-        }
-        index.add(
-            Doc::new()
-                .field(title, &*page.title)
-                .field(body, &*page.body),
-        );
-        pages.push(i);
-    }
+    debug_assert_eq!((title, body), (TITLE_FIELD, BODY_FIELD));
+    index.build_parallel(docs.docs, threads);
     index.optimize();
-    VerticalIndex { index, pages }
+    VerticalIndex {
+        index,
+        pages: docs.pages,
+    }
 }
 
 impl SearchEngine {
-    /// Index a corpus (builds all four verticals and the static rank).
+    /// Index a corpus (builds all four verticals and the static rank),
+    /// using up to [`symphony_text::default_build_threads`] workers.
     pub fn new(corpus: Corpus) -> SearchEngine {
-        let rank = static_rank(&corpus, 30);
-        let web = build_vertical(&corpus, |k| {
-            matches!(k, PageKind::Article | PageKind::Review { .. })
-        });
-        let image = build_vertical(&corpus, |k| matches!(k, PageKind::Image { .. }));
-        let video = build_vertical(&corpus, |k| matches!(k, PageKind::Video { .. }));
-        let news = build_vertical(&corpus, |k| matches!(k, PageKind::News { .. }));
-        let speller = SpellSuggester::from_index(&web.index);
+        Self::with_build_threads(corpus, symphony_text::default_build_threads())
+    }
+
+    /// Index a corpus with an explicit build-parallelism budget.
+    ///
+    /// With `threads <= 1` everything runs sequentially on the calling
+    /// thread (the cold-start baseline). Otherwise the four verticals
+    /// build concurrently on scoped threads — each splitting its
+    /// documents across segment builders — while the static-rank power
+    /// iteration runs on the calling thread and the spell suggester is
+    /// derived as soon as the web vertical lands. The resulting indexes
+    /// are bit-identical to a sequential build (see
+    /// `Index::build_parallel`).
+    pub fn with_build_threads(corpus: Corpus, threads: usize) -> SearchEngine {
+        let [web_d, image_d, video_d, news_d] = route_pages(&corpus);
+        let (rank, web, image, video, news, speller) = if threads <= 1 {
+            let rank = static_rank(&corpus, 30);
+            let web = build_vertical(web_d, 1);
+            let image = build_vertical(image_d, 1);
+            let video = build_vertical(video_d, 1);
+            let news = build_vertical(news_d, 1);
+            let speller = SpellSuggester::from_index(&web.index);
+            (rank, web, image, video, news, speller)
+        } else {
+            // Two layers of parallelism: one scoped thread per vertical,
+            // each splitting its docs across `inner` segment builders.
+            let inner = (threads / 2).max(1);
+            std::thread::scope(|s| {
+                let web_h = s.spawn(move || build_vertical(web_d, inner));
+                let image_h = s.spawn(move || build_vertical(image_d, inner));
+                let video_h = s.spawn(move || build_vertical(video_d, inner));
+                let news_h = s.spawn(move || build_vertical(news_d, inner));
+                // Static rank overlaps with the vertical builds.
+                let rank = static_rank(&corpus, 30);
+                let web = web_h.join().expect("web vertical build panicked");
+                // The speller only needs the web lexicon; build it while
+                // the remaining verticals finish.
+                let speller = SpellSuggester::from_index(&web.index);
+                let image = image_h.join().expect("image vertical build panicked");
+                let video = video_h.join().expect("video vertical build panicked");
+                let news = news_h.join().expect("news vertical build panicked");
+                (rank, web, image, video, news, speller)
+            })
+        };
         SearchEngine {
             corpus,
             rank,
