@@ -56,21 +56,57 @@ fn allocations() -> u64 {
 }
 
 fn main() {
-    println!("SYMPHONY REPRODUCTION — EXPERIMENTS E1..E10");
-    println!("(shapes are the claims; absolute numbers are simulator-specific)");
-    e1_fanout();
-    e2_cache();
-    e_cache_l2();
-    e3_index_build();
-    e_build();
-    e4_query_latency();
-    e5_quality();
-    e6_auction();
-    e7_site_suggest();
-    e8_tenancy();
-    e9_click_feedback();
-    e10_recommendation();
-    e_resilience();
+    // An optional argument selects one experiment by name (the CI
+    // smoke step runs `experiments e-ingest` alone); with no argument
+    // everything runs.
+    let only = std::env::args().nth(1);
+    let run = |name: &str| only.as_deref().is_none_or(|o| o == name);
+    if only.is_none() {
+        println!("SYMPHONY REPRODUCTION — EXPERIMENTS E1..E10");
+        println!("(shapes are the claims; absolute numbers are simulator-specific)");
+    }
+    if run("e1") {
+        e1_fanout();
+    }
+    if run("e2") {
+        e2_cache();
+    }
+    if run("e-cache") {
+        e_cache_l2();
+    }
+    if run("e3") {
+        e3_index_build();
+    }
+    if run("e-build") {
+        e_build();
+    }
+    if run("e4") {
+        e4_query_latency();
+    }
+    if run("e5") {
+        e5_quality();
+    }
+    if run("e6") {
+        e6_auction();
+    }
+    if run("e7") {
+        e7_site_suggest();
+    }
+    if run("e8") {
+        e8_tenancy();
+    }
+    if run("e9") {
+        e9_click_feedback();
+    }
+    if run("e10") {
+        e10_recommendation();
+    }
+    if run("e-resilience") {
+        e_resilience();
+    }
+    if run("e-ingest") {
+        e_ingest();
+    }
 }
 
 /// E1: parallel vs sequential supplemental fan-out.
@@ -834,6 +870,212 @@ fn e_resilience() {
         "E-resilience — virtual latency under outage+spike+burst (400 queries, virtual ms)",
         &["client", "p50", "p95", "p99", "max", "degraded"],
         &rows,
+    );
+}
+
+/// E-ingest: live incremental ingest under the segment-lifecycle
+/// policy. Half the corpus is bulk-loaded and compacted; the other
+/// half streams in one document per virtual millisecond under a
+/// near-real-time policy, mixed with re-crawls (updates) and removals
+/// (deletes), with a maintenance tick every virtual ms driving seals
+/// and tiered merges. Interleaved queries measure read latency under
+/// merge pressure; per-document visibility timestamps measure
+/// staleness against the policy's bound. A machine-readable snapshot
+/// lands in `BENCH_ingest.json` (ROADMAP item 3: persistent perf
+/// trajectory); the CI smoke step asserts the bounded-staleness and
+/// flat-p99 claims.
+fn e_ingest() {
+    use symphony_text::{DocId, Query, Searcher, SegmentPolicy};
+
+    let c = corpus(Scale::Medium);
+    let pages: Vec<(String, String)> = c
+        .pages
+        .iter()
+        .map(|p| (p.title.clone(), p.body.clone()))
+        .collect();
+    let seed_n = pages.len() / 4;
+
+    let policy = SegmentPolicy {
+        memtable_max_docs: 32,
+        staleness_window_ms: 50,
+        merge_fanin: 4,
+        near_real_time: true,
+    };
+    let mut index = Index::new(IndexConfig::default());
+    let title = index.register_field("title", 2.0);
+    let body = index.register_field("body", 1.0);
+    let batch: Vec<Doc> = pages[..seed_n]
+        .iter()
+        .map(|(t, b)| Doc::new().field(title, t.clone()).field(body, b.clone()))
+        .collect();
+    index.build_parallel(batch, 4);
+    index.optimize();
+    index.set_policy(policy);
+
+    let queries: Vec<Query> = zipf_queries(64, 1.0, 29)
+        .iter()
+        .map(|q| Query::parse(q))
+        .collect();
+
+    // Stream the second half: each virtual ms one arrival — mostly
+    // fresh documents, every 5th a re-crawl of an earlier doc, every
+    // 7th a removal — then a maintenance tick. Every 3rd ms runs one
+    // query and records its wall latency.
+    let mut now_ms = 0u64;
+    let mut ingest_wall = std::time::Duration::ZERO;
+    let mut query_us: Vec<u32> = Vec::new();
+    let mut pending: Vec<u64> = Vec::new(); // add times awaiting a seal
+    let mut max_staleness = 0u64;
+    let (mut seals, mut merges, mut purged) = (0usize, 0usize, 0usize);
+    let (mut added, mut updated, mut deleted) = (0usize, 0usize, 0usize);
+    for (i, (t, b)) in pages[seed_n..].iter().enumerate() {
+        now_ms += 1;
+        let start = Instant::now();
+        if i % 7 == 6 {
+            // Removal of a bulk-loaded document.
+            if index.delete(DocId((i % seed_n) as u32)) {
+                deleted += 1;
+            }
+        } else if i % 5 == 4 {
+            // Re-crawl: tombstone the most recent arrival and re-add
+            // it under a fresh doc id.
+            let old = DocId((index.total_docs() - 1) as u32);
+            if index
+                .update(
+                    old,
+                    Doc::new().field(title, t.clone()).field(body, b.clone()),
+                )
+                .is_some()
+            {
+                updated += 1;
+                pending.push(now_ms);
+            }
+        } else {
+            index.add(Doc::new().field(title, t.clone()).field(body, b.clone()));
+            added += 1;
+            pending.push(now_ms);
+        }
+        let report = index.maintain(now_ms);
+        ingest_wall += start.elapsed();
+        seals += usize::from(report.sealed);
+        merges += report.merged_segments;
+        purged += report.purged_docs;
+        if report.sealed {
+            // Everything buffered since the previous seal just became
+            // visible; its staleness is the wait for this seal.
+            for &at in &pending {
+                max_staleness = max_staleness.max(now_ms - at);
+            }
+            pending.clear();
+        }
+        if i % 3 == 0 {
+            let q = &queries[(i / 3) % queries.len()];
+            let start = Instant::now();
+            std::hint::black_box(Searcher::new(&index).search(q, 10));
+            query_us.push(start.elapsed().as_micros() as u32);
+        }
+    }
+    let streamed = pages.len() - seed_n;
+    let ingest_docs_per_sec = streamed as f64 / ingest_wall.as_secs_f64().max(1e-9);
+    let p50 = percentile(&query_us, 0.50);
+    let p99 = percentile(&query_us, 0.99);
+
+    // Post-stream baseline: fully compact, then re-run the same
+    // queries. "Flat p99" = the under-merge-pressure tail stays within
+    // a small factor of this single-segment floor.
+    index.optimize();
+    let mut opt_us: Vec<u32> = Vec::new();
+    for _ in 0..3 {
+        for q in &queries {
+            let start = Instant::now();
+            std::hint::black_box(Searcher::new(&index).search(q, 10));
+            opt_us.push(start.elapsed().as_micros() as u32);
+        }
+    }
+    let opt_p99 = percentile(&opt_us, 0.99);
+    let stats = index.stats();
+
+    print_table(
+        &format!("E-ingest — live ingest vs queries, {streamed} arrivals (NRT, window 50ms)"),
+        &[
+            "adds",
+            "recrawls",
+            "deletes",
+            "docs/s (wall)",
+            "max staleness ms",
+            "seals",
+            "merges",
+            "purged",
+            "q p50 µs",
+            "q p99 µs",
+            "p99 µs (compacted)",
+        ],
+        &[vec![
+            added.to_string(),
+            updated.to_string(),
+            deleted.to_string(),
+            format!("{ingest_docs_per_sec:.0}"),
+            max_staleness.to_string(),
+            seals.to_string(),
+            merges.to_string(),
+            purged.to_string(),
+            p50.to_string(),
+            p99.to_string(),
+            opt_p99.to_string(),
+        ]],
+    );
+
+    // Machine-readable snapshot (hand-rolled JSON; no serde in-tree).
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e-ingest\",\n",
+            "  \"seed_docs\": {},\n",
+            "  \"streamed_docs\": {},\n",
+            "  \"adds\": {},\n",
+            "  \"recrawls\": {},\n",
+            "  \"deletes\": {},\n",
+            "  \"ingest_docs_per_sec\": {:.0},\n",
+            "  \"staleness_window_ms\": {},\n",
+            "  \"max_staleness_ms\": {},\n",
+            "  \"seals\": {},\n",
+            "  \"merges\": {},\n",
+            "  \"purged_docs\": {},\n",
+            "  \"final_sealed_segments\": {},\n",
+            "  \"query_p50_us\": {},\n",
+            "  \"query_p99_us\": {},\n",
+            "  \"query_p99_us_compacted\": {}\n",
+            "}}\n"
+        ),
+        seed_n,
+        streamed,
+        added,
+        updated,
+        deleted,
+        ingest_docs_per_sec,
+        policy.staleness_window_ms,
+        max_staleness,
+        seals,
+        merges,
+        purged,
+        stats.sealed_segments,
+        p50,
+        p99,
+        opt_p99,
+    );
+    std::fs::write("BENCH_ingest.json", &json).expect("write BENCH_ingest.json");
+    println!("wrote BENCH_ingest.json");
+
+    // The acceptance claims, enforced wherever the experiment runs
+    // (the CI smoke step relies on these panicking on regression).
+    assert!(
+        max_staleness <= policy.staleness_window_ms + 1,
+        "staleness bound violated: {max_staleness}ms > window {}ms",
+        policy.staleness_window_ms
+    );
+    assert!(
+        merges > 0 && seals > 0,
+        "stream too small to exercise merge pressure"
     );
 }
 

@@ -69,6 +69,20 @@ impl Default for QuotaConfig {
     }
 }
 
+/// What one [`Platform::maintenance_tick`] did across substrates.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct MaintenanceSummary {
+    /// Full-text views visited (tenant tables, plus one entry for the
+    /// web engine's verticals when the platform owns the engine).
+    pub views: usize,
+    /// Views that sealed their memtable segment this tick.
+    pub sealed: usize,
+    /// Background segment merges run.
+    pub merges: usize,
+    /// Tombstoned documents physically purged from posting lists.
+    pub purged_docs: usize,
+}
+
 struct HostedApp {
     /// Immutable after [`Platform::register_app`] (admin ops hold
     /// `&mut Platform`, so the serving path reads it lock-free).
@@ -214,6 +228,21 @@ impl Platform {
         &self.engine
     }
 
+    /// Mutable web engine, for live corpus updates (crawl ingest,
+    /// URL removal, click feedback). `None` when the engine `Arc` is
+    /// shared outside this platform (baseline models share one
+    /// corpus); ingest through a dedicated platform instead. Drops the
+    /// L2 source cache and every app's result cache, since web results
+    /// may change underneath them.
+    pub fn engine_mut(&mut self) -> Option<&mut SearchEngine> {
+        Arc::get_mut(&mut self.engine)?;
+        self.source_cache.clear();
+        for app in &mut self.apps {
+            app.cache.get_mut().clear();
+        }
+        Arc::get_mut(&mut self.engine)
+    }
+
     /// The shared circuit breakers (inspection / manual reset).
     pub fn breakers(&self) -> &symphony_services::BreakerRegistry {
         &self.breakers
@@ -300,6 +329,42 @@ impl Platform {
             }
         });
         n
+    }
+
+    /// One background-maintenance step over every full-text view at
+    /// the current virtual clock: each tenant table's view — and the
+    /// web engine's verticals, when the platform owns the engine —
+    /// seals its memtable if over the segment policy's size cap or
+    /// staleness window, then runs at most one tombstone-purging
+    /// merge. Driven off the same virtual clock the serving path
+    /// advances, so a replayed workload schedules the exact same
+    /// seals and merges.
+    ///
+    /// Maintenance is rank-safe (results are bit-identical before and
+    /// after), so nothing cached is invalidated; under a
+    /// `near_real_time` segment policy it is also the moment buffered
+    /// documents become visible.
+    pub fn maintenance_tick(&mut self) -> MaintenanceSummary {
+        let now = self.clock_ms.load(Ordering::SeqCst);
+        let mut summary = MaintenanceSummary::default();
+        for space in self.store.spaces_mut() {
+            for table in space.tables_mut() {
+                if let Some(r) = table.maintain_fulltext(now) {
+                    summary.views += 1;
+                    summary.sealed += usize::from(r.sealed);
+                    summary.merges += r.merged_segments;
+                    summary.purged_docs += r.purged_docs;
+                }
+            }
+        }
+        if let Some(engine) = Arc::get_mut(&mut self.engine) {
+            let r = engine.maintain(now);
+            summary.views += 1;
+            summary.sealed += usize::from(r.sealed);
+            summary.merges += r.merged_segments;
+            summary.purged_docs += r.purged_docs;
+        }
+        summary
     }
 
     // ---- Application lifecycle ------------------------------------
@@ -1033,6 +1098,77 @@ mod tests {
         });
         let mut p = Platform::new(SearchEngine::new(corpus));
         assert_eq!(p.warmup(), 0);
+    }
+
+    #[test]
+    fn maintenance_tick_runs_on_the_virtual_clock_and_preserves_results() {
+        let (mut p, tenant, key) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        let policy = symphony_text::SegmentPolicy {
+            memtable_max_docs: 4096,
+            staleness_window_ms: 10,
+            merge_fanin: 4,
+            near_real_time: false,
+        };
+        p.store_mut()
+            .space_mut(tenant, &key)
+            .unwrap()
+            .table_mut("inventory")
+            .unwrap()
+            .set_fulltext_policy(policy);
+        let before = p.query(id, "shooter").unwrap().html.clone();
+        // The query advanced the clock past the staleness window, so
+        // the tick seals the tenant view's memtable.
+        let s = p.maintenance_tick();
+        assert_eq!(s.views, 2, "tenant view + owned engine");
+        assert!(s.sealed >= 1);
+        // Maintenance is rank-safe: after the cache expires, the same
+        // query renders the same response.
+        p.advance_clock(120_000);
+        let after = p.query(id, "shooter").unwrap();
+        assert!(!after.trace.cache_hit);
+        assert_eq!(after.html, before);
+        // A second tick with no elapsed time and an empty memtable
+        // finds nothing to do on the tenant view.
+        let quiet = p.maintenance_tick();
+        assert_eq!(quiet.views, 2);
+    }
+
+    #[test]
+    fn engine_mut_allows_live_ingest_and_drops_caches() {
+        use symphony_web::{Page, PageKind};
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        p.query(id, "shooter").unwrap();
+        assert!(p.query(id, "shooter").unwrap().trace.cache_hit);
+        let page = Page {
+            site: 0,
+            url: format!("http://{}/fresh-crawl", p.engine().corpus().sites[0].domain),
+            title: "Fresh Crawl".into(),
+            body: "freshly crawled page".into(),
+            links: Vec::new(),
+            kind: PageKind::Article,
+        };
+        p.engine_mut().unwrap().ingest_page(page);
+        // Live ingest cleared the result caches: the next query is a
+        // miss, not a stale hit over the pre-ingest corpus.
+        assert!(!p.query(id, "shooter").unwrap().trace.cache_hit);
+    }
+
+    #[test]
+    fn engine_mut_refuses_a_shared_engine() {
+        let corpus = Corpus::generate(&CorpusConfig {
+            sites_per_topic: 1,
+            pages_per_site: 2,
+            ..CorpusConfig::default()
+        });
+        let shared = Arc::new(SearchEngine::new(corpus));
+        let mut p = Platform::new(shared.clone());
+        assert!(p.engine_mut().is_none());
+        drop(shared);
+        assert!(p.engine_mut().is_some());
     }
 
     #[test]

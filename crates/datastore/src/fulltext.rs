@@ -9,7 +9,9 @@ use crate::error::StoreError;
 use crate::schema::Schema;
 use crate::table::{Record, RecordId};
 use symphony_text::query::Query;
-use symphony_text::{Doc, DocId, FieldId, Index, IndexConfig, Searcher};
+use symphony_text::{
+    Doc, DocId, FieldId, Index, IndexConfig, MaintenanceReport, Searcher, SegmentPolicy,
+};
 
 /// A searchable projection of selected table columns.
 pub struct FullTextView {
@@ -62,11 +64,8 @@ impl FullTextView {
         })
     }
 
-    /// Index a record (or re-index it after an update).
-    pub fn add(&mut self, id: RecordId, record: &Record) {
-        if self.record_to_doc.contains_key(&id) {
-            self.remove(id);
-        }
+    /// Project a record's searchable columns into an index document.
+    fn build_doc(&self, record: &Record) -> Doc {
         let mut doc = Doc::new();
         for &(col, field) in &self.cols {
             let text = record.get(col).index_text();
@@ -74,7 +73,21 @@ impl FullTextView {
                 doc = doc.field(field, text);
             }
         }
-        let doc_id = self.index.add(doc);
+        doc
+    }
+
+    /// Index a record, or refresh it in place after an update: a known
+    /// record goes through [`Index::update`] (tombstone + re-add under
+    /// a fresh doc id), so re-crawls and edits never rebuild the view.
+    pub fn add(&mut self, id: RecordId, record: &Record) {
+        let doc = self.build_doc(record);
+        let doc_id = match self.record_to_doc.get(&id) {
+            Some(&old) => self
+                .index
+                .update(old, doc)
+                .expect("record_to_doc only maps live doc ids"),
+            None => self.index.add(doc),
+        };
         debug_assert_eq!(doc_id.as_usize(), self.doc_to_record.len());
         self.doc_to_record.push(id);
         self.record_to_doc.insert(id, doc_id);
@@ -95,15 +108,8 @@ impl FullTextView {
             if self.record_to_doc.contains_key(&id) {
                 self.remove(id);
             }
-            let mut doc = Doc::new();
-            for &(col, field) in &self.cols {
-                let text = record.get(col).index_text();
-                if !text.is_empty() {
-                    doc = doc.field(field, text);
-                }
-            }
             ids.push(id);
-            docs.push(doc);
+            docs.push(self.build_doc(record));
         }
         let doc_ids = self.index.build_parallel(docs, threads);
         for (id, doc_id) in ids.into_iter().zip(doc_ids) {
@@ -120,11 +126,26 @@ impl FullTextView {
         }
     }
 
-    /// Compress posting lists and precompute the per-term score bounds
-    /// that let [`search`](Self::search) prune non-competitive records.
+    /// Fully compact the view: compress posting lists, purge removed
+    /// records from them, and precompute the per-term score bounds that
+    /// let [`search`](Self::search) prune non-competitive records.
     /// Call after bulk loading; results are identical either way.
     pub fn optimize(&mut self) {
         self.index.optimize();
+    }
+
+    /// One incremental maintenance step: seal the memtable segment when
+    /// it is over the policy's size cap or staleness window, then run
+    /// at most one background merge (which also purges removed
+    /// records). Hosting drives this on the platform's virtual clock,
+    /// so replay is deterministic.
+    pub fn maintain(&mut self, now_ms: u64) -> MaintenanceReport {
+        self.index.maintain(now_ms)
+    }
+
+    /// Replace the underlying index's segment policy.
+    pub fn set_policy(&mut self, policy: SegmentPolicy) {
+        self.index.set_policy(policy);
     }
 
     /// Execute a full-text query, returning the top `k` records.
@@ -241,6 +262,57 @@ mod tests {
         let records: Vec<RecordId> = hits.iter().map(|h| h.record).collect();
         assert!(records.contains(&a) && records.contains(&c));
         assert!(!records.contains(&b));
+    }
+
+    #[test]
+    fn refresh_updates_in_place_without_rebuild() {
+        let (mut t, mut v) = setup();
+        let a = add(&mut t, &mut v, "Old Title", "old text");
+        v.optimize();
+        let sealed_before = v.index().stats().sealed_segments;
+        t.update(
+            a,
+            Record::new(vec![
+                Value::Text("New Title".into()),
+                Value::Text("new text".into()),
+                Value::Float(1.0),
+            ]),
+        );
+        v.add(a, t.get(a).unwrap());
+        // The refresh tombstoned the old doc and re-added into the
+        // memtable; the sealed segment was not rebuilt.
+        assert_eq!(v.index().stats().sealed_segments, sealed_before);
+        assert_eq!(v.index().stats().memtable_docs, 1);
+        assert!(v.search(&Query::parse("old"), 10).is_empty());
+        assert_eq!(v.search(&Query::parse("new"), 10)[0].record, a);
+    }
+
+    #[test]
+    fn maintain_seals_and_purges_removed_records() {
+        let (mut t, mut v) = setup();
+        v.set_policy(symphony_text::SegmentPolicy {
+            memtable_max_docs: 2,
+            staleness_window_ms: 100,
+            merge_fanin: 4,
+            near_real_time: false,
+        });
+        let a = add(&mut t, &mut v, "Galactic Raiders", "space shooter");
+        let b = add(&mut t, &mut v, "Space Farm", "calm space farming");
+        let r = v.maintain(10);
+        assert!(r.sealed, "size cap reached");
+        v.remove(a);
+        v.remove(b);
+        let c = add(&mut t, &mut v, "Space Golf", "golf in space");
+        // Time passes: one tick seals the memtable (staleness window)
+        // and rewrites the now majority-dead first segment, physically
+        // purging both removed records.
+        let r = v.maintain(200);
+        assert!(r.sealed);
+        assert_eq!(r.merged_segments, 1);
+        assert_eq!(r.purged_docs, 2);
+        let hits = v.search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].record, c);
     }
 
     #[test]

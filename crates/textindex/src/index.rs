@@ -1,15 +1,36 @@
-//! The inverted index.
+//! The inverted index — a segment-lifecycle runtime.
 //!
-//! Supports incremental [`Index::add`] at any time and tombstone
-//! [`Index::delete`]; [`Index::optimize`] freezes posting lists into the
-//! compressed representation (further adds transparently re-expand the
-//! affected lists).
+//! Writes land in a mutable in-memory segment (the *memtable*);
+//! [`Index::seal`] freezes it into an immutable, compressed
+//! [`SealedSegment`] with precomputed score-bound stats, and
+//! [`Index::maintain`] drives tiered background merges that fold
+//! adjacent sealed segments together, purging tombstoned documents and
+//! rebuilding document frequencies and score stats as they go. Reads
+//! union per-segment cursors back into one doc-ordered stream, so the
+//! segment structure is invisible to query semantics.
+//!
+//! The lifecycle, in order:
+//!
+//! 1. **memtable** — [`Index::add`] appends to raw posting lists;
+//!    documents are searchable immediately (or, under a
+//!    near-real-time [`SegmentPolicy`], within the configured
+//!    staleness window).
+//! 2. **sealed** — [`Index::seal`] compresses the memtable's lists and
+//!    computes per-list [`TermScoreStats`]; the segment never mutates
+//!    again.
+//! 3. **merged** — [`Index::maintain`] merges runs of same-tier
+//!    adjacent segments (and rewrites tombstone-heavy ones), keeping
+//!    the segment count — hence read amplification — flat while
+//!    physically removing deleted documents.
+//!
+//! [`Index::optimize`] is the degenerate case: seal, then merge
+//! everything into a single fully-compacted segment.
 
 use crate::analysis::{Analyzer, StandardAnalyzer, TokenScratch};
 use crate::fx::FxHashMap;
 use crate::lexicon::{Lexicon, TermId};
-use crate::postings::{CompressedPostings, PostingList, Postings};
-use crate::segment::{Segment, SegmentBuilder};
+use crate::postings::{ChainedCursor, CompressedPostings, PostingsCursor, NO_DOC};
+use crate::segment::{ActiveSegment, SealedSegment, Segment, SegmentBuilder};
 use crate::DocId;
 use std::collections::hash_map::Entry;
 
@@ -56,6 +77,58 @@ impl std::fmt::Debug for IndexConfig {
     }
 }
 
+/// Segment-lifecycle tuning knobs for one [`Index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SegmentPolicy {
+    /// [`Index::maintain`] seals the memtable once it holds this many
+    /// documents, regardless of elapsed time.
+    pub memtable_max_docs: u32,
+    /// [`Index::maintain`] seals a non-empty memtable once this much
+    /// (virtual) time has passed since the last seal. Under a
+    /// near-real-time policy this is the staleness bound: a document
+    /// becomes searchable no later than one window after it was added,
+    /// provided maintenance ticks run.
+    pub staleness_window_ms: u64,
+    /// Merge whenever this many adjacent sealed segments occupy the
+    /// same size tier (clamped to at least 2).
+    pub merge_fanin: usize,
+    /// When `true`, memtable documents stay invisible to search until
+    /// the next seal, so queries only ever touch immutable segments
+    /// (bounded staleness instead of read-your-writes). The default is
+    /// `false`: adds are searchable immediately.
+    pub near_real_time: bool,
+}
+
+impl Default for SegmentPolicy {
+    fn default() -> Self {
+        SegmentPolicy {
+            memtable_max_docs: 4096,
+            staleness_window_ms: 1_000,
+            merge_fanin: 4,
+            near_real_time: false,
+        }
+    }
+}
+
+/// What one [`Index::maintain`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MaintenanceReport {
+    /// Whether the memtable was sealed into a new immutable segment.
+    pub sealed: bool,
+    /// Sealed segments folded together by this call's merge step
+    /// (0 when no merge ran).
+    pub merged_segments: usize,
+    /// Tombstoned documents physically removed from posting lists.
+    pub purged_docs: usize,
+}
+
+impl MaintenanceReport {
+    /// Whether the call changed the segment structure at all.
+    pub fn did_work(&self) -> bool {
+        self.sealed || self.merged_segments > 0
+    }
+}
+
 /// A document handed to [`Index::add`]: an ordered list of
 /// `(field, text)` pairs. A field may appear more than once; the texts
 /// are indexed as one logical field with position gaps.
@@ -92,8 +165,9 @@ impl Doc {
 struct FieldInfo {
     name: String,
     boost: f32,
-    /// Sum of analyzed lengths of this field over all (including
-    /// deleted) documents; used for the BM25 average length.
+    /// Sum of analyzed lengths of this field over live documents
+    /// (deleting a document gives its length back immediately); used
+    /// for the BM25 average length.
     total_len: u64,
 }
 
@@ -106,16 +180,21 @@ pub struct IndexStats {
     pub live_docs: usize,
     /// Distinct terms.
     pub terms: usize,
-    /// Distinct (term, field) posting lists.
+    /// Distinct (term, field, segment) posting lists.
     pub posting_lists: usize,
     /// Approximate heap bytes held by posting lists.
     pub postings_bytes: usize,
-    /// Whether [`Index::optimize`] has compressed every list.
+    /// Whether every posting list lives in a sealed (compressed)
+    /// segment — i.e. the memtable is empty.
     pub fully_compressed: bool,
+    /// Immutable sealed segments currently serving reads.
+    pub sealed_segments: usize,
+    /// Documents sitting in the mutable memtable segment.
+    pub memtable_docs: usize,
 }
 
-/// Per-`(term, field)` scoring ingredients precomputed by
-/// [`Index::optimize`], stored next to the postings.
+/// Per-`(term, field)` scoring ingredients precomputed when a segment
+/// is sealed or merged, stored next to that segment's postings.
 ///
 /// These are the two document-dependent quantities a BM25 score upper
 /// bound needs: the score is monotonically increasing in term
@@ -126,6 +205,9 @@ pub struct IndexStats {
 /// (`k1`/`b`) and on index-wide statistics (`N`, average length) that
 /// keep moving as documents are added; both are folded in at query
 /// time so stored stats can never go stale in the unsafe direction.
+/// At query time the per-segment ingredients are folded rank-safely
+/// (max of `max_tf`, min of `min_len`) across segments — see
+/// [`Index::term_score_stats`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TermScoreStats {
     /// Largest term frequency over documents in the posting list
@@ -135,24 +217,30 @@ pub struct TermScoreStats {
     pub min_len: u32,
 }
 
-/// An in-memory positional inverted index with field boosts.
+/// An in-memory positional inverted index with field boosts, organized
+/// as a segment-lifecycle runtime (see the module docs).
 pub struct Index {
     config: IndexConfig,
     fields: Vec<FieldInfo>,
     field_by_name: FxHashMap<String, FieldId>,
+    /// Global term interner shared by every segment.
     lexicon: Lexicon,
-    postings: FxHashMap<(TermId, FieldId), Postings>,
-    /// Score-bound ingredients per posting list; populated by
-    /// [`Index::optimize`], and entries are evicted whenever
-    /// [`Index::add`] touches their list (a fresh document may raise
-    /// `max_tf` or lower `min_len`, so stale stats would under-bound).
-    score_stats: FxHashMap<(TermId, FieldId), TermScoreStats>,
+    /// Immutable segments in doc-range order.
+    sealed: Vec<SealedSegment>,
+    /// The mutable memtable segment receiving writes.
+    active: ActiveSegment,
     /// Per field, per doc: analyzed token count (0 when the doc lacks
-    /// the field).
+    /// the field, and zeroed again when the doc is tombstoned).
     field_len: Vec<Vec<u32>>,
     stored: Vec<Vec<(FieldId, String)>>,
     deleted: Vec<bool>,
     live_docs: usize,
+    policy: SegmentPolicy,
+    /// Virtual timestamp of the last seal, for the staleness window.
+    last_seal_ms: u64,
+    /// Docs below this id are visible to search under a near-real-time
+    /// policy (advanced by [`Index::seal`]); ignored otherwise.
+    visible_limit: u32,
     /// Reused analysis staging buffers for the incremental add path.
     scratch: TokenScratch,
 }
@@ -166,21 +254,42 @@ impl std::fmt::Debug for Index {
 }
 
 impl Index {
-    /// Create an empty index.
+    /// Create an empty index with the default [`SegmentPolicy`].
     pub fn new(config: IndexConfig) -> Self {
+        Self::with_policy(config, SegmentPolicy::default())
+    }
+
+    /// Create an empty index with an explicit segment policy.
+    pub fn with_policy(config: IndexConfig, policy: SegmentPolicy) -> Self {
         Index {
             config,
             fields: Vec::new(),
             field_by_name: FxHashMap::default(),
             lexicon: Lexicon::new(),
-            postings: FxHashMap::default(),
-            score_stats: FxHashMap::default(),
+            sealed: Vec::new(),
+            active: ActiveSegment::starting_at(0),
             field_len: Vec::new(),
             stored: Vec::new(),
             deleted: Vec::new(),
             live_docs: 0,
+            policy,
+            last_seal_ms: 0,
+            visible_limit: 0,
             scratch: TokenScratch::default(),
         }
+    }
+
+    /// The segment policy in effect.
+    pub fn policy(&self) -> SegmentPolicy {
+        self.policy
+    }
+
+    /// Replace the segment policy. Documents already added stay
+    /// visible; only documents added afterwards wait for a seal when
+    /// switching to a near-real-time policy.
+    pub fn set_policy(&mut self, policy: SegmentPolicy) {
+        self.policy = policy;
+        self.visible_limit = self.total_docs() as u32;
     }
 
     /// Register a field with a score boost, or return the existing id
@@ -221,26 +330,27 @@ impl Index {
         (0..self.fields.len()).map(|i| FieldId(i as u16))
     }
 
-    /// Add a document, returning its id.
+    /// Add a document to the memtable segment, returning its id.
     pub fn add(&mut self, doc: Doc) -> DocId {
         let id = DocId(self.deleted.len() as u32);
+        debug_assert_eq!(id.0, self.active.base + self.active.docs);
         self.deleted.push(false);
         self.live_docs += 1;
         for lens in &mut self.field_len {
             lens.push(0);
         }
         // Split the borrow so the token sink can mutate the lexicon and
-        // postings while the analyzer (behind `config`) stays shared.
+        // memtable while the analyzer (behind `config`) stays shared.
         let Index {
             config,
             fields,
             lexicon,
-            postings,
-            score_stats,
+            active,
             field_len,
             scratch,
             ..
         } = self;
+        active.docs += 1;
         // Group occurrences per field so repeated fields concatenate.
         for (field, text) in doc.fields() {
             let field = *field;
@@ -256,24 +366,11 @@ impl Index {
                 .analyze_with(text, scratch, &mut |term, pos, _start, _end| {
                     last_pos = Some(pos);
                     let term = lexicon.intern(term);
-                    if !score_stats.is_empty() {
-                        score_stats.remove(&(term, field));
-                    }
-                    let list = postings
+                    active
+                        .postings
                         .entry((term, field))
-                        .or_insert_with(|| Postings::Raw(PostingList::new()));
-                    let raw = match list {
-                        Postings::Raw(l) => l,
-                        Postings::Compressed(c) => {
-                            // Re-expand a compressed list for the append.
-                            *list = Postings::Raw(c.decode());
-                            match list {
-                                Postings::Raw(l) => l,
-                                Postings::Compressed(_) => unreachable!(),
-                            }
-                        }
-                    };
-                    raw.push_occurrence(id, base + pos);
+                        .or_default()
+                        .push_occurrence(id, base + pos);
                 });
             let added = last_pos.map(|p| p + 1).unwrap_or(0);
             field_len[field.0 as usize][id.as_usize()] += added;
@@ -293,11 +390,11 @@ impl Index {
     /// The batch is partitioned into contiguous chunks, each built into
     /// an independent [`Segment`] on its own scoped thread (private
     /// lexicon and postings — the hot loop takes no locks), and the
-    /// segments are folded back in chunk order by a deterministic
-    /// merge. The result is **bit-identical** to calling [`Index::add`]
-    /// on each document in order: same doc ids, same term ids, same
-    /// postings bytes after [`Index::optimize`] — see the differential
-    /// property tests. `threads` is clamped to `1..=`
+    /// segments are folded back in chunk order by a deterministic merge
+    /// into the memtable. The result is **bit-identical** to calling
+    /// [`Index::add`] on each document in order: same doc ids, same
+    /// term ids, same postings bytes after [`Index::optimize`] — see
+    /// the differential property tests. `threads` is clamped to `1..=`
     /// [`MAX_BUILD_WORKERS`]; with one thread (or one document) the
     /// build degenerates to the sequential path.
     pub fn build_parallel(&mut self, docs: Vec<Doc>, threads: usize) -> Vec<DocId> {
@@ -345,16 +442,17 @@ impl Index {
                 .collect()
         });
         for seg in segments {
-            self.merge_segment(seg);
+            self.merge_builder_segment(seg);
         }
         (0..n as u32).map(|i| DocId(first + i)).collect()
     }
 
-    /// Fold one finished segment into the index. Called in chunk order;
-    /// determinism of the merged representation relies on iterating the
-    /// segment's terms in local-id (first-encounter) order and fields in
-    /// id order — never on hash-map iteration order.
-    fn merge_segment(&mut self, seg: Segment) {
+    /// Fold one finished build segment into the memtable. Called in
+    /// chunk order; determinism of the merged representation relies on
+    /// iterating the segment's terms in local-id (first-encounter)
+    /// order and fields in id order — never on hash-map iteration
+    /// order.
+    fn merge_builder_segment(&mut self, seg: Segment) {
         let Segment {
             lexicon,
             mut postings,
@@ -376,27 +474,12 @@ impl Index {
                 let Some(list) = postings.remove(&(local_id, field)) else {
                     continue;
                 };
-                if !self.score_stats.is_empty() {
-                    // The list grows: stale bounds could under-estimate.
-                    self.score_stats.remove(&(global, field));
-                }
-                match self.postings.entry((global, field)) {
+                match self.active.postings.entry((global, field)) {
                     Entry::Vacant(slot) => {
-                        slot.insert(Postings::Raw(list));
+                        slot.insert(list);
                     }
                     Entry::Occupied(mut slot) => {
-                        let merged = slot.get_mut();
-                        let raw = match merged {
-                            Postings::Raw(l) => l,
-                            Postings::Compressed(c) => {
-                                *merged = Postings::Raw(c.decode());
-                                match merged {
-                                    Postings::Raw(l) => l,
-                                    Postings::Compressed(_) => unreachable!(),
-                                }
-                            }
-                        };
-                        raw.append(list);
+                        slot.get_mut().append(list);
                     }
                 }
             }
@@ -409,28 +492,57 @@ impl Index {
         self.deleted
             .resize(self.deleted.len() + docs as usize, false);
         self.live_docs += docs as usize;
+        self.active.docs += docs;
     }
 
     /// Tombstone a document. Returns `false` if it was already deleted
     /// or the id is unknown.
     ///
-    /// Deleted documents keep contributing to document frequencies and
-    /// average lengths until a rebuild; this is the usual
-    /// tombstone-until-merge trade-off and is documented behaviour.
+    /// The posting entries stay in place until a merge purges them
+    /// (deleted documents keep contributing to document frequencies
+    /// until then — the usual tombstone-until-merge trade-off), but the
+    /// document's per-field lengths and stored text are reclaimed
+    /// immediately, so BM25 average lengths track the live corpus.
     pub fn delete(&mut self, doc: DocId) -> bool {
         match self.deleted.get_mut(doc.as_usize()) {
             Some(flag) if !*flag => {
                 *flag = true;
                 self.live_docs -= 1;
+                for (f, lens) in self.field_len.iter_mut().enumerate() {
+                    let len = std::mem::take(&mut lens[doc.as_usize()]);
+                    self.fields[f].total_len -= len as u64;
+                }
+                if let Some(slot) = self.stored.get_mut(doc.as_usize()) {
+                    *slot = Vec::new();
+                }
                 true
             }
             _ => false,
         }
     }
 
+    /// Replace a live document in one step: tombstone `doc` and add
+    /// `replacement` under a fresh id (the datastore refresh path
+    /// uses this). Returns the new id, or `None` when `doc` is unknown
+    /// or already deleted — nothing is added in that case.
+    pub fn update(&mut self, doc: DocId, replacement: Doc) -> Option<DocId> {
+        if !self.delete(doc) {
+            return None;
+        }
+        Some(self.add(replacement))
+    }
+
     /// Whether a document is tombstoned (unknown ids read as deleted).
     pub fn is_deleted(&self, doc: DocId) -> bool {
         self.deleted.get(doc.as_usize()).copied().unwrap_or(true)
+    }
+
+    /// Whether a document is visible to search. Always `true` outside
+    /// near-real-time mode; under an NRT policy, memtable documents
+    /// stay hidden until the next seal.
+    #[inline]
+    pub fn is_visible(&self, doc: DocId) -> bool {
+        !self.policy.near_real_time || doc.0 < self.visible_limit
     }
 
     /// Number of live (non-deleted) documents.
@@ -443,30 +555,175 @@ impl Index {
         self.deleted.len()
     }
 
-    /// Compress every posting list (E3 ablation; also the steady state
-    /// for the static synthetic web corpus) and precompute the
-    /// per-`(term, field)` score-bound ingredients ([`TermScoreStats`])
-    /// the pruned top-k executor uses.
-    pub fn optimize(&mut self) {
-        for list in self.postings.values_mut() {
-            if let Postings::Raw(raw) = list {
-                *list = Postings::Compressed(CompressedPostings::encode(raw));
+    /// Freeze the memtable into an immutable sealed segment:
+    /// compress its posting lists, compute per-list score-bound stats,
+    /// and open a fresh empty memtable. Returns `false` (and creates
+    /// no segment) when the memtable holds no postings. Under a
+    /// near-real-time policy this is also the moment pending documents
+    /// become searchable.
+    pub fn seal(&mut self) -> bool {
+        self.visible_limit = self.total_docs() as u32;
+        if self.active.postings.is_empty() {
+            // Nothing indexed since the last seal (documents that
+            // analyze to zero tokens leave no postings); just advance
+            // the memtable's doc range.
+            self.active = ActiveSegment::starting_at(self.total_docs() as u32);
+            return false;
+        }
+        let next = ActiveSegment::starting_at(self.total_docs() as u32);
+        let memtable = std::mem::replace(&mut self.active, next);
+        let mut postings = FxHashMap::default();
+        postings.reserve(memtable.postings.len());
+        for (key, list) in memtable.postings {
+            postings.insert(key, CompressedPostings::encode(&list));
+        }
+        let stats = Self::compute_stats(&self.field_len, &postings);
+        self.sealed.push(SealedSegment {
+            base: memtable.base,
+            docs: memtable.docs,
+            purged: 0,
+            postings,
+            stats,
+        });
+        true
+    }
+
+    /// One bounded maintenance step, driven by the caller's (virtual)
+    /// clock: seal the memtable when it is over the size cap or older
+    /// than the staleness window, then perform at most one tiered
+    /// merge. Deterministic given the same schedule of calls, so
+    /// replay/chaos harnesses reproduce segment layouts exactly.
+    pub fn maintain(&mut self, now_ms: u64) -> MaintenanceReport {
+        let mut report = MaintenanceReport::default();
+        let overdue = now_ms.saturating_sub(self.last_seal_ms) >= self.policy.staleness_window_ms;
+        if self.active.docs >= self.policy.memtable_max_docs || (self.active.docs > 0 && overdue) {
+            report.sealed = self.seal();
+            self.last_seal_ms = now_ms;
+        }
+        if let Some((start, end)) = self.pick_merge_run() {
+            report.merged_segments = end - start;
+            report.purged_docs = self.merge_run(start, end);
+        }
+        report
+    }
+
+    /// Choose the next merge: the oldest run of `merge_fanin` adjacent
+    /// segments sharing a size tier (log2 of covered doc range), or —
+    /// when no tier run exists — the first segment whose pending
+    /// tombstones outnumber its live range (rewriting it reclaims a
+    /// majority of its postings).
+    fn pick_merge_run(&self) -> Option<(usize, usize)> {
+        let fanin = self.policy.merge_fanin.max(2);
+        if self.sealed.len() >= fanin {
+            let tier = |seg: &SealedSegment| 32 - seg.docs.max(1).leading_zeros();
+            'outer: for start in 0..=self.sealed.len() - fanin {
+                let t = tier(&self.sealed[start]);
+                for seg in &self.sealed[start + 1..start + fanin] {
+                    if tier(seg) != t {
+                        continue 'outer;
+                    }
+                }
+                return Some((start, start + fanin));
             }
         }
+        for (i, seg) in self.sealed.iter().enumerate() {
+            let dead = self.dead_in_range(seg.base, seg.docs);
+            if dead > seg.purged && (dead - seg.purged) * 2 > seg.docs {
+                return Some((i, i + 1));
+            }
+        }
+        None
+    }
+
+    /// Tombstoned documents in a doc-id range.
+    fn dead_in_range(&self, base: u32, docs: u32) -> u32 {
+        self.deleted[base as usize..(base + docs) as usize]
+            .iter()
+            .filter(|&&d| d)
+            .count() as u32
+    }
+
+    /// Fold sealed segments `start..end` (a run adjacent in doc order)
+    /// into one, physically removing tombstoned documents and
+    /// recomputing score stats over the survivors. Doc ids are never
+    /// renumbered — purged docs simply leave holes. Returns the number
+    /// of newly purged documents.
+    fn merge_run(&mut self, start: usize, end: usize) -> usize {
+        let run: Vec<SealedSegment> = self.sealed.drain(start..end).collect();
+        let base = run.first().map_or(0, |s| s.base);
+        let docs = run.last().map_or(base, |s| s.base + s.docs) - base;
+        let deleted = &self.deleted;
+        let mut merged: FxHashMap<(TermId, FieldId), crate::postings::PostingList> =
+            FxHashMap::default();
+        // Segments are processed in doc-range order, so per-key appends
+        // stay doc-ordered without a merge heap.
+        for seg in &run {
+            for (&key, comp) in &seg.postings {
+                let out = merged.entry(key).or_default();
+                comp.for_each(|doc, positions| {
+                    if !deleted[doc.as_usize()] {
+                        for &p in positions {
+                            out.push_occurrence(doc, p);
+                        }
+                    }
+                });
+            }
+        }
+        let mut postings = FxHashMap::default();
+        postings.reserve(merged.len());
+        for (key, list) in merged {
+            if list.doc_count() > 0 {
+                postings.insert(key, CompressedPostings::encode(&list));
+            }
+        }
+        let stats = Self::compute_stats(&self.field_len, &postings);
+        let dead = self.dead_in_range(base, docs);
+        let already: u32 = run.iter().map(|s| s.purged).sum();
+        self.sealed.insert(
+            start,
+            SealedSegment {
+                base,
+                docs,
+                purged: dead,
+                postings,
+                stats,
+            },
+        );
+        dead.saturating_sub(already) as usize
+    }
+
+    /// Compress every posting list and precompute score-bound stats by
+    /// sealing the memtable and merging all sealed segments into one
+    /// fully-compacted segment. Tombstoned documents are purged, so
+    /// document frequencies, score stats, and spell-model popularity
+    /// stop counting them — equivalent to a from-scratch rebuild of
+    /// the live corpus (the differential tests prove bit-identical
+    /// search results).
+    pub fn optimize(&mut self) {
+        self.seal();
+        if !self.sealed.is_empty() {
+            self.merge_run(0, self.sealed.len());
+        }
+    }
+
+    /// Score-bound ingredients per posting list: walk each compressed
+    /// list once, tracking the largest tf and the smallest *non-zero*
+    /// field length (zero lengths are either pre-registration backfill
+    /// or reclaimed tombstones; excluding them is rank-safe because
+    /// every live document containing the term has length >= 1).
+    fn compute_stats(
+        field_len: &[Vec<u32>],
+        postings: &FxHashMap<(TermId, FieldId), CompressedPostings>,
+    ) -> FxHashMap<(TermId, FieldId), TermScoreStats> {
         let mut stats = FxHashMap::default();
-        stats.reserve(self.postings.len());
-        for (&(term, field), list) in &self.postings {
-            let lens = &self.field_len[field.0 as usize];
+        stats.reserve(postings.len());
+        for (&(term, field), list) in postings {
+            let lens = &field_len[field.0 as usize];
             let mut max_tf = 0u32;
             let mut min_len = u32::MAX;
             let mut cur = list.cursor();
-            while cur.doc() != crate::postings::NO_DOC {
+            while cur.doc() != NO_DOC {
                 max_tf = max_tf.max(cur.tf());
-                // A zero length means the doc predates the field's
-                // registration (register_field backfills zeros); using
-                // it as a real length would zero the min-len bound
-                // ingredient. Docs that actually contain the term have
-                // length >= 1, so excluding zeros stays rank-safe.
                 let len = lens[cur.doc() as usize];
                 if len > 0 {
                     min_len = min_len.min(len);
@@ -480,36 +737,116 @@ impl Index {
                 stats.insert((term, field), TermScoreStats { max_tf, min_len });
             }
         }
-        self.score_stats = stats;
+        stats
     }
 
-    /// Score-bound ingredients for `(term, field)`, when
-    /// [`Index::optimize`] has computed them and no later
-    /// [`Index::add`] has invalidated the entry. `None` simply means
+    /// Score-bound ingredients for `(term, field)`, folded rank-safely
+    /// across sealed segments (max of `max_tf`, min of `min_len`).
+    /// Returns `None` when the memtable also holds postings for the
+    /// key — fresh documents may raise `max_tf` or lower `min_len`, so
     /// the pruned executor must treat the term as unbounded
-    /// (always-evaluated); it never affects correctness.
+    /// (always-evaluated); this never affects correctness, only how
+    /// much work pruning can skip.
     pub fn term_score_stats(&self, term: TermId, field: FieldId) -> Option<TermScoreStats> {
-        self.score_stats.get(&(term, field)).copied()
+        let key = (term, field);
+        if self.active.postings.contains_key(&key) {
+            return None;
+        }
+        let mut folded: Option<TermScoreStats> = None;
+        for seg in &self.sealed {
+            let Some(s) = seg.stats.get(&key) else {
+                continue;
+            };
+            folded = Some(match folded {
+                None => *s,
+                Some(f) => TermScoreStats {
+                    max_tf: f.max_tf.max(s.max_tf),
+                    min_len: f.min_len.min(s.min_len),
+                },
+            });
+        }
+        folded
     }
 
-    /// Posting list for `(term, field)` if any document contains it.
-    pub fn postings(&self, term: TermId, field: FieldId) -> Option<&Postings> {
-        self.postings.get(&(term, field))
+    /// Whether any segment holds postings for `(term, field)`.
+    pub fn has_postings(&self, term: TermId, field: FieldId) -> bool {
+        let key = (term, field);
+        self.active.postings.contains_key(&key)
+            || self.sealed.iter().any(|s| s.postings.contains_key(&key))
     }
 
-    /// Document frequency of `(term, field)`.
+    /// Open a doc-ordered cursor over the union of every segment's
+    /// postings for `(term, field)`, or `None` when no document
+    /// contains it. Single-segment lists return their cursor directly;
+    /// multi-segment lists are chained (segments cover disjoint
+    /// increasing doc ranges, so concatenation preserves doc order and
+    /// `seek` can skip whole segments without decoding them).
+    pub fn cursor(&self, term: TermId, field: FieldId) -> Option<PostingsCursor<'_>> {
+        let key = (term, field);
+        let mut parts: Vec<PostingsCursor<'_>> = Vec::new();
+        for seg in &self.sealed {
+            if let Some(c) = seg.postings.get(&key) {
+                parts.push(PostingsCursor::Compressed(c.cursor()));
+            }
+        }
+        if let Some(l) = self.active.postings.get(&key) {
+            parts.push(PostingsCursor::Raw(l.cursor()));
+        }
+        match parts.len() {
+            0 => None,
+            1 => parts.pop(),
+            _ => Some(PostingsCursor::Chained(ChainedCursor::new(parts))),
+        }
+    }
+
+    /// Visit every `(doc, positions)` pair for `(term, field)` in
+    /// global doc order, across all segments.
+    pub fn for_each_posting(&self, term: TermId, field: FieldId, mut f: impl FnMut(DocId, &[u32])) {
+        let key = (term, field);
+        for seg in &self.sealed {
+            if let Some(c) = seg.postings.get(&key) {
+                c.for_each(&mut f);
+            }
+        }
+        if let Some(l) = self.active.postings.get(&key) {
+            for p in l.postings() {
+                f(p.doc, &p.positions);
+            }
+        }
+    }
+
+    /// Document frequency of `(term, field)`, summed over segments
+    /// (tombstoned docs count until a merge purges them).
     pub fn doc_freq(&self, term: TermId, field: FieldId) -> usize {
-        self.postings(term, field).map_or(0, |p| p.doc_count())
+        let key = (term, field);
+        let sealed: usize = self
+            .sealed
+            .iter()
+            .filter_map(|s| s.postings.get(&key))
+            .map(|c| c.doc_count())
+            .sum();
+        sealed + self.active.postings.get(&key).map_or(0, |l| l.doc_count())
     }
 
-    /// Analyzed length of `field` in `doc`.
+    /// The single compressed posting list for `(term, field)` when the
+    /// index is fully compacted — one sealed segment, empty memtable —
+    /// and `None` otherwise. The build-determinism tests use this to
+    /// compare byte streams between construction paths.
+    pub fn compacted_postings(&self, term: TermId, field: FieldId) -> Option<&CompressedPostings> {
+        if !self.active.postings.is_empty() || self.sealed.len() > 1 {
+            return None;
+        }
+        self.sealed.first()?.postings.get(&(term, field))
+    }
+
+    /// Analyzed length of `field` in `doc` (0 once `doc` is deleted).
     pub fn field_len(&self, doc: DocId, field: FieldId) -> u32 {
         self.field_len[field.0 as usize][doc.as_usize()]
     }
 
-    /// Mean analyzed length of `field` over all documents.
+    /// Mean analyzed length of `field` over live documents.
     pub fn avg_field_len(&self, field: FieldId) -> f32 {
-        let n = self.total_docs();
+        let n = self.live_docs;
         if n == 0 {
             return 0.0;
         }
@@ -518,7 +855,8 @@ impl Index {
 
     /// Stored original text of `field` in `doc`, when
     /// [`IndexConfig::store_text`] is on. Repeated fields return the
-    /// first occurrence.
+    /// first occurrence; deleted documents return `None` (their text
+    /// is reclaimed at delete time).
     pub fn stored_text(&self, doc: DocId, field: FieldId) -> Option<&str> {
         self.stored
             .get(doc.as_usize())?
@@ -539,19 +877,28 @@ impl Index {
 
     /// Snapshot statistics.
     pub fn stats(&self) -> IndexStats {
-        let postings_bytes = self.postings.values().map(|p| p.heap_bytes()).sum();
-        let fully_compressed = !self.postings.is_empty()
-            && self
-                .postings
-                .values()
-                .all(|p| matches!(p, Postings::Compressed(_)));
+        let posting_lists = self.active.postings.len()
+            + self.sealed.iter().map(|s| s.postings.len()).sum::<usize>();
+        let postings_bytes = self
+            .active
+            .postings
+            .values()
+            .map(|l| l.heap_bytes())
+            .sum::<usize>()
+            + self
+                .sealed
+                .iter()
+                .map(|s| s.postings_bytes())
+                .sum::<usize>();
         IndexStats {
             total_docs: self.total_docs(),
             live_docs: self.live_docs,
             terms: self.lexicon.len(),
-            posting_lists: self.postings.len(),
+            posting_lists,
             postings_bytes,
-            fully_compressed,
+            fully_compressed: posting_lists > 0 && self.active.postings.is_empty(),
+            sealed_segments: self.sealed.len(),
+            memtable_docs: self.active.docs as usize,
         }
     }
 }
@@ -628,6 +975,17 @@ mod tests {
     }
 
     #[test]
+    fn delete_reclaims_lengths_and_stored_text() {
+        let (mut idx, title, body) = small_index();
+        let before = idx.avg_field_len(body);
+        idx.delete(DocId(0));
+        assert_eq!(idx.field_len(DocId(0), body), 0);
+        assert_eq!(idx.stored_text(DocId(0), title), None);
+        // The average now reflects only the two live docs.
+        assert_ne!(idx.avg_field_len(body), before);
+    }
+
+    #[test]
     fn unknown_doc_reads_as_deleted() {
         let (idx, _, _) = small_index();
         assert!(idx.is_deleted(DocId(999)));
@@ -639,6 +997,7 @@ mod tests {
         let before = Searcher::new(&idx).search(&Query::parse("space"), 10);
         idx.optimize();
         assert!(idx.stats().fully_compressed);
+        assert_eq!(idx.stats().sealed_segments, 1);
         let after = Searcher::new(&idx).search(&Query::parse("space"), 10);
         assert_eq!(
             before.iter().map(|h| h.doc).collect::<Vec<_>>(),
@@ -647,7 +1006,7 @@ mod tests {
     }
 
     #[test]
-    fn add_after_optimize_reexpands() {
+    fn add_after_optimize_lands_in_fresh_memtable() {
         let (mut idx, title, body) = small_index();
         idx.optimize();
         idx.add(
@@ -655,6 +1014,12 @@ mod tests {
                 .field(title, "Space Farm")
                 .field(body, "space farming hybrid"),
         );
+        // The sealed segment is untouched; the new doc is served from
+        // the memtable and unioned in at query time.
+        let s = idx.stats();
+        assert_eq!(s.sealed_segments, 1);
+        assert_eq!(s.memtable_docs, 1);
+        assert!(!s.fully_compressed);
         let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
         assert_eq!(hits.len(), 3);
     }
@@ -733,6 +1098,42 @@ mod tests {
     }
 
     #[test]
+    fn merge_purges_tombstones_and_rebuilds_stats() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        let d0 = idx.add(Doc::new().field(body, "space space"));
+        idx.add(Doc::new().field(body, "space and more words here"));
+        idx.optimize();
+        idx.delete(d0);
+        let space = idx.lexicon().get("space").unwrap();
+        assert_eq!(idx.doc_freq(space, body), 2, "df counts the tombstone");
+        // Re-compacting purges the tombstone: df drops and the stats
+        // are rebuilt from the surviving doc.
+        idx.optimize();
+        assert_eq!(idx.doc_freq(space, body), 1);
+        let s = idx.term_score_stats(space, body).unwrap();
+        assert_eq!(s.max_tf, 1);
+        assert_eq!(s.min_len, 5);
+    }
+
+    #[test]
+    fn purged_term_disappears_entirely() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        let d0 = idx.add(Doc::new().field(body, "unique sentinel"));
+        idx.add(Doc::new().field(body, "other text"));
+        idx.optimize();
+        idx.delete(d0);
+        idx.optimize();
+        let uniq = idx.lexicon().get("uniqu").or(idx.lexicon().get("unique"));
+        if let Some(t) = uniq {
+            assert_eq!(idx.doc_freq(t, body), 0);
+            assert!(!idx.has_postings(t, body));
+            assert!(idx.cursor(t, body).is_none());
+        }
+    }
+
+    #[test]
     fn stats_report_counts() {
         let (idx, _, _) = small_index();
         let s = idx.stats();
@@ -740,6 +1141,8 @@ mod tests {
         assert!(s.terms > 5);
         assert!(s.posting_lists >= s.terms); // each term in >=1 field
         assert!(!s.fully_compressed);
+        assert_eq!(s.sealed_segments, 0);
+        assert_eq!(s.memtable_docs, 3);
     }
 
     #[test]
@@ -847,8 +1250,209 @@ mod tests {
         assert_eq!(ids, vec![DocId(1), DocId(2)]);
         let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
         assert_eq!(hits.len(), 3);
-        // Stats touched by the merge were evicted, not left stale.
+        // Stats touched by the batch are masked by the memtable, not
+        // left stale.
         let space = idx.lexicon().get("space").unwrap();
         assert_eq!(idx.term_score_stats(space, body), None);
+    }
+
+    #[test]
+    fn update_replaces_document_under_fresh_id() {
+        let (mut idx, title, body) = small_index();
+        let new_id = idx
+            .update(
+                DocId(1),
+                Doc::new()
+                    .field(title, "Farm Story Deluxe")
+                    .field(body, "expanded farming with orchards"),
+            )
+            .unwrap();
+        assert_eq!(new_id, DocId(3));
+        assert!(idx.is_deleted(DocId(1)));
+        assert_eq!(idx.live_docs(), 3);
+        let hits = Searcher::new(&idx).search(&Query::parse("orchards"), 10);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].doc, new_id);
+        // The old version no longer matches anything.
+        assert!(Searcher::new(&idx)
+            .search(&Query::parse("calm"), 10)
+            .is_empty());
+    }
+
+    #[test]
+    fn update_of_deleted_or_unknown_doc_is_rejected() {
+        let (mut idx, _, body) = small_index();
+        idx.delete(DocId(0));
+        assert_eq!(idx.update(DocId(0), Doc::new().field(body, "nope")), None);
+        assert_eq!(idx.update(DocId(99), Doc::new().field(body, "nope")), None);
+        assert_eq!(idx.total_docs(), 3, "rejected updates add nothing");
+    }
+
+    #[test]
+    fn seal_freezes_memtable_and_reopens_empty() {
+        let (mut idx, _, _) = small_index();
+        assert!(idx.seal());
+        let s = idx.stats();
+        assert_eq!(s.sealed_segments, 1);
+        assert_eq!(s.memtable_docs, 0);
+        assert!(s.fully_compressed);
+        // Sealing an empty memtable is a no-op.
+        assert!(!idx.seal());
+        assert_eq!(idx.stats().sealed_segments, 1);
+        // Search is unchanged across the seal.
+        let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn search_unions_memtable_and_multiple_sealed_segments() {
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "space alpha"));
+        idx.seal();
+        idx.add(Doc::new().field(body, "space beta"));
+        idx.seal();
+        idx.add(Doc::new().field(body, "space gamma"));
+        assert_eq!(idx.stats().sealed_segments, 2);
+        let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn maintain_seals_on_size_and_staleness() {
+        let mut idx = Index::with_policy(
+            IndexConfig::default(),
+            SegmentPolicy {
+                memtable_max_docs: 2,
+                staleness_window_ms: 100,
+                ..SegmentPolicy::default()
+            },
+        );
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "one"));
+        // Young and small: nothing happens.
+        assert!(!idx.maintain(50).did_work());
+        idx.add(Doc::new().field(body, "two"));
+        // Size cap reached.
+        let r = idx.maintain(60);
+        assert!(r.sealed);
+        assert_eq!(idx.stats().sealed_segments, 1);
+        // Staleness window forces a seal even for a single doc.
+        idx.add(Doc::new().field(body, "three"));
+        assert!(!idx.maintain(100).sealed, "window measured from last seal");
+        assert!(idx.maintain(160).sealed);
+        assert_eq!(idx.stats().sealed_segments, 2);
+    }
+
+    #[test]
+    fn maintain_merges_same_tier_runs() {
+        let mut idx = Index::with_policy(
+            IndexConfig::default(),
+            SegmentPolicy {
+                memtable_max_docs: 1,
+                staleness_window_ms: u64::MAX,
+                merge_fanin: 3,
+                near_real_time: false,
+            },
+        );
+        let body = idx.register_field("body", 1.0);
+        let mut now = 0u64;
+        for i in 0..3 {
+            idx.add(Doc::new().field(body, format!("doc number {i} space")));
+            now += 10;
+            idx.maintain(now);
+        }
+        // Three one-doc segments share a tier; the third maintain call
+        // merged them into one.
+        let s = idx.stats();
+        assert_eq!(s.sealed_segments, 1);
+        let hits = Searcher::new(&idx).search(&Query::parse("space"), 10);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn maintain_compacts_tombstone_heavy_segments() {
+        let mut idx = Index::with_policy(
+            IndexConfig::default(),
+            SegmentPolicy {
+                memtable_max_docs: 4,
+                staleness_window_ms: u64::MAX,
+                merge_fanin: 4,
+                near_real_time: false,
+            },
+        );
+        let body = idx.register_field("body", 1.0);
+        let ids: Vec<DocId> = (0..4)
+            .map(|i| idx.add(Doc::new().field(body, format!("space doc {i}"))))
+            .collect();
+        idx.maintain(10); // seals the 4-doc memtable
+        assert_eq!(idx.stats().sealed_segments, 1);
+        let space = idx.lexicon().get("space").unwrap();
+        idx.delete(ids[0]);
+        idx.delete(ids[1]);
+        idx.delete(ids[2]);
+        assert_eq!(idx.doc_freq(space, body), 4, "tombstones linger");
+        let r = idx.maintain(20);
+        assert_eq!(r.merged_segments, 1);
+        assert_eq!(r.purged_docs, 3);
+        assert_eq!(idx.doc_freq(space, body), 1);
+        // A second tick finds no pending garbage and does nothing.
+        assert!(!idx.maintain(30).did_work());
+    }
+
+    #[test]
+    fn near_real_time_hides_memtable_until_seal() {
+        let mut idx = Index::with_policy(
+            IndexConfig::default(),
+            SegmentPolicy {
+                near_real_time: true,
+                ..SegmentPolicy::default()
+            },
+        );
+        let body = idx.register_field("body", 1.0);
+        idx.add(Doc::new().field(body, "hidden until sealed"));
+        assert!(Searcher::new(&idx)
+            .search(&Query::parse("hidden"), 10)
+            .is_empty());
+        idx.seal();
+        let hits = Searcher::new(&idx).search(&Query::parse("hidden"), 10);
+        assert_eq!(hits.len(), 1);
+        // The next write is hidden again; sealed docs stay visible.
+        idx.add(Doc::new().field(body, "hidden again"));
+        assert_eq!(
+            Searcher::new(&idx)
+                .search(&Query::parse("hidden"), 10)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn maintain_is_deterministic_for_a_fixed_schedule() {
+        let run = || {
+            let mut idx = Index::with_policy(
+                IndexConfig::default(),
+                SegmentPolicy {
+                    memtable_max_docs: 3,
+                    staleness_window_ms: 40,
+                    merge_fanin: 2,
+                    near_real_time: false,
+                },
+            );
+            let body = idx.register_field("body", 1.0);
+            let mut reports = Vec::new();
+            for i in 0..20u32 {
+                idx.add(Doc::new().field(body, format!("space doc {i} word{}", i % 5)));
+                if i % 3 == 0 {
+                    idx.delete(DocId(i / 2));
+                }
+                reports.push(idx.maintain(u64::from(i) * 17));
+            }
+            (reports, idx.stats())
+        };
+        let (ra, sa) = run();
+        let (rb, sb) = run();
+        assert_eq!(ra, rb);
+        assert_eq!(sa, sb);
     }
 }

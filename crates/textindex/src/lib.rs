@@ -17,8 +17,9 @@
 //! * [`analysis`] — tokenization, stopwords, light stemming.
 //! * [`lexicon`] — term interning.
 //! * [`postings`] — positional posting lists, raw and varint-compressed.
-//! * [`index`] — the inverted index with incremental add and tombstone
-//!   delete.
+//! * [`index`] — the inverted index, organized as a segment-lifecycle
+//!   runtime: incremental add/update into a mutable memtable, tombstone
+//!   delete, sealed immutable segments, tiered merges.
 //! * [`query`] — the user-facing query language (`term`, `"a phrase"`,
 //!   `+must`, `-not`, `field:term`).
 //! * [`search`] — BM25 top-k execution.
@@ -55,8 +56,8 @@ pub mod spell;
 
 pub use analysis::{Analyzer, StandardAnalyzer, Token, TokenScratch};
 pub use index::{
-    default_build_threads, Doc, FieldId, Index, IndexConfig, IndexStats, TermScoreStats,
-    MAX_BUILD_WORKERS,
+    default_build_threads, Doc, FieldId, Index, IndexConfig, IndexStats, MaintenanceReport,
+    SegmentPolicy, TermScoreStats, MAX_BUILD_WORKERS,
 };
 pub use lexicon::{Lexicon, TermId};
 pub use query::Query;

@@ -265,7 +265,7 @@ impl<'a> Searcher<'a> {
                 }
             }
             let id = DocId(doc);
-            if self.index.is_deleted(id) || !filter(id) {
+            if self.index.is_deleted(id) || !self.index.is_visible(id) || !filter(id) {
                 continue;
             }
             heap.push(HeapEntry { score, doc });
@@ -431,6 +431,7 @@ impl<'a> Searcher<'a> {
             // ---- Cheap rejections ----------------------------------
             let rejected = exclusions.iter_mut().any(|u| u.seek(d) == d)
                 || self.index.is_deleted(DocId(d))
+                || !self.index.is_visible(DocId(d))
                 || !filter(DocId(d));
 
             if !rejected {
@@ -526,13 +527,14 @@ impl<'a> Searcher<'a> {
     }
 
     /// Build one scoring cursor for `(term, field)`, or `None` when no
-    /// document contains it. The pruning bound comes from the stats
-    /// [`Index::optimize`] stored next to the postings; lists without
-    /// stats (raw segments, post-optimize appends) get an infinite
+    /// document contains it. The cursor unions every segment's posting
+    /// list; the pruning bound folds the per-segment stats sealed
+    /// segments carry ([`Index::term_score_stats`]). Terms with
+    /// postings in the memtable have no stats and get an infinite
     /// bound, which keeps them permanently essential — always
     /// evaluated, never pruned against, hence still exact.
     fn scorer(&self, term: TermId, field: FieldId) -> Option<Scorer<'a>> {
-        let postings = self.index.postings(term, field)?;
+        let cursor = self.index.cursor(term, field)?;
         let idf = self.idf(term, field);
         let avg_len = self.index.avg_field_len(field);
         let boost = self.index.field_boost(field);
@@ -548,7 +550,7 @@ impl<'a> Searcher<'a> {
             None => f32::INFINITY,
         };
         Some(Scorer {
-            cursor: postings.cursor(),
+            cursor,
             field,
             idf,
             avg_len,
@@ -562,30 +564,46 @@ impl<'a> Searcher<'a> {
         UnionCursor {
             members: fields
                 .iter()
-                .filter_map(|&f| self.index.postings(term, f))
-                .map(|p| p.cursor())
+                .filter_map(|&f| self.index.cursor(term, f))
                 .collect(),
         }
     }
 
     /// Analyze raw query text with the index's analyzer, mapping each
-    /// token to an existing term id (tokens the index has never seen
-    /// match nothing and are dropped).
+    /// token to an existing term id. Tokens the index has never seen
+    /// are dropped, and so are terms whose postings were entirely
+    /// purged by merges (the lexicon never forgets a term, but a term
+    /// surviving only in tombstoned-and-compacted documents must query
+    /// exactly like one that was never indexed — otherwise a compacted
+    /// index and a from-scratch rebuild would disagree on `+must`
+    /// vacuousness).
     fn analyze_query_text(&self, raw: &str) -> Vec<TermId> {
         self.index
             .analyzer()
             .analyze(raw)
             .into_iter()
             .filter_map(|t| self.index.lexicon().get(&t.term))
+            .filter(|&t| {
+                self.index
+                    .field_ids()
+                    .any(|f| self.index.has_postings(t, f))
+            })
             .collect()
     }
 
+    /// BM25 idf over the *live* corpus. `df` still counts tombstoned
+    /// documents until a merge purges them, which can push idf negative
+    /// when deletes outnumber live docs; negative idf makes the raw
+    /// score bound negative, which [`Searcher::scorer`] routes to an
+    /// infinite (always-essential) bound, so pruning stays rank-safe.
+    /// Using the live count is what makes a fully-compacted index score
+    /// bit-identically to a from-scratch rebuild of the live corpus.
     fn idf(&self, term: TermId, field: FieldId) -> f32 {
         let df = self.index.doc_freq(term, field);
         if df == 0 {
             return 0.0;
         }
-        let n = self.index.total_docs() as f32;
+        let n = self.index.live_docs() as f32;
         (1.0 + (n - df as f32 + 0.5) / (df as f32 + 0.5)).ln()
     }
 
@@ -601,13 +619,13 @@ impl<'a> Searcher<'a> {
 
     fn score_term(&self, term: TermId, fields: &[FieldId], scores: &mut FxHashMap<u32, f32>) {
         for &field in fields {
-            let Some(postings) = self.index.postings(term, field) else {
+            if !self.index.has_postings(term, field) {
                 continue;
-            };
+            }
             let idf = self.idf(term, field);
             let avg = self.index.avg_field_len(field);
             let boost = self.index.field_boost(field);
-            postings.for_each(|doc, positions| {
+            self.index.for_each_posting(term, field, |doc, positions| {
                 let len = self.index.field_len(doc, field) as f32;
                 let s = boost * self.bm25(positions.len() as f32, len, avg, idf);
                 *scores.entry(doc.0).or_insert(0.0) += s;
@@ -617,11 +635,9 @@ impl<'a> Searcher<'a> {
 
     fn collect_docs(&self, term: TermId, fields: &[FieldId], out: &mut FxHashSet<u32>) {
         for &field in fields {
-            if let Some(postings) = self.index.postings(term, field) {
-                postings.for_each(|doc, _| {
-                    out.insert(doc.0);
-                });
-            }
+            self.index.for_each_posting(term, field, |doc, _| {
+                out.insert(doc.0);
+            });
         }
     }
 
@@ -638,12 +654,12 @@ impl<'a> Searcher<'a> {
             let mut per_token: Vec<FxHashMap<u32, Vec<u32>>> = Vec::with_capacity(tokens.len());
             let mut missing = false;
             for &t in tokens {
-                let Some(postings) = self.index.postings(t, field) else {
+                if !self.index.has_postings(t, field) {
                     missing = true;
                     break;
-                };
+                }
                 let mut map: FxHashMap<u32, Vec<u32>> = FxHashMap::default();
-                postings.for_each(|doc, positions| {
+                self.index.for_each_posting(t, field, |doc, positions| {
                     map.insert(doc.0, positions.to_vec());
                 });
                 per_token.push(map);

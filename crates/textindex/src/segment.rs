@@ -1,4 +1,17 @@
-//! Per-thread segment builders for the parallel index build.
+//! Segment types for the index lifecycle and the parallel build.
+//!
+//! The index is a segment-lifecycle runtime: writes land in one
+//! mutable in-memory [`ActiveSegment`] (the memtable), a seal turns it
+//! into an immutable [`SealedSegment`] (compressed postings plus
+//! precomputed score-bound stats), and tiered merges fold adjacent
+//! sealed segments together, purging tombstoned documents and
+//! rebuilding stats as they go. All segments share the index's global
+//! lexicon and doc-id space, so a segment is purely a slice of the
+//! posting data — queries chain per-segment cursors back into one
+//! doc-ordered stream.
+//!
+//! Separately, [`SegmentBuilder`] is the per-thread builder for the
+//! parallel batch build:
 //!
 //! [`Index::build_parallel`](crate::Index::build_parallel) partitions a
 //! document batch into contiguous chunks, hands each chunk to one
@@ -19,10 +32,62 @@
 
 use crate::analysis::{Analyzer, TokenScratch};
 use crate::fx::FxHashMap;
-use crate::index::{Doc, FieldId};
+use crate::index::{Doc, FieldId, TermScoreStats};
 use crate::lexicon::{Lexicon, TermId};
-use crate::postings::PostingList;
+use crate::postings::{CompressedPostings, PostingList};
 use crate::DocId;
+
+/// The mutable in-memory segment (memtable): raw posting lists keyed
+/// by **global** term id, covering docs `[base, base + docs)`.
+#[derive(Debug, Default)]
+pub(crate) struct ActiveSegment {
+    /// Global doc id of the first document in this segment.
+    pub(crate) base: u32,
+    /// Documents added since the last seal.
+    pub(crate) docs: u32,
+    /// Raw doc-ordered posting lists, global term ids.
+    pub(crate) postings: FxHashMap<(TermId, FieldId), PostingList>,
+}
+
+impl ActiveSegment {
+    /// Fresh empty memtable starting at `base`.
+    pub(crate) fn starting_at(base: u32) -> Self {
+        ActiveSegment {
+            base,
+            docs: 0,
+            postings: FxHashMap::default(),
+        }
+    }
+}
+
+/// An immutable sealed segment: block-compressed postings keyed by
+/// **global** term id, plus the per-list score-bound ingredients
+/// computed when the segment was sealed or last merged.
+#[derive(Debug)]
+pub(crate) struct SealedSegment {
+    /// Global doc id of the first document in the segment's range.
+    pub(crate) base: u32,
+    /// Width of the covered doc-id range (tombstoned docs included;
+    /// purged docs leave holes, ids are never renumbered).
+    pub(crate) docs: u32,
+    /// Range docs that were already tombstoned *and purged from the
+    /// lists* when this segment was built. The difference between the
+    /// current tombstone count over the range and this number is the
+    /// segment's pending-garbage count, which drives compaction.
+    pub(crate) purged: u32,
+    /// Compressed posting lists; doc ids global, term ids global.
+    pub(crate) postings: FxHashMap<(TermId, FieldId), CompressedPostings>,
+    /// Score-bound ingredients per list, computed at seal/merge time.
+    /// Every key in `postings` has an entry.
+    pub(crate) stats: FxHashMap<(TermId, FieldId), TermScoreStats>,
+}
+
+impl SealedSegment {
+    /// Approximate heap bytes held by the segment's posting data.
+    pub(crate) fn postings_bytes(&self) -> usize {
+        self.postings.values().map(|c| c.byte_len()).sum()
+    }
+}
 
 /// The output of one [`SegmentBuilder`]: a self-contained slice of the
 /// index covering a contiguous global doc-id range. Term ids are local

@@ -9,7 +9,6 @@
 //! 2. two parallel builds at the same thread count are bit-identical to
 //!    each other (no dependence on thread scheduling).
 
-use symphony_text::postings::Postings;
 use symphony_text::{Doc, DocId, FieldId, Index, IndexConfig, Query, Searcher};
 
 /// Deterministic synthetic corpus: a small vocabulary recombined by a
@@ -69,9 +68,12 @@ fn assert_identical(a: &Index, b: &Index) {
     let fields = [FieldId(0), FieldId(1)];
     for (term, _) in a.lexicon().iter() {
         for field in fields {
-            match (a.postings(term, field), b.postings(term, field)) {
+            match (
+                a.compacted_postings(term, field),
+                b.compacted_postings(term, field),
+            ) {
                 (None, None) => {}
-                (Some(Postings::Compressed(ca)), Some(Postings::Compressed(cb))) => {
+                (Some(ca), Some(cb)) => {
                     assert_eq!(ca.bytes(), cb.bytes(), "postings bytes differ");
                 }
                 (x, y) => panic!(

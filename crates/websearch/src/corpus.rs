@@ -321,6 +321,20 @@ impl Corpus {
         }
     }
 
+    /// Append a freshly crawled page, registering its URL. The page's
+    /// `site` must reference an existing site and its URL must be new
+    /// (re-crawls of a known URL go through
+    /// [`SearchEngine::ingest_page`](crate::engine::SearchEngine::ingest_page),
+    /// which replaces the page in place instead).
+    pub fn push_page(&mut self, page: Page) -> usize {
+        assert!(page.site < self.sites.len(), "page references unknown site");
+        let idx = self.pages.len();
+        let prev = self.by_url.insert(page.url.clone(), idx);
+        assert!(prev.is_none(), "URL already in corpus: {}", page.url);
+        self.pages.push(page);
+        idx
+    }
+
     /// Look up a page by URL.
     pub fn page_by_url(&self, url: &str) -> Option<&Page> {
         self.by_url.get(url).map(|&i| &self.pages[i])

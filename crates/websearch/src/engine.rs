@@ -8,14 +8,16 @@
 //! Google-Custom-Search-style knobs described in the paper's
 //! introduction.
 
-use crate::corpus::{Corpus, PageKind};
+use crate::corpus::{Corpus, Page, PageKind};
 use crate::logs::LogEntry;
 use crate::pagerank::static_rank;
 use std::collections::HashMap;
 use symphony_text::query::{Clause, ClauseKind, Occur};
 use symphony_text::snippet::SnippetGenerator;
 use symphony_text::spell::SpellSuggester;
-use symphony_text::{Doc, FieldId, Index, IndexConfig, Query, Searcher};
+use symphony_text::{
+    Doc, DocId, FieldId, Index, IndexConfig, MaintenanceReport, Query, Searcher, SegmentPolicy,
+};
 
 /// Search verticals.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -31,6 +33,16 @@ pub enum Vertical {
 }
 
 impl Vertical {
+    /// The vertical a page belongs to, by its object kind.
+    pub fn of_kind(kind: &PageKind) -> Vertical {
+        match kind {
+            PageKind::Article | PageKind::Review { .. } => Vertical::Web,
+            PageKind::Image { .. } => Vertical::Image,
+            PageKind::Video { .. } => Vertical::Video,
+            PageKind::News { .. } => Vertical::News,
+        }
+    }
+
     /// All verticals.
     pub const ALL: [Vertical; 4] = [
         Vertical::Web,
@@ -122,6 +134,34 @@ struct VerticalIndex {
     index: Index,
     /// Doc id -> page index.
     pages: Vec<usize>,
+    /// Page index -> live doc id (reverse of `pages`, minus tombstones).
+    doc_by_page: HashMap<usize, DocId>,
+}
+
+impl VerticalIndex {
+    /// Index a page incrementally; a page already present (re-crawl)
+    /// is refreshed via [`Index::update`] — tombstone plus re-add — so
+    /// the vertical never rebuilds.
+    fn add_page(&mut self, page_idx: usize, doc: Doc) {
+        let id = match self.doc_by_page.get(&page_idx) {
+            Some(&old) => self
+                .index
+                .update(old, doc)
+                .expect("doc_by_page only maps live doc ids"),
+            None => self.index.add(doc),
+        };
+        debug_assert_eq!(id.as_usize(), self.pages.len());
+        self.pages.push(page_idx);
+        self.doc_by_page.insert(page_idx, id);
+    }
+
+    /// Tombstone a page's document (no-op when absent).
+    fn remove_page(&mut self, page_idx: usize) -> bool {
+        match self.doc_by_page.remove(&page_idx) {
+            Some(doc) => self.index.delete(doc),
+            None => false,
+        }
+    }
 }
 
 /// The search engine over one corpus.
@@ -171,20 +211,19 @@ struct VerticalDocs {
 fn route_pages(corpus: &Corpus) -> [VerticalDocs; 4] {
     let mut routed: [VerticalDocs; 4] = Default::default();
     for (i, page) in corpus.pages.iter().enumerate() {
-        let v = match page.kind {
-            PageKind::Article | PageKind::Review { .. } => 0,
-            PageKind::Image { .. } => 1,
-            PageKind::Video { .. } => 2,
-            PageKind::News { .. } => 3,
-        };
-        routed[v].docs.push(
-            Doc::new()
-                .field(TITLE_FIELD, &*page.title)
-                .field(BODY_FIELD, &*page.body),
-        );
+        let v = Vertical::of_kind(&page.kind) as usize;
+        routed[v].docs.push(page_doc(page));
         routed[v].pages.push(i);
     }
     routed
+}
+
+/// Project a page into an index document (shared by bulk build and
+/// live ingest, so both paths index identically).
+fn page_doc(page: &Page) -> Doc {
+    Doc::new()
+        .field(TITLE_FIELD, &*page.title)
+        .field(BODY_FIELD, &*page.body)
 }
 
 fn build_vertical(docs: VerticalDocs, threads: usize) -> VerticalIndex {
@@ -192,11 +231,18 @@ fn build_vertical(docs: VerticalDocs, threads: usize) -> VerticalIndex {
     let title = index.register_field("title", 2.0);
     let body = index.register_field("body", 1.0);
     debug_assert_eq!((title, body), (TITLE_FIELD, BODY_FIELD));
-    index.build_parallel(docs.docs, threads);
+    let ids = index.build_parallel(docs.docs, threads);
     index.optimize();
+    let doc_by_page = docs
+        .pages
+        .iter()
+        .zip(ids)
+        .map(|(&page, id)| (page, id))
+        .collect();
     VerticalIndex {
         index,
         pages: docs.pages,
+        doc_by_page,
     }
 }
 
@@ -318,6 +364,96 @@ impl SearchEngine {
         }
     }
 
+    fn vertical_mut(&mut self, v: Vertical) -> &mut VerticalIndex {
+        match v {
+            Vertical::Web => &mut self.web,
+            Vertical::Image => &mut self.image,
+            Vertical::Video => &mut self.video,
+            Vertical::News => &mut self.news,
+        }
+    }
+
+    /// Ingest a crawled page without rebuilding any vertical: a new URL
+    /// is appended to the corpus and indexed into its vertical's
+    /// memtable; a known URL is replaced in place (tombstone + re-add,
+    /// switching verticals when its object kind changed). Returns the
+    /// vertical that now serves the page.
+    ///
+    /// New pages receive the corpus-mean static rank as a provisional
+    /// score until [`recompute_static_rank`](Self::recompute_static_rank)
+    /// folds them into the link graph.
+    pub fn ingest_page(&mut self, page: Page) -> Vertical {
+        let vertical = Vertical::of_kind(&page.kind);
+        match self.corpus.page_index_by_url(&page.url) {
+            Some(idx) => {
+                let old = Vertical::of_kind(&self.corpus.pages[idx].kind);
+                if old != vertical {
+                    self.vertical_mut(old).remove_page(idx);
+                }
+                let doc = page_doc(&page);
+                self.corpus.pages[idx] = page;
+                self.vertical_mut(vertical).add_page(idx, doc);
+            }
+            None => {
+                let idx = self.corpus.push_page(page);
+                let mean = match self.rank.len() {
+                    0 => 0.0,
+                    n => self.rank.iter().sum::<f64>() / n as f64,
+                };
+                self.rank.push(mean);
+                let doc = page_doc(&self.corpus.pages[idx]);
+                self.vertical_mut(vertical).add_page(idx, doc);
+            }
+        }
+        vertical
+    }
+
+    /// Drop a URL from search (tombstone; the posting data is purged by
+    /// a later merge). Returns `false` for unknown or already-removed
+    /// URLs. The corpus keeps the page record so existing page indexes
+    /// stay stable.
+    pub fn remove_page(&mut self, url: &str) -> bool {
+        let Some(idx) = self.corpus.page_index_by_url(url) else {
+            return false;
+        };
+        let v = Vertical::of_kind(&self.corpus.pages[idx].kind);
+        self.vertical_mut(v).remove_page(idx)
+    }
+
+    /// One maintenance tick over all four verticals: each seals its
+    /// memtable when over the policy's size cap or staleness window and
+    /// runs at most one background merge. When the web vertical did
+    /// anything, the spell suggester is re-snapshotted so corrections
+    /// track the live lexicon (freshly sealed terms become suggestible,
+    /// purged terms stop suggesting). Deterministic for a fixed
+    /// schedule of calls; hosting drives it on the virtual clock.
+    pub fn maintain(&mut self, now_ms: u64) -> MaintenanceReport {
+        let mut total = MaintenanceReport::default();
+        for v in Vertical::ALL {
+            let r = self.vertical_mut(v).index.maintain(now_ms);
+            total.sealed |= r.sealed;
+            total.merged_segments += r.merged_segments;
+            total.purged_docs += r.purged_docs;
+            if v == Vertical::Web && r.did_work() {
+                self.speller = SpellSuggester::from_index(&self.web.index);
+            }
+        }
+        total
+    }
+
+    /// Apply a segment-lifecycle policy to every vertical index.
+    pub fn set_segment_policy(&mut self, policy: SegmentPolicy) {
+        for v in Vertical::ALL {
+            self.vertical_mut(v).index.set_policy(policy);
+        }
+    }
+
+    /// Re-run the static-rank power iteration over the current corpus,
+    /// replacing the provisional ranks that live-ingested pages carry.
+    pub fn recompute_static_rank(&mut self) {
+        self.rank = static_rank(&self.corpus, 30);
+    }
+
     /// Search a vertical. `raw_query` uses the
     /// [`symphony_text::Query`] syntax; `config` applies the
     /// customization hooks; at most `k` results return, best first.
@@ -415,9 +551,9 @@ impl SearchEngine {
         results
     }
 
-    /// Number of indexed documents in a vertical (stats surface).
+    /// Number of live (searchable) documents in a vertical.
     pub fn doc_count(&self, vertical: Vertical) -> usize {
-        self.vertical(vertical).pages.len()
+        self.vertical(vertical).index.live_docs()
     }
 
     /// Static rank of a URL, when known (exposed for experiments).
@@ -647,6 +783,108 @@ mod tests {
         assert_eq!(e.click_boosted_urls(), 1);
         e.apply_click_feedback(&[], 1.0);
         assert_eq!(e.click_boosted_urls(), 0);
+    }
+
+    fn crawled_page(e: &SearchEngine, url: &str, title: &str, body: &str) -> Page {
+        Page {
+            site: 0,
+            url: format!("http://{}/{}", e.corpus().sites[0].domain, url),
+            title: title.into(),
+            body: body.into(),
+            links: Vec::new(),
+            kind: PageKind::Article,
+        }
+    }
+
+    #[test]
+    fn ingest_makes_new_page_searchable_without_rebuild() {
+        let mut e = engine();
+        let before = e.doc_count(Vertical::Web);
+        let p = crawled_page(&e, "zyx", "Zyxwvut Chronicle", "a zyxwvut adventure story");
+        let url = p.url.clone();
+        assert_eq!(e.ingest_page(p), Vertical::Web);
+        assert_eq!(e.doc_count(Vertical::Web), before + 1);
+        let rs = e.search(Vertical::Web, "zyxwvut", &SearchConfig::default(), 5);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].url, url);
+        assert!(e.static_rank_of(&url).unwrap() > 0.0, "provisional rank");
+    }
+
+    #[test]
+    fn reingest_replaces_page_in_place() {
+        let mut e = engine();
+        let p = crawled_page(&e, "zyx", "Zyxwvut Chronicle", "original body");
+        let url = p.url.clone();
+        e.ingest_page(p);
+        let before = e.doc_count(Vertical::Web);
+        let mut p2 = crawled_page(&e, "zyx", "Zyxwvut Chronicle", "rewritten qqzzy body");
+        p2.url = url.clone();
+        e.ingest_page(p2);
+        assert_eq!(e.doc_count(Vertical::Web), before, "replaced, not added");
+        assert!(e
+            .search(Vertical::Web, "original", &SearchConfig::default(), 5)
+            .is_empty());
+        let rs = e.search(Vertical::Web, "qqzzy", &SearchConfig::default(), 5);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].url, url);
+    }
+
+    #[test]
+    fn remove_page_hides_url() {
+        let mut e = engine();
+        let p = crawled_page(&e, "zyx", "Zyxwvut Chronicle", "a zyxwvut story");
+        let url = p.url.clone();
+        e.ingest_page(p);
+        assert!(e.remove_page(&url));
+        assert!(!e.remove_page(&url), "second remove is a no-op");
+        assert!(!e.remove_page("http://nosuch.example/x"));
+        assert!(e
+            .search(Vertical::Web, "zyxwvut", &SearchConfig::default(), 5)
+            .is_empty());
+    }
+
+    #[test]
+    fn maintain_seals_ingested_pages_and_refreshes_speller() {
+        let mut e = engine();
+        e.set_segment_policy(SegmentPolicy {
+            memtable_max_docs: 4096,
+            staleness_window_ms: 50,
+            merge_fanin: 4,
+            near_real_time: false,
+        });
+        assert_eq!(
+            e.did_you_mean("zyxwvuq"),
+            None,
+            "unknown term, nothing close"
+        );
+        let p = crawled_page(&e, "zyx", "Zyxwvut Chronicle", "a zyxwvut story");
+        e.ingest_page(p);
+        let r = e.maintain(100);
+        assert!(r.sealed, "staleness window elapsed");
+        // The web vertical did work, so the speller was re-snapshotted
+        // and now knows the freshly indexed term.
+        assert_eq!(e.did_you_mean("zyxwvuq").as_deref(), Some("zyxwvut"));
+        // Results are unchanged by sealing.
+        let rs = e.search(Vertical::Web, "zyxwvut", &SearchConfig::default(), 5);
+        assert_eq!(rs.len(), 1);
+    }
+
+    #[test]
+    fn kind_change_moves_page_between_verticals() {
+        let mut e = engine();
+        let p = crawled_page(&e, "zyx", "Zyxwvut Trailer", "zyxwvut gameplay footage");
+        let url = p.url.clone();
+        e.ingest_page(p);
+        let mut v = crawled_page(&e, "zyx", "Zyxwvut Trailer", "zyxwvut gameplay footage");
+        v.url = url.clone();
+        v.kind = PageKind::Video { duration_s: 120 };
+        assert_eq!(e.ingest_page(v), Vertical::Video);
+        assert!(e
+            .search(Vertical::Web, "zyxwvut", &SearchConfig::default(), 5)
+            .is_empty());
+        let rs = e.search(Vertical::Video, "zyxwvut", &SearchConfig::default(), 5);
+        assert_eq!(rs.len(), 1);
+        assert_eq!(rs[0].duration_s, Some(120));
     }
 
     #[test]
