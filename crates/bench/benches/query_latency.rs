@@ -59,6 +59,14 @@ fn bench_topk_pruning(c: &mut Criterion) {
         .iter()
         .map(|q| Query::parse(q))
         .collect();
+    // Multi-term-only slice: single-term queries have no intersection
+    // or non-essential terms to prune, so they dilute the signal the
+    // packed-block + MaxScore work targets.
+    let multi: Vec<Query> = zipf_queries(64, 1.0, 23)
+        .iter()
+        .filter(|q| q.split_whitespace().count() >= 2)
+        .map(|q| Query::parse(q))
+        .collect();
     let index = build_index(Scale::Large, true);
     for k in [10usize, 100] {
         for (variant, mode) in [
@@ -80,6 +88,19 @@ fn bench_topk_pruning(c: &mut Criterion) {
             );
         }
     }
+    group.bench_with_input(
+        BenchmarkId::new("pruned-multi", "k10"),
+        &index,
+        |b, index| {
+            let searcher = Searcher::new(index);
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = &multi[i % multi.len()];
+                i += 1;
+                searcher.search(q, 10)
+            });
+        },
+    );
     group.finish();
 }
 

@@ -844,6 +844,14 @@ impl Index {
         self.field_len[field.0 as usize][doc.as_usize()]
     }
 
+    /// Per-document analyzed lengths of `field`, indexed by doc id —
+    /// the column backing [`Index::field_len`], exposed whole so the
+    /// scoring loop resolves it once per scorer instead of twice per
+    /// document.
+    pub fn field_lens(&self, field: FieldId) -> &[u32] {
+        &self.field_len[field.0 as usize]
+    }
+
     /// Mean analyzed length of `field` over live documents.
     pub fn avg_field_len(&self, field: FieldId) -> f32 {
         let n = self.live_docs;
@@ -900,6 +908,37 @@ impl Index {
             sealed_segments: self.sealed.len(),
             memtable_docs: self.active.docs as usize,
         }
+    }
+
+    /// Estimated heap footprint of the searchable state: packed
+    /// posting streams plus their block directories (and raw memtable
+    /// lists), the lexicon arena (term bytes, span table, hash table),
+    /// and the stored text columns. A capacity-based estimate, not an
+    /// allocator measurement — its job is tracking the relative cost
+    /// of representations (the E-postings experiment asserts the
+    /// bit-packed format lands under the varint baseline).
+    pub fn bytes_estimate(&self) -> usize {
+        let postings = self
+            .active
+            .postings
+            .values()
+            .map(|l| l.heap_bytes())
+            .sum::<usize>()
+            + self
+                .sealed
+                .iter()
+                .flat_map(|s| s.postings.values())
+                .map(|c| c.heap_bytes())
+                .sum::<usize>();
+        let stored = self
+            .stored
+            .iter()
+            .map(|fields| {
+                fields.capacity() * std::mem::size_of::<(FieldId, String)>()
+                    + fields.iter().map(|(_, t)| t.capacity()).sum::<usize>()
+            })
+            .sum::<usize>();
+        postings + self.lexicon.heap_bytes() + stored
     }
 }
 

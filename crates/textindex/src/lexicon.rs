@@ -4,18 +4,40 @@
 //! [`TermId`]. Posting lists, document-frequency tables, and query
 //! execution all operate on ids, which keeps the hot paths free of
 //! string hashing.
+//!
+//! Storage is a bump arena: all term bytes live concatenated in one
+//! `Vec<u8>`, each term identified by a `(offset, len)` span, with a
+//! private open-addressing hash table mapping term bytes to ids. Both
+//! [`Lexicon::get`] and [`Lexicon::intern`] hash the *borrowed* query
+//! bytes directly against arena spans, so lookups never allocate and a
+//! fresh intern costs one arena append (amortized) instead of the two
+//! `String` allocations the `HashMap<String, TermId>` representation
+//! paid per new term.
 
-use crate::fx::FxHashMap;
+use crate::fx::FxHasher;
+use std::hash::Hasher;
 
 /// Dense identifier of an interned term.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TermId(pub u32);
 
+/// Byte span of one term inside the arena.
+#[derive(Debug, Clone, Copy)]
+struct Span {
+    offset: u32,
+    len: u32,
+}
+
 /// An append-only interner mapping term strings to dense ids.
 #[derive(Debug, Default, Clone)]
 pub struct Lexicon {
-    by_term: FxHashMap<String, TermId>,
-    terms: Vec<String>,
+    /// Concatenated UTF-8 bytes of every interned term, in id order.
+    arena: Vec<u8>,
+    /// Per-id byte span into `arena`.
+    spans: Vec<Span>,
+    /// Open-addressing table of `id + 1` (0 = empty slot), sized to a
+    /// power of two, probed linearly from the term's Fx hash.
+    table: Vec<u32>,
 }
 
 impl Lexicon {
@@ -24,45 +46,118 @@ impl Lexicon {
         Self::default()
     }
 
-    /// Intern `term`, returning its id (existing or freshly assigned).
-    pub fn intern(&mut self, term: &str) -> TermId {
-        if let Some(&id) = self.by_term.get(term) {
-            return id;
+    #[inline]
+    fn hash(term: &[u8]) -> u64 {
+        let mut h = FxHasher::default();
+        h.write(term);
+        h.finish()
+    }
+
+    #[inline]
+    fn span_bytes(&self, s: Span) -> &[u8] {
+        &self.arena[s.offset as usize..(s.offset + s.len) as usize]
+    }
+
+    /// Find `term`'s slot: either the slot holding its id or the empty
+    /// slot where it would be inserted. Requires a non-empty table.
+    #[inline]
+    fn probe(&self, term: &[u8]) -> usize {
+        let mask = self.table.len() - 1;
+        let mut slot = Self::hash(term) as usize & mask;
+        loop {
+            let entry = self.table[slot];
+            if entry == 0 {
+                return slot;
+            }
+            let span = self.spans[(entry - 1) as usize];
+            if span.len as usize == term.len() && self.span_bytes(span) == term {
+                return slot;
+            }
+            slot = (slot + 1) & mask;
         }
-        let id = TermId(self.terms.len() as u32);
-        self.terms.push(term.to_string());
-        self.by_term.insert(term.to_string(), id);
-        id
+    }
+
+    /// Grow (or create) the table and rehash every interned term.
+    fn grow_table(&mut self) {
+        let cap = (self.table.len() * 2).max(16);
+        self.table = vec![0u32; cap];
+        let mask = cap - 1;
+        for (i, &span) in self.spans.iter().enumerate() {
+            let mut slot = Self::hash(self.span_bytes(span)) as usize & mask;
+            while self.table[slot] != 0 {
+                slot = (slot + 1) & mask;
+            }
+            self.table[slot] = i as u32 + 1;
+        }
+    }
+
+    /// Intern `term`, returning its id (existing or freshly assigned).
+    /// A hit performs no allocation; a miss appends the term's bytes to
+    /// the arena (no per-term `String`).
+    pub fn intern(&mut self, term: &str) -> TermId {
+        // Keep the table under 7/8 load so probe chains stay short.
+        if self.table.len() < 16 || self.spans.len() * 8 >= self.table.len() * 7 {
+            self.grow_table();
+        }
+        let slot = self.probe(term.as_bytes());
+        if self.table[slot] != 0 {
+            return TermId(self.table[slot] - 1);
+        }
+        let id = self.spans.len() as u32;
+        self.spans.push(Span {
+            offset: self.arena.len() as u32,
+            len: term.len() as u32,
+        });
+        self.arena.extend_from_slice(term.as_bytes());
+        self.table[slot] = id + 1;
+        TermId(id)
     }
 
     /// Look up a term without interning it. Query execution uses this:
-    /// a query term absent from the lexicon matches nothing.
+    /// a query term absent from the lexicon matches nothing. Never
+    /// allocates.
     pub fn get(&self, term: &str) -> Option<TermId> {
-        self.by_term.get(term).copied()
+        if self.table.is_empty() {
+            return None;
+        }
+        let entry = self.table[self.probe(term.as_bytes())];
+        (entry != 0).then(|| TermId(entry - 1))
     }
 
     /// The string for an id. Panics on a foreign id; ids are only ever
     /// produced by this lexicon.
     pub fn term(&self, id: TermId) -> &str {
-        &self.terms[id.0 as usize]
+        let bytes = self.span_bytes(self.spans[id.0 as usize]);
+        // Spans are carved exactly along `&str` boundaries in `intern`.
+        std::str::from_utf8(bytes).expect("arena spans hold valid UTF-8")
     }
 
     /// Number of distinct terms.
     pub fn len(&self) -> usize {
-        self.terms.len()
+        self.spans.len()
     }
 
     /// True when no term has been interned.
     pub fn is_empty(&self) -> bool {
-        self.terms.is_empty()
+        self.spans.is_empty()
     }
 
     /// Iterate over `(TermId, &str)` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (TermId, &str)> {
-        self.terms
-            .iter()
-            .enumerate()
-            .map(|(i, t)| (TermId(i as u32), t.as_str()))
+        self.spans.iter().enumerate().map(|(i, &s)| {
+            let bytes = self.span_bytes(s);
+            (
+                TermId(i as u32),
+                std::str::from_utf8(bytes).expect("arena spans hold valid UTF-8"),
+            )
+        })
+    }
+
+    /// Heap footprint of the arena, span table, and hash table.
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.capacity()
+            + self.spans.capacity() * std::mem::size_of::<Span>()
+            + self.table.capacity() * std::mem::size_of::<u32>()
     }
 }
 
@@ -111,5 +206,48 @@ mod tests {
         lex.intern("y");
         let pairs: Vec<_> = lex.iter().map(|(i, t)| (i.0, t.to_string())).collect();
         assert_eq!(pairs, vec![(0, "x".to_string()), (1, "y".to_string())]);
+    }
+
+    #[test]
+    fn survives_table_growth() {
+        let mut lex = Lexicon::new();
+        let terms: Vec<String> = (0..5000).map(|i| format!("term{i}")).collect();
+        let ids: Vec<TermId> = terms.iter().map(|t| lex.intern(t)).collect();
+        assert_eq!(lex.len(), terms.len());
+        for (t, &id) in terms.iter().zip(&ids) {
+            assert_eq!(lex.get(t), Some(id), "term {t}");
+            assert_eq!(lex.term(id), t.as_str());
+        }
+        // Re-interning yields the same ids.
+        for (t, &id) in terms.iter().zip(&ids) {
+            assert_eq!(lex.intern(t), id);
+        }
+        assert_eq!(lex.len(), terms.len());
+    }
+
+    #[test]
+    fn empty_and_unicode_terms() {
+        let mut lex = Lexicon::new();
+        let a = lex.intern("");
+        let b = lex.intern("crème");
+        let c = lex.intern("brûlée");
+        assert_eq!(lex.term(a), "");
+        assert_eq!(lex.term(b), "crème");
+        assert_eq!(lex.term(c), "brûlée");
+        assert_eq!(lex.get(""), Some(a));
+        assert_eq!(lex.get("crème"), Some(b));
+        assert_eq!(lex.len(), 3);
+    }
+
+    #[test]
+    fn clone_is_independent() {
+        let mut lex = Lexicon::new();
+        lex.intern("shared");
+        let mut copy = lex.clone();
+        copy.intern("extra");
+        assert_eq!(lex.len(), 1);
+        assert_eq!(copy.len(), 2);
+        assert_eq!(copy.get("shared"), Some(TermId(0)));
+        assert_eq!(copy.get("extra"), Some(TermId(1)));
     }
 }

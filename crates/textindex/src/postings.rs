@@ -4,19 +4,26 @@
 //!
 //! * [`PostingList`] — the mutable, indexing-time representation: a
 //!   doc-ordered `Vec` of postings, each carrying its positions.
-//! * [`CompressedPostings`] — an immutable varint/delta-encoded byte
-//!   stream produced by [`Index::optimize`](crate::Index::optimize),
-//!   carved into blocks of [`BLOCK_SIZE`] documents. Each block records
-//!   its last doc id, its decoder entry state, its byte offset, and its
-//!   largest term frequency, which lets a [`PostingsCursor`] skip whole
-//!   blocks during [`PostingsCursor::seek`].
+//! * [`CompressedPostings`] — an immutable bit-packed byte stream
+//!   produced by [`Index::optimize`](crate::Index::optimize), carved
+//!   into blocks of [`BLOCK_SIZE`] documents. Within a block, doc-id
+//!   deltas and term frequencies are packed at the minimal fixed bit
+//!   width for that block (chosen per block from its largest delta and
+//!   largest `tf - 1`), so a whole block unpacks with one branchless
+//!   fixed-width loop into the cursor's block buffer. Positions live in
+//!   a separate varint stream addressed per block, so doc/tf decoding
+//!   never touches position bytes and positional access skips straight
+//!   to the enclosing block. Per-block metadata (last doc id, entry
+//!   base, byte offsets, bit widths, max tf) lets a [`PostingsCursor`]
+//!   skip whole blocks during [`PostingsCursor::seek`] without
+//!   decoding them.
 //!
 //! Exhaustive consumers use the callback-style [`Postings::for_each`],
 //! which sidesteps lending-iterator gymnastics and keeps decoding
-//! allocation-free on the hot path (the decoder reuses one scratch
-//! buffer across postings). The document-at-a-time query executor
-//! instead opens a [`PostingsCursor`] per list (`doc` / `next` /
-//! `seek`) and never materializes positions.
+//! allocation-free on the hot path. The document-at-a-time query
+//! executor instead opens a [`PostingsCursor`] per list (`doc` /
+//! `next` / `seek`) and materializes positions only on demand
+//! ([`PostingsCursor::positions`]) for phrase verification.
 //!
 //! The compressed form exists for the E3 ablation in DESIGN.md: it
 //! trades decode CPU for memory footprint, which matters once the
@@ -119,83 +126,220 @@ impl PostingList {
     }
 }
 
-/// Skip metadata for one block of [`BLOCK_SIZE`] postings.
+/// Skip metadata for one block of up to [`BLOCK_SIZE`] postings.
 #[derive(Debug, Clone)]
 struct BlockMeta {
     /// Doc id of the block's last posting: a `seek(target)` may skip
-    /// the whole block when `max_doc < target`.
-    max_doc: u32,
-    /// Decoder doc-state on block entry (the previous block's last doc
-    /// id, or `u32::MAX` for the first block so that the uniform
-    /// `state.wrapping_add(delta)` recovers the absolute first doc).
-    prev_doc: u32,
-    /// Byte offset of the block's first posting in `data`.
+    /// the whole block when `last_doc < target`.
+    last_doc: u32,
+    /// Delta-decoder base on block entry: the previous block's last
+    /// doc id, or `0` for the first block (the first delta is then the
+    /// absolute doc id).
+    base_doc: u32,
+    /// Byte offset of the block's packed doc deltas in `data`; the
+    /// packed tfs follow immediately after.
     offset: u32,
+    /// Byte offset of the block's first position varint in `pos_data`.
+    pos_offset: u32,
     /// Largest term frequency among the block's postings.
     max_tf: u32,
+    /// Fixed bit width of the block's packed doc deltas.
+    doc_bits: u8,
+    /// Fixed bit width of the block's packed `tf - 1` values.
+    tf_bits: u8,
 }
 
-/// Immutable varint/delta-compressed posting list with skip blocks.
+/// Minimal bit width able to represent `v` (`0` for `v == 0`).
+#[inline]
+fn bits_for(v: u32) -> u32 {
+    32 - v.leading_zeros()
+}
+
+/// Bytes occupied by `count` values packed at `bits` bits each.
+#[inline]
+fn packed_len(count: usize, bits: u32) -> usize {
+    (count * bits as usize).div_ceil(8)
+}
+
+/// Append `values` to `out`, each packed at `bits` bits, LSB first.
+fn pack_bits(out: &mut Vec<u8>, values: &[u32], bits: u32) {
+    if bits == 0 {
+        return;
+    }
+    debug_assert!(values.iter().all(|&v| bits == 32 || v < (1u32 << bits)));
+    let mut acc = 0u64;
+    let mut nbits = 0u32;
+    for &v in values {
+        acc |= (v as u64) << nbits;
+        nbits += bits;
+        while nbits >= 8 {
+            out.push(acc as u8);
+            acc >>= 8;
+            nbits -= 8;
+        }
+    }
+    if nbits > 0 {
+        out.push(acc as u8);
+    }
+}
+
+/// Unpack `count` values of `bits` bits each from `data`, starting at
+/// byte `start`, into `out[..count]`. A streaming `u64` accumulator is
+/// refilled one byte at a time (LSB-first, mirroring [`pack_bits`]), so
+/// each value is a shift and a mask and each input byte is touched
+/// exactly once — no per-value wide loads or slice re-checks.
+fn unpack_bits(data: &[u8], start: usize, bits: u32, count: usize, out: &mut [u32]) {
+    if bits == 0 {
+        out[..count].fill(0);
+        return;
+    }
+    let mask = if bits == 32 {
+        u32::MAX
+    } else {
+        (1u32 << bits) - 1
+    };
+    let bytes = &data[start..start + packed_len(count, bits)];
+    let mut acc = 0u64;
+    let mut have = 0u32;
+    let mut at = 0usize;
+    for slot in out[..count].iter_mut() {
+        if have < bits {
+            if at + 4 <= bytes.len() {
+                // Bulk refill: `have < bits <= 32`, so 32 fresh bits top
+                // out at bit 62 and never collide or overflow.
+                let w = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4-byte slice"));
+                acc |= u64::from(w) << have;
+                at += 4;
+                have += 32;
+            } else {
+                while have < bits {
+                    acc |= u64::from(bytes[at]) << have;
+                    at += 1;
+                    have += 8;
+                }
+            }
+        }
+        *slot = (acc as u32) & mask;
+        acc >>= bits;
+        have -= bits;
+    }
+}
+
+/// Immutable bit-packed posting list with skip blocks.
 ///
-/// Layout per posting: `delta(doc)` `tf` `delta(pos)*tf`, all LEB128
-/// varints. Doc deltas are relative to the previous posting's doc id
-/// (first is absolute + 1 to keep zero unused); position deltas are
-/// relative within the posting. Every [`BLOCK_SIZE`] postings a
-/// [`BlockMeta`] records the decoder state at the block boundary, so a
-/// cursor can re-enter the stream mid-list without decoding the prefix.
+/// Layout: postings are carved into blocks of [`BLOCK_SIZE`]
+/// documents. Per block, `data` holds the doc-id deltas packed at the
+/// block's minimal fixed bit width, immediately followed by the
+/// `tf - 1` values packed likewise (a block where every tf is 1 spends
+/// zero tf bytes). `pos_data` is a separate varint stream of position
+/// deltas (first absolute, then gaps), addressed per block through
+/// [`BlockMeta::pos_offset`], so doc/tf decoding never walks position
+/// bytes. All widths, offsets, and entry bases live in the in-memory
+/// block directory, which a cursor binary-searches to skip blocks
+/// decode-free.
 #[derive(Debug, Clone, Default)]
 pub struct CompressedPostings {
     data: Vec<u8>,
+    pos_data: Vec<u8>,
     doc_count: u32,
     blocks: Vec<BlockMeta>,
     max_tf: u32,
 }
 
 impl CompressedPostings {
-    /// Compress a raw list.
+    /// Compress a raw list. Pure function of the list contents: equal
+    /// lists encode to bit-identical streams (the parallel-build
+    /// determinism tests rely on this).
     pub fn encode(list: &PostingList) -> Self {
-        let mut data = Vec::with_capacity(list.postings.len() * 3);
+        let mut data = Vec::with_capacity(list.postings.len() * 2);
+        let mut pos_data = Vec::with_capacity(list.postings.len());
         let mut blocks: Vec<BlockMeta> =
             Vec::with_capacity(list.postings.len().div_ceil(BLOCK_SIZE));
         let mut max_tf = 0u32;
-        let mut prev_doc = 0u32;
-        let mut first = true;
-        for (i, p) in list.postings.iter().enumerate() {
-            if i % BLOCK_SIZE == 0 {
-                blocks.push(BlockMeta {
-                    max_doc: p.doc.0,
-                    prev_doc: if first { u32::MAX } else { prev_doc },
-                    offset: data.len() as u32,
-                    max_tf: 0,
-                });
+        let mut deltas = [0u32; BLOCK_SIZE];
+        let mut tfs = [0u32; BLOCK_SIZE];
+        let mut base = 0u32;
+        for chunk in list.postings.chunks(BLOCK_SIZE) {
+            let pos_offset = pos_data.len() as u32;
+            let mut prev = base;
+            let mut block_max_tf = 0u32;
+            let mut max_delta = 0u32;
+            let mut max_tfm1 = 0u32;
+            for (i, p) in chunk.iter().enumerate() {
+                deltas[i] = p.doc.0 - prev;
+                prev = p.doc.0;
+                let tf = p.positions.len() as u32;
+                tfs[i] = tf - 1;
+                max_delta = max_delta.max(deltas[i]);
+                max_tfm1 = max_tfm1.max(tfs[i]);
+                block_max_tf = block_max_tf.max(tf);
+                let mut prev_pos = 0u32;
+                for (j, &pos) in p.positions.iter().enumerate() {
+                    let d = if j == 0 { pos } else { pos - prev_pos };
+                    prev_pos = pos;
+                    write_varint(&mut pos_data, d);
+                }
             }
-            let delta = if first {
-                first = false;
-                p.doc.0.wrapping_add(1)
-            } else {
-                p.doc.0 - prev_doc
-            };
-            prev_doc = p.doc.0;
-            let tf = p.positions.len() as u32;
-            let block = blocks.last_mut().expect("block pushed above");
-            block.max_doc = p.doc.0;
-            block.max_tf = block.max_tf.max(tf);
-            max_tf = max_tf.max(tf);
-            write_varint(&mut data, delta);
-            write_varint(&mut data, tf);
-            let mut prev_pos = 0u32;
-            for (i, &pos) in p.positions.iter().enumerate() {
-                let d = if i == 0 { pos } else { pos - prev_pos };
-                prev_pos = pos;
-                write_varint(&mut data, d);
-            }
+            let doc_bits = bits_for(max_delta);
+            let tf_bits = bits_for(max_tfm1);
+            blocks.push(BlockMeta {
+                last_doc: prev,
+                base_doc: base,
+                offset: data.len() as u32,
+                pos_offset,
+                max_tf: block_max_tf,
+                doc_bits: doc_bits as u8,
+                tf_bits: tf_bits as u8,
+            });
+            pack_bits(&mut data, &deltas[..chunk.len()], doc_bits);
+            pack_bits(&mut data, &tfs[..chunk.len()], tf_bits);
+            max_tf = max_tf.max(block_max_tf);
+            base = prev;
         }
         CompressedPostings {
             data,
+            pos_data,
             doc_count: list.postings.len() as u32,
             blocks,
             max_tf,
         }
+    }
+
+    /// Postings in block `b` (all blocks are full except possibly the
+    /// last).
+    #[inline]
+    fn block_len(&self, b: usize) -> usize {
+        (self.doc_count as usize - b * BLOCK_SIZE).min(BLOCK_SIZE)
+    }
+
+    /// Unpack block `b`'s absolute doc ids and tfs into the provided
+    /// buffers, returning the block length.
+    fn unpack_block(
+        &self,
+        b: usize,
+        docs: &mut [u32; BLOCK_SIZE],
+        tfs: &mut [u32; BLOCK_SIZE],
+    ) -> usize {
+        let meta = &self.blocks[b];
+        let count = self.block_len(b);
+        unpack_bits(
+            &self.data,
+            meta.offset as usize,
+            meta.doc_bits as u32,
+            count,
+            docs,
+        );
+        let mut d = meta.base_doc;
+        for slot in docs[..count].iter_mut() {
+            d += *slot;
+            *slot = d;
+        }
+        let tf_start = meta.offset as usize + packed_len(count, meta.doc_bits as u32);
+        unpack_bits(&self.data, tf_start, meta.tf_bits as u32, count, tfs);
+        for slot in tfs[..count].iter_mut() {
+            *slot += 1;
+        }
+        count
     }
 
     /// Decode back into a raw list (used by tests and by re-indexing).
@@ -214,15 +358,28 @@ impl CompressedPostings {
         self.doc_count as usize
     }
 
-    /// Compressed size in bytes.
+    /// Compressed size in bytes (doc/tf stream plus position stream;
+    /// excludes the block directory — see [`heap_bytes`]).
+    ///
+    /// [`heap_bytes`]: CompressedPostings::heap_bytes
     pub fn byte_len(&self) -> usize {
-        self.data.len()
+        self.data.len() + self.pos_data.len()
     }
 
-    /// The raw varint/delta byte stream (the determinism tests assert
+    /// Total heap footprint: packed streams plus the block directory.
+    pub fn heap_bytes(&self) -> usize {
+        self.data.len() + self.pos_data.len() + self.blocks.len() * std::mem::size_of::<BlockMeta>()
+    }
+
+    /// The packed doc/tf byte stream (the determinism tests assert
     /// parallel and sequential builds produce bit-identical streams).
     pub fn bytes(&self) -> &[u8] {
         &self.data
+    }
+
+    /// The varint position byte stream.
+    pub fn position_bytes(&self) -> &[u8] {
+        &self.pos_data
     }
 
     /// Largest term frequency across the whole list.
@@ -235,138 +392,214 @@ impl CompressedPostings {
     pub fn cursor(&self) -> CompressedCursor<'_> {
         let mut c = CompressedCursor {
             post: self,
-            pos: 0,
-            decoded: 0,
-            doc: u32::MAX,
-            tf: 0,
+            block: 0,
+            idx: 0,
+            len: 0,
+            doc: NO_DOC,
+            docs: [0; BLOCK_SIZE],
+            tfs: [0; BLOCK_SIZE],
+            pos_block: usize::MAX,
+            pos_idx: 0,
+            pos_at: 0,
         };
-        c.next();
+        if self.doc_count > 0 {
+            c.len = self.unpack_block(0, &mut c.docs, &mut c.tfs);
+            c.doc = c.docs[0];
+        }
         c
     }
 
     /// Visit every posting, reusing one scratch buffer for positions.
     pub fn for_each(&self, mut f: impl FnMut(DocId, &[u32])) {
-        let mut cursor = 0usize;
-        let mut doc = 0u32;
-        let mut first = true;
+        let mut docs = [0u32; BLOCK_SIZE];
+        let mut tfs = [0u32; BLOCK_SIZE];
         let mut positions: Vec<u32> = Vec::with_capacity(8);
-        while cursor < self.data.len() {
-            let delta = read_varint(&self.data, &mut cursor);
-            doc = if first {
-                first = false;
-                delta.wrapping_sub(1)
-            } else {
-                doc + delta
-            };
-            let tf = read_varint(&self.data, &mut cursor);
-            positions.clear();
-            let mut pos = 0u32;
-            for i in 0..tf {
-                let d = read_varint(&self.data, &mut cursor);
-                pos = if i == 0 { d } else { pos + d };
-                positions.push(pos);
+        let mut pos_cursor = 0usize;
+        for b in 0..self.blocks.len() {
+            let count = self.unpack_block(b, &mut docs, &mut tfs);
+            debug_assert_eq!(pos_cursor, self.blocks[b].pos_offset as usize);
+            for i in 0..count {
+                positions.clear();
+                let mut pos = 0u32;
+                for j in 0..tfs[i] {
+                    let d = read_varint(&self.pos_data, &mut pos_cursor);
+                    pos = if j == 0 { d } else { pos + d };
+                    positions.push(pos);
+                }
+                f(DocId(docs[i]), &positions);
             }
-            f(DocId(doc), &positions);
         }
     }
 }
 
 /// Document-at-a-time cursor over a [`CompressedPostings`] stream.
 ///
-/// Decodes one posting at a time (doc id + term frequency, skipping
-/// position payloads) and uses the block directory to leap over runs of
-/// documents during [`CompressedCursor::seek`].
+/// Holds one unpacked block in inline buffers: block entry unpacks all
+/// doc ids and tfs at once (branchless fixed-width loops), after which
+/// `doc`/`tf`/`next` are plain array reads. [`CompressedCursor::seek`]
+/// binary-searches the block directory and unpacks only the
+/// destination block — skipped blocks are never decoded.
 #[derive(Debug, Clone)]
 pub struct CompressedCursor<'a> {
     post: &'a CompressedPostings,
-    /// Byte offset of the next undecoded posting.
-    pos: usize,
-    /// Postings decoded so far; the current posting is `decoded - 1`.
-    decoded: u32,
-    /// Current doc id, or [`NO_DOC`] once exhausted. Doubles as the
-    /// delta-decoder state (`u32::MAX` before the first decode, which
-    /// makes `state.wrapping_add(delta)` uniform across postings).
+    /// Index of the block currently held in the buffers.
+    block: usize,
+    /// Index of the current posting within the block.
+    idx: usize,
+    /// Postings in the current block.
+    len: usize,
+    /// Current doc id, or [`NO_DOC`] once exhausted.
     doc: u32,
-    /// Current term frequency.
-    tf: u32,
+    /// Unpacked absolute doc ids of the current block.
+    docs: [u32; BLOCK_SIZE],
+    /// Unpacked term frequencies of the current block.
+    tfs: [u32; BLOCK_SIZE],
+    /// Position-stream memo: block whose positions were last read.
+    pos_block: usize,
+    /// Posting index within `pos_block` that `pos_at` points at.
+    pos_idx: usize,
+    /// Byte offset into `pos_data` of posting `pos_idx`'s positions.
+    pos_at: usize,
 }
 
 impl CompressedCursor<'_> {
     /// Current doc id, or [`NO_DOC`] when exhausted.
+    #[inline]
     pub fn doc(&self) -> u32 {
         self.doc
     }
 
     /// Term frequency of the current posting.
+    #[inline]
     pub fn tf(&self) -> u32 {
-        self.tf
+        self.tfs[self.idx]
     }
 
     /// Doc id of the list's final posting (independent of cursor
     /// position); [`NO_DOC`] for an empty list. Read from the block
     /// directory, so no decoding happens.
     pub fn last_doc(&self) -> u32 {
-        self.post.blocks.last().map_or(NO_DOC, |b| b.max_doc)
+        self.post.blocks.last().map_or(NO_DOC, |b| b.last_doc)
     }
 
     /// Largest term frequency in the block holding the current posting
     /// (the whole-list maximum once exhausted). Block-local bounds let
-    /// future block-max refinements tighten the global score bound.
+    /// the executor tighten the global score bound per block.
     pub fn block_max_tf(&self) -> u32 {
-        if self.doc == NO_DOC || self.decoded == 0 {
+        if self.doc == NO_DOC {
             return self.post.max_tf;
         }
-        let block = (self.decoded as usize - 1) / BLOCK_SIZE;
-        self.post.blocks[block].max_tf
+        self.post.blocks[self.block].max_tf
+    }
+
+    /// Last doc id of the block holding the current posting — the
+    /// range through which [`block_max_tf`] upper-bounds every tf.
+    /// Read from the block directory, no decoding.
+    ///
+    /// [`block_max_tf`]: CompressedCursor::block_max_tf
+    pub fn block_last_doc(&self) -> u32 {
+        if self.doc == NO_DOC {
+            return NO_DOC;
+        }
+        self.post.blocks[self.block].last_doc
+    }
+
+    /// Append the current posting's positions to `out` (which is
+    /// cleared first). Walks only the current block's slice of the
+    /// position stream: earlier blocks are skipped through the block
+    /// directory, and within the block a streaming memo remembers where
+    /// the last read stopped, so monotone per-doc reads (the phrase
+    /// verifier's access pattern) cost amortized O(1) varint skips per
+    /// posting instead of re-skipping from the block start every time.
+    pub fn positions(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        debug_assert!(self.doc != NO_DOC, "positions() on an exhausted cursor");
+        if self.pos_block != self.block || self.pos_idx > self.idx {
+            self.pos_block = self.block;
+            self.pos_idx = 0;
+            self.pos_at = self.post.blocks[self.block].pos_offset as usize;
+        }
+        while self.pos_idx < self.idx {
+            for _ in 0..self.tfs[self.pos_idx] {
+                read_varint(&self.post.pos_data, &mut self.pos_at);
+            }
+            self.pos_idx += 1;
+        }
+        let mut cursor = self.pos_at;
+        let mut pos = 0u32;
+        for j in 0..self.tfs[self.idx] {
+            let d = read_varint(&self.post.pos_data, &mut cursor);
+            pos = if j == 0 { d } else { pos + d };
+            out.push(pos);
+        }
     }
 
     /// Advance to the next posting.
+    #[inline]
     pub fn next(&mut self) {
-        if self.decoded >= self.post.doc_count {
-            self.doc = NO_DOC;
+        if self.doc == NO_DOC {
             return;
         }
-        let data = &self.post.data;
-        let delta = read_varint(data, &mut self.pos);
-        self.doc = self.doc.wrapping_add(delta);
-        self.tf = read_varint(data, &mut self.pos);
-        for _ in 0..self.tf {
-            read_varint(data, &mut self.pos);
+        if self.idx + 1 < self.len {
+            self.idx += 1;
+            self.doc = self.docs[self.idx];
+            return;
         }
-        self.decoded += 1;
+        if self.block + 1 < self.post.blocks.len() {
+            let b = self.block + 1;
+            self.len = self.post.unpack_block(b, &mut self.docs, &mut self.tfs);
+            self.block = b;
+            self.idx = 0;
+            self.doc = self.docs[0];
+        } else {
+            self.doc = NO_DOC;
+        }
     }
 
     /// Advance to the first posting with `doc >= target` (no-op when
-    /// already there). Skips whole blocks via the block directory
-    /// before scanning within the destination block.
+    /// already there). Skips whole blocks via the block directory —
+    /// only the destination block is ever unpacked — then searches the
+    /// unpacked doc ids: a short linear scan first (seeks in a DAAT
+    /// loop usually hop a few postings), binary search for the rest.
+    #[inline]
     pub fn seek(&mut self, target: u32) {
         if self.doc >= target {
             // Covers exhaustion too: NO_DOC >= any target.
             return;
         }
-        // Current block index; the cursor has decoded >= 1 postings
-        // here (doc() < target < NO_DOC implies a current posting).
-        let cur_block = (self.decoded as usize - 1) / BLOCK_SIZE;
-        if self.post.blocks[cur_block].max_doc < target {
-            // Binary-search the block directory for the first block
-            // that can contain `target`.
+        if self.post.blocks[self.block].last_doc < target {
             let blocks = &self.post.blocks;
-            let dest =
-                cur_block + 1 + blocks[cur_block + 1..].partition_point(|b| b.max_doc < target);
+            // Adjacent-block fast path, then a directory binary search
+            // for genuine long jumps.
+            let next = self.block + 1;
+            let dest = if next < blocks.len() && blocks[next].last_doc >= target {
+                next
+            } else {
+                next + 1
+                    + blocks[(next + 1).min(blocks.len())..]
+                        .partition_point(|b| b.last_doc < target)
+            };
             if dest >= blocks.len() {
                 self.doc = NO_DOC;
-                self.decoded = self.post.doc_count;
-                self.pos = self.post.data.len();
                 return;
             }
-            self.pos = blocks[dest].offset as usize;
-            self.doc = blocks[dest].prev_doc;
-            self.decoded = (dest * BLOCK_SIZE) as u32;
-            self.next();
+            self.len = self.post.unpack_block(dest, &mut self.docs, &mut self.tfs);
+            self.block = dest;
+            self.idx = 0;
         }
-        while self.doc < target {
-            self.next();
+        // The current block's last doc is >= target, so the scan always
+        // lands on a real posting.
+        let mut i = self.idx;
+        let stop = (i + 8).min(self.len);
+        while i < stop && self.docs[i] < target {
+            i += 1;
         }
+        if i == stop && i < self.len && self.docs[i] < target {
+            i += self.docs[i..self.len].partition_point(|&d| d < target);
+        }
+        debug_assert!(i < self.len, "block last_doc guarantee violated");
+        self.idx = i;
+        self.doc = self.docs[i];
     }
 }
 
@@ -395,6 +628,31 @@ impl RawCursor<'_> {
     /// Term frequency of the current posting.
     pub fn tf(&self) -> u32 {
         self.postings[self.idx].positions.len() as u32
+    }
+
+    /// Append the current posting's positions to `out` (cleared
+    /// first). Takes `&mut self` for parity with the compressed
+    /// cursor's streaming position memo.
+    pub fn positions(&mut self, out: &mut Vec<u32>) {
+        out.clear();
+        out.extend_from_slice(&self.postings[self.idx].positions);
+    }
+
+    /// Largest term frequency in the "block" around the current
+    /// posting. Raw lists carry no block directory, so this is the
+    /// unknown sentinel `u32::MAX` — callers fall back to the global
+    /// bound.
+    pub fn block_max_tf(&self) -> u32 {
+        u32::MAX
+    }
+
+    /// Last doc id through which [`block_max_tf`] stays valid. Raw
+    /// lists have no blocks, so the guarantee covers only the current
+    /// posting.
+    ///
+    /// [`block_max_tf`]: RawCursor::block_max_tf
+    pub fn block_last_doc(&self) -> u32 {
+        self.doc()
     }
 
     /// Advance to the next posting.
@@ -455,6 +713,27 @@ impl<'a> ChainedCursor<'a> {
         self.parts[self.idx].tf()
     }
 
+    /// Append the current posting's positions to `out` (cleared
+    /// first).
+    pub fn positions(&mut self, out: &mut Vec<u32>) {
+        self.parts[self.idx].positions(out);
+    }
+
+    /// Largest term frequency in the current part's current block, or
+    /// the unknown sentinel `u32::MAX` for raw parts.
+    pub fn block_max_tf(&self) -> u32 {
+        self.parts[self.idx].block_max_tf()
+    }
+
+    /// Last doc id through which [`block_max_tf`] stays valid — the
+    /// current part's block boundary (parts cover disjoint increasing
+    /// ranges, so the next part starts past it).
+    ///
+    /// [`block_max_tf`]: ChainedCursor::block_max_tf
+    pub fn block_last_doc(&self) -> u32 {
+        self.parts[self.idx].block_last_doc()
+    }
+
     /// Doc id of the final posting across all parts.
     pub fn last_doc(&self) -> u32 {
         self.parts.last().map_or(NO_DOC, |p| p.last_doc())
@@ -490,16 +769,22 @@ impl<'a> ChainedCursor<'a> {
 /// A document-at-a-time cursor over either posting representation.
 ///
 /// The cursor walks doc ids and term frequencies in increasing doc
-/// order; positions are never materialized, which is what makes the
-/// DAAT scoring loop allocation-free. After the last posting,
-/// [`PostingsCursor::doc`] reports [`NO_DOC`] (which compares greater
-/// than every real doc id, so `seek`/min-merge loops need no special
-/// casing).
+/// order; positions are materialized only on demand via
+/// [`PostingsCursor::positions`] (phrase verification), which is what
+/// keeps the DAAT scoring loop allocation-free. After the last
+/// posting, [`PostingsCursor::doc`] reports [`NO_DOC`] (which compares
+/// greater than every real doc id, so `seek`/min-merge loops need no
+/// special casing).
+// The size skew is the design: the compressed cursor carries its
+// unpacked 128-doc block inline so the DAAT hot loop reads plain
+// arrays with no heap indirection. Boxing it would trade that locality
+// for a pointer chase on every doc()/tf() call.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum PostingsCursor<'a> {
     /// Cursor over the indexing-time representation.
     Raw(RawCursor<'a>),
-    /// Cursor over the optimized block-compressed representation.
+    /// Cursor over the optimized block-packed representation.
     Compressed(CompressedCursor<'a>),
     /// Concatenation of per-segment cursors over disjoint increasing
     /// doc ranges.
@@ -524,6 +809,45 @@ impl PostingsCursor<'_> {
             PostingsCursor::Raw(c) => c.tf(),
             PostingsCursor::Compressed(c) => c.tf(),
             PostingsCursor::Chained(c) => c.tf(),
+        }
+    }
+
+    /// Append the current posting's positions to `out` (cleared
+    /// first). Only valid while `doc() != NO_DOC`.
+    pub fn positions(&mut self, out: &mut Vec<u32>) {
+        match self {
+            PostingsCursor::Raw(c) => c.positions(out),
+            PostingsCursor::Compressed(c) => c.positions(out),
+            PostingsCursor::Chained(c) => c.positions(out),
+        }
+    }
+
+    /// Largest term frequency in the block holding the current posting,
+    /// or the unknown sentinel `u32::MAX` when the underlying
+    /// representation carries no block directory. Never underestimates:
+    /// a real value upper-bounds every tf in the current block, so it
+    /// can tighten (never loosen) a score bound.
+    #[inline]
+    pub fn block_max_tf(&self) -> u32 {
+        match self {
+            PostingsCursor::Raw(c) => c.block_max_tf(),
+            PostingsCursor::Compressed(c) => c.block_max_tf(),
+            PostingsCursor::Chained(c) => c.block_max_tf(),
+        }
+    }
+
+    /// Last doc id through which [`block_max_tf`] stays valid: the
+    /// current block's final doc for block-packed lists, the current
+    /// doc otherwise. Lets a scorer rule out every candidate up to the
+    /// boundary in one step (block-max WAND range skip).
+    ///
+    /// [`block_max_tf`]: PostingsCursor::block_max_tf
+    #[inline]
+    pub fn block_last_doc(&self) -> u32 {
+        match self {
+            PostingsCursor::Raw(c) => c.block_last_doc(),
+            PostingsCursor::Compressed(c) => c.block_last_doc(),
+            PostingsCursor::Chained(c) => c.block_last_doc(),
         }
     }
 
@@ -605,12 +929,12 @@ impl Postings {
     pub fn heap_bytes(&self) -> usize {
         match self {
             Postings::Raw(l) => l.heap_bytes(),
-            Postings::Compressed(c) => c.byte_len(),
+            Postings::Compressed(c) => c.heap_bytes(),
         }
     }
 }
 
-fn write_varint(out: &mut Vec<u8>, mut v: u32) {
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut v: u32) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -622,7 +946,7 @@ fn write_varint(out: &mut Vec<u8>, mut v: u32) {
     }
 }
 
-fn read_varint(data: &[u8], cursor: &mut usize) -> u32 {
+pub(crate) fn read_varint(data: &[u8], cursor: &mut usize) -> u32 {
     let mut v = 0u32;
     let mut shift = 0;
     loop {
@@ -695,6 +1019,46 @@ mod tests {
     }
 
     #[test]
+    fn pack_unpack_boundaries() {
+        let mut out = [0u32; BLOCK_SIZE];
+        for bits in 0..=32u32 {
+            let max = if bits == 32 {
+                u32::MAX
+            } else {
+                (1u64 << bits) as u32 - 1
+            };
+            let values: Vec<u32> = (0..BLOCK_SIZE as u32)
+                .map(|i| {
+                    if bits == 0 {
+                        0
+                    } else {
+                        (i.wrapping_mul(2654435761)) & max
+                    }
+                })
+                .collect();
+            let mut buf = Vec::new();
+            pack_bits(&mut buf, &values, bits);
+            assert_eq!(buf.len(), packed_len(values.len(), bits), "bits {bits}");
+            unpack_bits(&buf, 0, bits, values.len(), &mut out);
+            assert_eq!(&out[..values.len()], &values[..], "bits {bits}");
+        }
+    }
+
+    #[test]
+    fn single_tf_block_spends_no_tf_bytes() {
+        // 128 docs, every tf == 1, consecutive ids: deltas are 1 bit,
+        // tfs are 0 bits -> exactly 16 bytes of doc data per block.
+        let mut l = PostingList::new();
+        for d in 0..BLOCK_SIZE as u32 {
+            l.push_occurrence(DocId(d), 0);
+        }
+        let c = CompressedPostings::encode(&l);
+        assert_eq!(c.bytes().len(), BLOCK_SIZE / 8);
+        assert_eq!(c.blocks[0].tf_bits, 0);
+        assert_eq!(c.blocks[0].doc_bits, 1);
+    }
+
+    #[test]
     fn for_each_visits_in_doc_order() {
         let l = sample();
         let mut docs = Vec::new();
@@ -732,6 +1096,31 @@ mod tests {
             assert_eq!(cur.doc(), NO_DOC);
             cur.next();
             assert_eq!(cur.doc(), NO_DOC);
+        }
+    }
+
+    #[test]
+    fn cursor_positions_match_raw_postings() {
+        let l = long_list(500, 7);
+        let mut buf = Vec::new();
+        for postings in [
+            Postings::Raw(l.clone()),
+            Postings::Compressed(CompressedPostings::encode(&l)),
+        ] {
+            // Walk via next().
+            let mut cur = postings.cursor();
+            for p in l.postings() {
+                cur.positions(&mut buf);
+                assert_eq!(buf, p.positions, "doc {}", p.doc.0);
+                cur.next();
+            }
+            // And via seek() to scattered docs.
+            let mut cur = postings.cursor();
+            for p in l.postings().iter().step_by(37) {
+                cur.seek(p.doc.0);
+                cur.positions(&mut buf);
+                assert_eq!(buf, p.positions, "seek doc {}", p.doc.0);
+            }
         }
     }
 
@@ -779,6 +1168,21 @@ mod tests {
     }
 
     #[test]
+    fn exhausted_cursor_stays_exhausted() {
+        let l = long_list(300, 3);
+        let c = CompressedPostings::encode(&l);
+        // Exhaust from the first block with a long-range seek; the
+        // cursor must not resurrect on a subsequent next().
+        let mut cur = c.cursor();
+        cur.seek(u32::MAX);
+        assert_eq!(cur.doc(), NO_DOC);
+        cur.next();
+        assert_eq!(cur.doc(), NO_DOC);
+        cur.seek(0);
+        assert_eq!(cur.doc(), NO_DOC);
+    }
+
+    #[test]
     fn block_metadata_tracks_max_tf() {
         let l = long_list(1000, 1);
         let c = CompressedPostings::encode(&l);
@@ -791,6 +1195,20 @@ mod tests {
         for b in &c.blocks {
             assert!(b.max_tf >= 1 && b.max_tf <= 4);
         }
+    }
+
+    #[test]
+    fn block_directory_records_widths_and_offsets() {
+        let l = long_list(1000, 9);
+        let c = CompressedPostings::encode(&l);
+        let mut expected_offset = 0u32;
+        for (b, meta) in c.blocks.iter().enumerate() {
+            assert_eq!(meta.offset, expected_offset, "block {b}");
+            let count = c.block_len(b);
+            expected_offset += (packed_len(count, meta.doc_bits as u32)
+                + packed_len(count, meta.tf_bits as u32)) as u32;
+        }
+        assert_eq!(expected_offset as usize, c.bytes().len());
     }
 
     #[test]
@@ -846,9 +1264,12 @@ mod tests {
         }));
         let mut chained = ChainedCursor::new(cursors);
         assert_eq!(chained.last_doc(), l.postings.last().unwrap().doc.0);
+        let mut buf = Vec::new();
         for p in l.postings() {
             assert_eq!(chained.doc(), p.doc.0);
             assert_eq!(chained.tf(), p.positions.len() as u32);
+            chained.positions(&mut buf);
+            assert_eq!(buf, p.positions);
             chained.next();
         }
         assert_eq!(chained.doc(), NO_DOC);

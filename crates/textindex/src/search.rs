@@ -16,6 +16,16 @@
 //!   `must-not` exclusions, tombstones, and the caller's filter are
 //!   applied and the top-k extracted.
 //!
+//! Phrase clauses run under pruning too: each positive phrase becomes
+//! a [`PhraseScorer`] whose *membership* is a per-field galloping
+//! conjunction of the phrase's token cursors (docs where every token
+//! co-occurs in some field), with contiguity verified lazily — and
+//! only for candidate documents that survive the cheap rejections —
+//! by materializing positions through the cursors' block-addressed
+//! position stream. Its score upper bound folds the per-token sealed
+//! stats (sum over fields of the minimum per-token max tf), so
+//! MaxScore can make a phrase non-essential like any term.
+//!
 //! The pruned executor is *rank-safe*: it returns bit-identical
 //! `(doc, score)` lists to the exhaustive one (a property-based
 //! differential test in `tests/prop.rs` asserts this). Two details
@@ -25,9 +35,8 @@
 //! identically. Second, score upper bounds are inflated by a small
 //! slack before any pruning comparison, so bound arithmetic performed
 //! in a different float-summation order can never under-bound a real
-//! score. Phrase clauses (which need positions) fall back to the
-//! exhaustive path transparently, as does any query when the caller
-//! pins [`ScoreMode::Exhaustive`].
+//! score. The exhaustive path runs only when the caller pins
+//! [`ScoreMode::Exhaustive`].
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -74,7 +83,7 @@ pub enum ScoreMode {
     #[default]
     TopKPruned,
     /// Term-at-a-time scoring of every matching document (the
-    /// reference path; also what phrase queries run on).
+    /// reference path kept as the differential oracle).
     Exhaustive,
 }
 
@@ -143,11 +152,7 @@ impl<'a> Searcher<'a> {
         if query.is_empty() || k == 0 {
             return Vec::new();
         }
-        let has_phrase = query
-            .clauses
-            .iter()
-            .any(|c| matches!(c.kind, ClauseKind::Phrase(_)));
-        if self.mode == ScoreMode::Exhaustive || has_phrase {
+        if self.mode == ScoreMode::Exhaustive {
             self.search_exhaustive(query, k, filter)
         } else {
             self.search_pruned(query, k, filter)
@@ -291,13 +296,12 @@ impl<'a> Searcher<'a> {
 
     /// Document-at-a-time MaxScore executor (see module docs).
     ///
-    /// Only called for phrase-free queries. Rank safety relies on
-    /// three invariants: candidate docs skipped by the essential
-    /// partition or the partial-sum abandon check have true scores
-    /// strictly below the threshold (inflated bounds), surviving
-    /// candidates are scored by summing per-scorer contributions in
-    /// canonical clause order (bit-identical f32 rounding), and every
-    /// cursor only ever moves forward.
+    /// Rank safety relies on three invariants: candidate docs skipped
+    /// by the essential partition or the partial-sum abandon check
+    /// have true scores strictly below the threshold (inflated
+    /// bounds), surviving candidates are scored by summing per-scorer
+    /// contributions in canonical clause order (bit-identical f32
+    /// rounding), and every cursor only ever moves forward.
     fn search_pruned(
         &self,
         query: &Query,
@@ -306,14 +310,21 @@ impl<'a> Searcher<'a> {
     ) -> Vec<SearchHit> {
         // ---- Plan: cursors, bounds, constraints --------------------
         // `scorers` is in canonical (clause, token, field) order — the
-        // exact order the exhaustive accumulator adds contributions.
-        let mut scorers: Vec<Scorer<'a>> = Vec::new();
+        // exact order the exhaustive accumulator adds contributions
+        // (a phrase clause is a single contribution at its clause
+        // position).
+        let mut scorers: Vec<AnyScorer<'a>> = Vec::new();
         // One non-scoring union-of-fields cursor per `+must` token;
         // result docs must appear in every group.
         let mut must_groups: Vec<UnionCursor<'a>> = Vec::new();
+        // Indices into `scorers` of `+must` phrase clauses: result
+        // docs must pass their positional verification.
+        let mut must_phrases: Vec<usize> = Vec::new();
         // One union cursor per `-must-not` token; result docs must
         // appear in none.
         let mut exclusions: Vec<UnionCursor<'a>> = Vec::new();
+        // `-must-not` phrases exclude only positionally verified docs.
+        let mut phrase_exclusions: Vec<PhraseScorer<'a>> = Vec::new();
         let mut any_positive = false;
 
         for clause in &query.clauses {
@@ -330,40 +341,77 @@ impl<'a> Searcher<'a> {
                 },
                 None => self.index.field_ids().collect(),
             };
-            let ClauseKind::Term(raw) = &clause.kind else {
-                unreachable!("phrase queries run on the exhaustive path");
-            };
-            let tokens = self.analyze_query_text(raw);
-            if tokens.is_empty() {
-                // Must clauses that analyze to nothing are vacuously
-                // true, matching the exhaustive path.
-                continue;
-            }
-            match clause.occur {
-                Occur::MustNot => {
-                    for &t in &tokens {
-                        let u = self.union_cursor(t, &fields);
-                        if !u.is_empty() {
-                            exclusions.push(u);
+            match &clause.kind {
+                ClauseKind::Term(raw) => {
+                    let tokens = self.analyze_query_text(raw);
+                    if tokens.is_empty() {
+                        // Must clauses that analyze to nothing are
+                        // vacuously true, matching the exhaustive path.
+                        continue;
+                    }
+                    match clause.occur {
+                        Occur::MustNot => {
+                            for &t in &tokens {
+                                let u = self.union_cursor(t, &fields);
+                                if !u.is_empty() {
+                                    exclusions.push(u);
+                                }
+                            }
+                        }
+                        occur => {
+                            any_positive = true;
+                            for &t in &tokens {
+                                for &field in &fields {
+                                    if let Some(s) = self.scorer(t, field) {
+                                        scorers.push(AnyScorer::Term(s));
+                                    }
+                                }
+                                if occur == Occur::Must {
+                                    let u = self.union_cursor(t, &fields);
+                                    if u.is_empty() {
+                                        // Required token with no
+                                        // postings: the conjunction is
+                                        // empty.
+                                        return Vec::new();
+                                    }
+                                    must_groups.push(u);
+                                }
+                            }
                         }
                     }
                 }
-                occur => {
-                    any_positive = true;
-                    for &t in &tokens {
-                        for &field in &fields {
-                            if let Some(s) = self.scorer(t, field) {
-                                scorers.push(s);
+                ClauseKind::Phrase(words) => {
+                    let tokens: Vec<TermId> = words
+                        .iter()
+                        .flat_map(|w| self.analyze_query_text(w))
+                        .collect();
+                    if tokens.is_empty() {
+                        continue;
+                    }
+                    match clause.occur {
+                        Occur::MustNot => {
+                            if let Some(p) = self.phrase_scorer(tokens, &fields) {
+                                phrase_exclusions.push(p);
                             }
                         }
-                        if occur == Occur::Must {
-                            let u = self.union_cursor(t, &fields);
-                            if u.is_empty() {
-                                // Required token with no postings:
-                                // the conjunction is empty.
-                                return Vec::new();
+                        occur => {
+                            any_positive = true;
+                            match self.phrase_scorer(tokens, &fields) {
+                                Some(p) => {
+                                    if occur == Occur::Must {
+                                        must_phrases.push(scorers.len());
+                                    }
+                                    scorers.push(AnyScorer::Phrase(p));
+                                }
+                                None => {
+                                    // No field where every token has
+                                    // postings: a required phrase can
+                                    // never match.
+                                    if occur == Occur::Must {
+                                        return Vec::new();
+                                    }
+                                }
                             }
-                            must_groups.push(u);
                         }
                     }
                 }
@@ -372,6 +420,12 @@ impl<'a> Searcher<'a> {
         if !any_positive || scorers.is_empty() {
             return Vec::new();
         }
+        // The intersection drives from the rarest `+must` list: with
+        // groups in ascending doc-frequency order, the first seek of
+        // every galloping round comes from the most selective cursor,
+        // so the denser groups only ever seek to its (sparse)
+        // candidates.
+        must_groups.sort_by_key(|g| g.est);
 
         // Evaluation order: scorer indices sorted by ascending bound.
         // The prefix `order[..ness]` is the non-essential set; probes
@@ -380,8 +434,8 @@ impl<'a> Searcher<'a> {
         let mut order: Vec<usize> = (0..scorers.len()).collect();
         order.sort_by(|&a, &b| {
             scorers[a]
-                .bound
-                .partial_cmp(&scorers[b].bound)
+                .bound()
+                .partial_cmp(&scorers[b].bound())
                 .unwrap_or(Ordering::Equal)
                 .then(a.cmp(&b))
         });
@@ -389,7 +443,7 @@ impl<'a> Searcher<'a> {
         let prefix: Vec<f32> = order
             .iter()
             .scan(0.0f32, |acc, &i| {
-                *acc += scorers[i].bound;
+                *acc += scorers[i].bound();
                 Some(*acc)
             })
             .collect();
@@ -400,16 +454,24 @@ impl<'a> Searcher<'a> {
         let mut threshold = f32::NEG_INFINITY;
         let mut ness = 0usize;
         let mut contribs = vec![0.0f32; scorers.len()];
-        let must_driven = !must_groups.is_empty();
+        let must_driven = !must_groups.is_empty() || !must_phrases.is_empty();
         let mut next_target = 0u32;
+        // Candidate just processed; essential cursors still sitting on
+        // it advance during the next selection scan (one fused pass
+        // instead of advance-then-rescan).
+        let mut last = NO_DOC;
+        // Deletions are rare; one flag check replaces a per-candidate
+        // bitmap probe on the common all-live index.
+        let has_deleted = self.index.live_docs() < self.index.total_docs();
 
         loop {
             // ---- Candidate selection -------------------------------
             let d = if must_driven {
-                // Must tokens gate membership: galloping intersection
-                // of the union cursors yields the only docs that can
-                // appear in the result at all.
-                match conjunction_next(&mut must_groups, next_target) {
+                // Must tokens and must phrases gate membership: a
+                // galloping intersection of the union cursors and the
+                // phrase membership conjunctions yields the only docs
+                // that can appear in the result at all.
+                match must_candidate(&mut must_groups, &mut scorers, &must_phrases, next_target) {
                     Some(d) => d,
                     None => break,
                 }
@@ -419,8 +481,12 @@ impl<'a> Searcher<'a> {
                 // <= threshold, hence strictly below it after slack.
                 let mut d = NO_DOC;
                 for &i in &order[ness..] {
-                    d = d.min(scorers[i].cursor.doc());
+                    if last != NO_DOC {
+                        scorers[i].advance_past(last);
+                    }
+                    d = d.min(scorers[i].doc());
                 }
+                last = d;
                 if d == NO_DOC {
                     break;
                 }
@@ -428,26 +494,73 @@ impl<'a> Searcher<'a> {
             };
             next_target = d + 1;
 
+            // ---- Block-max range skip ------------------------------
+            // With a full heap, an inflated ceiling — block-local
+            // bounds of the essential scorers sitting on `d`, plus the
+            // whole non-essential mass — that cannot reach the
+            // threshold rules out not just `d` but every doc up to the
+            // nearest block boundary: each participant's block bound
+            // holds through its block's last doc, and the essential
+            // scorers ahead of `d` contribute nothing before their
+            // current doc. Everything in `(d, until]` is skipped with
+            // one decode-free seek per scorer (block-max WAND).
+            if !must_driven && heap.len() == k {
+                let mut ceil = if ness > 0 { prefix[ness - 1] } else { 0.0 };
+                let mut until = NO_DOC;
+                for &i in &order[ness..] {
+                    let sd = scorers[i].doc();
+                    if sd == d {
+                        ceil += self.block_bound(&mut scorers[i]);
+                        until = until.min(scorers[i].block_last_doc());
+                    } else {
+                        // `sd > d >= 0`: `d` is the essential minimum.
+                        until = until.min(sd - 1);
+                    }
+                }
+                if ceil <= threshold {
+                    let past = until.max(d).saturating_add(1);
+                    for &i in &order[ness..] {
+                        scorers[i].seek(past);
+                    }
+                    // The seeks moved every cursor beyond `d` already.
+                    last = NO_DOC;
+                    continue;
+                }
+            }
+
             // ---- Cheap rejections ----------------------------------
+            // Positional checks (must / must-not phrase verification)
+            // run last: they decode positions, everything else is a
+            // cursor or bitmap probe.
             let rejected = exclusions.iter_mut().any(|u| u.seek(d) == d)
-                || self.index.is_deleted(DocId(d))
+                || (has_deleted && self.index.is_deleted(DocId(d)))
                 || !self.index.is_visible(DocId(d))
-                || !filter(DocId(d));
+                || !filter(DocId(d))
+                || phrase_exclusions
+                    .iter_mut()
+                    .any(|p| p.member_seek(d) == d && p.verify(d).is_some())
+                || must_phrases.iter().any(|&i| {
+                    let AnyScorer::Phrase(p) = &mut scorers[i] else {
+                        unreachable!("must_phrases indexes phrase scorers");
+                    };
+                    p.verify(d).is_none()
+                });
 
             if !rejected {
                 // ---- Score with partial-sum abandon ----------------
                 let mut abandoned = false;
+                // A doc enters the heap only if some positive clause
+                // actually matched it (a phrase candidate can fail
+                // verification everywhere and contribute nothing; the
+                // exhaustive accumulator has no entry for such docs).
+                let mut matched = false;
                 let mut running = 0.0f32;
                 contribs.iter_mut().for_each(|c| *c = 0.0);
                 if !must_driven {
                     for &i in &order[ness..] {
-                        let sc = &mut scorers[i];
-                        if sc.cursor.doc() == d {
-                            let tf = sc.cursor.tf();
-                            let v = self.clause_score(sc, d, tf);
-                            contribs[i] = v;
-                            running += v;
-                        }
+                        let v = self.score_at(&mut scorers[i], d, &mut matched);
+                        contribs[i] = v;
+                        running += v;
                     }
                 }
                 let probe_from = if must_driven { order.len() } else { ness };
@@ -460,16 +573,12 @@ impl<'a> Searcher<'a> {
                         break;
                     }
                     let i = order[j];
-                    let sc = &mut scorers[i];
-                    sc.cursor.seek(d);
-                    if sc.cursor.doc() == d {
-                        let tf = sc.cursor.tf();
-                        let v = self.clause_score(sc, d, tf);
-                        contribs[i] = v;
-                        running += v;
-                    }
+                    scorers[i].seek(d);
+                    let v = self.score_at(&mut scorers[i], d, &mut matched);
+                    contribs[i] = v;
+                    running += v;
                 }
-                if !abandoned {
+                if !abandoned && matched {
                     // Canonical-order sum: bit-identical to the
                     // exhaustive accumulator (adding 0.0 for scorers
                     // that missed `d` is exact for non-negative f32).
@@ -489,16 +598,8 @@ impl<'a> Searcher<'a> {
                     }
                 }
             }
-
-            // ---- Advance the driving cursors -----------------------
-            if !must_driven {
-                for &i in &order[ness..] {
-                    let c = &mut scorers[i].cursor;
-                    if c.doc() == d {
-                        c.next();
-                    }
-                }
-            }
+            // The essential cursors still sitting on `d` advance at the
+            // top of the next selection scan (fused with the min scan).
         }
 
         let mut hits: Vec<SearchHit> = heap
@@ -517,13 +618,168 @@ impl<'a> Searcher<'a> {
         hits
     }
 
+    /// Inflated upper bound on `sc`'s contribution to any doc in the
+    /// block its cursor currently sits on. Tighter than the static
+    /// `bound()` whenever the block directory says this block's max tf
+    /// is below the list-wide maximum; identical (and equally safe)
+    /// otherwise. Phrases and stats-less terms fall back to their
+    /// static bound. Rank safety: the block bound uses the same
+    /// (max tf, min len) maximization and the same slack inflation as
+    /// the static bound, just with the block-local max tf — every true
+    /// contribution in the block is strictly below it.
+    #[inline]
+    fn block_bound(&self, sc: &mut AnyScorer<'_>) -> f32 {
+        let AnyScorer::Term(t) = sc else {
+            return sc.bound();
+        };
+        if !t.bound.is_finite() {
+            return t.bound;
+        }
+        let bmt = t.cursor.block_max_tf();
+        if bmt == u32::MAX {
+            return t.bound;
+        }
+        if bmt != t.block_memo_tf {
+            let raw = t.boost * self.bm25(bmt as f32, t.min_len, t.avg_len, t.idf);
+            t.block_memo_tf = bmt;
+            t.block_memo_bound = (raw * (1.0 + BOUND_SLACK_REL) + BOUND_SLACK_ABS).min(t.bound);
+        }
+        t.block_memo_bound
+    }
+
     /// One scorer's BM25 contribution for document `d` — the same
     /// expression, in the same operation order, as the exhaustive
     /// path's `score_term`, so both produce identical f32 values.
     #[inline]
     fn clause_score(&self, sc: &Scorer<'_>, d: u32, tf: u32) -> f32 {
-        let len = self.index.field_len(DocId(d), sc.field) as f32;
+        let len = sc.lens[d as usize] as f32;
         sc.boost * self.bm25(tf as f32, len, sc.avg_len, sc.idf)
+    }
+
+    /// One scorer's contribution for candidate `d` (0.0 when the
+    /// scorer misses `d`). Sets `matched` when the scorer's clause
+    /// genuinely matches — for a phrase that means positional
+    /// verification succeeded, not mere token co-occurrence.
+    fn score_at(&self, sc: &mut AnyScorer<'_>, d: u32, matched: &mut bool) -> f32 {
+        match sc {
+            AnyScorer::Term(t) => {
+                if t.cursor.doc() == d {
+                    *matched = true;
+                    let tf = t.cursor.tf();
+                    self.clause_score(t, d, tf)
+                } else {
+                    0.0
+                }
+            }
+            AnyScorer::Phrase(p) => {
+                if p.member == d {
+                    if let Some((count, field)) = p.verify(d) {
+                        *matched = true;
+                        return self.phrase_score(&p.tokens, field, DocId(d), count);
+                    }
+                }
+                0.0
+            }
+        }
+    }
+
+    /// Build a phrase scorer: per-field conjunction cursors over every
+    /// field where *all* tokens have postings (the same qualifying
+    /// rule as the exhaustive `phrase_matches`), or `None` when no
+    /// field qualifies.
+    ///
+    /// The score upper bound mirrors the exhaustive scoring shape: a
+    /// verified phrase scores once, in the first qualifying field with
+    /// a match, with the occurrence count summed across all fields.
+    /// Per field the count is capped by the minimum per-token max tf
+    /// (every contiguous run consumes one distinct position of each
+    /// token), so the total is capped by the sum of those per-field
+    /// minima; the per-field bound then takes that total count at the
+    /// field's smallest possible length. Any token without sealed
+    /// stats (memtable postings) makes the bound infinite — the
+    /// phrase is then permanently essential, evaluated at every
+    /// candidate, never pruned against, hence still exact.
+    fn phrase_scorer(&self, tokens: Vec<TermId>, fields: &[FieldId]) -> Option<PhraseScorer<'a>> {
+        let mut pfields: Vec<PhraseField<'a>> = Vec::new();
+        for &field in fields {
+            if tokens.iter().any(|&t| !self.index.has_postings(t, field)) {
+                continue;
+            }
+            let cursors: Vec<PostingsCursor<'a>> = tokens
+                .iter()
+                .map(|&t| {
+                    self.index
+                        .cursor(t, field)
+                        .expect("has_postings implies a cursor")
+                })
+                .collect();
+            let mut pf = PhraseField {
+                field,
+                cursors,
+                at: 0,
+            };
+            pf.align(0);
+            pfields.push(pf);
+        }
+        if pfields.is_empty() {
+            return None;
+        }
+        // Bound: sum over qualifying fields of min-per-token max tf
+        // caps the total verified count ...
+        let mut all_stats = true;
+        let mut cmax_total = 0u32;
+        for pf in &pfields {
+            let mut field_cap = u32::MAX;
+            for &t in &tokens {
+                match self.index.term_score_stats(t, pf.field) {
+                    Some(st) => field_cap = field_cap.min(st.max_tf),
+                    None => {
+                        all_stats = false;
+                        break;
+                    }
+                }
+            }
+            if !all_stats {
+                break;
+            }
+            cmax_total += field_cap;
+        }
+        // ... and the scoring field's length is at least the largest
+        // per-token min_len (a matching doc is on every token's list).
+        let mut bound = f32::NEG_INFINITY;
+        if all_stats {
+            for pf in &pfields {
+                let mut min_len = 1u32;
+                for &t in &tokens {
+                    let st = self
+                        .index
+                        .term_score_stats(t, pf.field)
+                        .expect("checked above");
+                    min_len = min_len.max(st.min_len);
+                }
+                let idf: f32 = tokens.iter().map(|&t| self.idf(t, pf.field)).sum();
+                let avg = self.index.avg_field_len(pf.field);
+                let raw = self.index.field_boost(pf.field)
+                    * self.bm25(cmax_total as f32, min_len as f32, avg, idf);
+                bound = bound.max(raw);
+            }
+        }
+        let bound = if all_stats && bound.is_finite() && bound >= 0.0 {
+            bound * (1.0 + BOUND_SLACK_REL) + BOUND_SLACK_ABS
+        } else {
+            f32::INFINITY
+        };
+        let member = pfields.iter().map(|f| f.at).min().expect("non-empty");
+        let pos_bufs = vec![Vec::new(); tokens.len()];
+        Some(PhraseScorer {
+            tokens,
+            fields: pfields,
+            member,
+            verified_doc: NO_DOC,
+            verified: None,
+            pos_bufs,
+            bound,
+        })
     }
 
     /// Build one scoring cursor for `(term, field)`, or `None` when no
@@ -538,10 +794,12 @@ impl<'a> Searcher<'a> {
         let idf = self.idf(term, field);
         let avg_len = self.index.avg_field_len(field);
         let boost = self.index.field_boost(field);
+        let mut min_len = 0.0f32;
         let bound = match self.index.term_score_stats(term, field) {
             Some(st) => {
                 let raw = boost * self.bm25(st.max_tf as f32, st.min_len as f32, avg_len, idf);
                 if raw.is_finite() && raw >= 0.0 {
+                    min_len = st.min_len as f32;
                     raw * (1.0 + BOUND_SLACK_REL) + BOUND_SLACK_ABS
                 } else {
                     f32::INFINITY
@@ -551,21 +809,27 @@ impl<'a> Searcher<'a> {
         };
         Some(Scorer {
             cursor,
-            field,
+            lens: self.index.field_lens(field),
             idf,
             avg_len,
             boost,
             bound,
+            min_len,
+            block_memo_tf: u32::MAX,
+            block_memo_bound: bound,
         })
     }
 
-    /// A membership (non-scoring) cursor for `term` across `fields`.
+    /// A membership (non-scoring) cursor for `term` across `fields`,
+    /// carrying a document-frequency estimate so `+must` conjunctions
+    /// can drive from the rarest list.
     fn union_cursor(&self, term: TermId, fields: &[FieldId]) -> UnionCursor<'a> {
         UnionCursor {
             members: fields
                 .iter()
                 .filter_map(|&f| self.index.cursor(term, f))
                 .collect(),
+            est: fields.iter().map(|&f| self.index.doc_freq(term, f)).sum(),
         }
     }
 
@@ -714,13 +978,220 @@ impl<'a> Searcher<'a> {
 /// contribution, and the (inflated) upper bound on that contribution.
 struct Scorer<'a> {
     cursor: PostingsCursor<'a>,
-    field: FieldId,
+    /// Per-doc analyzed lengths of the scorer's field (resolved once;
+    /// the scoring loop reads one slot per candidate).
+    lens: &'a [u32],
     idf: f32,
     avg_len: f32,
     boost: f32,
     /// Inflated upper bound on any single contribution; `INFINITY`
     /// when no [`crate::index::TermScoreStats`] are available.
     bound: f32,
+    /// Smallest field length on this scorer's posting list (from the
+    /// same stats as `bound`; 0 when stats are missing, unused then).
+    min_len: f32,
+    /// Memoized block-max refinement: the block max tf the cached
+    /// bound below was computed for (`u32::MAX` = nothing cached).
+    block_memo_tf: u32,
+    /// Inflated bound at `block_memo_tf` occurrences.
+    block_memo_bound: f32,
+}
+
+/// The phrase's token cursors in one qualifying field, intersected by
+/// a galloping conjunction (`at` is the current co-occurrence
+/// candidate).
+struct PhraseField<'a> {
+    field: FieldId,
+    /// One cursor per phrase token, all over `field`.
+    cursors: Vec<PostingsCursor<'a>>,
+    /// Current conjunction doc (all cursors aligned on it), or
+    /// [`NO_DOC`] when the conjunction is exhausted.
+    at: u32,
+}
+
+impl PhraseField<'_> {
+    /// Unconditionally gallop to the smallest co-occurrence doc
+    /// `>= target`.
+    fn align(&mut self, target: u32) -> u32 {
+        let mut d = target;
+        loop {
+            let mut changed = false;
+            for c in self.cursors.iter_mut() {
+                c.seek(d);
+                let got = c.doc();
+                if got == NO_DOC {
+                    self.at = NO_DOC;
+                    return NO_DOC;
+                }
+                if got > d {
+                    d = got;
+                    changed = true;
+                }
+            }
+            if !changed {
+                self.at = d;
+                return d;
+            }
+        }
+    }
+
+    /// Smallest co-occurrence doc `>= target` (no-op when already
+    /// there). Targets must be non-decreasing across calls.
+    fn seek(&mut self, target: u32) -> u32 {
+        if self.at >= target {
+            // Covers exhaustion too: NO_DOC >= any target.
+            return self.at;
+        }
+        self.align(target)
+    }
+}
+
+/// A positive phrase clause under MaxScore: membership (all tokens
+/// co-occur in some field) is a cheap cursor conjunction; contiguity
+/// is verified positionally, lazily, at candidate docs only, with the
+/// result cached per doc. Scoring reproduces the exhaustive shape
+/// exactly: occurrence count summed across qualifying fields, scored
+/// once in the first field (in field order) containing a match.
+struct PhraseScorer<'a> {
+    /// Analyzed phrase tokens; index in this Vec = position offset.
+    tokens: Vec<TermId>,
+    /// Per-field conjunctions, in field order.
+    fields: Vec<PhraseField<'a>>,
+    /// Smallest per-field conjunction doc: the current (unverified)
+    /// membership candidate.
+    member: u32,
+    /// Doc the cached verification below refers to ([`NO_DOC`] =
+    /// none).
+    verified_doc: u32,
+    /// Cached verification: `Some((total count, first matching
+    /// field))`, or `None` when no field matched positionally.
+    verified: Option<(u32, FieldId)>,
+    /// Reusable per-token position buffers.
+    pos_bufs: Vec<Vec<u32>>,
+    /// Inflated upper bound on the phrase contribution.
+    bound: f32,
+}
+
+impl PhraseScorer<'_> {
+    /// Smallest membership doc `>= target`. Targets must be
+    /// non-decreasing across calls.
+    fn member_seek(&mut self, target: u32) -> u32 {
+        if self.member >= target {
+            return self.member;
+        }
+        let mut min = NO_DOC;
+        for f in &mut self.fields {
+            min = min.min(f.seek(target));
+        }
+        self.member = min;
+        min
+    }
+
+    /// Positionally verify the phrase at doc `d`, returning the total
+    /// occurrence count and the first matching field (identical to
+    /// the exhaustive `phrase_matches` bookkeeping), or `None` when no
+    /// field contains the contiguous sequence. Cached per doc, so the
+    /// rejection pass and the scoring pass decode positions once.
+    fn verify(&mut self, d: u32) -> Option<(u32, FieldId)> {
+        if self.verified_doc == d {
+            return self.verified;
+        }
+        self.verified_doc = d;
+        let mut total = 0u32;
+        let mut first: Option<FieldId> = None;
+        for f in &mut self.fields {
+            if f.seek(d) != d {
+                continue;
+            }
+            for (c, buf) in f.cursors.iter_mut().zip(self.pos_bufs.iter_mut()) {
+                c.positions(buf);
+            }
+            let mut count = 0u32;
+            'start: for &p in &self.pos_bufs[0] {
+                for (offset, buf) in self.pos_bufs.iter().enumerate().skip(1) {
+                    if buf.binary_search(&(p + offset as u32)).is_err() {
+                        continue 'start;
+                    }
+                }
+                count += 1;
+            }
+            if count > 0 {
+                total += count;
+                if first.is_none() {
+                    first = Some(f.field);
+                }
+            }
+        }
+        self.verified = (total > 0).then(|| (total, first.expect("count > 0 implies a field")));
+        self.verified
+    }
+}
+
+/// Either scorer shape of the pruned executor, unified so the MaxScore
+/// order/prefix machinery and the DAAT loop treat them uniformly.
+// Term scorers embed a posting cursor whose unpacked block buffer
+// lives inline (see `PostingsCursor`); keeping it unboxed preserves
+// that locality in the scoring loop.
+#[allow(clippy::large_enum_variant)]
+enum AnyScorer<'a> {
+    Term(Scorer<'a>),
+    Phrase(PhraseScorer<'a>),
+}
+
+impl AnyScorer<'_> {
+    /// Inflated score upper bound.
+    fn bound(&self) -> f32 {
+        match self {
+            AnyScorer::Term(t) => t.bound,
+            AnyScorer::Phrase(p) => p.bound,
+        }
+    }
+
+    /// Current candidate doc (for a phrase: the unverified membership
+    /// candidate), or [`NO_DOC`].
+    fn doc(&self) -> u32 {
+        match self {
+            AnyScorer::Term(t) => t.cursor.doc(),
+            AnyScorer::Phrase(p) => p.member,
+        }
+    }
+
+    /// Advance to the first candidate `>= target`.
+    fn seek(&mut self, target: u32) {
+        match self {
+            AnyScorer::Term(t) => t.cursor.seek(target),
+            AnyScorer::Phrase(p) => {
+                p.member_seek(target);
+            }
+        }
+    }
+
+    /// Last doc id through which [`Searcher::block_bound`] stays valid
+    /// for this scorer: the current block boundary for term cursors
+    /// over packed lists, the current doc otherwise (no extension).
+    fn block_last_doc(&self) -> u32 {
+        match self {
+            AnyScorer::Term(t) => t.cursor.block_last_doc(),
+            AnyScorer::Phrase(p) => p.member,
+        }
+    }
+
+    /// Move past `d` if currently on it (the essential-union advance
+    /// step).
+    fn advance_past(&mut self, d: u32) {
+        match self {
+            AnyScorer::Term(t) => {
+                if t.cursor.doc() == d {
+                    t.cursor.next();
+                }
+            }
+            AnyScorer::Phrase(p) => {
+                if p.member == d {
+                    p.member_seek(d + 1);
+                }
+            }
+        }
+    }
 }
 
 /// Union-of-fields membership cursor: reports whether *any* field's
@@ -728,6 +1199,9 @@ struct Scorer<'a> {
 /// conjunctions and `-must-not` exclusions.
 struct UnionCursor<'a> {
     members: Vec<PostingsCursor<'a>>,
+    /// Summed document frequency across member fields — the sort key
+    /// that puts the rarest `+must` group first in the conjunction.
+    est: usize,
 }
 
 impl UnionCursor<'_> {
@@ -750,28 +1224,52 @@ impl UnionCursor<'_> {
     }
 }
 
-/// Galloping intersection step: the smallest doc `>= target` present
-/// in every group, or `None` when the conjunction is exhausted.
-fn conjunction_next(groups: &mut [UnionCursor<'_>], mut target: u32) -> Option<u32> {
-    debug_assert!(!groups.is_empty());
-    'retry: loop {
-        let (pivot, rest) = groups.split_first_mut().expect("non-empty conjunction");
-        let d = pivot.seek(target);
-        if d == NO_DOC {
-            return None;
-        }
-        for g in rest {
+/// Multi-way galloping intersection step over every `+must` gate: the
+/// smallest doc `>= target` present in every term group *and* every
+/// must-phrase membership conjunction, or `None` once any gate is
+/// exhausted.
+///
+/// `groups` is sorted rarest-first, so each round's first seek comes
+/// from the most selective list and denser gates only gallop to its
+/// sparse candidates. A round that advances the frontier restarts;
+/// gates already at the frontier return immediately, so the rescan is
+/// O(1) per unchanged gate.
+fn must_candidate(
+    groups: &mut [UnionCursor<'_>],
+    scorers: &mut [AnyScorer<'_>],
+    phrase_idxs: &[usize],
+    target: u32,
+) -> Option<u32> {
+    debug_assert!(!groups.is_empty() || !phrase_idxs.is_empty());
+    let mut d = target;
+    loop {
+        let mut changed = false;
+        for g in groups.iter_mut() {
             let got = g.seek(d);
             if got == NO_DOC {
                 return None;
             }
             if got > d {
-                // Mismatch: restart the pivot from the larger doc.
-                target = got;
-                continue 'retry;
+                d = got;
+                changed = true;
             }
         }
-        return Some(d);
+        for &i in phrase_idxs {
+            let AnyScorer::Phrase(p) = &mut scorers[i] else {
+                unreachable!("must_phrases indexes phrase scorers");
+            };
+            let got = p.member_seek(d);
+            if got == NO_DOC {
+                return None;
+            }
+            if got > d {
+                d = got;
+                changed = true;
+            }
+        }
+        if !changed {
+            return Some(d);
+        }
     }
 }
 
@@ -897,6 +1395,104 @@ mod tests {
     }
 
     #[test]
+    fn phrase_runs_pruned_and_matches_exhaustive() {
+        // Phrases execute under MaxScore now (no exhaustive
+        // fallback); results must stay bit-identical across modes on
+        // raw, optimized, and mixed indexes.
+        let mut idx = index();
+        let phrase_queries = [
+            "\"space shooter\"",
+            "\"space shooter\" laser",
+            "+\"space shooter\"",
+            "+\"space shooter\" -golf",
+            "laser -\"space shooter\"",
+            "\"space battles\" \"puzzle rooms\"",
+        ];
+        for round in 0..3 {
+            if round == 1 {
+                idx.optimize();
+            }
+            if round == 2 {
+                // Mixed: sealed segments plus a memtable doc that also
+                // matches the phrase (infinite-bound scorer).
+                idx.add(
+                    Doc::new()
+                        .field(FieldId(0), "Space Shooter Deluxe")
+                        .field(FieldId(1), "another space shooter with space battles"),
+                );
+            }
+            for q in phrase_queries {
+                let query = Query::parse(q);
+                for k in [1, 2, 10] {
+                    let pruned = Searcher::new(&idx).search(&query, k);
+                    let exhaustive = Searcher::new(&idx)
+                        .with_mode(ScoreMode::Exhaustive)
+                        .search(&query, k);
+                    assert_eq!(pruned, exhaustive, "query {q:?} k={k} round={round}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn phrase_counts_accumulate_across_fields() {
+        // A phrase matching in both fields scores once (first field in
+        // field order) with the count summed across fields — in both
+        // executors.
+        let mut idx = Index::new(IndexConfig::default());
+        let a = idx.register_field("a", 1.0);
+        let b = idx.register_field("b", 1.0);
+        idx.add(
+            Doc::new()
+                .field(a, "deep space probe")
+                .field(b, "the space probe saw a space probe"),
+        );
+        idx.add(Doc::new().field(a, "space station").field(b, "probe data"));
+        idx.optimize();
+        let q = Query::parse("\"space probe\"");
+        let pruned = Searcher::new(&idx).search(&q, 10);
+        let exhaustive = Searcher::new(&idx)
+            .with_mode(ScoreMode::Exhaustive)
+            .search(&q, 10);
+        assert_eq!(pruned, exhaustive);
+        assert_eq!(pruned.len(), 1);
+        assert_eq!(pruned[0].doc, DocId(0));
+    }
+
+    #[test]
+    fn phrase_pruning_activates_on_larger_corpus() {
+        // Big enough that the threshold rises and non-essential
+        // phrase/term scorers actually get skipped, at small k.
+        let mut idx = Index::new(IndexConfig::default());
+        let body = idx.register_field("body", 1.0);
+        for i in 0..500u32 {
+            let phrase = if i % 13 == 0 {
+                " red planet"
+            } else {
+                " planet red"
+            };
+            let text = format!("common filler number {}{phrase} tail words", i % 11);
+            idx.add(Doc::new().field(body, text));
+        }
+        idx.optimize();
+        for q in [
+            "\"red planet\" common",
+            "+\"red planet\" common",
+            "common -\"red planet\"",
+            "\"red planet\" \"filler number\"",
+        ] {
+            let query = Query::parse(q);
+            for k in [1, 5, 20] {
+                let pruned = Searcher::new(&idx).search(&query, k);
+                let exhaustive = Searcher::new(&idx)
+                    .with_mode(ScoreMode::Exhaustive)
+                    .search(&query, k);
+                assert_eq!(pruned, exhaustive, "query {q:?} k={k}");
+            }
+        }
+    }
+
+    #[test]
     fn field_restricted_term() {
         let idx = index();
         let hits = Searcher::new(&idx).search(&Query::parse("title:space"), 10);
@@ -981,8 +1577,17 @@ mod tests {
         "title:space",
         "title:space body:laser",
         "+title:space laser",
-        "space space shooter",     // repeated term accumulates twice
-        "\"space shooter\" laser", // phrase: exhaustive fallback
+        "space space shooter",      // repeated term accumulates twice
+        "\"space shooter\" laser",  // phrase scorer beside a term
+        "\"space shooter\"",        // bare phrase
+        "\"space battles\"",        // phrase matching one doc's body
+        "\"shooter space\"",        // tokens co-occur, order never matches
+        "+\"space shooter\" laser", // must-phrase gates membership
+        "+\"space shooter\" +laser",
+        "laser -\"space shooter\"", // must-not phrase excludes verified docs
+        "\"space\" shooter",        // single-token phrase (counts every hit)
+        "title:\"space trader\"",   // field-restricted phrase
+        "\"space zzzzqqq shooter\"", // unknown token drops out of the phrase
         "+nosuch:space",
         "zzzzqqq",
         "-space",

@@ -1,0 +1,103 @@
+//! Allocation-count regression tests for the arena lexicon.
+//!
+//! The pre-arena `HashMap<String, TermId>` lexicon allocated two
+//! `String`s per first-sight intern (one map key, one id-to-term entry)
+//! and one hashing-side allocation per borrowed lookup was only avoided
+//! by accident of the raw-entry API not being used at all. The arena
+//! representation must stay amortized: interning N fresh terms costs
+//! O(log N) container growths, not O(N) allocations, and lookups cost
+//! zero.
+//!
+//! This file is its own test binary so the counting `#[global_allocator]`
+//! cannot skew other suites; all assertions live in a single `#[test]`
+//! so parallel test threads cannot pollute the counters.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use symphony_text::Lexicon;
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc_zeroed(layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Run `f` and return how many heap allocations it performed.
+fn allocations<R>(f: impl FnOnce() -> R) -> (usize, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let out = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, out)
+}
+
+#[test]
+fn intern_is_amortized_and_lookup_is_allocation_free() {
+    const N: usize = 10_000;
+    // Materialize the inputs first so only the lexicon's own heap
+    // traffic is counted.
+    let terms: Vec<String> = (0..N).map(|i| format!("term{i:05}")).collect();
+
+    let mut lex = Lexicon::new();
+    let (fresh_allocs, ids) =
+        allocations(|| terms.iter().map(|t| lex.intern(t)).collect::<Vec<_>>());
+    assert_eq!(lex.len(), N);
+
+    // The old representation paid >= 2 String allocations per fresh
+    // term (2N total). The arena pays only amortized container growth:
+    // doubling the arena, the span table, and the hash table each cost
+    // O(log N) allocations. Leave generous slack, but stay far below
+    // even one allocation per term.
+    assert!(
+        fresh_allocs < N / 10,
+        "interning {N} fresh terms performed {fresh_allocs} allocations; \
+         expected amortized growth only"
+    );
+    assert!(fresh_allocs >= 1, "growth must allocate at least once");
+
+    // Re-interning every existing term is pure lookup: zero allocations.
+    let (hit_allocs, _) = allocations(|| {
+        for (t, &id) in terms.iter().zip(&ids) {
+            assert_eq!(lex.intern(t), id);
+        }
+    });
+    assert_eq!(hit_allocs, 0, "intern hits must not allocate");
+
+    // Borrowed-key lookup never allocates — present or absent.
+    let (get_allocs, _) = allocations(|| {
+        for (t, &id) in terms.iter().zip(&ids) {
+            assert_eq!(lex.get(t), Some(id));
+        }
+        assert_eq!(lex.get("never-interned"), None);
+    });
+    assert_eq!(get_allocs, 0, "Lexicon::get must not allocate");
+
+    // Resolving ids back to strings borrows from the arena.
+    let (term_allocs, _) = allocations(|| {
+        for (t, &id) in terms.iter().zip(&ids) {
+            assert_eq!(lex.term(id), t.as_str());
+        }
+    });
+    assert_eq!(term_allocs, 0, "Lexicon::term must not allocate");
+}

@@ -43,13 +43,19 @@ fn lifecycle_op() -> impl Strategy<Value = LifecycleOp> {
 }
 
 /// Strategy: one textual query clause — optional occur prefix, optional
-/// field restriction (including an unregistered field), tiny-alphabet
-/// token so queries actually collide with document vocabulary.
+/// field restriction (including an unregistered field), and either a
+/// tiny-alphabet token or a quoted phrase so queries actually collide
+/// with document vocabulary and exercise the pruned phrase scorer.
 fn clause() -> impl Strategy<Value = String> {
     (
         prop_oneof![Just(""), Just("+"), Just("-")],
         prop_oneof![Just(""), Just("title:"), Just("body:"), Just("nosuch:")],
-        "[ab]{2,3}",
+        prop_oneof![
+            "[ab]{2,3}".prop_map(|t| t.to_string()),
+            "[ab]{2,3}".prop_map(|t| t.to_string()),
+            "[ab]{2,3}".prop_map(|t| t.to_string()),
+            "[ab]{2,3}( [ab]{2,3}){1,2}".prop_map(|p| format!("\"{p}\"")),
+        ],
     )
         .prop_map(|(occur, field, tok)| format!("{occur}{field}{tok}"))
 }
@@ -68,6 +74,75 @@ fn posting_data() -> impl Strategy<Value = Vec<(u32, Vec<u32>)>> {
     })
 }
 
+/// Append `v` to `out` as a LEB128 varint (reference implementation).
+fn ref_varint_push(out: &mut Vec<u8>, mut v: u32) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Test-local reference encoder of the pre-packed varint posting
+/// layout: per posting, a delta-varint doc id, a varint tf, then
+/// delta-varint positions.
+fn ref_varint_encode(list: &PostingList) -> Vec<u8> {
+    let mut out = Vec::new();
+    let mut prev_doc = 0u32;
+    for p in list.postings() {
+        ref_varint_push(&mut out, p.doc.0 - prev_doc);
+        prev_doc = p.doc.0;
+        ref_varint_push(&mut out, p.positions.len() as u32);
+        let mut prev_pos = 0u32;
+        for &pos in &p.positions {
+            ref_varint_push(&mut out, pos - prev_pos);
+            prev_pos = pos;
+        }
+    }
+    out
+}
+
+/// Decode the reference varint stream back into `(doc, positions)`.
+fn ref_varint_decode(bytes: &[u8]) -> Vec<(u32, Vec<u32>)> {
+    let mut read = {
+        let mut at = 0usize;
+        move |bytes: &[u8]| -> Option<u32> {
+            if at >= bytes.len() {
+                return None;
+            }
+            let mut v = 0u32;
+            let mut shift = 0u32;
+            loop {
+                let b = bytes[at];
+                at += 1;
+                v |= u32::from(b & 0x7f) << shift;
+                if b & 0x80 == 0 {
+                    return Some(v);
+                }
+                shift += 7;
+            }
+        }
+    };
+    let mut out = Vec::new();
+    let mut doc = 0u32;
+    while let Some(delta) = read(bytes) {
+        doc += delta;
+        let tf = read(bytes).expect("tf follows doc delta");
+        let mut positions = Vec::with_capacity(tf as usize);
+        let mut pos = 0u32;
+        for _ in 0..tf {
+            pos += read(bytes).expect("position follows tf");
+            positions.push(pos);
+        }
+        out.push((doc, positions));
+    }
+    out
+}
+
 proptest! {
     /// Varint/delta compression is lossless.
     #[test]
@@ -80,6 +155,76 @@ proptest! {
         }
         let decoded = CompressedPostings::encode(&list).decode();
         prop_assert_eq!(decoded.postings(), list.postings());
+    }
+
+    /// The bit-packed block format decodes to exactly what a reference
+    /// varint codec of the old one-posting-at-a-time layout yields:
+    /// same docs, same tfs, same positions.
+    #[test]
+    fn packed_decode_equals_varint_reference(data in posting_data()) {
+        let mut list = PostingList::new();
+        for (doc, positions) in &data {
+            for &p in positions {
+                list.push_occurrence(DocId(*doc), p);
+            }
+        }
+        let reference = ref_varint_decode(&ref_varint_encode(&list));
+        let packed = CompressedPostings::encode(&list);
+        let unpacked: Vec<(u32, Vec<u32>)> = packed
+            .decode()
+            .postings()
+            .iter()
+            .map(|p| (p.doc.0, p.positions.clone()))
+            .collect();
+        prop_assert_eq!(unpacked, reference);
+    }
+
+    /// The packed block-skipping cursor agrees with the plain linear
+    /// [`RawCursor`] under arbitrary interleavings of `next` and
+    /// forward `seek` — same doc ids, tfs, and positions at every step,
+    /// and identical exhaustion behavior.
+    #[test]
+    fn packed_cursor_equals_raw_cursor(
+        data in posting_data(),
+        ops in proptest::collection::vec((0u8..3, 0u32..11_000), 1..80),
+    ) {
+        let mut list = PostingList::new();
+        for (doc, positions) in &data {
+            for &p in positions {
+                list.push_occurrence(DocId(*doc), p);
+            }
+        }
+        let packed = CompressedPostings::encode(&list);
+        let mut a = packed.cursor();
+        let mut b = list.cursor();
+        prop_assert_eq!(a.last_doc(), b.last_doc());
+        let (mut pa, mut pb) = (Vec::new(), Vec::new());
+        for (op, target) in ops {
+            match op {
+                0 => {
+                    a.next();
+                    b.next();
+                }
+                1 => {
+                    a.seek(target);
+                    b.seek(target);
+                }
+                _ => {
+                    // Seek relative to the current doc, so in-block
+                    // short hops get exercised, not just far jumps.
+                    let t = a.doc().saturating_add(target % 7);
+                    a.seek(t);
+                    b.seek(t);
+                }
+            }
+            prop_assert_eq!(a.doc(), b.doc());
+            if a.doc() != symphony_text::postings::NO_DOC {
+                prop_assert_eq!(a.tf(), b.tf());
+                a.positions(&mut pa);
+                b.positions(&mut pb);
+                prop_assert_eq!(&pa, &pb);
+            }
+        }
     }
 
     /// Analysis is deterministic and produces terms that re-analyze to
