@@ -17,9 +17,10 @@ use symphony_baselines::{
     ndcg_at_k, BossModel, EureksterModel, GoogleBaseModel, GoogleCustomModel, RollyoModel,
     Scenario, SymphonyModel, SystemModel, EVAL_QUERIES,
 };
+use symphony_bench::traffic::{generate, replay, BurstWindow, TrafficConfig};
 use symphony_bench::{
-    corpus, gamer_queen_world, percentile, print_table, resilience_world, shared_fleet_world,
-    zipf_queries, ResilienceOptions, Scale, WorldOptions,
+    corpus, gamer_queen_world, overload_fleet_world, percentile, print_table, resilience_world,
+    shared_fleet_world, zipf_queries, ResilienceOptions, Scale, WorldOptions,
 };
 use symphony_core::hosting::QuotaConfig;
 use symphony_core::runtime::ExecMode;
@@ -109,6 +110,9 @@ fn main() {
     }
     if run("e-postings") {
         e_postings();
+    }
+    if run("e-overload") {
+        e_overload();
     }
 }
 
@@ -1384,5 +1388,418 @@ fn e8_tenancy() {
         "E8 — hosted execution: QPS vs tenant count (no cache, 400 queries)",
         &["tenants", "QPS (wall)", "mean µs/query"],
         &rows,
+    );
+}
+
+/// One cell of the E-overload SLO grid.
+struct OverloadCell {
+    factor: f64,
+    ac: bool,
+    offered_qps: f64,
+    goodput_qps: f64,
+    shed_rate: f64,
+    p50: u32,
+    p99: u32,
+    p999: u32,
+    nonburst_p99: u32,
+    tenant0_shed_rate: f64,
+    fairness_tv: f64,
+}
+
+/// E-overload: per-tenant admission control under open-loop overload.
+///
+/// A six-tenant fleet (Zipf-popular, caches disabled so every query
+/// pays its real service time) is provisioned with token-bucket rates
+/// summing to ~85% of pilot-measured capacity, then driven by the
+/// open-loop traffic generator at 0.5×–10× capacity with a tenant-0
+/// flash crowd in every run. Each offered-load factor runs twice —
+/// admission control on and off — over the *same* arrival schedule, so
+/// the two columns differ only in policy. A separate million-session
+/// cell (caches on, clicks on) exercises the harness at scale.
+///
+/// `OVERLOAD_SESSIONS` scales the whole experiment down for CI smokes.
+fn e_overload() {
+    use symphony_core::AdmissionPolicy;
+
+    const TENANTS: usize = 6;
+    const SKEW: f64 = 0.8;
+    // Mean arrivals per generated session (1 + min of two U{0..3}).
+    const QUERIES_PER_SESSION: f64 = 1.875;
+
+    let scale_sessions: usize = std::env::var("OVERLOAD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1_000_000);
+    let grid_sessions = (scale_sessions / 80).clamp(2_000, 12_000);
+
+    // Query pool: every text matches at least one inventory row, so
+    // every executed query pays the supplemental pricing fan-out.
+    let pool: Vec<String> = [
+        "galactic raiders",
+        "space shooter",
+        "fast lasers",
+        "farm story",
+        "calm farming",
+        "crops and animals",
+        "space trader",
+        "trade goods",
+        "space stations",
+        "laser golf",
+        "silly shooter",
+        "golf with lasers",
+        "puzzle palace",
+        "puzzle rooms",
+        "mind bending",
+        "space",
+        "shooter",
+        "lasers",
+        "farming",
+        "puzzle",
+    ]
+    .iter()
+    .map(|q| q.to_string())
+    .collect();
+
+    // Pilot: measure mean service time on an unlimited, cache-less
+    // fleet; capacity is its reciprocal. The pilot replays the
+    // generator's own (tenant, query) mix back-to-back — query
+    // popularity is Zipf-skewed, so a uniform sweep of the pool would
+    // underestimate the mean and overprovision the buckets.
+    let (pilot, pilot_ids) = overload_fleet_world(TENANTS, &[], false);
+    let pilot_mix = generate(&TrafficConfig {
+        tenants: TENANTS,
+        sessions: 400,
+        tenant_skew: SKEW,
+        duration_ms: 600_000,
+        diurnal_amplitude: 0.0,
+        query_pool: pool.len(),
+        click_base: 0.0,
+        bursts: Vec::new(),
+        seed: 0x1075,
+    });
+    let pilot_start = pilot.clock_ms();
+    for a in &pilot_mix {
+        pilot
+            .query(pilot_ids[a.tenant as usize], &pool[a.query as usize])
+            .expect("pilot query");
+    }
+    let mean_service_ms = (pilot.clock_ms() - pilot_start) as f64 / pilot_mix.len() as f64;
+    let capacity_qps = 1000.0 / mean_service_ms;
+
+    // Provision ~85% of capacity across tenants by Zipf share, using
+    // largest-remainder rounding so the integer rates sum exactly to
+    // the target. Weight follows rate, so fair scheduling and
+    // admission agree on each tenant's entitlement.
+    let target_total = (0.85 * capacity_qps).round().max(TENANTS as f64) as u64;
+    let shares: Vec<f64> = {
+        let raw: Vec<f64> = (1..=TENANTS).map(|r| 1.0 / (r as f64).powf(SKEW)).collect();
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|s| s / sum).collect()
+    };
+    let mut rates: Vec<u64> = shares
+        .iter()
+        .map(|s| (target_total as f64 * s).floor() as u64)
+        .collect();
+    let mut remainders: Vec<(f64, usize)> = shares
+        .iter()
+        .enumerate()
+        .map(|(i, s)| (target_total as f64 * s - rates[i] as f64, i))
+        .collect();
+    remainders.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("no NaN"));
+    let mut left = target_total.saturating_sub(rates.iter().sum::<u64>());
+    for (_, i) in remainders {
+        if left == 0 {
+            break;
+        }
+        rates[i] += 1;
+        left -= 1;
+    }
+    for r in &mut rates {
+        *r = (*r).max(1);
+    }
+    let provisioned_qps: u64 = rates.iter().sum();
+    let policies: Vec<AdmissionPolicy> = rates
+        .iter()
+        .map(|&r| AdmissionPolicy {
+            rate_per_sec: r as u32,
+            // Flat burst of 2 for every tenant: enough headroom to
+            // absorb a back-to-back query pair, small enough that the
+            // admitted stream stays token-paced. Rate-sized bursts let
+            // big tenants bank several tokens and fire them adjacently,
+            // which shows up directly in the platform-wide p99.
+            burst: 2,
+            max_concurrency: 16,
+            weight: r as u32,
+        })
+        .collect();
+
+    println!("\n## E-overload: admission control under open-loop overload");
+    println!(
+        "capacity {capacity_qps:.1} qps (mean service {mean_service_ms:.1} ms), \
+         provisioned {provisioned_qps} qps across {TENANTS} tenants (rates {rates:?})"
+    );
+
+    let run_cell = |factor: f64, ac: bool, flash: bool| -> OverloadCell {
+        let (platform, ids) =
+            overload_fleet_world(TENANTS, if ac { &policies } else { &[] }, false);
+        let mut config = TrafficConfig {
+            tenants: TENANTS,
+            sessions: grid_sessions,
+            tenant_skew: SKEW,
+            duration_ms: ((grid_sessions as f64 * QUERIES_PER_SESSION) / (factor * capacity_qps)
+                * 1000.0) as u64,
+            diurnal_amplitude: 0.35,
+            query_pool: pool.len(),
+            click_base: 0.0,
+            bursts: Vec::new(),
+            seed: 0xACE0 + (factor * 10.0) as u64,
+        };
+        // Second pass pins the offered rate: regenerate with the
+        // duration implied by the actual arrival count.
+        let probe = generate(&config).len();
+        config.duration_ms = (probe as f64 / (factor * capacity_qps) * 1000.0) as u64;
+        // Tenant-0 flash crowd across 10% of the run, in every grid
+        // cell (the unloaded baseline runs without it).
+        if flash {
+            config.bursts = vec![BurstWindow {
+                tenant: 0,
+                start_ms: config.duration_ms * 2 / 5,
+                end_ms: config.duration_ms / 2,
+                extra_sessions: grid_sessions / 16,
+            }];
+        }
+        let arrivals = generate(&config);
+        // Measure steady state: skip the first fifth (cold full buckets
+        // admit one free burst) and stop at the end of the offered
+        // window (think-time stragglers trail off past it).
+        let window = (config.duration_ms / 5, config.duration_ms);
+        let report = replay(&platform, &ids, &pool, &arrivals, false, Some(window));
+        let offered = report.tenants.iter().map(|t| t.offered).sum::<u64>();
+        let offered_qps = offered as f64 * 1000.0 / (window.1 - window.0).max(1) as f64;
+        if std::env::var("OVERLOAD_DEBUG").is_ok() {
+            let w_s = (window.1 - window.0) as f64 / 1000.0;
+            for (i, t) in report.tenants.iter().enumerate() {
+                eprintln!(
+                    "debug f={factor} ac={ac} tenant {i}: offered {:.2}/s served {:.2}/s shed {:.2}/s",
+                    t.offered as f64 / w_s,
+                    t.served as f64 / w_s,
+                    t.shed as f64 / w_s,
+                );
+            }
+        }
+        let latencies = report.all_latencies();
+        let nonburst: Vec<u32> = report.tenants[1..]
+            .iter()
+            .flat_map(|t| t.latencies.iter().copied())
+            .collect();
+        let offered0 = report.tenants[0].offered.max(1);
+        let rate_total: f64 = rates.iter().sum::<u64>() as f64;
+        let fairness_tv = 0.5
+            * report
+                .tenants
+                .iter()
+                .zip(&rates)
+                .map(|(t, r)| {
+                    (t.served as f64 / report.served.max(1) as f64 - *r as f64 / rate_total).abs()
+                })
+                .sum::<f64>();
+        OverloadCell {
+            factor,
+            ac,
+            offered_qps,
+            goodput_qps: report.goodput_qps(),
+            shed_rate: report.shed as f64 / (report.served + report.shed).max(1) as f64,
+            p50: percentile(&latencies, 0.50),
+            p99: percentile(&latencies, 0.99),
+            p999: percentile(&latencies, 0.999),
+            nonburst_p99: percentile(&nonburst, 0.99),
+            tenant0_shed_rate: report.tenants[0].shed as f64 / offered0 as f64,
+            fairness_tv,
+        }
+    };
+
+    // Unloaded SLO reference: half load, no flash crowd, no admission
+    // interference — the latency a correctly-provisioned tenant sees.
+    let unloaded = run_cell(0.5, false, false);
+    println!(
+        "unloaded baseline (0.5x offered, no flash crowd, AC off): \
+         p50 {} ms, p99 {} ms, p999 {} ms",
+        unloaded.p50, unloaded.p99, unloaded.p999,
+    );
+
+    let mut cells = Vec::new();
+    for &factor in &[0.5, 1.0, 2.0, 4.0, 10.0] {
+        for ac in [true, false] {
+            cells.push(run_cell(factor, ac, true));
+        }
+    }
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.1}x", c.factor),
+                if c.ac { "on" } else { "off" }.to_string(),
+                format!("{:.1}", c.offered_qps),
+                format!("{:.1}", c.goodput_qps),
+                format!("{:.1}%", c.shed_rate * 100.0),
+                c.p50.to_string(),
+                c.p99.to_string(),
+                c.p999.to_string(),
+                c.nonburst_p99.to_string(),
+                format!("{:.1}%", c.tenant0_shed_rate * 100.0),
+                format!("{:.3}", c.fairness_tv),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E-overload — SLO grid, {grid_sessions} sessions/cell, tenant-0 burst in every run"
+        ),
+        &[
+            "load", "AC", "offered", "goodput", "shed", "p50", "p99", "p999", "nb-p99", "t0-shed",
+            "fair-tv",
+        ],
+        &rows,
+    );
+
+    // Million-session scale cell: caches on, clicks on, generous
+    // admission — the harness itself at full width.
+    let (scale_platform, scale_ids) = overload_fleet_world(TENANTS, &[], true);
+    let scale_config = TrafficConfig {
+        tenants: TENANTS,
+        sessions: scale_sessions,
+        tenant_skew: SKEW,
+        duration_ms: ((scale_sessions as f64 * QUERIES_PER_SESSION) / 200.0 * 1000.0) as u64,
+        diurnal_amplitude: 0.35,
+        query_pool: pool.len(),
+        click_base: 0.3,
+        bursts: Vec::new(),
+        seed: 0x5CA1E,
+    };
+    let scale_arrivals = generate(&scale_config);
+    let wall = Instant::now();
+    let scale_report = replay(
+        &scale_platform,
+        &scale_ids,
+        &pool,
+        &scale_arrivals,
+        true,
+        None,
+    );
+    let wall_s = wall.elapsed().as_secs_f64().max(1e-9);
+    let scale_latencies = scale_report.all_latencies();
+    let scale_p99 = percentile(&scale_latencies, 0.99);
+    let replay_qps_wall = scale_arrivals.len() as f64 / wall_s;
+    println!(
+        "\nscale cell: {} sessions -> {} arrivals, {} served, {} clicks, \
+         p99 {scale_p99} ms virtual, replayed at {replay_qps_wall:.0} q/s wall ({wall_s:.1} s)",
+        scale_sessions,
+        scale_arrivals.len(),
+        scale_report.served,
+        scale_report.clicks,
+    );
+
+    let sessions_modeled = grid_sessions * (cells.len() + 1) + scale_sessions;
+    let on4 = cells
+        .iter()
+        .find(|c| c.factor == 4.0 && c.ac)
+        .expect("4x AC-on cell");
+    let off4 = cells
+        .iter()
+        .find(|c| c.factor == 4.0 && !c.ac)
+        .expect("4x AC-off cell");
+
+    let mut cells_json = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        cells_json.push_str(&format!(
+            "    {{ \"factor\": {}, \"ac\": {}, \"offered_qps\": {:.1}, \
+             \"goodput_qps\": {:.1}, \"shed_rate\": {:.3}, \"p50_ms\": {}, \
+             \"p99_ms\": {}, \"p999_ms\": {}, \"nonburst_p99_ms\": {}, \
+             \"tenant0_shed_rate\": {:.3}, \"fairness_tv\": {:.3} }}{}\n",
+            c.factor,
+            c.ac,
+            c.offered_qps,
+            c.goodput_qps,
+            c.shed_rate,
+            c.p50,
+            c.p99,
+            c.p999,
+            c.nonburst_p99,
+            c.tenant0_shed_rate,
+            c.fairness_tv,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e-overload\",\n",
+            "  \"capacity_qps\": {:.1},\n",
+            "  \"mean_service_ms\": {:.1},\n",
+            "  \"provisioned_qps\": {},\n",
+            "  \"tenant_rates_qps\": {:?},\n",
+            "  \"sessions_modeled\": {},\n",
+            "  \"grid_sessions_per_cell\": {},\n",
+            "  \"scale_sessions\": {},\n",
+            "  \"scale_arrivals\": {},\n",
+            "  \"scale_served\": {},\n",
+            "  \"scale_clicks\": {},\n",
+            "  \"scale_p99_ms\": {},\n",
+            "  \"scale_replay_qps_wall\": {:.0},\n",
+            "  \"unloaded_p99_ms\": {},\n",
+            "  \"cells\": [\n{}  ]\n",
+            "}}\n"
+        ),
+        capacity_qps,
+        mean_service_ms,
+        provisioned_qps,
+        rates,
+        sessions_modeled,
+        grid_sessions,
+        scale_sessions,
+        scale_arrivals.len(),
+        scale_report.served,
+        scale_report.clicks,
+        scale_p99,
+        replay_qps_wall,
+        unloaded.p99,
+        cells_json,
+    );
+    std::fs::write("BENCH_overload.json", &json).expect("write BENCH_overload.json");
+    println!("wrote BENCH_overload.json");
+
+    // The acceptance claims, enforced wherever the experiment runs
+    // (the CI smoke step relies on these panicking on regression).
+    assert!(
+        on4.nonburst_p99 <= 2 * unloaded.p99.max(1),
+        "4x overload with AC on must hold non-burst p99 within 2x of unloaded: \
+         {} ms vs unloaded {} ms",
+        on4.nonburst_p99,
+        unloaded.p99,
+    );
+    assert!(
+        on4.goodput_qps >= 0.8 * capacity_qps,
+        "4x overload with AC on must keep goodput >= 80% of capacity: \
+         {:.1} qps vs capacity {:.1} qps",
+        on4.goodput_qps,
+        capacity_qps,
+    );
+    assert!(
+        off4.p99 as f64 >= 5.0 * on4.p99.max(1) as f64,
+        "4x overload with AC off must collapse relative to AC on: \
+         p99 {} ms (off) vs {} ms (on)",
+        off4.p99,
+        on4.p99,
+    );
+    assert!(
+        on4.shed_rate > 0.5 && on4.tenant0_shed_rate > on4.shed_rate,
+        "4x overload must shed most traffic, the bursting tenant hardest: \
+         overall {:.2}, tenant 0 {:.2}",
+        on4.shed_rate,
+        on4.tenant0_shed_rate,
+    );
+    assert!(
+        scale_report.shed == 0 && scale_report.clicks > 0,
+        "scale cell must serve everything under generous admission and deliver clicks"
     );
 }

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod traffic;
+
 use symphony_core::app::AppBuilder;
 use symphony_core::hosting::Platform;
 use symphony_core::runtime::ExecMode;
@@ -390,6 +392,94 @@ pub fn shared_fleet_world(apps: usize, l2: bool) -> (Platform, Vec<AppId>) {
             )
             .supplemental("reviews", "{title} review")
             .supplemental("pricing", "{title}")
+            .build()
+            .expect("valid app");
+        let id = platform.register_app(config).expect("registers");
+        platform.publish(id).expect("publishes");
+        ids.push(id);
+    }
+    (platform, ids)
+}
+
+/// A fleet of identical apps for the overload experiment, one per
+/// tenant, each with its own [`symphony_core::AdmissionPolicy`]
+/// (index-matched to `policies`; pass an empty slice for all-unlimited
+/// — the AC-off ablation).
+///
+/// Interaction logging is OFF (millions of modeled sessions must not
+/// accumulate an event log), and when `caches` is false both response
+/// caches are disabled so every admitted query exercises the execute
+/// path — the regime where admission control is load-bearing. With
+/// `caches` on, the world measures harness throughput instead.
+pub fn overload_fleet_world(
+    tenants: usize,
+    policies: &[symphony_core::AdmissionPolicy],
+    caches: bool,
+) -> (Platform, Vec<AppId>) {
+    let mut platform = Platform::new(SearchEngine::new(corpus(Scale::Small))).with_quotas(
+        symphony_core::QuotaConfig {
+            requests_per_minute: u32::MAX,
+            cache_ttl_ms: if caches {
+                symphony_core::QuotaConfig::default().cache_ttl_ms
+            } else {
+                0
+            },
+            ..symphony_core::QuotaConfig::default()
+        },
+    );
+    if !caches {
+        platform = platform.with_source_cache(symphony_core::SourceCacheConfig::disabled());
+    }
+    platform.transport_mut().register(
+        "pricing",
+        Box::new(PricingService),
+        LatencyModel {
+            base_ms: 40,
+            jitter_ms: 20,
+            failure_rate: 0.0,
+        },
+    );
+    let mut ids = Vec::new();
+    for i in 0..tenants {
+        let (tenant, key) = platform.create_tenant(&format!("Tenant{i}"));
+        let (table, _) = ingest("inventory", INVENTORY_CSV, DataFormat::Csv).expect("csv parses");
+        let mut indexed = IndexedTable::new(table);
+        indexed
+            .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
+            .expect("columns exist");
+        platform.upload_table(tenant, &key, indexed).expect("quota");
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        let item = Element::column(vec![
+            Element::text("{title}"),
+            Element::result_list("pricing", Element::text("${price}"), 1),
+        ]);
+        canvas
+            .insert(root, Element::result_list("inventory", item, 5))
+            .expect("root");
+        let config = AppBuilder::new(&format!("App{i}"), tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .source(
+                "pricing",
+                DataSourceDef::Service {
+                    endpoint: "pricing".into(),
+                    operation: "/price".into(),
+                    item_param: "item".into(),
+                    policy: CallPolicy::default(),
+                },
+            )
+            .supplemental("pricing", "{title}")
+            .monetization(symphony_core::MonetizationConfig {
+                log_interactions: false,
+                publisher: String::new(),
+            })
+            .admission(policies.get(i).copied().unwrap_or_default())
             .build()
             .expect("valid app");
         let id = platform.register_app(config).expect("registers");

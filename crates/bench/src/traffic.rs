@@ -1,0 +1,392 @@
+//! Open-loop traffic generation and replay for the overload harness.
+//!
+//! The generator models customer *sessions* — a tenant choice (Zipf
+//! popularity), a handful of queries spaced by think time, and
+//! position-biased clicks — and lays their arrivals on the virtual
+//! clock with a compressed diurnal density plus optional burst
+//! windows. Arrivals are open-loop: they carry timestamps fixed at
+//! generation time, so a saturated platform cannot slow the offered
+//! load down — exactly the regime where admission control must step
+//! in (closed-loop harnesses self-throttle and hide overload).
+//!
+//! Replay drives a single-server queue on the platform's virtual
+//! clock: the clock is the server's completion time, an arrival in
+//! the future idles the server forward, and an arrival in the past
+//! has been waiting since its timestamp. Reported latency is
+//! `wait + service`, so queue collapse shows up as unbounded p99s
+//! rather than as a quietly stretched run.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use symphony_core::hosting::Platform;
+use symphony_core::AppId;
+
+/// A burst window: extra sessions for one tenant inside a slice of the
+/// run (a flash crowd, a misbehaving integration, a retry storm).
+#[derive(Debug, Clone, Copy)]
+pub struct BurstWindow {
+    /// Which tenant bursts.
+    pub tenant: usize,
+    /// Window start, virtual ms.
+    pub start_ms: u64,
+    /// Window end, virtual ms.
+    pub end_ms: u64,
+    /// Extra sessions injected inside the window, on top of the
+    /// tenant's organic share.
+    pub extra_sessions: usize,
+}
+
+/// Traffic-shape configuration for [`generate`].
+#[derive(Debug, Clone)]
+pub struct TrafficConfig {
+    /// Number of tenants (apps) receiving traffic.
+    pub tenants: usize,
+    /// Sessions to model (each contributes 1–4 query arrivals).
+    pub sessions: usize,
+    /// Zipf skew of tenant popularity (0 = uniform).
+    pub tenant_skew: f64,
+    /// Virtual span the organic sessions start within.
+    pub duration_ms: u64,
+    /// Diurnal amplitude in `[0, 1)`: arrival density follows
+    /// `1 + a·sin(2π·t/duration)` — one compressed day per run.
+    pub diurnal_amplitude: f64,
+    /// Distinct query texts in the pool (Zipf-skewed popularity).
+    pub query_pool: usize,
+    /// Click probability at position 0; position `p` clicks with
+    /// probability `click_base / (p + 1)`.
+    pub click_base: f64,
+    /// Burst windows to overlay.
+    pub bursts: Vec<BurstWindow>,
+    /// Generator seed (same seed → identical arrival vector).
+    pub seed: u64,
+}
+
+impl Default for TrafficConfig {
+    fn default() -> Self {
+        TrafficConfig {
+            tenants: 6,
+            sessions: 10_000,
+            tenant_skew: 0.8,
+            duration_ms: 600_000,
+            diurnal_amplitude: 0.3,
+            query_pool: 40,
+            click_base: 0.3,
+            bursts: Vec::new(),
+            seed: 0xBEEF,
+        }
+    }
+}
+
+/// One query arrival, compact enough to hold millions in memory:
+/// 16 bytes each, with the query as an index into the shared pool and
+/// the session's clicks as a position bitmask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Arrival {
+    /// Arrival timestamp on the virtual clock.
+    pub at_ms: u64,
+    /// Tenant (index into the replayed app list).
+    pub tenant: u16,
+    /// Query index into the pool.
+    pub query: u16,
+    /// Bit `p` set = the session clicks the impression at position `p`
+    /// (applied only if the response actually renders that position).
+    pub clicks: u8,
+}
+
+/// Generate the open-loop arrival schedule: deterministic in the seed,
+/// sorted by arrival time.
+pub fn generate(config: &TrafficConfig) -> Vec<Arrival> {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let tenant_zipf = symphony_web::zipf::Zipf::new(config.tenants.max(1), config.tenant_skew);
+    let query_zipf = symphony_web::zipf::Zipf::new(config.query_pool.max(1), 1.0);
+    let mut arrivals = Vec::with_capacity(config.sessions * 2);
+    let session = |rng: &mut StdRng, tenant: usize, start: u64, arrivals: &mut Vec<Arrival>| {
+        let queries = 1 + rng.gen_range(0..4).min(rng.gen_range(0..4)); // mean ≈ 2
+        let mut at = start;
+        let mut clicks = 0u8;
+        for p in 0..8 {
+            if rng.gen_bool(config.click_base / (p as f64 + 1.0)) {
+                clicks |= 1 << p;
+            }
+        }
+        for _ in 0..queries {
+            arrivals.push(Arrival {
+                at_ms: at,
+                tenant: tenant as u16,
+                query: query_zipf.sample(rng) as u16,
+                clicks,
+            });
+            at += rng.gen_range(800..3_000); // think time
+        }
+    };
+    // Organic sessions: diurnal start times by rejection sampling.
+    for _ in 0..config.sessions {
+        let tenant = tenant_zipf.sample(&mut rng);
+        let start = loop {
+            let t = rng.gen_range(0..config.duration_ms.max(1));
+            let phase = t as f64 / config.duration_ms.max(1) as f64;
+            let density = 1.0 + config.diurnal_amplitude * (phase * std::f64::consts::TAU).sin();
+            if rng.gen_bool((density / (1.0 + config.diurnal_amplitude)).clamp(0.0, 1.0)) {
+                break t;
+            }
+        };
+        session(&mut rng, tenant, start, &mut arrivals);
+    }
+    // Burst overlays: uniform inside their windows.
+    for burst in &config.bursts {
+        for _ in 0..burst.extra_sessions {
+            let start = rng.gen_range(burst.start_ms..burst.end_ms.max(burst.start_ms + 1));
+            session(&mut rng, burst.tenant, start, &mut arrivals);
+        }
+    }
+    arrivals.sort_by_key(|a| a.at_ms);
+    arrivals
+}
+
+/// Per-tenant replay outcome.
+#[derive(Debug, Clone, Default)]
+pub struct TenantOutcome {
+    /// Queries offered (arrivals replayed).
+    pub offered: u64,
+    /// Queries served for real (includes degraded, excludes shed).
+    pub served: u64,
+    /// Queries shed by admission control.
+    pub shed: u64,
+    /// End-to-end latency (queue wait + service) of each served query,
+    /// virtual ms.
+    pub latencies: Vec<u32>,
+}
+
+/// Aggregate replay outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ReplayReport {
+    /// Per-tenant breakdown, indexed like the replayed app list.
+    pub tenants: Vec<TenantOutcome>,
+    /// Total queries served for real.
+    pub served: u64,
+    /// Total queries shed.
+    pub shed: u64,
+    /// Served queries whose response was degraded.
+    pub degraded: u64,
+    /// Clicks delivered back to the platform.
+    pub clicks: u64,
+    /// Virtual span of the replay (first arrival → last completion).
+    pub span_ms: u64,
+}
+
+impl ReplayReport {
+    /// Served queries per virtual second — the goodput the SLO
+    /// assertions compare against capacity.
+    pub fn goodput_qps(&self) -> f64 {
+        if self.span_ms == 0 {
+            return 0.0;
+        }
+        self.served as f64 * 1000.0 / self.span_ms as f64
+    }
+
+    /// All served latencies pooled (for whole-run percentiles).
+    pub fn all_latencies(&self) -> Vec<u32> {
+        let mut out = Vec::with_capacity(self.served as usize);
+        for t in &self.tenants {
+            out.extend_from_slice(&t.latencies);
+        }
+        out
+    }
+}
+
+/// Replay an arrival schedule against a platform under single-server
+/// open-loop queue semantics (see the module docs). `clicks = true`
+/// delivers each session's position-biased clicks for served
+/// responses.
+///
+/// `window` optionally restricts *measurement* to arrivals stamped in
+/// `[start, end)`: everything is still replayed (so buckets, caches,
+/// and the queue stay warm), but arrivals outside the window update no
+/// counters and deliver no clicks, and the reported span is the window
+/// itself. This is how the overload experiment excludes the cold-start
+/// transient (full buckets admit one burst for free) and the
+/// think-time straggler tail.
+pub fn replay(
+    platform: &Platform,
+    apps: &[AppId],
+    queries: &[String],
+    arrivals: &[Arrival],
+    clicks: bool,
+    window: Option<(u64, u64)>,
+) -> ReplayReport {
+    let mut report = ReplayReport {
+        tenants: vec![TenantOutcome::default(); apps.len()],
+        ..ReplayReport::default()
+    };
+    let started = arrivals.first().map_or(0, |a| a.at_ms);
+    for a in arrivals {
+        let tenant = a.tenant as usize % apps.len().max(1);
+        let query = &queries[a.query as usize % queries.len().max(1)];
+        let now = platform.clock_ms();
+        let wait = if now < a.at_ms {
+            // Server idle: jump to the arrival instant.
+            platform.advance_clock(a.at_ms - now);
+            0
+        } else {
+            now - a.at_ms
+        };
+        let resp = platform.query(apps[tenant], query).expect("replay query");
+        if let Some((from, until)) = window {
+            if a.at_ms < from || a.at_ms >= until {
+                continue;
+            }
+        }
+        let out = &mut report.tenants[tenant];
+        out.offered += 1;
+        if resp.trace.shed {
+            out.shed += 1;
+            report.shed += 1;
+            continue;
+        }
+        out.served += 1;
+        report.served += 1;
+        if resp.trace.degraded {
+            report.degraded += 1;
+        }
+        out.latencies
+            .push((wait + resp.virtual_ms as u64).min(u32::MAX as u64) as u32);
+        if clicks && a.clicks != 0 && !resp.impressions.is_empty() {
+            for p in 0..8usize {
+                if a.clicks & (1 << p) != 0
+                    && p < resp.impressions.len()
+                    && platform
+                        .click(apps[tenant], query, &resp.impressions[p])
+                        .is_ok()
+                {
+                    report.clicks += 1;
+                }
+            }
+        }
+    }
+    report.span_ms = match window {
+        Some((from, until)) => until.saturating_sub(from),
+        None => platform.clock_ms().saturating_sub(started),
+    };
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let config = TrafficConfig {
+            sessions: 500,
+            ..TrafficConfig::default()
+        };
+        assert_eq!(generate(&config), generate(&config));
+        let other = TrafficConfig {
+            seed: 1,
+            ..config.clone()
+        };
+        assert_ne!(generate(&config), generate(&other));
+    }
+
+    #[test]
+    fn arrivals_are_sorted_and_sessions_average_about_two_queries() {
+        let config = TrafficConfig {
+            sessions: 2_000,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&config);
+        assert!(arrivals.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let per_session = arrivals.len() as f64 / config.sessions as f64;
+        assert!(
+            (1.2..=2.8).contains(&per_session),
+            "queries per session: {per_session}"
+        );
+    }
+
+    #[test]
+    fn tenant_popularity_is_zipf_skewed() {
+        let config = TrafficConfig {
+            sessions: 4_000,
+            tenant_skew: 1.0,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&config);
+        let mut counts = vec![0u64; config.tenants];
+        for a in &arrivals {
+            counts[a.tenant as usize] += 1;
+        }
+        assert!(
+            counts[0] > counts[config.tenants - 1] * 2,
+            "head tenant should dominate: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn burst_window_adds_arrivals_only_inside_the_window() {
+        let base = TrafficConfig {
+            sessions: 1_000,
+            ..TrafficConfig::default()
+        };
+        let mut bursty = base.clone();
+        bursty.bursts = vec![BurstWindow {
+            tenant: 2,
+            start_ms: 100_000,
+            end_ms: 200_000,
+            extra_sessions: 2_000,
+        }];
+        let plain = generate(&base);
+        let with_burst = generate(&bursty);
+        assert!(with_burst.len() > plain.len());
+        // Every extra tenant-2 arrival starts in (or trails a session
+        // started in) the window; starts before it are impossible.
+        let early = with_burst
+            .iter()
+            .filter(|a| a.tenant == 2 && a.at_ms < 100_000)
+            .count();
+        let plain_early = plain
+            .iter()
+            .filter(|a| a.tenant == 2 && a.at_ms < 100_000)
+            .count();
+        assert_eq!(early, plain_early, "burst leaked before its window");
+        let in_window = with_burst
+            .iter()
+            .filter(|a| a.tenant == 2 && (100_000..200_000).contains(&a.at_ms))
+            .count();
+        assert!(in_window >= 2_000, "burst arrivals missing: {in_window}");
+    }
+
+    #[test]
+    fn clicks_are_position_biased() {
+        let config = TrafficConfig {
+            sessions: 5_000,
+            click_base: 0.5,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&config);
+        let pos0 = arrivals.iter().filter(|a| a.clicks & 1 != 0).count();
+        let pos3 = arrivals.iter().filter(|a| a.clicks & (1 << 3) != 0).count();
+        assert!(
+            pos0 > pos3 * 2,
+            "position 0 should far out-click position 3: {pos0} vs {pos3}"
+        );
+    }
+
+    #[test]
+    fn diurnal_density_peaks_in_the_first_half() {
+        // sin() is positive over the first half-cycle: with a strong
+        // amplitude, clearly more sessions start there.
+        let config = TrafficConfig {
+            sessions: 4_000,
+            diurnal_amplitude: 0.9,
+            ..TrafficConfig::default()
+        };
+        let arrivals = generate(&config);
+        let half = config.duration_ms / 2;
+        let first = arrivals.iter().filter(|a| a.at_ms < half).count();
+        let second = arrivals.len() - first;
+        assert!(
+            first as f64 > second as f64 * 1.3,
+            "diurnal peak missing: {first} vs {second}"
+        );
+    }
+}

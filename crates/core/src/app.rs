@@ -71,6 +71,50 @@ impl ResiliencePolicy {
     }
 }
 
+/// Per-tenant admission limits, enforced by the hosting layer before
+/// any query work begins. Where [`ResiliencePolicy`] protects a query
+/// against *downstream* failure, this protects the platform against
+/// *upstream* overload: requests beyond the bucket rate or concurrency
+/// cap are shed with a cheap degraded response instead of executing.
+/// All rates are on the virtual clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Sustained admission rate in queries per virtual second
+    /// (`u32::MAX` = unlimited; the token bucket never refuses).
+    pub rate_per_sec: u32,
+    /// Burst capacity in queries: how far above the sustained rate a
+    /// short spike may go before shedding starts. Must be at least 1
+    /// when a rate is configured.
+    pub burst: u32,
+    /// Maximum queries of this app concurrently in execution
+    /// (`u32::MAX` = unlimited). Cache hits do not count: they consume
+    /// no execution resources.
+    pub max_concurrency: u32,
+    /// Weighted-fair-scheduling weight for this tenant's share of the
+    /// platform's fan-out worker pool (must be at least 1).
+    pub weight: u32,
+}
+
+impl Default for AdmissionPolicy {
+    /// Unlimited: the pre-admission-control behaviour.
+    fn default() -> Self {
+        AdmissionPolicy {
+            rate_per_sec: u32::MAX,
+            burst: u32::MAX,
+            max_concurrency: u32::MAX,
+            weight: 1,
+        }
+    }
+}
+
+impl AdmissionPolicy {
+    /// True when no admission limit is configured (weight is advisory
+    /// and does not count: it only shapes worker-pool shares).
+    pub fn is_unlimited(&self) -> bool {
+        self.rate_per_sec == u32::MAX && self.max_concurrency == u32::MAX
+    }
+}
+
 /// Monetization settings (paper: voluntary, revenue-shared).
 #[derive(Debug, Clone)]
 pub struct MonetizationConfig {
@@ -113,6 +157,8 @@ pub struct ApplicationConfig {
     pub monetization: MonetizationConfig,
     /// Per-query deadline / budget / retry limits.
     pub resilience: ResiliencePolicy,
+    /// Per-tenant admission rate / concurrency / scheduling weight.
+    pub admission: AdmissionPolicy,
 }
 
 impl ApplicationConfig {
@@ -237,6 +283,23 @@ impl ApplicationConfig {
                 self.resilience.query_deadline_ms, fixed
             )));
         }
+        if self.admission.weight == 0 {
+            return Err(PlatformError::InvalidConfig(
+                "admission weight must be at least 1".into(),
+            ));
+        }
+        if self.admission.max_concurrency == 0 {
+            return Err(PlatformError::InvalidConfig(
+                "admission concurrency cap of 0 would shed every query".into(),
+            ));
+        }
+        if self.admission.rate_per_sec != u32::MAX
+            && (self.admission.rate_per_sec == 0 || self.admission.burst == 0)
+        {
+            return Err(PlatformError::InvalidConfig(
+                "admission rate limiting needs a positive rate and burst".into(),
+            ));
+        }
         Ok(())
     }
 }
@@ -264,6 +327,7 @@ impl AppBuilder {
                     publisher: name.to_string(),
                 },
                 resilience: ResiliencePolicy::default(),
+                admission: AdmissionPolicy::default(),
             },
         }
     }
@@ -313,6 +377,12 @@ impl AppBuilder {
     /// Set the per-query resilience limits.
     pub fn resilience(mut self, policy: ResiliencePolicy) -> AppBuilder {
         self.config.resilience = policy;
+        self
+    }
+
+    /// Set the per-tenant admission limits.
+    pub fn admission(mut self, policy: AdmissionPolicy) -> AppBuilder {
+        self.config.admission = policy;
         self
     }
 
@@ -493,6 +563,50 @@ mod tests {
         // The default is unlimited and always valid.
         let def = builder(layout_with("inventory", None)).build().unwrap();
         assert!(def.resilience.is_unlimited());
+    }
+
+    #[test]
+    fn admission_policy_validates() {
+        // Defaults are unlimited and always valid.
+        let def = builder(layout_with("inventory", None)).build().unwrap();
+        assert!(def.admission.is_unlimited());
+        // A rate-limited policy must have positive rate and burst.
+        for bad in [
+            AdmissionPolicy {
+                rate_per_sec: 10,
+                burst: 0,
+                ..AdmissionPolicy::default()
+            },
+            AdmissionPolicy {
+                rate_per_sec: 0,
+                burst: 5,
+                ..AdmissionPolicy::default()
+            },
+            AdmissionPolicy {
+                weight: 0,
+                ..AdmissionPolicy::default()
+            },
+            AdmissionPolicy {
+                max_concurrency: 0,
+                ..AdmissionPolicy::default()
+            },
+        ] {
+            let err = builder(layout_with("inventory", None))
+                .admission(bad)
+                .build()
+                .unwrap_err();
+            assert!(matches!(err, PlatformError::InvalidConfig(_)), "{bad:?}");
+        }
+        let ok = builder(layout_with("inventory", None))
+            .admission(AdmissionPolicy {
+                rate_per_sec: 50,
+                burst: 10,
+                max_concurrency: 4,
+                weight: 2,
+            })
+            .build()
+            .unwrap();
+        assert!(!ok.admission.is_unlimited());
     }
 
     #[test]

@@ -25,18 +25,19 @@
 //! is one coarse [`Mutex`] (append-only), ad billing synchronizes
 //! inside [`AdServer`], and the virtual clock is an [`AtomicU64`].
 
+use crate::admission::{FanoutScheduler, Lane, TokenBucket};
 use crate::app::{AppId, ApplicationConfig};
 use crate::cache::{CacheStats, LruTtlCache};
 use crate::embed::{embed_snippet, SocialManifest};
 use crate::error::PlatformError;
 use crate::monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
-use crate::runtime::{execute_resilient, ExecCtx, ExecMode, QueryResponse};
+use crate::runtime::{execute_resilient, shed_response, ExecCtx, ExecMode, QueryResponse};
 use crate::source::Substrates;
 use crate::source_cache::{normalize_query, SourceCache, SourceCacheConfig, SourceCacheStats};
 
 use parking_lot::Mutex;
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 use std::sync::Arc;
 use symphony_ads::{AdServer, CampaignId, Placement};
 use symphony_store::{AccessKey, IndexedTable, Store, TenantId};
@@ -81,6 +82,10 @@ pub struct MaintenanceSummary {
     pub merges: usize,
     /// Tombstoned documents physically purged from posting lists.
     pub purged_docs: usize,
+    /// Expired entries swept out of the per-app L1 response caches.
+    pub purged_responses: usize,
+    /// Expired entries swept out of the shared L2 source cache.
+    pub purged_sources: usize,
 }
 
 struct HostedApp {
@@ -95,10 +100,40 @@ struct HostedApp {
     cache: Mutex<LruTtlCache<String, Arc<QueryResponse>>>,
     /// Request timestamps inside the current quota window.
     metering: Mutex<VecDeque<u64>>,
-    /// Queries served (cache hits included).
+    /// Queries served (cache hits and shed queries included).
     queries: AtomicU64,
     /// Queries whose response was degraded (some source slot errored).
+    /// Disjoint from `shed_queries`.
     degraded_queries: AtomicU64,
+    /// Queries shed by admission control before execution.
+    shed_queries: AtomicU64,
+    /// Admission token bucket, refilled on the virtual clock.
+    bucket: Mutex<TokenBucket>,
+    /// Queries of this app currently in execution (cache hits and shed
+    /// responses never count: they consume no execution resources).
+    inflight: AtomicU32,
+}
+
+/// RAII in-execution marker: holds one slot of an app's concurrency
+/// cap, released on drop (panic-safe).
+struct InflightSlot<'a>(&'a AtomicU32);
+
+impl<'a> InflightSlot<'a> {
+    /// Atomically claim a slot if fewer than `max` are taken.
+    fn try_enter(counter: &'a AtomicU32, max: u32) -> Option<InflightSlot<'a>> {
+        counter
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |c| {
+                (c < max).then_some(c + 1)
+            })
+            .ok()
+            .map(|_| InflightSlot(counter))
+    }
+}
+
+impl Drop for InflightSlot<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// The Symphony platform: substrates + hosted applications.
@@ -118,6 +153,10 @@ pub struct Platform {
     /// Platform-wide L2 source-result cache, shared by every hosted
     /// app (lock-sharded internally; singleflight + TinyLFU).
     source_cache: SourceCache,
+    /// Platform-wide fan-out worker-permit pool: concurrent queries
+    /// share [`crate::runtime::MAX_FANOUT_WORKERS`] OS threads in
+    /// weighted fair shares.
+    scheduler: FanoutScheduler,
     clock_ms: AtomicU64,
     quotas: QuotaConfig,
     mode: ExecMode,
@@ -155,6 +194,7 @@ impl Platform {
                 symphony_services::BreakerConfig::default(),
             ),
             source_cache: SourceCache::new(SourceCacheConfig::default()),
+            scheduler: FanoutScheduler::new(crate::runtime::MAX_FANOUT_WORKERS),
             clock_ms: AtomicU64::new(0),
             quotas: QuotaConfig::default(),
             mode: ExecMode::Parallel,
@@ -248,6 +288,12 @@ impl Platform {
         &self.breakers
     }
 
+    /// The shared fan-out worker pool (fairness readouts: lifetime
+    /// grants per tenant, outstanding permits per lane).
+    pub fn scheduler(&self) -> &FanoutScheduler {
+        &self.scheduler
+    }
+
     /// Breaker state for one endpoint at the current virtual time.
     pub fn breaker_state(&self, endpoint: &str) -> symphony_services::BreakerState {
         self.breakers
@@ -314,7 +360,16 @@ impl Platform {
         if n == 0 {
             return 0;
         }
-        let workers = crate::runtime::MAX_FANOUT_WORKERS.min(n);
+        // Warmup is background work: take its worker budget from the
+        // background lane so it can never displace interactive queries
+        // mid-flight.
+        let grant = self.scheduler.acquire(
+            u64::MAX,
+            1,
+            crate::runtime::MAX_FANOUT_WORKERS.min(n),
+            Lane::Background,
+        );
+        let workers = grant.workers();
         let chunk = n.div_ceil(workers);
         std::thread::scope(|s| {
             let mut rest = tables;
@@ -364,6 +419,13 @@ impl Platform {
             summary.merges += r.merged_segments;
             summary.purged_docs += r.purged_docs;
         }
+        // Eager cache sweeps ride the same tick: expired L1 response
+        // entries and L2 source outcomes are reclaimed here instead of
+        // lingering until a lookup happens to land on them.
+        for app in &mut self.apps {
+            summary.purged_responses += app.cache.get_mut().purge_expired(now);
+        }
+        summary.purged_sources += self.source_cache.purge_expired(now);
         summary
     }
 
@@ -373,6 +435,7 @@ impl Platform {
     pub fn register_app(&mut self, config: ApplicationConfig) -> Result<AppId, PlatformError> {
         config.validate()?;
         let id = AppId(self.apps.len() as u32);
+        let admission = config.admission;
         self.apps.push(HostedApp {
             config,
             published: false,
@@ -383,6 +446,13 @@ impl Platform {
             metering: Mutex::new(VecDeque::new()),
             queries: AtomicU64::new(0),
             degraded_queries: AtomicU64::new(0),
+            shed_queries: AtomicU64::new(0),
+            bucket: Mutex::new(TokenBucket::new(
+                admission.rate_per_sec,
+                admission.burst,
+                self.clock_ms.load(Ordering::SeqCst),
+            )),
+            inflight: AtomicU32::new(0),
         });
         Ok(id)
     }
@@ -582,7 +652,7 @@ impl Platform {
             // (cache_hit, flat CACHE_HIT_MS timing): serving it is a
             // pointer clone, not a deep response copy.
             hosted.queries.fetch_add(1, Ordering::Relaxed);
-            if resp.trace.degraded {
+            if resp.trace.degraded && !resp.trace.shed {
                 hosted.degraded_queries.fetch_add(1, Ordering::Relaxed);
             }
             let at = self.advance_clock_by(CACHE_HIT_MS as u64);
@@ -591,6 +661,27 @@ impl Platform {
             }
             return Ok(resp);
         }
+
+        // Admission control (tentpole: per-tenant overload protection).
+        // Checked only on the execute path — cache hits above consume
+        // no execution resources and are never shed. Order: claim a
+        // concurrency slot first (a refused slot consumes no token),
+        // then a bucket token; refusal on either sheds the query with
+        // the cheap degraded shell instead of queuing it.
+        let admission = hosted.config.admission;
+        let _inflight = if admission.is_unlimited() {
+            None
+        } else {
+            let Some(slot) = InflightSlot::try_enter(&hosted.inflight, admission.max_concurrency)
+            else {
+                return Ok(self.shed(hosted, query, "concurrency cap reached"));
+            };
+            if !hosted.bucket.lock().try_acquire(now) {
+                drop(slot);
+                return Ok(self.shed(hosted, query, "rate limit exceeded"));
+            }
+            Some(slot)
+        };
 
         // Cache miss: execute without holding the cache lock, so a
         // slow source never blocks this app's cache hits. Concurrent
@@ -613,6 +704,8 @@ impl Platform {
                 now_ms: now,
                 breakers: Some(&self.breakers),
                 source_cache: Some(&self.source_cache),
+                scheduler: Some(&self.scheduler),
+                lane: Lane::Interactive,
             },
         );
         hosted.queries.fetch_add(1, Ordering::Relaxed);
@@ -641,11 +734,35 @@ impl Platform {
         } else {
             self.quotas.cache_ttl_ms
         };
-        hosted
-            .cache
-            .lock()
-            .put_with_ttl(cache_key, Arc::new(hit), at, ttl);
+        // Zero TTL means the response cache is disabled — skip the
+        // insert entirely. A ttl-0 entry would still be servable at the
+        // clock millisecond it was inserted (expiry is strict `>`), and
+        // because shed queries do not advance the clock, a burst of
+        // queued arrivals can process at that frozen instant and ride
+        // the entry past admission control.
+        if ttl > 0 {
+            hosted
+                .cache
+                .lock()
+                .put_with_ttl(cache_key, Arc::new(hit), at, ttl);
+        }
         Ok(Arc::new(resp))
+    }
+
+    /// Shed one query: account it and hand back the degraded shell
+    /// without touching the serving clock. Never cached, never logged
+    /// as impressions (a shed response renders none), never counted as
+    /// degraded (the rates stay disjoint).
+    fn shed(&self, hosted: &HostedApp, query: &str, reason: &str) -> Arc<QueryResponse> {
+        let resp = shed_response(&hosted.config, query, reason);
+        hosted.queries.fetch_add(1, Ordering::Relaxed);
+        hosted.shed_queries.fetch_add(1, Ordering::Relaxed);
+        // Deliberately no clock advance: admission refuses work at the
+        // front door, *before* it occupies the serving path, so a shed
+        // consumes none of the platform's serving capacity. The
+        // response still reports `SHED_MS` as the client-visible
+        // latency of the rejection itself.
+        Arc::new(resp)
     }
 
     /// Advance the virtual clock by `ms`, returning the new time.
@@ -718,6 +835,7 @@ impl Platform {
         let mut summary = self.click_log.lock().summarize(&app.config.name);
         summary.queries = app.queries.load(Ordering::Relaxed);
         summary.degraded_queries = app.degraded_queries.load(Ordering::Relaxed);
+        summary.shed_queries = app.shed_queries.load(Ordering::Relaxed);
         Ok(summary)
     }
 
@@ -1169,6 +1287,153 @@ mod tests {
         assert!(p.engine_mut().is_none());
         drop(shared);
         assert!(p.engine_mut().is_some());
+    }
+
+    fn register_rate_limited(
+        platform: &mut Platform,
+        tenant: TenantId,
+        rate: u32,
+        burst: u32,
+    ) -> AppId {
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        canvas
+            .insert(
+                root,
+                Element::result_list("inventory", Element::text("{title}"), 10),
+            )
+            .unwrap();
+        let config = AppBuilder::new("Limited", tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .admission(crate::app::AdmissionPolicy {
+                rate_per_sec: rate,
+                burst,
+                max_concurrency: u32::MAX,
+                weight: 1,
+            })
+            .build()
+            .unwrap();
+        platform.register_app(config).unwrap()
+    }
+
+    #[test]
+    fn over_rate_queries_are_shed_with_the_degraded_shell() {
+        let (mut p, tenant, _) = platform();
+        let id = register_rate_limited(&mut p, tenant, 1, 2);
+        p.publish(id).unwrap();
+        // Burst of 2 admits; distinct queries defeat the L1 cache.
+        assert!(!p.query(id, "shooter one").unwrap().trace.shed);
+        assert!(!p.query(id, "shooter two").unwrap().trace.shed);
+        // The two executions advanced the clock well under a second at
+        // 1 token/s the bucket is still empty: the third is shed.
+        let clock_before = p.clock_ms();
+        let shed = p.query(id, "shooter three").unwrap();
+        assert!(shed.trace.shed);
+        assert!(shed.trace.degraded);
+        assert_eq!(shed.trace.error_count, 0);
+        assert_eq!(shed.virtual_ms, crate::runtime::SHED_MS);
+        // Front-door rejection: the serving clock never saw the query.
+        assert_eq!(p.clock_ms(), clock_before);
+        assert!(shed.impressions.is_empty());
+        assert!(shed.trace.render().contains("shed"));
+        // Shed responses are never cached: after the bucket refills,
+        // the same query executes for real.
+        p.advance_clock(2_000);
+        let again = p.query(id, "shooter three").unwrap();
+        assert!(!again.trace.shed);
+        assert!(!again.trace.cache_hit);
+        // Counters: disjoint shed vs degraded, both rates defined.
+        let s = p.traffic_summary(id).unwrap();
+        assert_eq!(s.queries, 4);
+        assert_eq!(s.shed_queries, 1);
+        assert_eq!(s.degraded_queries, 0);
+        assert!((s.shed_rate() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_hits_bypass_admission() {
+        let (mut p, tenant, _) = platform();
+        let id = register_rate_limited(&mut p, tenant, 1, 1);
+        p.publish(id).unwrap();
+        assert!(!p.query(id, "shooter").unwrap().trace.shed);
+        // The bucket is empty, but repeats are L1 hits — admission
+        // never sees them and nothing is shed.
+        for _ in 0..5 {
+            let r = p.query(id, "shooter").unwrap();
+            assert!(r.trace.cache_hit);
+            assert!(!r.trace.shed);
+        }
+        assert_eq!(p.traffic_summary(id).unwrap().shed_queries, 0);
+    }
+
+    #[test]
+    fn concurrency_cap_sheds_and_releases() {
+        let (mut p, tenant, _) = platform();
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        canvas
+            .insert(
+                root,
+                Element::result_list("inventory", Element::text("{title}"), 10),
+            )
+            .unwrap();
+        let config = AppBuilder::new("Capped", tenant)
+            .layout(canvas)
+            .source(
+                "inventory",
+                DataSourceDef::Proprietary {
+                    table: "inventory".into(),
+                },
+            )
+            .admission(crate::app::AdmissionPolicy {
+                max_concurrency: 1,
+                ..crate::app::AdmissionPolicy::default()
+            })
+            .build()
+            .unwrap();
+        let id = p.register_app(config).unwrap();
+        p.publish(id).unwrap();
+        // Queries here are sequential, so the single slot is always
+        // free again by the next call: nothing is shed, and the slot
+        // count returns to zero (the RAII guard released it).
+        for i in 0..4 {
+            assert!(!p.query(id, &format!("shooter {i}")).unwrap().trace.shed);
+        }
+        assert_eq!(p.traffic_summary(id).unwrap().shed_queries, 0);
+        // Saturate the slot by hand and the next query sheds.
+        let hosted = &p.apps[id.0 as usize];
+        let held = InflightSlot::try_enter(&hosted.inflight, 1).unwrap();
+        assert!(p.query(id, "while full").unwrap().trace.shed);
+        drop(held);
+        assert!(!p.query(id, "after release").unwrap().trace.shed);
+    }
+
+    #[test]
+    fn maintenance_tick_sweeps_expired_caches() {
+        let (mut p, tenant, _) = platform();
+        let id = register_gamer_queen(&mut p, tenant);
+        p.publish(id).unwrap();
+        p.query(id, "shooter").unwrap();
+        p.query(id, "farm").unwrap();
+        // Nothing has expired yet.
+        let fresh = p.maintenance_tick();
+        assert_eq!(fresh.purged_responses, 0);
+        // Push the clock past both the L1 TTL (60s) and the L2 TTLs.
+        p.advance_clock(600_000);
+        let swept = p.maintenance_tick();
+        assert_eq!(swept.purged_responses, 2, "both L1 entries reclaimed");
+        assert!(swept.purged_sources > 0, "L2 outcomes reclaimed");
+        // The sweep is also visible in the per-app cache stats.
+        assert_eq!(p.cache_stats(id).unwrap().expired, 2);
+        let again = p.maintenance_tick();
+        assert_eq!(again.purged_responses, 0);
+        assert_eq!(again.purged_sources, 0);
     }
 
     #[test]

@@ -18,6 +18,8 @@
 //!   audit export, automatic ad-click crediting.
 //! * [`recommend`] — supplemental-content recommendation (paper §IV
 //!   future work), content- and crowd-driven.
+//! * [`admission`] — per-tenant overload protection: token-bucket
+//!   admission, weighted-fair worker scheduling, load shedding.
 //! * [`trace`] — execution traces (the Fig.-2 stage tree).
 //!
 //! ## Quick example
@@ -62,6 +64,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod app;
 pub mod cache;
 pub mod embed;
@@ -74,18 +77,20 @@ pub mod source;
 pub mod source_cache;
 pub mod trace;
 
+pub use admission::{DeficitScheduler, FanoutScheduler, Lane, TokenBucket, WorkerGrant};
 pub use app::{
-    AppBuilder, AppId, ApplicationConfig, MonetizationConfig, ResiliencePolicy, SupplementalBinding,
+    AdmissionPolicy, AppBuilder, AppId, ApplicationConfig, MonetizationConfig, ResiliencePolicy,
+    SupplementalBinding,
 };
 pub use cache::{CacheStats, LruTtlCache};
 pub use embed::{embed_snippet, SocialCanvasHost, SocialManifest};
 pub use error::PlatformError;
-pub use hosting::{Platform, QuotaConfig};
+pub use hosting::{MaintenanceSummary, Platform, QuotaConfig};
 pub use monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
 pub use recommend::{recommend_sites, recommend_sites_with_crowd, SiteRecommendation};
 pub use runtime::{
-    execute, execute_resilient, execute_with_overrides, ExecCtx, ExecMode, QueryResponse,
-    MAX_FANOUT_WORKERS,
+    execute, execute_resilient, execute_with_overrides, shed_response, ExecCtx, ExecMode,
+    QueryResponse, MAX_FANOUT_WORKERS, SHED_MS,
 };
 pub use source::{
     run_source, run_source_ctx, DataSourceDef, ResultItem, SourceCtx, SourceOutcome, Substrates,

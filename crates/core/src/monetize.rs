@@ -78,8 +78,13 @@ pub struct TrafficSummary {
     /// Queries served (filled by the hosting layer; the click log
     /// alone cannot see queries that rendered zero impressions).
     pub queries: u64,
-    /// Queries that served a degraded (partial) response.
+    /// Queries that served a degraded (partial) response after
+    /// executing (source errors, deadline cuts). Disjoint from
+    /// [`TrafficSummary::shed_queries`].
     pub degraded_queries: u64,
+    /// Queries shed by admission control before any execution
+    /// (answered with the cheap degraded shell).
+    pub shed_queries: u64,
 }
 
 impl TrafficSummary {
@@ -92,12 +97,23 @@ impl TrafficSummary {
         }
     }
 
-    /// Fraction of queries that served a degraded response.
+    /// Fraction of queries that served a degraded response (0.0, not
+    /// NaN, when no queries were served).
     pub fn error_rate(&self) -> f64 {
         if self.queries == 0 {
             0.0
         } else {
             self.degraded_queries as f64 / self.queries as f64
+        }
+    }
+
+    /// Fraction of queries shed by admission control (0.0, not NaN,
+    /// when no queries were served).
+    pub fn shed_rate(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.shed_queries as f64 / self.queries as f64
         }
     }
 }
@@ -150,6 +166,7 @@ impl ClickLog {
             ad_clicks,
             queries: 0,
             degraded_queries: 0,
+            shed_queries: 0,
         }
     }
 
@@ -296,6 +313,19 @@ mod tests {
         let s = ClickLog::new().summarize("X");
         assert_eq!(s.ctr(), 0.0);
         assert!(s.top_queries.is_empty());
+        // Rates are defined (0.0, not NaN) with zero queries.
+        assert_eq!(s.error_rate(), 0.0);
+        assert_eq!(s.shed_rate(), 0.0);
+    }
+
+    #[test]
+    fn shed_and_error_rates_are_disjoint_fractions() {
+        let mut s = ClickLog::new().summarize("X");
+        s.queries = 10;
+        s.degraded_queries = 2;
+        s.shed_queries = 3;
+        assert!((s.error_rate() - 0.2).abs() < 1e-12);
+        assert!((s.shed_rate() - 0.3).abs() < 1e-12);
     }
 
     #[test]

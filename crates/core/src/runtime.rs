@@ -15,6 +15,7 @@
 //! the runtime combines them as `max` under parallel execution or
 //! `sum` under the sequential ablation.
 
+use crate::admission::{FanoutScheduler, Lane};
 use crate::app::{ApplicationConfig, ResiliencePolicy};
 use crate::monetize::Impression;
 use crate::source::{run_source_ctx, DataSourceDef, SourceCtx, SourceOutcome, Substrates};
@@ -45,6 +46,9 @@ pub const MERGE_MS: u32 = 2;
 /// semantics (`max` combining) are unchanged; the cap only bounds
 /// real resource use per query.
 pub const MAX_FANOUT_WORKERS: usize = 16;
+/// Flat virtual cost of a shed (admission-refused) response: cheaper
+/// than a cache hit, and no source, breaker, or cache is touched.
+pub const SHED_MS: u32 = 1;
 
 /// Execution context the hosting layer threads into the runtime: the
 /// platform's virtual clock and its shared circuit breakers. The
@@ -58,6 +62,13 @@ pub struct ExecCtx<'a> {
     /// The platform's shared L2 source-result cache. `None` executes
     /// every fetch directly (standalone execution, ablations).
     pub source_cache: Option<&'a SourceCache>,
+    /// The platform's shared fan-out worker pool. `None` gives every
+    /// query the full [`MAX_FANOUT_WORKERS`] cap (standalone
+    /// execution); with a scheduler, concurrent queries receive
+    /// weighted fair shares of the pool instead.
+    pub scheduler: Option<&'a FanoutScheduler>,
+    /// Scheduling lane (interactive serving vs background work).
+    pub lane: Lane,
 }
 
 /// The rendered response.
@@ -278,6 +289,9 @@ pub fn execute_resilient(
         }
     }
 
+    // Actual OS threads the parallel fan-out used (scheduler grant or
+    // the static cap); surfaces in the trace for the Fig.-2 report.
+    let mut pool_workers = 0usize;
     let outcomes: Vec<Fetched> = match mode {
         ExecMode::Sequential => {
             let mut out = Vec::with_capacity(tasks.len());
@@ -318,8 +332,25 @@ pub fn execute_resilient(
             };
             // Bounded chunk pool: at most MAX_FANOUT_WORKERS OS
             // threads pull tasks off a shared index. One panicking
-            // source degrades its own slot only.
-            let workers = n.min(MAX_FANOUT_WORKERS);
+            // source degrades its own slot only. When the platform's
+            // shared scheduler is attached, the worker count is this
+            // tenant's weighted fair share of the pool instead of the
+            // full cap, so concurrent queries from a burst tenant
+            // cannot monopolize fan-out threads. Worker count never
+            // affects virtual time (max-combining), only real
+            // parallelism.
+            let grant = ctx.scheduler.map(|s| {
+                s.acquire(
+                    app.owner.0 as u64,
+                    app.admission.weight,
+                    n.min(MAX_FANOUT_WORKERS),
+                    ctx.lane,
+                )
+            });
+            let workers = grant
+                .as_ref()
+                .map_or(n.min(MAX_FANOUT_WORKERS), |g| g.workers());
+            pool_workers = workers;
             let next = AtomicUsize::new(0);
             let mut slots: Vec<Option<Fetched>> = (0..n).map(|_| None).collect();
             std::thread::scope(|scope| {
@@ -496,7 +527,7 @@ pub fn execute_resilient(
                 ExecMode::Parallel => format!(
                     "parallel: max of {} fetches ({} workers)",
                     fanout_trace.len(),
-                    fanout_trace.len().min(MAX_FANOUT_WORKERS)
+                    pool_workers
                 ),
                 ExecMode::Sequential => {
                     format!("sequential: sum of {} fetches", fanout_trace.len())
@@ -520,6 +551,7 @@ pub fn execute_resilient(
             cache_hit: false,
             error_count,
             degraded: error_count > 0,
+            shed: false,
             l2_hits,
             l2_misses,
             l2_coalesced,
@@ -527,6 +559,58 @@ pub fn execute_resilient(
         },
         virtual_ms: total_ms,
         impressions: impressions.into_inner(),
+    }
+}
+
+/// Build the cheap degraded response for a query shed by admission
+/// control: the layout shell renders with every result slot empty —
+/// the same path a fully errored query takes — at a flat [`SHED_MS`]
+/// cost, without consulting any source, breaker, or cache. Each
+/// primary slot carries a `(shed)` marker in its trace detail, like
+/// the `(L2 hit)` suffixes on served fetches.
+pub fn shed_response(app: &ApplicationConfig, query: &str, reason: &str) -> QueryResponse {
+    let no_fields = |_: &str| None;
+    let mut empty_nested = |_: &str, _: usize, _: &Element| String::new();
+    let html = render_element(
+        app.layout.root(),
+        &app.stylesheet,
+        &no_fields,
+        &mut empty_nested,
+    );
+    let mut stages = vec![TraceNode::leaf(
+        "admission control",
+        SHED_MS,
+        format!("shed: {reason}"),
+    )];
+    for (source, _, _) in app.primary_lists() {
+        stages.push(TraceNode::leaf(
+            format!("primary: {source}"),
+            0,
+            "not fetched (shed)",
+        ));
+    }
+    stages.push(TraceNode::leaf(
+        "merge + format HTML",
+        0,
+        format!("{} bytes (empty shell)", html.len()),
+    ));
+    QueryResponse {
+        html,
+        trace: ExecutionTrace {
+            app: app.name.clone(),
+            query: query.to_string(),
+            total_ms: SHED_MS,
+            cache_hit: false,
+            error_count: 0,
+            degraded: true,
+            shed: true,
+            l2_hits: 0,
+            l2_misses: 0,
+            l2_coalesced: 0,
+            stages,
+        },
+        virtual_ms: SHED_MS,
+        impressions: Vec::new(),
     }
 }
 
@@ -1000,6 +1084,75 @@ mod tests {
         // The fast pricing service still fits in the remaining budget.
         let pricing = resp.trace.find("supplemental: pricing").unwrap();
         assert!(pricing.detail.contains("results"), "{}", pricing.detail);
+    }
+
+    #[test]
+    fn shed_response_is_cheap_and_marked() {
+        let w = world();
+        let app = gamer_queen(&w);
+        let resp = shed_response(&app, "space shooter", "rate limit");
+        assert_eq!(resp.virtual_ms, SHED_MS);
+        assert!(resp.trace.shed);
+        assert!(resp.trace.degraded);
+        assert_eq!(resp.trace.error_count, 0);
+        assert!(resp.impressions.is_empty());
+        // The layout shell still renders (search box, empty lists).
+        assert!(resp.html.contains("sym-search"), "{}", resp.html);
+        // Slots carry the (shed) marker like (L2 hit) suffixes.
+        let slot = resp.trace.find("primary: inventory").unwrap();
+        assert!(slot.detail.contains("(shed)"), "{}", slot.detail);
+        assert!(resp.trace.render().contains("shed"));
+    }
+
+    #[test]
+    fn scheduler_grant_bounds_fanout_workers() {
+        use crate::admission::{FanoutScheduler, Lane};
+        let current = std::sync::Arc::new(AtomicUsize::new(0));
+        let peak = std::sync::Arc::new(AtomicUsize::new(0));
+        let mut transport = SimulatedTransport::new(7);
+        transport.register(
+            "probe",
+            Box::new(ProbeService {
+                current: current.clone(),
+                peak: peak.clone(),
+            }),
+            LatencyModel::fast(),
+        );
+        let (store, tenant, key, app) = wide_app(60, "probe");
+        let subs = Substrates {
+            space: Some(store.space(tenant, &key).unwrap()),
+            engine: None,
+            transport: Some(&transport),
+            ads: None,
+        };
+        // Another tenant (weight 3) is mid-fan-out holding its share;
+        // this weight-1 tenant's fair share is 16/4 = 4 workers.
+        let pool = FanoutScheduler::new(MAX_FANOUT_WORKERS);
+        let other = pool.acquire(999, 3, 12, Lane::Interactive);
+        let ctx = ExecCtx {
+            scheduler: Some(&pool),
+            ..ExecCtx::default()
+        };
+        let resp = execute_resilient(
+            &app,
+            "gadget",
+            subs,
+            ExecMode::Parallel,
+            &HashMap::new(),
+            &ctx,
+        );
+        drop(other);
+        assert!(
+            peak.load(Ordering::SeqCst) <= 4,
+            "fair share of 4 exceeded: {}",
+            peak.load(Ordering::SeqCst)
+        );
+        // Every slot still served; virtual time still max-combined.
+        assert!(!resp.trace.degraded);
+        let fanout = resp.trace.find("supplemental fan-out").unwrap();
+        assert!(fanout.detail.contains("workers"), "{}", fanout.detail);
+        // The grant was released once the fan-out finished.
+        assert_eq!(pool.outstanding(), (0, 0));
     }
 
     #[test]

@@ -306,6 +306,19 @@ impl SourceCache {
         out
     }
 
+    /// Eagerly sweep expired entries from every shard at the given
+    /// virtual time, returning how many were removed (they also count
+    /// in [`SourceCacheStats::expired`]). Without this, an expired
+    /// entry lingers until its key is touched again;
+    /// [`Platform::maintenance_tick`](crate::hosting::Platform::maintenance_tick)
+    /// calls it so cold keys are reclaimed on the maintenance cadence.
+    pub fn purge_expired(&self, now_ms: u64) -> usize {
+        self.shards
+            .iter()
+            .map(|shard| shard.lock().cache.purge_expired(now_ms))
+            .sum()
+    }
+
     /// Drop every cached outcome (admin mutations — table uploads,
     /// transport changes — invalidate source results wholesale).
     pub fn clear(&self) {
@@ -1231,6 +1244,31 @@ mod tests {
             || panic!("hot key was evicted"),
         );
         assert_eq!(hot.status, FetchStatus::Hit);
+    }
+
+    #[test]
+    fn purge_expired_sweeps_all_shards() {
+        let config = SourceCacheConfig::default();
+        let cache = SourceCache::new(config);
+        // Populate several keys (they spread over the shards).
+        for i in 0..16 {
+            cache.fetch(
+                &web_def(),
+                None,
+                &format!("query {i}"),
+                5,
+                None,
+                &SourceCtx::at(0),
+                || ok_outcome(35),
+            );
+        }
+        // Nothing is expired yet.
+        assert_eq!(cache.purge_expired(config.web_ttl_ms / 2), 0);
+        // Past the web TTL everything goes, and the stats agree.
+        let swept = cache.purge_expired(config.web_ttl_ms + 40);
+        assert_eq!(swept, 16);
+        assert_eq!(cache.stats().expired, 16);
+        assert_eq!(cache.purge_expired(config.web_ttl_ms + 41), 0);
     }
 
     #[test]

@@ -68,6 +68,10 @@ pub struct ExecutionTrace {
     /// True when any slot degraded — the response served partial
     /// results.
     pub degraded: bool,
+    /// True when admission control shed this query before execution:
+    /// the response is the degraded layout shell, and no source fetch,
+    /// breaker, or cache was ever consulted.
+    pub shed: bool,
     /// Source fetches served from the platform's shared L2 source
     /// cache (completed before this query's virtual start).
     pub l2_hits: u32,
@@ -92,7 +96,9 @@ impl ExecutionTrace {
             self.total_ms,
             if self.cache_hit { " (cache hit)" } else { "" }
         );
-        if self.degraded {
+        if self.shed {
+            out.push_str("  (shed: admission control refused execution)\n");
+        } else if self.degraded {
             out.push_str(&format!(
                 "  (degraded: {} source error{})\n",
                 self.error_count,
@@ -155,6 +161,7 @@ mod tests {
             cache_hit: false,
             error_count: 0,
             degraded: false,
+            shed: false,
             l2_hits: 0,
             l2_misses: 0,
             l2_coalesced: 0,
@@ -218,5 +225,15 @@ mod tests {
         t.error_count = 2;
         t.degraded = true;
         assert!(t.render().contains("degraded: 2 source errors"));
+    }
+
+    #[test]
+    fn shed_marker_supersedes_degraded() {
+        let mut t = trace();
+        t.degraded = true;
+        t.shed = true;
+        let text = t.render();
+        assert!(text.contains("(shed: admission control refused execution)"));
+        assert!(!text.contains("source error"));
     }
 }

@@ -349,6 +349,107 @@ fn scenarios_replay_identically_per_seed() {
     }
 }
 
+/// Overload × resilience: a flood over the admission rate is shed with
+/// cheap degraded shells, and shedding is invisible to every other
+/// protection layer — breakers never trip, no source executes, nothing
+/// lands in the L2 negative cache or the L1 response cache — and the
+/// tenant recovers within one refill window of the token bucket.
+#[test]
+fn shed_queries_leave_breakers_and_caches_untouched() {
+    for seed in seed_grid() {
+        let (mut platform, id) = build_platform(
+            seed,
+            LatencyModel {
+                base_ms: 10,
+                jitter_ms: 0,
+                failure_rate: 0.0,
+            },
+            CallPolicy {
+                timeout_ms: 40,
+                retries: 0,
+                ..CallPolicy::default()
+            },
+            // A hair-trigger breaker: if sheds were (wrongly) reported
+            // as endpoint failures, two of them would open it.
+            BreakerConfig {
+                failure_threshold: 2,
+                open_ms: 1_000,
+                half_open_successes: 1,
+            },
+            ResiliencePolicy::default(),
+            FaultPlan::new(),
+        );
+        // Re-register the app with a 1-query/s admission rate. The
+        // queries below use distinct texts, so the L1 cache never
+        // hides the admission path.
+        let config = platform.app(id).unwrap().clone();
+        let tight = symphony_core::AdmissionPolicy {
+            rate_per_sec: 1,
+            burst: 1,
+            max_concurrency: u32::MAX,
+            weight: 1,
+        };
+        let id = platform
+            .register_app({
+                let mut c = config;
+                c.admission = tight;
+                c
+            })
+            .unwrap();
+        platform.publish(id).unwrap();
+
+        // One admitted query drains the burst of 1.
+        let first = platform.query(id, "galactic").unwrap();
+        assert!(!first.trace.shed, "seed {seed}");
+        assert!(!first.trace.degraded, "seed {seed}");
+        let executions = platform.source_cache_stats().executions;
+        assert_eq!(platform.breaker_state("pricing"), BreakerState::Closed);
+
+        // Flood: every one of these is shed (each SHED_MS advance of
+        // the clock refills only 1/1000 of a token at 1/s).
+        for i in 0..10 {
+            let shed = platform.query(id, &format!("flood {i}")).unwrap();
+            assert!(shed.trace.shed, "seed {seed}: flood query {i} admitted");
+            assert_eq!(shed.trace.error_count, 0);
+            assert!(shed.impressions.is_empty());
+        }
+        // Invisible to the breaker and to the source layer: no state
+        // change, no executions, no negative-cache entries.
+        assert_eq!(
+            platform.breaker_state("pricing"),
+            BreakerState::Closed,
+            "seed {seed}: shedding tripped the breaker"
+        );
+        assert_eq!(
+            platform.source_cache_stats().executions,
+            executions,
+            "seed {seed}: a shed query reached the source layer"
+        );
+        assert_eq!(
+            platform.source_cache_stats().negative_hits,
+            0,
+            "seed {seed}: shedding poisoned the negative cache"
+        );
+        let summary = platform.traffic_summary(id).unwrap();
+        assert_eq!(summary.shed_queries, 10, "seed {seed}");
+        assert_eq!(summary.degraded_queries, 0, "seed {seed}");
+
+        // Recovery within one refill window: at 1 token/s a full token
+        // is banked 1000 virtual ms after the last observation, and the
+        // next query executes for real — proving the flood left no
+        // breaker, L1, or L2 scar behind.
+        platform.advance_clock(1_000);
+        let healed = platform.query(id, "raiders").unwrap();
+        assert!(!healed.trace.shed, "seed {seed}: refill window blown");
+        assert!(
+            !healed.trace.cache_hit,
+            "seed {seed}: a shed response was cached"
+        );
+        assert!(!healed.trace.degraded, "seed {seed}: flood left a scar");
+        assert!(healed.html.contains("price:"), "seed {seed}");
+    }
+}
+
 /// Deadlines compose with the retry budget: with a tiny budget the
 /// query spends nothing on retries, and burned time never exceeds the
 /// deadline regardless of seed.
