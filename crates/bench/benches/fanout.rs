@@ -35,6 +35,7 @@ fn bench_fanout(c: &mut Criterion) {
                     engine: Some(platform.engine()),
                     transport: None,
                     ads: None,
+                    scatter: None,
                 };
                 b.iter(|| execute(&app, "space shooter", subs, mode));
             });

@@ -17,15 +17,20 @@ use symphony_baselines::{
     ndcg_at_k, BossModel, EureksterModel, GoogleBaseModel, GoogleCustomModel, RollyoModel,
     Scenario, SymphonyModel, SystemModel, EVAL_QUERIES,
 };
-use symphony_bench::traffic::{generate, replay, BurstWindow, TrafficConfig};
+use symphony_bench::traffic::{generate, replay, Arrival, BurstWindow, TrafficConfig};
 use symphony_bench::{
     corpus, gamer_queen_world, overload_fleet_world, percentile, print_table, resilience_world,
-    shared_fleet_world, zipf_queries, ResilienceOptions, Scale, WorldOptions,
+    shard_fleet_world, shared_fleet_world, zipf_queries, ResilienceOptions, Scale, WorldOptions,
 };
 use symphony_core::hosting::QuotaConfig;
 use symphony_core::runtime::ExecMode;
+use symphony_core::ScatterSearch;
+use symphony_services::rpc::{replica_endpoint, shard_endpoint};
+use symphony_services::FaultPlan;
 use symphony_text::{Analyzer, Doc, Index, IndexConfig, StandardAnalyzer, TokenScratch};
-use symphony_web::{generate_logs, LogConfig, SearchEngine, SiteSuggest, Topic};
+use symphony_web::{
+    generate_logs, LogConfig, SearchConfig, SearchEngine, SiteSuggest, Topic, Vertical,
+};
 
 /// Allocation-counting wrapper around the system allocator, so E-build
 /// can report allocations per document without external tooling.
@@ -113,6 +118,9 @@ fn main() {
     }
     if run("e-overload") {
         e_overload();
+    }
+    if run("e-shard") {
+        e_shard();
     }
 }
 
@@ -1801,5 +1809,242 @@ fn e_overload() {
     assert!(
         scale_report.shed == 0 && scale_report.clicks > 0,
         "scale cell must serve everything under generous admission and deliver clicks"
+    );
+}
+
+struct ShardCell {
+    shards: usize,
+    goodput_qps: f64,
+    speedup: f64,
+    p50: u32,
+    p99: u32,
+}
+
+/// E-shard: document-partitioned serving behind the tenant router.
+///
+/// A 16-tenant web-search fleet runs at 1/2/4/8 shards over the same
+/// corpus and the same arrival schedules. Three measurements:
+///
+/// * **Saturated throughput** — every arrival lands at t=0, so each
+///   home shard drains its tenants back-to-back and the aggregate
+///   goodput is `served / max(shard clock)`. Sharding wins twice:
+///   scatter legs shrink with the document slice, and tenants homed on
+///   different shards drain in parallel.
+/// * **Fixed-rate latency** — the open-loop generator offers ~70% of
+///   the measured single-shard capacity to every fleet size; queue
+///   wait collapses as shards are added.
+/// * **Partial degrade** — the 4-shard fleet re-runs the saturated
+///   schedule with one shard's primary *and* replica dead. Queries
+///   degrade to partial results (never errors), and once the breakers
+///   open the dead legs cost nothing.
+///
+/// A rank-identity check asserts the 4-shard scatter-gather returns
+/// bit-identical results to a single-index search for the whole query
+/// pool. `SHARD_SESSIONS` scales the experiment down for CI smokes.
+fn e_shard() {
+    const TENANTS: usize = 16;
+
+    let shard_queries: usize = std::env::var("SHARD_SESSIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+
+    // Query pool: the scenario's evaluation queries plus topical
+    // filler — all hit the synthetic web index.
+    let pool: Vec<String> = EVAL_QUERIES
+        .iter()
+        .map(|(q, _)| q.to_string())
+        .chain(
+            Topic::Games
+                .words()
+                .iter()
+                .take(12)
+                .map(|w| format!("{w} game")),
+        )
+        .collect();
+
+    // Saturated schedule: every query arrives at t=0, tenants round-
+    // robin, query popularity Zipf-skewed. Identical across fleet
+    // sizes, so the cells differ only in shard count.
+    let saturated: Vec<Arrival> = {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let zipf = symphony_web::zipf::Zipf::new(pool.len(), 1.0);
+        let mut rng = StdRng::seed_from_u64(0x5AAD);
+        (0..shard_queries)
+            .map(|i| Arrival {
+                at_ms: 0,
+                tenant: (i % TENANTS) as u16,
+                query: zipf.sample(&mut rng) as u16,
+                clicks: 0,
+            })
+            .collect()
+    };
+
+    println!("\n## E-shard: document-partitioned serving ({shard_queries} queries/cell)");
+
+    // Pass 1: saturated throughput per fleet size.
+    let fleet_sizes = [1usize, 2, 4, 8];
+    let mut goodputs = Vec::new();
+    for &n in &fleet_sizes {
+        let (router, ids) = shard_fleet_world(n, TENANTS, None);
+        let report = replay(&router, &ids, &pool, &saturated, false, None);
+        assert_eq!(report.shed, 0, "no admission limits in the shard fleet");
+        assert_eq!(report.served as usize, shard_queries, "every query served");
+        goodputs.push(report.goodput_qps());
+    }
+    let capacity_1 = goodputs[0];
+
+    // Pass 2: fixed-rate latency at ~70% of single-shard capacity.
+    let rate_qps = 0.7 * capacity_1;
+    let sessions = (shard_queries / 4).max(200);
+    let mut config = TrafficConfig {
+        tenants: TENANTS,
+        sessions,
+        tenant_skew: 0.0,
+        duration_ms: ((sessions as f64 * 1.875) / rate_qps * 1000.0) as u64,
+        diurnal_amplitude: 0.0,
+        query_pool: pool.len(),
+        click_base: 0.0,
+        bursts: Vec::new(),
+        seed: 0x5AD2,
+    };
+    let probe = generate(&config).len();
+    config.duration_ms = (probe as f64 / rate_qps * 1000.0) as u64;
+    let arrivals = generate(&config);
+    let mut cells = Vec::new();
+    for (i, &n) in fleet_sizes.iter().enumerate() {
+        let (router, ids) = shard_fleet_world(n, TENANTS, None);
+        let report = replay(&router, &ids, &pool, &arrivals, false, None);
+        let latencies = report.all_latencies();
+        cells.push(ShardCell {
+            shards: n,
+            goodput_qps: goodputs[i],
+            speedup: goodputs[i] / capacity_1.max(1e-9),
+            p50: percentile(&latencies, 0.50),
+            p99: percentile(&latencies, 0.99),
+        });
+    }
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.shards.to_string(),
+                format!("{:.1}", c.goodput_qps),
+                format!("{:.2}x", c.speedup),
+                c.p50.to_string(),
+                c.p99.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("E-shard — saturated goodput and fixed-rate ({rate_qps:.1} qps offered) latency"),
+        &["shards", "goodput", "speedup", "p50", "p99"],
+        &rows,
+    );
+
+    // Pass 3: partial degrade — shard 1 of 4 loses primary AND replica
+    // for the whole run; the fleet serves partial results.
+    let plan = FaultPlan::new()
+        .outage(&shard_endpoint(1), 0, u64::MAX / 2)
+        .outage(&replica_endpoint(1), 0, u64::MAX / 2);
+    let (router, ids) = shard_fleet_world(4, TENANTS, Some(plan));
+    let degrade = replay(&router, &ids, &pool, &saturated, false, None);
+    let degraded_rate = degrade.degraded as f64 / degrade.served.max(1) as f64;
+    let degrade_goodput = degrade.goodput_qps();
+    println!(
+        "partial degrade (4 shards, shard 1 primary+replica dead): \
+         {:.1}% of queries degraded, goodput {:.1} qps ({:.0}% of healthy)",
+        degraded_rate * 100.0,
+        degrade_goodput,
+        degrade_goodput / cells[2].goodput_qps.max(1e-9) * 100.0,
+    );
+
+    // Rank identity: 4-shard scatter-gather is bit-identical to a
+    // single-index search over the whole pool.
+    let single = SearchEngine::new(corpus(Scale::Small));
+    let (rank_router, _) = shard_fleet_world(4, 1, None);
+    let bits = |rs: &[symphony_web::WebResult]| -> Vec<(String, u32)> {
+        rs.iter()
+            .map(|r| (r.url.clone(), r.score.to_bits()))
+            .collect()
+    };
+    let mut rank_checked = 0usize;
+    for q in &pool {
+        let sconfig = SearchConfig::default();
+        let out = rank_router
+            .cluster()
+            .scatter(Vertical::Web, q, &sconfig, 10, 0);
+        assert!(out.error.is_none(), "healthy fleet answers in full");
+        assert_eq!(
+            bits(&out.results),
+            bits(&single.search(Vertical::Web, q, &sconfig, 10)),
+            "scatter-gather must be bit-identical to single-index search for {q:?}"
+        );
+        rank_checked += 1;
+    }
+    println!(
+        "rank identity: {rank_checked}/{} pool queries bit-identical",
+        pool.len()
+    );
+
+    let mut cells_json = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        cells_json.push_str(&format!(
+            "    {{ \"shards\": {}, \"goodput_qps\": {:.1}, \"speedup\": {:.2}, \
+             \"p50_ms\": {}, \"p99_ms\": {} }}{}\n",
+            c.shards,
+            c.goodput_qps,
+            c.speedup,
+            c.p50,
+            c.p99,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e-shard\",\n",
+            "  \"queries_per_cell\": {},\n",
+            "  \"tenants\": {},\n",
+            "  \"offered_qps_fixed_rate\": {:.1},\n",
+            "  \"degraded_rate\": {:.3},\n",
+            "  \"degrade_goodput_qps\": {:.1},\n",
+            "  \"rank_identical_queries\": {},\n",
+            "  \"cells\": [\n{}  ]\n",
+            "}}\n"
+        ),
+        shard_queries, TENANTS, rate_qps, degraded_rate, degrade_goodput, rank_checked, cells_json,
+    );
+    std::fs::write("BENCH_shard.json", &json).expect("write BENCH_shard.json");
+    println!("wrote BENCH_shard.json");
+
+    // The acceptance claims, enforced wherever the experiment runs
+    // (the CI smoke step relies on these panicking on regression).
+    assert!(
+        cells[2].speedup >= 2.0,
+        "4 shards must at least double aggregate goodput: {:.2}x",
+        cells[2].speedup,
+    );
+    assert!(
+        cells[1].goodput_qps > cells[0].goodput_qps && cells[3].goodput_qps > cells[1].goodput_qps,
+        "goodput must grow with the fleet: {goodputs:?}",
+    );
+    assert!(
+        cells[2].p99 <= cells[0].p99,
+        "4 shards must not worsen fixed-rate p99: {} ms vs {} ms",
+        cells[2].p99,
+        cells[0].p99,
+    );
+    assert!(
+        degraded_rate > 0.95,
+        "a dead shard must degrade (not drop) nearly every query: {:.3}",
+        degraded_rate,
+    );
+    assert!(
+        degrade_goodput >= 0.5 * cells[2].goodput_qps,
+        "the degraded fleet must keep most of its throughput once the \
+         breakers open: {degrade_goodput:.1} vs healthy {:.1}",
+        cells[2].goodput_qps,
     );
 }

@@ -9,6 +9,7 @@
 
 pub mod traffic;
 
+use symphony_cluster::Router;
 use symphony_core::app::AppBuilder;
 use symphony_core::hosting::Platform;
 use symphony_core::runtime::ExecMode;
@@ -487,6 +488,69 @@ pub fn overload_fleet_world(
         ids.push(id);
     }
     (platform, ids)
+}
+
+/// A fleet of web-search tenants behind a shard [`Router`], for
+/// experiment E-shard. Each tenant hosts one pure web-vertical app on
+/// its rendezvous home shard, and every query scatters across the
+/// document-partitioned fleet.
+///
+/// Both response caches are disabled and interaction logging is off,
+/// so each replayed query pays the full scatter-gather path — the
+/// regime where document partitioning is load-bearing. Pass a
+/// [`FaultPlan`] to schedule shard outages on the inter-node
+/// transport (the partial-degrade cell).
+pub fn shard_fleet_world(
+    num_shards: usize,
+    tenants: usize,
+    plan: Option<FaultPlan>,
+) -> (Router, Vec<AppId>) {
+    let corpus = corpus(Scale::Small);
+    let router = match plan {
+        Some(plan) => Router::with_faults(&corpus, num_shards, 1, 0xE5AD, plan),
+        None => Router::new(&corpus, num_shards, 1, 0xE5AD),
+    };
+    let mut router = router
+        .with_quotas(symphony_core::QuotaConfig {
+            requests_per_minute: u32::MAX,
+            cache_ttl_ms: 0,
+            ..symphony_core::QuotaConfig::default()
+        })
+        .with_source_cache(symphony_core::SourceCacheConfig::disabled());
+    let mut ids = Vec::new();
+    for i in 0..tenants {
+        let name = format!("Tenant{i}");
+        router.create_tenant(&name);
+        let mut canvas = Canvas::new();
+        let root = canvas.root_id();
+        canvas
+            .insert(
+                root,
+                Element::result_list("web", Element::link_field("url", "{title}"), 10),
+            )
+            .expect("root");
+        // The owner id is overwritten by the router with the tenant's
+        // shard-local id at registration.
+        let config = AppBuilder::new(&format!("App{i}"), symphony_store::TenantId(0))
+            .layout(canvas)
+            .source(
+                "web",
+                DataSourceDef::WebVertical {
+                    vertical: Vertical::Web,
+                    config: SearchConfig::default(),
+                },
+            )
+            .monetization(symphony_core::MonetizationConfig {
+                log_interactions: false,
+                publisher: String::new(),
+            })
+            .build()
+            .expect("valid app");
+        let id = router.register_app(&name, config).expect("registers");
+        router.publish(id).expect("publishes");
+        ids.push(id);
+    }
+    (router, ids)
 }
 
 /// `p`-th percentile (0.0–1.0) of an unsorted latency sample.

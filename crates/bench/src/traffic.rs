@@ -18,7 +18,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use symphony_core::hosting::Platform;
+use symphony_core::hosting::QueryHost;
 use symphony_core::AppId;
 
 /// A burst window: extra sessions for one tenant inside a slice of the
@@ -194,10 +194,13 @@ impl ReplayReport {
     }
 }
 
-/// Replay an arrival schedule against a platform under single-server
-/// open-loop queue semantics (see the module docs). `clicks = true`
-/// delivers each session's position-biased clicks for served
-/// responses.
+/// Replay an arrival schedule against any [`QueryHost`] — a single
+/// [`Platform`](symphony_core::hosting::Platform) or a sharded
+/// [`Router`] — under open-loop queue semantics (see the module docs).
+/// Each tenant queues on its app's serving clock, so a multi-shard
+/// host replays as N parallel single-server queues while a platform
+/// keeps the original single-queue behaviour. `clicks = true` delivers
+/// each session's position-biased clicks for served responses.
 ///
 /// `window` optionally restricts *measurement* to arrivals stamped in
 /// `[start, end)`: everything is still replayed (so buckets, caches,
@@ -206,8 +209,8 @@ impl ReplayReport {
 /// itself. This is how the overload experiment excludes the cold-start
 /// transient (full buckets admit one burst for free) and the
 /// think-time straggler tail.
-pub fn replay(
-    platform: &Platform,
+pub fn replay<H: QueryHost + ?Sized>(
+    host: &H,
     apps: &[AppId],
     queries: &[String],
     arrivals: &[Arrival],
@@ -222,15 +225,15 @@ pub fn replay(
     for a in arrivals {
         let tenant = a.tenant as usize % apps.len().max(1);
         let query = &queries[a.query as usize % queries.len().max(1)];
-        let now = platform.clock_ms();
+        let now = host.host_clock_ms(apps[tenant]);
         let wait = if now < a.at_ms {
             // Server idle: jump to the arrival instant.
-            platform.advance_clock(a.at_ms - now);
+            host.host_advance_clock(apps[tenant], a.at_ms - now);
             0
         } else {
             now - a.at_ms
         };
-        let resp = platform.query(apps[tenant], query).expect("replay query");
+        let resp = host.host_query(apps[tenant], query).expect("replay query");
         if let Some((from, until)) = window {
             if a.at_ms < from || a.at_ms >= until {
                 continue;
@@ -254,8 +257,8 @@ pub fn replay(
             for p in 0..8usize {
                 if a.clicks & (1 << p) != 0
                     && p < resp.impressions.len()
-                    && platform
-                        .click(apps[tenant], query, &resp.impressions[p])
+                    && host
+                        .host_click(apps[tenant], query, &resp.impressions[p])
                         .is_ok()
                 {
                     report.clicks += 1;
@@ -265,7 +268,7 @@ pub fn replay(
     }
     report.span_ms = match window {
         Some((from, until)) => until.saturating_sub(from),
-        None => platform.clock_ms().saturating_sub(started),
+        None => host.host_span_end().saturating_sub(started),
     };
     report
 }

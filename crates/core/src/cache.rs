@@ -34,6 +34,17 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Fold `other` into `self` (cluster-wide stats sum per-shard
+    /// counters; [`CacheStats::hit_rate`] over the sum is then
+    /// traffic-weighted).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.coalesced += other.coalesced;
+        self.evictions += other.evictions;
+        self.expired += other.expired;
+    }
+
     /// Hit rate in `[0, 1]` (0 when never queried).
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses + self.coalesced;
@@ -409,5 +420,35 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_panics() {
         let _: LruTtlCache<u32, u32> = LruTtlCache::new(0, 10);
+    }
+
+    #[test]
+    fn cache_stats_merge_sums_every_counter() {
+        let mut a = CacheStats {
+            hits: 1,
+            misses: 2,
+            coalesced: 3,
+            evictions: 4,
+            expired: 5,
+        };
+        let b = CacheStats {
+            hits: 10,
+            misses: 20,
+            coalesced: 30,
+            evictions: 40,
+            expired: 50,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            CacheStats {
+                hits: 11,
+                misses: 22,
+                coalesced: 33,
+                evictions: 44,
+                expired: 55,
+            }
+        );
+        assert!((a.hit_rate() - 11.0 / 66.0).abs() < 1e-12);
     }
 }

@@ -161,6 +161,9 @@ pub struct Platform {
     quotas: QuotaConfig,
     mode: ExecMode,
     host_url: String,
+    /// Distributed web-search backend; when set, web-vertical sources
+    /// scatter across shard nodes instead of hitting `engine`.
+    scatter: Option<Arc<dyn crate::source::ScatterSearch>>,
 }
 
 // Compile-time guarantee that the serving path can be shared across
@@ -199,6 +202,19 @@ impl Platform {
             quotas: QuotaConfig::default(),
             mode: ExecMode::Parallel,
             host_url: "https://symphony.example.com".into(),
+            scatter: None,
+        }
+    }
+
+    /// Attach a distributed web-search backend. Web-vertical sources
+    /// then scatter across its shard nodes instead of querying the
+    /// local engine; caches are cleared because cached entries were
+    /// produced by the other backend.
+    pub fn set_scatter(&mut self, scatter: Arc<dyn crate::source::ScatterSearch>) {
+        self.scatter = Some(scatter);
+        self.source_cache.clear();
+        for app in &mut self.apps {
+            app.cache.get_mut().clear();
         }
     }
 
@@ -693,6 +709,7 @@ impl Platform {
             engine: Some(&self.engine),
             transport: Some(&self.transport),
             ads: Some(&self.ads),
+            scatter: self.scatter.as_deref(),
         };
         let resp = execute_resilient(
             &hosted.config,
@@ -891,6 +908,59 @@ impl Platform {
                 .ledger()
                 .publisher_earnings_cents(&app.config.monetization.publisher),
         )
+    }
+}
+
+/// A query-serving host the traffic harness can drive: a single
+/// [`Platform`] or a multi-shard router hosting many platforms.
+///
+/// The clock methods take the app whose traffic is being played so a
+/// router can keep one virtual clock *per shard* — tenants homed on
+/// different shards advance independently, which is exactly how
+/// wall-clock parallelism across nodes shows up under virtual time. A
+/// single platform has one global clock and ignores the app.
+pub trait QueryHost: Sync {
+    /// Virtual clock of the node serving `app`'s queries.
+    fn host_clock_ms(&self, app: AppId) -> u64;
+    /// Advance the clock of the node serving `app`.
+    fn host_advance_clock(&self, app: AppId, ms: u64);
+    /// Serve one query for `app`.
+    fn host_query(&self, app: AppId, query: &str) -> Result<Arc<QueryResponse>, PlatformError>;
+    /// Record a click on one of `app`'s impressions.
+    fn host_click(
+        &self,
+        app: AppId,
+        query: &str,
+        impression: &Impression,
+    ) -> Result<Option<u32>, PlatformError>;
+    /// Latest virtual time across all serving nodes (replay span end).
+    fn host_span_end(&self) -> u64;
+}
+
+impl QueryHost for Platform {
+    fn host_clock_ms(&self, _app: AppId) -> u64 {
+        self.clock_ms()
+    }
+
+    fn host_advance_clock(&self, _app: AppId, ms: u64) {
+        self.advance_clock(ms)
+    }
+
+    fn host_query(&self, app: AppId, query: &str) -> Result<Arc<QueryResponse>, PlatformError> {
+        self.query(app, query)
+    }
+
+    fn host_click(
+        &self,
+        app: AppId,
+        query: &str,
+        impression: &Impression,
+    ) -> Result<Option<u32>, PlatformError> {
+        self.click(app, query, impression)
+    }
+
+    fn host_span_end(&self) -> u64 {
+        self.clock_ms()
     }
 }
 

@@ -85,7 +85,7 @@ pub use app::{
 pub use cache::{CacheStats, LruTtlCache};
 pub use embed::{embed_snippet, SocialCanvasHost, SocialManifest};
 pub use error::PlatformError;
-pub use hosting::{MaintenanceSummary, Platform, QuotaConfig};
+pub use hosting::{MaintenanceSummary, Platform, QueryHost, QuotaConfig};
 pub use monetize::{ClickLog, Impression, InteractionEvent, InteractionKind, TrafficSummary};
 pub use recommend::{recommend_sites, recommend_sites_with_crowd, SiteRecommendation};
 pub use runtime::{
@@ -93,7 +93,8 @@ pub use runtime::{
     QueryResponse, MAX_FANOUT_WORKERS, SHED_MS,
 };
 pub use source::{
-    run_source, run_source_ctx, DataSourceDef, ResultItem, SourceCtx, SourceOutcome, Substrates,
+    run_source, run_source_ctx, DataSourceDef, ResultItem, ScatterOutcome, ScatterSearch,
+    SourceCtx, SourceOutcome, Substrates,
 };
 pub use source_cache::{
     normalize_query, FetchStatus, Fetched, SourceCache, SourceCacheConfig, SourceCacheStats,

@@ -61,7 +61,7 @@ pub struct ClickLog {
 }
 
 /// A per-application traffic summary.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TrafficSummary {
     /// Application name.
     pub app: String,
@@ -115,6 +115,36 @@ impl TrafficSummary {
         } else {
             self.shed_queries as f64 / self.queries as f64
         }
+    }
+
+    /// Fold `other` into `self`: counters sum, per-source and
+    /// per-query click maps merge, and `top_queries` is re-ranked over
+    /// the union. Because the derived rates ([`TrafficSummary::ctr`],
+    /// [`TrafficSummary::error_rate`], [`TrafficSummary::shed_rate`])
+    /// divide summed counters, a merged summary weights each input by
+    /// its query volume — a shard serving 10× the traffic moves the
+    /// folded rate 10× as much.
+    pub fn merge(&mut self, other: &TrafficSummary) {
+        self.impressions += other.impressions;
+        self.clicks += other.clicks;
+        self.ad_clicks += other.ad_clicks;
+        self.queries += other.queries;
+        self.degraded_queries += other.degraded_queries;
+        self.shed_queries += other.shed_queries;
+        for (source, n) in &other.clicks_by_source {
+            *self.clicks_by_source.entry(source.clone()).or_insert(0) += n;
+        }
+        let mut by_query: BTreeMap<&str, u64> = BTreeMap::new();
+        for (q, n) in self.top_queries.iter().chain(&other.top_queries) {
+            *by_query.entry(q).or_insert(0) += n;
+        }
+        let mut merged: Vec<(String, u64)> = by_query
+            .into_iter()
+            .map(|(q, n)| (q.to_string(), n))
+            .collect();
+        merged.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        merged.truncate(10);
+        self.top_queries = merged;
     }
 }
 
@@ -351,5 +381,73 @@ mod tests {
         assert_eq!(lines.len(), 1 + 4);
         assert!(lines[1].contains("space"));
         assert!(csv.contains("true"), "ad click flagged");
+    }
+
+    #[test]
+    fn merge_sums_counters_and_reranks_top_queries() {
+        let mut a = TrafficSummary {
+            app: "GamerQueen".into(),
+            impressions: 100,
+            clicks: 10,
+            clicks_by_source: [("inventory".to_string(), 6), ("web".to_string(), 4)]
+                .into_iter()
+                .collect(),
+            top_queries: vec![("space".into(), 7), ("farm".into(), 3)],
+            ad_clicks: 2,
+            queries: 50,
+            degraded_queries: 5,
+            shed_queries: 10,
+        };
+        let b = TrafficSummary {
+            app: "GamerQueen".into(),
+            impressions: 300,
+            clicks: 30,
+            clicks_by_source: [("web".to_string(), 20), ("ads".to_string(), 10)]
+                .into_iter()
+                .collect(),
+            top_queries: vec![("farm".into(), 25), ("space".into(), 5)],
+            ad_clicks: 8,
+            queries: 150,
+            degraded_queries: 0,
+            shed_queries: 0,
+        };
+        a.merge(&b);
+        assert_eq!(a.impressions, 400);
+        assert_eq!(a.clicks, 40);
+        assert_eq!(a.ad_clicks, 10);
+        assert_eq!(a.queries, 200);
+        assert_eq!(a.degraded_queries, 5);
+        assert_eq!(a.shed_queries, 10);
+        assert_eq!(a.clicks_by_source["web"], 24);
+        assert_eq!(a.clicks_by_source["inventory"], 6);
+        assert_eq!(a.clicks_by_source["ads"], 10);
+        // "farm" overtakes "space" once both shards are folded in.
+        assert_eq!(
+            a.top_queries,
+            vec![("farm".to_string(), 28), ("space".to_string(), 12)]
+        );
+    }
+
+    #[test]
+    fn merged_rates_are_weighted_by_query_volume() {
+        // Shard A: 10 queries, all shed. Shard B: 90 queries, none
+        // shed. The folded shed rate must be 10%, not the 50% a naive
+        // average of per-shard rates would give.
+        let mut a = TrafficSummary {
+            queries: 10,
+            shed_queries: 10,
+            degraded_queries: 0,
+            ..Default::default()
+        };
+        let b = TrafficSummary {
+            queries: 90,
+            shed_queries: 0,
+            degraded_queries: 9,
+            ..Default::default()
+        };
+        assert_eq!(a.shed_rate(), 1.0);
+        a.merge(&b);
+        assert!((a.shed_rate() - 0.1).abs() < 1e-12);
+        assert!((a.error_rate() - 0.09).abs() < 1e-12);
     }
 }

@@ -799,6 +799,7 @@ mod tests {
             engine: Some(&world.engine),
             transport: Some(&world.transport),
             ads: None,
+            scatter: None,
         }
     }
 
@@ -872,6 +873,7 @@ mod tests {
             engine: None,
             transport: Some(&w.transport),
             ads: None,
+            scatter: None,
         };
         let resp = execute(&app, "space shooter", partial, ExecMode::Parallel);
         // The primary result still renders; reviews report an error.
@@ -1010,6 +1012,7 @@ mod tests {
             engine: None,
             transport: Some(&transport),
             ads: None,
+            scatter: None,
         };
         let resp = execute(&app, "gadget", subs, ExecMode::Parallel);
         let fanout = resp.trace.find("supplemental fan-out").unwrap();
@@ -1043,6 +1046,7 @@ mod tests {
             engine: None,
             transport: Some(&transport),
             ads: None,
+            scatter: None,
         };
         let resp = execute(&app, "gadget", subs, ExecMode::Parallel);
         // The primary list still renders every item.
@@ -1124,6 +1128,7 @@ mod tests {
             engine: None,
             transport: Some(&transport),
             ads: None,
+            scatter: None,
         };
         // Another tenant (weight 3) is mid-fan-out holding its share;
         // this weight-1 tenant's fair share is 16/4 = 4 workers.

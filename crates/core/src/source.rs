@@ -14,7 +14,7 @@ use symphony_services::{
     SimulatedTransport,
 };
 use symphony_store::TenantSpace;
-use symphony_web::{SearchConfig, SearchEngine, Vertical};
+use symphony_web::{SearchConfig, SearchEngine, Vertical, WebResult};
 
 /// Virtual cost of a proprietary-table query (local index hit).
 pub const PROPRIETARY_MS: u32 = 5;
@@ -204,6 +204,45 @@ impl<'a> SourceCtx<'a> {
     }
 }
 
+/// Outcome of one scatter-gather web query across shard nodes.
+///
+/// `results` carry the rank-safe merged top-k (bit-identical to a
+/// single-index search when every shard answered); `shards_answered <
+/// shards_total` marks a degraded partial answer, with `error` naming
+/// the shards that stayed silent.
+#[derive(Debug, Clone, Default)]
+pub struct ScatterOutcome {
+    /// Merged ranked results.
+    pub results: Vec<WebResult>,
+    /// Virtual cost of the scatter: max over shard call chains plus
+    /// the gather step (shards run in parallel on the virtual clock).
+    pub virtual_ms: u32,
+    /// Shards whose pools made it into the merge.
+    pub shards_answered: u32,
+    /// Total shards the query scattered to.
+    pub shards_total: u32,
+    /// `Some` when at least one shard stayed silent (partial result).
+    pub error: Option<String>,
+}
+
+/// A distributed web-search backend: scatters a vertical query across
+/// document-partitioned shard nodes and gathers a rank-safe merge.
+/// When attached to [`Substrates`], web-vertical sources prefer it
+/// over the local `engine`.
+pub trait ScatterSearch: Send + Sync {
+    /// Run `query` against every shard of `vertical`, merging to `k`
+    /// results. `now_ms` positions the shard RPCs on the virtual
+    /// clock (fault windows, breaker cooldowns).
+    fn scatter(
+        &self,
+        vertical: Vertical,
+        query: &str,
+        config: &SearchConfig,
+        k: usize,
+        now_ms: u64,
+    ) -> ScatterOutcome;
+}
+
 /// Shared references to every substrate a source may need.
 #[derive(Clone, Copy)]
 pub struct Substrates<'a> {
@@ -215,6 +254,9 @@ pub struct Substrates<'a> {
     pub transport: Option<&'a SimulatedTransport>,
     /// The ad service.
     pub ads: Option<&'a AdServer>,
+    /// Distributed web-search backend; preferred over `engine` for
+    /// web verticals when set.
+    pub scatter: Option<&'a dyn ScatterSearch>,
 }
 
 // The parallel fan-out and the platform's concurrent serving path
@@ -233,6 +275,7 @@ impl std::fmt::Debug for Substrates<'_> {
             .field("engine", &self.engine.is_some())
             .field("transport", &self.transport.is_some())
             .field("ads", &self.ads.is_some())
+            .field("scatter", &self.scatter.is_some())
             .finish()
     }
 }
@@ -271,7 +314,11 @@ pub fn run_source_ctx(
     // Fixed-cost local sources: cut when the budget can't cover them.
     let fixed_cost = match def {
         DataSourceDef::Proprietary { .. } => Some(PROPRIETARY_MS),
-        DataSourceDef::WebVertical { .. } => Some(WEB_MS),
+        // Scatter cost is dynamic (max over shard call chains), so
+        // only the local-engine path has the fixed WEB_MS price; the
+        // scatter path is budget-checked after the fact instead.
+        DataSourceDef::WebVertical { .. } if subs.scatter.is_none() => Some(WEB_MS),
+        DataSourceDef::WebVertical { .. } => None,
         DataSourceDef::Ads { .. } => Some(ADS_MS),
         DataSourceDef::Service { .. } | DataSourceDef::ComposedApp { .. } => None,
     };
@@ -326,33 +373,30 @@ pub fn run_source_ctx(
             }
         }
         DataSourceDef::WebVertical { vertical, config } => {
+            if let Some(cluster) = subs.scatter {
+                let out = cluster.scatter(*vertical, query, config, k, ctx.now_ms);
+                if let Some(budget) = ctx.budget_ms {
+                    if out.virtual_ms > budget {
+                        // The shard fan-out overran the remaining
+                        // deadline: a degraded slot, charged at the
+                        // budget it burned through.
+                        return deadline_cut(budget);
+                    }
+                }
+                return SourceOutcome {
+                    items: out.results.into_iter().map(web_item).collect(),
+                    virtual_ms: out.virtual_ms,
+                    error: out.error,
+                    attempts: 1,
+                };
+            }
             let Some(engine) = subs.engine else {
                 return soft_err("no web engine attached", 0);
             };
             let items = engine
                 .search(*vertical, query, config, k)
                 .into_iter()
-                .map(|r| {
-                    let mut fields = vec![
-                        ("url".to_string(), r.url),
-                        ("title".to_string(), r.title),
-                        ("snippet".to_string(), r.snippet),
-                        ("domain".to_string(), r.domain),
-                    ];
-                    if let Some(src) = r.image_src {
-                        fields.push(("image_src".into(), src));
-                    }
-                    if let Some(d) = r.duration_s {
-                        fields.push(("duration_s".into(), d.to_string()));
-                    }
-                    if let Some(d) = r.date {
-                        fields.push(("date".into(), d.to_string()));
-                    }
-                    ResultItem {
-                        fields,
-                        score: r.score,
-                    }
-                })
+                .map(web_item)
                 .collect();
             SourceOutcome {
                 items,
@@ -446,6 +490,30 @@ pub fn run_source_ctx(
     }
 }
 
+/// Flatten a web result into uniform source fields (the optional
+/// vertical extras ride along only when present).
+fn web_item(r: WebResult) -> ResultItem {
+    let mut fields = vec![
+        ("url".to_string(), r.url),
+        ("title".to_string(), r.title),
+        ("snippet".to_string(), r.snippet),
+        ("domain".to_string(), r.domain),
+    ];
+    if let Some(src) = r.image_src {
+        fields.push(("image_src".into(), src));
+    }
+    if let Some(d) = r.duration_s {
+        fields.push(("duration_s".into(), d.to_string()));
+    }
+    if let Some(d) = r.date {
+        fields.push(("date".into(), d.to_string()));
+    }
+    ResultItem {
+        fields,
+        score: r.score,
+    }
+}
+
 fn soft_err(msg: &str, virtual_ms: u32) -> SourceOutcome {
     SourceOutcome {
         items: Vec::new(),
@@ -497,6 +565,7 @@ mod tests {
             engine: None,
             transport: None,
             ads: None,
+            scatter: None,
         }
     }
 
@@ -643,6 +712,7 @@ mod tests {
             5,
             Substrates {
                 ads: Some(&ads),
+                scatter: None,
                 ..none_subs()
             },
             None,

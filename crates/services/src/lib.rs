@@ -40,6 +40,7 @@ pub mod builtin;
 pub mod client;
 pub mod fault;
 pub mod message;
+pub mod rpc;
 pub mod service;
 pub mod transport;
 

@@ -861,6 +861,15 @@ impl Index {
         self.fields[field.0 as usize].total_len as f32 / n as f32
     }
 
+    /// Total analyzed token count of `field` across live documents —
+    /// the exact integer numerator behind [`Index::avg_field_len`].
+    /// Exposed so a scatter-gather deployment can fold corpus-wide
+    /// statistics across document-partitioned shards without f32
+    /// rounding (see [`crate::search::GlobalScoreStats`]).
+    pub fn total_field_len(&self, field: FieldId) -> u64 {
+        self.fields[field.0 as usize].total_len
+    }
+
     /// Stored original text of `field` in `doc`, when
     /// [`IndexConfig::store_text`] is on. Repeated fields return the
     /// first occurrence; deleted documents return `None` (their text

@@ -61,7 +61,7 @@ pub use index::{
 };
 pub use lexicon::{Lexicon, TermId};
 pub use query::Query;
-pub use search::{ScoreMode, SearchHit, Searcher};
+pub use search::{GlobalScoreStats, ScoreMode, SearchHit, Searcher};
 pub use spell::SpellSuggester;
 
 /// Identifier of a document inside one [`Index`].

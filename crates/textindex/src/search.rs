@@ -99,11 +99,120 @@ const BOUND_SLACK_REL: f32 = 1e-3;
 /// strictly positive even for zero-boost fields.
 const BOUND_SLACK_ABS: f32 = 1e-5;
 
+/// Corpus-wide scoring statistics folded across document-partitioned
+/// index shards.
+///
+/// BM25 mixes *per-document* quantities (tf, field length) with
+/// *corpus-wide* ones (document frequency, live-doc count, average
+/// field length). A shard searching only its slice would compute the
+/// corpus-wide terms from local counts and disagree with a single
+/// index over the union. Folding the integer numerators across shards
+/// — `doc_freq` sums as `usize`, `total_field_len` as `u64`,
+/// `live_docs` as `usize` — and only then evaluating the identical f32
+/// expressions makes every per-document score **bit-identical** to the
+/// single-index build: integer sums are exact, so the float inputs to
+/// `idf`/`bm25` are the very same values.
+///
+/// Document frequencies are keyed by term *string* because term ids
+/// are assigned per shard in first-encounter order and do not agree
+/// across shards.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalScoreStats {
+    /// Live documents across all shards.
+    pub live_docs: usize,
+    /// Per-field total analyzed token count (indexed by `FieldId`).
+    pub total_field_len: Vec<u64>,
+    /// term -> per-field `(summed doc_freq, any-shard has_postings)`.
+    terms: FxHashMap<String, Vec<(usize, bool)>>,
+}
+
+impl GlobalScoreStats {
+    /// Fold statistics across shard indexes. Every shard must register
+    /// the same fields in the same order (they are slices of one
+    /// logical corpus); field shape mismatches are a construction bug.
+    pub fn fold<'a>(shards: impl IntoIterator<Item = &'a Index>) -> GlobalScoreStats {
+        let mut out = GlobalScoreStats::default();
+        for index in shards {
+            let nfields = index.field_ids().count();
+            if out.total_field_len.len() < nfields {
+                out.total_field_len.resize(nfields, 0);
+            }
+            out.live_docs += index.live_docs();
+            for field in index.field_ids() {
+                out.total_field_len[field.0 as usize] += index.total_field_len(field);
+            }
+            for (tid, term) in index.lexicon().iter() {
+                let mut slot: Option<&mut Vec<(usize, bool)>> = None;
+                for field in index.field_ids() {
+                    let df = index.doc_freq(tid, field);
+                    let present = index.has_postings(tid, field);
+                    if df == 0 && !present {
+                        continue;
+                    }
+                    let per_field = match slot {
+                        Some(ref mut s) => s,
+                        None => {
+                            slot = Some(
+                                out.terms
+                                    .entry(term.to_string())
+                                    .or_insert_with(|| vec![(0, false); nfields]),
+                            );
+                            slot.as_mut().expect("just set")
+                        }
+                    };
+                    if per_field.len() < nfields {
+                        per_field.resize(nfields, (0, false));
+                    }
+                    per_field[field.0 as usize].0 += df;
+                    per_field[field.0 as usize].1 |= present;
+                }
+            }
+        }
+        out
+    }
+
+    /// Corpus-wide document frequency of `term` in `field`.
+    pub fn doc_freq(&self, term: &str, field: FieldId) -> usize {
+        self.terms
+            .get(term)
+            .and_then(|f| f.get(field.0 as usize))
+            .map_or(0, |&(df, _)| df)
+    }
+
+    /// Whether any shard holds postings for `term` in `field`.
+    pub fn has_postings(&self, term: &str, field: FieldId) -> bool {
+        self.terms
+            .get(term)
+            .and_then(|f| f.get(field.0 as usize))
+            .is_some_and(|&(_, present)| present)
+    }
+
+    /// Corpus-wide mean analyzed length of `field` — the same
+    /// expression as [`Index::avg_field_len`], evaluated on the folded
+    /// integers.
+    pub fn avg_field_len(&self, field: FieldId) -> f32 {
+        let n = self.live_docs;
+        if n == 0 {
+            return 0.0;
+        }
+        let total = self
+            .total_field_len
+            .get(field.0 as usize)
+            .copied()
+            .unwrap_or(0);
+        total as f32 / n as f32
+    }
+}
+
 /// Query executor over one [`Index`].
 pub struct Searcher<'a> {
     index: &'a Index,
     params: Bm25Params,
     mode: ScoreMode,
+    /// When set, corpus-wide statistics (df / live docs / average
+    /// lengths) come from here instead of the local index, so a shard
+    /// scores its slice exactly as the single-index build would.
+    global: Option<&'a GlobalScoreStats>,
 }
 
 impl<'a> Searcher<'a> {
@@ -113,6 +222,7 @@ impl<'a> Searcher<'a> {
             index,
             params: Bm25Params::default(),
             mode: ScoreMode::default(),
+            global: None,
         }
     }
 
@@ -122,12 +232,20 @@ impl<'a> Searcher<'a> {
             index,
             params,
             mode: ScoreMode::default(),
+            global: None,
         }
     }
 
     /// Select the execution mode (builder-style).
     pub fn with_mode(mut self, mode: ScoreMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Score with corpus-wide statistics folded across shards
+    /// (builder-style). See [`GlobalScoreStats`].
+    pub fn with_global_stats(mut self, global: &'a GlobalScoreStats) -> Self {
+        self.global = Some(global);
         self
     }
 
@@ -159,6 +277,33 @@ impl<'a> Searcher<'a> {
         }
     }
 
+    /// Like [`Searcher::search_filtered`], additionally returning the
+    /// executor's final MaxScore threshold: the k-th best score when
+    /// the result list is full, `NEG_INFINITY` otherwise (the pruned
+    /// executor's `threshold` variable ends at exactly this value —
+    /// it is the min-heap's worst member once `k` docs are held).
+    ///
+    /// A scatter-gather merge uses it as a *merge bound*: every
+    /// document this searcher did **not** return scores at or below
+    /// the threshold, so a gather node that has already collected `k`
+    /// docs above a shard's bound can prove the shard contributes
+    /// nothing further — rank safety of the merged list reduces to
+    /// rank safety of each shard's top-k.
+    pub fn search_filtered_with_threshold(
+        &self,
+        query: &Query,
+        k: usize,
+        filter: impl Fn(DocId) -> bool,
+    ) -> (Vec<SearchHit>, f32) {
+        let hits = self.search_filtered(query, k, filter);
+        let bound = if hits.len() == k && k > 0 {
+            hits[k - 1].score
+        } else {
+            f32::NEG_INFINITY
+        };
+        (hits, bound)
+    }
+
     /// Term-at-a-time reference executor (see module docs).
     fn search_exhaustive(
         &self,
@@ -187,7 +332,7 @@ impl<'a> Searcher<'a> {
             };
             match (&clause.kind, clause.occur) {
                 (ClauseKind::Term(raw), occur) => {
-                    let tokens = self.analyze_query_text(raw);
+                    let tokens = self.analyze_query_tokens(raw);
                     if tokens.is_empty() {
                         if occur == Occur::Must {
                             // A must clause that analyzes to nothing
@@ -197,7 +342,7 @@ impl<'a> Searcher<'a> {
                     }
                     match occur {
                         Occur::MustNot => {
-                            for t in &tokens {
+                            for t in tokens.iter().flatten() {
                                 self.collect_docs(*t, &fields, &mut excluded);
                             }
                         }
@@ -205,10 +350,18 @@ impl<'a> Searcher<'a> {
                             any_positive = true;
                             let mut clause_docs = FxHashSet::default();
                             for (i, t) in tokens.iter().enumerate() {
-                                self.score_term(*t, &fields, &mut scores);
+                                // A remote token (`None`) scores and
+                                // matches nothing here; under `+must`
+                                // its empty doc set empties the whole
+                                // conjunction.
+                                let mut term_docs = FxHashSet::default();
+                                if let Some(t) = *t {
+                                    self.score_term(t, &fields, &mut scores);
+                                    if occur == Occur::Must {
+                                        self.collect_docs(t, &fields, &mut term_docs);
+                                    }
+                                }
                                 if occur == Occur::Must {
-                                    let mut term_docs = FxHashSet::default();
-                                    self.collect_docs(*t, &fields, &mut term_docs);
                                     if i == 0 {
                                         clause_docs = term_docs;
                                     } else {
@@ -223,17 +376,20 @@ impl<'a> Searcher<'a> {
                     }
                 }
                 (ClauseKind::Phrase(words), occur) => {
-                    let tokens: Vec<TermId> = {
-                        let mut ts = Vec::new();
-                        for w in words {
-                            ts.extend(self.analyze_query_text(w));
-                        }
-                        ts
-                    };
+                    let tokens: Vec<Option<TermId>> = words
+                        .iter()
+                        .flat_map(|w| self.analyze_query_tokens(w))
+                        .collect();
                     if tokens.is_empty() {
                         continue;
                     }
-                    let matches = self.phrase_matches(&tokens, &fields);
+                    // A phrase containing a remote token cannot occur
+                    // contiguously in any local document.
+                    let local: Option<Vec<TermId>> = tokens.iter().copied().collect();
+                    let matches = match &local {
+                        Some(toks) => self.phrase_matches(toks, &fields),
+                        None => FxHashMap::default(),
+                    };
                     match occur {
                         Occur::MustNot => {
                             excluded.extend(matches.keys().copied());
@@ -241,7 +397,8 @@ impl<'a> Searcher<'a> {
                         Occur::Should | Occur::Must => {
                             any_positive = true;
                             for (&doc, &(tf, field)) in &matches {
-                                let s = self.phrase_score(&tokens, field, DocId(doc), tf);
+                                let toks = local.as_deref().expect("matches imply local tokens");
+                                let s = self.phrase_score(toks, field, DocId(doc), tf);
                                 *scores.entry(doc).or_insert(0.0) += s;
                             }
                             if occur == Occur::Must {
@@ -285,12 +442,7 @@ impl<'a> Searcher<'a> {
                 score: e.score,
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
         hits
     }
 
@@ -343,7 +495,7 @@ impl<'a> Searcher<'a> {
             };
             match &clause.kind {
                 ClauseKind::Term(raw) => {
-                    let tokens = self.analyze_query_text(raw);
+                    let tokens = self.analyze_query_tokens(raw);
                     if tokens.is_empty() {
                         // Must clauses that analyze to nothing are
                         // vacuously true, matching the exhaustive path.
@@ -351,7 +503,7 @@ impl<'a> Searcher<'a> {
                     }
                     match clause.occur {
                         Occur::MustNot => {
-                            for &t in &tokens {
+                            for &t in tokens.iter().flatten() {
                                 let u = self.union_cursor(t, &fields);
                                 if !u.is_empty() {
                                     exclusions.push(u);
@@ -361,6 +513,15 @@ impl<'a> Searcher<'a> {
                         occur => {
                             any_positive = true;
                             for &t in &tokens {
+                                let Some(t) = t else {
+                                    // Remote token: matches nothing
+                                    // locally; required ones empty the
+                                    // conjunction.
+                                    if occur == Occur::Must {
+                                        return Vec::new();
+                                    }
+                                    continue;
+                                };
                                 for &field in &fields {
                                     if let Some(s) = self.scorer(t, field) {
                                         scorers.push(AnyScorer::Term(s));
@@ -381,22 +542,26 @@ impl<'a> Searcher<'a> {
                     }
                 }
                 ClauseKind::Phrase(words) => {
-                    let tokens: Vec<TermId> = words
+                    let tokens: Vec<Option<TermId>> = words
                         .iter()
-                        .flat_map(|w| self.analyze_query_text(w))
+                        .flat_map(|w| self.analyze_query_tokens(w))
                         .collect();
                     if tokens.is_empty() {
                         continue;
                     }
+                    // A remote token means the phrase cannot occur in
+                    // any local document (same rule as the exhaustive
+                    // arm above).
+                    let local: Option<Vec<TermId>> = tokens.iter().copied().collect();
                     match clause.occur {
                         Occur::MustNot => {
-                            if let Some(p) = self.phrase_scorer(tokens, &fields) {
+                            if let Some(p) = local.and_then(|t| self.phrase_scorer(t, &fields)) {
                                 phrase_exclusions.push(p);
                             }
                         }
                         occur => {
                             any_positive = true;
-                            match self.phrase_scorer(tokens, &fields) {
+                            match local.and_then(|t| self.phrase_scorer(t, &fields)) {
                                 Some(p) => {
                                     if occur == Occur::Must {
                                         must_phrases.push(scorers.len());
@@ -609,12 +774,7 @@ impl<'a> Searcher<'a> {
                 score: e.score,
             })
             .collect();
-        hits.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(Ordering::Equal)
-                .then(a.doc.cmp(&b.doc))
-        });
+        hits.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc.cmp(&b.doc)));
         hits
     }
 
@@ -758,7 +918,7 @@ impl<'a> Searcher<'a> {
                     min_len = min_len.max(st.min_len);
                 }
                 let idf: f32 = tokens.iter().map(|&t| self.idf(t, pf.field)).sum();
-                let avg = self.index.avg_field_len(pf.field);
+                let avg = self.stat_avg_field_len(pf.field);
                 let raw = self.index.field_boost(pf.field)
                     * self.bm25(cmax_total as f32, min_len as f32, avg, idf);
                 bound = bound.max(raw);
@@ -792,7 +952,7 @@ impl<'a> Searcher<'a> {
     fn scorer(&self, term: TermId, field: FieldId) -> Option<Scorer<'a>> {
         let cursor = self.index.cursor(term, field)?;
         let idf = self.idf(term, field);
-        let avg_len = self.index.avg_field_len(field);
+        let avg_len = self.stat_avg_field_len(field);
         let boost = self.index.field_boost(field);
         let mut min_len = 0.0f32;
         let bound = match self.index.term_score_stats(term, field) {
@@ -841,18 +1001,73 @@ impl<'a> Searcher<'a> {
     /// exactly like one that was never indexed — otherwise a compacted
     /// index and a from-scratch rebuild would disagree on `+must`
     /// vacuousness).
-    fn analyze_query_text(&self, raw: &str) -> Vec<TermId> {
-        self.index
-            .analyzer()
-            .analyze(raw)
-            .into_iter()
-            .filter_map(|t| self.index.lexicon().get(&t.term))
-            .filter(|&t| {
-                self.index
-                    .field_ids()
-                    .any(|f| self.index.has_postings(t, f))
-            })
-            .collect()
+    /// Analyze raw query text against the *effective* corpus. Each
+    /// surviving token is `Some(local id)` when this index can resolve
+    /// it, or `None` for a token that is alive elsewhere in the union
+    /// (global stats attached) but absent from this shard's lexicon —
+    /// such a token matches no local document, yet must keep shaping
+    /// the clause (`+must` vacuousness, phrase contiguity) exactly as
+    /// the single-index build would, otherwise a shard would return
+    /// docs the union search rejects.
+    ///
+    /// Without global stats the presence test is local (`has_postings`
+    /// in any field) and every returned token is `Some`.
+    fn analyze_query_tokens(&self, raw: &str) -> Vec<Option<TermId>> {
+        match self.global {
+            None => self
+                .index
+                .analyzer()
+                .analyze(raw)
+                .into_iter()
+                .filter_map(|t| self.index.lexicon().get(&t.term))
+                .filter(|&t| {
+                    self.index
+                        .field_ids()
+                        .any(|f| self.index.has_postings(t, f))
+                })
+                .map(Some)
+                .collect(),
+            Some(g) => self
+                .index
+                .analyzer()
+                .analyze(raw)
+                .into_iter()
+                .filter_map(|t| {
+                    if self.index.field_ids().any(|f| g.has_postings(&t.term, f)) {
+                        Some(self.index.lexicon().get(&t.term))
+                    } else {
+                        // Dead in the whole union: dropped, exactly
+                        // like a never-indexed term on a single index.
+                        None
+                    }
+                })
+                .collect(),
+        }
+    }
+
+    /// Corpus-wide document frequency: folded when global stats are
+    /// attached, local otherwise.
+    fn stat_doc_freq(&self, term: TermId, field: FieldId) -> usize {
+        match self.global {
+            Some(g) => g.doc_freq(self.index.lexicon().term(term), field),
+            None => self.index.doc_freq(term, field),
+        }
+    }
+
+    /// Corpus-wide live-document count.
+    fn stat_live_docs(&self) -> usize {
+        match self.global {
+            Some(g) => g.live_docs,
+            None => self.index.live_docs(),
+        }
+    }
+
+    /// Corpus-wide mean analyzed field length.
+    fn stat_avg_field_len(&self, field: FieldId) -> f32 {
+        match self.global {
+            Some(g) => g.avg_field_len(field),
+            None => self.index.avg_field_len(field),
+        }
     }
 
     /// BM25 idf over the *live* corpus. `df` still counts tombstoned
@@ -863,11 +1078,11 @@ impl<'a> Searcher<'a> {
     /// Using the live count is what makes a fully-compacted index score
     /// bit-identically to a from-scratch rebuild of the live corpus.
     fn idf(&self, term: TermId, field: FieldId) -> f32 {
-        let df = self.index.doc_freq(term, field);
+        let df = self.stat_doc_freq(term, field);
         if df == 0 {
             return 0.0;
         }
-        let n = self.index.live_docs() as f32;
+        let n = self.stat_live_docs() as f32;
         (1.0 + (n - df as f32 + 0.5) / (df as f32 + 0.5)).ln()
     }
 
@@ -887,7 +1102,7 @@ impl<'a> Searcher<'a> {
                 continue;
             }
             let idf = self.idf(term, field);
-            let avg = self.index.avg_field_len(field);
+            let avg = self.stat_avg_field_len(field);
             let boost = self.index.field_boost(field);
             self.index.for_each_posting(term, field, |doc, positions| {
                 let len = self.index.field_len(doc, field) as f32;
@@ -968,7 +1183,7 @@ impl<'a> Searcher<'a> {
     fn phrase_score(&self, tokens: &[TermId], field: FieldId, doc: DocId, tf: u32) -> f32 {
         let idf: f32 = tokens.iter().map(|&t| self.idf(t, field)).sum();
         let len = self.index.field_len(doc, field) as f32;
-        let avg = self.index.avg_field_len(field);
+        let avg = self.stat_avg_field_len(field);
         self.index.field_boost(field) * self.bm25(tf as f32, len, avg, idf)
     }
 }
@@ -1298,8 +1513,7 @@ impl Ord for HeapEntry {
         // kept, matching the final deterministic sort.
         other
             .score
-            .partial_cmp(&self.score)
-            .unwrap_or(Ordering::Equal)
+            .total_cmp(&self.score)
             .then(self.doc.cmp(&other.doc))
     }
 }
@@ -1710,5 +1924,125 @@ mod tests {
         let flat = Searcher::with_params(&idx, Bm25Params { k1: 0.0, b: 0.0 }).search(&q, 10);
         assert_eq!(default.len(), flat.len());
         assert_ne!(default[0].score, flat[0].score);
+    }
+
+    #[test]
+    fn threshold_is_kth_score_when_full_and_neg_infinity_otherwise() {
+        let idx = index();
+        let q = Query::parse("space");
+        let (hits, bound) = Searcher::new(&idx).search_filtered_with_threshold(&q, 2, |_| true);
+        assert_eq!(hits.len(), 2);
+        assert_eq!(bound, hits[1].score);
+        let (hits, bound) = Searcher::new(&idx).search_filtered_with_threshold(&q, 50, |_| true);
+        assert!(hits.len() < 50);
+        assert_eq!(bound, f32::NEG_INFINITY);
+    }
+
+    /// The corpus from [`index`] split round-robin across `n` shards.
+    fn shard_indexes(n: usize) -> Vec<Index> {
+        let docs = [
+            (
+                "Galactic Raiders",
+                "a fast space shooter with lasers and space battles",
+            ),
+            ("Farm Story", "calm farming with crops and animals"),
+            ("Space Trader", "trade goods across space stations"),
+            ("Puzzle Palace", "mind bending puzzle rooms"),
+            ("Laser Golf", "golf with lasers a silly shooter"),
+        ];
+        let mut shards: Vec<Index> = (0..n)
+            .map(|_| {
+                let mut idx = Index::new(IndexConfig::default());
+                idx.register_field("title", 2.0);
+                idx.register_field("body", 1.0);
+                idx
+            })
+            .collect();
+        let title = FieldId(0);
+        let body = FieldId(1);
+        for (i, (t, b)) in docs.iter().enumerate() {
+            shards[i % n].add(Doc::new().field(title, *t).field(body, *b));
+        }
+        for s in &mut shards {
+            s.optimize();
+        }
+        shards
+    }
+
+    #[test]
+    fn folded_global_stats_match_the_single_index() {
+        let single = index();
+        for n in 1..=4 {
+            let shards = shard_indexes(n);
+            let global = GlobalScoreStats::fold(shards.iter());
+            assert_eq!(global.live_docs, single.live_docs());
+            for field in single.field_ids() {
+                assert_eq!(
+                    global.total_field_len[field.0 as usize],
+                    single.total_field_len(field),
+                    "total_field_len shards={n} field={field:?}"
+                );
+                assert_eq!(global.avg_field_len(field), single.avg_field_len(field));
+            }
+            for (tid, term) in single.lexicon().iter() {
+                for field in single.field_ids() {
+                    assert_eq!(
+                        global.doc_freq(term, field),
+                        single.doc_freq(tid, field),
+                        "df mismatch shards={n} term={term:?}"
+                    );
+                    assert_eq!(
+                        global.has_postings(term, field),
+                        single.has_postings(tid, field)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn global_stats_make_shard_scores_bit_identical_to_single() {
+        // Per-shard search with folded stats must assign every doc the
+        // exact score the single index does; gathering the per-shard
+        // hits and resorting under the canonical order reproduces the
+        // single top-k bit for bit.
+        let single = index();
+        for n in 1..=4 {
+            let shards = shard_indexes(n);
+            let global = GlobalScoreStats::fold(shards.iter());
+            for q in [
+                "space",
+                "space shooter",
+                "+space trade",
+                "lasers -golf",
+                "\"space shooter\"",
+                "farming puzzle lasers",
+            ] {
+                let query = Query::parse(q);
+                let want = Searcher::new(&single).search(&query, 10);
+                let mut merged: Vec<(f32, usize, u32)> = Vec::new();
+                for (si, shard) in shards.iter().enumerate() {
+                    let hits = Searcher::new(shard)
+                        .with_global_stats(&global)
+                        .search(&query, 10);
+                    for h in hits {
+                        // Identify the doc by its stored title-less
+                        // global position: local doc i on shard si is
+                        // global doc si + i*n under round-robin.
+                        let global_doc = si as u32 + h.doc.0 * n as u32;
+                        merged.push((h.score, si, global_doc));
+                    }
+                }
+                merged.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.2.cmp(&b.2)));
+                merged.truncate(10);
+                let want_pairs: Vec<(u32, u32)> =
+                    want.iter().map(|h| (h.doc.0, h.score.to_bits())).collect();
+                let got_pairs: Vec<(u32, u32)> = merged
+                    .iter()
+                    .map(|&(score, _, doc)| (doc, score.to_bits()))
+                    .collect();
+                assert_eq!(want_pairs, got_pairs, "query {q:?} shards={n}");
+            }
+        }
     }
 }

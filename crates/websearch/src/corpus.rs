@@ -112,8 +112,10 @@ pub struct Page {
     pub kind: PageKind,
 }
 
-/// The generated web.
-#[derive(Debug)]
+/// The generated web. `Clone` so document-partitioned shard engines
+/// can each hold the full page table (snippets, domains, static rank
+/// all key off global page indexes) while indexing only their slice.
+#[derive(Debug, Clone)]
 pub struct Corpus {
     /// All sites.
     pub sites: Vec<Site>,

@@ -12,11 +12,13 @@ use crate::corpus::{Corpus, Page, PageKind};
 use crate::logs::LogEntry;
 use crate::pagerank::static_rank;
 use std::collections::HashMap;
+use std::sync::Arc;
 use symphony_text::query::{Clause, ClauseKind, Occur};
 use symphony_text::snippet::SnippetGenerator;
 use symphony_text::spell::SpellSuggester;
 use symphony_text::{
-    Doc, DocId, FieldId, Index, IndexConfig, MaintenanceReport, Query, Searcher, SegmentPolicy,
+    Doc, DocId, FieldId, GlobalScoreStats, Index, IndexConfig, MaintenanceReport, Query, Searcher,
+    SegmentPolicy,
 };
 
 /// Search verticals.
@@ -130,6 +132,46 @@ pub struct WebResult {
     pub date: Option<i64>,
 }
 
+/// One candidate in a shard's scatter-gather pool: the fully blended
+/// result plus the two keys that drive the rank-safe merge — the raw
+/// BM25 relevance score (comparable across shards once corpus-wide
+/// statistics are folded) and the global page index (the canonical
+/// tie-break, equal to single-index doc order under strided
+/// partitioning).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PoolEntry {
+    /// Global corpus page index.
+    pub page: usize,
+    /// Raw BM25 score from the vertical index, before blending.
+    pub raw: f32,
+    /// The blended, snippet-carrying result.
+    pub result: WebResult,
+}
+
+/// One shard's candidate pool for a query, ordered (raw desc, page
+/// asc), plus the shard searcher's final MaxScore threshold: every
+/// document the shard did *not* return scores at or below `bound`,
+/// which the gather side uses as a merge bound to certify that
+/// truncating the merged pool is rank-safe.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardPool {
+    /// Pool entries, best first.
+    pub entries: Vec<PoolEntry>,
+    /// MaxScore threshold exported by the shard's searcher
+    /// (`NEG_INFINITY` when the pool came back short — the shard is
+    /// exhausted and withholds nothing).
+    pub bound: f32,
+}
+
+impl Default for ShardPool {
+    fn default() -> Self {
+        ShardPool {
+            entries: Vec::new(),
+            bound: f32::NEG_INFINITY,
+        }
+    }
+}
+
 struct VerticalIndex {
     index: Index,
     /// Doc id -> page index.
@@ -181,6 +223,12 @@ pub struct SearchEngine {
     /// building an owned `(query, url)` key.
     click_boosts: HashMap<String, HashMap<String, f32>>,
     speller: SpellSuggester,
+    /// Corpus-wide scoring statistics, one per vertical, set when this
+    /// engine is a document-partitioned shard of a larger corpus (see
+    /// [`SearchEngine::build_cluster`]). Shard searches then score
+    /// with union df / live-doc / average-length values and stay
+    /// bit-identical to a single-index build.
+    global: Option<Arc<[GlobalScoreStats; 4]>>,
 }
 
 impl std::fmt::Debug for SearchEngine {
@@ -303,7 +351,63 @@ impl SearchEngine {
             news,
             click_boosts: HashMap::new(),
             speller,
+            global: None,
         }
+    }
+
+    /// Build `num_shards` document-partitioned engines over one
+    /// corpus: shard `s` indexes the pages with `page_idx % num_shards
+    /// == s` (strided, so every shard's vertical doc order follows the
+    /// global page order), while every shard keeps the full page table
+    /// and the full static rank. After the per-shard builds, scoring
+    /// statistics are folded across shards per vertical and attached
+    /// to each engine, so shard-local searches score exactly as one
+    /// index over the whole corpus would — the foundation of the
+    /// rank-safe scatter-gather merge ([`SearchEngine::merge_pools`]).
+    pub fn build_cluster(corpus: &Corpus, num_shards: usize, threads: usize) -> Vec<SearchEngine> {
+        assert!(num_shards > 0, "cluster needs at least one shard");
+        let rank = static_rank(corpus, 30);
+        let mut shards: Vec<SearchEngine> = (0..num_shards)
+            .map(|s| {
+                let mut routed = route_pages(corpus);
+                for vd in routed.iter_mut() {
+                    let docs = std::mem::take(&mut vd.docs);
+                    let pages = std::mem::take(&mut vd.pages);
+                    (vd.docs, vd.pages) = docs
+                        .into_iter()
+                        .zip(pages)
+                        .filter(|&(_, p)| p % num_shards == s)
+                        .unzip();
+                }
+                let [web_d, image_d, video_d, news_d] = routed;
+                let web = build_vertical(web_d, threads);
+                let image = build_vertical(image_d, threads);
+                let video = build_vertical(video_d, threads);
+                let news = build_vertical(news_d, threads);
+                let speller = SpellSuggester::from_index(&web.index);
+                SearchEngine {
+                    corpus: corpus.clone(),
+                    rank: rank.clone(),
+                    web,
+                    image,
+                    video,
+                    news,
+                    click_boosts: HashMap::new(),
+                    speller,
+                    global: None,
+                }
+            })
+            .collect();
+        let global = Arc::new([
+            GlobalScoreStats::fold(shards.iter().map(|e| &e.web.index)),
+            GlobalScoreStats::fold(shards.iter().map(|e| &e.image.index)),
+            GlobalScoreStats::fold(shards.iter().map(|e| &e.video.index)),
+            GlobalScoreStats::fold(shards.iter().map(|e| &e.news.index)),
+        ]);
+        for e in &mut shards {
+            e.global = Some(Arc::clone(&global));
+        }
+        shards
     }
 
     /// "Did you mean": a corrected query when tokens look misspelled
@@ -457,6 +561,10 @@ impl SearchEngine {
     /// Search a vertical. `raw_query` uses the
     /// [`symphony_text::Query`] syntax; `config` applies the
     /// customization hooks; at most `k` results return, best first.
+    ///
+    /// Implemented as the one-shard special case of the scatter-gather
+    /// pipeline: one candidate pool, merged and ranked by
+    /// [`SearchEngine::merge_pools`].
     pub fn search(
         &self,
         vertical: Vertical,
@@ -464,6 +572,32 @@ impl SearchEngine {
         config: &SearchConfig,
         k: usize,
     ) -> Vec<WebResult> {
+        Self::merge_pools(vec![self.search_pool(vertical, raw_query, config, k)], k)
+    }
+
+    /// Depth of the relevance candidate pool for a final page of `k`
+    /// results. Over-fetch: static-rank blending can reorder beyond
+    /// position k, so rescoring pulls a deeper pool.
+    fn pool_depth(k: usize) -> usize {
+        (k * 4).max(32)
+    }
+
+    /// Produce this engine's candidate pool for one query: the top
+    /// [`pool_depth`](Self::pool_depth) relevance hits, rescored with
+    /// static rank / click / preference / recency blending, each
+    /// carrying its raw BM25 score and global page index, plus the
+    /// relevance searcher's MaxScore threshold as the shard's merge
+    /// bound. On a shard built by [`SearchEngine::build_cluster`] the
+    /// raw scores are computed under folded corpus-wide statistics, so
+    /// pools from different shards are directly comparable — merging
+    /// them reproduces the single-index pool exactly.
+    pub fn search_pool(
+        &self,
+        vertical: Vertical,
+        raw_query: &str,
+        config: &SearchConfig,
+        k: usize,
+    ) -> ShardPool {
         let mut query = Query::parse(raw_query);
         for t in &config.augment_terms {
             query.clauses.push(Clause {
@@ -473,14 +607,16 @@ impl SearchEngine {
             });
         }
         if query.is_empty() || k == 0 {
-            return Vec::new();
+            return ShardPool::default();
         }
         let vi = self.vertical(vertical);
-        // Over-fetch: static-rank blending can reorder beyond position
-        // k, so pull a deeper pool before rescoring.
-        let pool = (k * 4).max(32);
+        let pool = Self::pool_depth(k);
         let restrict = &config.site_restrict;
-        let hits = Searcher::new(&vi.index).search_filtered(&query, pool, |doc| {
+        let mut searcher = Searcher::new(&vi.index);
+        if let Some(global) = &self.global {
+            searcher = searcher.with_global_stats(&global[vertical as usize]);
+        }
+        let (hits, bound) = searcher.search_filtered_with_threshold(&query, pool, |doc| {
             if restrict.is_empty() {
                 return true;
             }
@@ -499,7 +635,7 @@ impl SearchEngine {
         // One snippet generator for the whole result page: construction
         // analyzes the query terms, which is identical for every hit.
         let snippeter = SnippetGenerator::new(vi.index.analyzer(), &query.positive_words());
-        let mut results: Vec<WebResult> = hits
+        let entries: Vec<PoolEntry> = hits
             .into_iter()
             .map(|h| {
                 let page_idx = vi.pages[h.doc.as_usize()];
@@ -529,24 +665,75 @@ impl SearchEngine {
                     }
                     _ => (None, None, None),
                 };
-                WebResult {
-                    url: page.url.clone(),
-                    title: page.title.clone(),
-                    snippet: snippeter.snippet(&page.body),
-                    domain,
-                    score,
-                    image_src,
-                    duration_s,
-                    date,
+                PoolEntry {
+                    page: page_idx,
+                    raw: h.score,
+                    result: WebResult {
+                        url: page.url.clone(),
+                        title: page.title.clone(),
+                        snippet: snippeter.snippet(&page.body),
+                        domain,
+                        score,
+                        image_src,
+                        duration_s,
+                        date,
+                    },
                 }
             })
             .collect();
-        results.sort_by(|a, b| {
-            b.score
-                .partial_cmp(&a.score)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then_with(|| a.url.cmp(&b.url))
-        });
+        // The searcher returns (score desc, doc asc); strided
+        // partitioning keeps local doc order aligned with global page
+        // order, so entries are already in (raw desc, page asc) — the
+        // canonical merge order.
+        debug_assert!(entries
+            .windows(2)
+            .all(|w| w[1].raw < w[0].raw || (w[1].raw == w[0].raw && w[0].page < w[1].page)));
+        ShardPool { entries, bound }
+    }
+
+    /// Rank-safe gather: merge per-shard candidate pools into the
+    /// final top-`k` result page.
+    ///
+    /// Exactness argument (DESIGN.md "Distributed serving" has the
+    /// full sketch): the shards partition the documents, and every
+    /// member of the single-index pool ranks at least as high within
+    /// its own shard as globally, so the union of per-shard pools is a
+    /// superset of the single-index pool; truncating the union under
+    /// the same canonical total order (raw BM25 desc, global page asc
+    /// — page order *is* doc order under strided partitioning)
+    /// therefore selects exactly the single-index pool, and rescoring
+    /// is a pure per-(page, query) function, so the final (score desc,
+    /// url asc) page is bit-identical. Each shard's exported MaxScore
+    /// bound certifies the truncation: any document a shard withheld
+    /// scores at or below its bound, and a debug assertion checks no
+    /// withheld document could have displaced the merged cutoff.
+    pub fn merge_pools(pools: Vec<ShardPool>, k: usize) -> Vec<WebResult> {
+        let depth = Self::pool_depth(k);
+        let mut merged: Vec<PoolEntry> =
+            Vec::with_capacity(pools.iter().map(|p| p.entries.len()).sum());
+        let mut bounds: Vec<(f32, usize)> = Vec::with_capacity(pools.len());
+        for pool in pools {
+            // A shard whose pool came back full may be withholding
+            // docs scoring up to its bound; remember it for the
+            // rank-safety certificate below.
+            if pool.entries.len() >= depth {
+                bounds.push((pool.bound, pool.entries.len()));
+            }
+            merged.extend(pool.entries);
+        }
+        merged.sort_by(|a, b| b.raw.total_cmp(&a.raw).then(a.page.cmp(&b.page)));
+        merged.truncate(depth);
+        if let Some(cutoff) = merged.last() {
+            // Merge-bound certificate: every truncated shard's bound
+            // must sit at or below the merged cutoff, i.e. nothing a
+            // shard withheld could have entered the merged pool.
+            debug_assert!(
+                merged.len() < depth || bounds.iter().all(|&(b, _)| b <= cutoff.raw),
+                "shard bound exceeds merged cutoff: rank safety violated"
+            );
+        }
+        let mut results: Vec<WebResult> = merged.into_iter().map(|e| e.result).collect();
+        results.sort_by(|a, b| b.score.total_cmp(&a.score).then_with(|| a.url.cmp(&b.url)));
         results.truncate(k);
         results
     }
@@ -892,5 +1079,77 @@ mod tests {
         assert!(domain_matches("gamespot.com", "gamespot.com"));
         assert!(domain_matches("www.gamespot.com", "gamespot.com"));
         assert!(!domain_matches("notgamespot.com", "gamespot.com"));
+    }
+
+    fn result_bits(rs: &[WebResult]) -> Vec<(String, u32)> {
+        rs.iter()
+            .map(|r| (r.url.clone(), r.score.to_bits()))
+            .collect()
+    }
+
+    #[test]
+    fn cluster_merge_is_bit_identical_to_single_engine() {
+        let cfg = CorpusConfig {
+            sites_per_topic: 3,
+            pages_per_site: 6,
+            ..CorpusConfig::default()
+        }
+        .with_entities(Topic::Games, ["Galactic Raiders", "Farm Story"]);
+        let corpus = Corpus::generate(&cfg);
+        let single = SearchEngine::new(corpus.clone());
+        let configs = [
+            SearchConfig::default(),
+            SearchConfig::default().restrict_to(["gamespot.com", "ign.com"]),
+            SearchConfig::default()
+                .augment(["review"])
+                .prefer(["ign.com"]),
+        ];
+        for n in [1usize, 2, 3, 5] {
+            let shards = SearchEngine::build_cluster(&corpus, n, 1);
+            for v in Vertical::ALL {
+                for q in [
+                    "Galactic Raiders",
+                    "game review",
+                    "+space farm",
+                    "\"Farm Story\"",
+                ] {
+                    for (ci, config) in configs.iter().enumerate() {
+                        for k in [3usize, 10] {
+                            let want = single.search(v, q, config, k);
+                            let pools = shards
+                                .iter()
+                                .map(|e| e.search_pool(v, q, config, k))
+                                .collect();
+                            let got = SearchEngine::merge_pools(pools, k);
+                            assert_eq!(
+                                result_bits(&want),
+                                result_bits(&got),
+                                "vertical {v:?} query {q:?} config {ci} k {k} shards {n}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_pool_exports_threshold_bound() {
+        let cfg = CorpusConfig {
+            sites_per_topic: 4,
+            pages_per_site: 8,
+            ..CorpusConfig::default()
+        };
+        let corpus = Corpus::generate(&cfg);
+        let e = SearchEngine::new(corpus);
+        // k=1 → pool depth 32; a broad query fills the pool and the
+        // bound equals the last raw score; a narrow one leaves it
+        // short with an unbounded (NEG_INFINITY) certificate.
+        let pool = e.search_pool(Vertical::Web, "game", &SearchConfig::default(), 1);
+        if pool.entries.len() >= 32 {
+            assert_eq!(pool.bound, pool.entries.last().unwrap().raw);
+        } else {
+            assert_eq!(pool.bound, f32::NEG_INFINITY);
+        }
     }
 }
