@@ -27,7 +27,11 @@ use symphony_core::runtime::ExecMode;
 use symphony_core::ScatterSearch;
 use symphony_services::rpc::{replica_endpoint, shard_endpoint};
 use symphony_services::FaultPlan;
-use symphony_text::{Analyzer, Doc, Index, IndexConfig, StandardAnalyzer, TokenScratch};
+use symphony_store::{
+    CmpOp, FieldType, Filter, HybridPlan, HybridQuery, HybridResult, IndexKind, IndexedTable,
+    Record, Schema, Table, Value,
+};
+use symphony_text::{Analyzer, Doc, Index, IndexConfig, Query, StandardAnalyzer, TokenScratch};
 use symphony_web::{
     generate_logs, LogConfig, SearchConfig, SearchEngine, SiteSuggest, Topic, Vertical,
 };
@@ -121,6 +125,9 @@ fn main() {
     }
     if run("e-shard") {
         e_shard();
+    }
+    if run("e-hybrid") {
+        e_hybrid();
     }
 }
 
@@ -2046,5 +2053,246 @@ fn e_shard() {
         "the degraded fleet must keep most of its throughput once the \
          breakers open: {degrade_goodput:.1} vs healthy {:.1}",
         cells[2].goodput_qps,
+    );
+}
+
+/// E-hybrid: selectivity-planned structured + full-text execution.
+///
+/// A synthetic review table (`HYBRID_ROWS` rows, default 20k) carries
+/// an ordered index on `price = i % 1000`, so `price < c` has exact
+/// selectivity `c / 1000`. Every cell of a selectivity grid runs a
+/// fixed query pool under all three strategies — filter-first pushdown,
+/// search-first over-fetch + post-filter, and exhaustive scan — forced
+/// via `hybrid_query_planned`. The lists must be bit-identical per
+/// query (plan choice is purely a performance decision), and at <= 1%
+/// selectivity the index-resolved pushdown must beat
+/// search-then-post-filter by at least 3x. The planner's EXPLAIN for
+/// each cell lands in BENCH_hybrid.json.
+fn e_hybrid() {
+    let rows: usize = std::env::var("HYBRID_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    let k = 10usize;
+
+    // Three note bodies on an `i % 3` cycle; 1000 % 3 != 0, so every
+    // price stratum mixes vocabularies (no filter/text correlation).
+    const NOTES: [&str; 3] = [
+        "smoky oak finish with vanilla",
+        "bright citrus and melon notes",
+        "oak barrel aged deep tannins",
+    ];
+    let schema = Schema::of(&[
+        ("product", FieldType::Text),
+        ("body", FieldType::Text),
+        ("price", FieldType::Int),
+    ]);
+    let mut table = IndexedTable::new(Table::new("reviews", schema));
+    for i in 0..rows {
+        table.insert(Record::new(vec![
+            Value::Text(format!("wine-{}", i % 97)),
+            Value::Text(NOTES[i % 3].into()),
+            Value::Int((i % 1000) as i64),
+        ]));
+    }
+    table
+        .create_index("price", IndexKind::Ordered)
+        .expect("price column exists");
+    table
+        .enable_fulltext(&[("product", 2.0), ("body", 1.0)])
+        .expect("text columns exist");
+    table.optimize_fulltext();
+
+    let terms = [
+        "oak", "citrus", "vanilla", "tannins", "melon", "smoky", "bright", "barrel", "finish",
+        "aged",
+    ];
+    let queries: Vec<Query> = (0..20)
+        .map(|i| {
+            let a = terms[i % terms.len()];
+            let b = terms[(i * 3 + 1) % terms.len()];
+            if i % 2 == 0 {
+                Query::parse(a)
+            } else {
+                Query::parse(&format!("{a} {b}"))
+            }
+        })
+        .collect();
+
+    let plans = [
+        HybridPlan::FilterFirst,
+        HybridPlan::SearchFirst,
+        HybridPlan::Scan,
+    ];
+    let grid = [0.001f64, 0.01, 0.05, 0.2, 0.5];
+    let reps: usize = if rows <= 8_000 { 2 } else { 3 };
+
+    struct Cell {
+        selectivity: f64,
+        cutoff: i64,
+        chosen: &'static str,
+        access: String,
+        estimated: Option<usize>,
+        est_selectivity: Option<f64>,
+        plan_ms: [f64; 3],
+        identical_queries: usize,
+    }
+    let mut cells: Vec<Cell> = Vec::new();
+
+    for &s in &grid {
+        let cutoff = (1000.0 * s) as i64;
+        let filter = Filter::cmp(2, CmpOp::Lt, Value::Int(cutoff));
+
+        // Identity pass: every query, every strategy, one list.
+        let key = |r: &HybridResult| {
+            r.hits
+                .iter()
+                .map(|h| (h.record, h.score.to_bits()))
+                .collect::<Vec<_>>()
+        };
+        let mut identical = 0usize;
+        for q in &queries {
+            let hq = HybridQuery::new(q.clone(), filter.clone(), k);
+            let planned = key(&table.hybrid_query(&hq).expect("fulltext enabled"));
+            for p in plans {
+                let forced = key(&table
+                    .hybrid_query_planned(&hq, Some(p))
+                    .expect("fulltext enabled"));
+                assert_eq!(
+                    forced,
+                    planned,
+                    "plan {} diverges from the planner's choice at selectivity {s}",
+                    p.name(),
+                );
+            }
+            identical += 1;
+        }
+
+        // Timing pass: whole query pool per strategy, averaged over reps.
+        let mut plan_ms = [0f64; 3];
+        for (pi, p) in plans.iter().enumerate() {
+            let start = Instant::now();
+            for _ in 0..reps {
+                for q in &queries {
+                    let hq = HybridQuery::new(q.clone(), filter.clone(), k);
+                    std::hint::black_box(
+                        table
+                            .hybrid_query_planned(&hq, Some(*p))
+                            .expect("fulltext enabled"),
+                    );
+                }
+            }
+            plan_ms[pi] = start.elapsed().as_secs_f64() * 1e3 / reps as f64;
+        }
+
+        // EXPLAIN depends only on the filter; any query stands in.
+        let ex = table.hybrid_explain(&HybridQuery::new(queries[0].clone(), filter.clone(), k));
+        cells.push(Cell {
+            selectivity: s,
+            cutoff,
+            chosen: ex.plan.name(),
+            access: format!("{:?}", ex.access),
+            estimated: ex.estimated_matches,
+            est_selectivity: ex.selectivity,
+            plan_ms,
+            identical_queries: identical,
+        });
+    }
+
+    let table_rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                format!("{:.1}%", c.selectivity * 100.0),
+                c.chosen.to_string(),
+                c.estimated.map_or("-".into(), |e| e.to_string()),
+                format!("{:.2}", c.plan_ms[0]),
+                format!("{:.2}", c.plan_ms[1]),
+                format!("{:.2}", c.plan_ms[2]),
+                format!("{:.1}x", c.plan_ms[1] / c.plan_ms[0].max(1e-9)),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "E-hybrid — {} rows, {} queries x {reps} reps, k={k} (ms per query-pool pass)",
+            rows,
+            queries.len(),
+        ),
+        &["sel", "plan", "est", "ff ms", "sf ms", "scan ms", "ff gain"],
+        &table_rows,
+    );
+
+    let mut cells_json = String::new();
+    for (i, c) in cells.iter().enumerate() {
+        cells_json.push_str(&format!(
+            "    {{ \"selectivity\": {}, \"price_cutoff\": {}, \"chosen_plan\": \"{}\", \
+             \"access\": \"{}\", \"estimated_matches\": {}, \"est_selectivity\": {}, \
+             \"filter_first_ms\": {:.3}, \"search_first_ms\": {:.3}, \"scan_ms\": {:.3}, \
+             \"speedup_vs_search_first\": {:.2}, \"identical_queries\": {} }}{}\n",
+            c.selectivity,
+            c.cutoff,
+            c.chosen,
+            c.access,
+            c.estimated.map_or("null".into(), |e| e.to_string()),
+            c.est_selectivity
+                .map_or("null".into(), |v| format!("{v:.4}")),
+            c.plan_ms[0],
+            c.plan_ms[1],
+            c.plan_ms[2],
+            c.plan_ms[1] / c.plan_ms[0].max(1e-9),
+            c.identical_queries,
+            if i + 1 == cells.len() { "" } else { "," },
+        ));
+    }
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"experiment\": \"e-hybrid\",\n",
+            "  \"rows\": {},\n",
+            "  \"queries\": {},\n",
+            "  \"reps\": {},\n",
+            "  \"k\": {},\n",
+            "  \"cells\": [\n{}  ]\n",
+            "}}\n"
+        ),
+        rows,
+        queries.len(),
+        reps,
+        k,
+        cells_json,
+    );
+    std::fs::write("BENCH_hybrid.json", &json).expect("write BENCH_hybrid.json");
+    println!("wrote BENCH_hybrid.json");
+
+    // The acceptance claims, enforced wherever the experiment runs.
+    for c in &cells {
+        assert_eq!(
+            c.identical_queries,
+            queries.len(),
+            "every query must be bit-identical across plans at selectivity {}",
+            c.selectivity,
+        );
+    }
+    for c in cells.iter().filter(|c| c.selectivity <= 0.01) {
+        assert_eq!(
+            c.chosen,
+            "filter-first",
+            "the planner must push down a {:.1}% filter",
+            c.selectivity * 100.0,
+        );
+        assert!(
+            c.plan_ms[1] >= 3.0 * c.plan_ms[0],
+            "filter-first must be >= 3x faster than search-then-post-filter \
+             at selectivity {}: {:.2} ms vs {:.2} ms",
+            c.selectivity,
+            c.plan_ms[0],
+            c.plan_ms[1],
+        );
+    }
+    let densest = cells.last().expect("grid is non-empty");
+    assert_eq!(
+        densest.chosen, "search-first",
+        "a 50% filter must not be enumerated through the index",
     );
 }

@@ -259,7 +259,10 @@ impl ApplicationConfig {
         }
         for (source, _) in &self.constraints {
             match self.source(source).map(|c| &c.def) {
-                Some(crate::source::DataSourceDef::Proprietary { .. }) => {}
+                Some(
+                    crate::source::DataSourceDef::Proprietary { .. }
+                    | crate::source::DataSourceDef::Hybrid { .. },
+                ) => {}
                 Some(_) => {
                     return Err(PlatformError::InvalidConfig(format!(
                         "constraint on non-proprietary source {source:?}"

@@ -38,6 +38,22 @@ pub enum DataSourceDef {
         /// Customization (site restriction, augmentation, preference).
         config: SearchConfig,
     },
+    /// A hybrid structured + full-text source: one of the designer's
+    /// indexed tables queried through the selectivity-planned hybrid
+    /// engine (`symphony_store::hybrid`), with a structured predicate
+    /// baked into the source definition. Unlike [`Proprietary`]
+    /// (closure post-filter over an over-fetched list), the predicate
+    /// reaches the text executor as an index-resolved skip cursor when
+    /// it is selective — and the result is exact, never truncated by
+    /// an over-fetch guess.
+    ///
+    /// [`Proprietary`]: DataSourceDef::Proprietary
+    Hybrid {
+        /// Table name in the tenant space.
+        table: String,
+        /// Structured predicate over the table's columns.
+        filter: symphony_store::Filter,
+    },
     /// A SOAP/REST service.
     Service {
         /// Endpoint in the transport registry.
@@ -70,6 +86,7 @@ impl DataSourceDef {
     pub fn category(&self) -> &'static str {
         match self {
             DataSourceDef::Proprietary { .. } => "proprietary",
+            DataSourceDef::Hybrid { .. } => "hybrid",
             DataSourceDef::WebVertical { vertical, .. } => vertical.name(),
             DataSourceDef::Service { .. } => "service",
             DataSourceDef::Ads { .. } => "ads",
@@ -84,7 +101,7 @@ impl DataSourceDef {
         transport: Option<&SimulatedTransport>,
     ) -> Vec<String> {
         match self {
-            DataSourceDef::Proprietary { table } => space
+            DataSourceDef::Proprietary { table } | DataSourceDef::Hybrid { table, .. } => space
                 .and_then(|s| s.table(table).ok())
                 .map(|t| {
                     t.table()
@@ -313,7 +330,7 @@ pub fn run_source_ctx(
 ) -> SourceOutcome {
     // Fixed-cost local sources: cut when the budget can't cover them.
     let fixed_cost = match def {
-        DataSourceDef::Proprietary { .. } => Some(PROPRIETARY_MS),
+        DataSourceDef::Proprietary { .. } | DataSourceDef::Hybrid { .. } => Some(PROPRIETARY_MS),
         // Scatter cost is dynamic (max over shard call chains), so
         // only the local-engine path has the fixed WEB_MS price; the
         // scatter path is budget-checked after the fact instead.
@@ -364,6 +381,50 @@ pub fn run_source_ctx(
                     })
                 })
                 .take(k)
+                .collect();
+            SourceOutcome {
+                items,
+                virtual_ms: PROPRIETARY_MS,
+                error: None,
+                attempts: 1,
+            }
+        }
+        DataSourceDef::Hybrid { table, filter } => {
+            let Some(space) = subs.space else {
+                return soft_err("no tenant space attached", 0);
+            };
+            let indexed = match space.table(table) {
+                Ok(t) => t,
+                Err(e) => return soft_err(&e.to_string(), 0),
+            };
+            let parsed = symphony_text::Query::parse(query);
+            // The runtime's per-query constraint composes conjunctively
+            // with the source's own predicate; the planner sees both.
+            let combined = match constraint {
+                Some(c) => filter.clone().and(c.clone()),
+                None => filter.clone(),
+            };
+            let hq = symphony_store::HybridQuery::new(parsed, combined, k);
+            let result = match indexed.hybrid_query(&hq) {
+                Ok(r) => r,
+                Err(e) => return soft_err(&e.to_string(), PROPRIETARY_MS),
+            };
+            let schema = indexed.table().schema().clone();
+            let items = result
+                .hits
+                .into_iter()
+                .filter_map(|h| {
+                    let rec = indexed.table().get(h.record)?;
+                    Some(ResultItem {
+                        fields: schema
+                            .fields()
+                            .iter()
+                            .enumerate()
+                            .map(|(i, f)| (f.name.clone(), rec.get(i).display_string()))
+                            .collect(),
+                        score: h.score,
+                    })
+                })
                 .collect();
             SourceOutcome {
                 items,
@@ -590,6 +651,60 @@ mod tests {
         assert_eq!(out.items[0].field("title"), Some("Galactic Raiders"));
         assert_eq!(out.items[0].field("price"), Some("49.99"));
         assert_eq!(out.virtual_ms, PROPRIETARY_MS);
+    }
+
+    #[test]
+    fn hybrid_source_applies_filter_exactly() {
+        use symphony_store::{CmpOp, Filter, Value};
+        let (mut store, tenant, key) = {
+            let (s, t, k) = store_with_inventory();
+            (s, t, k)
+        };
+        // Index the price column so the hybrid planner can read it.
+        store
+            .space_mut(tenant, &key)
+            .unwrap()
+            .table_mut("inventory")
+            .unwrap()
+            .create_index("price", symphony_store::IndexKind::Ordered)
+            .unwrap();
+        let space = store.space(tenant, &key).unwrap();
+        let def = DataSourceDef::Hybrid {
+            table: "inventory".into(),
+            filter: Filter::cmp(2, CmpOp::Lt, Value::Float(30.0)),
+        };
+        assert_eq!(def.category(), "hybrid");
+        assert!(def.fields(Some(space), None).contains(&"price".to_string()));
+        // "sim" matches Farm Story (19.99); the shooter at 49.99 is
+        // excluded by the source's own predicate.
+        let out = run_source(
+            &def,
+            "sim shooter",
+            10,
+            Substrates {
+                space: Some(space),
+                ..none_subs()
+            },
+            None,
+        );
+        assert!(out.error.is_none());
+        assert_eq!(out.items.len(), 1);
+        assert_eq!(out.items[0].field("title"), Some("Farm Story"));
+        assert_eq!(out.virtual_ms, PROPRIETARY_MS);
+        // A runtime constraint composes conjunctively: price < 30 AND
+        // price < 10 matches nothing.
+        let none = run_source(
+            &def,
+            "sim shooter",
+            10,
+            Substrates {
+                space: Some(space),
+                ..none_subs()
+            },
+            Some(&Filter::cmp(2, CmpOp::Lt, Value::Float(10.0))),
+        );
+        assert!(none.items.is_empty());
+        assert!(none.error.is_none());
     }
 
     #[test]

@@ -332,7 +332,9 @@ impl SourceCache {
     /// TTL for a positive outcome of this source kind (0 = uncacheable).
     fn ttl_for(&self, def: &DataSourceDef) -> u64 {
         match def {
-            DataSourceDef::Proprietary { .. } => self.config.proprietary_ttl_ms,
+            DataSourceDef::Proprietary { .. } | DataSourceDef::Hybrid { .. } => {
+                self.config.proprietary_ttl_ms
+            }
             DataSourceDef::WebVertical { .. } => self.config.web_ttl_ms,
             DataSourceDef::Service { .. } => self.config.service_ttl_ms,
             DataSourceDef::Ads { .. } | DataSourceDef::ComposedApp { .. } => 0,
@@ -642,6 +644,17 @@ fn fingerprint(
             h = fnv1a(h, b"proprietary");
             h = fnv1a(h, &owner?.0.to_le_bytes());
             h = fnv1a(h, table.as_bytes());
+            if let Some(f) = constraint {
+                h = fnv1a(h, format!("{f:?}").as_bytes());
+            }
+        }
+        DataSourceDef::Hybrid { table, filter } => {
+            // Tenant-scoped like proprietary; the source's baked-in
+            // predicate is part of the outcome, so it keys too.
+            h = fnv1a(h, b"hybrid");
+            h = fnv1a(h, &owner?.0.to_le_bytes());
+            h = fnv1a(h, table.as_bytes());
+            h = fnv1a(h, format!("{filter:?}").as_bytes());
             if let Some(f) = constraint {
                 h = fnv1a(h, format!("{f:?}").as_bytes());
             }

@@ -10,7 +10,7 @@ use crate::schema::Schema;
 use crate::table::{Record, RecordId};
 use symphony_text::query::Query;
 use symphony_text::{
-    Doc, DocId, FieldId, Index, IndexConfig, MaintenanceReport, Searcher, SegmentPolicy,
+    Doc, DocId, DocSet, FieldId, Index, IndexConfig, MaintenanceReport, Searcher, SegmentPolicy,
 };
 
 /// A searchable projection of selected table columns.
@@ -150,9 +150,63 @@ impl FullTextView {
 
     /// Execute a full-text query, returning the top `k` records.
     pub fn search(&self, query: &Query, k: usize) -> Vec<TextHit> {
-        Searcher::new(&self.index)
-            .search(query, k)
-            .into_iter()
+        self.map_hits(Searcher::new(&self.index).search(query, k))
+    }
+
+    /// Top `k` under a caller predicate on record ids — the opaque
+    /// post-check fallback path (every candidate is still scored).
+    pub fn search_filtered<F: Fn(RecordId) -> bool>(
+        &self,
+        query: &Query,
+        k: usize,
+        accept: F,
+    ) -> Vec<TextHit> {
+        let hits = Searcher::new(&self.index)
+            .search_filtered(query, k, |d| accept(self.doc_to_record[d.as_usize()]));
+        self.map_hits(hits)
+    }
+
+    /// Top `k` restricted to a pre-resolved [`DocSet`] — the pushdown
+    /// path, where the set rides the executor as a non-scoring
+    /// conjunctive cursor and selective sets skip posting blocks
+    /// decode-free.
+    pub fn search_docset(&self, query: &Query, k: usize, allowed: &DocSet) -> Vec<TextHit> {
+        self.map_hits(Searcher::new(&self.index).search_docset(query, k, allowed))
+    }
+
+    /// Top `k` scored exhaustively (no pruning) — the reference
+    /// executor the scan plan and the differential tests use.
+    pub fn search_exhaustive_filtered<F: Fn(RecordId) -> bool>(
+        &self,
+        query: &Query,
+        k: usize,
+        accept: F,
+    ) -> Vec<TextHit> {
+        let hits = Searcher::new(&self.index)
+            .with_mode(symphony_text::ScoreMode::Exhaustive)
+            .search_filtered(query, k, |d| accept(self.doc_to_record[d.as_usize()]));
+        self.map_hits(hits)
+    }
+
+    /// Translate a set of record ids into the live [`DocSet`] the
+    /// pushdown cursor consumes. Records unknown to the view (never
+    /// indexed, or removed) are silently dropped.
+    pub fn doc_set_for<I: IntoIterator<Item = RecordId>>(&self, records: I) -> DocSet {
+        DocSet::from_unsorted(
+            records
+                .into_iter()
+                .filter_map(|id| self.record_to_doc.get(&id).map(|d| d.0))
+                .collect(),
+        )
+    }
+
+    /// Number of live (searchable) records in the view.
+    pub fn live_records(&self) -> usize {
+        self.record_to_doc.len()
+    }
+
+    fn map_hits(&self, hits: Vec<symphony_text::SearchHit>) -> Vec<TextHit> {
+        hits.into_iter()
             .map(|h| TextHit {
                 record: self.doc_to_record[h.doc.as_usize()],
                 score: h.score,

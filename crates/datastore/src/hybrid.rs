@@ -1,0 +1,454 @@
+//! Hybrid structured + full-text queries over an [`IndexedTable`].
+//!
+//! The paper composes *sources*; this module composes *predicates*: a
+//! designer can ask "reviews mentioning 'oak' where price < 20 and
+//! in_stock" as one query. A small cost-based planner reads exact
+//! cardinalities off the maintained secondary-index counters and picks
+//! one of three rank-equivalent strategies:
+//!
+//! * **filter-first** — resolve the structured predicate through the
+//!   secondary indexes into an exact record set, translate it to a
+//!   [`DocSet`](symphony_text::DocSet), and run pruned top-k with the
+//!   set riding the executor as a non-scoring conjunctive cursor
+//!   (selective predicates skip posting blocks decode-free);
+//! * **search-first** — pruned top-k with geometric over-fetch and a
+//!   post-filter refill, for predicates too dense to enumerate;
+//! * **scan** — exhaustive scoring under a closure, for tables too
+//!   small to plan about.
+//!
+//! All three return bit-identical `(record, score)` lists (see the
+//! `hybrid_plan_invariance` proptest): the pruned executor is rank-safe
+//! versus exhaustive scoring, and the over-fetch loop only stops once
+//! the ranked prefix it holds is provably complete, so plan choice is
+//! purely a performance decision — which is what lets the planner be
+//! cost-based at all.
+
+use crate::error::StoreError;
+use crate::filter::Filter;
+use crate::fulltext::TextHit;
+use crate::indexed::{AccessPath, IndexedTable, TableQuery};
+use crate::table::RecordId;
+use crate::value::{Value, ValueKey};
+use symphony_text::query::Query;
+
+/// Planner's choice of execution strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridPlan {
+    /// Resolve the filter via indexes, push the record set into the
+    /// text executor as a skip cursor.
+    FilterFirst,
+    /// Pruned text search with over-fetch + post-filter refill.
+    SearchFirst,
+    /// Exhaustive scoring under a closure filter.
+    Scan,
+}
+
+impl HybridPlan {
+    /// Stable lowercase name for EXPLAIN output and benchmarks.
+    pub fn name(self) -> &'static str {
+        match self {
+            HybridPlan::FilterFirst => "filter-first",
+            HybridPlan::SearchFirst => "search-first",
+            HybridPlan::Scan => "scan",
+        }
+    }
+}
+
+/// A hybrid query: one text clause plus one structured predicate, with
+/// a result budget and optional facet columns.
+#[derive(Debug, Clone)]
+pub struct HybridQuery {
+    /// Full-text clause, run over the table's full-text view.
+    pub text: Query,
+    /// Structured predicate over the table's columns.
+    pub filter: Filter,
+    /// Maximum hits returned.
+    pub k: usize,
+    /// Columns to facet-count over the structured candidate set.
+    pub facets: Vec<usize>,
+}
+
+impl HybridQuery {
+    /// A query with no facets.
+    pub fn new(text: Query, filter: Filter, k: usize) -> HybridQuery {
+        HybridQuery {
+            text,
+            filter,
+            k,
+            facets: Vec::new(),
+        }
+    }
+}
+
+/// EXPLAIN output: what the planner saw and what it chose.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridExplain {
+    /// Chosen strategy.
+    pub plan: HybridPlan,
+    /// Access path the structured side would use (meaningful for
+    /// filter-first; recorded for all plans).
+    pub access: AccessPath,
+    /// Upper bound on filter matches off index counters (`None` when
+    /// no conjunct is index-backed).
+    pub estimated_matches: Option<usize>,
+    /// Live rows in the table at plan time.
+    pub table_rows: usize,
+    /// `estimated_matches / table_rows`, when both are known.
+    pub selectivity: Option<f64>,
+}
+
+/// Facet counts for one column over the structured candidate set.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FacetCounts {
+    /// Faceted column.
+    pub col: usize,
+    /// `(value, count)` pairs, descending by count then value order.
+    pub values: Vec<(Value, usize)>,
+}
+
+/// Result of a hybrid query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HybridResult {
+    /// Top-k `(record, score)` hits, best first.
+    pub hits: Vec<TextHit>,
+    /// Facet counts, one per requested column.
+    pub facets: Vec<FacetCounts>,
+    /// What the planner chose and why.
+    pub explain: HybridExplain,
+}
+
+/// Below this row count the planner does not bother with indexes: an
+/// exhaustive scan of a tiny table beats any plan overhead.
+const SCAN_FLOOR_ROWS: usize = 32;
+
+/// Filter-first is chosen when the estimated match fraction is at or
+/// under this: enumerating the candidate set is then cheaper than the
+/// blocks the pushdown cursor lets the executor skip.
+const FILTER_FIRST_MAX_SELECTIVITY: f64 = 0.05;
+
+/// First over-fetch budget for search-first, as a function of `k`.
+fn initial_overfetch(k: usize) -> usize {
+    k * 4 + 8
+}
+
+impl IndexedTable {
+    /// Plan a hybrid query without running it.
+    pub fn hybrid_explain(&self, q: &HybridQuery) -> HybridExplain {
+        let table_rows = self.table().len();
+        let access = self.explain(&q.filter);
+        let estimated_matches = self.estimate_filter_matches(&q.filter);
+        let selectivity = estimated_matches
+            .filter(|_| table_rows > 0)
+            .map(|e| e as f64 / table_rows as f64);
+        let plan = if table_rows <= SCAN_FLOOR_ROWS {
+            HybridPlan::Scan
+        } else {
+            match (estimated_matches, selectivity) {
+                (Some(0), _) => HybridPlan::FilterFirst,
+                (Some(_), Some(s))
+                    if s <= FILTER_FIRST_MAX_SELECTIVITY && access != AccessPath::FullScan =>
+                {
+                    HybridPlan::FilterFirst
+                }
+                _ => HybridPlan::SearchFirst,
+            }
+        };
+        HybridExplain {
+            plan,
+            access,
+            estimated_matches,
+            table_rows,
+            selectivity,
+        }
+    }
+
+    /// Run a hybrid query under the planner's chosen strategy.
+    pub fn hybrid_query(&self, q: &HybridQuery) -> Result<HybridResult, StoreError> {
+        self.hybrid_query_planned(q, None)
+    }
+
+    /// Run a hybrid query, optionally forcing a strategy (`None` lets
+    /// the planner choose). Forcing exists for the differential tests
+    /// and the `e-hybrid` experiment, which assert all three plans
+    /// return bit-identical lists.
+    pub fn hybrid_query_planned(
+        &self,
+        q: &HybridQuery,
+        force: Option<HybridPlan>,
+    ) -> Result<HybridResult, StoreError> {
+        let ft = self.fulltext().ok_or(StoreError::NoFullText)?;
+        let mut explain = self.hybrid_explain(q);
+        if let Some(p) = force {
+            explain.plan = p;
+        }
+        let hits = match explain.plan {
+            HybridPlan::FilterFirst => {
+                // Exact candidate set via the structured planner (index
+                // lookup + residual eval), then pushdown.
+                let (rows, _) = self.query_explained(&TableQuery::filtered(q.filter.clone()));
+                let set = ft.doc_set_for(rows.into_iter().map(|(id, _)| id));
+                ft.search_docset(&q.text, q.k, &set)
+            }
+            HybridPlan::SearchFirst => {
+                let accept = |id: RecordId| self.table().get(id).is_some_and(|r| q.filter.eval(r));
+                let mut fetch = initial_overfetch(q.k);
+                loop {
+                    let ranked = ft.search(&q.text, fetch);
+                    let complete = ranked.len() < fetch;
+                    let mut kept: Vec<TextHit> =
+                        ranked.into_iter().filter(|h| accept(h.record)).collect();
+                    // Rank-safe stop: either k survivors inside a ranked
+                    // prefix we fully hold, or the prefix is the whole
+                    // match set.
+                    if kept.len() >= q.k || complete {
+                        kept.truncate(q.k);
+                        break kept;
+                    }
+                    fetch *= 2;
+                }
+            }
+            HybridPlan::Scan => {
+                let accept = |id: RecordId| self.table().get(id).is_some_and(|r| q.filter.eval(r));
+                ft.search_exhaustive_filtered(&q.text, q.k, accept)
+            }
+        };
+        let facets = self.facet_counts(&q.filter, &q.facets);
+        Ok(HybridResult {
+            hits,
+            facets,
+            explain,
+        })
+    }
+
+    /// Facet counts over the structured candidate set. When the filter
+    /// is trivial and the column has an ordered index, counts are read
+    /// straight off the maintained per-key lists (no record touched);
+    /// otherwise the candidate rows are tallied once for all columns.
+    pub fn facet_counts(&self, filter: &Filter, cols: &[usize]) -> Vec<FacetCounts> {
+        if cols.is_empty() {
+            return Vec::new();
+        }
+        let trivial = matches!(filter, Filter::True);
+        let mut out = Vec::with_capacity(cols.len());
+        let mut candidates: Option<Vec<(RecordId, &crate::table::Record)>> = None;
+        for &col in cols {
+            // Fast path: whole-table facet off the index counters.
+            if trivial {
+                if let Some(counts) = self.secondary_index(col).and_then(|ix| ix.value_counts()) {
+                    out.push(FacetCounts {
+                        col,
+                        values: sort_facet(counts),
+                    });
+                    continue;
+                }
+            }
+            let rows =
+                candidates.get_or_insert_with(|| self.query(&TableQuery::filtered(filter.clone())));
+            let mut tally: Vec<(Value, usize)> = Vec::new();
+            let mut seen: std::collections::HashMap<ValueKey, usize> =
+                std::collections::HashMap::new();
+            for (_, rec) in rows.iter() {
+                let v = rec.get(col);
+                match seen.entry(v.hash_key()) {
+                    std::collections::hash_map::Entry::Occupied(e) => tally[*e.get()].1 += 1,
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert(tally.len());
+                        tally.push((v.clone(), 1));
+                    }
+                }
+            }
+            out.push(FacetCounts {
+                col,
+                values: sort_facet(tally),
+            });
+        }
+        out
+    }
+}
+
+/// Descending by count, then total value order for determinism.
+fn sort_facet(mut values: Vec<(Value, usize)>) -> Vec<(Value, usize)> {
+    values.sort_by(|(va, ca), (vb, cb)| cb.cmp(ca).then_with(|| va.cmp_total(vb)));
+    values
+}
+
+/// Join a set of typed keys (e.g. pulled from a search vertical's
+/// results) against a tenant table on column `col`: for each key, the
+/// record ids whose `col` equals it — index-backed when `col` is
+/// indexed, scan otherwise. Keys that match nothing are kept with an
+/// empty id list so callers can see the miss.
+pub fn join_on_column(
+    table: &IndexedTable,
+    col: usize,
+    keys: &[Value],
+) -> Vec<(Value, Vec<RecordId>)> {
+    keys.iter()
+        .map(|k| (k.clone(), table.join_on_column(col, k)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::indexes::IndexKind;
+    use crate::schema::{FieldType, Schema};
+    use crate::table::{Record, Table};
+    use crate::value::Value;
+    use crate::CmpOp;
+
+    /// A review corpus: `n` rows, price cycling 0..100, every third
+    /// row in stock, text alternating vocabulary.
+    fn reviews(n: usize) -> IndexedTable {
+        let schema = Schema::of(&[
+            ("product", FieldType::Text),
+            ("body", FieldType::Text),
+            ("price", FieldType::Int),
+            ("in_stock", FieldType::Bool),
+        ]);
+        let mut it = IndexedTable::new(Table::new("reviews", schema));
+        for i in 0..n {
+            let body = match i % 3 {
+                0 => "smoky oak finish with vanilla",
+                1 => "bright citrus and melon",
+                _ => "oak barrel aged, deep tannins",
+            };
+            it.insert(Record::new(vec![
+                Value::Text(format!("product-{}", i % 10)),
+                Value::Text(body.into()),
+                Value::Int((i % 100) as i64),
+                Value::Bool(i % 3 == 0),
+            ]));
+        }
+        it.create_index("price", IndexKind::Ordered).unwrap();
+        it.create_index("in_stock", IndexKind::Hash).unwrap();
+        it.enable_fulltext(&[("product", 2.0), ("body", 1.0)])
+            .unwrap();
+        it.optimize_fulltext();
+        it
+    }
+
+    fn price_under(v: i64) -> Filter {
+        Filter::cmp(2, CmpOp::Lt, Value::Int(v))
+    }
+
+    #[test]
+    fn planner_picks_filter_first_when_selective() {
+        let it = reviews(500);
+        let q = HybridQuery::new(Query::parse("oak"), price_under(3), 10);
+        let ex = it.hybrid_explain(&q);
+        assert_eq!(ex.plan, HybridPlan::FilterFirst);
+        assert_eq!(ex.access, AccessPath::IndexRange { col: 2 });
+        // Inclusive-bound upper estimate: prices 0..=3 → 4 keys × 5 rows.
+        assert_eq!(ex.estimated_matches, Some(20));
+        assert!(ex.selectivity.unwrap() <= 0.05);
+    }
+
+    #[test]
+    fn planner_picks_search_first_when_dense() {
+        let it = reviews(500);
+        let q = HybridQuery::new(Query::parse("oak"), price_under(80), 10);
+        assert_eq!(it.hybrid_explain(&q).plan, HybridPlan::SearchFirst);
+    }
+
+    #[test]
+    fn planner_scans_tiny_tables() {
+        let it = reviews(20);
+        let q = HybridQuery::new(Query::parse("oak"), price_under(3), 10);
+        assert_eq!(it.hybrid_explain(&q).plan, HybridPlan::Scan);
+    }
+
+    #[test]
+    fn unindexed_filter_falls_back_to_search_first() {
+        let it = reviews(500);
+        // in_stock AND product eq: product is unindexed, in_stock is
+        // dense — estimate comes from in_stock only.
+        let f = Filter::eq(0, Value::Text("product-1".into()));
+        let q = HybridQuery::new(Query::parse("oak"), f, 10);
+        let ex = it.hybrid_explain(&q);
+        assert_eq!(ex.plan, HybridPlan::SearchFirst);
+        assert_eq!(ex.estimated_matches, None);
+    }
+
+    #[test]
+    fn all_three_plans_agree_bit_for_bit() {
+        let it = reviews(400);
+        for filt in [
+            price_under(2),
+            price_under(50),
+            Filter::eq(3, Value::Bool(true)).and(price_under(30)),
+            Filter::cmp(2, CmpOp::Ge, Value::Int(95)),
+        ] {
+            let q = HybridQuery::new(Query::parse("oak finish"), filt, 7);
+            let key = |r: &HybridResult| {
+                r.hits
+                    .iter()
+                    .map(|h| (h.record, h.score.to_bits()))
+                    .collect::<Vec<_>>()
+            };
+            let ff = it
+                .hybrid_query_planned(&q, Some(HybridPlan::FilterFirst))
+                .unwrap();
+            let sf = it
+                .hybrid_query_planned(&q, Some(HybridPlan::SearchFirst))
+                .unwrap();
+            let sc = it.hybrid_query_planned(&q, Some(HybridPlan::Scan)).unwrap();
+            assert_eq!(key(&ff), key(&sf));
+            assert_eq!(key(&ff), key(&sc));
+            assert!(!ff.hits.is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_filter_set_returns_no_hits() {
+        let it = reviews(200);
+        let q = HybridQuery::new(Query::parse("oak"), price_under(0), 10);
+        let r = it.hybrid_query(&q).unwrap();
+        assert_eq!(r.explain.plan, HybridPlan::FilterFirst);
+        assert!(r.hits.is_empty());
+    }
+
+    #[test]
+    fn hybrid_without_fulltext_errors() {
+        let schema = Schema::of(&[("a", FieldType::Text)]);
+        let it = IndexedTable::new(Table::new("t", schema));
+        let q = HybridQuery::new(Query::parse("x"), Filter::True, 5);
+        assert_eq!(it.hybrid_query(&q).unwrap_err(), StoreError::NoFullText);
+    }
+
+    #[test]
+    fn facets_over_candidate_set() {
+        let it = reviews(300);
+        let mut q = HybridQuery::new(Query::parse("oak"), price_under(10), 10);
+        q.facets = vec![3]; // in_stock
+        let r = it.hybrid_query(&q).unwrap();
+        assert_eq!(r.facets.len(), 1);
+        let total: usize = r.facets[0].values.iter().map(|(_, c)| c).sum();
+        // 300 rows, price < 10 → prices 0..9 → 30 candidates.
+        assert_eq!(total, 30);
+    }
+
+    #[test]
+    fn trivial_filter_facet_uses_index_fast_path() {
+        let it = reviews(300);
+        let counts = it.facet_counts(&Filter::True, &[2]);
+        let total: usize = counts[0].values.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, 300);
+        assert_eq!(counts[0].values.len(), 100);
+    }
+
+    #[test]
+    fn join_on_column_uses_index_or_scan() {
+        let it = reviews(100);
+        let keys = vec![
+            Value::Text("product-3".into()),
+            Value::Text("product-nope".into()),
+        ];
+        // product (col 0) is unindexed → scan side.
+        let joined = join_on_column(&it, 0, &keys);
+        assert_eq!(joined[0].1.len(), 10);
+        assert!(joined[1].1.is_empty());
+        // price (col 2) is indexed → index side.
+        let j2 = join_on_column(&it, 2, &[Value::Int(5)]);
+        assert_eq!(j2[0].1.len(), 1);
+    }
+}

@@ -70,6 +70,41 @@ pub enum AccessPath {
     FullScan,
 }
 
+/// A fully-resolved access plan: the chosen index is borrowed and the
+/// lookup values are extracted at plan time, so execution cannot
+/// disagree with the plan (the old two-pass design re-derived the
+/// values from the filter and panicked on mismatch).
+enum PlannedAccess<'a> {
+    /// Point lookup: `ix` is the index over `col`, `value` the literal
+    /// pulled from the same conjunct the planner matched.
+    Eq {
+        ix: &'a SecondaryIndex,
+        col: usize,
+        value: Value,
+    },
+    /// Range scan on an ordered index (inclusive bounds; the residual
+    /// filter re-checks strict comparisons).
+    Range {
+        ix: &'a SecondaryIndex,
+        col: usize,
+        low: Option<Value>,
+        high: Option<Value>,
+    },
+    /// Full table scan.
+    Scan,
+}
+
+impl PlannedAccess<'_> {
+    /// The EXPLAIN-surface shape of this plan.
+    fn path(&self) -> AccessPath {
+        match self {
+            PlannedAccess::Eq { col, .. } => AccessPath::IndexEq { col: *col },
+            PlannedAccess::Range { col, .. } => AccessPath::IndexRange { col: *col },
+            PlannedAccess::Scan => AccessPath::FullScan,
+        }
+    }
+}
+
 /// A table with maintained secondary indexes and an optional full-text
 /// view.
 #[derive(Debug)]
@@ -204,65 +239,81 @@ impl IndexedTable {
         Some(old)
     }
 
-    /// Plan the access path for a filter (exposed for tests).
-    pub fn explain(&self, filter: &Filter) -> AccessPath {
+    /// Plan the access path for a filter. The returned plan carries the
+    /// resolved index reference and lookup values, so execution never
+    /// re-derives them from the filter shape (a mismatch used to panic
+    /// here; now it is unrepresentable — anything the planner cannot
+    /// fully resolve degrades to [`PlannedAccess::Scan`]).
+    fn plan<'a>(&'a self, filter: &Filter) -> PlannedAccess<'a> {
         // Flatten top-level conjunctions and look for a usable
         // conjunct. Preference: index equality, then ordered range.
         let mut conjuncts = Vec::new();
         flatten_and(filter, &mut conjuncts);
-        let mut range: Option<usize> = None;
+        let mut range: Option<(&SecondaryIndex, usize)> = None;
         for c in &conjuncts {
-            if let Filter::Cmp { col, op, .. } = c {
-                let ix = self.secondary.iter().find(|ix| ix.col() == *col);
-                match (op, ix) {
-                    (CmpOp::Eq, Some(_)) => return AccessPath::IndexEq { col: *col },
-                    (CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge, Some(ix))
+            if let Filter::Cmp { col, op, value } = c {
+                let Some(ix) = self.secondary.iter().find(|ix| ix.col() == *col) else {
+                    continue;
+                };
+                match op {
+                    CmpOp::Eq => {
+                        return PlannedAccess::Eq {
+                            ix,
+                            col: *col,
+                            value: value.clone(),
+                        }
+                    }
+                    CmpOp::Lt | CmpOp::Le | CmpOp::Gt | CmpOp::Ge
                         if ix.kind() == IndexKind::Ordered && range.is_none() =>
                     {
-                        range = Some(*col);
+                        range = Some((ix, *col));
                     }
                     _ => {}
                 }
             }
         }
         match range {
-            Some(col) => AccessPath::IndexRange { col },
-            None => AccessPath::FullScan,
+            Some((ix, col)) => {
+                let (low, high) = find_range_bounds(filter, col);
+                PlannedAccess::Range { ix, col, low, high }
+            }
+            None => PlannedAccess::Scan,
         }
+    }
+
+    /// The access path the planner would choose for a filter (exposed
+    /// for tests and EXPLAIN output).
+    pub fn explain(&self, filter: &Filter) -> AccessPath {
+        self.plan(filter).path()
     }
 
     /// Run a structured query.
     pub fn query(&self, q: &TableQuery) -> Vec<(RecordId, &Record)> {
-        let path = self.explain(&q.filter);
-        let mut rows: Vec<(RecordId, &Record)> = match path {
-            AccessPath::IndexEq { col } => {
-                let value = find_eq_literal(&q.filter, col).expect("planner found an eq conjunct");
-                let ix = self
-                    .secondary
-                    .iter()
-                    .find(|ix| ix.col() == col)
-                    .expect("planner found the index");
-                ix.lookup_eq(&value)
-                    .into_iter()
-                    .filter_map(|id| self.table.get(id).map(|r| (id, r)))
-                    .filter(|(_, r)| q.filter.eval(r))
-                    .collect()
-            }
-            AccessPath::IndexRange { col } => {
-                let (low, high) = find_range_bounds(&q.filter, col);
-                let ix = self
-                    .secondary
-                    .iter()
-                    .find(|ix| ix.col() == col)
-                    .expect("planner found the index");
-                ix.lookup_range(low.as_ref(), high.as_ref())
-                    .expect("planner picked an ordered index")
-                    .into_iter()
-                    .filter_map(|id| self.table.get(id).map(|r| (id, r)))
-                    .filter(|(_, r)| q.filter.eval(r))
-                    .collect()
-            }
-            AccessPath::FullScan => self
+        self.query_explained(q).0
+    }
+
+    /// Run a structured query, returning the rows together with the
+    /// access path that actually executed (plan and execution are one
+    /// fused pass, so the reported path can never diverge from what
+    /// ran).
+    pub fn query_explained(&self, q: &TableQuery) -> (Vec<(RecordId, &Record)>, AccessPath) {
+        let plan = self.plan(&q.filter);
+        let path = plan.path();
+        let mut rows: Vec<(RecordId, &Record)> = match plan {
+            PlannedAccess::Eq { ix, value, .. } => ix
+                .lookup_eq(&value)
+                .into_iter()
+                .filter_map(|id| self.table.get(id).map(|r| (id, r)))
+                .filter(|(_, r)| q.filter.eval(r))
+                .collect(),
+            PlannedAccess::Range { ix, low, high, .. } => ix
+                .lookup_range(low.as_ref(), high.as_ref())
+                .unwrap_or_default()
+                .into_iter()
+                .filter_map(|id| self.table.get(id).map(|r| (id, r)))
+                .filter(|(_, r)| q.filter.eval(r))
+                .collect(),
+            PlannedAccess::Scan => self
                 .table
                 .iter()
                 .filter(|(_, r)| q.filter.eval(r))
@@ -290,7 +341,55 @@ impl IndexedTable {
             .map(|l| (q.offset + l).min(rows.len()))
             .unwrap_or(rows.len());
         let start = q.offset.min(end);
-        rows[start..end].to_vec()
+        (rows[start..end].to_vec(), path)
+    }
+
+    /// Exact number of records matching the most selective indexed
+    /// conjunct of `filter` — an upper bound on the true match count,
+    /// read off maintained index counters (no record is touched).
+    /// `None` when no conjunct is index-backed.
+    pub fn estimate_filter_matches(&self, filter: &Filter) -> Option<usize> {
+        let mut conjuncts = Vec::new();
+        flatten_and(filter, &mut conjuncts);
+        let mut best: Option<usize> = None;
+        for c in &conjuncts {
+            if let Filter::Cmp { col, op, value } = c {
+                let Some(ix) = self.secondary.iter().find(|ix| ix.col() == *col) else {
+                    continue;
+                };
+                let est = match op {
+                    CmpOp::Eq => Some(ix.count_eq(value)),
+                    // Inclusive counts over-estimate strict bounds —
+                    // fine for an upper bound.
+                    CmpOp::Lt | CmpOp::Le => ix.count_range(None, Some(value)),
+                    CmpOp::Gt | CmpOp::Ge => ix.count_range(Some(value), None),
+                    _ => None,
+                };
+                if let Some(e) = est {
+                    best = Some(best.map_or(e, |b| b.min(e)));
+                }
+            }
+        }
+        best
+    }
+
+    /// Record ids whose `col` equals `key` — the index-backed side of a
+    /// join between this table and an external result set keyed on a
+    /// typed column. Falls back to a scan when `col` is unindexed.
+    pub fn join_on_column(&self, col: usize, key: &Value) -> Vec<RecordId> {
+        if let Some(ix) = self.secondary.iter().find(|ix| ix.col() == col) {
+            return ix.lookup_eq(key);
+        }
+        self.table
+            .iter()
+            .filter(|(_, r)| r.get(col).cmp_total(key) == std::cmp::Ordering::Equal)
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Borrow the secondary index over `col`, when one exists.
+    pub fn secondary_index(&self, col: usize) -> Option<&SecondaryIndex> {
+        self.secondary.iter().find(|ix| ix.col() == col)
     }
 
     /// Full-text search (errors when no view is enabled).
@@ -319,19 +418,6 @@ fn flatten_and<'a>(f: &'a Filter, out: &mut Vec<&'a Filter>) {
         }
         other => out.push(other),
     }
-}
-
-fn find_eq_literal(filter: &Filter, col: usize) -> Option<Value> {
-    let mut conjuncts = Vec::new();
-    flatten_and(filter, &mut conjuncts);
-    conjuncts.iter().find_map(|c| match c {
-        Filter::Cmp {
-            col: c,
-            op: CmpOp::Eq,
-            value,
-        } if *c == col => Some(value.clone()),
-        _ => None,
-    })
 }
 
 fn find_range_bounds(filter: &Filter, col: usize) -> (Option<Value>, Option<Value>) {

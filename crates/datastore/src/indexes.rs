@@ -46,6 +46,8 @@ pub enum SecondaryIndex {
         col: usize,
         /// Value -> record ids (insertion-ordered).
         map: HashMap<ValueKey, Vec<RecordId>>,
+        /// Total entries across all keys (maintained, O(1) to read).
+        len: usize,
     },
     /// Ordered (B-tree-backed).
     Ordered {
@@ -53,6 +55,8 @@ pub enum SecondaryIndex {
         col: usize,
         /// Value -> record ids (insertion-ordered).
         map: BTreeMap<OrdValue, Vec<RecordId>>,
+        /// Total entries across all keys (maintained, O(1) to read).
+        len: usize,
     },
 }
 
@@ -63,10 +67,12 @@ impl SecondaryIndex {
             IndexKind::Hash => SecondaryIndex::Hash {
                 col,
                 map: HashMap::new(),
+                len: 0,
             },
             IndexKind::Ordered => SecondaryIndex::Ordered {
                 col,
                 map: BTreeMap::new(),
+                len: 0,
             },
         }
     }
@@ -89,11 +95,13 @@ impl SecondaryIndex {
     /// Register a record's value.
     pub fn insert(&mut self, value: &Value, id: RecordId) {
         match self {
-            SecondaryIndex::Hash { map, .. } => {
+            SecondaryIndex::Hash { map, len, .. } => {
                 map.entry(value.hash_key()).or_default().push(id);
+                *len += 1;
             }
-            SecondaryIndex::Ordered { map, .. } => {
+            SecondaryIndex::Ordered { map, len, .. } => {
                 map.entry(OrdValue(value.clone())).or_default().push(id);
+                *len += 1;
             }
         }
     }
@@ -101,22 +109,69 @@ impl SecondaryIndex {
     /// Remove a record's value (no-op if absent).
     pub fn remove(&mut self, value: &Value, id: RecordId) {
         match self {
-            SecondaryIndex::Hash { map, .. } => {
+            SecondaryIndex::Hash { map, len, .. } => {
                 if let Entry::Occupied(mut e) = map.entry(value.hash_key()) {
+                    let before = e.get().len();
                     e.get_mut().retain(|&r| r != id);
+                    *len -= before - e.get().len();
                     if e.get().is_empty() {
                         e.remove();
                     }
                 }
             }
-            SecondaryIndex::Ordered { map, .. } => {
+            SecondaryIndex::Ordered { map, len, .. } => {
                 let key = OrdValue(value.clone());
                 if let Some(ids) = map.get_mut(&key) {
+                    let before = ids.len();
                     ids.retain(|&r| r != id);
+                    *len -= before - ids.len();
                     if ids.is_empty() {
                         map.remove(&key);
                     }
                 }
+            }
+        }
+    }
+
+    /// Total indexed entries (records with a value in this index),
+    /// maintained as a counter — O(1), never a scan.
+    pub fn cardinality(&self) -> usize {
+        match self {
+            SecondaryIndex::Hash { len, .. } | SecondaryIndex::Ordered { len, .. } => *len,
+        }
+    }
+
+    /// Exact number of records equal to `value` — O(1) hash probe or
+    /// one B-tree descent; no list is cloned.
+    pub fn count_eq(&self, value: &Value) -> usize {
+        match self {
+            SecondaryIndex::Hash { map, .. } => {
+                map.get(&value.hash_key()).map_or(0, |ids| ids.len())
+            }
+            SecondaryIndex::Ordered { map, .. } => {
+                map.get(&OrdValue(value.clone())).map_or(0, |ids| ids.len())
+            }
+        }
+    }
+
+    /// Exact number of records in `[low, high]` (inclusive bounds,
+    /// `None` = unbounded). `None` for hash indexes, which cannot
+    /// answer ranges. Costs one B-tree walk over the touched keys but
+    /// copies no record ids.
+    pub fn count_range(&self, low: Option<&Value>, high: Option<&Value>) -> Option<usize> {
+        match self {
+            SecondaryIndex::Hash { .. } => None,
+            SecondaryIndex::Ordered { map, .. } => {
+                use std::ops::Bound;
+                let lo = match low {
+                    Some(v) => Bound::Included(OrdValue(v.clone())),
+                    None => Bound::Unbounded,
+                };
+                let hi = match high {
+                    Some(v) => Bound::Included(OrdValue(v.clone())),
+                    None => Bound::Unbounded,
+                };
+                Some(map.range((lo, hi)).map(|(_, ids)| ids.len()).sum())
             }
         }
     }
@@ -155,6 +210,20 @@ impl SecondaryIndex {
                 }
                 Some(out)
             }
+        }
+    }
+
+    /// Per-key `(value, count)` pairs in key order — the facet fast
+    /// path: one tree walk over maintained lists, no record touched.
+    /// `None` for hash indexes, whose keys are one-way hashes.
+    pub fn value_counts(&self) -> Option<Vec<(Value, usize)>> {
+        match self {
+            SecondaryIndex::Hash { .. } => None,
+            SecondaryIndex::Ordered { map, .. } => Some(
+                map.iter()
+                    .map(|(k, ids)| (k.0.clone(), ids.len()))
+                    .collect(),
+            ),
         }
     }
 
@@ -230,6 +299,48 @@ mod tests {
         ix.insert(&Value::Int(1), RecordId(1));
         ix.remove(&Value::Int(1), RecordId(0));
         assert_eq!(ix.lookup_eq(&Value::Int(1)), ids(vec![1]));
+    }
+
+    #[test]
+    fn cardinality_counter_tracks_inserts_and_removes() {
+        for kind in [IndexKind::Hash, IndexKind::Ordered] {
+            let mut ix = SecondaryIndex::new(kind, 0);
+            assert_eq!(ix.cardinality(), 0);
+            ix.insert(&Value::Int(1), RecordId(0));
+            ix.insert(&Value::Int(1), RecordId(1));
+            ix.insert(&Value::Int(2), RecordId(2));
+            assert_eq!(ix.cardinality(), 3);
+            assert_eq!(ix.count_eq(&Value::Int(1)), 2);
+            assert_eq!(ix.count_eq(&Value::Int(9)), 0);
+            ix.remove(&Value::Int(1), RecordId(0));
+            assert_eq!(ix.cardinality(), 2);
+            // Removing an absent (value, id) pair must not decrement.
+            ix.remove(&Value::Int(1), RecordId(0));
+            ix.remove(&Value::Int(7), RecordId(0));
+            assert_eq!(ix.cardinality(), 2);
+        }
+    }
+
+    #[test]
+    fn count_range_matches_lookup_range() {
+        let mut ix = SecondaryIndex::new(IndexKind::Ordered, 0);
+        for (i, v) in [10, 20, 20, 30, 40].iter().enumerate() {
+            ix.insert(&Value::Int(*v), RecordId(i as u32));
+        }
+        for (lo, hi) in [
+            (None, None),
+            (Some(15), None),
+            (None, Some(25)),
+            (Some(20), Some(20)),
+            (Some(99), None),
+        ] {
+            let lo = lo.map(Value::Int);
+            let hi = hi.map(Value::Int);
+            let listed = ix.lookup_range(lo.as_ref(), hi.as_ref()).unwrap().len();
+            assert_eq!(ix.count_range(lo.as_ref(), hi.as_ref()), Some(listed));
+        }
+        let hash = SecondaryIndex::new(IndexKind::Hash, 0);
+        assert_eq!(hash.count_range(None, None), None);
     }
 
     #[test]

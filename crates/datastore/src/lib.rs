@@ -40,6 +40,7 @@ pub mod error;
 pub mod filter;
 pub mod formats;
 pub mod fulltext;
+pub mod hybrid;
 pub mod indexed;
 pub mod indexes;
 pub mod ingest;
@@ -51,6 +52,7 @@ pub mod value;
 pub use aggregate::{aggregate, Aggregate, GroupRow};
 pub use error::StoreError;
 pub use filter::{CmpOp, Filter};
+pub use hybrid::{FacetCounts, HybridExplain, HybridPlan, HybridQuery, HybridResult};
 pub use indexed::{AccessPath, IndexedTable, SortDir, TableQuery};
 pub use indexes::IndexKind;
 pub use ingest::{DataFormat, FetchedPage, IngestReport, PageFetcher, UploadMethod};

@@ -121,6 +121,73 @@ proptest! {
         let b: Vec<_> = plain.query(&q).iter().map(|(id, _)| *id).collect();
         prop_assert_eq!(a, b);
     }
+
+    /// Plan invariance of the hybrid engine: filter-first (doc-set
+    /// pushdown), search-first (over-fetch + post-filter refill), and
+    /// scan (exhaustive closure) return bit-identical `(record, score)`
+    /// lists over random corpora, filters, selectivities, and k — and
+    /// the planner's own unforced choice matches too. Also pins the
+    /// fused plan+execute path: filters whose shape defeats the planner
+    /// (Or/Not around the indexed column) must degrade to a scan, never
+    /// panic.
+    #[test]
+    fn hybrid_plan_invariance(
+        rows in proptest::collection::vec(
+            ("[ab]{2,3}( [ab]{2,3}){0,5}", 0i64..40, any::<bool>()),
+            1..60,
+        ),
+        needle in proptest::collection::vec("[ab]{2,3}", 1..3),
+        lo in 0i64..40,
+        span in 0i64..40,
+        wrap in 0u8..3,
+        k in 1usize..8,
+    ) {
+        use symphony_store::hybrid::{HybridPlan, HybridQuery};
+
+        let schema = Schema::of(&[
+            ("body", FieldType::Text),
+            ("price", FieldType::Int),
+            ("in_stock", FieldType::Bool),
+        ]);
+        let mut it = IndexedTable::new(Table::new("t", schema));
+        it.create_index("price", IndexKind::Ordered).unwrap();
+        it.create_index("in_stock", IndexKind::Hash).unwrap();
+        for (body, price, in_stock) in &rows {
+            it.insert(Record::new(vec![
+                Value::Text(body.clone()),
+                Value::Int(*price),
+                Value::Bool(*in_stock),
+            ]));
+        }
+        it.enable_fulltext(&[("body", 1.0)]).unwrap();
+        it.optimize_fulltext();
+
+        let base = Filter::cmp(1, CmpOp::Ge, Value::Int(lo))
+            .and(Filter::cmp(1, CmpOp::Lt, Value::Int(lo + span)));
+        let filter = match wrap {
+            // Planner-friendly conjunction.
+            0 => base,
+            // Disjunction: no usable conjunct — must degrade, not panic.
+            1 => base.or(Filter::eq(2, Value::Bool(true))),
+            // Negation wrapper: same.
+            _ => base.not(),
+        };
+        let q = HybridQuery::new(
+            symphony_text::Query::parse(&needle.join(" ")),
+            filter,
+            k,
+        );
+        let key = |r: &symphony_store::HybridResult| {
+            r.hits.iter().map(|h| (h.record, h.score.to_bits())).collect::<Vec<_>>()
+        };
+        let ff = it.hybrid_query_planned(&q, Some(HybridPlan::FilterFirst)).unwrap();
+        let sf = it.hybrid_query_planned(&q, Some(HybridPlan::SearchFirst)).unwrap();
+        let sc = it.hybrid_query_planned(&q, Some(HybridPlan::Scan)).unwrap();
+        let planned = it.hybrid_query(&q).unwrap();
+        prop_assert_eq!(key(&ff), key(&sc));
+        prop_assert_eq!(key(&sf), key(&sc));
+        prop_assert_eq!(key(&planned), key(&sc));
+    }
 }
 
 proptest! {

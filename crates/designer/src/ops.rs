@@ -240,6 +240,36 @@ mod tests {
     }
 
     #[test]
+    fn hybrid_source_card_drops_like_any_other() {
+        // A hybrid source (structured predicate + full-text, planned
+        // by the store's selectivity planner) reaches the designer as
+        // a palette card with category "hybrid" and the table's schema
+        // fields — the wizard needs no special casing.
+        let mut d = Designer::new();
+        d.register_source(DataSourceCard {
+            name: "cheap_in_stock".into(),
+            category: "hybrid".into(),
+            fields: vec!["title".into(), "description".into(), "price".into()],
+        });
+        assert_eq!(
+            d.canvas().source("cheap_in_stock").unwrap().category,
+            "hybrid"
+        );
+        let root = d.canvas().root_id();
+        let id = d
+            .apply(DesignOp::DropSource {
+                source: "cheap_in_stock".into(),
+                target: root,
+                max_results: 5,
+            })
+            .unwrap()
+            .unwrap();
+        let el = d.canvas().find(id).unwrap();
+        assert_eq!(el.kind.name(), "resultlist");
+        assert_eq!(el.sources(), vec!["cheap_in_stock"]);
+    }
+
+    #[test]
     fn drop_unknown_source_fails_without_mutating() {
         let mut d = designer();
         let root = d.canvas().root_id();

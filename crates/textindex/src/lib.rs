@@ -44,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod docset;
 pub mod fx;
 pub mod index;
 pub mod lexicon;
@@ -55,6 +56,7 @@ pub mod snippet;
 pub mod spell;
 
 pub use analysis::{Analyzer, StandardAnalyzer, Token, TokenScratch};
+pub use docset::{DocSet, FilterCursor};
 pub use index::{
     default_build_threads, Doc, FieldId, Index, IndexConfig, IndexStats, MaintenanceReport,
     SegmentPolicy, TermScoreStats, MAX_BUILD_WORKERS,

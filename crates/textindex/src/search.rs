@@ -41,6 +41,7 @@
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::docset::{DocSet, FilterCursor};
 use crate::fx::{FxHashMap, FxHashSet};
 use crate::index::{FieldId, Index};
 use crate::lexicon::TermId;
@@ -273,7 +274,32 @@ impl<'a> Searcher<'a> {
         if self.mode == ScoreMode::Exhaustive {
             self.search_exhaustive(query, k, filter)
         } else {
-            self.search_pruned(query, k, filter)
+            self.search_pruned(query, k, filter, None)
+        }
+    }
+
+    /// Like [`Searcher::search_filtered`], but the restriction is a
+    /// materialized [`DocSet`] instead of an opaque closure. The pruned
+    /// executor mounts the set as a [`FilterCursor`] — a non-scoring
+    /// conjunctive gate in the `+must` galloping intersection — so the
+    /// only candidates ever considered are the set's members: term
+    /// cursors `seek` straight to them, skipping whole posting blocks
+    /// decode-free, instead of decoding every block and asking the
+    /// closure per candidate. Rank-safe for the same reason the
+    /// `+must` machinery is: the gate is conjunctive and exact, and
+    /// surviving candidates are scored in canonical clause order.
+    ///
+    /// Returns bit-identical `(doc, score)` lists to
+    /// `search_filtered(query, k, |d| allowed.contains(d))` (a
+    /// property test asserts this).
+    pub fn search_docset(&self, query: &Query, k: usize, allowed: &DocSet) -> Vec<SearchHit> {
+        if query.is_empty() || k == 0 || allowed.is_empty() {
+            return Vec::new();
+        }
+        if self.mode == ScoreMode::Exhaustive {
+            self.search_exhaustive(query, k, |d| allowed.contains(d))
+        } else {
+            self.search_pruned(query, k, |_| true, Some(allowed))
         }
     }
 
@@ -459,6 +485,7 @@ impl<'a> Searcher<'a> {
         query: &Query,
         k: usize,
         filter: impl Fn(DocId) -> bool,
+        allowed: Option<&DocSet>,
     ) -> Vec<SearchHit> {
         // ---- Plan: cursors, bounds, constraints --------------------
         // `scorers` is in canonical (clause, token, field) order — the
@@ -585,6 +612,9 @@ impl<'a> Searcher<'a> {
         if !any_positive || scorers.is_empty() {
             return Vec::new();
         }
+        // The pushed-down doc-id set joins the conjunction as one more
+        // non-scoring gate (`None` members when no set was supplied).
+        let mut filter_gate = allowed.map(FilterCursor::new);
         // The intersection drives from the rarest `+must` list: with
         // groups in ascending doc-frequency order, the first seek of
         // every galloping round comes from the most selective cursor,
@@ -619,7 +649,8 @@ impl<'a> Searcher<'a> {
         let mut threshold = f32::NEG_INFINITY;
         let mut ness = 0usize;
         let mut contribs = vec![0.0f32; scorers.len()];
-        let must_driven = !must_groups.is_empty() || !must_phrases.is_empty();
+        let must_driven =
+            !must_groups.is_empty() || !must_phrases.is_empty() || filter_gate.is_some();
         let mut next_target = 0u32;
         // Candidate just processed; essential cursors still sitting on
         // it advance during the next selection scan (one fused pass
@@ -636,7 +667,13 @@ impl<'a> Searcher<'a> {
                 // galloping intersection of the union cursors and the
                 // phrase membership conjunctions yields the only docs
                 // that can appear in the result at all.
-                match must_candidate(&mut must_groups, &mut scorers, &must_phrases, next_target) {
+                match must_candidate(
+                    &mut must_groups,
+                    &mut scorers,
+                    &must_phrases,
+                    filter_gate.as_mut(),
+                    next_target,
+                ) {
                     Some(d) => d,
                     None => break,
                 }
@@ -1453,12 +1490,26 @@ fn must_candidate(
     groups: &mut [UnionCursor<'_>],
     scorers: &mut [AnyScorer<'_>],
     phrase_idxs: &[usize],
+    mut filter_gate: Option<&mut FilterCursor<'_>>,
     target: u32,
 ) -> Option<u32> {
-    debug_assert!(!groups.is_empty() || !phrase_idxs.is_empty());
+    debug_assert!(!groups.is_empty() || !phrase_idxs.is_empty() || filter_gate.is_some());
     let mut d = target;
     loop {
         let mut changed = false;
+        // The pushed-down filter seeks first: when it is the most
+        // selective gate (the planner only pushes selective sets), the
+        // posting cursors below only ever gallop to its members.
+        if let Some(f) = filter_gate.as_deref_mut() {
+            let got = f.seek(d);
+            if got == NO_DOC {
+                return None;
+            }
+            if got > d {
+                d = got;
+                changed = true;
+            }
+        }
         for g in groups.iter_mut() {
             let got = g.seek(d);
             if got == NO_DOC {

@@ -361,6 +361,61 @@ proptest! {
         prop_assert_eq!(pruned, exhaustive);
     }
 
+    /// Rank safety of the filter-cursor pushdown: for a random corpus,
+    /// query, and allowed doc-id set, `search_docset` (the non-scoring
+    /// conjunctive [`DocSet`] cursor riding the MaxScore executor)
+    /// returns the exact `(doc, score)` list of the closure-filtered
+    /// path, in both executors — four-way bit-identical. The set's
+    /// density is drawn wide enough to cover both the sorted-vec and
+    /// bitset representations.
+    #[test]
+    fn filter_cursor_equals_closure(
+        docs in proptest::collection::vec(
+            ("[ab]{2,3}( [ab]{2,3}){0,2}", "[ab]{2,3}( [ab]{2,3}){0,8}"),
+            1..25,
+        ),
+        clauses in proptest::collection::vec(clause(), 1..5),
+        k in 1usize..8,
+        allowed_mask in proptest::collection::vec(any::<bool>(), 25..26),
+        optimize in 0u8..2,
+        delete_first in 0u8..2,
+    ) {
+        let mut idx = Index::new(IndexConfig::default());
+        let title = idx.register_field("title", 2.0);
+        let body = idx.register_field("body", 1.0);
+        for (t, b) in &docs {
+            idx.add(Doc::new().field(title, t.clone()).field(body, b.clone()));
+        }
+        if delete_first == 1 {
+            idx.delete(DocId(0));
+        }
+        if optimize == 1 {
+            idx.optimize();
+        }
+        let allowed: Vec<u32> = (0..docs.len() as u32)
+            .filter(|&d| allowed_mask[d as usize])
+            .collect();
+        let set = symphony_text::DocSet::from_sorted(allowed.clone());
+        let q = Query::parse(&clauses.join(" "));
+
+        let via_set = Searcher::new(&idx).search_docset(&q, k, &set);
+        let via_set_ex = Searcher::new(&idx)
+            .with_mode(ScoreMode::Exhaustive)
+            .search_docset(&q, k, &set);
+        let closure = |d: DocId| allowed.binary_search(&d.0).is_ok();
+        let via_closure = Searcher::new(&idx).search_filtered(&q, k, closure);
+        let via_closure_ex = Searcher::new(&idx)
+            .with_mode(ScoreMode::Exhaustive)
+            .search_filtered(&q, k, closure);
+
+        let key = |hits: &[symphony_text::SearchHit]| {
+            hits.iter().map(|h| (h.doc, h.score.to_bits())).collect::<Vec<_>>()
+        };
+        prop_assert_eq!(key(&via_set), key(&via_closure));
+        prop_assert_eq!(key(&via_set), key(&via_set_ex));
+        prop_assert_eq!(key(&via_set), key(&via_closure_ex));
+    }
+
     /// Query parser never panics and Display output reparses to the
     /// same clause structure.
     #[test]

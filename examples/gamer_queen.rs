@@ -20,17 +20,18 @@ use symphony_designer::ops::{DesignOp, Designer};
 use symphony_designer::{render_outline, Element};
 use symphony_examples::{banner, heading, indent};
 use symphony_services::{CallPolicy, InventoryService, LatencyModel, PricingService};
+use symphony_store::hybrid::join_on_column;
 use symphony_store::ingest::{ingest, DataFormat};
-use symphony_store::IndexedTable;
+use symphony_store::{CmpOp, Filter, IndexKind, IndexedTable, Value};
 use symphony_web::{Corpus, CorpusConfig, SearchConfig, SearchEngine, Topic, Vertical};
 
 const INVENTORY_CSV: &str = "\
-title,genre,description,detail_url,price
-Galactic Raiders,shooter,a fast space shooter with lasers,http://gamerqueen.example.com/games/galactic-raiders,49.99
-Farm Story,sim,calm farming with crops and animals,http://gamerqueen.example.com/games/farm-story,19.99
-Space Trader,strategy,trade goods across space stations,http://gamerqueen.example.com/games/space-trader,29.99
-Laser Golf,sports,golf with lasers a silly shooter,http://gamerqueen.example.com/games/laser-golf,9.99
-Puzzle Palace,puzzle,mind bending puzzle rooms,http://gamerqueen.example.com/games/puzzle-palace,14.99
+title,genre,description,detail_url,price,in_stock
+Galactic Raiders,shooter,a fast space shooter with lasers,http://gamerqueen.example.com/games/galactic-raiders,49.99,true
+Farm Story,sim,calm farming with crops and animals,http://gamerqueen.example.com/games/farm-story,19.99,true
+Space Trader,strategy,trade goods across space stations,http://gamerqueen.example.com/games/space-trader,29.99,false
+Laser Golf,sports,golf with lasers a silly shooter,http://gamerqueen.example.com/games/laser-golf,9.99,true
+Puzzle Palace,puzzle,mind bending puzzle rooms,http://gamerqueen.example.com/games/puzzle-palace,14.99,true
 ";
 
 fn main() {
@@ -61,6 +62,14 @@ fn main() {
     indexed
         .enable_fulltext(&[("title", 2.0), ("genre", 1.0), ("description", 1.0)])
         .expect("columns exist");
+    // Secondary indexes feed the hybrid planner's exact cardinality
+    // estimates (and back the bargain-bin source's predicate).
+    indexed
+        .create_index("price", IndexKind::Ordered)
+        .expect("price column");
+    indexed
+        .create_index("in_stock", IndexKind::Hash)
+        .expect("in_stock column");
     platform.upload_table(tenant, &key, indexed).expect("quota");
 
     heading("attach services and ads");
@@ -103,6 +112,17 @@ fn main() {
         name: "reviews".into(),
         category: "web".into(),
         fields: ["url", "title", "snippet", "domain"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+    });
+    // The bargain bin is a hybrid source: full-text over the same
+    // inventory, but with "in stock AND price < $30" resolved through
+    // the secondary indexes by the selectivity planner.
+    designer.register_source(DataSourceCard {
+        name: "bargain_bin".into(),
+        category: "hybrid".into(),
+        fields: ["title", "genre", "description", "detail_url", "price"]
             .iter()
             .map(|s| s.to_string())
             .collect(),
@@ -150,6 +170,20 @@ fn main() {
                 "stock",
                 Element::text("In stock: {quantity} ({warehouse})"),
                 1,
+            ),
+        })
+        .expect("ok");
+    // Bargain-bin list (hybrid: in-stock under $30) beside the results.
+    designer
+        .apply(DesignOp::AddElement {
+            parent: root,
+            element: Element::result_list(
+                "bargain_bin",
+                Element::column(vec![
+                    Element::link_field("detail_url", "{title}").with_class("bargain-link"),
+                    Element::text("Only ${price}!"),
+                ]),
+                3,
             ),
         })
         .expect("ok");
@@ -202,6 +236,18 @@ fn main() {
                 policy: CallPolicy::default(),
             },
         )
+        .source(
+            "bargain_bin",
+            DataSourceDef::Hybrid {
+                table: "inventory".into(),
+                // in_stock = true AND price < 30 (cols 5 and 4).
+                filter: Filter::eq(5, Value::Bool(true)).and(Filter::cmp(
+                    4,
+                    CmpOp::Lt,
+                    Value::Float(30.0),
+                )),
+            },
+        )
         .source("sponsored", DataSourceDef::Ads { slots: 2 })
         .supplemental("reviews", "{title} review")
         .supplemental("pricing", "{title}")
@@ -224,11 +270,55 @@ fn main() {
     println!("{}", resp.trace.render());
     assert!(resp.html.contains("Galactic Raiders"));
     assert!(resp.html.contains("review"));
+    // The bargain bin surfaces the in-stock shooter under $30 (Laser
+    // Golf) while the $49.99 Galactic Raiders is filtered out of it.
+    assert!(resp.html.contains("Laser Golf"));
     println!(
         "HTML response: {} bytes, {} impressions recorded",
         resp.html.len(),
         resp.impressions.len()
     );
+
+    heading("hybrid query + join: in-stock bargains by product");
+    {
+        let space = platform.store().space(tenant, &key).expect("tenant");
+        let inv = space.table("inventory").expect("uploaded");
+        let hq = symphony_store::HybridQuery::new(
+            symphony_text::Query::parse("space shooter"),
+            Filter::eq(5, Value::Bool(true)).and(Filter::cmp(4, CmpOp::Lt, Value::Float(30.0))),
+            5,
+        );
+        let result = inv.hybrid_query(&hq).expect("fulltext enabled");
+        println!(
+            "planner chose {} (access {:?}, est {:?} of {} rows)",
+            result.explain.plan.name(),
+            result.explain.access,
+            result.explain.estimated_matches,
+            result.explain.table_rows,
+        );
+        // Join the hits back on the typed product-title column: each
+        // review/pricing vertical keys on the same title, so this is
+        // the tenant-table side of a product join.
+        let keys: Vec<Value> = result
+            .hits
+            .iter()
+            .filter_map(|h| inv.table().get(h.record))
+            .map(|r| r.get(0).clone())
+            .collect();
+        for (product, records) in join_on_column(inv, 0, &keys) {
+            for id in records {
+                let rec = inv.table().get(id).expect("joined id is live");
+                println!(
+                    "  {} -> ${} (in stock: {})",
+                    product.display_string(),
+                    rec.get(4).display_string(),
+                    rec.get(5).display_string(),
+                );
+            }
+        }
+        assert!(keys.contains(&Value::Text("Laser Golf".into())));
+        assert!(!keys.contains(&Value::Text("Galactic Raiders".into())));
+    }
 
     heading("customer clicks");
     // Click the first inventory result and the sponsored ad.

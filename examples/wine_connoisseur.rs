@@ -15,7 +15,7 @@ use symphony_core::source::DataSourceDef;
 use symphony_designer::{Canvas, Element, Selector, StyleProps, Stylesheet};
 use symphony_examples::{banner, heading, indent};
 use symphony_store::ingest::{ingest, DataFormat};
-use symphony_store::IndexedTable;
+use symphony_store::{CmpOp, Filter, HybridQuery, IndexKind, IndexedTable, Value};
 use symphony_web::{
     generate_logs, Corpus, CorpusConfig, LogConfig, SearchConfig, SearchEngine, SiteSuggest, Topic,
     Vertical,
@@ -23,10 +23,10 @@ use symphony_web::{
 
 const CELLAR_XML: &str = "\
 <cellar>
-  <wine><title>Chateau Margaux 2005</title><region>Bordeaux</region><notes>plum and cedar, firm tannin, long cellar life</notes><rating>98</rating></wine>
-  <wine><title>Ridge Monte Bello 2001</title><region>Santa Cruz</region><notes>blackcurrant and graphite cabernet blend</notes><rating>97</rating></wine>
-  <wine><title>Egon Muller Scharzhofberger 2007</title><region>Mosel</region><notes>apricot and slate riesling kabinett</notes><rating>95</rating></wine>
-  <wine><title>Penfolds Grange 1998</title><region>Australia</region><notes>dense shiraz with mocha oak</notes><rating>99</rating></wine>
+  <wine><title>Chateau Margaux 2005</title><region>Bordeaux</region><notes>plum and cedar, firm tannin, long cellar life</notes><rating>98</rating><price>850</price></wine>
+  <wine><title>Ridge Monte Bello 2001</title><region>Santa Cruz</region><notes>blackcurrant and graphite cabernet blend aged in oak</notes><rating>97</rating><price>160</price></wine>
+  <wine><title>Egon Muller Scharzhofberger 2007</title><region>Mosel</region><notes>apricot and slate riesling kabinett</notes><rating>95</rating><price>45</price></wine>
+  <wine><title>Penfolds Grange 1998</title><region>Australia</region><notes>dense shiraz with mocha oak</notes><rating>99</rating><price>29</price></wine>
 </cellar>
 ";
 
@@ -52,6 +52,11 @@ fn main() {
     indexed
         .enable_fulltext(&[("title", 2.0), ("region", 1.5), ("notes", 1.0)])
         .expect("columns exist");
+    // Ordered index on price: the hybrid planner reads its exact
+    // cardinalities to decide filter-first vs search-first.
+    indexed
+        .create_index("price", IndexKind::Ordered)
+        .expect("price column");
     platform.upload_table(tenant, &key, indexed).expect("quota");
 
     heading("Site Suggest: grow the restriction list from one seed");
@@ -133,6 +138,19 @@ fn main() {
     canvas
         .insert(
             root,
+            Element::result_list(
+                "oak_bargains",
+                Element::column(vec![
+                    Element::text("{title} — only ${price}").with_class("result-title"),
+                    Element::text("{notes}"),
+                ]),
+                3,
+            ),
+        )
+        .expect("ok");
+    canvas
+        .insert(
+            root,
             Element::result_list("sponsored", symphony_designer::template::ad_layout(), 1),
         )
         .expect("ok");
@@ -162,6 +180,15 @@ fn main() {
                 config: SearchConfig::default(),
             },
         )
+        .source(
+            "oak_bargains",
+            DataSourceDef::Hybrid {
+                table: "cellar".into(),
+                // price (col 4) under $50 — resolved via the ordered
+                // index, pushed into the text executor as a skip set.
+                filter: Filter::cmp(4, CmpOp::Lt, Value::Int(50)),
+            },
+        )
         .source("sponsored", DataSourceDef::Ads { slots: 1 })
         .supplemental("wineweb", "{title} tasting")
         .supplemental("labels", "{title}")
@@ -186,6 +213,44 @@ fn main() {
             }
         }
     }
+
+    heading("hybrid query: affordable 'oak' wines");
+    {
+        let space = platform.store().space(tenant, &key).expect("tenant");
+        let cellar = space.table("cellar").expect("uploaded");
+        let hq = HybridQuery::new(
+            symphony_text::Query::parse("oak"),
+            Filter::cmp(4, CmpOp::Lt, Value::Int(50)),
+            5,
+        );
+        let result = cellar.hybrid_query(&hq).expect("fulltext enabled");
+        println!(
+            "planner chose {} ({:?}, est {:?} of {} rows)",
+            result.explain.plan.name(),
+            result.explain.access,
+            result.explain.estimated_matches,
+            result.explain.table_rows,
+        );
+        for h in &result.hits {
+            let rec = cellar.table().get(h.record).expect("live");
+            println!(
+                "  {} — ${} (score {:.3})",
+                rec.get(0).display_string(),
+                rec.get(4).display_string(),
+                h.score
+            );
+        }
+        // Only the Grange: Ridge's oaked blend costs $160, and the
+        // sub-$50 riesling never mentions oak.
+        assert_eq!(result.hits.len(), 1);
+        let grange = cellar.table().get(result.hits[0].record).expect("live");
+        assert_eq!(grange.get(0).display_string(), "Penfolds Grange 1998");
+    }
+    // The published app runs the same engine: an "oak" query surfaces
+    // the bargain through the hybrid source's list.
+    let resp = platform.query(id, "oak").expect("published");
+    assert!(resp.html.contains("Penfolds Grange"));
+    assert!(resp.html.contains("only $29"));
 
     heading("the stylesheet reaches the HTML");
     let resp = platform.query(id, "riesling").expect("published");
